@@ -1,0 +1,133 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate the contribution of each
+implementation decision in *our* system:
+
+1. **compiled pattern matching** (``labeling/fastcheck.py``) vs the
+   structural rewritability checker, for ℓ+ mask computation;
+2. **folding pre-checks** (``core/minimize.py``): the cheap
+   necessary-condition filters before each homomorphism search;
+3. **GLB antichain pruning** (``labeling/glb.py``): maximal-antichain
+   reduction of pairwise GenMGU results vs keeping raw unions.
+
+Run with::
+
+    pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dissect import dissect
+from repro.core.minimize import fold
+from repro.core.rewriting import is_rewritable
+from repro.facebook.workload import WorkloadGenerator
+from repro.labeling.fastcheck import AtomSignature, CompiledView
+
+BATCH = 150
+
+
+@pytest.fixture(scope="module")
+def atoms(schema):
+    generator = WorkloadGenerator(schema, max_subqueries=2, seed=42)
+    out = []
+    for query in generator.stream(BATCH):
+        out.extend(dissect(query))
+    return out
+
+
+@pytest.fixture(scope="module")
+def user_views(security_views):
+    return [security_views.view(name) for name, _ in
+            security_views.for_relation("User")]
+
+
+class TestRewritabilityCheckAblation:
+    def test_structural_checker(self, benchmark, atoms, security_views):
+        views = {
+            rel: [v for _, v in security_views.for_relation(rel)]
+            for rel in security_views.relations()
+        }
+
+        def run():
+            hits = 0
+            for atom in atoms:
+                for view in views.get(atom.relation, ()):
+                    if is_rewritable(atom, view):
+                        hits += 1
+            return hits
+
+        result = benchmark(run)
+        benchmark.extra_info["ablation"] = "structural is_rewritable"
+        benchmark.extra_info["hits"] = result
+
+    def test_compiled_checker(self, benchmark, atoms, security_views):
+        compiled = {
+            rel: [CompiledView(v) for _, v in security_views.for_relation(rel)]
+            for rel in security_views.relations()
+        }
+
+        def run():
+            hits = 0
+            for atom in atoms:
+                sig = AtomSignature(atom)
+                for view in compiled.get(atom.relation, ()):
+                    if view.matches(sig):
+                        hits += 1
+            return hits
+
+        result = benchmark(run)
+        benchmark.extra_info["ablation"] = "compiled fastcheck"
+        benchmark.extra_info["hits"] = result
+
+    def test_both_agree(self, atoms, security_views):
+        """The ablation is fair: both checkers count identical hits."""
+        for atom in atoms:
+            sig = AtomSignature(atom)
+            for _, view in security_views.for_relation(atom.relation):
+                assert CompiledView(view).matches(sig) == is_rewritable(
+                    atom, view
+                ), (atom, view)
+
+
+class TestFoldPrecheckAblation:
+    @pytest.fixture(scope="class")
+    def queries(self, schema):
+        return list(
+            WorkloadGenerator(schema, max_subqueries=4, seed=9).stream(BATCH)
+        )
+
+    @pytest.mark.parametrize("prechecks", (True, False), ids=["on", "off"])
+    def test_fold(self, benchmark, queries, prechecks):
+        def run():
+            for query in queries:
+                fold(query, prechecks=prechecks)
+
+        benchmark(run)
+        benchmark.extra_info["ablation"] = f"fold prechecks {prechecks}"
+
+    def test_prechecks_preserve_results(self, queries):
+        for query in queries:
+            assert fold(query, prechecks=True) == fold(query, prechecks=False)
+
+
+class TestGlbPruneAblation:
+    def test_pruned_glb_sets_stay_small(self, user_views):
+        """Antichain pruning keeps GLB results at most the input size."""
+        from repro.labeling.glb import glb_view_sets
+
+        for i, a in enumerate(user_views):
+            for b in user_views[i + 1 :]:
+                merged = glb_view_sets([a], [b])
+                assert len(merged) <= 1  # singletons meet in ≤ 1 view
+
+    def test_glb_many_on_full_vocabulary(self, benchmark, user_views):
+        from repro.labeling.glb import glb_many
+
+        def run():
+            return glb_many([[v] for v in user_views])
+
+        result = benchmark(run)
+        benchmark.extra_info["ablation"] = "glb_many over 16 User views"
+        assert isinstance(result, frozenset)

@@ -1,0 +1,85 @@
+"""A corporate BYOD scenario with a Chinese Wall policy (Sections 1, 3.4).
+
+The introduction motivates expressive policies with Bring-Your-Own-Device
+deployments: a consultant's device holds data about two rival client
+accounts, and compliance demands that no app ever sees both — a classic
+Chinese Wall [Brewer & Nash].  Cumulative tracking matters: each query
+may be innocuous on its own, and only the *sequence* violates the wall.
+
+Run:  python examples/corporate_byod.py
+"""
+
+from repro import (
+    Database,
+    EnforcedConnection,
+    PartitionPolicy,
+    QueryRefusedError,
+    Relation,
+    Schema,
+    SecurityViews,
+)
+
+# --- the device's corporate dataset ------------------------------------
+schema = Schema(
+    [
+        Relation("AcmeDeals", ["deal_id", "amount", "stage"]),
+        Relation("GlobexDeals", ["deal_id", "amount", "stage"]),
+        Relation("Calendar", ["slot", "client"]),
+    ]
+)
+database = Database(schema)
+database.insert("AcmeDeals", [(1, 500_000, "open"), (2, 120_000, "closed")])
+database.insert("GlobexDeals", [(7, 910_000, "open")])
+database.insert("Calendar", [(9, "Acme"), (11, "Globex")])
+
+# --- the vocabulary -----------------------------------------------------
+views = SecurityViews.from_definitions(
+    """
+    acme_all(d, a, s)   :- AcmeDeals(d, a, s)
+    acme_ids(d)         :- AcmeDeals(d, a, s)
+    globex_all(d, a, s) :- GlobexDeals(d, a, s)
+    globex_ids(d)       :- GlobexDeals(d, a, s)
+    busy_slots(t)       :- Calendar(t, c)
+    """
+)
+
+# --- the Chinese Wall: one client's data per app, calendar always ok ----
+policy = PartitionPolicy(
+    [
+        ["acme_all", "acme_ids", "busy_slots"],
+        ["globex_all", "globex_ids", "busy_slots"],
+    ],
+    views,
+)
+app = EnforcedConnection(database, views, policy)
+
+print("Chinese Wall: an app may work Acme's side or Globex's, never both.\n")
+
+# Free/busy works under either partition and commits to nothing.
+rows = app.execute("SELECT slot FROM Calendar").rows
+state = "".join("1" if b else "0" for b in app.monitor.live_partitions)
+print(f"calendar slots       -> {sorted(rows)}   live ⟨{state}⟩")
+
+# Reading Acme's pipeline commits the app to the Acme side of the wall.
+rows = app.execute("SELECT deal_id, amount FROM AcmeDeals").rows
+state = "".join("1" if b else "0" for b in app.monitor.live_partitions)
+print(f"Acme pipeline        -> {sorted(rows)}   live ⟨{state}⟩")
+
+# Even the *ids* of Globex deals are now off limits...
+try:
+    app.execute("SELECT deal_id FROM GlobexDeals")
+except QueryRefusedError as exc:
+    print(f"Globex deal ids      -> REFUSED ({exc.reason})")
+
+# ...while deeper Acme access remains fine.
+rows = app.execute("SELECT deal_id FROM AcmeDeals WHERE stage = 'open'").rows
+print(f"Acme open deals      -> {sorted(rows)}")
+
+print("\nA second app instance (fresh principal) can take the Globex side:")
+other = EnforcedConnection(database, views, policy)
+rows = other.execute("SELECT deal_id, amount FROM GlobexDeals").rows
+print(f"Globex pipeline      -> {sorted(rows)}")
+try:
+    other.execute("SELECT deal_id FROM AcmeDeals")
+except QueryRefusedError:
+    print("Acme pipeline        -> REFUSED (wall holds in the other direction)")

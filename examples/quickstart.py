@@ -1,0 +1,74 @@
+"""Quickstart: Alice's calendar (Figure 1 of the paper), end to end.
+
+Alice keeps meetings and contacts on her device (Figure 1a).  She defines
+three security views (Figure 1b) and a policy saying apps may only learn
+*when* she is busy — the view V2 — but not with whom.  The reference
+monitor labels every incoming query with the security views needed to
+answer it and enforces the policy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EnforcedConnection,
+    PartitionPolicy,
+    QueryRefusedError,
+    SecurityViews,
+    seed_figure1,
+)
+
+# --- Figure 1(b): Alice's security views -------------------------------
+views = SecurityViews.from_definitions(
+    """
+    V1(x, y)    :- Meetings(x, y)     # full meetings table
+    V2(x)       :- Meetings(x, y)     # meeting times only
+    V3(x, y, z) :- Contacts(x, y, z)  # full contacts table
+    """
+)
+
+# --- Figure 1(a): Alice's data, in SQLite ------------------------------
+database = seed_figure1()
+
+# --- Alice's policy: only V2 may be disclosed --------------------------
+policy = PartitionPolicy.stateless(["V2"], views)
+connection = EnforcedConnection(database, views, policy)
+
+print("Policy: apps may learn meeting times (V2) but nothing more.\n")
+
+# An app asks for Alice's free/busy slots: answerable from V2 alone.
+result = connection.execute("SELECT time FROM Meetings")
+print("SELECT time FROM Meetings          ->", sorted(result.rows))
+
+# Figure 1(c) Q1: when does Alice meet Cathy?  Needs V1 -> refused.
+try:
+    connection.execute("SELECT time FROM Meetings WHERE person = 'Cathy'")
+except QueryRefusedError as exc:
+    print("Q1 (meetings with Cathy)           -> REFUSED:", exc.reason)
+
+# Figure 1(c) Q2: when does Alice meet interns?  Needs V1 and V3.
+try:
+    connection.execute(
+        "SELECT m.time FROM Meetings m, Contacts c "
+        "WHERE m.person = c.person AND c.position = 'Intern'"
+    )
+except QueryRefusedError as exc:
+    print("Q2 (meetings with interns)         -> REFUSED:", exc.reason)
+
+# The labeler explains exactly what each query would disclose.
+print("\n--- labeling report for Q2 ---")
+print(
+    connection.explain(
+        "SELECT m.time FROM Meetings m, Contacts c "
+        "WHERE m.person = c.person AND c.position = 'Intern'"
+    )
+)
+
+# A more permissive Alice: grant V1 and V3, and Q2 goes through.
+generous = EnforcedConnection(
+    database, views, PartitionPolicy.stateless(["V1", "V3"], views)
+)
+result = generous.execute(
+    "SELECT m.time FROM Meetings m, Contacts c "
+    "WHERE m.person = c.person AND c.position = 'Intern'"
+)
+print("\nWith V1 and V3 granted, Q2 answers ->", sorted(result.rows))

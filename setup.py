@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file
+exists so that environments without the ``wheel`` package (which PEP 660
+editable installs require) can still install with
+``python setup.py develop``.
+"""
+from setuptools import setup
+
+setup()

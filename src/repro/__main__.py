@@ -1,0 +1,175 @@
+"""Command-line interface: label queries, audit docs, inspect lattices.
+
+Usage::
+
+    python -m repro label "SELECT time FROM Meetings" [--views FILE]
+    python -m repro label-fql "SELECT birthday FROM user WHERE uid = me()"
+    python -m repro audit
+    python -m repro lattice
+    python -m repro evaluate          # alias of python -m repro.harness
+
+``label`` parses the query against the Figure 1 calendar schema (or a
+custom datalog view file with its implied schema) and prints the
+labeling report; ``label-fql`` does the same for FQL over the Facebook
+schema; ``audit`` prints Table 2; ``lattice`` prints the Figure 3
+disclosure lattice and its DOT rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+FIGURE1_VIEWS = """
+V1(x, y)    :- Meetings(x, y)
+V2(x)       :- Meetings(x, y)
+V3(x, y, z) :- Contacts(x, y, z)
+"""
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    from repro.core.schema import example_schema
+    from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+    from repro.core.sqlparser import sql_to_query
+
+    if args.views:
+        with open(args.views) as handle:
+            definitions = handle.read()
+        views = SecurityViews.from_definitions(definitions)
+        from repro.core.schema import Relation, Schema
+
+        relations = {}
+        for name in views.names:
+            view = views.view(name)
+            relations.setdefault(
+                view.relation,
+                Relation(view.relation, [f"a{i}" for i in range(view.arity)]),
+            )
+        schema = Schema(relations.values())
+    else:
+        views = SecurityViews.from_definitions(FIGURE1_VIEWS)
+        schema = example_schema()
+
+    if args.query.lstrip().lower().startswith("select"):
+        query = sql_to_query(args.query, schema)
+    else:
+        from repro.core.parser import parse_query
+
+        query = parse_query(args.query)
+
+    labeler = ConjunctiveQueryLabeler(views)
+    label = labeler.label(query)
+    print(f"query: {query}")
+    for atom_label in label:
+        if atom_label.is_top:
+            print(f"  atom {atom_label.atom}: ⊤ (no view determines it)")
+        else:
+            print(
+                f"  atom {atom_label.atom}: "
+                f"{{{', '.join(sorted(atom_label.determiners))}}}"
+            )
+    if not label.is_top:
+        needed = label.required_alternatives(views)
+        rendered = " AND ".join(
+            "(" + " or ".join(sorted(a)) + ")" for a in needed
+        )
+        print(f"  required permissions: {rendered}")
+    return 0
+
+
+def _cmd_label_fql(args: argparse.Namespace) -> int:
+    from repro.facebook.fql import fql_to_query
+    from repro.facebook.permissions import facebook_security_views
+    from repro.facebook.schema import facebook_schema
+    from repro.labeling.cq_labeler import ConjunctiveQueryLabeler
+
+    schema = facebook_schema()
+    views = facebook_security_views(schema)
+    query = fql_to_query(args.query, args.me, schema)
+    labeler = ConjunctiveQueryLabeler(views)
+    label = labeler.label(query)
+    print(f"query: {query}")
+    for atom_label in label:
+        if atom_label.is_top:
+            print(f"  atom over {atom_label.atom.relation}: ⊤")
+        else:
+            print(
+                f"  atom over {atom_label.atom.relation}: "
+                f"{{{', '.join(sorted(atom_label.determiners))}}}"
+            )
+    return 0
+
+
+def _cmd_audit(_args: argparse.Namespace) -> int:
+    from repro.facebook.audit import audit_documentation
+
+    report = audit_documentation()
+    print(report.summary())
+    print()
+    print(report.render_table2())
+    return 0
+
+
+def _cmd_lattice(_args: argparse.Namespace) -> int:
+    from repro.core.tagged import TaggedAtom
+    from repro.order.disclosure_lattice import DisclosureLattice
+    from repro.order.disclosure_order import RewritingOrder
+    from repro.order.viz import to_dot
+
+    def pat(relation, *items):
+        return TaggedAtom.from_pattern(relation, list(items))
+
+    v1 = pat("Meetings", "x:d", "y:d")
+    v2 = pat("Meetings", "x:d", "y:e")
+    v4 = pat("Meetings", "x:e", "y:d")
+    v5 = pat("Meetings", "x:e", "y:e")
+    names = {v1: "V1", v2: "V2", v4: "V4", v5: "V5"}
+    lattice = DisclosureLattice.from_universe(RewritingOrder(), (v1, v2, v4, v5))
+    print(lattice.render(names))
+    print()
+    print(to_dot(lattice, names, title="Figure 3"))
+    return 0
+
+
+def _cmd_evaluate(_args: argparse.Namespace) -> int:
+    from repro.harness.__main__ import main as harness_main
+
+    return harness_main(["--quick"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fine-grained disclosure control for app ecosystems "
+        "(SIGMOD 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    label = sub.add_parser("label", help="label a SQL or datalog query")
+    label.add_argument("query")
+    label.add_argument(
+        "--views", help="datalog file of security views (default: Figure 1)"
+    )
+    label.set_defaults(func=_cmd_label)
+
+    fql = sub.add_parser("label-fql", help="label an FQL query")
+    fql.add_argument("query")
+    fql.add_argument("--me", type=int, default=1, help="caller's uid")
+    fql.set_defaults(func=_cmd_label_fql)
+
+    audit = sub.add_parser("audit", help="print the Table 2 audit")
+    audit.set_defaults(func=_cmd_audit)
+
+    lattice = sub.add_parser("lattice", help="print the Figure 3 lattice")
+    lattice.set_defaults(func=_cmd_lattice)
+
+    evaluate = sub.add_parser("evaluate", help="quick evaluation run")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

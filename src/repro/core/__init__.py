@@ -1,0 +1,71 @@
+"""Conjunctive-query machinery: the substrate of the disclosure labeler.
+
+Public surface:
+
+* terms, atoms, queries: :class:`Variable`, :class:`Constant`,
+  :class:`Atom`, :class:`ConjunctiveQuery`, :func:`make_query`
+* schemas: :class:`Relation`, :class:`Schema`
+* parsing: :func:`parse_query`, :func:`parse_views` (datalog) and
+  :func:`repro.core.sqlparser.sql_to_query` (SQL subset)
+* theory: :func:`find_homomorphism`, :func:`is_contained_in`,
+  :func:`are_equivalent`, :func:`fold`
+* Section 5 algorithms: :class:`TaggedAtom`, :func:`gen_mgu`,
+  :func:`is_rewritable`, :func:`rewrite_plan`, :func:`dissect`
+"""
+
+from repro.core.atoms import Atom
+from repro.core.dissect import dissect, dissect_all
+from repro.core.homomorphism import (
+    are_equivalent,
+    find_homomorphism,
+    is_contained_in,
+)
+from repro.core.minimize import fold, is_minimal
+from repro.core.parser import parse_query, parse_view, parse_views
+from repro.core.queries import ConjunctiveQuery, make_query
+from repro.core.rewriting import (
+    RewritePlan,
+    determining_views,
+    is_rewritable,
+    rewritable_from_set,
+    rewrite_plan,
+    view_set_leq,
+)
+from repro.core.schema import Relation, Schema, example_schema
+from repro.core.tagged import DISTINGUISHED, EXISTENTIAL, TaggedAtom, TaggedVar
+from repro.core.terms import Constant, FreshVariableFactory, Term, Variable
+from repro.core.unification import gen_mgu
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "DISTINGUISHED",
+    "EXISTENTIAL",
+    "FreshVariableFactory",
+    "Relation",
+    "RewritePlan",
+    "Schema",
+    "TaggedAtom",
+    "TaggedVar",
+    "Term",
+    "Variable",
+    "are_equivalent",
+    "determining_views",
+    "dissect",
+    "dissect_all",
+    "example_schema",
+    "find_homomorphism",
+    "fold",
+    "gen_mgu",
+    "is_contained_in",
+    "is_minimal",
+    "is_rewritable",
+    "make_query",
+    "parse_query",
+    "parse_view",
+    "parse_views",
+    "rewritable_from_set",
+    "rewrite_plan",
+    "view_set_leq",
+]

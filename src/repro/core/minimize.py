@@ -1,0 +1,113 @@
+"""Query folding: computing the core (minimal equivalent) of a query.
+
+The paper's Dissect algorithm "begins by computing a folding [9] of Q,
+which intuitively removes 'redundant' atoms from Q" (Section 5.2).  A
+folding (the *core*) is the unique-up-to-isomorphism minimal query
+equivalent to Q; it is obtained by repeatedly deleting body atoms whose
+deletion preserves equivalence.
+
+An atom ``a`` is deletable from ``Q`` precisely when there is a
+homomorphism from ``Q`` into ``Q`` minus ``a`` that fixes the head: the
+smaller query is always weaker (fewer constraints), and the homomorphism
+witnesses the reverse containment.  As in the paper's implementation, the
+search is brute force and exponential in the number of atoms in the worst
+case (Section 6.1, "Complexity Analysis").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.homomorphism import find_homomorphism
+from repro.core.queries import ConjunctiveQuery
+from repro.core.terms import is_variable
+
+
+def fold(query: ConjunctiveQuery, prechecks: bool = True) -> ConjunctiveQuery:
+    """Return the core of *query*: a minimal equivalent subquery.
+
+    The result's body is a subset of the input's body (no renaming is
+    applied), so head variables are untouched.  Deterministic: atoms are
+    considered for deletion in body order.
+
+    *prechecks* enables the cheap necessary-condition filters before each
+    homomorphism search; pass ``False`` only for the ablation benchmark.
+
+    >>> from repro.core.parser import parse_query
+    >>> q = parse_query("Q(x) :- M(x, y), M(x, z)")
+    >>> str(fold(q))
+    'Q(x) :- M(x, z)'
+    """
+    body: List = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        relation_counts: dict = {}
+        for atom in body:
+            relation_counts[atom.relation] = (
+                relation_counts.get(atom.relation, 0) + 1
+            )
+        head_vars = query.distinguished_variables()
+        for i in range(len(body)):
+            # Fast paths: the homomorphism must map atom i onto some other
+            # atom of the same relation, agreeing on constants and on head
+            # variables (which the homomorphism fixes).  Without such a
+            # partner atom, i is unremovable and the search can be skipped.
+            if prechecks:
+                if relation_counts[body[i].relation] < 2:
+                    continue
+                if not any(
+                    j != i and _compatible(body[i], body[j], head_vars)
+                    for j in range(len(body))
+                ):
+                    continue
+            candidate_body = body[:i] + body[i + 1 :]
+            if not _is_safe(query, candidate_body):
+                continue
+            candidate = query.with_body(candidate_body)
+            # candidate ⊒ query always; equivalence needs candidate ⊑ query,
+            # witnessed by a head-fixing homomorphism query -> candidate.
+            seed = {v: v for v in query.distinguished_variables()}
+            if (
+                find_homomorphism(query, candidate, seed=seed, require_head=False)
+                is not None
+            ):
+                body = candidate_body
+                changed = True
+                break
+    return query.with_body(body)
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Is *query* its own core (no atom deletable)?"""
+    return len(fold(query).body) == len(query.body)
+
+
+def _compatible(source, target, head_vars) -> bool:
+    """Could a head-fixing homomorphism send *source* onto *target*?
+
+    Necessary conditions only: same relation/arity, equal constants, and
+    identical head variables position by position (a homomorphism maps
+    constants and head variables to themselves).
+    """
+    if source.relation != target.relation or source.arity != target.arity:
+        return False
+    for s, t in zip(source.terms, target.terms):
+        if is_variable(s):
+            if s in head_vars and s != t:
+                return False
+        elif s != t:
+            return False
+    return True
+
+
+def _is_safe(query: ConjunctiveQuery, body: List) -> bool:
+    """Would *body* still contain every head variable of *query*?"""
+    if not body:
+        return False
+    remaining = set()
+    for atom in body:
+        remaining.update(atom.variable_set())
+    return all(
+        (not is_variable(t)) or t in remaining for t in query.head_terms
+    )

@@ -1,0 +1,199 @@
+"""Parser for datalog-style conjunctive queries and security views.
+
+Grammar (whitespace-insensitive)::
+
+    query    := head ":-" body
+    head     := NAME "(" termlist? ")"
+    body     := atom ("," atom | "∧" atom | "&&" atom)*
+    atom     := NAME "(" termlist? ")"
+    termlist := term ("," term)*
+    term     := NAME            (a variable, lowercase or not)
+              | "'" chars "'"   (a string constant)
+              | '"' chars '"'   (a string constant)
+              | number          (an int or float constant)
+              | "true"|"false"  (boolean constants)
+              | "null"          (the NULL constant)
+
+Names starting with a letter or underscore are variables in term position
+and relation names in atom position — the same convention as the paper,
+where ``Q1(x) :- Meetings(x, 'Cathy')`` has variable ``x`` and constant
+``'Cathy'``.
+
+>>> q = parse_query("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')")
+>>> str(q)
+"Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery
+from repro.core.terms import Constant, Term, Variable
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|<-)
+  | (?P<conj>∧|&&)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.value!r}, @{self.position})"
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r} at offset {pos}",
+                text=text,
+                position=pos,
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            yield _Token(kind, match.group(), pos)
+        pos = match.end()
+    yield _Token("eof", "", pos)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: List[_Token] = list(_tokenize(text))
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {self.current.value!r} "
+                f"at offset {self.current.position}",
+                text=self.text,
+                position=self.current.position,
+            )
+        return self.advance()
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "name":
+            self.advance()
+            lowered = token.value.lower()
+            if lowered == "true":
+                return Constant(True)
+            if lowered == "false":
+                return Constant(False)
+            if lowered == "null":
+                return Constant(None)
+            return Variable(token.value)
+        if token.kind == "string":
+            self.advance()
+            raw = token.value[1:-1]
+            return Constant(re.sub(r"\\(.)", r"\1", raw))
+        if token.kind == "number":
+            self.advance()
+            if "." in token.value:
+                return Constant(float(token.value))
+            return Constant(int(token.value))
+        raise ParseError(
+            f"expected a term but found {token.value!r} at offset {token.position}",
+            text=self.text,
+            position=token.position,
+        )
+
+    def parse_termlist(self) -> List[Term]:
+        self.expect("lpar")
+        terms: List[Term] = []
+        if self.current.kind != "rpar":
+            terms.append(self.parse_term())
+            while self.current.kind == "comma":
+                self.advance()
+                terms.append(self.parse_term())
+        self.expect("rpar")
+        return terms
+
+    def parse_atom(self) -> Tuple[str, List[Term]]:
+        name = self.expect("name").value
+        terms = self.parse_termlist()
+        return name, terms
+
+    def parse_query(self) -> ConjunctiveQuery:
+        head_name, head_terms = self.parse_atom()
+        self.expect("arrow")
+        body: List[Atom] = []
+        name, terms = self.parse_atom()
+        body.append(Atom(name, terms))
+        while self.current.kind in ("comma", "conj"):
+            self.advance()
+            name, terms = self.parse_atom()
+            body.append(Atom(name, terms))
+        self.expect("eof")
+        return ConjunctiveQuery(head_name, head_terms, body)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style conjunctive query string.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input and
+    :class:`~repro.errors.QueryError` for structurally invalid queries
+    (e.g. unsafe head variables).
+    """
+    return _Parser(text).parse_query()
+
+
+def parse_view(text: str) -> ConjunctiveQuery:
+    """Alias of :func:`parse_query`; views and queries share the syntax."""
+    return parse_query(text)
+
+
+def parse_views(text: str) -> "list[ConjunctiveQuery]":
+    """Parse multiple newline- or semicolon-separated view definitions.
+
+    Blank lines and ``#`` comments are ignored::
+
+        >>> vs = parse_views('''
+        ...     # Figure 1(b)
+        ...     V1(x, y) :- Meetings(x, y)
+        ...     V2(x)    :- Meetings(x, y)
+        ... ''')
+        >>> [v.head_name for v in vs]
+        ['V1', 'V2']
+    """
+    out = []
+    for chunk in re.split(r"[;\n]", text):
+        stripped = chunk.split("#", 1)[0].strip()
+        if stripped:
+            out.append(parse_query(stripped))
+    return out

@@ -1,0 +1,233 @@
+"""Equivalent view rewriting for single-atom views.
+
+This module decides the disclosure-order comparisons of Section 5: given
+two single-atom tagged views ``V`` (target) and ``V'`` (source), is there
+an equivalent rewriting of ``V`` in terms of ``V'``?  Writing ``⪯`` for
+the equivalent-view-rewriting order, this is the test ``{V} ⪯ {V'}``.
+
+Positional characterization
+---------------------------
+A single-atom view is a selection (constants + repeated variables) plus a
+projection (distinguished positions) over one relation.  Under set
+semantics, joining single-atom views of the same relation cannot
+reconstruct projected-away columns, so an equivalent rewriting of a
+single-atom view, when one exists, uses a *single* view atom.  ``V`` is
+rewritable in terms of ``V'`` (necessarily over the same relation) iff for
+every position ``i``:
+
+* ``V'`` has a **constant** ``c`` at ``i``  →  ``V`` has the same constant
+  at ``i`` (the source filters column ``i`` to ``c`` and then hides it, so
+  the target must apply the identical filter);
+* ``V'`` has an **existential** variable at ``i`` with occurrence class
+  ``K``  →  ``V`` has an existential variable at ``i`` whose occurrence
+  class is exactly ``K`` (the column is invisible through ``V'``: the
+  target may neither reveal it, constrain it with a constant, nor change
+  its intra-atom equalities);
+* ``V'`` has a **distinguished** variable at ``i`` with occurrence class
+  ``K``  →  all positions of ``K`` carry the *same* term in ``V`` (the
+  source outputs the class as one column; the target may freely select on
+  it, equate it with other visible columns, project it or not).
+
+Sufficiency is witnessed by an explicit :class:`RewritePlan` — a
+select/project program over the source view's output — which
+:func:`repro.storage` uses to *execute* rewritings, and which the test
+suite validates semantically against random databases.
+
+The relation "every element of ``W1`` is rewritable in terms of some
+element of ``W2``" is reflexive, transitive, and satisfies Definition 3.1,
+i.e. it is a disclosure order (see :mod:`repro.order.disclosure_order`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.tagged import TaggedAtom, TaggedVar
+from repro.core.terms import Constant
+
+
+class RewritePlan:
+    """A select/project program computing a target view from a source view.
+
+    The source view's output columns are its distinguished classes in
+    normalized order (the column order of
+    :meth:`~repro.core.tagged.TaggedAtom.to_query`).  The plan is::
+
+        output = DISTINCT π_projection ( σ_filters (source_output) )
+
+    Attributes
+    ----------
+    source, target:
+        The tagged views this plan connects.
+    constant_filters:
+        ``(source_column, constant)`` pairs: keep rows where the column
+        equals the constant.
+    equality_filters:
+        Tuples of source columns that must be pairwise equal.
+    projection:
+        For each output column of the *target* (its distinguished classes
+        in normalized order), the source column it is read from.
+    """
+
+    __slots__ = (
+        "source",
+        "target",
+        "constant_filters",
+        "equality_filters",
+        "projection",
+    )
+
+    def __init__(
+        self,
+        source: TaggedAtom,
+        target: TaggedAtom,
+        constant_filters: Sequence[Tuple[int, Constant]],
+        equality_filters: Sequence[Tuple[int, ...]],
+        projection: Sequence[int],
+    ):
+        self.source = source
+        self.target = target
+        self.constant_filters = tuple(constant_filters)
+        self.equality_filters = tuple(equality_filters)
+        self.projection = tuple(projection)
+
+    def evaluate(self, source_rows: Iterable[Tuple]) -> "frozenset[tuple]":
+        """Apply the plan to the source view's answer (a set of tuples)."""
+        out = set()
+        for row in source_rows:
+            if any(row[col] != const.value for col, const in self.constant_filters):
+                continue
+            if any(
+                len({row[c] for c in cols}) != 1 for cols in self.equality_filters
+            ):
+                continue
+            out.add(tuple(row[col] for col in self.projection))
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"RewritePlan(target={self.target}, source={self.source}, "
+            f"const={list(self.constant_filters)}, eq={list(self.equality_filters)}, "
+            f"project={list(self.projection)})"
+        )
+
+
+def rewrite_plan(target: TaggedAtom, source: TaggedAtom) -> Optional[RewritePlan]:
+    """Return a plan computing *target* from *source*, or ``None``.
+
+    ``None`` means *target* is **not** equivalently rewritable in terms of
+    *source* (the positional characterization in the module docstring
+    fails).
+    """
+    if target.relation != source.relation or target.arity != source.arity:
+        return None
+
+    arity = source.arity
+
+    # Source output columns: distinguished class index by position.
+    source_col_at: Dict[int, int] = {}
+    for col, positions in enumerate(source.distinguished_classes()):
+        for pos in positions:
+            source_col_at[pos] = col
+
+    target_classes = target.variable_classes()
+
+    # --- check the three positional conditions -----------------------
+    for i in range(arity):
+        s_entry = source.entries[i]
+        t_entry = target.entries[i]
+        if isinstance(s_entry, Constant):
+            if not (isinstance(t_entry, Constant) and t_entry == s_entry):
+                return None
+        elif s_entry.is_existential:
+            if not isinstance(t_entry, TaggedVar) or not t_entry.is_existential:
+                return None
+            source_class = _class_of(source, i)
+            target_class = target_classes[t_entry.index]
+            if tuple(source_class) != tuple(target_class):
+                return None
+        else:  # distinguished source variable: class must be constant in target
+            source_class = _class_of(source, i)
+            first_term = target.entries[source_class[0]]
+            if any(target.entries[j] != first_term for j in source_class[1:]):
+                return None
+
+    # --- build the plan ----------------------------------------------
+    constant_filters: List[Tuple[int, Constant]] = []
+    equality_filters: List[Tuple[int, ...]] = []
+
+    # Constants of the target sitting on visible source columns.
+    seen_const_cols = set()
+    for pos, const in target.constant_positions():
+        col = source_col_at.get(pos)
+        if col is not None and col not in seen_const_cols:
+            seen_const_cols.add(col)
+            constant_filters.append((col, const))
+
+    # Target variables spanning several visible source columns.
+    for positions in sorted(target_classes.values()):
+        cols = sorted({source_col_at[p] for p in positions if p in source_col_at})
+        if len(cols) > 1:
+            equality_filters.append(tuple(cols))
+
+    # Projection: one source column per target distinguished class.
+    projection: List[int] = []
+    for positions in target.distinguished_classes():
+        visible = [p for p in positions if p in source_col_at]
+        # A distinguished target variable always sits on visible columns:
+        # at source-existential positions the target variable is
+        # existential, and source-constant positions hold constants.
+        assert visible, "distinguished target variable on invisible column"
+        projection.append(source_col_at[visible[0]])
+
+    return RewritePlan(source, target, constant_filters, equality_filters, projection)
+
+
+def is_rewritable(target: TaggedAtom, source: TaggedAtom) -> bool:
+    """Is *target* equivalently rewritable in terms of *source* alone?"""
+    return rewrite_plan(target, source) is not None
+
+
+def rewritable_from_set(
+    target: TaggedAtom, sources: Iterable[TaggedAtom]
+) -> Optional[TaggedAtom]:
+    """First source in *sources* that rewrites *target*, else ``None``.
+
+    This implements the single-view test ``{target} ⪯ sources`` used by
+    the disclosure order (see the module docstring for why a single view
+    atom suffices for single-atom targets).
+    """
+    for source in sources:
+        if is_rewritable(target, source):
+            return source
+    return None
+
+
+def view_set_leq(
+    w1: Iterable[TaggedAtom], w2: "frozenset[TaggedAtom] | set[TaggedAtom] | tuple"
+) -> bool:
+    """The disclosure-order comparison ``W1 ⪯ W2`` on sets of tagged views.
+
+    True iff every view in *w1* has an equivalent rewriting in terms of
+    the views in *w2*.
+    """
+    sources = tuple(w2)
+    return all(rewritable_from_set(v, sources) is not None for v in w1)
+
+
+def determining_views(
+    target: TaggedAtom, sources: Iterable[TaggedAtom]
+) -> FrozenSet[TaggedAtom]:
+    """All of *sources* that individually rewrite *target*.
+
+    This is the ``ℓ+`` computation of Section 6.1: "the set of all
+    security views that uniquely determine the answer to V".
+    """
+    return frozenset(s for s in sources if is_rewritable(target, s))
+
+
+def _class_of(atom: TaggedAtom, position: int) -> Tuple[int, ...]:
+    """Occurrence class of the variable at *position* of *atom*."""
+    entry = atom.entries[position]
+    assert isinstance(entry, TaggedVar)
+    return atom.variable_classes()[entry.index]

@@ -1,0 +1,144 @@
+"""Database schemas: relations with named attributes.
+
+The paper's running example (Figure 1) uses the schema::
+
+    Meetings(time, person)
+    Contacts(person, email, position)
+
+and the evaluation (Section 7.2) uses an eight-relation schema modeled on
+the Facebook API, whose largest relation ``User`` has 34 attributes.
+
+A :class:`Relation` gives each attribute position a name so that SQL
+queries (which reference columns by name) and datalog queries (which are
+positional) can be translated into one another.  A :class:`Schema` is an
+ordered collection of relations; relation lookup is case-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+class Relation:
+    """A relation symbol with a fixed, named attribute list.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"Meetings"``.
+    attributes:
+        Ordered attribute names.  Must be non-empty and duplicate-free.
+    """
+
+    __slots__ = ("name", "attributes", "_attr_index")
+
+    def __init__(self, name: str, attributes: Iterable[str]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes")
+        self.name = name
+        self.attributes: Tuple[str, ...] = attrs
+        self._attr_index: Dict[str, int] = {a: i for i, a in enumerate(attrs)}
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Return the 0-based position of *attribute*.
+
+        Raises :class:`~repro.errors.SchemaError` if unknown.
+        """
+        try:
+            return self._attr_index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {list(self.attributes)}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Return ``True`` iff *attribute* is an attribute of this relation."""
+        return attribute in self._attr_index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {list(self.attributes)!r})"
+
+
+class Schema:
+    """An ordered, name-indexed collection of :class:`Relation` objects."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: Dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: Relation) -> None:
+        """Add *relation*; raises :class:`SchemaError` on a name clash."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name; raises :class:`SchemaError` if absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; known relations: {sorted(self._relations)}"
+            ) from None
+
+    def get(self, name: str) -> Optional[Relation]:
+        """Look up a relation by name, returning ``None`` if absent."""
+        return self._relations.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in insertion order."""
+        return tuple(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._relations.values())!r})"
+
+
+def example_schema() -> Schema:
+    """The calendar/contacts schema from Figure 1 of the paper.
+
+    >>> s = example_schema()
+    >>> s.relation("Meetings").attributes
+    ('time', 'person')
+    >>> s.relation("Contacts").arity
+    3
+    """
+    return Schema(
+        [
+            Relation("Meetings", ["time", "person"]),
+            Relation("Contacts", ["person", "email", "position"]),
+        ]
+    )

@@ -1,0 +1,423 @@
+"""SQL front end: translate a conjunctive SQL subset into a query.
+
+Apps in real ecosystems speak SQL (Facebook's FQL was "a SQL-style
+interface to query the data exposed by the Graph API").  This module
+translates the conjunctive fragment of SQL into
+:class:`~repro.core.queries.ConjunctiveQuery` so that app queries can be
+labeled and policed.
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT <cols | *> FROM <tables> [WHERE <conjunction>]
+
+    cols        := col ("," col)*
+    col         := [alias "."] name
+    tables      := table ([AS] alias)? ("," table | JOIN table ON cond)*
+    conjunction := cond (AND cond)*
+    cond        := col "=" (col | literal)
+
+Everything outside this fragment — ``OR``, ``NOT``, ``<``, ``LIKE``,
+aggregates, ``GROUP BY``, subqueries, ``SELECT DISTINCT`` (redundant: CQs
+have set semantics) — raises
+:class:`~repro.errors.UnsupportedQueryError`, because the disclosure
+labeler of the paper is defined for conjunctive queries (Section 2.3).
+
+>>> from repro.core.schema import example_schema
+>>> q = sql_to_query(
+...     "SELECT m.time FROM Meetings m, Contacts c "
+...     "WHERE m.person = c.person AND c.position = 'Intern'",
+...     example_schema())
+>>> str(q)
+"Q(time) :- Meetings(time, person) ∧ Contacts(person, email, 'Intern')"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.terms import Constant, FreshVariableFactory, Term, Variable
+from repro.errors import ParseError, UnsupportedQueryError
+
+_SQL_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<star>\*)
+  | (?P<dot>\.)
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<op><>|!=|<=|>=|<|>)
+  | (?P<semi>;)
+    """,
+    re.VERBOSE,
+)
+
+_UNSUPPORTED_KEYWORDS = {
+    "or": "OR disjunction",
+    "not": "NOT negation",
+    "union": "UNION",
+    "group": "GROUP BY",
+    "having": "HAVING",
+    "order": "ORDER BY",
+    "limit": "LIMIT",
+    "count": "aggregates",
+    "sum": "aggregates",
+    "avg": "aggregates",
+    "min": "aggregates",
+    "max": "aggregates",
+    "exists": "subqueries",
+    "in": "IN predicates",
+    "like": "LIKE predicates",
+    "left": "outer joins",
+    "right": "outer joins",
+    "outer": "outer joins",
+    "distinct": "DISTINCT (conjunctive queries already have set semantics)",
+}
+
+
+class _SqlToken:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+
+def _sql_tokenize(text: str) -> List[_SqlToken]:
+    tokens: List[_SqlToken] = []
+    pos = 0
+    while pos < len(text):
+        match = _SQL_TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r} in SQL at offset {pos}",
+                text=text,
+                position=pos,
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_SqlToken(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_SqlToken("eof", "", pos))
+    return tokens
+
+
+#: A column reference: (alias or None, column name).
+_ColRef = Tuple[Optional[str], str]
+
+
+class _SqlParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _sql_tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> _SqlToken:
+        return self.tokens[self.index]
+
+    def advance(self) -> _SqlToken:
+        token = self.current
+        self.index += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(
+            f"{message} at offset {self.current.position}",
+            text=self.text,
+            position=self.current.position,
+        )
+
+    def keyword(self) -> str:
+        """Lowercased keyword at the cursor, or '' if not a name."""
+        return self.current.value.lower() if self.current.kind == "name" else ""
+
+    def expect_keyword(self, word: str) -> None:
+        if self.keyword() != word:
+            raise self.error(f"expected {word.upper()}")
+        self.advance()
+
+    def check_supported(self) -> None:
+        reason = _UNSUPPORTED_KEYWORDS.get(self.keyword())
+        if reason is not None:
+            raise UnsupportedQueryError(
+                f"{reason} is outside the conjunctive-query fragment "
+                f"supported by the disclosure labeler",
+                text=self.text,
+                position=self.current.position,
+            )
+        if self.current.kind == "op":
+            raise UnsupportedQueryError(
+                f"comparison operator {self.current.value!r} is outside the "
+                "conjunctive-query fragment (only equality is conjunctive)",
+                text=self.text,
+                position=self.current.position,
+            )
+
+    # -- grammar -------------------------------------------------------
+    def parse_colref(self) -> _ColRef:
+        if self.current.kind != "name":
+            raise self.error("expected a column reference")
+        first = self.advance().value
+        if self.current.kind == "dot":
+            self.advance()
+            if self.current.kind == "name":
+                return (first, self.advance().value)
+            raise self.error("expected a column name after '.'")
+        return (None, first)
+
+    def parse_select_list(self) -> "Optional[List[_ColRef]]":
+        """Return column refs, or ``None`` for ``SELECT *``."""
+        if self.current.kind == "star":
+            self.advance()
+            return None
+        self.check_supported()
+        cols = [self.parse_colref()]
+        while self.current.kind == "comma":
+            self.advance()
+            self.check_supported()
+            cols.append(self.parse_colref())
+        return cols
+
+    def parse_table_item(self) -> Tuple[str, str]:
+        """Parse ``table [AS] [alias]``; returns (table, alias)."""
+        self.check_supported()
+        if self.current.kind != "name":
+            raise self.error("expected a table name")
+        table = self.advance().value
+        alias = table
+        if self.keyword() == "as":
+            self.advance()
+            if self.current.kind != "name":
+                raise self.error("expected an alias after AS")
+            alias = self.advance().value
+        elif self.current.kind == "name" and self.keyword() not in (
+            "where",
+            "join",
+            "inner",
+            "on",
+            "",
+        ) and self.keyword() not in _UNSUPPORTED_KEYWORDS:
+            alias = self.advance().value
+        return table, alias
+
+    def parse(self, schema: Schema, head_name: str) -> ConjunctiveQuery:
+        self.expect_keyword("select")
+        select_cols = self.parse_select_list()
+        self.expect_keyword("from")
+
+        tables: List[Tuple[str, str]] = [self.parse_table_item()]
+        conditions: List[Tuple[_ColRef, Union[_ColRef, Constant]]] = []
+
+        while True:
+            if self.current.kind == "comma":
+                self.advance()
+                tables.append(self.parse_table_item())
+            elif self.keyword() in ("join", "inner"):
+                if self.keyword() == "inner":
+                    self.advance()
+                self.expect_keyword("join")
+                tables.append(self.parse_table_item())
+                self.expect_keyword("on")
+                conditions.append(self.parse_condition())
+                while self.keyword() == "and":
+                    self.advance()
+                    conditions.append(self.parse_condition())
+            else:
+                break
+
+        if self.keyword() == "where":
+            self.advance()
+            conditions.append(self.parse_condition())
+            while self.keyword() == "and":
+                self.advance()
+                conditions.append(self.parse_condition())
+
+        if self.current.kind == "semi":
+            self.advance()
+        self.check_supported()
+        if self.current.kind != "eof":
+            raise self.error(f"unexpected trailing input {self.current.value!r}")
+
+        return _build_query(
+            self.text, schema, head_name, select_cols, tables, conditions
+        )
+
+    def parse_condition(self) -> Tuple[_ColRef, Union[_ColRef, Constant]]:
+        self.check_supported()
+        left = self.parse_colref()
+        self.check_supported()
+        if self.current.kind != "eq":
+            raise self.error("expected '=' (only equality conditions are conjunctive)")
+        self.advance()
+        self.check_supported()
+        if self.current.kind == "string":
+            raw = self.advance().value[1:-1].replace("''", "'")
+            return left, Constant(raw)
+        if self.current.kind == "number":
+            value = self.advance().value
+            return left, Constant(float(value) if "." in value else int(value))
+        if self.current.kind == "name":
+            lowered = self.keyword()
+            if lowered == "true":
+                self.advance()
+                return left, Constant(True)
+            if lowered == "false":
+                self.advance()
+                return left, Constant(False)
+            if lowered == "null":
+                self.advance()
+                return left, Constant(None)
+            return left, self.parse_colref()
+        raise self.error("expected a column or literal after '='")
+
+
+def _build_query(
+    text: str,
+    schema: Schema,
+    head_name: str,
+    select_cols: "Optional[List[_ColRef]]",
+    tables: List[Tuple[str, str]],
+    conditions: List[Tuple[_ColRef, Union[_ColRef, Constant]]],
+) -> ConjunctiveQuery:
+    """Assemble the conjunctive query from parsed SQL pieces."""
+    alias_to_relation: Dict[str, str] = {}
+    for table, alias in tables:
+        if alias in alias_to_relation:
+            raise ParseError(f"duplicate table alias {alias!r}", text=text)
+        schema.relation(table)  # validates existence
+        alias_to_relation[alias] = table
+
+    def resolve(col: _ColRef) -> Tuple[str, int]:
+        """Resolve a column ref to (alias, position)."""
+        alias, name = col
+        if alias is not None:
+            if alias not in alias_to_relation:
+                raise ParseError(f"unknown table alias {alias!r}", text=text)
+            rel = schema.relation(alias_to_relation[alias])
+            return alias, rel.position_of(name)
+        matches = [
+            a
+            for a, t in alias_to_relation.items()
+            if schema.relation(t).has_attribute(name)
+        ]
+        if not matches:
+            raise ParseError(f"unknown column {name!r}", text=text)
+        if len(matches) > 1:
+            raise ParseError(
+                f"ambiguous column {name!r} (in {sorted(matches)})", text=text
+            )
+        rel = schema.relation(alias_to_relation[matches[0]])
+        return matches[0], rel.position_of(name)
+
+    # One variable per (alias, position) cell, unified by equality
+    # conditions via union-find; constants override.
+    cell_terms: Dict[Tuple[str, int], Term] = {}
+    fresh = FreshVariableFactory()
+
+    parent: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    def find(cell: Tuple[str, int]) -> Tuple[str, int]:
+        parent.setdefault(cell, cell)
+        root = cell
+        while parent[root] != root:
+            root = parent[root]
+        while parent[cell] != root:
+            parent[cell], cell = root, parent[cell]
+        return root
+
+    def union(a: Tuple[str, int], b: Tuple[str, int]) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    constants: Dict[Tuple[str, int], Constant] = {}
+    for left, right in conditions:
+        lcell = resolve(left)
+        find(lcell)
+        if isinstance(right, Constant):
+            constants[find(lcell)] = _merge_constant(
+                text, constants.get(find(lcell)), right
+            )
+        else:
+            rcell = resolve(right)
+            lroot, rroot = find(lcell), find(rcell)
+            merged = _merge_constant(
+                text, constants.pop(lroot, None), constants.pop(rroot, None)
+            )
+            union(lcell, rcell)
+            if merged is not None:
+                constants[find(lcell)] = merged
+
+    def term_for(cell: Tuple[str, int]) -> Term:
+        root = find(cell)
+        const = constants.get(root)
+        if const is not None:
+            return const
+        if root not in cell_terms:
+            alias, pos = root
+            rel = schema.relation(alias_to_relation[alias])
+            name = rel.attributes[pos]
+            base = name if name not in _used_names else None
+            if base is not None:
+                _used_names.add(base)
+                cell_terms[root] = Variable(base)
+            else:
+                cell_terms[root] = fresh()
+        return cell_terms[root]
+
+    _used_names: set = set()
+
+    body: List[Atom] = []
+    for table, alias in tables:
+        rel = schema.relation(table)
+        body.append(Atom(table, [term_for((alias, i)) for i in range(rel.arity)]))
+
+    if select_cols is None:  # SELECT *
+        head_cells = [
+            (alias, i)
+            for table, alias in tables
+            for i in range(schema.relation(table).arity)
+        ]
+    else:
+        head_cells = [resolve(col) for col in select_cols]
+
+    head_terms = [term_for(cell) for cell in head_cells]
+    return ConjunctiveQuery(head_name, head_terms, body)
+
+
+def _merge_constant(
+    text: str, a: Optional[Constant], b: Optional[Constant]
+) -> Optional[Constant]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a != b:
+        raise UnsupportedQueryError(
+            f"contradictory equality constants {a} and {b} make the query "
+            "unsatisfiable; unsatisfiable queries are not labeled",
+            text=text,
+        )
+    return a
+
+
+def sql_to_query(
+    sql: str, schema: Schema, head_name: str = "Q"
+) -> ConjunctiveQuery:
+    """Translate conjunctive SQL into a :class:`ConjunctiveQuery`.
+
+    Raises :class:`~repro.errors.ParseError` for malformed SQL and
+    :class:`~repro.errors.UnsupportedQueryError` for SQL outside the
+    conjunctive fragment.
+    """
+    return _SqlParser(sql).parse(schema, head_name)

@@ -1,0 +1,155 @@
+"""Generalized most-general unification (GenMGU) of tagged atoms.
+
+Section 5.1 of the paper computes the greatest lower bound of two
+single-atom security views via a *generalized* mgu of their bodies, which
+differs from the textbook mgu [6] in three ways:
+
+1. unifying a **constant with an existential variable fails** (Example
+   5.1: no single-atom query is computable from both ``V13() :- M(9,'Jim')``
+   and ``V14() :- M(x, y)``);
+2. unifying an **existential** variable with any variable yields an
+   **existential** variable (the overlap of a hidden column with anything
+   is hidden);
+3. unifying two **distinguished** variables yields a **distinguished**
+   variable (Example 5.2: the GenMGU of ``[C(xd, yd, ze)]`` and
+   ``[C(xd, ye, zd)]`` is ``[C(xd, ye, ze)]``, the projection on the first
+   attribute).
+
+After unification an extra check rules out corner cases (Example 5.3): if
+unification forces a *new* equality between two positions of the same
+original atom and at least one of the two original terms was an
+existential variable, the result is ⊥ (no overlap).
+
+The implementation is a union–find over the positions of the two atoms.
+Tag resolution per merged class: any constant wins (failing if the class
+also contains an existential variable or a second, different constant);
+otherwise existential beats distinguished.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.tagged import DISTINGUISHED, EXISTENTIAL, Entry, TaggedAtom, TaggedVar
+from repro.core.terms import Constant
+
+
+class _UnionFind:
+    """Union–find over integer nodes with path compression."""
+
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, node: int) -> int:
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def gen_mgu(left: TaggedAtom, right: TaggedAtom) -> Optional[TaggedAtom]:
+    """Compute the GenMGU of two tagged atoms, or ``None`` for ⊥.
+
+    Returns ``None`` when the atoms are over different relations or
+    arities, when unification fails (constant/constant clash or
+    constant/existential clash), or when the Example 5.3 post-check
+    detects a forced new intra-atom equality involving an existential.
+
+    The result is a normalized :class:`TaggedAtom` representing the
+    information overlap of the two views.
+    """
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+
+    arity = left.arity
+    # Nodes 0..arity-1 are positions of `left`; arity..2*arity-1 of `right`.
+    uf = _UnionFind(2 * arity)
+
+    # Variables within one atom link their own occurrences.
+    for atom, offset in ((left, 0), (right, arity)):
+        for positions in atom.variable_classes().values():
+            first = positions[0] + offset
+            for pos in positions[1:]:
+                uf.union(first, pos + offset)
+    # Positional unification links the two atoms.
+    for i in range(arity):
+        uf.union(i, i + arity)
+
+    # Resolve each class to a constant or a tag.
+    entry_at: Dict[int, Entry] = {}
+    for atom, offset in ((left, 0), (right, arity)):
+        for i, entry in enumerate(atom.entries):
+            entry_at[i + offset] = entry
+
+    class_members: Dict[int, List[int]] = {}
+    for node in range(2 * arity):
+        class_members.setdefault(uf.find(node), []).append(node)
+
+    resolved: Dict[int, Entry] = {}
+    for root, members in class_members.items():
+        constants = []
+        has_existential = False
+        has_distinguished = False
+        for node in members:
+            entry = entry_at[node]
+            if isinstance(entry, Constant):
+                constants.append(entry)
+            elif entry.tag == EXISTENTIAL:
+                has_existential = True
+            else:
+                has_distinguished = True
+        if constants:
+            first = constants[0]
+            if any(c != first for c in constants[1:]):
+                return None  # two distinct constants
+            if has_existential:
+                return None  # Example 5.1: constant vs existential fails
+            resolved[root] = first
+        elif has_existential:
+            resolved[root] = TaggedVar(EXISTENTIAL, 0)  # index fixed below
+        else:
+            assert has_distinguished
+            resolved[root] = TaggedVar(DISTINGUISHED, 0)
+
+    # Example 5.3 post-check: a *new* intra-atom equality involving an
+    # existential variable (or a variable newly forced to a constant it
+    # did not already equal — covered above for existentials; for
+    # distinguished variables a forced constant is legitimate selection).
+    for atom, offset in ((left, 0), (right, arity)):
+        for i in range(arity):
+            for j in range(i + 1, arity):
+                if atom.entries[i] == atom.entries[j]:
+                    continue  # equality already present in the original
+                if uf.find(i + offset) != uf.find(j + offset):
+                    continue  # not forced together
+                if _is_existential(atom.entries[i]) or _is_existential(
+                    atom.entries[j]
+                ):
+                    return None
+
+    # Build the result entry list, one entry per position.
+    out: List[Entry] = []
+    index_for_root: Dict[int, int] = {}
+    next_index = 0
+    for i in range(arity):
+        root = uf.find(i)
+        entry = resolved[root]
+        if isinstance(entry, Constant):
+            out.append(entry)
+        else:
+            if root not in index_for_root:
+                index_for_root[root] = next_index
+                next_index += 1
+            out.append(TaggedVar(entry.tag, index_for_root[root]))
+    return TaggedAtom(left.relation, out)
+
+
+def _is_existential(entry: Entry) -> bool:
+    return isinstance(entry, TaggedVar) and entry.tag == EXISTENTIAL

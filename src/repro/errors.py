@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors, schema violations, policy
+refusals, and internal invariant breaks.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or arity does not match the schema."""
+
+
+class ParseError(ReproError):
+    """A datalog or SQL string could not be parsed into a conjunctive query.
+
+    Attributes
+    ----------
+    text:
+        The input that failed to parse.
+    position:
+        Character offset of the failure, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class UnsupportedQueryError(ParseError):
+    """The query parsed, but uses features outside conjunctive queries.
+
+    Raised, for example, for SQL with ``OR``, ``NOT``, aggregates,
+    subqueries, or non-equality predicates.  The disclosure labeler of the
+    paper is defined for conjunctive queries only (Section 2.3).
+    """
+
+
+class QueryError(ReproError):
+    """A structurally invalid conjunctive query (e.g. unsafe head variable)."""
+
+
+class UnificationError(ReproError):
+    """Two atoms could not be unified (used internally by GenMGU)."""
+
+
+class LabelingError(ReproError):
+    """A labeling operation failed, e.g. a set ``F`` does not induce a labeler."""
+
+
+class PolicyError(ReproError):
+    """A security policy is malformed (e.g. not internally consistent)."""
+
+
+class QueryRefusedError(ReproError):
+    """The reference monitor refused a query under the active policy.
+
+    Attributes
+    ----------
+    query:
+        The refused query (any representation accepted by the monitor).
+    reason:
+        Human-readable explanation of the refusal.
+    """
+
+    def __init__(self, query: object, reason: str = "query refused by security policy"):
+        super().__init__(reason)
+        self.query = query
+        self.reason = reason
+
+
+class StorageError(ReproError):
+    """A failure in the SQLite-backed storage substrate."""

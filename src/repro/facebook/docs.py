@@ -1,0 +1,271 @@
+"""Snapshot of Facebook's 2013 developer documentation (Section 7.1).
+
+The paper reviewed "42 different views over the User table accessible
+through both APIs" (FQL and the Graph API) and compared the permissions
+each API's documentation required.  The production APIs and their 2013
+documentation no longer exist, so this module embeds the documented
+labels as data: one :class:`DocumentedView` per view, carrying the FQL
+label, the Graph API label, and — for the six views where the paper found
+discrepancies — which API's documentation turned out to be correct when
+the authors issued live queries (Table 2's last column).
+
+The label algebra mirrors the paper's Table 2 vocabulary:
+
+* ``NONE`` — "no permissions are required";
+* ``ANY``  — "any nonempty set of permissions";
+* :func:`perms` — a disjunction of named permissions
+  ("user_relationships or friends_relationships");
+* :func:`conditional` — a side-condition the Graph API documentation
+  attached ("Available only for the current user").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+
+class PermissionLabel:
+    """A documented permission requirement for one API view."""
+
+    __slots__ = ("kind", "alternatives", "condition")
+
+    #: No permissions required.
+    KIND_NONE = "none"
+    #: Any nonempty permission set suffices.
+    KIND_ANY = "any"
+    #: One of a set of named permissions is required.
+    KIND_PERMS = "perms"
+
+    def __init__(
+        self,
+        kind: str,
+        alternatives: FrozenSet[str] = frozenset(),
+        condition: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.alternatives = alternatives
+        self.condition = condition
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PermissionLabel)
+            and self.kind == other.kind
+            and self.alternatives == other.alternatives
+            and self.condition == other.condition
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.alternatives, self.condition))
+
+    def __str__(self) -> str:
+        if self.kind == self.KIND_NONE:
+            base = "none"
+        elif self.kind == self.KIND_ANY:
+            base = "any"
+        else:
+            base = " or ".join(sorted(self.alternatives))
+        if self.condition:
+            return f"{base}; {self.condition}"
+        return base
+
+    def __repr__(self) -> str:
+        return f"PermissionLabel({str(self)!r})"
+
+
+NONE = PermissionLabel(PermissionLabel.KIND_NONE)
+ANY = PermissionLabel(PermissionLabel.KIND_ANY)
+
+
+def perms(*names: str, condition: Optional[str] = None) -> PermissionLabel:
+    """A disjunction of named permissions, e.g. ``perms('user_likes',
+    'friends_likes')``."""
+    return PermissionLabel(
+        PermissionLabel.KIND_PERMS, frozenset(names), condition
+    )
+
+
+def conditional(base: PermissionLabel, condition: str) -> PermissionLabel:
+    """Attach a documentation side-condition to a label."""
+    return PermissionLabel(base.kind, base.alternatives, condition)
+
+
+class DocumentedView:
+    """One of the 42 User-table views accessible through both APIs."""
+
+    __slots__ = (
+        "fql_name",
+        "graph_name",
+        "column",
+        "fql_label",
+        "graph_label",
+        "correct_source",
+    )
+
+    def __init__(
+        self,
+        fql_name: str,
+        column: str,
+        fql_label: PermissionLabel,
+        graph_label: PermissionLabel,
+        graph_name: Optional[str] = None,
+        correct_source: Optional[str] = None,
+    ):
+        self.fql_name = fql_name
+        self.graph_name = graph_name or fql_name
+        #: The schema column of :func:`repro.facebook.schema.facebook_schema`
+        #: this view projects (pic variants all map to ``pic``).
+        self.column = column
+        self.fql_label = fql_label
+        self.graph_label = graph_label
+        #: For inconsistent rows: which documentation was right ("FQL" or
+        #: "Graph API"), established by the paper's live queries.
+        self.correct_source = correct_source
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.fql_label == self.graph_label
+
+    @property
+    def correct_label(self) -> PermissionLabel:
+        if self.is_consistent or self.correct_source is None:
+            return self.fql_label
+        return self.fql_label if self.correct_source == "FQL" else self.graph_label
+
+    def __repr__(self) -> str:
+        return f"DocumentedView({self.fql_name!r})"
+
+
+def _pair(group: str) -> PermissionLabel:
+    return perms(f"user_{group}", f"friends_{group}")
+
+
+#: The 42 documented views.  The six Table 2 discrepancies appear exactly
+#: as printed in the paper; the remaining 36 are consistent across APIs.
+DOCUMENTED_VIEWS: Tuple[DocumentedView, ...] = (
+    # ---- Table 2: the six inconsistent views -------------------------
+    DocumentedView(
+        "pic",
+        "pic",
+        fql_label=NONE,
+        graph_label=conditional(
+            ANY,
+            "for pages with whitelisting/targeting restrictions, otherwise none",
+        ),
+        graph_name="picture",
+        correct_source="FQL",
+    ),
+    DocumentedView(
+        "timezone",
+        "timezone",
+        fql_label=ANY,
+        graph_label=conditional(ANY, "available only for the current user"),
+        correct_source="Graph API",
+    ),
+    DocumentedView(
+        "devices",
+        "devices",
+        fql_label=ANY,
+        graph_label=conditional(
+            ANY, "only available for friends of the current user"
+        ),
+        correct_source="Graph API",
+    ),
+    DocumentedView(
+        "relationship_status",
+        "relationship_status",
+        fql_label=ANY,
+        graph_label=_pair("relationships"),
+        correct_source="Graph API",
+    ),
+    DocumentedView(
+        "quotes",
+        "quotes",
+        fql_label=perms("user_likes", "friends_likes"),
+        graph_label=perms("user_about_me", "friends_about_me"),
+        correct_source="FQL",
+    ),
+    DocumentedView(
+        "profile_url",
+        "link",
+        fql_label=ANY,
+        graph_label=NONE,
+        graph_name="link",
+        correct_source="FQL",
+    ),
+    # ---- The 36 consistent views --------------------------------------
+    DocumentedView("uid", "uid", NONE, NONE, graph_name="id"),
+    DocumentedView("name", "name", NONE, NONE),
+    DocumentedView("first_name", "first_name", NONE, NONE),
+    DocumentedView("middle_name", "middle_name", NONE, NONE),
+    DocumentedView("last_name", "last_name", NONE, NONE),
+    DocumentedView("username", "username", NONE, NONE),
+    DocumentedView("locale", "locale", NONE, NONE),
+    DocumentedView("pic_small", "pic", NONE, NONE),
+    DocumentedView("pic_big", "pic", NONE, NONE),
+    DocumentedView("pic_square", "pic", NONE, NONE),
+    DocumentedView("pic_cover", "pic", NONE, NONE, graph_name="cover"),
+    DocumentedView("sex", "sex", ANY, ANY, graph_name="gender"),
+    DocumentedView("email", "email", perms("email"), perms("email")),
+    DocumentedView("birthday", "birthday", _pair("birthday"), _pair("birthday")),
+    DocumentedView(
+        "birthday_date", "birthday", _pair("birthday"), _pair("birthday")
+    ),
+    DocumentedView(
+        "hometown_location",
+        "hometown_location",
+        _pair("hometown"),
+        _pair("hometown"),
+        graph_name="hometown",
+    ),
+    DocumentedView(
+        "current_location",
+        "current_location",
+        _pair("location"),
+        _pair("location"),
+        graph_name="location",
+    ),
+    DocumentedView(
+        "about_me", "about_me", _pair("about_me"), _pair("about_me"),
+        graph_name="bio",
+    ),
+    DocumentedView("activities", "activities", _pair("activities"), _pair("activities")),
+    DocumentedView("interests", "interests", _pair("interests"), _pair("interests")),
+    DocumentedView("music", "music", _pair("likes"), _pair("likes")),
+    DocumentedView("movies", "movies", _pair("likes"), _pair("likes")),
+    DocumentedView("books", "books", _pair("likes"), _pair("likes")),
+    DocumentedView("tv", "tv", _pair("likes"), _pair("likes")),
+    DocumentedView("games", "games", _pair("likes"), _pair("likes")),
+    DocumentedView("likes", "games", _pair("likes"), _pair("likes")),
+    DocumentedView(
+        "languages", "languages", _pair("likes"), _pair("likes")
+    ),  # the user_likes semantic-drift example from Section 1
+    DocumentedView(
+        "significant_other_id",
+        "significant_other_id",
+        _pair("relationships"),
+        _pair("relationships"),
+        graph_name="significant_other",
+    ),
+    DocumentedView("religion", "religion", _pair("religion_politics"), _pair("religion_politics")),
+    DocumentedView("political", "political", _pair("religion_politics"), _pair("religion_politics")),
+    DocumentedView("work", "work", _pair("work_history"), _pair("work_history")),
+    DocumentedView(
+        "education", "education", _pair("education_history"), _pair("education_history")
+    ),
+    DocumentedView("website", "website", _pair("website"), _pair("website")),
+    DocumentedView("online_presence", "timezone", _pair("online_presence"), _pair("online_presence")),
+    DocumentedView("verified", "username", ANY, ANY),
+    DocumentedView("is_app_user", "username", ANY, ANY),
+)
+
+assert len(DOCUMENTED_VIEWS) == 42
+
+
+def inconsistent_views() -> Tuple[DocumentedView, ...]:
+    """The Table 2 rows (documentation discrepancies)."""
+    return tuple(v for v in DOCUMENTED_VIEWS if not v.is_consistent)
+
+
+def consistent_views() -> Tuple[DocumentedView, ...]:
+    """The 36 views whose two documented labels agree."""
+    return tuple(v for v in DOCUMENTED_VIEWS if v.is_consistent)

@@ -1,0 +1,155 @@
+"""An FQL-flavored front end for the Facebook case study (Section 7.1).
+
+FQL was "a SQL-style interface to query the data exposed by the Graph
+API".  Its dialect differs from plain SQL in ways that matter for
+labeling:
+
+* table names are lowercase singular (``user``, ``friend``) and column
+  vocabulary follows the 2013 FQL docs (``pic``, ``link``, ...);
+* the pseudo-function ``me()`` denotes the calling user's uid;
+* friend queries are idiomatically written as subquery-free joins against
+  the ``friend`` table.
+
+:func:`fql_to_query` translates the conjunctive fragment of FQL into a
+:class:`~repro.core.queries.ConjunctiveQuery` over the evaluation schema
+of :func:`repro.facebook.schema.facebook_schema`, resolving ``me()`` to
+the principal's uid constant and attaching the ``rel`` selection that the
+paper's denormalization introduces (Section 7.2): ``uid = me()`` implies
+``rel = 'self'``.
+
+Only translation concerns live here; labeling and enforcement are the
+ordinary pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.sqlparser import sql_to_query
+from repro.core.terms import Constant, Variable
+from repro.errors import ParseError
+from repro.facebook.schema import REL_SELF, facebook_schema
+
+#: FQL table name -> evaluation-schema relation.
+FQL_TABLES: Dict[str, str] = {
+    "user": "User",
+    "friend": "Friend",
+    "photo": "Photo",
+    "album": "Album",
+    "event": "Event",
+    "page": "Page",
+    "checkin": "Checkin",
+    "status": "Status",
+}
+
+#: FQL column aliases that differ from our schema attribute names.
+FQL_COLUMNS: Dict[str, str] = {
+    "uid1": "uid",          # friend table in FQL uses uid1/uid2
+    "uid2": "friend_uid",
+    "pic_square": "pic",
+    "pic_small": "pic",
+    "pic_big": "pic",
+    "profile_url": "link",
+}
+
+_ME_RE = re.compile(r"\bme\s*\(\s*\)", re.IGNORECASE)
+_WORD_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+
+_STRING_RE = re.compile(r"'(?:[^']|'')*'")
+
+
+def normalize_fql(fql: str, me_uid: int) -> str:
+    """Rewrite FQL surface syntax into the plain SQL subset.
+
+    ``me()`` becomes the principal's uid literal; FQL table and column
+    names are mapped onto the evaluation schema.  String literals are
+    left untouched.
+    """
+    def replace(match: "re.Match[str]") -> str:
+        word = match.group()
+        lowered = word.lower()
+        if lowered in FQL_TABLES:
+            return FQL_TABLES[lowered]
+        if lowered in FQL_COLUMNS:
+            return FQL_COLUMNS[lowered]
+        return word
+
+    out = []
+    position = 0
+    for literal in _STRING_RE.finditer(fql):
+        chunk = fql[position : literal.start()]
+        chunk = _ME_RE.sub(str(me_uid), chunk)
+        out.append(_WORD_RE.sub(replace, chunk))
+        out.append(literal.group())
+        position = literal.end()
+    tail = _ME_RE.sub(str(me_uid), fql[position:])
+    out.append(_WORD_RE.sub(replace, tail))
+    return "".join(out)
+
+
+def fql_to_query(
+    fql: str,
+    me_uid: int,
+    schema: Optional[Schema] = None,
+    head_name: str = "Q",
+) -> ConjunctiveQuery:
+    """Translate conjunctive FQL into a query over the evaluation schema.
+
+    The paper's denormalization is applied automatically: an atom whose
+    ``uid`` column is the principal's own uid constant gets
+    ``rel = 'self'`` attached, mirroring how the platform would resolve
+    ownership for the caller.
+
+    Raises :class:`~repro.errors.ParseError` /
+    :class:`~repro.errors.UnsupportedQueryError` exactly as the SQL front
+    end does.
+    """
+    schema = schema or facebook_schema()
+    sql = normalize_fql(fql, me_uid)
+    query = sql_to_query(sql, schema, head_name=head_name)
+    return _attach_self_rel(query, me_uid, schema)
+
+
+def _attach_self_rel(
+    query: ConjunctiveQuery, me_uid: int, schema: Schema
+) -> ConjunctiveQuery:
+    """Set ``rel = 'self'`` on atoms anchored at the caller's own uid."""
+    from repro.core.atoms import Atom
+
+    me = Constant(me_uid)
+    occurrences: Dict[Variable, int] = {}
+    for atom in query.body:
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                occurrences[term] = occurrences.get(term, 0) + 1
+
+    new_body = []
+    changed = False
+    distinguished = query.distinguished_variables()
+    for atom in query.body:
+        relation = schema.relation(atom.relation)
+        if not relation.has_attribute("rel") or atom.relation == "Friend":
+            new_body.append(atom)
+            continue
+        uid_position = relation.position_of("uid")
+        rel_position = relation.position_of("rel")
+        rel_term = atom.terms[rel_position]
+        if (
+            atom.terms[uid_position] == me
+            and isinstance(rel_term, Variable)
+            and rel_term not in distinguished
+            and occurrences.get(rel_term, 0) == 1
+        ):
+            terms = list(atom.terms)
+            terms[rel_position] = Constant(REL_SELF)
+            new_body.append(Atom(atom.relation, terms))
+            changed = True
+        else:
+            new_body.append(atom)
+    if not changed:
+        return query
+    return ConjunctiveQuery(query.head_name, query.head_terms, new_body)

@@ -1,0 +1,197 @@
+"""A Graph-API-style front end for the Facebook case study (Section 7.1).
+
+The Graph API addresses data by *path* plus a ``fields`` selection rather
+than by SQL text::
+
+    /me?fields=name,birthday
+    /me/friends?fields=birthday
+    /4?fields=name
+    /me/photos?fields=caption,link
+
+This module translates such requests into
+:class:`~repro.core.queries.ConjunctiveQuery` over the evaluation schema —
+the same target the FQL front end (:mod:`repro.facebook.fql`) compiles
+to.  That is the concrete form of the audit's central argument: the two
+APIs are different surfaces over one query language, so a data-derived
+labeling gives them one label per query and cannot drift the way the two
+hand-maintained documentation sets did (Table 2).
+
+Grammar::
+
+    request  := "/" subject [ "/" edge ] [ "?fields=" name ("," name)* ]
+    subject  := "me" | <numeric uid>
+    edge     := "friends" | "photos" | "albums" | "events" | "likes"
+              | "checkins" | "statuses"
+
+Graph-API field aliases (``picture`` → ``pic``, ``link``, ``bio`` →
+``about_me``, ...) are resolved against the schema.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Term, Variable
+from repro.errors import ParseError
+from repro.facebook.schema import REL_FRIEND, REL_SELF, facebook_schema
+
+#: Graph API edge name -> (relation, needs Friend hop).
+GRAPH_EDGES: Dict[str, Tuple[str, bool]] = {
+    "friends": ("User", True),
+    "photos": ("Photo", False),
+    "albums": ("Album", False),
+    "events": ("Event", False),
+    "likes": ("Page", False),
+    "checkins": ("Checkin", False),
+    "statuses": ("Status", False),
+}
+
+#: Graph API field name -> schema attribute (User relation).
+GRAPH_FIELDS: Dict[str, str] = {
+    "id": "uid",
+    "picture": "pic",
+    "cover": "pic",
+    "bio": "about_me",
+    "gender": "sex",
+    "hometown": "hometown_location",
+    "location": "current_location",
+    "significant_other": "significant_other_id",
+}
+
+_REQUEST_RE = re.compile(
+    r"^/(?P<subject>me|\d+)"
+    r"(?:/(?P<edge>[a-z_]+))?"
+    r"(?:\?fields=(?P<fields>[A-Za-z0-9_,]+))?$"
+)
+
+
+class GraphRequest:
+    """A parsed Graph API request."""
+
+    __slots__ = ("subject_uid", "is_me", "edge", "fields")
+
+    def __init__(
+        self,
+        subject_uid: Optional[int],
+        is_me: bool,
+        edge: Optional[str],
+        fields: Tuple[str, ...],
+    ):
+        self.subject_uid = subject_uid
+        self.is_me = is_me
+        self.edge = edge
+        self.fields = fields
+
+
+def parse_graph_request(path: str) -> GraphRequest:
+    """Parse a Graph API path; raises :class:`ParseError` when malformed."""
+    match = _REQUEST_RE.match(path.strip())
+    if match is None:
+        raise ParseError(f"not a Graph API request: {path!r}", text=path)
+    subject = match.group("subject")
+    edge = match.group("edge")
+    if edge is not None and edge not in GRAPH_EDGES:
+        raise ParseError(
+            f"unknown Graph API edge {edge!r}; known: {sorted(GRAPH_EDGES)}",
+            text=path,
+        )
+    raw_fields = match.group("fields")
+    fields = tuple(raw_fields.split(",")) if raw_fields else ()
+    return GraphRequest(
+        subject_uid=None if subject == "me" else int(subject),
+        is_me=subject == "me",
+        edge=edge,
+        fields=fields,
+    )
+
+
+def graph_to_query(
+    path: str,
+    me_uid: int,
+    schema: Optional[Schema] = None,
+    head_name: str = "Q",
+) -> ConjunctiveQuery:
+    """Translate a Graph API request into a conjunctive query.
+
+    ``/me?fields=...`` selects from User with ``uid = me_uid`` and
+    ``rel = 'self'``; ``/me/friends?fields=...`` joins through Friend and
+    targets ``rel = 'friend'``; ``/me/<satellite>`` selects the
+    principal's rows of the satellite relation.  ``/<uid>`` requests
+    leave ``rel`` unconstrained (the platform decides visibility from
+    the actual relationship — our labeler then reports ⊤ unless only
+    public fields are requested, which is the Graph API's own behaviour
+    for strangers).
+    """
+    schema = schema or facebook_schema()
+    request = parse_graph_request(path)
+
+    if request.edge is None:
+        relation_name = "User"
+        friend_hop = False
+    else:
+        relation_name, friend_hop = GRAPH_EDGES[request.edge]
+    relation = schema.relation(relation_name)
+
+    fields = request.fields or ("id",)
+    columns = []
+    for field in fields:
+        column = GRAPH_FIELDS.get(field, field)
+        if not relation.has_attribute(column):
+            raise ParseError(
+                f"unknown field {field!r} on {relation_name}", text=path
+            )
+        columns.append(column)
+
+    body: List[Atom] = []
+
+    if request.is_me:
+        anchor: Term = Constant(me_uid)
+        rel_value: Optional[str] = REL_SELF
+    else:
+        anchor = Constant(request.subject_uid)
+        rel_value = None  # relationship unknown at parse time
+
+    subject: Term = anchor
+    if friend_hop:
+        friend_var = Variable("f")
+        body.append(_friend_atom(schema, anchor, friend_var))
+        subject = friend_var
+        rel_value = REL_FRIEND if request.is_me else None
+
+    terms: List[Term] = []
+    term_for_attribute: Dict[str, Term] = {}
+    fresh = 0
+    column_set = set(columns)
+    for attribute in relation.attributes:
+        if attribute == "uid":
+            term: Term = subject
+        elif attribute == "rel" and rel_value is not None:
+            term = Constant(rel_value)
+        elif attribute in column_set:
+            term = Variable(attribute)
+        else:
+            term = Variable(f"_e{fresh}")
+            fresh += 1
+        terms.append(term)
+        term_for_attribute[attribute] = term
+    body.append(Atom(relation_name, terms))
+    head = [term_for_attribute[column] for column in columns]
+
+    return ConjunctiveQuery(head_name, head, body)
+
+
+def _friend_atom(schema: Schema, source: Term, dest: Variable) -> Atom:
+    friend = schema.relation("Friend")
+    terms: List[Term] = []
+    for attribute in friend.attributes:
+        if attribute == "uid":
+            terms.append(source)
+        elif attribute == "friend_uid":
+            terms.append(dest)
+        else:
+            terms.append(Variable(f"_fr_{attribute}"))
+    return Atom("Friend", terms)

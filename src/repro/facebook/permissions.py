@@ -1,0 +1,167 @@
+"""The Facebook-style security-view vocabulary (Section 7.2).
+
+"For each relation, we selected a set of security views that could
+support the confidentiality policies described in Facebook's developer
+documentation.  The most complex relation, the User relation, required us
+to define a generating set Fgen with 16 distinct security views; most of
+the other relations we considered could be modeled using just three
+views."
+
+View shapes (all single-atom, join-free, per Section 5):
+
+* ``user_X``    — the group's attributes plus ``uid``, with ``rel='self'``:
+  the data of the principal themselves;
+* ``friends_X`` — the same attributes with ``rel='friend'``;
+* ``public_*``  — identity attributes with the ``rel`` column *visible*
+  (distinguished), so apps can ask about anyone, including
+  friends-of-friends and strangers.
+
+The paper's own observation about semantic drift is reproduced verbatim:
+"the Facebook permission named user_likes confusingly gives apps access to
+both a user's 'Liked' pages and the languages the user speaks" — our
+``user_likes`` view deliberately includes the ``languages`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.schema import Relation, Schema
+from repro.core.tagged import DISTINGUISHED, EXISTENTIAL, TaggedAtom, TaggedVar
+from repro.core.terms import Constant
+from repro.facebook.schema import REL_FRIEND, REL_SELF, facebook_schema
+from repro.labeling.cq_labeler import SecurityViews
+
+#: User attribute groups guarded by user_/friends_ permission pairs.
+USER_PERMISSION_GROUPS: Mapping[str, Tuple[str, ...]] = {
+    "about_me": ("about_me", "quotes"),
+    "birthday": ("birthday", "sex"),
+    # user_likes famously also covers spoken languages (Section 1).
+    "likes": (
+        "activities",
+        "interests",
+        "music",
+        "movies",
+        "books",
+        "tv",
+        "games",
+        "languages",
+    ),
+    "location": ("hometown_location", "current_location"),
+    "relationships": ("relationship_status", "significant_other_id"),
+    "religion_politics": ("religion", "political"),
+    "work_education": ("work", "education"),
+}
+
+#: Attributes visible through the public profile view (rel unconstrained).
+PUBLIC_PROFILE_ATTRIBUTES: Tuple[str, ...] = (
+    "uid",
+    "name",
+    "first_name",
+    "middle_name",
+    "last_name",
+    "username",
+    "link",
+    "pic",
+    "locale",
+    "timezone",
+    "devices",
+    "website",
+)
+
+#: Attributes of the self-only email permission.
+EMAIL_ATTRIBUTES: Tuple[str, ...] = ("uid", "email")
+
+
+def projection_view(
+    relation: Relation,
+    visible: Iterable[str],
+    rel_constant: "str | None" = None,
+    rel_visible: bool = False,
+) -> TaggedAtom:
+    """Build a single-atom view over *relation*.
+
+    *visible* attributes become distinguished variables; the ``rel``
+    column becomes a constant (permission views) or a distinguished
+    variable (public views with *rel_visible*); everything else is
+    existential.
+    """
+    visible_set = set(visible)
+    entries: List = []
+    next_index = 0
+    for attribute in relation.attributes:
+        if attribute == "rel" and rel_constant is not None:
+            entries.append(Constant(rel_constant))
+            continue
+        if attribute in visible_set or (attribute == "rel" and rel_visible):
+            entries.append(TaggedVar(DISTINGUISHED, next_index))
+        else:
+            entries.append(TaggedVar(EXISTENTIAL, next_index))
+        next_index += 1
+    return TaggedAtom(relation.name, entries)
+
+
+def user_security_views(schema: "Schema | None" = None) -> Dict[str, TaggedAtom]:
+    """The 16-view generating set for the User relation.
+
+    7 permission groups × {user_, friends_} = 14, plus ``public_profile``
+    and the self-only ``user_email``.
+    """
+    schema = schema or facebook_schema()
+    user = schema.relation("User")
+    views: Dict[str, TaggedAtom] = {}
+    for group, attributes in USER_PERMISSION_GROUPS.items():
+        visible = ("uid",) + attributes
+        views[f"user_{group}"] = projection_view(user, visible, REL_SELF)
+        views[f"friends_{group}"] = projection_view(user, visible, REL_FRIEND)
+    views["public_profile"] = projection_view(
+        user, PUBLIC_PROFILE_ATTRIBUTES, rel_visible=True
+    )
+    views["user_email"] = projection_view(user, EMAIL_ATTRIBUTES, REL_SELF)
+    assert len(views) == 16
+    return views
+
+
+def relation_security_views(relation: Relation) -> Dict[str, TaggedAtom]:
+    """The three-view vocabulary for a non-User relation.
+
+    ``user_<r>`` and ``friends_<r>`` expose every column for one's own /
+    one's friends' tuples; ``public_<r>`` exposes the identifying columns
+    (uid plus the first id-like column) for anyone.
+    """
+    name = relation.name.lower()
+    data_columns = [a for a in relation.attributes if a != "rel"]
+    id_columns = data_columns[: min(2, len(data_columns))]
+    return {
+        f"user_{name}": projection_view(relation, data_columns, REL_SELF),
+        f"friends_{name}": projection_view(relation, data_columns, REL_FRIEND),
+        f"public_{name}": projection_view(relation, id_columns, rel_visible=True),
+    }
+
+
+def facebook_security_views(schema: "Schema | None" = None) -> SecurityViews:
+    """The full Section 7.2 vocabulary: 16 User views + 3 per other relation."""
+    schema = schema or facebook_schema()
+    named: Dict[str, TaggedAtom] = {}
+    for relation in schema:
+        if relation.name == "User":
+            named.update(user_security_views(schema))
+        else:
+            named.update(relation_security_views(relation))
+    return SecurityViews(named)
+
+
+def wide_schema_security_views(schema: Schema) -> SecurityViews:
+    """Three views per relation for the 1,000-relation footnote benchmark."""
+    named: Dict[str, TaggedAtom] = {}
+    for relation in schema:
+        named.update(relation_security_views(relation))
+    return SecurityViews(named)
+
+
+def permission_group_of(attribute: str) -> "str | None":
+    """Which user_/friends_ group guards *attribute* (``None`` if public/none)."""
+    for group, attributes in USER_PERMISSION_GROUPS.items():
+        if attribute in attributes:
+            return group
+    return None

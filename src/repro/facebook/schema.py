@@ -1,0 +1,137 @@
+"""The eight-relation Facebook-API test schema of Section 7.2.
+
+"Our test database contained eight different relations that captured core
+functionality from the Facebook API.  The largest of these was the User
+relation, which contained 34 distinct attributes.  Each of the remaining
+relations contained between 3 and 10 attributes."
+
+Two modeling decisions from the paper are reproduced:
+
+* **uid everywhere** — "the uid (User ID) attribute ... appeared in all
+  the relations we considered", enabling the stress workload to join
+  arbitrary subqueries;
+* **relationship denormalization** — "adding an extra column to each
+  relation that indicated whether the owner of a given tuple was friends
+  with the principal executing the query", which lets join-free
+  single-atom security views express *friends-only* permissions.  We
+  generalize the paper's boolean to a four-valued ``rel`` column
+  (``self`` / ``friend`` / ``fof`` / ``none``) so that all four workload
+  targets of Section 7.2 are expressible; since the column is derived
+  data about the (tuple-owner, principal) pair, the generalization is as
+  harmless as the original denormalization.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import Relation, Schema
+
+#: Values of the denormalized relationship column.
+REL_SELF = "self"
+REL_FRIEND = "friend"
+REL_FOF = "fof"
+REL_NONE = "none"
+REL_VALUES = (REL_SELF, REL_FRIEND, REL_FOF, REL_NONE)
+
+#: The 34 attributes of the User relation (33 data columns + ``rel``).
+USER_ATTRIBUTES = (
+    "uid",
+    "name",
+    "first_name",
+    "middle_name",
+    "last_name",
+    "username",
+    "email",
+    "birthday",
+    "sex",
+    "hometown_location",
+    "current_location",
+    "about_me",
+    "quotes",
+    "activities",
+    "interests",
+    "music",
+    "movies",
+    "books",
+    "tv",
+    "games",
+    "relationship_status",
+    "significant_other_id",
+    "religion",
+    "political",
+    "timezone",
+    "locale",
+    "languages",
+    "devices",
+    "work",
+    "education",
+    "website",
+    "link",
+    "pic",
+    "rel",
+)
+
+assert len(USER_ATTRIBUTES) == 34
+
+
+def facebook_schema() -> Schema:
+    """Build the eight-relation evaluation schema.
+
+    ``uid`` is the first attribute of every relation and ``rel`` the last.
+    """
+    return Schema(
+        [
+            Relation("User", USER_ATTRIBUTES),
+            Relation("Friend", ["uid", "friend_uid", "rel"]),
+            Relation(
+                "Photo",
+                ["uid", "pid", "aid", "caption", "link", "created", "rel"],
+            ),
+            Relation(
+                "Album",
+                ["uid", "aid", "name", "description", "size", "created", "rel"],
+            ),
+            Relation(
+                "Event",
+                [
+                    "uid",
+                    "eid",
+                    "name",
+                    "start_time",
+                    "end_time",
+                    "location",
+                    "rsvp_status",
+                    "rel",
+                ],
+            ),
+            Relation("Page", ["uid", "page_id", "name", "category", "rel"]),
+            Relation(
+                "Checkin",
+                [
+                    "uid",
+                    "checkin_id",
+                    "page_id",
+                    "message",
+                    "timestamp",
+                    "latitude",
+                    "longitude",
+                    "rel",
+                ],
+            ),
+            Relation("Status", ["uid", "status_id", "message", "time", "rel"]),
+        ]
+    )
+
+
+def wide_schema(relations: int, arity: int = 6) -> Schema:
+    """A synthetic schema with many relations (the Section 7.2 footnote).
+
+    "In preliminary tests on synthetic data, we tried increasing the total
+    number of relations to 1,000 while keeping the number of security
+    views per relation constant."  Each relation is
+    ``Rↄ(uid, a1..a{arity-2}, rel)``.
+    """
+    out = Schema()
+    for index in range(relations):
+        attrs = ["uid"] + [f"a{i}" for i in range(arity - 2)] + ["rel"]
+        out.add(Relation(f"R{index}", attrs))
+    return out

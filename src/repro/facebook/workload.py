@@ -1,0 +1,221 @@
+"""The random query workload of Section 7.2.
+
+"After examining a number of sample Facebook applications, we decided to
+use a workload of queries that were randomly generated with the following
+process:
+
+1. Select a random relation from the schema.
+2. Select a random subset of its attributes.
+3. Randomly request these attributes for either (i) the current user,
+   (ii) friends of the current user, (iii) friends of friends of the
+   current user, or (iv) a non-friend.
+
+... Option (ii) involved a join with the Friend relation, and Option
+(iii) involved two joins with the Friend relation.  Hence, each query
+contained between one and three body atoms.  In order to stress-test our
+algorithm, we extended our workload to generate (unrealistically) complex
+queries; we did this by repeating the process above between one and five
+times, and joining the resulting subqueries on the uid (User ID)
+attribute."
+
+The generator reproduces this process exactly.  Targets map onto the
+denormalized ``rel`` column as ``self`` / ``friend`` / ``fof`` / ``none``
+(see :mod:`repro.facebook.schema`); the friend-list traversals join
+through ``Friend`` just as in the paper, so the atom counts match
+(1–3 per subquery, up to 15 for five subqueries).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Relation, Schema
+from repro.core.terms import Constant, Term, Variable
+from repro.facebook.schema import (
+    REL_FOF,
+    REL_FRIEND,
+    REL_NONE,
+    REL_SELF,
+    facebook_schema,
+)
+
+#: The four Section 7.2 targets.
+TARGETS = (REL_SELF, REL_FRIEND, REL_FOF, REL_NONE)
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of Section 7.2 queries.
+
+    Parameters
+    ----------
+    schema:
+        The database schema (defaults to the eight-relation Facebook one).
+    max_subqueries:
+        How many one-to-three-atom subqueries to join on ``uid``; the
+        Figure 5 x-axis is ``3 × max_subqueries`` (max atoms per query).
+    seed:
+        RNG seed; two generators with equal parameters yield equal streams.
+    group_aligned:
+        When true, attribute subsets for the User relation are drawn from
+        a single permission group (realistic apps); when false (the
+        paper's stress default), subsets are uniform over all attributes.
+    """
+
+    def __init__(
+        self,
+        schema: "Schema | None" = None,
+        max_subqueries: int = 1,
+        seed: int = 0,
+        group_aligned: bool = False,
+    ):
+        if max_subqueries < 1:
+            raise ValueError("max_subqueries must be >= 1")
+        self.schema = schema or facebook_schema()
+        self.max_subqueries = max_subqueries
+        self.group_aligned = group_aligned
+        self._rng = random.Random(seed)
+        self._relations: List[Relation] = [
+            r for r in self.schema if r.name != "Friend"
+        ]
+        self._friend = self.schema.get("Friend")
+
+    @property
+    def max_atoms(self) -> int:
+        """The Figure 5 x-coordinate for this generator."""
+        return 3 * self.max_subqueries
+
+    # ------------------------------------------------------------------
+    def generate(self) -> ConjunctiveQuery:
+        """One random query: 1..max_subqueries subqueries joined on uid."""
+        rng = self._rng
+        count = rng.randint(1, self.max_subqueries)
+        root = Variable("uid")  # the shared join variable (the current user)
+        head: List[Term] = []
+        body: List[Atom] = []
+        fresh = _Counter()
+        for index in range(count):
+            self._add_subquery(index, root, head, body, fresh)
+        if not head:
+            head.append(root)
+        return ConjunctiveQuery("Q", head, body)
+
+    def stream(self, count: int) -> Iterator[ConjunctiveQuery]:
+        """Yield *count* random queries."""
+        for _ in range(count):
+            yield self.generate()
+
+    # ------------------------------------------------------------------
+    def _add_subquery(
+        self,
+        index: int,
+        root: Variable,
+        head: List[Term],
+        body: List[Atom],
+        fresh: "_Counter",
+    ) -> None:
+        rng = self._rng
+        relation = rng.choice(self._relations)
+        target = rng.choice(TARGETS)
+
+        subject = root
+        if self._friend is not None and target == REL_FRIEND:
+            friend = Variable(f"f{index}_{fresh()}")
+            body.append(self._friend_atom(root, friend, fresh))
+            subject = friend
+        elif self._friend is not None and target == REL_FOF:
+            middle = Variable(f"m{index}_{fresh()}")
+            friend = Variable(f"g{index}_{fresh()}")
+            body.append(self._friend_atom(root, middle, fresh))
+            body.append(self._friend_atom(middle, friend, fresh))
+            subject = friend
+
+        requested = self._pick_attributes(relation)
+        terms: List[Term] = []
+        for attribute in relation.attributes:
+            if attribute == "uid":
+                terms.append(subject)
+            elif attribute == "rel":
+                terms.append(Constant(target))
+            elif attribute in requested:
+                var = Variable(f"{attribute}_{index}_{fresh()}")
+                terms.append(var)
+                head.append(var)
+            else:
+                terms.append(Variable(f"e{index}_{fresh()}"))
+        body.append(Atom(relation.name, terms))
+
+    def _friend_atom(self, source: Variable, dest: Variable, fresh: "_Counter") -> Atom:
+        assert self._friend is not None
+        terms: List[Term] = []
+        for attribute in self._friend.attributes:
+            if attribute == "uid":
+                terms.append(source)
+            elif attribute == "friend_uid":
+                terms.append(dest)
+            else:
+                terms.append(Variable(f"fr_{fresh()}"))
+        return Atom("Friend", terms)
+
+    def _pick_attributes(self, relation: Relation) -> "frozenset[str]":
+        rng = self._rng
+        if self.group_aligned and relation.name == "User":
+            from repro.facebook.permissions import (
+                PUBLIC_PROFILE_ATTRIBUTES,
+                USER_PERMISSION_GROUPS,
+            )
+
+            pools = list(USER_PERMISSION_GROUPS.values()) + [
+                PUBLIC_PROFILE_ATTRIBUTES
+            ]
+            pool = [a for a in rng.choice(pools) if a != "uid"]
+        else:
+            pool = [a for a in relation.attributes if a not in ("uid", "rel")]
+        size = rng.randint(1, max(1, len(pool)))
+        return frozenset(rng.sample(pool, size))
+
+
+class _Counter:
+    """A tiny fresh-suffix counter (cheaper than FreshVariableFactory here)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def __call__(self) -> int:
+        self.value += 1
+        return self.value
+
+
+def generate_policies(
+    view_names: Sequence[str],
+    count: int,
+    max_partitions: int,
+    max_elements: int,
+    seed: int = 0,
+) -> "list[list[list[str]]]":
+    """Random policies for the Figure 6 benchmark.
+
+    "Each principal's security policy was randomly generated.  The maximum
+    number of partitions per policy was set to either 1 ... or 5 ...
+    However, the actual number of partitions per policy could vary between
+    principals ... Similarly, we allowed the maximum number of elements
+    (i.e., single-atom views) per partition to vary between 5 and 50."
+
+    Returns plain nested lists (policy -> partitions -> view names) so the
+    caller can compile them against any registry.
+    """
+    rng = random.Random(seed)
+    names = list(view_names)
+    policies = []
+    for _ in range(count):
+        n_partitions = rng.randint(1, max_partitions)
+        partitions = []
+        for _ in range(n_partitions):
+            size = rng.randint(1, min(max_elements, len(names)))
+            partitions.append(rng.sample(names, size))
+        policies.append(partitions)
+    return policies

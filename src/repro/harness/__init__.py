@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates the paper's tables and figures.
+
+Run ``python -m repro.harness`` for the full evaluation printout, or use
+:func:`run_figure5` / :func:`run_figure6` / :func:`run_relation_scaling`
+programmatically (the ``benchmarks/`` suite builds on these).
+"""
+
+from repro.harness.report import (
+    ascii_plot,
+    render_markdown_series,
+    render_series_table,
+    speedup_summary,
+)
+from repro.harness.runner import (
+    FIGURE5_ATOM_AXIS,
+    FIGURE6_ELEMENT_AXIS,
+    FIGURE6_PRINCIPALS,
+    Series,
+    SeriesPoint,
+    build_label_stream,
+    run_figure5,
+    run_figure6,
+    run_relation_scaling,
+)
+
+__all__ = [
+    "FIGURE5_ATOM_AXIS",
+    "ascii_plot",
+    "FIGURE6_ELEMENT_AXIS",
+    "FIGURE6_PRINCIPALS",
+    "Series",
+    "SeriesPoint",
+    "build_label_stream",
+    "render_markdown_series",
+    "render_series_table",
+    "run_figure5",
+    "run_figure6",
+    "run_relation_scaling",
+    "speedup_summary",
+]

@@ -1,0 +1,107 @@
+"""Run the full Section 7 evaluation and print every table and figure.
+
+Usage::
+
+    python -m repro.harness [--quick | --full]
+
+``--quick`` shrinks sample sizes for a fast smoke run; ``--full`` uses
+larger samples (several minutes).  The default sits in between.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.facebook.audit import audit_documentation, machine_labels
+from repro.harness.report import ascii_plot, render_series_table, speedup_summary
+from repro.harness.runner import (
+    run_figure5,
+    run_figure6,
+    run_relation_scaling,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's Table 2, Figure 5, and Figure 6.",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="small samples")
+    scale.add_argument("--full", action="store_true", help="large samples")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        fig5_queries, fig6_checks, fig6_principals = 60, 20_000, (1_000, 50_000)
+        relation_counts = (8, 100)
+    elif args.full:
+        fig5_queries, fig6_checks = 1_000, 200_000
+        fig6_principals = (1_000, 50_000, 1_000_000)
+        relation_counts = (8, 100, 1000)
+    else:
+        fig5_queries, fig6_checks = 300, 100_000
+        fig6_principals = (1_000, 50_000, 1_000_000)
+        relation_counts = (8, 100, 1000)
+
+    print("#" * 72)
+    print("# Table 2: Facebook FQL vs Graph API permission inconsistencies")
+    print("#" * 72)
+    report = audit_documentation()
+    print(report.summary())
+    print()
+    print(report.render_table2())
+    print()
+    print("Machine labeling of the six inconsistent views (data-derived,")
+    print("therefore identical for both APIs):")
+    rows = {r.view.fql_name: r for r in machine_labels()}
+    for name in ("pic", "timezone", "devices", "relationship_status",
+                 "quotes", "profile_url"):
+        row = rows[name]
+        print(
+            f"  {name:20s} self: {sorted(row.self_alternatives) or '⊤'} "
+            f"friend: {sorted(row.friend_alternatives) or '⊤'}"
+        )
+    print()
+
+    print("#" * 72)
+    print("# Figure 5: disclosure labeler performance")
+    print("#" * 72)
+    fig5 = run_figure5(queries_per_point=fig5_queries)
+    print(render_series_table(
+        "Time to analyze a million queries vs max atoms per query",
+        fig5,
+        x_label="max atoms",
+    ))
+    print()
+    print(speedup_summary(fig5))
+    print()
+    print(ascii_plot(fig5[1:], x_label="max atoms"))
+    print()
+
+    print("Relation-count robustness (Section 7.2 footnote):")
+    scaling = run_relation_scaling(relation_counts=relation_counts)
+    for point in scaling:
+        print(
+            f"  {point.x:5d} relations: "
+            f"{point.seconds_per_million:8.2f} s / 1M queries"
+        )
+    print()
+
+    print("#" * 72)
+    print("# Figure 6: policy checker performance")
+    print("#" * 72)
+    fig6 = run_figure6(
+        checks_per_point=fig6_checks, principal_counts=fig6_principals
+    )
+    print(render_series_table(
+        "Time to analyze a million labels vs max elements per partition",
+        fig6,
+        x_label="max elems",
+        unit="s / 1M labels",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Rendering of experiment results in the paper's shape."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.harness.runner import Series
+
+
+def render_series_table(
+    title: str,
+    series_list: Sequence[Series],
+    x_label: str,
+    unit: str = "s / 1M queries",
+) -> str:
+    """An ASCII table with one row per x value and one column per series."""
+    xs = sorted({p.x for s in series_list for p in s.points})
+    header = [x_label] + [s.name for s in series_list]
+    rows: List[List[str]] = [header]
+    for x in xs:
+        row = [str(x)]
+        for series in series_list:
+            try:
+                row.append(f"{series.value_at(x):.2f}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [title, "=" * len(title), f"({unit})"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def speedup_summary(series_list: Sequence[Series]) -> str:
+    """The Figure 5 headline: bit-vector labeler speedup over baseline."""
+    by_name = {s.name: s for s in series_list}
+    try:
+        baseline = by_name["baseline"]
+        bits = by_name["bit vectors + hashing"]
+        hashing = by_name["hashing only"]
+    except KeyError:
+        return ""
+    lines = ["speedups vs baseline (higher is better):"]
+    for point in baseline.points:
+        x = point.x
+        lines.append(
+            f"  max atoms {x:2d}: bitvectors {point.seconds_per_million / bits.value_at(x):.2f}x, "
+            f"hashing {point.seconds_per_million / hashing.value_at(x):.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "s/1M",
+) -> str:
+    """A rough terminal line chart of the series (markers per series).
+
+    Good enough to eyeball the Figure 5/6 curve shapes without leaving
+    the terminal; exact values come from :func:`render_series_table`.
+    """
+    points = [(p.x, p.seconds_per_million) for s in series_list for p in s.points]
+    if not points:
+        return "(no data)"
+    xs = sorted({x for x, _ in points})
+    y_max = max(y for _, y in points) or 1.0
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for index, series in enumerate(series_list):
+        marker = markers[index % len(markers)]
+        for point in series.points:
+            col = round((point.x - x_min) / span * (width - 1))
+            row = height - 1 - round(
+                point.seconds_per_million / y_max * (height - 1)
+            )
+            grid[row][col] = marker
+
+    lines = [f"{y_label} (max {y_max:.2f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"  {x_label}: {x_min}..{x_max}")
+    for index, series in enumerate(series_list):
+        lines.append(f"  {markers[index % len(markers)]} = {series.name}")
+    return "\n".join(lines)
+
+
+def render_markdown_series(
+    series_list: Sequence[Series], x_label: str
+) -> str:
+    """Markdown table for EXPERIMENTS.md."""
+    xs = sorted({p.x for s in series_list for p in s.points})
+    header = "| " + " | ".join([x_label] + [s.name for s in series_list]) + " |"
+    sep = "|" + "|".join(["---"] * (len(series_list) + 1)) + "|"
+    lines = [header, sep]
+    for x in xs:
+        cells = [str(x)]
+        for series in series_list:
+            try:
+                cells.append(f"{series.value_at(x):.2f}")
+            except KeyError:
+                cells.append("-")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Experiment runner: regenerates every table and figure of Section 7.
+
+Each ``run_*`` function reproduces one experiment at a configurable scale
+and returns structured results; :mod:`repro.harness.report` renders them
+in the paper's shape.  The paper labels one million queries per point; we
+label a configurable sample and report **normalized seconds per million
+queries**, since the comparison of interest is between *series shapes*
+(bit vectors + hashing vs hashing vs baseline), not absolute Java/C-vs-
+Python numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.queries import ConjunctiveQuery
+from repro.facebook.permissions import (
+    facebook_security_views,
+    wide_schema_security_views,
+)
+from repro.facebook.schema import facebook_schema, wide_schema
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.labeling.bitvector import BitVectorRegistry
+from repro.labeling.cq_labeler import SecurityViews
+from repro.labeling.pipeline import (
+    BaselineLabeler,
+    BitVectorLabeler,
+    HashPartitionedLabeler,
+)
+from repro.policy.checker import CompiledPolicy, PolicyChecker
+
+#: Figure 5 x-axis: maximum number of atoms per query.
+FIGURE5_ATOM_AXIS = (3, 6, 9, 12, 15)
+
+#: Figure 6 x-axis: maximum number of elements per partition.
+FIGURE6_ELEMENT_AXIS = (5, 10, 20, 30, 40, 50)
+
+#: Figure 6 principal counts (scaled: the paper used 1K / 50K / 1M).
+FIGURE6_PRINCIPALS = (1_000, 50_000, 1_000_000)
+
+
+class SeriesPoint:
+    """One measured point: x-coordinate and seconds per million items."""
+
+    __slots__ = ("x", "seconds_per_million", "items", "elapsed")
+
+    def __init__(self, x: int, elapsed: float, items: int):
+        self.x = x
+        self.items = items
+        self.elapsed = elapsed
+        self.seconds_per_million = elapsed / items * 1_000_000 if items else 0.0
+
+    def __repr__(self) -> str:
+        return f"SeriesPoint(x={self.x}, s/1M={self.seconds_per_million:.2f})"
+
+
+class Series:
+    """A named measurement series (one curve of a figure)."""
+
+    def __init__(self, name: str, points: Iterable[SeriesPoint] = ()):
+        self.name = name
+        self.points: List[SeriesPoint] = list(points)
+
+    def add(self, point: SeriesPoint) -> None:
+        self.points.append(point)
+
+    def value_at(self, x: int) -> float:
+        for point in self.points:
+            if point.x == x:
+                return point.seconds_per_million
+        raise KeyError(x)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def _time(func: Callable[[], None]) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Figure 5: disclosure labeler performance
+# ----------------------------------------------------------------------
+
+def run_figure5(
+    queries_per_point: int = 300,
+    atom_axis: Sequence[int] = FIGURE5_ATOM_AXIS,
+    seed: int = 0,
+    security_views: Optional[SecurityViews] = None,
+) -> List[Series]:
+    """Reproduce Figure 5: time to label queries vs max atoms per query.
+
+    Returns four series in the paper's legend order: query generation
+    only, bit vectors + hashing, hashing only, baseline.
+    """
+    views = security_views or facebook_security_views()
+    schema = facebook_schema()
+
+    generation = Series("query generation only")
+    bitvectors = Series("bit vectors + hashing")
+    hashing = Series("hashing only")
+    baseline = Series("baseline")
+
+    for max_atoms in atom_axis:
+        if max_atoms % 3:
+            raise ValueError("atom axis entries must be multiples of 3")
+        subqueries = max_atoms // 3
+
+        def make_queries() -> List[ConjunctiveQuery]:
+            generator = WorkloadGenerator(
+                schema, max_subqueries=subqueries, seed=seed
+            )
+            return list(generator.stream(queries_per_point))
+
+        # Series 1: generation only.
+        elapsed = _time(lambda: make_queries())
+        generation.add(SeriesPoint(max_atoms, elapsed, queries_per_point))
+
+        queries = make_queries()
+        for series, labeler_cls in (
+            (bitvectors, BitVectorLabeler),
+            (hashing, HashPartitionedLabeler),
+            (baseline, BaselineLabeler),
+        ):
+            labeler = labeler_cls(views)
+
+            def label_all() -> None:
+                label = labeler.label_query
+                for query in queries:
+                    label(query)
+
+            series.add(
+                SeriesPoint(max_atoms, _time(label_all), queries_per_point)
+            )
+
+    return [generation, bitvectors, hashing, baseline]
+
+
+def run_relation_scaling(
+    relation_counts: Sequence[int] = (8, 100, 1000),
+    queries_per_point: int = 300,
+    seed: int = 0,
+) -> Series:
+    """The Section 7.2 footnote: hash-labeler throughput vs relation count.
+
+    "the total number of relations did not have any appreciable impact on
+    the hash-based disclosure labelers' throughput."
+    """
+    series = Series("hash labeler vs relation count")
+    for count in relation_counts:
+        schema = wide_schema(count)
+        views = wide_schema_security_views(schema)
+        generator = WorkloadGenerator(schema, max_subqueries=1, seed=seed)
+        queries = list(generator.stream(queries_per_point))
+        labeler = BitVectorLabeler(views)
+
+        def label_all() -> None:
+            for query in queries:
+                labeler.label_query(query)
+
+        series.add(SeriesPoint(count, _time(label_all), queries_per_point))
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 6: policy checker performance
+# ----------------------------------------------------------------------
+
+def build_label_stream(
+    count: int = 5_000,
+    seed: int = 0,
+    security_views: Optional[SecurityViews] = None,
+) -> Tuple[BitVectorRegistry, List[Tuple]]:
+    """Pre-label a workload, as the paper does ("a collection of 10
+    million disclosure labels output by the previous experiment").
+
+    Queries have 1–3 body atoms (the realistic, single-subquery
+    workload).
+    """
+    views = security_views or facebook_security_views()
+    registry = BitVectorRegistry(views)
+    labeler = BitVectorLabeler(views)
+    generator = WorkloadGenerator(max_subqueries=1, seed=seed)
+    return registry, [labeler.label_query(q) for q in generator.stream(count)]
+
+
+def run_figure6(
+    checks_per_point: int = 100_000,
+    element_axis: Sequence[int] = FIGURE6_ELEMENT_AXIS,
+    principal_counts: Sequence[int] = FIGURE6_PRINCIPALS,
+    partition_settings: Sequence[int] = (5, 1),
+    label_pool: Optional[List[Tuple]] = None,
+    registry: Optional[BitVectorRegistry] = None,
+    policy_pool_size: int = 1_024,
+    seed: int = 0,
+) -> List[Series]:
+    """Reproduce Figure 6: policy-check time vs elements per partition.
+
+    Returns one series per (partition setting, principal count), in the
+    paper's legend order (5-way before 1-way, principals descending).
+
+    Principals beyond *policy_pool_size* share compiled policy objects
+    drawn from a random pool; per-principal live-state remains fully
+    distinct, which preserves the cache-locality effect the paper
+    observes ("as the number of principals grew larger, it became
+    increasingly improbable that the metadata for a randomly selected
+    principal would reside in an on-chip cache").
+    """
+    import random
+
+    if registry is None or label_pool is None:
+        registry, label_pool = build_label_stream(seed=seed)
+    names = registry.security_views.names
+
+    series_list: List[Series] = []
+    for max_partitions in partition_settings:
+        for principals in principal_counts:
+            label = f"{max_partitions}-way, {_fmt_count(principals)} principals"
+            series = Series(label)
+            rng = random.Random(seed + principals + max_partitions)
+            for max_elements in element_axis:
+                pool = [
+                    CompiledPolicy(
+                        [registry.grant_masks(p) for p in policy]
+                    )
+                    for policy in generate_policies(
+                        names,
+                        min(policy_pool_size, principals),
+                        max_partitions,
+                        max_elements,
+                        seed=seed + max_elements,
+                    )
+                ]
+                checker = PolicyChecker(registry)
+                for _ in range(principals):
+                    checker.add_principal(rng.choice(pool))
+
+                assignments = [
+                    (rng.randrange(principals), rng.choice(label_pool))
+                    for _ in range(checks_per_point)
+                ]
+
+                elapsed = _time(lambda: checker.run_stream(assignments))
+                series.add(SeriesPoint(max_elements, elapsed, checks_per_point))
+            series_list.append(series)
+    return series_list
+
+
+def _fmt_count(value: int) -> str:
+    if value >= 1_000_000:
+        return f"{value // 1_000_000}M"
+    if value >= 1_000:
+        return f"{value // 1_000}K"
+    return str(value)

@@ -1,0 +1,73 @@
+"""Disclosure labeling: Sections 3.3, 4, 5, and 6.1 of the paper.
+
+* :mod:`repro.labeling.labeler` — labeler axioms, NaïveLabel, existence
+* :mod:`repro.labeling.generating` — (downward) generating sets, GLBLabel,
+  LabelGen
+* :mod:`repro.labeling.glb` — GLB of view sets via GenMGU
+* :mod:`repro.labeling.cq_labeler` — the end-to-end conjunctive-query
+  labeler with the ℓ+ representation
+* :mod:`repro.labeling.bitvector` — packed 64-bit labels
+* :mod:`repro.labeling.pipeline` — the three Figure 5 labeler variants
+"""
+
+from repro.labeling.bitvector import BitVectorRegistry, PackedLayout
+from repro.labeling.cq_labeler import (
+    AtomLabel,
+    ConjunctiveQueryLabeler,
+    DisclosureLabel,
+    SecurityViews,
+)
+from repro.labeling.generating import (
+    glb_closure,
+    glb_label,
+    is_downward_generating_set,
+    label_gen,
+    minimal_downward_generating_set,
+    minimal_generating_set,
+)
+from repro.labeling.glb import glb_many, glb_singleton, glb_view_sets, prune_view_set
+from repro.labeling.labeler import (
+    ComposedLabeler,
+    IdentityLabeler,
+    Labeler,
+    NaiveLabeler,
+    induces_labeler,
+    labeler_violations,
+    unique_up_to_equivalence,
+)
+from repro.labeling.pipeline import (
+    LABELER_VARIANTS,
+    BaselineLabeler,
+    BitVectorLabeler,
+    HashPartitionedLabeler,
+)
+
+__all__ = [
+    "AtomLabel",
+    "BaselineLabeler",
+    "BitVectorLabeler",
+    "BitVectorRegistry",
+    "ComposedLabeler",
+    "ConjunctiveQueryLabeler",
+    "DisclosureLabel",
+    "HashPartitionedLabeler",
+    "IdentityLabeler",
+    "LABELER_VARIANTS",
+    "Labeler",
+    "NaiveLabeler",
+    "PackedLayout",
+    "SecurityViews",
+    "glb_closure",
+    "glb_label",
+    "glb_many",
+    "glb_singleton",
+    "glb_view_sets",
+    "induces_labeler",
+    "is_downward_generating_set",
+    "label_gen",
+    "labeler_violations",
+    "minimal_downward_generating_set",
+    "minimal_generating_set",
+    "prune_view_set",
+    "unique_up_to_equivalence",
+]

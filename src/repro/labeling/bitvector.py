@@ -1,0 +1,203 @@
+"""Compressed bit-vector disclosure labels (Section 6.1).
+
+"In our current implementation, the low 32 bits of a 64-bit integer track
+which base relation a view corresponds to, and the remaining 32 bits
+represent the elements of Fgen that are associated with that relation."
+
+A single Python int therefore stores one atom's label: relation id in the
+low bits, the ``ℓ+`` membership mask in the high bits.  Because
+``{V1} ⪯ {V2}`` requires both views to range over the same base relation,
+``ℓ+`` sets never cross relations, and the superset test of Section 6.1
+becomes a handful of integer operations:
+
+    packed1 ⪯ packed2   iff   relation ids equal  and  mask1 ⊇ mask2
+
+(the paper's "bit mask operations to determine whether one subset
+contains another"; the id comparison must be equality, not bit
+containment).  Multi-atom labels are tuples of packed ints.
+
+"There is nothing special about the number 32, and the representation can
+easily be generalized to any number of bits" — :class:`PackedLayout`
+parameterizes both widths; Python ints are unbounded so wide schemas cost
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.rewriting import is_rewritable
+from repro.core.tagged import TaggedAtom
+from repro.errors import LabelingError
+from repro.labeling.cq_labeler import SecurityViews
+
+#: A packed single-atom label.
+Packed = int
+
+#: A multi-atom label: a sorted tuple of packed single-atom labels.
+PackedLabel = Tuple[Packed, ...]
+
+
+class PackedLayout:
+    """Bit layout for packed labels: relation id low, view mask high."""
+
+    def __init__(self, relation_bits: int = 32, view_bits: int = 32):
+        if relation_bits <= 0 or view_bits <= 0:
+            raise LabelingError("bit widths must be positive")
+        self.relation_bits = relation_bits
+        self.view_bits = view_bits
+
+    @property
+    def max_relations(self) -> int:
+        return 1 << self.relation_bits
+
+    @property
+    def max_views_per_relation(self) -> int:
+        return self.view_bits
+
+    def pack(self, relation_id: int, mask: int) -> Packed:
+        """Combine a relation id and an ``ℓ+`` mask into one integer."""
+        if not 0 <= relation_id < self.max_relations:
+            raise LabelingError(
+                f"relation id {relation_id} exceeds {self.relation_bits} bits"
+            )
+        if mask < 0 or mask >> self.view_bits:
+            raise LabelingError(f"view mask {mask:#x} exceeds {self.view_bits} bits")
+        return (mask << self.relation_bits) | relation_id
+
+    def unpack(self, packed: Packed) -> Tuple[int, int]:
+        """Split a packed label into ``(relation_id, mask)``."""
+        return packed & (self.max_relations - 1), packed >> self.relation_bits
+
+    def leq(self, packed1: Packed, packed2: Packed) -> bool:
+        """Single-atom label comparison: ``ℓ1 ⪯ ℓ2``.
+
+        Same relation and ``mask1 ⊇ mask2``.  Note the relation ids must
+        be compared for *equality*, not bitwise containment — collapsing
+        the whole test to one ``&`` would wrongly accept cross-relation
+        pairs whose id bits happen to nest (e.g. ids 0 and 1).
+        """
+        relation_mask = self.max_relations - 1
+        if (packed1 ^ packed2) & relation_mask:
+            return False
+        return (packed1 & packed2) == packed2
+
+
+class BitVectorRegistry:
+    """Assigns relation ids and per-relation view bits; computes ``ℓ+`` masks.
+
+    The registry is the bridge between symbolic security views and the
+    packed integer world used by the fast labeler (Figure 5's
+    "bit vectors + hashing" series) and the policy checker (Figure 6).
+    """
+
+    def __init__(self, security_views: SecurityViews, layout: "PackedLayout | None" = None):
+        self.security_views = security_views
+        self.layout = layout or PackedLayout()
+        self.relation_ids: Dict[str, int] = {}
+        self.view_bits: Dict[str, int] = {}  # view name -> bit index
+        self._views_by_relation: Dict[str, List[Tuple[int, TaggedAtom]]] = {}
+
+        for name in security_views.names:
+            view = security_views.view(name)
+            rel = view.relation
+            if rel not in self.relation_ids:
+                if len(self.relation_ids) >= self.layout.max_relations:
+                    raise LabelingError("too many relations for the bit layout")
+                self.relation_ids[rel] = len(self.relation_ids)
+                self._views_by_relation[rel] = []
+            bit = len(self._views_by_relation[rel])
+            if bit >= self.layout.max_views_per_relation:
+                raise LabelingError(
+                    f"relation {rel!r} has more than "
+                    f"{self.layout.max_views_per_relation} security views"
+                )
+            self.view_bits[name] = bit
+            self._views_by_relation[rel].append((bit, view))
+
+    # ------------------------------------------------------------------
+    def atom_mask(self, atom: TaggedAtom) -> int:
+        """The ``ℓ+`` mask of a tagged atom (0 when nothing determines it)."""
+        mask = 0
+        for bit, view in self._views_by_relation.get(atom.relation, ()):
+            if is_rewritable(atom, view):
+                mask |= 1 << bit
+        return mask
+
+    def pack_atom(self, atom: TaggedAtom) -> Packed:
+        """Packed ``ℓ+`` label of a tagged atom.
+
+        An unknown relation or an empty mask packs to mask 0 — the ⊤
+        label, which no grant mask can satisfy.
+        """
+        relation_id = self.relation_ids.get(atom.relation)
+        if relation_id is None:
+            # No security views over this relation: the ⊤ label (mask 0,
+            # relation slot 0) — no grant mask can ever satisfy it.
+            return 0
+        return self.layout.pack(relation_id, self.atom_mask(atom))
+
+    def pack_label(self, atoms: Iterable[TaggedAtom]) -> PackedLabel:
+        """Packed multi-atom label (sorted for canonical comparison)."""
+        return tuple(sorted(self.pack_atom(a) for a in atoms))
+
+    def grant_mask(self, relation: str, names: Iterable[str]) -> Packed:
+        """Packed grant: the given views of *relation* as a mask.
+
+        Used to express policies: an atom label ``p`` is satisfied by the
+        grant iff the masks intersect on the same relation —
+        :func:`satisfies`.
+        """
+        relation_id = self.relation_ids.get(relation)
+        if relation_id is None:
+            raise LabelingError(f"no security views over relation {relation!r}")
+        mask = 0
+        for name in names:
+            view = self.security_views.view(name)
+            if view.relation != relation:
+                raise LabelingError(
+                    f"view {name!r} is over {view.relation!r}, not {relation!r}"
+                )
+            mask |= 1 << self.view_bits[name]
+        return self.layout.pack(relation_id, mask)
+
+    def grant_masks(self, names: Iterable[str]) -> Dict[int, int]:
+        """Per-relation-id grant masks for a set of view names."""
+        out: Dict[int, int] = {}
+        for name in names:
+            view = self.security_views.view(name)
+            rel_id = self.relation_ids[view.relation]
+            out[rel_id] = out.get(rel_id, 0) | (1 << self.view_bits[name])
+        return out
+
+    # ------------------------------------------------------------------
+    def leq(self, label1: PackedLabel, label2: PackedLabel) -> bool:
+        """Multi-atom label comparison in ``O(r·s)`` (Section 6.1)."""
+        return all(self._atom_leq_label(a, label2) for a in label1)
+
+    def _atom_leq_label(self, packed: Packed, label: PackedLabel) -> bool:
+        return any(self.layout.leq(packed, other) for other in label)
+
+    def satisfies(self, label: PackedLabel, grants: Dict[int, int]) -> bool:
+        """Would the per-relation *grants* answer a query with *label*?
+
+        Every atom's ``ℓ+`` mask must intersect the grant mask of its
+        relation.  An atom with mask 0 (⊤) is never satisfied.
+        """
+        layout = self.layout
+        rel_mask = layout.max_relations - 1
+        for packed in label:
+            relation_id = packed & rel_mask
+            mask = packed >> layout.relation_bits
+            if mask == 0 or not (mask & grants.get(relation_id, 0)):
+                return False
+        return True
+
+    def names_for_mask(self, relation: str, mask: int) -> "frozenset[str]":
+        """Decode a mask back into view names (diagnostics and display)."""
+        out = []
+        for name, bit in self.view_bits.items():
+            view = self.security_views.view(name)
+            if view.relation == relation and mask & (1 << bit):
+                out.append(name)
+        return frozenset(out)

@@ -1,0 +1,288 @@
+"""The end-to-end conjunctive-query disclosure labeler (Section 5).
+
+Combines Dissect (Section 5.2) with single-atom labeling over a set of
+single-atom security views ``S`` (Section 5.1).  Per Section 6.1, the
+practical representation of a label is not a GLB but the per-atom set
+
+    ℓ+({V}) = {Si ∈ Fgen : {V} ⪯ {Si}}
+
+— "the set of all security views that uniquely determine the answer to
+V".  Labels compare by superset: ``ℓ(V) ⪯ ℓ(V')  iff  ℓ+(V) ⊇ ℓ+(V')``,
+and an ``r``-atom label compares against an ``s``-atom label in
+``O(r·s)``.
+
+A dissected atom whose ``ℓ+`` is **empty** is not determined by any
+security view: its label is ⊤ (more than the policy vocabulary can
+express) and no policy built from ``S`` can authorize it — default deny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.dissect import dissect, dissect_all
+from repro.core.queries import ConjunctiveQuery
+from repro.core.rewriting import is_rewritable
+from repro.core.tagged import TaggedAtom
+from repro.errors import LabelingError
+from repro.labeling.glb import glb_many, prune_view_set
+from repro.order.preorder import minimal_elements
+
+
+class SecurityViews:
+    """A named registry of single-atom security views, indexed by relation.
+
+    Names play the role of Facebook permissions (``user_likes`` etc.);
+    views are normalized :class:`~repro.core.tagged.TaggedAtom` patterns.
+    """
+
+    def __init__(self, named_views: Mapping[str, TaggedAtom]):
+        self._by_name: Dict[str, TaggedAtom] = dict(named_views)
+        if not self._by_name:
+            raise LabelingError("security view set must be non-empty")
+        self._name_of: Dict[TaggedAtom, str] = {}
+        self._by_relation: Dict[str, List[Tuple[str, TaggedAtom]]] = {}
+        for name, view in self._by_name.items():
+            if view in self._name_of:
+                raise LabelingError(
+                    f"views {name!r} and {self._name_of[view]!r} are equivalent; "
+                    "security views must be pairwise inequivalent"
+                )
+            self._name_of[view] = name
+            self._by_relation.setdefault(view.relation, []).append((name, view))
+
+    @classmethod
+    def from_queries(
+        cls, queries: Iterable[ConjunctiveQuery]
+    ) -> "SecurityViews":
+        """Build from single-atom view definitions; names from head names."""
+        named = {}
+        for query in queries:
+            if query.head_name in named:
+                raise LabelingError(f"duplicate view name {query.head_name!r}")
+            named[query.head_name] = TaggedAtom.from_query(query)
+        return cls(named)
+
+    @classmethod
+    def from_definitions(cls, text: str) -> "SecurityViews":
+        """Build from a datalog view-definition block (see ``parse_views``)."""
+        from repro.core.parser import parse_views
+
+        return cls.from_queries(parse_views(text))
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+    @property
+    def views(self) -> Tuple[TaggedAtom, ...]:
+        return tuple(self._by_name.values())
+
+    def view(self, name: str) -> TaggedAtom:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LabelingError(f"unknown security view {name!r}") from None
+
+    def name_of(self, view: TaggedAtom) -> Optional[str]:
+        return self._name_of.get(view)
+
+    def for_relation(self, relation: str) -> Sequence[Tuple[str, TaggedAtom]]:
+        """The ``(name, view)`` pairs over *relation* (hash partitioning)."""
+        return self._by_relation.get(relation, ())
+
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(self._by_relation)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+
+class AtomLabel:
+    """The label of one dissected atom: its ``ℓ+`` set of determiners."""
+
+    __slots__ = ("atom", "determiners")
+
+    def __init__(self, atom: TaggedAtom, determiners: FrozenSet[str]):
+        self.atom = atom
+        self.determiners = determiners
+
+    @property
+    def is_top(self) -> bool:
+        """No security view determines this atom — the label is ⊤."""
+        return not self.determiners
+
+    def leq(self, other: "AtomLabel") -> bool:
+        """Section 6.1: ``ℓ(V) ⪯ ℓ(V') iff ℓ+(V) ⊇ ℓ+(V')``."""
+        if other.is_top:
+            return True
+        return self.determiners >= other.determiners
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AtomLabel)
+            and self.atom == other.atom
+            and self.determiners == other.determiners
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.determiners))
+
+    def __repr__(self) -> str:
+        return f"AtomLabel({self.atom}, {sorted(self.determiners)})"
+
+
+class DisclosureLabel:
+    """The label of a query (set): one :class:`AtomLabel` per dissected atom.
+
+    The multi-atom representation of Section 6.1 ("arrays of single-atom
+    disclosure labels").
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[AtomLabel]):
+        self.atoms: Tuple[AtomLabel, ...] = tuple(atoms)
+
+    @property
+    def is_top(self) -> bool:
+        """Some atom has no determiners: the query exceeds the vocabulary."""
+        return any(a.is_top for a in self.atoms)
+
+    def leq(self, other: "DisclosureLabel") -> bool:
+        """``O(r·s)`` comparison: every atom label below some atom label."""
+        return all(any(a.leq(b) for b in other.atoms) for a in self.atoms)
+
+    def satisfied_by(self, granted: Iterable[str]) -> bool:
+        """Would the *granted* security views answer this query?
+
+        True iff every dissected atom is determined by at least one
+        granted view — the partition check of Section 6.2.
+        """
+        grant_set = frozenset(granted)
+        return all(a.determiners & grant_set for a in self.atoms)
+
+    def required_alternatives(
+        self, security_views: SecurityViews
+    ) -> "list[frozenset[str]]":
+        """Per atom, the *minimal* determining views (cheapest permissions).
+
+        This is the Facebook-documentation shape: "user_likes **or**
+        friends_likes" — each atom lists alternatives, any one of which
+        suffices.
+        """
+        out = []
+        for atom_label in self.atoms:
+            views = [
+                (name, security_views.view(name)) for name in atom_label.determiners
+            ]
+            # leq(a, b) = "a discloses no more than b" = a rewritable from b;
+            # minimal elements are the least-disclosing sufficient views.
+            minimal = minimal_elements(
+                [v for _, v in views],
+                lambda a, b: is_rewritable(a, b),
+            )
+            out.append(
+                frozenset(name for name, v in views if v in minimal)
+            )
+        return out
+
+    def union(self, other: "DisclosureLabel") -> "DisclosureLabel":
+        """Cumulative label of answering both (deduplicated)."""
+        seen = dict.fromkeys(self.atoms)
+        seen.update(dict.fromkeys(other.atoms))
+        return DisclosureLabel(seen)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DisclosureLabel) and frozenset(
+            self.atoms
+        ) == frozenset(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __repr__(self) -> str:
+        return f"DisclosureLabel({list(self.atoms)!r})"
+
+
+#: Inputs a labeler accepts: a parsed query, a tagged atom, or collections.
+Labelable = Union[ConjunctiveQuery, TaggedAtom, Iterable]
+
+
+class ConjunctiveQueryLabeler:
+    """Labels conjunctive queries with subsets of the security views.
+
+    The composition Dissect ∘ single-atom-labeler (Section 5.2): a
+    disclosure labeler with domain ``℘(U_cv)``.
+    """
+
+    def __init__(self, security_views: SecurityViews):
+        self.security_views = security_views
+        self._atom_cache: Dict[TaggedAtom, AtomLabel] = {}
+
+    # ------------------------------------------------------------------
+    def label_atom(self, atom: TaggedAtom) -> AtomLabel:
+        """``ℓ+`` of a single tagged atom, with memoization."""
+        cached = self._atom_cache.get(atom)
+        if cached is None:
+            determiners = frozenset(
+                name
+                for name, view in self.security_views.for_relation(atom.relation)
+                if is_rewritable(atom, view)
+            )
+            cached = AtomLabel(atom, determiners)
+            self._atom_cache[atom] = cached
+        return cached
+
+    def label(self, queries: Labelable) -> DisclosureLabel:
+        """Label a query, tagged atom, or collection thereof."""
+        atoms = self._dissect_input(queries)
+        return DisclosureLabel(self.label_atom(a) for a in sorted_atoms(atoms))
+
+    def label_views(self, label: DisclosureLabel) -> FrozenSet[TaggedAtom]:
+        """The label as an *element of F*: the union of per-atom GLBs.
+
+        This is the LabelGen output (a set of views); provided for
+        completeness and for the theory tests — policy enforcement uses
+        the ``ℓ+`` representation directly.
+        """
+        out: set = set()
+        for atom_label in label.atoms:
+            if atom_label.is_top:
+                raise LabelingError(
+                    f"atom {atom_label.atom} is above every security view; "
+                    "its label is ⊤ and has no view representation"
+                )
+            out |= glb_many(
+                [
+                    frozenset([self.security_views.view(name)])
+                    for name in atom_label.determiners
+                ]
+            )
+        return prune_view_set(out)
+
+    # ------------------------------------------------------------------
+    def _dissect_input(self, queries: Labelable) -> FrozenSet[TaggedAtom]:
+        if isinstance(queries, ConjunctiveQuery):
+            return dissect(queries)
+        if isinstance(queries, TaggedAtom):
+            return frozenset([queries])
+        atoms: set = set()
+        for item in queries:
+            atoms |= self._dissect_input(item)
+        return frozenset(atoms)
+
+
+def sorted_atoms(atoms: Iterable[TaggedAtom]) -> List[TaggedAtom]:
+    """Deterministic atom order (by relation, then rendered pattern)."""
+    return sorted(atoms, key=lambda a: (a.relation, str(a)))

@@ -1,0 +1,210 @@
+"""Generating sets for labelers (Section 4).
+
+The label set ``F`` can be doubly exponential in the schema (Example 4.1:
+all subsets of all projections).  Section 4 shows ``F`` never needs to be
+materialized:
+
+* a **downward generating set** ``Fd`` (Definition 4.2) reproduces every
+  element of ``F`` as a GLB of its elements; the minimal ``Fd`` is unique
+  up to equivalence (Theorem 4.3), and any ``G`` extends to an ``F`` that
+  it generates (Theorem 4.5) — so in practice one works directly with a
+  hand-picked ``G``;
+* under decomposability + precision, a (full) **generating set**
+  ``Fgen`` (Definition 4.9) reproduces ``F`` via unions of GLBs and is
+  typically only linear in the schema (Example 4.10) — for single-atom
+  security views ``S``, the singletons ``{{Si}}`` form an ``Fgen``.
+
+``GLBLabel`` and ``LabelGen`` are the paper's two labeling algorithms over
+these compressed representations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.errors import LabelingError
+from repro.order.disclosure_order import DisclosureOrder
+
+V = TypeVar("V", bound=Hashable)
+ViewSet = FrozenSet
+
+#: Binary GLB on view sets: returns W3 with ⇓W3 = ⇓W1 ∩ ⇓W2.
+GlbFn = Callable[[ViewSet, ViewSet], ViewSet]
+
+
+def glb_label(
+    generating: Iterable[ViewSet],
+    views: ViewSet,
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+    top: Optional[ViewSet] = None,
+) -> ViewSet:
+    """The GLBLabel algorithm (Section 4.1).
+
+    Iterates over the downward generating set and folds a running GLB of
+    the elements that disclose at least as much as *views*.
+
+    Parameters
+    ----------
+    top:
+        The label to return when no generating element is above *views*
+        (the algorithm's initial ``L ← ⊤``).  If ``None`` and nothing
+        matches, raises :class:`LabelingError` — the caller's ``F`` lacks
+        a top.
+    """
+    result: Optional[ViewSet] = None
+    matched = False
+    for candidate in generating:
+        if order.leq(views, candidate):
+            matched = True
+            result = candidate if result is None else glb(result, candidate)
+    if not matched:
+        if top is None:
+            raise LabelingError(
+                f"no generating element is above {set(views)!r} and no top given"
+            )
+        return top
+    assert result is not None
+    return result
+
+
+def label_gen(
+    generating: Iterable[ViewSet],
+    views: Iterable[V],
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+    top: Optional[ViewSet] = None,
+) -> ViewSet:
+    """The LabelGen algorithm (Section 4.2).
+
+    Labels each view independently with GLBLabel over the (full)
+    generating set and unions the per-view labels.  Correct when the
+    universe is decomposable and the induced labeler precise.
+    """
+    gen_list = list(generating)
+    result: set = set()
+    for view in views:
+        result |= glb_label(gen_list, frozenset([view]), order, glb, top=top)
+    return frozenset(result)
+
+
+def glb_closure(
+    generators: Iterable[ViewSet],
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+    max_size: int = 100_000,
+) -> List[ViewSet]:
+    """Close *generators* under pairwise GLB (Theorem 4.5).
+
+    Returns an ``F`` (as a list of view sets, deduplicated up to
+    equivalence) for which the input is a downward generating set.  The
+    closure can be exponential; *max_size* guards against blow-up.
+    """
+    closed: List[ViewSet] = []
+    pending: List[ViewSet] = [frozenset(g) for g in generators]
+    while pending:
+        candidate = pending.pop()
+        if any(order.equivalent(candidate, existing) for existing in closed):
+            continue
+        for existing in closed:
+            meet = glb(candidate, existing)
+            if not any(order.equivalent(meet, known) for known in closed):
+                pending.append(meet)
+        closed.append(candidate)
+        if len(closed) > max_size:
+            raise LabelingError(
+                f"GLB closure exceeded {max_size} elements; "
+                "use generating sets directly instead of materializing F"
+            )
+    return closed
+
+
+def minimal_downward_generating_set(
+    labels: Sequence[ViewSet],
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+) -> List[ViewSet]:
+    """Minimal ``Fd`` for a GLB-closed ``F`` (Theorem 4.3).
+
+    "Given F, a minimal downward generating set can be computed by
+    iteratively removing elements of F that are equivalent to the GLB of
+    a subset of the elements still left."  An element ``W`` is redundant
+    iff ``W ≡ GLB({X ∈ rest : W ⪯ X})`` — the GLB of everything above it;
+    testing that single subset is sound and complete because the GLB of
+    any witnessing subset is sandwiched between the two.
+    """
+    remaining: List[ViewSet] = [frozenset(l) for l in labels]
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate in enumerate(remaining):
+            rest = remaining[:i] + remaining[i + 1 :]
+            above = [x for x in rest if order.leq(candidate, x)]
+            if not above:
+                continue
+            meet = above[0]
+            for other in above[1:]:
+                meet = glb(meet, other)
+            if order.equivalent(candidate, meet):
+                remaining = rest
+                changed = True
+                break
+    return remaining
+
+
+def is_downward_generating_set(
+    candidate: Iterable[ViewSet],
+    labels: Iterable[ViewSet],
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+) -> bool:
+    """Definition 4.2 check: every label ≡ a GLB of candidate elements.
+
+    Uses the same sandwich argument as
+    :func:`minimal_downward_generating_set`: it suffices to test the GLB
+    of all candidate elements above the label.
+    """
+    cand = [frozenset(c) for c in candidate]
+    for label in labels:
+        target = frozenset(label)
+        above = [x for x in cand if order.leq(target, x)]
+        if not above:
+            return False
+        meet = above[0]
+        for other in above[1:]:
+            meet = glb(meet, other)
+        if not order.equivalent(target, meet):
+            return False
+    return True
+
+
+def minimal_generating_set(
+    labels: Sequence[ViewSet],
+    order: DisclosureOrder[V],
+    glb: GlbFn,
+) -> List[ViewSet]:
+    """Minimal full generating set ``Fgen`` (Definition 4.9).
+
+    Every element of ``F`` must be equivalent to a *union of GLBs* of
+    ``Fgen`` elements.  Requires the precise-labeler and decomposability
+    conditions of Section 4.2 for the analogue of Theorem 4.3 to hold.
+    The reconstruction test for a set ``W`` takes the union over its
+    member views ``V`` of the GLB of the remaining elements above ``{V}``.
+    """
+    remaining: List[ViewSet] = [frozenset(l) for l in labels]
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate in enumerate(remaining):
+            rest = remaining[:i] + remaining[i + 1 :]
+            if not rest:
+                continue
+            try:
+                rebuilt = label_gen(rest, candidate, order, glb, top=None)
+            except LabelingError:
+                continue
+            if order.equivalent(candidate, rebuilt):
+                remaining = rest
+                changed = True
+                break
+    return remaining

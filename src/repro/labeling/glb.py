@@ -1,0 +1,70 @@
+"""GLB of sets of single-atom views (Section 5.1).
+
+``GLBSingleton`` of two singleton view sets is the GenMGU of their tagged
+atoms (:mod:`repro.core.unification`), with ⊥ represented by the empty
+set.  For non-singleton sets, "we simply compute the pairwise
+GLBSingleton of singleton sets containing each pair of views V1 ∈ W1,
+V2 ∈ W2 and union all the results together."
+
+The raw pairwise union can contain redundant views (one rewritable from
+another); :func:`prune_view_set` reduces to the maximal antichain, which
+discloses identical information (Definition 3.1(b)) but keeps labels
+small and canonical.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.rewriting import is_rewritable
+from repro.core.tagged import TaggedAtom
+from repro.core.unification import gen_mgu
+from repro.order.preorder import maximal_antichain
+
+#: A set of single-atom views; the empty set is ⊥ (no common information).
+ViewSet = FrozenSet[TaggedAtom]
+
+
+def glb_singleton(v1: TaggedAtom, v2: TaggedAtom) -> Optional[TaggedAtom]:
+    """GLB of ``{v1}`` and ``{v2}``; ``None`` encodes ⊥ (Section 5.1)."""
+    return gen_mgu(v1, v2)
+
+
+def glb_view_sets(w1: Iterable[TaggedAtom], w2: Iterable[TaggedAtom]) -> ViewSet:
+    """GLB of two sets of views: pairwise GenMGU, unioned, then pruned.
+
+    Satisfies ``⇓result = ⇓W1 ∩ ⇓W2`` over the single-atom universe —
+    the property-based tests validate exactly this identity.
+    """
+    results = set()
+    for a in w1:
+        for b in w2:
+            merged = gen_mgu(a, b)
+            if merged is not None:
+                results.add(merged)
+    return prune_view_set(results)
+
+
+def glb_many(sets: Iterable[Iterable[TaggedAtom]]) -> ViewSet:
+    """GLB of arbitrarily many view sets (Section 4's n-ary ``GLB``).
+
+    The GLB of an *empty* collection is undefined here (it would be ⊤);
+    callers must handle that case (``GLBLabel`` starts from ⊤ explicitly).
+    """
+    iterator = iter(sets)
+    try:
+        result: ViewSet = prune_view_set(frozenset(next(iterator)))
+    except StopIteration:
+        raise ValueError("glb_many requires at least one view set") from None
+    for other in iterator:
+        result = glb_view_sets(result, other)
+    return result
+
+
+def prune_view_set(views: Iterable[TaggedAtom]) -> ViewSet:
+    """Drop views rewritable from another member (keep the maximal antichain).
+
+    Equivalent views are identical after tagged-atom normalization, so
+    deduplication happens automatically via set semantics.
+    """
+    return maximal_antichain(set(views), is_rewritable)

@@ -1,0 +1,178 @@
+"""Disclosure labelers (Definition 3.4, Theorem 3.7, NaïveLabel).
+
+A disclosure labeler ``ℓ : ℘(U) → ℘(U)`` with label set ``F`` satisfies:
+
+(a) ``ℓ(W) ≡ some element of F`` — outputs range over the labels;
+(b) ``W ∈ F  →  ℓ(W) ≡ W`` — labels are fixpoints;
+(c) ``W ⪯ ℓ(W)`` — never underestimate disclosure;
+(d) ``W1 ⪯ W2  →  ℓ(W1) ⪯ ℓ(W2)`` — monotone.
+
+Not every ``F`` admits a labeler (Example 3.5: ``F = ℘({V2, V4})`` has no
+home for ``V5``); Theorem 3.7 characterizes existence: ``K = {⇓W : W ∈ F}``
+must be closed under GLB (intersection) and contain ``⇓U``.  When a
+labeler exists it is unique up to equivalence, and NaïveLabel computes it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.errors import LabelingError
+from repro.order.disclosure_order import DisclosureOrder
+from repro.order.preorder import topological_sort
+
+V = TypeVar("V", bound=Hashable)
+ViewSet = FrozenSet
+
+
+class Labeler(ABC, Generic[V]):
+    """Abstract disclosure labeler: maps view sets to label view sets."""
+
+    @abstractmethod
+    def label(self, views: Iterable[V]) -> ViewSet:
+        """The disclosure label of *views* (an element of ``F`` up to ≡)."""
+
+
+class NaiveLabeler(Labeler[V]):
+    """The NaïveLabel algorithm of Section 3.3.
+
+    Sorts ``F`` in order of increasing disclosure, then returns the first
+    element that reveals at least as much as the input.  Runs in time
+    linear in ``|F|`` per query — correct but impractical for large ``F``
+    (Section 4 explains how generating sets replace it).
+
+    Parameters
+    ----------
+    order:
+        The disclosure order.
+    labels:
+        The label set ``F``.  Must contain a top element (an element above
+        every input that will ever be labeled); the paper notes "the
+        disclosure labeler axioms imply that F contains ⊤".  If no label
+        fits, :meth:`label` raises :class:`LabelingError`.
+    """
+
+    def __init__(self, order: DisclosureOrder[V], labels: Iterable[ViewSet]):
+        self.order = order
+        self.labels: List[ViewSet] = [frozenset(l) for l in labels]
+        # Lines 2-3 of NaïveLabel: sort so F[i] ⪯ F[j] implies i ≤ j.
+        self._sorted = topological_sort(self.labels, order.leq)
+
+    def label(self, views: Iterable[V]) -> ViewSet:
+        target = frozenset(views)
+        for candidate in self._sorted:  # lines 4-8
+            if self.order.leq(target, candidate):
+                return candidate
+        raise LabelingError(
+            f"no label in F is above {set(target)!r}; F lacks a top element"
+        )
+
+
+def induces_labeler(
+    order: DisclosureOrder[V],
+    universe: Sequence[V],
+    labels: Iterable[ViewSet],
+) -> bool:
+    """Theorem 3.7: does ``F`` induce a disclosure labeler over *universe*?
+
+    Checks that ``K = {⇓W : W ∈ F}`` (computed over the finite universe)
+    is closed under pairwise intersection and contains ``⇓U``.
+    """
+    down_sets = {order.down(l, universe) for l in labels}
+    if order.down(universe, universe) not in down_sets:
+        return False
+    for x1 in down_sets:
+        for x2 in down_sets:
+            if (x1 & x2) not in down_sets:
+                return False
+    return True
+
+
+def labeler_violations(
+    labeler: Labeler[V],
+    order: DisclosureOrder[V],
+    labels: Iterable[ViewSet],
+    samples: Iterable[ViewSet],
+) -> List[str]:
+    """Check the Definition 3.4 axioms on sample inputs; return violations.
+
+    Used by the property-based tests: any labeler produced by this
+    library must come back clean.
+    """
+    label_list = [frozenset(l) for l in labels]
+    sample_list = [frozenset(s) for s in samples]
+    problems: List[str] = []
+
+    outputs = {}
+    for w in sample_list + label_list:
+        try:
+            outputs[w] = labeler.label(w)
+        except LabelingError as exc:
+            problems.append(f"labeling failed on {set(w)!r}: {exc}")
+
+    for w, out in outputs.items():
+        # (a) output equivalent to an element of F
+        if not any(order.equivalent(out, f) for f in label_list):
+            problems.append(f"axiom (a): ℓ({set(w)!r}) not equivalent to any label")
+        # (c) never underestimate
+        if not order.leq(w, out):
+            problems.append(f"axiom (c): {set(w)!r} not ⪯ its label")
+
+    for f in label_list:
+        if f in outputs and not order.equivalent(outputs[f], f):
+            problems.append(f"axiom (b): label {set(f)!r} not a fixpoint")
+
+    for w1 in sample_list:
+        for w2 in sample_list:
+            if w1 in outputs and w2 in outputs and order.leq(w1, w2):
+                if not order.leq(outputs[w1], outputs[w2]):
+                    problems.append(
+                        f"axiom (d): monotonicity fails on {set(w1)!r} ⪯ {set(w2)!r}"
+                    )
+    return problems
+
+
+class ComposedLabeler(Labeler[V]):
+    """Composition of two labelers (Section 5.2).
+
+    "As the composition of two labelers is also a labeler" — Dissect
+    composed with the single-atom labeler yields the conjunctive-query
+    labeler.  The first labeler runs first; its output feeds the second.
+    """
+
+    def __init__(self, first, second: Labeler[V]):
+        self.first = first
+        self.second = second
+
+    def label(self, views: Iterable[V]) -> ViewSet:
+        return self.second.label(self.first.label(views))
+
+
+class IdentityLabeler(Labeler[V]):
+    """The trivial labeler mapping every subset to itself (Section 3.4).
+
+    Used in the Chinese Wall policy example: "let ℓ be a trivial
+    disclosure labeler that maps every subset of U to itself".
+    """
+
+    def label(self, views: Iterable[V]) -> ViewSet:
+        return frozenset(views)
+
+
+def unique_up_to_equivalence(
+    labeler_a: Labeler[V],
+    labeler_b: Labeler[V],
+    order: DisclosureOrder[V],
+    samples: Iterable[ViewSet],
+) -> Optional[ViewSet]:
+    """Return a sample where two labelers disagree (≢), or ``None``.
+
+    Theorem 3.7: "If a labeler does exist, it is unique up to
+    equivalence" — any two correct labelers for the same ``F`` must agree
+    on every input up to ≡.
+    """
+    for sample in samples:
+        if not order.equivalent(labeler_a.label(sample), labeler_b.label(sample)):
+            return frozenset(sample)
+    return None

@@ -1,0 +1,73 @@
+"""Order theory: preorders, lattices, disclosure orders, and ⇓.
+
+This package implements Sections 2.3 and 3.1-3.2 of the paper: generic
+preorder/lattice machinery, the disclosure-order axioms (Definition 3.1),
+the ⇓ operator (Definition 3.2), and the disclosure lattice (Theorem 3.3).
+"""
+
+from repro.order.closure import ClosureOperator
+from repro.order.determinacy import (
+    determines,
+    enumerate_instances,
+    rewriting_is_conservative,
+)
+from repro.order.disclosure_lattice import DisclosureLattice
+from repro.order.disclosure_order import (
+    DisclosureOrder,
+    FunctionalOrder,
+    LiftedOrder,
+    RewritingOrder,
+    SetInclusionOrder,
+    check_disclosure_order_axioms,
+    is_decomposable,
+)
+from repro.order.lattice import FiniteLattice, NotALatticeError
+from repro.order.viz import (
+    disclosure_lattice_to_networkx,
+    lattice_to_networkx,
+    to_dot,
+)
+from repro.order.preorder import (
+    QuotientPoset,
+    equivalence_classes,
+    equivalent,
+    is_antisymmetric,
+    is_preorder,
+    is_reflexive,
+    is_transitive,
+    maximal_antichain,
+    maximal_elements,
+    minimal_elements,
+    topological_sort,
+)
+
+__all__ = [
+    "ClosureOperator",
+    "determines",
+    "disclosure_lattice_to_networkx",
+    "enumerate_instances",
+    "lattice_to_networkx",
+    "rewriting_is_conservative",
+    "to_dot",
+    "DisclosureLattice",
+    "DisclosureOrder",
+    "FiniteLattice",
+    "FunctionalOrder",
+    "LiftedOrder",
+    "NotALatticeError",
+    "QuotientPoset",
+    "RewritingOrder",
+    "SetInclusionOrder",
+    "check_disclosure_order_axioms",
+    "equivalence_classes",
+    "equivalent",
+    "is_antisymmetric",
+    "is_decomposable",
+    "is_preorder",
+    "is_reflexive",
+    "is_transitive",
+    "maximal_antichain",
+    "maximal_elements",
+    "minimal_elements",
+    "topological_sort",
+]

@@ -1,0 +1,58 @@
+"""Closure operators on lattices (Section 3.3).
+
+The disclosure-labeler axioms (Definition 3.4) "mirror those in the
+definition of an order-theoretic closure operator [11]": if ``I`` is the
+disclosure lattice of ``U`` then ``X ↦ ⇓ℓ(X)`` is a closure operator on
+``I`` — extensive (``X ⊑ c(X)``), monotone, and idempotent.  This module
+provides the generic notion plus validators used by the theory tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class ClosureOperator(Generic[T]):
+    """A closure operator ``c`` on a poset given by *leq*.
+
+    Wraps an arbitrary function; :meth:`violations` checks the three
+    axioms on a sample of elements.
+    """
+
+    def __init__(self, func: Callable[[T], T], leq: Callable[[T, T], bool]):
+        self._func = func
+        self._leq = leq
+
+    def __call__(self, element: T) -> T:
+        return self._func(element)
+
+    def violations(self, elements: Iterable[T]) -> List[str]:
+        """Check extensivity, monotonicity, idempotence on *elements*."""
+        sample = list(elements)
+        problems: List[str] = []
+        for x in sample:
+            cx = self(x)
+            if not self._leq(x, cx):
+                problems.append(f"not extensive at {x!r}")
+            if self(cx) != cx:
+                problems.append(f"not idempotent at {x!r}")
+        for x in sample:
+            for y in sample:
+                if self._leq(x, y) and not self._leq(self(x), self(y)):
+                    problems.append(f"not monotone at {x!r} ⊑ {y!r}")
+        return problems
+
+    def is_closure_on(self, elements: Iterable[T]) -> bool:
+        """``True`` iff no axiom is violated on *elements*."""
+        return not self.violations(elements)
+
+    def fixpoints(self, elements: Iterable[T]) -> List[T]:
+        """Elements with ``c(x) == x`` — the closed elements.
+
+        For the labeler closure these are exactly the (⇓-closures of the)
+        disclosure labels ``F``, which is why the paper writes the label
+        set as ``F`` ("fixpoints").
+        """
+        return [x for x in elements if self(x) == x]

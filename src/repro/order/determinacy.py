@@ -1,0 +1,136 @@
+"""Bounded-domain view determinacy (Section 3.1).
+
+The paper's "natural candidate" disclosure order is *view determinacy*
+[Nash, Segoufin, Vianu]: ``W1 ⪯ W2`` when the answers to ``W1`` are
+uniquely determined by the answers to ``W2`` on every database.
+"Unfortunately, checking this criterion is highly intractable for many
+classes of queries", so the paper adopts equivalent view rewriting as a
+tractable **conservative approximation**.
+
+This module makes that relationship executable at toy scale: it decides
+determinacy *restricted to databases over a small finite domain* by brute
+force — enumerate all instances, group them by their ``W2`` answers, and
+check that the ``W1`` answers are constant within each group.
+
+Two facts the test-suite establishes with it:
+
+* **soundness of the approximation** — whenever the rewriting order says
+  ``{V} ⪯ {V'}``, bounded determinacy agrees (for every domain);
+* **the Figure 3 separation** — ``{V2, V4}`` (the two projections of
+  Meetings) do *not* determine ``V1`` even over a two-element domain,
+  which is the formal content of "it is impossible to reconstitute the
+  Meetings relation from the projections on its two attributes".
+
+Note the direction of approximation: bounded-domain determinacy is
+*weaker* than true determinacy (small domains can create accidental
+functional relationships), so it can only over-report determinacy — a
+useful property, since rewriting ⟹ true determinacy ⟹ bounded
+determinacy, and any observed violation of that chain is a real bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.tagged import TaggedAtom
+
+#: An instance assigns each relation a set of tuples.
+Instance = Dict[str, FrozenSet[Tuple]]
+
+
+def enumerate_instances(
+    relations: Dict[str, int],
+    domain: Sequence,
+    max_instances: int = 1_000_000,
+) -> List[Instance]:
+    """All instances of *relations* (name -> arity) over *domain*.
+
+    The count is ``∏ 2^(|domain|^arity)``; a guard raises if it exceeds
+    *max_instances* — this is a toy-scale oracle by design.
+    """
+    per_relation: List[List[FrozenSet[Tuple]]] = []
+    names = sorted(relations)
+    total = 1
+    for name in names:
+        arity = relations[name]
+        tuples = list(itertools.product(domain, repeat=arity))
+        count = 2 ** len(tuples)
+        total *= count
+        if total > max_instances:
+            raise ValueError(
+                f"instance space has more than {max_instances} elements; "
+                "shrink the domain or the schema"
+            )
+        relation_instances = [
+            frozenset(subset)
+            for r in range(len(tuples) + 1)
+            for subset in itertools.combinations(tuples, r)
+        ]
+        per_relation.append(relation_instances)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*per_relation)
+    ]
+
+
+def determines(
+    sources: Iterable[TaggedAtom],
+    targets: Iterable[TaggedAtom],
+    domain: Sequence = (0, 1),
+    max_instances: int = 1_000_000,
+) -> bool:
+    """Do *sources* determine *targets* over all databases on *domain*?
+
+    True iff any two instances that agree on every source view's answer
+    also agree on every target view's answer.  Relations and arities are
+    inferred from the views themselves.
+    """
+    # Imported here to keep repro.order independent of repro.storage at
+    # import time (storage's enforcement layer imports repro.labeling,
+    # which imports repro.order).
+    from repro.storage.evaluator import evaluate_view
+
+    source_list = list(sources)
+    target_list = list(targets)
+    relations: Dict[str, int] = {}
+    for view in source_list + target_list:
+        existing = relations.get(view.relation)
+        if existing is not None and existing != view.arity:
+            raise ValueError(
+                f"conflicting arities for relation {view.relation!r}"
+            )
+        relations[view.relation] = view.arity
+
+    fingerprints: Dict[Tuple, Tuple] = {}
+    for instance in enumerate_instances(relations, domain, max_instances):
+        source_answer = tuple(
+            evaluate_view(view, instance) for view in source_list
+        )
+        target_answer = tuple(
+            evaluate_view(view, instance) for view in target_list
+        )
+        seen = fingerprints.get(source_answer)
+        if seen is None:
+            fingerprints[source_answer] = target_answer
+        elif seen != target_answer:
+            return False
+    return True
+
+
+def rewriting_is_conservative(
+    target: TaggedAtom,
+    source: TaggedAtom,
+    domain: Sequence = (0, 1),
+) -> bool:
+    """Check the Section 3.1 approximation claim on one pair.
+
+    If the rewriting order says ``{target} ⪯ {source}`` then bounded
+    determinacy must agree; returns ``True`` when the implication holds
+    (including vacuously).
+    """
+    from repro.core.rewriting import is_rewritable
+
+    if not is_rewritable(target, source):
+        return True
+    return determines([source], [target], domain)

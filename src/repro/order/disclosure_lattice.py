@@ -1,0 +1,190 @@
+"""Disclosure lattices (Section 3.2, Theorem 3.3) over finite universes.
+
+Given a universe ``U`` of views and a disclosure order ``⪯``, the
+operator ``⇓W = {V ∈ U : {V} ⪯ W}`` captures *all* information disclosed
+by ``W``.  The collection ``I = {⇓W : W ⊆ U}`` is a bounded lattice under
+subset ordering, with
+
+* LUB (information combination): ``⇓W1 ⊔ ⇓W2 = ⇓(W1 ∪ W2)``,
+* GLB (information overlap):     ``⇓W1 ⊓ ⇓W2 = ⇓W1 ∩ ⇓W2``,
+* ⊤ = ⇓U = U  and  ⊥ = ⇓∅.
+
+The intersection of two ⇓-fixpoints is again a ⇓-fixpoint, so the GLB is
+plain set intersection (this is why intersection of *raw* view sets fails
+as an overlap measure — Figure 3's ``{V2} ∩ {V4} = ∅`` — but intersection
+of their *downward closures* succeeds, yielding ``⇓{V5}``).
+
+This lattice is a strict generalization of the Lattice of Information
+[Landauer & Redmond 1993].  Materializing it costs up to ``2^|U|`` calls
+to ``⇓`` — it exists for the theory, the tests, and the small worked
+examples; the production labeler of Sections 5–6 never materializes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.order.disclosure_order import DisclosureOrder
+from repro.order.lattice import FiniteLattice
+
+V = TypeVar("V", bound=Hashable)
+
+#: A lattice element: a ⇓-closed subset of the universe.
+Element = FrozenSet
+
+
+class DisclosureLattice(Generic[V]):
+    """The lattice ``I = {⇓W : W ⊆ U}`` for a finite universe ``U``.
+
+    Construct with :meth:`from_universe` (enumerates all subsets) or
+    :meth:`from_generators` (closes the given subsets under LUB and GLB,
+    which can be exponentially cheaper when only part of the lattice is
+    needed).
+    """
+
+    def __init__(
+        self,
+        order: DisclosureOrder[V],
+        universe: Iterable[V],
+        elements: Iterable[Element],
+    ):
+        self.order = order
+        self.universe: Tuple[V, ...] = tuple(dict.fromkeys(universe))
+        self.elements: Tuple[Element, ...] = tuple(dict.fromkeys(elements))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_universe(
+        cls, order: DisclosureOrder[V], universe: Iterable[V]
+    ) -> "DisclosureLattice[V]":
+        """Materialize ``I`` by enumerating every subset of *universe*."""
+        views = tuple(dict.fromkeys(universe))
+        elements = []
+        seen = set()
+        for r in range(len(views) + 1):
+            for combo in itertools.combinations(views, r):
+                down = order.down(combo, views)
+                if down not in seen:
+                    seen.add(down)
+                    elements.append(down)
+        return cls(order, views, elements)
+
+    @classmethod
+    def from_generators(
+        cls,
+        order: DisclosureOrder[V],
+        universe: Iterable[V],
+        generators: Iterable[Iterable[V]],
+    ) -> "DisclosureLattice[V]":
+        """Close ``{⇓G : G ∈ generators} ∪ {⊥, ⊤}`` under LUB and GLB."""
+        views = tuple(dict.fromkeys(universe))
+        pending: List[Element] = [order.down(g, views) for g in generators]
+        pending.append(order.down((), views))
+        pending.append(order.down(views, views))
+        elements: set = set()
+        while pending:
+            element = pending.pop()
+            if element in elements:
+                continue
+            for other in list(elements):
+                lub = order.down(element | other, views)
+                glb = element & other
+                if lub not in elements:
+                    pending.append(lub)
+                if glb not in elements:
+                    pending.append(glb)
+            elements.add(element)
+        ordered = sorted(elements, key=lambda e: (len(e), sorted(map(repr, e))))
+        return cls(order, views, ordered)
+
+    # ------------------------------------------------------------------
+    # Lattice operations (Theorem 3.3)
+    # ------------------------------------------------------------------
+    def down(self, views: Iterable[V]) -> Element:
+        """``⇓W`` relative to this lattice's universe."""
+        return self.order.down(views, self.universe)
+
+    def leq(self, x1: Element, x2: Element) -> bool:
+        """Lattice order: subset inclusion of ⇓-closed sets."""
+        return x1 <= x2
+
+    def lub(self, x1: Element, x2: Element) -> Element:
+        """``⇓W1 ⊔ ⇓W2 = ⇓(W1 ∪ W2)`` (Theorem 3.3a)."""
+        return self.down(x1 | x2)
+
+    def glb(self, x1: Element, x2: Element) -> Element:
+        """``⇓W1 ⊓ ⇓W2 = ⇓W1 ∩ ⇓W2`` (Theorem 3.3b)."""
+        return x1 & x2
+
+    @property
+    def top(self) -> Element:
+        """``⊤ = ⇓U = U`` (every view is below the full universe)."""
+        return self.down(self.universe)
+
+    @property
+    def bottom(self) -> Element:
+        """``⊥ = ⇓∅`` (what is known a priori — e.g. trivially true views)."""
+        return self.down(())
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def element_for(self, views: Iterable[V]) -> Element:
+        """The lattice element disclosing exactly ``⇓views``.
+
+        Raises ``KeyError`` if the element was not materialized (only
+        possible for :meth:`from_generators` lattices).
+        """
+        down = self.down(views)
+        if down not in self.elements:
+            raise KeyError(f"⇓{set(views)!r} not in the materialized lattice")
+        return down
+
+    def as_finite_lattice(self) -> FiniteLattice[Element]:
+        """Adapter for the generic structural checks (distributivity etc.)."""
+        return FiniteLattice(self.elements, lambda a, b: a <= b)
+
+    def is_distributive(self) -> bool:
+        """Theorem 4.8 check via the generic lattice machinery."""
+        return self.as_finite_lattice().is_distributive()
+
+    def hasse_edges(self) -> List[Tuple[Element, Element]]:
+        """Covering pairs, for rendering Figure 3-style diagrams."""
+        return self.as_finite_lattice().hasse_edges()
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self.elements
+
+    def render(self, names: "Optional[dict]" = None) -> str:
+        """ASCII rendering of the lattice, one rank per line (⊥ first).
+
+        *names* optionally maps views to display names.
+        """
+        lattice = self.as_finite_lattice()
+        depth: dict = {}
+        for element in sorted(self.elements, key=len):
+            depth[element] = 1 + max(
+                (depth[other] for other in self.elements if other < element),
+                default=-1,
+            )
+        lines = []
+        for rank in range(max(depth.values()) + 1):
+            row = [e for e in self.elements if depth[e] == rank]
+            rendered = "   ".join(self._label(e, names) for e in row)
+            lines.append(rendered)
+        del lattice  # structure validated as a side effect
+        return "\n".join(lines)
+
+    def _label(self, element: Element, names: "Optional[dict]") -> str:
+        if not element:
+            return "⊥ = ⇓∅"
+        shown = sorted(
+            (names or {}).get(view, str(view)) for view in element
+        )
+        return "⇓{" + ", ".join(shown) + "}"

@@ -1,0 +1,186 @@
+"""Disclosure orders (Definition 3.1).
+
+A disclosure order is a preorder ``⪯`` on ``℘(U)`` (sets of views) with:
+
+(a) ``W1 ⊆ W2``  implies  ``W1 ⪯ W2`` — adding views can only increase
+    disclosure;
+(b) if ``W ⪯ W0`` for every ``W ∈ φ`` then ``⋃φ ⪯ W0`` — an adversary who
+    combines sources each below ``W0`` still learns no more than ``W0``.
+
+The paper names three instances: view determinacy, equivalent view
+rewriting (a tractable conservative approximation of determinacy), and
+the plain subset order.  This module provides the subset order, the
+single-atom equivalent-view-rewriting order used by Sections 5–7, and a
+generic lift that turns any preorder on single views into a disclosure
+order on sets (sound for decomposable universes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, FrozenSet, Generic, Hashable, Iterable, TypeVar
+
+from repro.core.rewriting import is_rewritable
+from repro.core.tagged import TaggedAtom
+
+V = TypeVar("V", bound=Hashable)
+
+#: A set of views.
+ViewSet = FrozenSet
+
+
+class DisclosureOrder(ABC, Generic[V]):
+    """Abstract base for disclosure orders over view sets."""
+
+    @abstractmethod
+    def view_leq(self, view: V, views: ViewSet) -> bool:
+        """Is the single view's information derivable from *views*?
+
+        This is the test ``{V} ⪯ W`` that drives everything else.
+        """
+
+    def leq(self, w1: Iterable[V], w2: Iterable[V]) -> bool:
+        """The set comparison ``W1 ⪯ W2``.
+
+        Definition 3.1(b) makes the pointwise test sound: ``W1 ⪯ W2`` iff
+        ``{V} ⪯ W2`` for every ``V ∈ W1``.
+        """
+        frozen = frozenset(w2)
+        return all(self.view_leq(view, frozen) for view in w1)
+
+    def equivalent(self, w1: Iterable[V], w2: Iterable[V]) -> bool:
+        """``W1 ≡ W2``: each is below the other (equal information)."""
+        s1, s2 = frozenset(w1), frozenset(w2)
+        return self.leq(s1, s2) and self.leq(s2, s1)
+
+    def down(self, views: Iterable[V], universe: Iterable[V]) -> ViewSet:
+        """The ⇓ operator (Definition 3.2) restricted to a finite universe.
+
+        ``⇓W = {V ∈ U : {V} ⪯ W}`` — all views whose answers can be
+        inferred from *views*.
+        """
+        frozen = frozenset(views)
+        return frozenset(v for v in universe if self.view_leq(v, frozen))
+
+
+class SetInclusionOrder(DisclosureOrder[V]):
+    """The "usual set order": ``W1 ⪯ W2`` iff ``W1 ⊆ W2`` (Section 3.1).
+
+    The coarsest disclosure order: it treats every view as incomparable
+    information.  Useful as a baseline and for testing the generic
+    machinery.
+    """
+
+    def view_leq(self, view: V, views: ViewSet) -> bool:
+        return view in views
+
+
+class RewritingOrder(DisclosureOrder[TaggedAtom]):
+    """Equivalent view rewriting on single-atom views (Sections 5–7).
+
+    ``{V} ⪯ W`` iff some view in ``W`` equivalently rewrites ``V`` (see
+    :mod:`repro.core.rewriting` for why a single source view suffices for
+    single-atom targets).  This is the order under which the set of
+    single-atom views is decomposable (Definition 4.7), which Section 5.1
+    relies on.
+    """
+
+    def view_leq(self, view: TaggedAtom, views: ViewSet) -> bool:
+        return any(is_rewritable(view, source) for source in views)
+
+
+class LiftedOrder(DisclosureOrder[V]):
+    """Lift a preorder on single views to a disclosure order on sets.
+
+    Given ``view_leq_single(a, b)`` meaning "view *a* is computable from
+    view *b* alone", defines ``{V} ⪯ W iff ∃ V' ∈ W : V ⪯ V'``.  Any such
+    lift satisfies Definition 3.1 and makes the universe decomposable; the
+    hypothesis test-suite uses random lifted orders to exercise the
+    lattice and labeler theory.
+    """
+
+    def __init__(self, view_leq_single: Callable[[V, V], bool]):
+        self._single = view_leq_single
+
+    def view_leq(self, view: V, views: ViewSet) -> bool:
+        return any(self._single(view, other) for other in views)
+
+
+class FunctionalOrder(DisclosureOrder[V]):
+    """Wrap an arbitrary ``{V} ⪯ W`` callable (escape hatch).
+
+    The caller is responsible for the Definition 3.1 axioms; use
+    :func:`check_disclosure_order_axioms` to validate on samples.
+    """
+
+    def __init__(self, view_leq: Callable[[V, ViewSet], bool]):
+        self._view_leq = view_leq
+
+    def view_leq(self, view: V, views: ViewSet) -> bool:
+        return self._view_leq(view, views)
+
+
+def check_disclosure_order_axioms(
+    order: DisclosureOrder[V],
+    universe: Iterable[V],
+    subsets: Iterable[FrozenSet[V]],
+) -> "list[str]":
+    """Check Definition 3.1 on sample *subsets*; return violation messages.
+
+    Checks reflexivity, transitivity, axiom (a) (monotone in ⊆), and
+    axiom (b) (union of things below W0 stays below W0).  Intended for
+    tests; exhaustive over the given samples.
+    """
+    problems = []
+    sets = [frozenset(s) for s in subsets]
+    for w in sets:
+        if not order.leq(w, w):
+            problems.append(f"not reflexive on {set(w)!r}")
+    for w1 in sets:
+        for w2 in sets:
+            if w1 <= w2 and not order.leq(w1, w2):
+                problems.append(f"axiom (a) fails: {set(w1)!r} ⊆ {set(w2)!r}")
+            for w3 in sets:
+                if order.leq(w1, w2) and order.leq(w2, w3) and not order.leq(w1, w3):
+                    problems.append(
+                        f"not transitive on {set(w1)!r}, {set(w2)!r}, {set(w3)!r}"
+                    )
+    for w0 in sets:
+        below = [w for w in sets if order.leq(w, w0)]
+        union = frozenset().union(*below) if below else frozenset()
+        if not order.leq(union, w0):
+            problems.append(f"axiom (b) fails for W0={set(w0)!r}")
+    return problems
+
+
+def is_decomposable(
+    order: DisclosureOrder[V],
+    universe: "tuple[V, ...] | list[V]",
+    subsets: "Iterable[FrozenSet[V]] | None" = None,
+) -> bool:
+    """Check decomposability (Definition 4.7) over a finite universe.
+
+    ``U`` is decomposable when ``{V} ⪯ W1 ∪ W2`` implies ``{V} ⪯ W1`` or
+    ``{V} ⪯ W2``.  When *subsets* is ``None`` every subset pair of the
+    universe is checked (exponential — small universes only).
+    """
+    import itertools
+
+    if subsets is None:
+        pool = [
+            frozenset(c)
+            for r in range(len(universe) + 1)
+            for c in itertools.combinations(universe, r)
+        ]
+    else:
+        pool = list(subsets)
+    for w1 in pool:
+        for w2 in pool:
+            combined = w1 | w2
+            for view in universe:
+                if order.view_leq(view, combined):
+                    if not (
+                        order.view_leq(view, w1) or order.view_leq(view, w2)
+                    ):
+                        return False
+    return True

@@ -1,0 +1,172 @@
+"""Finite bounded lattices (Section 2.3, Davey & Priestley [11]).
+
+A partially ordered set forms a *lattice* when every pair of elements has
+a least upper bound (LUB, join) and greatest lower bound (GLB, meet); a
+*bounded* lattice also has a least element ⊥ and a greatest element ⊤.
+All lattices in the paper are bounded (Section 2.3).
+
+:class:`FiniteLattice` wraps an explicit element collection and a partial
+order, computes meets/joins by search, and offers the structural checks
+the theory tests need: the lattice laws, distributivity (Theorem 4.8), and
+Hasse-diagram edges for display.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class NotALatticeError(ValueError):
+    """The given poset is missing a meet or join for some pair."""
+
+
+class FiniteLattice(Generic[T]):
+    """An explicit finite bounded lattice.
+
+    Parameters
+    ----------
+    elements:
+        The carrier set.  Must be antisymmetric under *leq* (use
+        :class:`~repro.order.preorder.QuotientPoset` first if starting
+        from a preorder).
+    leq:
+        The partial order.
+
+    Raises :class:`NotALatticeError` if some pair lacks a meet or join.
+    """
+
+    def __init__(self, elements: Iterable[T], leq: Callable[[T, T], bool]):
+        self.elements: Tuple[T, ...] = tuple(dict.fromkeys(elements))
+        self._leq = leq
+        self._meet_cache: dict = {}
+        self._join_cache: dict = {}
+        if not self.elements:
+            raise NotALatticeError("a lattice must be non-empty")
+        # Validate totality of meet/join eagerly: the paper's lattices are
+        # small, and eager failure gives better diagnostics.
+        for a, b in itertools.combinations_with_replacement(self.elements, 2):
+            self.meet(a, b)
+            self.join(a, b)
+
+    # ------------------------------------------------------------------
+    def leq(self, a: T, b: T) -> bool:
+        """The partial order ``a ⊑ b``."""
+        return self._leq(a, b)
+
+    def meet(self, a: T, b: T) -> T:
+        """Greatest lower bound of ``a`` and ``b``."""
+        key = (a, b)
+        if key not in self._meet_cache:
+            lower = [c for c in self.elements if self.leq(c, a) and self.leq(c, b)]
+            greatest = _unique_extreme(lower, self._leq, greatest=True)
+            if greatest is None:
+                raise NotALatticeError(f"no GLB for {a!r} and {b!r}")
+            self._meet_cache[key] = self._meet_cache[(b, a)] = greatest
+        return self._meet_cache[key]
+
+    def join(self, a: T, b: T) -> T:
+        """Least upper bound of ``a`` and ``b``."""
+        key = (a, b)
+        if key not in self._join_cache:
+            upper = [c for c in self.elements if self.leq(a, c) and self.leq(b, c)]
+            least = _unique_extreme(upper, self._leq, greatest=False)
+            if least is None:
+                raise NotALatticeError(f"no LUB for {a!r} and {b!r}")
+            self._join_cache[key] = self._join_cache[(b, a)] = least
+        return self._join_cache[key]
+
+    def meet_all(self, items: Iterable[T]) -> T:
+        """GLB of a collection (⊤ for the empty collection)."""
+        result: Optional[T] = None
+        for item in items:
+            result = item if result is None else self.meet(result, item)
+        return self.top if result is None else result
+
+    def join_all(self, items: Iterable[T]) -> T:
+        """LUB of a collection (⊥ for the empty collection)."""
+        result: Optional[T] = None
+        for item in items:
+            result = item if result is None else self.join(result, item)
+        return self.bottom if result is None else result
+
+    @property
+    def bottom(self) -> T:
+        """The least element ⊥."""
+        return self.meet_all(self.elements) if len(self.elements) > 1 else self.elements[0]
+
+    @property
+    def top(self) -> T:
+        """The greatest element ⊤."""
+        candidates = [
+            a for a in self.elements if all(self.leq(b, a) for b in self.elements)
+        ]
+        if not candidates:  # pragma: no cover - impossible once meets exist
+            raise NotALatticeError("no top element")
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+    def is_distributive(self) -> bool:
+        """Check ``a ⊓ (b ⊔ c) == (a ⊓ b) ⊔ (a ⊓ c)`` for all triples.
+
+        Theorem 4.8: if the universe is decomposable then the disclosure
+        lattice is distributive.
+        """
+        for a, b, c in itertools.product(self.elements, repeat=3):
+            if self.meet(a, self.join(b, c)) != self.join(
+                self.meet(a, b), self.meet(a, c)
+            ):
+                return False
+        return True
+
+    def covers(self, a: T, b: T) -> bool:
+        """Does ``b`` cover ``a`` (``a ⊏ b`` with nothing strictly between)?"""
+        if a == b or not self.leq(a, b):
+            return False
+        return not any(
+            c not in (a, b) and self.leq(a, c) and self.leq(c, b)
+            for c in self.elements
+        )
+
+    def hasse_edges(self) -> List[Tuple[T, T]]:
+        """All covering pairs ``(lower, upper)`` — the Hasse diagram."""
+        return [
+            (a, b)
+            for a in self.elements
+            for b in self.elements
+            if self.covers(a, b)
+        ]
+
+    def height(self) -> int:
+        """Length (edge count) of the longest chain from ⊥ to ⊤."""
+        order = sorted(
+            self.elements, key=lambda e: sum(self.leq(x, e) for x in self.elements)
+        )
+        depth = {e: 0 for e in self.elements}
+        for e in order:
+            for f in self.elements:
+                if f != e and self.leq(f, e):
+                    depth[e] = max(depth[e], depth[f] + 1)
+        return max(depth.values())
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self.elements
+
+
+def _unique_extreme(
+    candidates: Sequence[T], leq: Callable[[T, T], bool], greatest: bool
+) -> Optional[T]:
+    """The unique greatest (or least) element of *candidates*, or ``None``."""
+    for a in candidates:
+        if greatest and all(leq(b, a) for b in candidates):
+            return a
+        if not greatest and all(leq(a, b) for b in candidates):
+            return a
+    return None

@@ -1,0 +1,159 @@
+"""Generic preorder utilities (Section 2.3 notation and terminology).
+
+A *preorder* is a reflexive, transitive binary relation.  The disclosure
+orders of Section 3.1 are preorders on ``℘(U)`` that are generally **not**
+antisymmetric: ``V1(x,y) :- M(x,y)`` and ``V1'(y,x) :- M(x,y)`` each
+disclose all of ``M``, so the two singleton sets lie below one another yet
+are unequal.  The induced relation ``W1 ≡ W2 iff W1 ⪯ W2 and W2 ⪯ W1`` is
+an equivalence relation, and the quotient is a partial order.
+
+These helpers operate on explicit finite element collections with a
+``leq(a, b)`` callable; they power the theory tests and the small-universe
+lattice demos, not the production labeler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+#: A binary comparison: ``leq(a, b)`` means ``a ⪯ b``.
+Leq = Callable[[T, T], bool]
+
+
+def is_reflexive(elements: Sequence[T], leq: Leq) -> bool:
+    """Check ``a ⪯ a`` for every element."""
+    return all(leq(a, a) for a in elements)
+
+
+def is_transitive(elements: Sequence[T], leq: Leq) -> bool:
+    """Check ``a ⪯ b and b ⪯ c implies a ⪯ c`` over all triples."""
+    below: Dict[T, List[T]] = {a: [b for b in elements if leq(a, b)] for a in elements}
+    for a in elements:
+        for b in below[a]:
+            for c in below[b]:
+                if not leq(a, c):
+                    return False
+    return True
+
+
+def is_preorder(elements: Sequence[T], leq: Leq) -> bool:
+    """Check reflexivity and transitivity over *elements*."""
+    return is_reflexive(elements, leq) and is_transitive(elements, leq)
+
+
+def is_antisymmetric(elements: Sequence[T], leq: Leq) -> bool:
+    """Check ``a ⪯ b and b ⪯ a implies a == b``."""
+    for i, a in enumerate(elements):
+        for b in elements[i + 1 :]:
+            if leq(a, b) and leq(b, a):
+                return False
+    return True
+
+
+def equivalent(a: T, b: T, leq: Leq) -> bool:
+    """The induced equivalence: ``a ⪯ b`` and ``b ⪯ a``."""
+    return leq(a, b) and leq(b, a)
+
+
+def equivalence_classes(elements: Iterable[T], leq: Leq) -> List[List[T]]:
+    """Partition *elements* into classes of the induced equivalence."""
+    classes: List[List[T]] = []
+    for element in elements:
+        for cls in classes:
+            if equivalent(element, cls[0], leq):
+                cls.append(element)
+                break
+        else:
+            classes.append([element])
+    return classes
+
+
+def topological_sort(elements: Sequence[T], leq: Leq) -> List[T]:
+    """Sort so that ``elements[i] ⪯ elements[j]`` implies ``i ≤ j``.
+
+    This is the ordering step of the paper's NaïveLabel algorithm
+    (Section 3.3, lines 2–3).  Elements equivalent under the preorder may
+    appear in either order.  Implemented as a stable selection: repeatedly
+    emit an element with no *strictly* smaller unemitted element.
+    """
+    remaining = list(elements)
+    out: List[T] = []
+    while remaining:
+        for i, candidate in enumerate(remaining):
+            if not any(
+                leq(other, candidate) and not leq(candidate, other)
+                for j, other in enumerate(remaining)
+                if j != i
+            ):
+                out.append(candidate)
+                del remaining[i]
+                break
+        else:  # pragma: no cover - impossible for a genuine preorder
+            raise ValueError("relation is not a preorder (cycle of strict pairs)")
+    return out
+
+
+def minimal_elements(elements: Sequence[T], leq: Leq) -> List[T]:
+    """Elements with no strictly smaller element (one per equivalence class)."""
+    out: List[T] = []
+    for a in elements:
+        if any(leq(b, a) and not leq(a, b) for b in elements):
+            continue
+        if any(equivalent(a, b, leq) for b in out):
+            continue
+        out.append(a)
+    return out
+
+
+def maximal_elements(elements: Sequence[T], leq: Leq) -> List[T]:
+    """Elements with no strictly larger element (one per equivalence class)."""
+    return minimal_elements(elements, lambda a, b: leq(b, a))
+
+
+def maximal_antichain(elements: Iterable[T], leq: Leq) -> "frozenset[T]":
+    """Drop every element strictly below another; dedupe equivalents.
+
+    Preserves the *join* of the collection under any disclosure order:
+    removing an element that is ``⪯`` a kept element cannot change what
+    the set discloses (Definition 3.1(b)).
+    """
+    pool = list(elements)
+    kept: List[T] = []
+    for a in pool:
+        if any(leq(a, b) and not leq(b, a) for b in pool):
+            continue  # strictly dominated by something in the pool
+        if any(equivalent(a, k, leq) for k in kept):
+            continue  # an equivalent representative is already kept
+        kept.append(a)
+    return frozenset(kept)
+
+
+class QuotientPoset(Generic[T]):
+    """The partial order induced on equivalence classes of a preorder.
+
+    >>> poset = QuotientPoset([1, 2, 3, 4], lambda a, b: a // 2 <= b // 2)
+    >>> sorted(len(c) for c in poset.classes)
+    [1, 1, 2]
+    """
+
+    def __init__(self, elements: Iterable[T], leq: Leq):
+        self._leq = leq
+        self.classes: List[Tuple[T, ...]] = [
+            tuple(cls) for cls in equivalence_classes(elements, leq)
+        ]
+
+    def class_of(self, element: T) -> Tuple[T, ...]:
+        """The equivalence class containing *element* (must be present)."""
+        for cls in self.classes:
+            if element in cls or equivalent(element, cls[0], self._leq):
+                return cls
+        raise KeyError(element)
+
+    def leq(self, class_a: Tuple[T, ...], class_b: Tuple[T, ...]) -> bool:
+        """Compare two classes via any representatives."""
+        return self._leq(class_a[0], class_b[0])
+
+    def __len__(self) -> int:
+        return len(self.classes)

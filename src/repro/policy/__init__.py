@@ -1,0 +1,35 @@
+"""Security policies and reference monitors (Sections 3.4 and 6.2)."""
+
+from repro.policy.checker import CompiledPolicy, PolicyChecker
+from repro.policy.overprivilege import OverprivilegeReport, analyze as analyze_overprivilege
+from repro.policy.principals import MonitorPool
+from repro.policy.serialization import (
+    dumps as dump_policy_state,
+    loads_monitor,
+    loads_policy,
+    monitor_from_dict,
+    monitor_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+)
+from repro.policy.monitor import Decision, ReferenceMonitor
+from repro.policy.policy import LatticeCutPolicy, PartitionPolicy
+
+__all__ = [
+    "CompiledPolicy",
+    "MonitorPool",
+    "OverprivilegeReport",
+    "analyze_overprivilege",
+    "dump_policy_state",
+    "loads_monitor",
+    "loads_policy",
+    "monitor_from_dict",
+    "monitor_to_dict",
+    "policy_from_dict",
+    "policy_to_dict",
+    "Decision",
+    "LatticeCutPolicy",
+    "PartitionPolicy",
+    "PolicyChecker",
+    "ReferenceMonitor",
+]

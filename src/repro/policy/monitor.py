@@ -1,0 +1,164 @@
+"""The reference monitor (Sections 3.4 and 6.2).
+
+"A reference monitor is an algorithm that inspects each query and accepts
+or rejects it to ensure the policy is never violated."  The monitor keeps
+no query history: per Section 6.2 it suffices to track, in a bit vector
+with one bit per policy partition, which partitions remain consistent
+with everything answered so far (Example 6.3).
+
+The cumulative-disclosure equivalence (Section 6.2) makes this sound: for
+a single partition ``W``, ``{Q1..Qn} ⪯ W`` iff ``{Qi} ⪯ W`` for each
+``i`` — immediate from Definition 3.1 — so per-query per-partition checks
+exactly implement the cumulative policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.tagged import TaggedAtom
+from repro.errors import QueryRefusedError
+from repro.labeling.cq_labeler import (
+    ConjunctiveQueryLabeler,
+    DisclosureLabel,
+    SecurityViews,
+)
+from repro.policy.policy import PartitionPolicy
+
+
+class Decision:
+    """The monitor's verdict on one query."""
+
+    __slots__ = ("accepted", "label", "live_before", "live_after", "reason")
+
+    def __init__(
+        self,
+        accepted: bool,
+        label: DisclosureLabel,
+        live_before: Tuple[bool, ...],
+        live_after: Tuple[bool, ...],
+        reason: str,
+    ):
+        self.accepted = accepted
+        self.label = label
+        self.live_before = live_before
+        self.live_after = live_after
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        verdict = "ACCEPT" if self.accepted else "REFUSE"
+        return f"Decision({verdict}: {self.reason})"
+
+
+class ReferenceMonitor:
+    """Stateful policy enforcement for one principal.
+
+    Parameters
+    ----------
+    labeler:
+        The disclosure labeler (or a :class:`SecurityViews`, from which a
+        labeler is built).
+    policy:
+        The :class:`PartitionPolicy` to enforce.
+
+    The monitor starts with every partition live (Example 6.3's ⟨1, 1⟩)
+    and narrows the live set as queries are answered.  A refused query
+    leaves the state untouched, so a principal can never talk itself into
+    a corner with rejected probes.
+    """
+
+    def __init__(
+        self,
+        labeler: Union[ConjunctiveQueryLabeler, SecurityViews],
+        policy: PartitionPolicy,
+    ):
+        if isinstance(labeler, SecurityViews):
+            labeler = ConjunctiveQueryLabeler(labeler)
+        self.labeler = labeler
+        self.policy = policy
+        self._live: List[bool] = [True] * len(policy)
+        self._answered: List[DisclosureLabel] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def live_partitions(self) -> Tuple[bool, ...]:
+        """The Example 6.3 bit vector (one bit per partition)."""
+        return tuple(self._live)
+
+    @property
+    def cumulative_label(self) -> Optional[DisclosureLabel]:
+        """Union of labels of all answered queries (diagnostics)."""
+        if not self._answered:
+            return None
+        result = self._answered[0]
+        for label in self._answered[1:]:
+            result = result.union(label)
+        return result
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, query: "ConjunctiveQuery | TaggedAtom | Iterable"
+    ) -> Decision:
+        """Label *query*, decide, and update state if accepted.
+
+        Implements the enforcement loop of Section 3.4 with the
+        partition-bit-vector optimization of Section 6.2.
+        """
+        label = self.labeler.label(query)
+        before = self.live_partitions
+
+        if label.is_top:
+            return Decision(
+                False,
+                label,
+                before,
+                before,
+                "query requires information outside the security-view vocabulary",
+            )
+
+        surviving = self.policy.satisfying_partitions(label, live=self._live)
+        if not surviving:
+            anywhere = self.policy.satisfying_partitions(label)
+            if anywhere:
+                reason = (
+                    "query is permitted by partitions "
+                    f"{anywhere} but earlier queries committed to others"
+                )
+            else:
+                reason = "no policy partition discloses enough to answer the query"
+            return Decision(False, label, before, before, reason)
+
+        self._live = [index in surviving for index in range(len(self.policy))]
+        self._answered.append(label)
+        return Decision(
+            True,
+            label,
+            before,
+            self.live_partitions,
+            f"answered under partition(s) {surviving}",
+        )
+
+    def enforce(self, query: "ConjunctiveQuery | TaggedAtom | Iterable") -> Decision:
+        """Like :meth:`submit` but raises :class:`QueryRefusedError` on refusal."""
+        decision = self.submit(query)
+        if not decision.accepted:
+            raise QueryRefusedError(query, decision.reason)
+        return decision
+
+    def would_accept(
+        self, query: "ConjunctiveQuery | TaggedAtom | Iterable"
+    ) -> bool:
+        """Peek: would :meth:`submit` accept, without changing state?"""
+        label = self.labeler.label(query)
+        if label.is_top:
+            return False
+        return bool(self.policy.satisfying_partitions(label, live=self._live))
+
+    def reset(self) -> None:
+        """Forget all history (a new session for the principal)."""
+        self._live = [True] * len(self.policy)
+        self._answered.clear()

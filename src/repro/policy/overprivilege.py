@@ -1,0 +1,129 @@
+"""Over-privilege analysis (Section 2.2).
+
+"Labeling also makes it possible to detect overprivileged applications
+that request access to more permissions than they need due to developer
+error."  Given the disclosure labels of the queries an app actually
+issued and the permission set it was granted, this module computes:
+
+* **unused** grants — never a determiner of any answered query atom;
+* a **minimal sufficient grant** — a smallest subset of the grants that
+  still answers every observed query (each dissected atom needs at least
+  one granted determiner), via exact search for small grant sets and a
+  greedy set cover beyond that;
+* **redundant** grants — granted and occasionally usable, but not needed
+  once the minimal grant is adopted.
+
+This is exactly the analysis behind permission-rightsizing UIs ("this
+app asked for X but never needed it").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.labeling.cq_labeler import DisclosureLabel
+
+#: Exhaustive minimal-cover search is used up to this many grants.
+_EXACT_SEARCH_LIMIT = 12
+
+
+class OverprivilegeReport:
+    """The outcome of an over-privilege analysis."""
+
+    __slots__ = ("granted", "used", "unused", "minimal", "redundant", "covered")
+
+    def __init__(
+        self,
+        granted: FrozenSet[str],
+        used: FrozenSet[str],
+        minimal: FrozenSet[str],
+        covered: bool,
+    ):
+        self.granted = granted
+        #: Grants that determined at least one answered atom.
+        self.used = used
+        #: Grants that never determined anything.
+        self.unused = granted - used
+        #: A smallest sufficient subset of the grants.
+        self.minimal = minimal
+        #: Used but unnecessary under the minimal grant.
+        self.redundant = used - minimal
+        #: False when some atom had no granted determiner at all (the
+        #: queries could not all have been answered with these grants).
+        self.covered = covered
+
+    @property
+    def is_overprivileged(self) -> bool:
+        return bool(self.unused or self.redundant)
+
+    def summary(self) -> str:
+        lines = [
+            f"granted {len(self.granted)} permission(s); "
+            f"minimal sufficient set has {len(self.minimal)}"
+        ]
+        if self.unused:
+            lines.append(f"  never used: {', '.join(sorted(self.unused))}")
+        if self.redundant:
+            lines.append(
+                f"  redundant (covered by others): "
+                f"{', '.join(sorted(self.redundant))}"
+            )
+        if not self.is_overprivileged:
+            lines.append("  grant is tight: every permission is necessary")
+        if not self.covered:
+            lines.append(
+                "  warning: some observed query exceeds the granted views"
+            )
+        return "\n".join(lines)
+
+
+def analyze(
+    labels: Iterable[DisclosureLabel],
+    granted: Iterable[str],
+) -> OverprivilegeReport:
+    """Analyze an app's answered-query *labels* against its *granted* set."""
+    granted_set = frozenset(granted)
+
+    # Each answered atom contributes a requirement: one of these granted
+    # views must be held.  Deduplicate requirement sets.
+    requirements: Set[FrozenSet[str]] = set()
+    covered = True
+    used: Set[str] = set()
+    for label in labels:
+        for atom_label in label:
+            options = frozenset(atom_label.determiners) & granted_set
+            if not options:
+                covered = False
+                continue
+            used |= options
+            requirements.add(options)
+
+    minimal = _minimal_cover(sorted(requirements, key=sorted), granted_set)
+    return OverprivilegeReport(granted_set, frozenset(used), minimal, covered)
+
+
+def _minimal_cover(
+    requirements: Sequence[FrozenSet[str]], granted: FrozenSet[str]
+) -> FrozenSet[str]:
+    """A smallest subset of *granted* hitting every requirement set."""
+    if not requirements:
+        return frozenset()
+    candidates = sorted(frozenset().union(*requirements))
+    if len(candidates) <= _EXACT_SEARCH_LIMIT:
+        for size in range(len(candidates) + 1):
+            for combo in itertools.combinations(candidates, size):
+                chosen = frozenset(combo)
+                if all(req & chosen for req in requirements):
+                    return chosen
+    # Greedy fallback: repeatedly take the grant hitting the most
+    # uncovered requirements.
+    remaining: List[FrozenSet[str]] = list(requirements)
+    chosen_set: Set[str] = set()
+    while remaining:
+        best = max(
+            candidates, key=lambda g: sum(1 for req in remaining if g in req)
+        )
+        chosen_set.add(best)
+        remaining = [req for req in remaining if best not in req]
+    return frozenset(chosen_set)

@@ -1,0 +1,148 @@
+"""Security policies (Definition 3.9 and Section 6.2).
+
+The paper gives two representations:
+
+* **Lattice cut** (Definition 3.9): a policy is a subset ``P`` of the
+  lattice of disclosure labels; a query set is permitted when its label's
+  ⇓ lies in ``P``.  ``P`` must be *internally consistent* — downward
+  closed: "a principal who can view the entirety of the Meetings relation
+  should also be permitted to view the projections on each attribute."
+  This representation is exact but can be enormous;
+  :class:`LatticeCutPolicy` materializes it for small universes (theory,
+  examples, tests).
+
+* **Partitions** (Section 6.2): a policy is a collection
+  ``{W1, ..., Wk}`` of sets of single-atom security views, with the
+  invariant that all queries answered so far must stay below a single
+  ``Wi``.  One partition expresses a stateless policy; several express
+  Chinese Wall-style stateful policies (Example 6.2: ``W1 = {V1}``,
+  ``W2 = {V3}`` — Meetings or Contacts, not both).
+  :class:`PartitionPolicy` is the production representation used by the
+  reference monitor and the fast checker.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import DisclosureLabel, SecurityViews
+from repro.order.disclosure_lattice import DisclosureLattice
+
+
+class PartitionPolicy:
+    """A security policy as named-view partitions (Section 6.2).
+
+    Parameters
+    ----------
+    partitions:
+        One or more sets of security-view names.  A query sequence is
+        compliant while its cumulative label stays below at least one
+        partition.
+    security_views:
+        Optional registry; when given, all names are validated against it.
+    """
+
+    def __init__(
+        self,
+        partitions: Iterable[Iterable[str]],
+        security_views: "SecurityViews | None" = None,
+    ):
+        self.partitions: Tuple[FrozenSet[str], ...] = tuple(
+            frozenset(p) for p in partitions
+        )
+        if not self.partitions:
+            raise PolicyError("a policy needs at least one partition")
+        if any(not p for p in self.partitions):
+            raise PolicyError("policy partitions must be non-empty")
+        if security_views is not None:
+            for partition in self.partitions:
+                for name in partition:
+                    if name not in security_views:
+                        raise PolicyError(f"unknown security view {name!r} in policy")
+
+    @classmethod
+    def stateless(
+        cls, views: Iterable[str], security_views: "SecurityViews | None" = None
+    ) -> "PartitionPolicy":
+        """A single-partition (stateless) policy.
+
+        Section 6.2 shows the stateless and cumulative models coincide for
+        one partition, by Definition 3.1(b).
+        """
+        return cls([views], security_views)
+
+    @property
+    def is_stateless(self) -> bool:
+        return len(self.partitions) == 1
+
+    def satisfying_partitions(
+        self, label: DisclosureLabel, live: "Sequence[bool] | None" = None
+    ) -> List[int]:
+        """Indices of (live) partitions whose views answer *label*."""
+        out = []
+        for index, partition in enumerate(self.partitions):
+            if live is not None and not live[index]:
+                continue
+            if label.satisfied_by(partition):
+                out.append(index)
+        return out
+
+    def permits_fresh(self, label: DisclosureLabel) -> bool:
+        """Would *label* be allowed for a principal with no history?"""
+        return bool(self.satisfying_partitions(label))
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __repr__(self) -> str:
+        return f"PartitionPolicy({[sorted(p) for p in self.partitions]!r})"
+
+
+class LatticeCutPolicy:
+    """A policy as an explicit subset of a (small) disclosure lattice.
+
+    Definition 3.9 materialized.  Use for the worked examples and the
+    theory tests; production code uses :class:`PartitionPolicy`.
+    """
+
+    def __init__(self, lattice: DisclosureLattice, permitted: Iterable[frozenset]):
+        self.lattice = lattice
+        self.permitted: FrozenSet[frozenset] = frozenset(permitted)
+        for element in self.permitted:
+            if element not in lattice.elements:
+                raise PolicyError(
+                    f"policy element {set(element)!r} is not a lattice element"
+                )
+
+    def is_internally_consistent(self) -> bool:
+        """Downward closure check (Section 3.4's "important restriction")."""
+        for element in self.permitted:
+            for other in self.lattice.elements:
+                if other <= element and other not in self.permitted:
+                    return False
+        return True
+
+    def permits(self, views: Iterable) -> bool:
+        """May a principal see ``⇓views``?"""
+        return self.lattice.down(views) in self.permitted
+
+    @classmethod
+    def below(
+        cls, lattice: DisclosureLattice, ceilings: Iterable[Iterable]
+    ) -> "LatticeCutPolicy":
+        """The downward closure of the given ceiling view sets.
+
+        ``LatticeCutPolicy.below(lat, [[V2], [V4]])`` is the Chinese Wall
+        policy of Section 3.4: everything under ⇓{V2} or under ⇓{V4}.
+        """
+        tops = [lattice.down(c) for c in ceilings]
+        permitted = [
+            element
+            for element in lattice.elements
+            if any(element <= top for top in tops)
+        ]
+        return cls(lattice, permitted)
+
+    def __len__(self) -> int:
+        return len(self.permitted)

@@ -1,0 +1,75 @@
+"""Multi-principal monitor management (Section 6.2).
+
+"We restrict our discussion to a system with a single principal; a
+generalization to multiple principals is straightforward."  This module
+is that generalization for the *symbolic* monitor: a pool of
+per-principal :class:`~repro.policy.monitor.ReferenceMonitor` instances
+sharing one labeler (and hence one atom-label cache), with per-principal
+policies and state.
+
+For million-principal scale, use the integer fast path
+(:class:`repro.policy.checker.PolicyChecker`) instead; the pool is the
+convenient front end for platform-style deployments with thousands of
+apps where decisions should come with human-readable reasons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.policy.monitor import Decision, ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+
+
+class MonitorPool:
+    """Per-principal reference monitors over a shared labeler."""
+
+    def __init__(self, security_views: SecurityViews):
+        self.security_views = security_views
+        self.labeler = ConjunctiveQueryLabeler(security_views)
+        self._monitors: Dict[Hashable, ReferenceMonitor] = {}
+        self._policies: Dict[Hashable, PartitionPolicy] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, principal: Hashable, policy: PartitionPolicy) -> None:
+        """Register a principal with its policy; re-registration resets state."""
+        self._policies[principal] = policy
+        self._monitors[principal] = ReferenceMonitor(self.labeler, policy)
+
+    def unregister(self, principal: Hashable) -> None:
+        self._monitors.pop(principal, None)
+        self._policies.pop(principal, None)
+
+    def monitor(self, principal: Hashable) -> ReferenceMonitor:
+        try:
+            return self._monitors[principal]
+        except KeyError:
+            raise PolicyError(f"unknown principal {principal!r}") from None
+
+    def policy(self, principal: Hashable) -> PartitionPolicy:
+        try:
+            return self._policies[principal]
+        except KeyError:
+            raise PolicyError(f"unknown principal {principal!r}") from None
+
+    # ------------------------------------------------------------------
+    def submit(self, principal: Hashable, query) -> Decision:
+        """Route one query to the principal's monitor."""
+        return self.monitor(principal).submit(query)
+
+    def reset(self, principal: Hashable) -> None:
+        self.monitor(principal).reset()
+
+    def principals(self) -> Tuple[Hashable, ...]:
+        return tuple(self._monitors)
+
+    def live_partitions(self, principal: Hashable) -> Tuple[bool, ...]:
+        return self.monitor(principal).live_partitions
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __contains__(self, principal: object) -> bool:
+        return principal in self._monitors

@@ -1,0 +1,117 @@
+"""Persistence of policies and monitor state.
+
+A platform restarts; Example 6.3's live-partition bit vector is exactly
+the state that must survive, or every app's Chinese Wall commitments
+would reset.  This module serializes :class:`PartitionPolicy` objects and
+:class:`ReferenceMonitor` state to plain JSON-compatible dictionaries and
+restores them, so deployments can checkpoint per-principal enforcement
+state without replaying query history (Section 6.2: "we only need to
+keep track of which of the Wi are consistent with all the queries
+answered so far").
+
+Only the decision-relevant state is persisted: the policy's partitions
+and the live bits.  The cumulative-label diagnostic history is *not*
+persisted (it is unbounded and never consulted for decisions); after a
+restore, :attr:`ReferenceMonitor.cumulative_label` starts empty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.policy.monitor import ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+
+_FORMAT = "repro.policy/1"
+
+
+def policy_to_dict(policy: PartitionPolicy) -> Dict:
+    """A JSON-compatible representation of a partition policy."""
+    return {
+        "format": _FORMAT,
+        "partitions": [sorted(p) for p in policy.partitions],
+    }
+
+
+def policy_from_dict(
+    data: Dict, security_views: "SecurityViews | None" = None
+) -> PartitionPolicy:
+    """Rebuild a policy; validates names when *security_views* is given."""
+    _check_format(data)
+    partitions = data.get("partitions")
+    if not isinstance(partitions, list):
+        raise PolicyError("policy dict has no 'partitions' list")
+    return PartitionPolicy(partitions, security_views)
+
+
+def monitor_to_dict(monitor: ReferenceMonitor) -> Dict:
+    """Serialize a monitor's policy plus its live-partition bits."""
+    return {
+        "format": _FORMAT,
+        "policy": policy_to_dict(monitor.policy),
+        "live": [bool(b) for b in monitor.live_partitions],
+    }
+
+
+def monitor_from_dict(
+    data: Dict,
+    labeler: Union[ConjunctiveQueryLabeler, SecurityViews],
+) -> ReferenceMonitor:
+    """Restore a monitor with its live-partition state.
+
+    The security views (or a labeler over them) must be supplied by the
+    caller — view definitions are platform configuration, not per-
+    principal state.
+    """
+    _check_format(data)
+    policy = policy_from_dict(
+        data.get("policy", {}),
+        labeler if isinstance(labeler, SecurityViews) else None,
+    )
+    monitor = ReferenceMonitor(labeler, policy)
+    live = data.get("live")
+    if not isinstance(live, list) or len(live) != len(policy):
+        raise PolicyError(
+            "monitor dict 'live' bits do not match the policy's partitions"
+        )
+    if not any(live):
+        raise PolicyError(
+            "corrupt state: no live partition (the monitor never clears "
+            "all bits — refusals leave state untouched)"
+        )
+    monitor._live = [bool(b) for b in live]
+    return monitor
+
+
+def dumps(obj: Union[PartitionPolicy, ReferenceMonitor]) -> str:
+    """Serialize a policy or monitor to a JSON string."""
+    if isinstance(obj, PartitionPolicy):
+        return json.dumps(policy_to_dict(obj), sort_keys=True)
+    if isinstance(obj, ReferenceMonitor):
+        return json.dumps(monitor_to_dict(obj), sort_keys=True)
+    raise PolicyError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads_policy(
+    text: str, security_views: "SecurityViews | None" = None
+) -> PartitionPolicy:
+    """Parse a policy from a JSON string."""
+    return policy_from_dict(json.loads(text), security_views)
+
+
+def loads_monitor(
+    text: str, labeler: Union[ConjunctiveQueryLabeler, SecurityViews]
+) -> ReferenceMonitor:
+    """Parse a monitor (policy + live bits) from a JSON string."""
+    return monitor_from_dict(json.loads(text), labeler)
+
+
+def _check_format(data: Dict) -> None:
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise PolicyError(
+            f"unrecognized serialization format {data.get('format') if isinstance(data, dict) else data!r}; "
+            f"expected {_FORMAT!r}"
+        )

@@ -1,0 +1,32 @@
+"""SQLite-backed storage substrate and end-to-end enforcement."""
+
+from repro.storage.database import (
+    Database,
+    compile_query,
+    random_instance,
+    seed_facebook,
+    seed_figure1,
+)
+from repro.storage.enforcement import EnforcedConnection, QueryResult
+from repro.storage.evaluator import boolean_answer, evaluate_query, evaluate_view
+from repro.storage.views import (
+    MaterializedViews,
+    answer_via_rewriting,
+    materialize_instance,
+)
+
+__all__ = [
+    "Database",
+    "EnforcedConnection",
+    "MaterializedViews",
+    "QueryResult",
+    "answer_via_rewriting",
+    "boolean_answer",
+    "compile_query",
+    "evaluate_query",
+    "evaluate_view",
+    "materialize_instance",
+    "random_instance",
+    "seed_facebook",
+    "seed_figure1",
+]

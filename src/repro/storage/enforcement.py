@@ -1,0 +1,137 @@
+"""End-to-end enforcement: SQL in, policy decision, answer out.
+
+:class:`EnforcedConnection` assembles the complete Figure 2 workflow in
+one object: an untrusted app submits SQL; the SQL front end parses it to
+a conjunctive query; the reference monitor labels it and consults the
+security policy; permitted queries execute on SQLite and return rows;
+refused queries raise :class:`~repro.errors.QueryRefusedError` without
+touching the data.
+
+This is the "reference monitor could be ... a part of the DBMS" reading
+of the paper's system model (Section 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple, Union
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.sqlparser import sql_to_query
+from repro.errors import QueryRefusedError
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.policy.monitor import Decision, ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+from repro.storage.database import Database
+
+
+class QueryResult:
+    """An answered query: the rows plus the monitor's decision."""
+
+    __slots__ = ("rows", "decision", "query")
+
+    def __init__(
+        self,
+        rows: FrozenSet[Tuple],
+        decision: Decision,
+        query: ConjunctiveQuery,
+    ):
+        self.rows = rows
+        self.decision = decision
+        self.query = query
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class EnforcedConnection:
+    """A policy-enforcing database connection for one principal.
+
+    Parameters
+    ----------
+    database:
+        The underlying SQLite-backed :class:`Database`.
+    security_views:
+        The disclosure vocabulary.
+    policy:
+        The principal's :class:`PartitionPolicy`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        security_views: SecurityViews,
+        policy: PartitionPolicy,
+    ):
+        self.database = database
+        self.security_views = security_views
+        self.labeler = ConjunctiveQueryLabeler(security_views)
+        self.monitor = ReferenceMonitor(self.labeler, policy)
+        self._log: List[Tuple[str, bool]] = []
+
+    # ------------------------------------------------------------------
+    def execute(self, sql_or_query: Union[str, ConjunctiveQuery]) -> QueryResult:
+        """Parse (if SQL), label, check policy, and run the query.
+
+        Raises :class:`QueryRefusedError` when the policy refuses; the
+        refused query never reaches the data.
+        """
+        query = self._to_query(sql_or_query)
+        decision = self.monitor.submit(query)
+        self._log.append((str(query), decision.accepted))
+        if not decision.accepted:
+            raise QueryRefusedError(query, decision.reason)
+        rows = self.database.execute_query(query)
+        return QueryResult(rows, decision, query)
+
+    def try_execute(
+        self, sql_or_query: Union[str, ConjunctiveQuery]
+    ) -> Optional[QueryResult]:
+        """Like :meth:`execute` but returns ``None`` instead of raising."""
+        try:
+            return self.execute(sql_or_query)
+        except QueryRefusedError:
+            return None
+
+    def explain(self, sql_or_query: Union[str, ConjunctiveQuery]) -> str:
+        """Human-readable labeling report for a query (no execution)."""
+        query = self._to_query(sql_or_query)
+        label = self.labeler.label(query)
+        lines = [f"query: {query}"]
+        for atom_label in label:
+            if atom_label.is_top:
+                lines.append(
+                    f"  atom {atom_label.atom}: ⊤ (no security view determines it)"
+                )
+            else:
+                names = ", ".join(sorted(atom_label.determiners))
+                lines.append(f"  atom {atom_label.atom}: determined by {{{names}}}")
+        alternatives = (
+            label.required_alternatives(self.security_views)
+            if not label.is_top
+            else []
+        )
+        if alternatives:
+            needed = " AND ".join(
+                "(" + " or ".join(sorted(a)) + ")" for a in alternatives
+            )
+            lines.append(f"  required permissions: {needed}")
+        accept = self.monitor.would_accept(query)
+        lines.append(f"  decision under current policy/state: "
+                     f"{'ACCEPT' if accept else 'REFUSE'}")
+        return "\n".join(lines)
+
+    @property
+    def audit_log(self) -> List[Tuple[str, bool]]:
+        """(query text, accepted) pairs, in submission order."""
+        return list(self._log)
+
+    # ------------------------------------------------------------------
+    def _to_query(
+        self, sql_or_query: Union[str, ConjunctiveQuery]
+    ) -> ConjunctiveQuery:
+        if isinstance(sql_or_query, ConjunctiveQuery):
+            return sql_or_query
+        return sql_to_query(sql_or_query, self.database.schema)

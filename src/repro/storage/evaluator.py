@@ -1,0 +1,122 @@
+"""Reference in-Python evaluator for conjunctive queries.
+
+Evaluates a :class:`~repro.core.queries.ConjunctiveQuery` (or a
+:class:`~repro.core.tagged.TaggedAtom` view) directly over in-memory
+relations, by backtracking join.  Deliberately simple: it is the
+executable *definition* of CQ semantics against which the SQL translation
+(:mod:`repro.storage.database`) and the rewriting machinery
+(:mod:`repro.core.rewriting`) are cross-validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.tagged import TaggedAtom, TaggedVar
+from repro.core.terms import Constant, Variable, is_variable
+from repro.errors import StorageError
+
+#: An instance: relation name -> set of tuples.
+Instance = Mapping[str, Iterable[Tuple]]
+
+#: A query answer: a set of tuples.
+Answer = FrozenSet[Tuple]
+
+
+def evaluate_query(query: ConjunctiveQuery, instance: Instance) -> Answer:
+    """All answers of *query* over *instance* (set semantics).
+
+    A boolean query returns ``{()}`` for true and ``frozenset()`` for
+    false.
+    """
+    tables: Dict[str, List[Tuple]] = {
+        name: list(rows) for name, rows in instance.items()
+    }
+    results = set()
+
+    def search(index: int, binding: Dict[Variable, object]) -> None:
+        if index == len(query.body):
+            row = []
+            for term in query.head_terms:
+                if is_variable(term):
+                    row.append(binding[term])
+                else:
+                    row.append(term.value)  # type: ignore[union-attr]
+            results.add(tuple(row))
+            return
+        atom = query.body[index]
+        for row in tables.get(atom.relation, ()):
+            if len(row) != atom.arity:
+                raise StorageError(
+                    f"tuple arity {len(row)} does not match atom {atom}"
+                )
+            extended = dict(binding)
+            ok = True
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = extended.get(term, _MISSING)
+                    if bound is _MISSING:
+                        extended[term] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if ok:
+                search(index + 1, extended)
+
+    search(0, {})
+    return frozenset(results)
+
+
+def evaluate_view(view: TaggedAtom, instance: Instance) -> Answer:
+    """Answer of a tagged single-atom view over *instance*.
+
+    Output columns are the view's distinguished classes in normalized
+    order (matching :meth:`TaggedAtom.to_query` and the storage layer's
+    materialization order).
+    """
+    rows = instance.get(view.relation, ())
+    out = set()
+    classes = view.distinguished_classes()
+    for row in rows:
+        if len(row) != view.arity:
+            raise StorageError(
+                f"tuple arity {len(row)} does not match view {view}"
+            )
+        bindings: Dict[int, object] = {}
+        ok = True
+        for position, entry in enumerate(view.entries):
+            value = row[position]
+            if isinstance(entry, TaggedVar):
+                bound = bindings.get(entry.index, _MISSING)
+                if bound is _MISSING:
+                    bindings[entry.index] = value
+                elif bound != value:
+                    ok = False
+                    break
+            else:
+                if entry.value != value:
+                    ok = False
+                    break
+        if ok:
+            out.add(tuple(row[positions[0]] for positions in classes))
+    return frozenset(out)
+
+
+def boolean_answer(answer: Answer) -> bool:
+    """Interpret a boolean query's answer set."""
+    return bool(answer)
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

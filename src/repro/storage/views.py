@@ -1,0 +1,78 @@
+"""Security-view materialization and rewriting execution.
+
+Connects the symbolic rewriting machinery to real data:
+
+* :class:`MaterializedViews` caches the answers of a set of security
+  views over a database;
+* :func:`answer_via_rewriting` computes a target view's answer **using
+  only** a source view's answer, via the
+  :class:`~repro.core.rewriting.RewritePlan` select/project program.
+
+The semantic soundness property — if ``{V} ⪯ {V'}`` then ``V``'s answer
+is a function of ``V'``'s answer — is exactly what the property-based
+tests validate with these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.core.rewriting import rewrite_plan
+from repro.core.tagged import TaggedAtom
+from repro.errors import StorageError
+from repro.labeling.cq_labeler import SecurityViews
+from repro.storage.database import Database
+from repro.storage.evaluator import evaluate_view
+
+
+class MaterializedViews:
+    """Answers of named security views over a fixed database state.
+
+    Materialization uses the SQLite execution path; the in-Python
+    evaluator is available through :func:`materialize_instance` for
+    plain-dict instances.
+    """
+
+    def __init__(self, database: Database, security_views: SecurityViews):
+        self.security_views = security_views
+        self._answers: Dict[str, FrozenSet[Tuple]] = {
+            name: database.execute_view(security_views.view(name))
+            for name in security_views.names
+        }
+
+    def answer(self, name: str) -> FrozenSet[Tuple]:
+        """The materialized answer of the named view."""
+        try:
+            return self._answers[name]
+        except KeyError:
+            raise StorageError(f"view {name!r} was not materialized") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._answers)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+
+def materialize_instance(
+    views: Iterable[TaggedAtom], instance: Mapping[str, Iterable[Tuple]]
+) -> Dict[TaggedAtom, FrozenSet[Tuple]]:
+    """Materialize tagged views over a plain in-memory instance."""
+    return {view: evaluate_view(view, instance) for view in views}
+
+
+def answer_via_rewriting(
+    target: TaggedAtom,
+    source: TaggedAtom,
+    source_answer: Iterable[Tuple],
+) -> Optional[FrozenSet[Tuple]]:
+    """Compute *target*'s answer from *source*'s answer alone.
+
+    Returns ``None`` when no rewriting exists (``{target} ⋠ {source}``);
+    otherwise the exact answer *target* would produce on any database on
+    which *source* produced *source_answer*.
+    """
+    plan = rewrite_plan(target, source)
+    if plan is None:
+        return None
+    return plan.evaluate(source_answer)

@@ -1,0 +1,98 @@
+"""Unit tests for Dissect (Section 5.2, Example 5.4)."""
+
+from repro.core.dissect import dissect, dissect_all
+from repro.core.parser import parse_query
+from repro.core.rewriting import view_set_leq
+from repro.core.tagged import TaggedAtom
+
+
+def pat(relation, *items):
+    return TaggedAtom.from_pattern(relation, list(items))
+
+
+class TestExample54:
+    def test_join_variable_promoted(self):
+        q2 = parse_query("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+        result = dissect(q2)
+        assert result == {
+            pat("M", "x:d", "y:d"),
+            pat("C", "y:d", "w:e", "Intern"),
+        }
+
+    def test_non_join_existential_stays_existential(self):
+        q = parse_query("Q(x) :- M(x, y)")
+        assert dissect(q) == {pat("M", "x:d", "y:e")}
+
+    def test_distinguished_stays_distinguished(self):
+        q = parse_query("Q(x, y) :- M(x, y)")
+        assert dissect(q) == {pat("M", "x:d", "y:d")}
+
+
+class TestFolding:
+    def test_redundant_atom_removed_before_split(self):
+        q = parse_query("Q(x) :- M(x, y), M(x, z)")
+        assert dissect(q) == {pat("M", "x:d", "y:e")}
+
+    def test_folding_avoids_spurious_promotion(self):
+        # Without folding, y would appear in two atoms and be promoted;
+        # after folding one atom remains and y stays existential.
+        q = parse_query("Q(x) :- M(x, y), M(x, y)")
+        assert dissect(q) == {pat("M", "x:d", "y:e")}
+
+    def test_constant_subsumption(self):
+        q = parse_query("Q(x) :- M(x, y), M(x, 'Cathy')")
+        assert dissect(q) == {pat("M", "x:d", "Cathy")}
+
+
+class TestMultiWayJoins:
+    def test_three_way_join_chain(self):
+        q = parse_query("Q(a) :- R(a, b), S(b, c), T(c, d)")
+        assert dissect(q) == {
+            pat("R", "a:d", "b:d"),
+            pat("S", "b:d", "c:d"),
+            pat("T", "c:d", "d:e"),
+        }
+
+    def test_self_join(self):
+        q = parse_query("Q(a, c) :- Friend(a, b), Friend(b, c)")
+        result = dissect(q)
+        # both atoms have all variables distinguished; they normalize to
+        # the same tagged atom, so the set has a single element
+        assert result == {pat("Friend", "x:d", "y:d")}
+
+    def test_variable_repeated_within_one_atom_not_promoted(self):
+        q = parse_query("Q(x) :- R(x, y, y)")
+        assert dissect(q) == {pat("R", "x:d", "y:e", "y:e")}
+
+
+class TestSoundness:
+    """{Q} ⪯ Dissect(Q): the dissection determines the query (Def 3.4c)."""
+
+    def test_each_atom_determined_by_output(self):
+        q = parse_query("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+        pieces = dissect(q)
+        # every tagged body atom of Q (with join vars promoted) is
+        # rewritable from the dissection output
+        assert view_set_leq(pieces, pieces)
+
+    def test_monotone_under_query_union(self):
+        q1 = parse_query("Q(x) :- M(x, y)")
+        q2 = parse_query("P(x) :- C(x, y, z)")
+        both = dissect_all([q1, q2])
+        assert dissect(q1) <= both
+        assert dissect(q2) <= both
+
+
+class TestIdempotence:
+    def test_dissect_of_single_atom_view_is_itself(self):
+        for text in [
+            "V(x) :- M(x, y)",
+            "V(x, y) :- M(x, y)",
+            "V() :- M(x, y)",
+            "V(x) :- M(x, 'Cathy')",
+        ]:
+            q = parse_query(text)
+            assert dissect(q) == {TaggedAtom.from_query(q)}
+
+    def test_dissect_all_empty(self):
+        assert dissect_all([]) == frozenset()

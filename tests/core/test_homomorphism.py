@@ -1,0 +1,138 @@
+"""Unit tests for homomorphisms, containment, equivalence, and folding."""
+
+from repro.core.homomorphism import (
+    are_equivalent,
+    count_homomorphisms,
+    find_homomorphism,
+    is_contained_in,
+)
+from repro.core.minimize import fold, is_minimal
+from repro.core.parser import parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        query = q("Q(x) :- M(x, y)")
+        hom = find_homomorphism(query, query)
+        assert hom is not None
+
+    def test_head_must_map(self):
+        src = q("Q(x) :- M(x, y)")
+        dst = q("Q(a) :- M(a, b)")
+        hom = find_homomorphism(src, dst)
+        assert hom is not None
+        assert hom[src.head_terms[0]] == dst.head_terms[0]
+
+    def test_constant_blocks_mapping(self):
+        src = q("Q() :- M(x, 'Jim')")
+        dst = q("Q() :- M(y, 'Bob')")
+        assert find_homomorphism(src, dst) is None
+
+    def test_variable_maps_to_constant(self):
+        src = q("Q() :- M(x, y)")
+        dst = q("Q() :- M(9, 'Jim')")
+        assert find_homomorphism(src, dst) is not None
+
+    def test_seed_respected(self):
+        src = q("Q() :- M(x, y)")
+        dst = q("Q() :- M(a, b)")
+        from repro.core.terms import Variable
+
+        seed = {Variable("x"): Variable("b")}
+        assert find_homomorphism(src, dst, seed=seed) is None
+
+    def test_arity_mismatch(self):
+        assert find_homomorphism(q("Q(x) :- M(x, y)"), q("Q() :- M(a, b)")) is None
+
+    def test_count_homomorphisms(self):
+        src = q("Q() :- M(x, y)")
+        dst = q("Q() :- M(a, b), M(c, d)")
+        assert count_homomorphisms(src, dst) == 2
+
+
+class TestContainment:
+    def test_more_constrained_contained_in_less(self):
+        specific = q("Q(x) :- M(x, 'Cathy')")
+        general = q("Q(x) :- M(x, y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_join_contained_in_projection(self):
+        join = q("Q(x) :- M(x, y), C(y, w, z)")
+        proj = q("Q(x) :- M(x, y)")
+        assert is_contained_in(join, proj)
+        assert not is_contained_in(proj, join)
+
+    def test_equivalence_of_renamed(self):
+        a = q("Q(x) :- M(x, y)")
+        b = q("P(u) :- M(u, v)")
+        assert are_equivalent(a, b)
+
+    def test_redundant_atom_equivalence(self):
+        a = q("Q(x) :- M(x, y), M(x, z)")
+        b = q("Q(x) :- M(x, y)")
+        assert are_equivalent(a, b)
+
+    def test_self_join_not_equivalent_to_projection(self):
+        # M(x,y),M(y,x) (a 2-cycle) is strictly contained in M(x,y)
+        cyc = q("Q(x) :- M(x, y), M(y, x)")
+        proj = q("Q(x) :- M(x, y)")
+        assert is_contained_in(cyc, proj)
+        assert not is_contained_in(proj, cyc)
+
+    def test_head_order_matters_for_query_equivalence(self):
+        a = q("Q(x, y) :- M(x, y)")
+        b = q("Q(y, x) :- M(x, y)")
+        # As *queries* these differ (answers are reversed tuples)...
+        assert not are_equivalent(a, b)
+        # ...but as tagged views they carry the same information.
+        from repro.core.tagged import TaggedAtom
+
+        assert TaggedAtom.from_query(a) == TaggedAtom.from_query(b)
+
+
+class TestFold:
+    def test_removes_redundant_atom(self):
+        query = q("Q(x) :- M(x, y), M(x, z)")
+        folded = fold(query)
+        assert len(folded.body) == 1
+        assert are_equivalent(folded, query)
+
+    def test_keeps_constants_when_needed(self):
+        query = q("Q(x) :- M(x, y), M(x, 'Cathy')")
+        folded = fold(query)
+        # M(x,'Cathy') subsumes M(x,y): one atom remains, with the constant
+        assert len(folded.body) == 1
+        assert are_equivalent(folded, query)
+
+    def test_minimal_query_unchanged(self):
+        query = q("Q(x) :- M(x, y), C(y, w, z)")
+        assert fold(query) == query
+        assert is_minimal(query)
+
+    def test_cycle_not_folded(self):
+        query = q("Q() :- M(x, y), M(y, x)")
+        assert len(fold(query).body) == 2
+
+    def test_triangle_folds_onto_loop(self):
+        # With a self-loop present, the boolean 2-path collapses onto it.
+        query = q("Q() :- M(a, a), M(x, y), M(y, z)")
+        folded = fold(query)
+        assert len(folded.body) == 1
+        assert are_equivalent(folded, query)
+
+    def test_head_variables_protected(self):
+        query = q("Q(x, z) :- M(x, y), M(z, y)")
+        folded = fold(query)
+        # both atoms carry head variables; nothing to remove
+        assert len(folded.body) == 2
+
+    def test_fold_preserves_equivalence_multiatom(self):
+        query = q("Q(x) :- M(x, y), M(x, z), C(y, u, v), C(y, u, w)")
+        folded = fold(query)
+        assert are_equivalent(folded, query)
+        assert is_minimal(folded)

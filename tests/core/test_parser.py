@@ -1,0 +1,201 @@
+"""Unit tests for the datalog parser and the SQL front end."""
+
+import pytest
+
+from repro.core.parser import parse_query, parse_views
+from repro.core.queries import make_query
+from repro.core.schema import Relation, Schema, example_schema
+from repro.core.sqlparser import sql_to_query
+from repro.core.terms import Constant, Variable
+from repro.errors import ParseError, QueryError, UnsupportedQueryError
+
+
+class TestDatalogParser:
+    def test_figure1_queries(self):
+        q1 = parse_query("Q1(x) :- Meetings(x, 'Cathy')")
+        assert q1 == make_query("Q1", ["x"], [("Meetings", ["x", ("Cathy",)])])
+        q2 = parse_query("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')")
+        assert len(q2.body) == 2
+        assert q2.distinguished_variables() == {Variable("x")}
+
+    def test_conjunction_symbols(self):
+        a = parse_query("Q(x) :- M(x, y), C(y)")
+        b = parse_query("Q(x) :- M(x, y) ∧ C(y)")
+        c = parse_query("Q(x) :- M(x, y) && C(y)")
+        assert a == b == c
+
+    def test_alternative_arrow(self):
+        assert parse_query("Q(x) <- M(x, y)") == parse_query("Q(x) :- M(x, y)")
+
+    def test_numeric_constants(self):
+        q = parse_query("Q() :- M(9, 'Jim')")
+        assert q.body[0].terms == (Constant(9), Constant("Jim"))
+
+    def test_float_and_negative(self):
+        q = parse_query("Q() :- M(-3, 2.5)")
+        assert q.body[0].terms == (Constant(-3), Constant(2.5))
+
+    def test_boolean_and_null_literals(self):
+        q = parse_query("Q() :- M(true, false, null)")
+        assert q.body[0].terms == (Constant(True), Constant(False), Constant(None))
+
+    def test_double_quoted_strings(self):
+        q = parse_query('Q() :- M("hi there")')
+        assert q.body[0].terms == (Constant("hi there"),)
+
+    def test_escaped_quote(self):
+        q = parse_query(r"Q() :- M('it\'s')")
+        assert q.body[0].terms == (Constant("it's"),)
+
+    def test_empty_head(self):
+        q = parse_query("Q() :- M(x, y)")
+        assert q.is_boolean()
+
+    def test_unsafe_head_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(z) :- M(x, y)")
+
+    def test_malformed_raises(self):
+        for bad in ["Q(x)", "Q(x) :-", ":- M(x)", "Q(x) :- M(x", "Q(x) : M(x)"]:
+            with pytest.raises(ParseError):
+                parse_query(bad)
+
+    def test_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("Q(x) :- M(x, ?)")
+        assert info.value.position is not None
+
+    def test_parse_views_with_comments(self):
+        views = parse_views(
+            """
+            # Figure 1(b)
+            V1(x, y) :- Meetings(x, y)
+            V2(x)    :- Meetings(x, y)  # times only
+            V3(x, y, z) :- Contacts(x, y, z)
+            """
+        )
+        assert [v.head_name for v in views] == ["V1", "V2", "V3"]
+
+    def test_parse_views_semicolons(self):
+        views = parse_views("A(x) :- R(x); B(x) :- R(x)")
+        assert len(views) == 2
+
+
+class TestSqlFrontEnd:
+    @pytest.fixture
+    def schema(self):
+        return example_schema()
+
+    def test_simple_projection(self, schema):
+        q = sql_to_query("SELECT time FROM Meetings", schema)
+        assert str(q) == "Q(time) :- Meetings(time, person)"
+
+    def test_select_star(self, schema):
+        q = sql_to_query("SELECT * FROM Meetings", schema)
+        assert len(q.head_terms) == 2
+
+    def test_where_constant(self, schema):
+        q = sql_to_query("SELECT time FROM Meetings WHERE person = 'Cathy'", schema)
+        assert q.body[0].terms[1] == Constant("Cathy")
+
+    def test_comma_join(self, schema):
+        q = sql_to_query(
+            "SELECT m.time FROM Meetings m, Contacts c "
+            "WHERE m.person = c.person AND c.position = 'Intern'",
+            schema,
+        )
+        assert len(q.body) == 2
+        # the join variable is shared between the two atoms
+        assert q.body[0].terms[1] == q.body[1].terms[0]
+        assert q.body[1].terms[2] == Constant("Intern")
+
+    def test_explicit_join(self, schema):
+        q = sql_to_query(
+            "SELECT m.time FROM Meetings m JOIN Contacts c ON m.person = c.person",
+            schema,
+        )
+        assert q.body[0].terms[1] == q.body[1].terms[0]
+
+    def test_inner_join(self, schema):
+        q = sql_to_query(
+            "SELECT m.time FROM Meetings m INNER JOIN Contacts c "
+            "ON m.person = c.person",
+            schema,
+        )
+        assert len(q.body) == 2
+
+    def test_as_alias(self, schema):
+        q = sql_to_query("SELECT m.time FROM Meetings AS m", schema)
+        assert q.head_terms == (Variable("time"),)
+
+    def test_table_name_as_implicit_alias(self, schema):
+        q = sql_to_query("SELECT Meetings.time FROM Meetings", schema)
+        assert q.head_terms == (Variable("time"),)
+
+    def test_numeric_literal(self, schema):
+        q = sql_to_query("SELECT person FROM Meetings WHERE time = 9", schema)
+        assert q.body[0].terms[0] == Constant(9)
+
+    def test_column_equals_column_same_table(self, schema):
+        q = sql_to_query(
+            "SELECT c.person FROM Contacts c WHERE c.person = c.email", schema
+        )
+        assert q.body[0].terms[0] == q.body[0].terms[1]
+
+    def test_trailing_semicolon(self, schema):
+        q = sql_to_query("SELECT time FROM Meetings;", schema)
+        assert len(q.head_terms) == 1
+
+    def test_unknown_table(self, schema):
+        with pytest.raises(Exception):
+            sql_to_query("SELECT a FROM Nope", schema)
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(ParseError):
+            sql_to_query("SELECT salary FROM Meetings", schema)
+
+    def test_ambiguous_column(self, schema):
+        with pytest.raises(ParseError):
+            sql_to_query(
+                "SELECT person FROM Meetings m, Contacts c", schema
+            )
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT time FROM Meetings WHERE person = 'a' OR person = 'b'",
+            "SELECT time FROM Meetings WHERE NOT person = 'a'",
+            "SELECT COUNT FROM Meetings",
+            "SELECT time FROM Meetings WHERE time > 5",
+            "SELECT time FROM Meetings WHERE time <> 5",
+            "SELECT time FROM Meetings ORDER BY time",
+            "SELECT time FROM Meetings LIMIT 5",
+            "SELECT DISTINCT time FROM Meetings",
+            "SELECT time FROM Meetings WHERE person IN ('a')",
+            "SELECT time FROM Meetings m LEFT JOIN Contacts c ON m.person = c.person",
+        ],
+    )
+    def test_unsupported_sql_rejected(self, schema, sql):
+        with pytest.raises(UnsupportedQueryError):
+            sql_to_query(sql, schema)
+
+    def test_contradictory_constants_rejected(self, schema):
+        with pytest.raises(UnsupportedQueryError):
+            sql_to_query(
+                "SELECT time FROM Meetings WHERE person = 'a' AND person = 'b'",
+                schema,
+            )
+
+    def test_duplicate_alias_rejected(self, schema):
+        with pytest.raises(ParseError):
+            sql_to_query("SELECT m.time FROM Meetings m, Contacts m", schema)
+
+    def test_self_join(self):
+        schema = Schema([Relation("Friend", ["uid1", "uid2"])])
+        q = sql_to_query(
+            "SELECT a.uid1 FROM Friend a, Friend b WHERE a.uid2 = b.uid1",
+            schema,
+        )
+        assert len(q.body) == 2
+        assert q.body[0].terms[1] == q.body[1].terms[0]
+        assert q.body[0].terms[0] != q.body[1].terms[0]

@@ -1,0 +1,167 @@
+"""Unit tests for atoms, schemas, and conjunctive queries."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery, cross_rename, make_query
+from repro.core.schema import Relation, Schema, example_schema
+from repro.core.terms import Constant, Variable
+from repro.errors import QueryError, SchemaError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtom:
+    def test_construction_and_accessors(self):
+        atom = Atom("Meetings", [X, Constant("Cathy")])
+        assert atom.relation == "Meetings"
+        assert atom.arity == 2
+        assert atom.variables() == (X,)
+        assert atom.variable_set() == {X}
+        assert atom.constants() == {Constant("Cathy")}
+
+    def test_substitute(self):
+        atom = Atom("R", [X, Y, X])
+        sub = atom.substitute({X: Constant(1)})
+        assert sub == Atom("R", [Constant(1), Y, Constant(1)])
+
+    def test_substitute_leaves_original(self):
+        atom = Atom("R", [X])
+        atom.substitute({X: Y})
+        assert atom == Atom("R", [X])
+
+    def test_positions_of(self):
+        atom = Atom("R", [X, Y, X])
+        assert atom.positions_of(X) == (0, 2)
+        assert atom.positions_of(Z) == ()
+
+    def test_rejects_bad_terms(self):
+        with pytest.raises(QueryError):
+            Atom("R", ["x"])  # type: ignore[list-item]
+
+    def test_validate_against_schema(self):
+        schema = example_schema()
+        Atom("Meetings", [X, Y]).validate(schema)
+        with pytest.raises(SchemaError):
+            Atom("Meetings", [X]).validate(schema)
+        with pytest.raises(SchemaError):
+            Atom("Nope", [X]).validate(schema)
+
+    def test_str(self):
+        assert str(Atom("M", [X, Constant("Jim")])) == "M(x, 'Jim')"
+
+
+class TestSchema:
+    def test_relation_lookup(self):
+        schema = example_schema()
+        assert schema.relation("Meetings").arity == 2
+        assert schema.relation("Contacts").position_of("position") == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            example_schema().relation("Users")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            example_schema().relation("Meetings").position_of("nope")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([Relation("R", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add(Relation("R", ["b"]))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ["a", "a"])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [])
+
+    def test_contains_iter_len(self):
+        schema = example_schema()
+        assert "Meetings" in schema
+        assert "Nope" not in schema
+        assert len(schema) == 2
+        assert schema.relation_names == ("Meetings", "Contacts")
+
+
+class TestConjunctiveQuery:
+    def test_distinguished_and_existential(self):
+        q = make_query("Q", ["x"], [("M", ["x", "y"])])
+        assert q.distinguished_variables() == {X}
+        assert q.existential_variables() == {Y}
+        assert q.variables() == {X, Y}
+
+    def test_boolean_query(self):
+        q = make_query("Q", [], [("M", ["x", "y"])])
+        assert q.is_boolean()
+        assert q.distinguished_variables() == frozenset()
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", [X], [Atom("M", [Y, Z])])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", [], [])
+
+    def test_constants_allowed_in_head(self):
+        q = ConjunctiveQuery("Q", [Constant(1), X], [Atom("M", [X, Y])])
+        assert q.head_terms[0] == Constant(1)
+
+    def test_substitute_preserves_head(self):
+        q = make_query("Q", ["x"], [("M", ["x", "y"])])
+        q2 = q.substitute({Y: Z})
+        assert q2.head_terms == (X,)
+        assert q2.body[0] == Atom("M", [X, Z])
+
+    def test_rename_apart(self):
+        q = make_query("Q", ["x"], [("M", ["x", "y"])])
+        renamed = q.rename_apart({"x", "y"})
+        assert renamed.variables().isdisjoint(q.variables())
+        # structure preserved: head var appears in body position 0
+        assert renamed.body[0].terms[0] == renamed.head_terms[0]
+
+    def test_relations(self):
+        q = make_query("Q", ["x"], [("M", ["x", "y"]), ("C", ["y", "z", "w"])])
+        assert q.relations() == {"M", "C"}
+
+    def test_equality_and_hash(self):
+        q1 = make_query("Q", ["x"], [("M", ["x", "y"])])
+        q2 = make_query("Q", ["x"], [("M", ["x", "y"])])
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+        assert len({q1, q2}) == 1
+
+    def test_is_single_atom(self):
+        assert make_query("Q", ["x"], [("M", ["x", "y"])]).is_single_atom()
+        assert not make_query(
+            "Q", ["x"], [("M", ["x", "y"]), ("M", ["x", "z"])]
+        ).is_single_atom()
+
+    def test_make_query_constant_conventions(self):
+        q = make_query("Q", ["x"], [("M", ["x", ("Cathy",)])])
+        assert q.body[0].terms[1] == Constant("Cathy")
+        q2 = make_query("Q", ["x"], [("M", ["x", 9])])
+        assert q2.body[0].terms[1] == Constant(9)
+
+    def test_str_roundtrips_via_parser(self):
+        from repro.core.parser import parse_query
+
+        q = make_query("Q", ["x"], [("M", ["x", ("Cathy",)])])
+        assert parse_query(str(q)) == q
+
+
+class TestCrossRename:
+    def test_disjoint_after_rename(self):
+        q1 = make_query("Q", ["x"], [("M", ["x", "y"])])
+        q2 = make_query("P", ["x"], [("M", ["x", "z"])])
+        r1, r2 = cross_rename([q1, q2])
+        assert r1.variables().isdisjoint(r2.variables())
+
+    def test_already_disjoint_untouched(self):
+        q1 = make_query("Q", ["a"], [("M", ["a", "b"])])
+        q2 = make_query("P", ["c"], [("M", ["c", "d"])])
+        r1, r2 = cross_rename([q1, q2])
+        assert r1 == q1 and r2 == q2

@@ -1,0 +1,203 @@
+"""Unit tests for single-atom equivalent view rewriting."""
+
+import itertools
+
+from repro.core.rewriting import (
+    determining_views,
+    is_rewritable,
+    rewritable_from_set,
+    rewrite_plan,
+    view_set_leq,
+)
+from repro.core.tagged import TaggedAtom
+
+
+def pat(relation, *items):
+    return TaggedAtom.from_pattern(relation, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+
+
+class TestFigure3Order:
+    def test_projections_from_full_table(self):
+        assert is_rewritable(V2, V1)
+        assert is_rewritable(V4, V1)
+        assert is_rewritable(V5, V1)
+        assert is_rewritable(V1, V1)
+
+    def test_full_table_not_from_projections(self):
+        assert not is_rewritable(V1, V2)
+        assert not is_rewritable(V1, V4)
+        assert not is_rewritable(V1, V5)
+
+    def test_boolean_from_projections(self):
+        assert is_rewritable(V5, V2)
+        assert is_rewritable(V5, V4)
+
+    def test_projections_incomparable(self):
+        assert not is_rewritable(V2, V4)
+        assert not is_rewritable(V4, V2)
+
+    def test_nothing_above_boolean(self):
+        assert not is_rewritable(V2, V5)
+        assert not is_rewritable(V4, V5)
+
+
+class TestConstants:
+    def test_selection_on_visible_column(self):
+        target = pat("M", "x:d", "Cathy")
+        assert is_rewritable(target, V1)
+
+    def test_selection_on_hidden_column_fails(self):
+        target = pat("M", "x:d", "Cathy")
+        assert not is_rewritable(target, V2)  # V2 hides the person column
+
+    def test_source_constant_must_match(self):
+        source = pat("M", "x:d", "Cathy")
+        assert is_rewritable(pat("M", "x:d", "Cathy"), source)
+        assert not is_rewritable(pat("M", "x:d", "Bob"), source)
+        assert not is_rewritable(pat("M", "x:d", "y:e"), source)
+        assert not is_rewritable(pat("M", "x:d", "y:d"), source)
+
+    def test_boolean_point_query(self):
+        v13 = pat("M", 9, "Jim")
+        assert is_rewritable(v13, V1)
+        assert not is_rewritable(v13, V2)
+        assert not is_rewritable(V5, v13)  # cannot un-filter
+
+
+class TestEqualityPatterns:
+    def test_diagonal_from_full(self):
+        diag = pat("R", "x:d", "x:d")
+        full = pat("R", "x:d", "y:d")
+        assert is_rewritable(diag, full)
+        assert not is_rewritable(full, diag)
+
+    def test_hidden_equality_must_match_exactly(self):
+        src_eq = pat("R", "x:e", "x:e")
+        src_free = pat("R", "x:e", "y:e")
+        tgt_eq = pat("R", "x:e", "x:e")
+        tgt_free = pat("R", "x:e", "y:e")
+        assert is_rewritable(tgt_eq, src_eq)
+        assert is_rewritable(tgt_free, src_free)
+        assert not is_rewritable(tgt_eq, src_free)
+        assert not is_rewritable(tgt_free, src_eq)
+
+    def test_existential_class_position_mismatch(self):
+        src = pat("R", "x:e", "y:d", "x:e")
+        tgt = pat("R", "x:e", "y:d", "z:e")
+        assert not is_rewritable(tgt, src)
+        assert is_rewritable(pat("R", "x:e", "y:d", "x:e"), src)
+
+    def test_cross_class_equality_on_visible(self):
+        # target equates two columns that the source exposes separately
+        src = pat("R", "x:d", "y:d")
+        tgt = pat("R", "x:d", "x:d")
+        plan = rewrite_plan(tgt, src)
+        assert plan is not None
+        assert plan.equality_filters == ((0, 1),)
+
+
+class TestDifferentRelations:
+    def test_cross_relation_never_rewritable(self):
+        assert not is_rewritable(pat("M", "x:d"), pat("N", "x:d"))
+
+    def test_arity_mismatch(self):
+        assert not is_rewritable(pat("M", "x:d"), pat("M", "x:d", "y:d"))
+
+
+class TestPlanEvaluation:
+    """Semantic validation: the plan really computes the target's answer."""
+
+    ROWS = [
+        (9, "Jim"),
+        (10, "Cathy"),
+        (12, "Bob"),
+        (12, "Cathy"),
+    ]
+
+    @staticmethod
+    def answer(atom, rows):
+        """Evaluate a single tagged atom over in-memory rows."""
+        out = set()
+        for row in rows:
+            bindings = {}
+            ok = True
+            for pos, entry in enumerate(atom.entries):
+                from repro.core.tagged import TaggedVar
+
+                if isinstance(entry, TaggedVar):
+                    if entry.index in bindings and bindings[entry.index] != row[pos]:
+                        ok = False
+                        break
+                    bindings[entry.index] = row[pos]
+                else:
+                    if row[pos] != entry.value:
+                        ok = False
+                        break
+            if ok:
+                out.add(
+                    tuple(
+                        row[positions[0]]
+                        for positions in atom.distinguished_classes()
+                    )
+                )
+        return frozenset(out)
+
+    def test_plans_compute_correct_answers(self):
+        universe = [
+            V1,
+            V2,
+            V4,
+            V5,
+            pat("M", "x:d", "Cathy"),
+            pat("M", 12, "y:d"),
+            pat("M", "x:d", "x:d"),
+        ]
+        for target, source in itertools.product(universe, repeat=2):
+            plan = rewrite_plan(target, source)
+            if plan is None:
+                continue
+            source_answer = self.answer(source, self.ROWS)
+            target_answer = self.answer(target, self.ROWS)
+            assert plan.evaluate(source_answer) == target_answer, (target, source)
+
+
+class TestSetLevelHelpers:
+    def test_rewritable_from_set(self):
+        assert rewritable_from_set(V5, [V2, V4]) in (V2, V4)
+        assert rewritable_from_set(V1, [V2, V4]) is None
+
+    def test_view_set_leq(self):
+        assert view_set_leq([V2, V5], [V1])
+        assert view_set_leq([], [V2])
+        assert not view_set_leq([V1], [V2, V4])
+        assert view_set_leq([V2, V4], [V2, V4])
+
+    def test_determining_views(self):
+        fgen = [V1, V2, V4, V5]
+        assert determining_views(V5, fgen) == {V1, V2, V4, V5}
+        assert determining_views(V2, fgen) == {V1, V2}
+        assert determining_views(V1, fgen) == {V1}
+
+    def test_reflexive(self):
+        for v in [V1, V2, V4, V5]:
+            assert is_rewritable(v, v)
+
+    def test_transitive_on_universe(self):
+        universe = [
+            V1,
+            V2,
+            V4,
+            V5,
+            pat("M", "x:d", "Cathy"),
+            pat("M", "x:e", "Cathy"),
+            pat("M", "x:d", "x:d"),
+        ]
+        for a, b, c in itertools.product(universe, repeat=3):
+            if is_rewritable(a, b) and is_rewritable(b, c):
+                assert is_rewritable(a, c), (a, b, c)

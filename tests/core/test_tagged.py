@@ -1,0 +1,118 @@
+"""Unit tests for the tagged-atom representation (Section 5)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.tagged import TaggedAtom, TaggedVar
+from repro.core.terms import Constant
+from repro.errors import QueryError
+
+
+class TestNormalization:
+    def test_head_order_discarded(self):
+        a = TaggedAtom.from_query(parse_query("V(x, y) :- M(x, y)"))
+        b = TaggedAtom.from_query(parse_query("V(y, x) :- M(x, y)"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_variable_names_discarded(self):
+        a = TaggedAtom.from_query(parse_query("V(u) :- M(u, w)"))
+        b = TaggedAtom.from_query(parse_query("V(x) :- M(x, y)"))
+        assert a == b
+
+    def test_tags_matter(self):
+        full = TaggedAtom.from_query(parse_query("V(x, y) :- M(x, y)"))
+        proj = TaggedAtom.from_query(parse_query("V(x) :- M(x, y)"))
+        assert full != proj
+
+    def test_repeated_variables_normalized(self):
+        a = TaggedAtom.from_pattern("R", ["x:d", "y:e", "x:d"])
+        b = TaggedAtom.from_pattern("R", ["u:d", "w:e", "u:d"])
+        assert a == b
+
+    def test_different_repetition_structure_differs(self):
+        a = TaggedAtom.from_pattern("R", ["x:d", "x:d", "y:e"])
+        b = TaggedAtom.from_pattern("R", ["x:d", "y:d", "z:e"])
+        assert a != b
+
+    def test_section5_running_example(self):
+        q2 = parse_query("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+        tagged = q2.tagged_atoms()
+        assert str(tagged[0]) == "[M(x0d, x1e)]"
+        assert str(tagged[1]) == "[C(x0e, x1e, 'Intern')]"
+
+
+class TestAccessors:
+    def test_classes(self):
+        atom = TaggedAtom.from_pattern("R", ["x:d", "y:e", "x:d", "z:d"])
+        assert atom.distinguished_classes() == [(0, 2), (3,)]
+        assert atom.existential_classes() == [(1,)]
+
+    def test_constant_positions(self):
+        atom = TaggedAtom.from_pattern("R", ["x:d", 9, "Jim"])
+        assert atom.constant_positions() == [
+            (1, Constant(9)),
+            (2, Constant("Jim")),
+        ]
+
+    def test_is_boolean(self):
+        assert TaggedAtom.from_pattern("M", ["x:e", "y:e"]).is_boolean()
+        assert TaggedAtom.from_pattern("M", [9, "Jim"]).is_boolean()
+        assert not TaggedAtom.from_pattern("M", ["x:d", "y:e"]).is_boolean()
+
+    def test_tag_at(self):
+        atom = TaggedAtom.from_pattern("R", ["x:d", "y:e", 9])
+        assert atom.tag_at(0) == "d"
+        assert atom.tag_at(1) == "e"
+        assert atom.tag_at(2) is None
+
+    def test_conflicting_tags_rejected(self):
+        with pytest.raises(QueryError):
+            TaggedAtom.from_pattern("R", ["x:d", "x:e"])
+
+    def test_from_query_rejects_multiatom(self):
+        with pytest.raises(QueryError):
+            TaggedAtom.from_query(parse_query("Q(x) :- M(x, y), M(y, z)"))
+
+
+class TestToQuery:
+    def test_roundtrip_projection(self):
+        atom = TaggedAtom.from_pattern("M", ["x:d", "y:e"])
+        query = atom.to_query("V2")
+        assert str(query) == "V2(x0) :- M(x0, x1)"
+        assert TaggedAtom.from_query(query) == atom
+
+    def test_roundtrip_with_constant(self):
+        atom = TaggedAtom.from_pattern("C", ["x:d", "y:e", "Intern"])
+        query = atom.to_query()
+        assert TaggedAtom.from_query(query) == atom
+
+    def test_roundtrip_boolean(self):
+        atom = TaggedAtom.from_pattern("M", ["x:e", "y:e"])
+        query = atom.to_query()
+        assert query.is_boolean()
+        assert TaggedAtom.from_query(query) == atom
+
+    def test_roundtrip_repeated_distinguished(self):
+        atom = TaggedAtom.from_pattern("R", ["x:d", "x:d", "y:e"])
+        assert TaggedAtom.from_query(atom.to_query()) == atom
+
+    def test_head_column_order_is_first_occurrence(self):
+        atom = TaggedAtom.from_pattern("R", ["a:d", "b:d"])
+        query = atom.to_query()
+        assert [str(t) for t in query.head_terms] == ["x0", "x1"]
+
+
+class TestTaggedVar:
+    def test_equality(self):
+        assert TaggedVar("d", 0) == TaggedVar("d", 0)
+        assert TaggedVar("d", 0) != TaggedVar("e", 0)
+        assert TaggedVar("d", 0) != TaggedVar("d", 1)
+
+    def test_invalid_tag(self):
+        with pytest.raises(QueryError):
+            TaggedVar("q", 0)
+
+    def test_flags(self):
+        assert TaggedVar("d", 0).is_distinguished
+        assert TaggedVar("e", 0).is_existential

@@ -1,0 +1,95 @@
+"""Unit tests for variables, constants, and the fresh-variable factory."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    is_constant,
+    is_variable,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert {Variable("x"), Variable("x")} == {Variable("x")}
+
+    def test_str(self):
+        assert str(Variable("foo")) == "foo"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            Variable(3)  # type: ignore[arg-type]
+
+    def test_not_equal_to_constant_of_same_text(self):
+        assert Variable("x") != Constant("x")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("Cathy") == Constant("Cathy")
+        assert Constant(9) == Constant(9)
+        assert Constant(9) != Constant(10)
+
+    def test_type_sensitive_equality(self):
+        assert Constant(1) != Constant("1")
+        assert Constant(1) != Constant(True)
+        assert Constant(0) != Constant(False)
+
+    def test_none_allowed(self):
+        assert Constant(None) == Constant(None)
+
+    def test_rejects_unsupported_type(self):
+        with pytest.raises(ValueError):
+            Constant([1, 2])  # type: ignore[arg-type]
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("Jim")) == "'Jim'"
+        assert str(Constant(9)) == "9"
+
+    def test_hash_distinguishes_types(self):
+        assert len({Constant(1), Constant("1"), Constant(True)}) == 3
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+        assert not is_variable("x")
+
+    def test_is_constant(self):
+        assert is_constant(Constant(3))
+        assert not is_constant(Variable("x"))
+
+
+class TestFreshVariableFactory:
+    def test_avoids_used_names(self):
+        fresh = FreshVariableFactory({"_v0", "_v1"})
+        assert fresh().name == "_v2"
+
+    def test_sequential(self):
+        fresh = FreshVariableFactory()
+        assert [fresh().name for _ in range(3)] == ["_v0", "_v1", "_v2"]
+
+    def test_custom_hint(self):
+        fresh = FreshVariableFactory()
+        assert fresh("w").name == "w0"
+
+    def test_reserve(self):
+        fresh = FreshVariableFactory()
+        fresh.reserve("_v0")
+        assert fresh().name == "_v1"
+
+    def test_never_repeats(self):
+        fresh = FreshVariableFactory()
+        names = {fresh().name for _ in range(100)}
+        assert len(names) == 100

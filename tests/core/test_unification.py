@@ -1,0 +1,141 @@
+"""Unit tests for GenMGU (Section 5.1, Examples 5.1-5.3)."""
+
+from repro.core.tagged import TaggedAtom
+from repro.core.unification import gen_mgu
+
+
+def pat(relation, *items):
+    return TaggedAtom.from_pattern(relation, list(items))
+
+
+class TestPaperExamples:
+    def test_example_5_1_constant_vs_existential_fails(self):
+        v13 = pat("M", 9, "Jim")
+        v14 = pat("M", "x:e", "y:e")
+        assert gen_mgu(v13, v14) is None
+
+    def test_example_5_2_projection_overlap(self):
+        v6 = pat("C", "x:d", "y:d", "z:e")
+        v7 = pat("C", "x:d", "y:e", "z:d")
+        v9 = pat("C", "x:d", "y:e", "z:e")
+        assert gen_mgu(v6, v7) == v9
+
+    def test_example_5_3_forced_equality_fails(self):
+        v14 = pat("M", "x:e", "y:e")
+        v15 = pat("M", "z:e", "z:e")
+        assert gen_mgu(v14, v15) is None
+
+    def test_example_4_4_glb_identities(self):
+        """GLB({V6},{V8}) = V10, GLB({V7},{V8}) = V11 (via pairwise GenMGU)."""
+        v6 = pat("C", "x:d", "y:d", "z:e")
+        v7 = pat("C", "x:d", "y:e", "z:d")
+        v8 = pat("C", "x:e", "y:d", "z:d")
+        v10 = pat("C", "x:e", "y:d", "z:e")
+        v11 = pat("C", "x:e", "y:e", "z:d")
+        assert gen_mgu(v6, v8) == v10
+        assert gen_mgu(v7, v8) == v11
+
+
+class TestBasicProperties:
+    def test_commutative(self):
+        a = pat("R", "x:d", "y:e", 9)
+        b = pat("R", "u:d", "v:d", "w:e")
+        assert gen_mgu(a, b) == gen_mgu(b, a)
+
+    def test_idempotent(self):
+        a = pat("R", "x:d", "y:e", 9)
+        assert gen_mgu(a, a) == a
+
+    def test_different_relations_bottom(self):
+        assert gen_mgu(pat("R", "x:d"), pat("S", "x:d")) is None
+
+    def test_different_arities_bottom(self):
+        assert gen_mgu(pat("R", "x:d"), pat("R", "x:d", "y:d")) is None
+
+
+class TestTagResolution:
+    def test_distinguished_meets_existential_is_existential(self):
+        a = pat("R", "x:d")
+        b = pat("R", "y:e")
+        assert gen_mgu(a, b) == pat("R", "z:e")
+
+    def test_distinguished_meets_distinguished_is_distinguished(self):
+        a = pat("R", "x:d")
+        b = pat("R", "y:d")
+        assert gen_mgu(a, b) == pat("R", "z:d")
+
+    def test_constant_meets_distinguished_is_constant(self):
+        """V13 ⊓ V1 = V13: the point query is below the full table."""
+        v13 = pat("M", 9, "Jim")
+        v1 = pat("M", "x:d", "y:d")
+        assert gen_mgu(v13, v1) == v13
+
+    def test_equal_constants_unify(self):
+        a = pat("R", 9, "x:d")
+        b = pat("R", 9, "y:d")
+        assert gen_mgu(a, b) == pat("R", 9, "z:d")
+
+    def test_distinct_constants_bottom(self):
+        a = pat("R", 9)
+        b = pat("R", 10)
+        assert gen_mgu(a, b) is None
+
+    def test_type_sensitive_constants(self):
+        a = pat("R", 1)
+        b = pat("R", "1")
+        assert gen_mgu(a, b) is None
+
+
+class TestForcedEqualityPostCheck:
+    def test_new_equality_between_distinguished_ok(self):
+        """Forcing equality of two *visible* columns is legitimate selection."""
+        a = pat("R", "x:d", "y:d")
+        b = pat("R", "z:d", "z:d")
+        assert gen_mgu(a, b) == pat("R", "w:d", "w:d")
+
+    def test_new_equality_involving_existential_bottom(self):
+        a = pat("R", "x:d", "y:e")
+        b = pat("R", "z:d", "z:d")
+        assert gen_mgu(a, b) is None
+
+    def test_existing_equality_preserved(self):
+        a = pat("R", "x:e", "x:e")
+        b = pat("R", "z:e", "z:e")
+        assert gen_mgu(a, b) == pat("R", "w:e", "w:e")
+
+    def test_chained_forcing_detected(self):
+        # b forces positions 0=1 and 1=2; a has existential at 2 only.
+        a = pat("R", "x:d", "y:d", "z:e")
+        b = pat("R", "u:d", "u:d", "u:d")
+        assert gen_mgu(a, b) is None
+
+    def test_constant_forced_onto_existential_via_chain(self):
+        # b links its two columns; a has 9 at position 0 and existential at 1.
+        a = pat("R", 9, "y:e")
+        b = pat("R", "z:d", "z:d")
+        assert gen_mgu(a, b) is None
+
+
+class TestOverlapSemantics:
+    def test_result_below_both_inputs(self):
+        """The GenMGU is rewritable from each input (it is a lower bound)."""
+        from repro.core.rewriting import is_rewritable
+
+        cases = [
+            (pat("C", "x:d", "y:d", "z:e"), pat("C", "x:d", "y:e", "z:d")),
+            (pat("M", "x:d", "y:e"), pat("M", "x:e", "y:d")),
+            (pat("M", 9, "y:d"), pat("M", "x:d", "y:d")),
+            (pat("R", "x:d", "x:d"), pat("R", "x:d", "y:d")),
+        ]
+        for left, right in cases:
+            glb = gen_mgu(left, right)
+            assert glb is not None
+            assert is_rewritable(glb, left), (glb, left)
+            assert is_rewritable(glb, right), (glb, right)
+
+    def test_projections_overlap_is_boolean(self):
+        """Figure 3: the overlap of the two Meetings projections is V5."""
+        v2 = pat("M", "x:d", "y:e")
+        v4 = pat("M", "x:e", "y:d")
+        v5 = pat("M", "x:e", "y:e")
+        assert gen_mgu(v2, v4) == v5

@@ -1,0 +1,135 @@
+"""Tests for the Table 2 documentation audit."""
+
+from repro.facebook.audit import (
+    audit_documentation,
+    cross_api_consistency,
+    machine_labels,
+)
+from repro.facebook.docs import (
+    ANY,
+    DOCUMENTED_VIEWS,
+    NONE,
+    PermissionLabel,
+    consistent_views,
+    inconsistent_views,
+    perms,
+)
+
+
+class TestPermissionLabel:
+    def test_equality(self):
+        assert NONE == PermissionLabel(PermissionLabel.KIND_NONE)
+        assert ANY != NONE
+        assert perms("a", "b") == perms("b", "a")
+        assert perms("a") != perms("a", "b")
+
+    def test_condition_breaks_equality(self):
+        from repro.facebook.docs import conditional
+
+        assert conditional(ANY, "only for friends") != ANY
+
+    def test_str(self):
+        assert str(NONE) == "none"
+        assert str(ANY) == "any"
+        assert str(perms("user_likes", "friends_likes")) == (
+            "friends_likes or user_likes"
+        )
+
+
+class TestDataset:
+    def test_42_views(self):
+        """Section 7.1: 'We identified 42 different views over the User
+        table accessible through both APIs.'"""
+        assert len(DOCUMENTED_VIEWS) == 42
+
+    def test_six_discrepancies(self):
+        """'We found discrepancies in the permissions needed for six of
+        the 42 views.'"""
+        assert len(inconsistent_views()) == 6
+        assert len(consistent_views()) == 36
+
+    def test_table2_rows_match_paper(self):
+        rows = {v.fql_name: v for v in inconsistent_views()}
+        assert set(rows) == {
+            "pic",
+            "timezone",
+            "devices",
+            "relationship_status",
+            "quotes",
+            "profile_url",
+        }
+        # Correct-labeling column of Table 2.
+        assert rows["pic"].correct_source == "FQL"
+        assert rows["timezone"].correct_source == "Graph API"
+        assert rows["devices"].correct_source == "Graph API"
+        assert rows["relationship_status"].correct_source == "Graph API"
+        assert rows["quotes"].correct_source == "FQL"
+        assert rows["profile_url"].correct_source == "FQL"
+
+    def test_specific_labels(self):
+        rows = {v.fql_name: v for v in inconsistent_views()}
+        assert rows["pic"].fql_label == NONE
+        assert rows["profile_url"].graph_label == NONE
+        assert rows["relationship_status"].graph_label == perms(
+            "user_relationships", "friends_relationships"
+        )
+        assert rows["quotes"].fql_label == perms("user_likes", "friends_likes")
+
+    def test_correct_label_resolution(self):
+        rows = {v.fql_name: v for v in inconsistent_views()}
+        assert rows["pic"].correct_label == NONE           # FQL was right
+        assert rows["profile_url"].correct_label == ANY    # FQL was right
+        assert rows["relationship_status"].correct_label == perms(
+            "user_relationships", "friends_relationships"
+        )
+
+    def test_every_view_maps_to_schema_column(self):
+        from repro.facebook.schema import USER_ATTRIBUTES
+
+        for view in DOCUMENTED_VIEWS:
+            assert view.column in USER_ATTRIBUTES, view.fql_name
+
+
+class TestAuditReport:
+    def test_summary(self):
+        report = audit_documentation()
+        assert report.total == 42
+        assert report.discrepancy_count == 6
+        assert "6 of 42" in report.summary()
+
+    def test_render_table2_contains_all_rows(self):
+        table = audit_documentation().render_table2()
+        for name in ("pic", "timezone", "devices", "relationship_status",
+                     "quotes", "profile_url"):
+            assert name in table
+        assert "Graph API" in table
+
+    def test_audit_on_subset(self):
+        report = audit_documentation(inconsistent_views())
+        assert report.total == 6
+        assert report.discrepancy_count == 6
+
+
+class TestMachineLabels:
+    def test_one_labeling_per_query(self):
+        rows = machine_labels()
+        assert len(rows) == 42
+        assert cross_api_consistency(rows)
+
+    def test_relationship_status_machine_label(self):
+        """The data-derived label matches the (correct) Graph API doc."""
+        rows = {r.view.fql_name: r for r in machine_labels()}
+        row = rows["relationship_status"]
+        assert row.self_alternatives == {"user_relationships"}
+        assert row.friend_alternatives == {"friends_relationships"}
+
+    def test_public_columns_need_only_public_profile(self):
+        rows = {r.view.fql_name: r for r in machine_labels()}
+        for name in ("pic", "name", "username", "profile_url"):
+            assert rows[name].self_alternatives == {"public_profile"}
+            assert rows[name].friend_alternatives == {"public_profile"}
+
+    def test_email_is_self_only(self):
+        rows = {r.view.fql_name: r for r in machine_labels()}
+        assert rows["email"].self_alternatives == {"user_email"}
+        assert rows["email"].friend_alternatives == frozenset()

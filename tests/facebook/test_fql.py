@@ -1,0 +1,118 @@
+"""Tests for the FQL dialect front end."""
+
+import pytest
+
+from repro.core.terms import Constant, Variable
+from repro.errors import UnsupportedQueryError
+from repro.facebook.fql import FQL_TABLES, fql_to_query, normalize_fql
+from repro.facebook.permissions import facebook_security_views
+from repro.facebook.schema import facebook_schema
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler
+
+SCHEMA = facebook_schema()
+VIEWS = facebook_security_views(SCHEMA)
+LABELER = ConjunctiveQueryLabeler(VIEWS)
+
+
+class TestNormalization:
+    def test_me_resolved(self):
+        assert "42" in normalize_fql("SELECT name FROM user WHERE uid = me()", 42)
+        assert "me(" not in normalize_fql("SELECT name FROM user WHERE uid = me( )", 42)
+
+    def test_table_mapping(self):
+        text = normalize_fql("SELECT uid2 FROM friend WHERE uid1 = me()", 1)
+        assert "Friend" in text
+        assert "friend_uid" in text
+        assert "uid1" not in text
+
+    def test_pic_variants_map_to_pic(self):
+        text = normalize_fql("SELECT pic_square FROM user WHERE uid = me()", 1)
+        assert "pic" in text and "pic_square" not in text
+
+    def test_unknown_words_untouched(self):
+        text = normalize_fql("SELECT name FROM user WHERE username = 'me'", 7)
+        assert "'me'" in text  # string literal is not the function me()
+        assert "username" in text
+
+
+class TestTranslation:
+    def test_self_query_gets_rel_self(self):
+        query = fql_to_query("SELECT birthday FROM user WHERE uid = me()", 42)
+        user_atom = query.body[0]
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        uid_pos = SCHEMA.relation("User").position_of("uid")
+        assert user_atom.terms[uid_pos] == Constant(42)
+        assert user_atom.terms[rel_pos] == Constant("self")
+
+    def test_self_query_labels_to_user_permission(self):
+        query = fql_to_query("SELECT birthday FROM user WHERE uid = me()", 42)
+        label = LABELER.label(query)
+        assert label.atoms[0].determiners == {"user_birthday"}
+
+    def test_friend_join_query(self):
+        query = fql_to_query(
+            "SELECT u.birthday FROM user u, friend f "
+            "WHERE f.uid1 = me() AND u.uid = f.uid2 AND u.rel = 'friend'",
+            42,
+        )
+        assert len(query.body) == 2
+        label = LABELER.label(query)
+        determiner_sets = [a.determiners for a in label.atoms]
+        assert {"friends_birthday"} in determiner_sets
+
+    def test_explicit_rel_not_overridden(self):
+        query = fql_to_query(
+            "SELECT name FROM user WHERE uid = me() AND rel = 'friend'", 9
+        )
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        assert query.body[0].terms[rel_pos] == Constant("friend")
+
+    def test_projected_rel_not_constrained(self):
+        query = fql_to_query("SELECT rel FROM user WHERE uid = me()", 9)
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        assert isinstance(query.body[0].terms[rel_pos], Variable)
+
+    def test_friend_table_untouched_by_rel_attachment(self):
+        query = fql_to_query("SELECT uid2 FROM friend WHERE uid1 = me()", 5)
+        rel_pos = SCHEMA.relation("Friend").position_of("rel")
+        assert isinstance(query.body[0].terms[rel_pos], Variable)
+
+    def test_non_me_query_unchanged(self):
+        query = fql_to_query("SELECT name FROM user WHERE uid = 77", 42)
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        assert isinstance(query.body[0].terms[rel_pos], Variable)
+
+    def test_every_fql_table_translates(self):
+        for fql_name in FQL_TABLES:
+            query = fql_to_query(f"SELECT uid FROM {fql_name}", 1)
+            assert query.body[0].relation == FQL_TABLES[fql_name]
+
+    def test_unsupported_fql_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            fql_to_query(
+                "SELECT name FROM user WHERE uid IN (SELECT uid2 FROM friend)",
+                1,
+            )
+
+
+class TestEndToEnd:
+    def test_fql_through_enforcement(self):
+        from repro.policy.policy import PartitionPolicy
+        from repro.storage.database import seed_facebook
+        from repro.storage.enforcement import EnforcedConnection
+
+        db = seed_facebook(users=20, seed=3)
+        conn = EnforcedConnection(
+            db, VIEWS, PartitionPolicy.stateless(
+                ["user_birthday", "public_profile"], VIEWS
+            )
+        )
+        query = fql_to_query("SELECT birthday FROM user WHERE uid = me()", 1)
+        result = conn.execute(query)
+        assert len(result.rows) == 1
+
+        from repro.errors import QueryRefusedError
+
+        refused = fql_to_query("SELECT email FROM user WHERE uid = me()", 1)
+        with pytest.raises(QueryRefusedError):
+            conn.execute(refused)

@@ -1,0 +1,137 @@
+"""Tests for the Graph-API-style front end, including the cross-API
+one-label-per-query property that underlies the Table 2 audit."""
+
+import pytest
+
+from repro.core.terms import Constant, Variable
+from repro.errors import ParseError
+from repro.facebook.fql import fql_to_query
+from repro.facebook.graphapi import graph_to_query, parse_graph_request
+from repro.facebook.permissions import facebook_security_views
+from repro.facebook.schema import facebook_schema
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler
+
+SCHEMA = facebook_schema()
+VIEWS = facebook_security_views(SCHEMA)
+LABELER = ConjunctiveQueryLabeler(VIEWS)
+
+
+class TestParsing:
+    def test_me_with_fields(self):
+        request = parse_graph_request("/me?fields=name,birthday")
+        assert request.is_me
+        assert request.edge is None
+        assert request.fields == ("name", "birthday")
+
+    def test_numeric_subject(self):
+        request = parse_graph_request("/42?fields=name")
+        assert not request.is_me
+        assert request.subject_uid == 42
+
+    def test_edge(self):
+        request = parse_graph_request("/me/friends?fields=birthday")
+        assert request.edge == "friends"
+
+    def test_default_fields(self):
+        request = parse_graph_request("/me")
+        assert request.fields == ()
+
+    @pytest.mark.parametrize(
+        "bad", ["me", "/me/unknown_edge", "/me?fields=", "/me friends", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_graph_request(bad)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ParseError):
+            graph_to_query("/me?fields=zzz", 1)
+
+
+class TestTranslation:
+    def test_me_profile(self):
+        query = graph_to_query("/me?fields=name,birthday", 7)
+        assert len(query.body) == 1
+        atom = query.body[0]
+        user = SCHEMA.relation("User")
+        assert atom.terms[user.position_of("uid")] == Constant(7)
+        assert atom.terms[user.position_of("rel")] == Constant("self")
+        assert len(query.head_terms) == 2
+
+    def test_me_friends_birthdays(self):
+        query = graph_to_query("/me/friends?fields=birthday", 7)
+        assert len(query.body) == 2
+        assert {a.relation for a in query.body} == {"Friend", "User"}
+        user_atom = next(a for a in query.body if a.relation == "User")
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        assert user_atom.terms[rel_pos] == Constant("friend")
+
+    def test_me_photos(self):
+        query = graph_to_query("/me/photos?fields=caption,link", 7)
+        atom = query.body[0]
+        assert atom.relation == "Photo"
+        photo = SCHEMA.relation("Photo")
+        assert atom.terms[photo.position_of("uid")] == Constant(7)
+        assert atom.terms[photo.position_of("rel")] == Constant("self")
+
+    def test_field_aliases(self):
+        query = graph_to_query("/me?fields=picture,bio,gender", 7)
+        assert len(query.head_terms) == 3
+
+    def test_id_field_returns_subject(self):
+        query = graph_to_query("/me?fields=id", 7)
+        assert query.head_terms == (Constant(7),)
+
+    def test_stranger_request_leaves_rel_open(self):
+        query = graph_to_query("/42?fields=name", 7)
+        rel_pos = SCHEMA.relation("User").position_of("rel")
+        assert isinstance(query.body[0].terms[rel_pos], Variable)
+
+
+class TestLabeling:
+    def test_me_birthday_needs_user_birthday(self):
+        label = LABELER.label(graph_to_query("/me?fields=birthday", 7))
+        assert label.atoms[0].determiners == {"user_birthday"}
+
+    def test_friends_birthday_needs_friends_birthday(self):
+        label = LABELER.label(graph_to_query("/me/friends?fields=birthday", 7))
+        determiner_sets = [a.determiners for a in label.atoms]
+        assert {"friends_birthday"} in determiner_sets
+
+    def test_stranger_private_field_is_top(self):
+        label = LABELER.label(graph_to_query("/42?fields=birthday", 7))
+        assert label.is_top
+
+
+class TestCrossApiConsistency:
+    """The audit's key property: the two API surfaces compile to
+    equivalent queries, hence identical labels — drift is impossible."""
+
+    PAIRS = [
+        (
+            "/me?fields=birthday",
+            "SELECT birthday FROM user WHERE uid = me()",
+        ),
+        (
+            "/me?fields=relationship_status",
+            "SELECT relationship_status FROM user WHERE uid = me()",
+        ),
+        (
+            "/me?fields=quotes",
+            "SELECT quotes FROM user WHERE uid = me()",
+        ),
+        (
+            "/me?fields=picture",
+            "SELECT pic_square FROM user WHERE uid = me()",
+        ),
+    ]
+
+    @pytest.mark.parametrize("graph_path,fql_text", PAIRS)
+    def test_same_label_via_both_apis(self, graph_path, fql_text):
+        graph_label = LABELER.label(graph_to_query(graph_path, 7))
+        fql_label = LABELER.label(fql_to_query(fql_text, 7))
+        graph_sets = sorted(
+            (a.determiners for a in graph_label.atoms), key=sorted
+        )
+        fql_sets = sorted((a.determiners for a in fql_label.atoms), key=sorted)
+        assert graph_sets == fql_sets

@@ -1,0 +1,196 @@
+"""Tests for the Facebook evaluation schema and security-view vocabulary."""
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.facebook.permissions import (
+    PUBLIC_PROFILE_ATTRIBUTES,
+    USER_PERMISSION_GROUPS,
+    facebook_security_views,
+    permission_group_of,
+    projection_view,
+    relation_security_views,
+    user_security_views,
+    wide_schema_security_views,
+)
+from repro.facebook.schema import (
+    REL_FRIEND,
+    REL_SELF,
+    USER_ATTRIBUTES,
+    facebook_schema,
+    wide_schema,
+)
+
+
+class TestSchema:
+    def test_eight_relations(self):
+        schema = facebook_schema()
+        assert len(schema) == 8
+
+    def test_user_has_34_attributes(self):
+        schema = facebook_schema()
+        assert schema.relation("User").arity == 34
+        assert len(USER_ATTRIBUTES) == 34
+
+    def test_other_relations_between_3_and_10(self):
+        schema = facebook_schema()
+        for relation in schema:
+            if relation.name != "User":
+                assert 3 <= relation.arity <= 10, relation.name
+
+    def test_uid_in_every_relation(self):
+        """Section 7.2: uid 'appeared in all the relations we considered'."""
+        for relation in facebook_schema():
+            assert relation.has_attribute("uid")
+
+    def test_rel_denormalization_in_every_relation(self):
+        for relation in facebook_schema():
+            assert relation.has_attribute("rel")
+
+    def test_wide_schema(self):
+        schema = wide_schema(50)
+        assert len(schema) == 50
+        for relation in schema:
+            assert relation.has_attribute("uid")
+            assert relation.has_attribute("rel")
+
+
+class TestProjectionView:
+    def test_rel_constant(self):
+        schema = facebook_schema()
+        view = projection_view(schema.relation("Status"), ["uid", "message"], REL_SELF)
+        assert view.relation == "Status"
+        constants = dict(view.constant_positions())
+        rel_pos = schema.relation("Status").position_of("rel")
+        assert rel_pos in constants
+        assert constants[rel_pos].value == REL_SELF
+
+    def test_visible_attributes_distinguished(self):
+        schema = facebook_schema()
+        status = schema.relation("Status")
+        view = projection_view(status, ["uid", "message"], REL_SELF)
+        assert view.tag_at(status.position_of("uid")) == "d"
+        assert view.tag_at(status.position_of("message")) == "d"
+        assert view.tag_at(status.position_of("time")) == "e"
+
+    def test_rel_visible(self):
+        schema = facebook_schema()
+        status = schema.relation("Status")
+        view = projection_view(status, ["uid"], rel_visible=True)
+        assert view.tag_at(status.position_of("rel")) == "d"
+
+
+class TestUserViews:
+    def test_sixteen_views(self):
+        """Section 7.2: 'a generating set Fgen with 16 distinct security
+        views' for the User relation."""
+        assert len(user_security_views()) == 16
+
+    def test_pairs_for_every_group(self):
+        views = user_security_views()
+        for group in USER_PERMISSION_GROUPS:
+            assert f"user_{group}" in views
+            assert f"friends_{group}" in views
+
+    def test_user_likes_covers_languages(self):
+        """The Section 1 semantic-drift example, by construction."""
+        assert permission_group_of("languages") == "likes"
+        schema = facebook_schema()
+        view = user_security_views()[f"user_likes"]
+        pos = schema.relation("User").position_of("languages")
+        assert view.tag_at(pos) == "d"
+
+    def test_groups_disjoint(self):
+        seen = set()
+        for attributes in USER_PERMISSION_GROUPS.values():
+            for attribute in attributes:
+                assert attribute not in seen, attribute
+                seen.add(attribute)
+
+    def test_every_group_attribute_exists(self):
+        for attributes in USER_PERMISSION_GROUPS.values():
+            for attribute in attributes:
+                assert attribute in USER_ATTRIBUTES
+        for attribute in PUBLIC_PROFILE_ATTRIBUTES:
+            assert attribute in USER_ATTRIBUTES
+
+
+class TestFullVocabulary:
+    def test_view_counts(self):
+        """16 User views + 3 views for each of the 7 other relations."""
+        views = facebook_security_views()
+        assert len(views) == 16 + 3 * 7
+
+    def test_three_views_per_other_relation(self):
+        schema = facebook_schema()
+        views = facebook_security_views(schema)
+        for relation in schema:
+            count = len(views.for_relation(relation.name))
+            assert count == (16 if relation.name == "User" else 3)
+
+    def test_wide_schema_views(self):
+        schema = wide_schema(20)
+        views = wide_schema_security_views(schema)
+        assert len(views) == 60
+
+    def test_relation_views_shapes(self):
+        schema = facebook_schema()
+        views = relation_security_views(schema.relation("Status"))
+        assert set(views) == {"user_status", "friends_status", "public_status"}
+
+
+class TestLabelSemantics:
+    """End-to-end checks that the vocabulary labels queries sensibly."""
+
+    def setup_method(self):
+        self.schema = facebook_schema()
+        self.views = facebook_security_views(self.schema)
+        from repro.labeling.cq_labeler import ConjunctiveQueryLabeler
+
+        self.labeler = ConjunctiveQueryLabeler(self.views)
+
+    def atom(self, columns, rel_constant=None, rel_visible=False):
+        return projection_view(
+            self.schema.relation("User"), columns, rel_constant, rel_visible
+        )
+
+    def test_own_birthday_needs_user_birthday(self):
+        label = self.labeler.label(self.atom(["uid", "birthday"], REL_SELF))
+        assert label.atoms[0].determiners == {"user_birthday"}
+
+    def test_friend_birthday_needs_friends_birthday(self):
+        label = self.labeler.label(self.atom(["uid", "birthday"], REL_FRIEND))
+        assert label.atoms[0].determiners == {"friends_birthday"}
+
+    def test_public_column_from_public_profile(self):
+        label = self.labeler.label(self.atom(["uid", "name"], REL_SELF))
+        # both the self view of no group (none exists for name) and the
+        # public profile can answer; public_profile determines it
+        assert "public_profile" in label.atoms[0].determiners
+
+    def test_cross_group_atom_is_top(self):
+        """A single atom spanning two permission groups has no single-atom
+        determiner: it labels to ⊤ (documented limitation, Section 5's
+        single-atom-view restriction)."""
+        label = self.labeler.label(
+            self.atom(["uid", "birthday", "music"], REL_SELF)
+        )
+        assert label.is_top
+
+    def test_fof_public_query_answerable(self):
+        from repro.facebook.schema import REL_FOF
+
+        label = self.labeler.label(self.atom(["uid", "name"], REL_FOF))
+        assert label.atoms[0].determiners == {"public_profile"}
+
+    def test_fof_private_query_top(self):
+        from repro.facebook.schema import REL_FOF
+
+        label = self.labeler.label(self.atom(["uid", "birthday"], REL_FOF))
+        assert label.is_top
+
+    def test_email_self_only(self):
+        label = self.labeler.label(self.atom(["uid", "email"], REL_SELF))
+        assert label.atoms[0].determiners == {"user_email"}
+        label_friend = self.labeler.label(self.atom(["uid", "email"], REL_FRIEND))
+        assert label_friend.is_top

@@ -1,0 +1,156 @@
+"""Tests for generating sets (Section 4, Examples 4.1, 4.4, 4.10)."""
+
+import itertools
+
+from repro.core.tagged import TaggedAtom
+from repro.labeling.generating import (
+    glb_closure,
+    glb_label,
+    is_downward_generating_set,
+    label_gen,
+    minimal_downward_generating_set,
+    minimal_generating_set,
+)
+from repro.labeling.glb import glb_view_sets
+from repro.order.disclosure_order import RewritingOrder
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+# All 8 projections of Contacts (Figure 4).
+V3 = pat("C", "x:d", "y:d", "z:d")
+V6 = pat("C", "x:d", "y:d", "z:e")
+V7 = pat("C", "x:d", "y:e", "z:d")
+V8 = pat("C", "x:e", "y:d", "z:d")
+V9 = pat("C", "x:d", "y:e", "z:e")
+V10 = pat("C", "x:e", "y:d", "z:e")
+V11 = pat("C", "x:e", "y:e", "z:e")  # placeholder, replaced below
+V11 = pat("C", "x:e", "y:e", "z:d")
+V12 = pat("C", "x:e", "y:e", "z:e")
+ALL_PROJECTIONS = (V3, V6, V7, V8, V9, V10, V11, V12)
+ORDER = RewritingOrder()
+
+
+class TestExample44:
+    """Fd = ℘({V3,V6,V7,V8}): the lower projections are GLB-redundant."""
+
+    def test_glb_identities(self):
+        assert glb_view_sets([V6], [V7]) == {V9}
+        assert glb_view_sets([V6], [V8]) == {V10}
+        assert glb_view_sets([V7], [V8]) == {V11}
+        assert glb_view_sets(glb_view_sets([V6], [V7]), [V8]) == {V12}
+
+    def test_minimal_downward_generating_set(self):
+        # F = all singletons of projections, plus ∅ (as the GLB-closure
+        # of the singletons under the view ordering).
+        f = [frozenset([v]) for v in ALL_PROJECTIONS]
+        fd = minimal_downward_generating_set(f, ORDER, glb_view_sets)
+        assert sorted(map(sorted_names, fd)) == sorted(
+            map(sorted_names, [frozenset([v]) for v in (V3, V6, V7, V8)])
+        )
+
+    def test_is_downward_generating_set(self):
+        f = [frozenset([v]) for v in ALL_PROJECTIONS]
+        top_four = [frozenset([v]) for v in (V3, V6, V7, V8)]
+        assert is_downward_generating_set(top_four, f, ORDER, glb_view_sets)
+        assert not is_downward_generating_set(
+            [frozenset([V6]), frozenset([V7])], f, ORDER, glb_view_sets
+        )
+
+
+def sorted_names(view_set):
+    return sorted(str(v) for v in view_set)
+
+
+class TestGlbClosure:
+    """Theorem 4.5: any G extends to an F that it downward-generates."""
+
+    def test_closure_of_middle_projections(self):
+        generators = [frozenset([V6]), frozenset([V7]), frozenset([V8])]
+        closed = glb_closure(generators, ORDER, glb_view_sets)
+        produced = {frozenset(c) for c in closed}
+        for expected in (V9, V10, V11, V12):
+            assert any(
+                ORDER.equivalent(c, frozenset([expected])) for c in produced
+            ), expected
+
+    def test_generators_downward_generate_closure(self):
+        generators = [frozenset([V6]), frozenset([V7]), frozenset([V8])]
+        closed = glb_closure(generators, ORDER, glb_view_sets)
+        assert is_downward_generating_set(generators, closed, ORDER, glb_view_sets)
+
+    def test_closure_idempotent(self):
+        generators = [frozenset([V6]), frozenset([V7])]
+        once = glb_closure(generators, ORDER, glb_view_sets)
+        twice = glb_closure(once, ORDER, glb_view_sets)
+        assert len(once) == len(twice)
+
+
+class TestGlbLabel:
+    FD = [frozenset([v]) for v in (V3, V6, V7, V8)]
+    TOP = frozenset([V3])
+
+    def test_labels_lower_projections(self):
+        """GLBLabel reconstructs the removed elements of F on demand."""
+        assert ORDER.equivalent(
+            glb_label(self.FD, frozenset([V9]), ORDER, glb_view_sets),
+            frozenset([V9]),
+        )
+        assert ORDER.equivalent(
+            glb_label(self.FD, frozenset([V12]), ORDER, glb_view_sets),
+            frozenset([V12]),
+        )
+
+    def test_labels_generators_to_themselves(self):
+        for fd in self.FD:
+            assert ORDER.equivalent(
+                glb_label(self.FD, fd, ORDER, glb_view_sets), fd
+            )
+
+    def test_top_fallback(self):
+        foreign = frozenset([pat("Other", "x:d")])
+        assert (
+            glb_label(self.FD, foreign, ORDER, glb_view_sets, top=self.TOP)
+            == self.TOP
+        )
+
+
+class TestLabelGen:
+    FGEN = [frozenset([v]) for v in (V3, V6, V7, V8)]
+
+    def test_example_4_10_sizes(self):
+        """Fgen is linear in the attribute count (4 elements for arity 3)."""
+        assert len(self.FGEN) == 4
+
+    def test_multi_view_label_is_union(self):
+        out = label_gen(self.FGEN, [V9, V10], ORDER, glb_view_sets)
+        expected = glb_label(
+            self.FGEN, frozenset([V9]), ORDER, glb_view_sets
+        ) | glb_label(self.FGEN, frozenset([V10]), ORDER, glb_view_sets)
+        assert out == expected
+
+    def test_labelgen_sound(self):
+        """The input is always ⪯ its LabelGen label (axiom c)."""
+        for subset in itertools.combinations(ALL_PROJECTIONS, 2):
+            label = label_gen(self.FGEN, subset, ORDER, glb_view_sets)
+            assert ORDER.leq(subset, label)
+
+
+class TestMinimalGeneratingSet:
+    def test_redundant_union_element_removed(self):
+        """An element equal to a union of GLBs of others is redundant."""
+        fgen = [frozenset([v]) for v in (V3, V6, V7, V8)]
+        # add a redundant composite: {V9, V10} ≡ GLB(V6,V7) ∪ GLB(V6,V8)
+        padded = fgen + [frozenset([V9, V10])]
+        minimal = minimal_generating_set(padded, ORDER, glb_view_sets)
+        assert sorted(map(sorted_names, minimal)) == sorted(
+            map(sorted_names, fgen)
+        )
+
+    def test_irredundant_set_untouched(self):
+        fgen = [frozenset([v]) for v in (V3, V6, V7, V8)]
+        assert sorted(map(sorted_names, minimal_generating_set(
+            fgen, ORDER, glb_view_sets
+        ))) == sorted(map(sorted_names, fgen))

@@ -1,0 +1,160 @@
+"""Tests for disclosure labelers (Definition 3.4, Theorem 3.7, NaïveLabel)."""
+
+import itertools
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import LabelingError
+from repro.labeling.glb import glb_view_sets
+from repro.labeling.labeler import (
+    ComposedLabeler,
+    IdentityLabeler,
+    Labeler,
+    NaiveLabeler,
+    induces_labeler,
+    labeler_violations,
+    unique_up_to_equivalence,
+)
+from repro.order.disclosure_order import RewritingOrder
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+UNIVERSE = (V1, V2, V4, V5)
+ORDER = RewritingOrder()
+
+GOOD_F = [
+    frozenset(),
+    frozenset([V5]),
+    frozenset([V2]),
+    frozenset([V4]),
+    frozenset([V2, V4]),
+    frozenset([V1]),
+]
+
+
+def all_subsets(universe):
+    return [
+        frozenset(c)
+        for r in range(len(universe) + 1)
+        for c in itertools.combinations(universe, r)
+    ]
+
+
+class TestNaiveLabeler:
+    labeler = NaiveLabeler(ORDER, GOOD_F)
+
+    def test_fixpoints(self):
+        for f in GOOD_F:
+            assert ORDER.equivalent(self.labeler.label(f), f)
+
+    def test_minimality(self):
+        """The label is the least element of F above the input."""
+        for sample in all_subsets(UNIVERSE):
+            out = self.labeler.label(sample)
+            for f in GOOD_F:
+                if ORDER.leq(sample, f):
+                    assert ORDER.leq(out, f), (sample, out, f)
+
+    def test_v5_labels_to_v5(self):
+        assert ORDER.equivalent(self.labeler.label([V5]), frozenset([V5]))
+
+    def test_combined_projections(self):
+        assert ORDER.equivalent(
+            self.labeler.label([V2, V4]), frozenset([V2, V4])
+        )
+
+    def test_axioms_clean(self):
+        problems = labeler_violations(
+            self.labeler, ORDER, GOOD_F, all_subsets(UNIVERSE)
+        )
+        assert problems == []
+
+    def test_missing_top_detected(self):
+        labeler = NaiveLabeler(ORDER, [frozenset([V2]), frozenset([V5])])
+        with pytest.raises(LabelingError):
+            labeler.label([V1])
+
+
+class TestImpreciseF:
+    """F without {V2,V4} still induces a labeler, but an imprecise one:
+    ℓ({V2, V4}) = ⊤ (Section 4.2's discussion of precision)."""
+
+    F = [
+        frozenset(),
+        frozenset([V5]),
+        frozenset([V2]),
+        frozenset([V4]),
+        frozenset([V1]),
+    ]
+
+    def test_induces(self):
+        assert induces_labeler(ORDER, UNIVERSE, self.F)
+
+    def test_imprecision_on_union(self):
+        labeler = NaiveLabeler(ORDER, self.F)
+        out = labeler.label([V2, V4])
+        assert ORDER.equivalent(out, frozenset([V1]))  # jumped to ⊤
+        assert not ORDER.equivalent(out, frozenset([V2, V4]))
+
+    def test_still_axiom_clean(self):
+        labeler = NaiveLabeler(ORDER, self.F)
+        problems = labeler_violations(
+            labeler, ORDER, self.F, all_subsets(UNIVERSE)
+        )
+        assert problems == []
+
+
+class TestExistence:
+    def test_example_3_5(self):
+        bad_f = [
+            frozenset(),
+            frozenset([V2]),
+            frozenset([V4]),
+            frozenset([V2, V4]),
+            frozenset(UNIVERSE),
+        ]
+        assert not induces_labeler(ORDER, UNIVERSE, bad_f)
+
+    def test_good_f(self):
+        assert induces_labeler(ORDER, UNIVERSE, GOOD_F)
+
+    def test_f_must_contain_top(self):
+        assert not induces_labeler(ORDER, UNIVERSE, GOOD_F[:-1])
+
+    def test_uniqueness_up_to_equivalence(self):
+        """Two implementations of the same F agree everywhere (Thm 3.7)."""
+        naive = NaiveLabeler(ORDER, GOOD_F)
+
+        class GlbImplementation(Labeler):
+            def label(self, views):
+                from repro.labeling.generating import glb_label
+
+                return glb_label(
+                    GOOD_F, frozenset(views), ORDER, glb_view_sets,
+                    top=frozenset([V1]),
+                )
+
+        disagreement = unique_up_to_equivalence(
+            naive, GlbImplementation(), ORDER, all_subsets(UNIVERSE)
+        )
+        assert disagreement is None
+
+
+class TestComposedAndIdentity:
+    def test_identity(self):
+        labeler = IdentityLabeler()
+        assert labeler.label([V2, V4]) == {V2, V4}
+
+    def test_composition(self):
+        first = IdentityLabeler()
+        second = NaiveLabeler(ORDER, GOOD_F)
+        composed = ComposedLabeler(first, second)
+        assert ORDER.equivalent(composed.label([V5]), frozenset([V5]))

@@ -1,0 +1,187 @@
+"""Tests for the disclosure lattice (Theorem 3.3) including Figure 3."""
+
+import itertools
+
+from repro.core.tagged import TaggedAtom
+from repro.order.closure import ClosureOperator
+from repro.order.disclosure_lattice import DisclosureLattice
+from repro.order.disclosure_order import RewritingOrder
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+UNIVERSE = (V1, V2, V4, V5)
+ORDER = RewritingOrder()
+
+
+class TestFigure3:
+    """The disclosure lattice of Figure 3, element by element."""
+
+    lattice = DisclosureLattice.from_universe(ORDER, UNIVERSE)
+
+    def test_six_elements(self):
+        assert len(self.lattice) == 6
+
+    def test_elements_exactly_match_figure(self):
+        down = self.lattice.down
+        expected = {
+            frozenset(),          # ⊥ = ⇓∅
+            down([V5]),
+            down([V2]),
+            down([V4]),
+            down([V2, V4]),
+            down([V1]),           # ⊤
+        }
+        assert set(self.lattice.elements) == expected
+
+    def test_glb_of_projections_is_boolean_view(self):
+        glb = self.lattice.glb(self.lattice.down([V2]), self.lattice.down([V4]))
+        assert glb == self.lattice.down([V5])
+
+    def test_raw_intersection_would_miss_overlap(self):
+        """Why ⇓ exists: {V2} ∩ {V4} = ∅ yet the overlap is ⇓{V5} ≠ ⊥."""
+        assert frozenset([V2]) & frozenset([V4]) == frozenset()
+        glb = self.lattice.glb(self.lattice.down([V2]), self.lattice.down([V4]))
+        assert glb != self.lattice.bottom
+
+    def test_lub_of_projections_strictly_below_top(self):
+        lub = self.lattice.lub(self.lattice.down([V2]), self.lattice.down([V4]))
+        assert lub == self.lattice.down([V2, V4])
+        assert lub < self.lattice.top
+        # "accurately reflecting the fact that it is impossible to
+        # reconstitute the Meetings relation from the projections"
+        assert V1 not in lub
+
+    def test_top_and_bottom(self):
+        assert self.lattice.top == frozenset(UNIVERSE)
+        assert self.lattice.bottom == frozenset()
+
+    def test_hasse_diagram_shape(self):
+        edges = self.lattice.hasse_edges()
+        assert len(edges) == 6  # ⊥-V5, V5-V2, V5-V4, V2-{24}, V4-{24}, {24}-⊤
+
+    def test_distributive(self):
+        """Theorem 4.8: decomposable universe → distributive lattice."""
+        assert self.lattice.is_distributive()
+
+    def test_render_mentions_every_rank(self):
+        text = self.lattice.render({V1: "V1", V2: "V2", V4: "V4", V5: "V5"})
+        assert "⊥" in text and "V5" in text and text.count("\n") == 4
+
+
+class TestTheorem33Laws:
+    lattice = DisclosureLattice.from_universe(ORDER, UNIVERSE)
+
+    def elements(self):
+        return self.lattice.elements
+
+    def test_lub_is_least_upper_bound(self):
+        for x1, x2 in itertools.product(self.elements(), repeat=2):
+            lub = self.lattice.lub(x1, x2)
+            assert x1 <= lub and x2 <= lub
+            for other in self.elements():
+                if x1 <= other and x2 <= other:
+                    assert lub <= other
+
+    def test_glb_is_greatest_lower_bound(self):
+        for x1, x2 in itertools.product(self.elements(), repeat=2):
+            glb = self.lattice.glb(x1, x2)
+            assert glb <= x1 and glb <= x2
+            assert glb in self.lattice.elements  # closed under GLB
+            for other in self.elements():
+                if other <= x1 and other <= x2:
+                    assert other <= glb
+
+    def test_lub_formula(self):
+        """(a) LUB: ⇓W1 ⊔ ⇓W2 = ⇓(W1 ∪ W2)."""
+        subsets = [
+            frozenset(c)
+            for r in range(len(UNIVERSE) + 1)
+            for c in itertools.combinations(UNIVERSE, r)
+        ]
+        for w1 in subsets:
+            for w2 in subsets:
+                assert self.lattice.lub(
+                    self.lattice.down(w1), self.lattice.down(w2)
+                ) == self.lattice.down(w1 | w2)
+
+    def test_down_is_closure_operator(self):
+        """⇓ (as a map on subsets of U) is extensive, monotone, idempotent."""
+        subsets = [
+            frozenset(c)
+            for r in range(len(UNIVERSE) + 1)
+            for c in itertools.combinations(UNIVERSE, r)
+        ]
+        op = ClosureOperator(
+            lambda w: self.lattice.down(w), lambda a, b: a <= b
+        )
+        assert op.is_closure_on(subsets)
+
+    def test_fixpoints_are_lattice_elements(self):
+        subsets = [
+            frozenset(c)
+            for r in range(len(UNIVERSE) + 1)
+            for c in itertools.combinations(UNIVERSE, r)
+        ]
+        op = ClosureOperator(lambda w: self.lattice.down(w), lambda a, b: a <= b)
+        assert set(op.fixpoints(subsets)) == set(self.lattice.elements)
+
+
+class TestFromGenerators:
+    def test_generator_construction_matches_full(self):
+        full = DisclosureLattice.from_universe(ORDER, UNIVERSE)
+        partial = DisclosureLattice.from_generators(
+            ORDER, UNIVERSE, [[V2], [V4], [V1]]
+        )
+        assert set(partial.elements) == set(full.elements)
+
+    def test_partial_generators(self):
+        lattice = DisclosureLattice.from_generators(ORDER, UNIVERSE, [[V2]])
+        # ⊥, ⇓{V2}, ⊤ plus closures
+        assert lattice.down([V2]) in lattice.elements
+        assert lattice.top in lattice.elements
+        assert lattice.bottom in lattice.elements
+
+    def test_element_for_raises_when_missing(self):
+        lattice = DisclosureLattice.from_generators(ORDER, UNIVERSE, [[V2]])
+        import pytest
+
+        with pytest.raises(KeyError):
+            lattice.element_for([V4])
+
+
+class TestExample35Universe:
+    """Example 3.5: F = ℘({V2, V4}) cannot label V5."""
+
+    def test_no_labeler_for_powerset_of_projections(self):
+        from repro.labeling.labeler import induces_labeler
+
+        labels = [
+            frozenset(),
+            frozenset([V2]),
+            frozenset([V4]),
+            frozenset([V2, V4]),
+            frozenset(UNIVERSE),  # ⊤, which F implicitly contains
+        ]
+        # K is NOT closed under intersection: ⇓{V2} ∩ ⇓{V4} = {V5},
+        # which is no element's ⇓.
+        assert not induces_labeler(ORDER, UNIVERSE, labels)
+
+    def test_adding_v5_fixes_it(self):
+        from repro.labeling.labeler import induces_labeler
+
+        labels = [
+            frozenset(),
+            frozenset([V5]),
+            frozenset([V2]),
+            frozenset([V4]),
+            frozenset([V2, V4]),
+            frozenset(UNIVERSE),
+        ]
+        assert induces_labeler(ORDER, UNIVERSE, labels)

@@ -1,0 +1,136 @@
+"""Tests for disclosure orders (Definition 3.1) over the paper's views."""
+
+import itertools
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.order.disclosure_order import (
+    LiftedOrder,
+    RewritingOrder,
+    SetInclusionOrder,
+    check_disclosure_order_axioms,
+    is_decomposable,
+)
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+UNIVERSE = (V1, V2, V4, V5)
+
+
+def all_subsets(universe):
+    return [
+        frozenset(c)
+        for r in range(len(universe) + 1)
+        for c in itertools.combinations(universe, r)
+    ]
+
+
+class TestRewritingOrder:
+    order = RewritingOrder()
+
+    def test_axioms_hold_exhaustively(self):
+        problems = check_disclosure_order_axioms(
+            self.order, UNIVERSE, all_subsets(UNIVERSE)
+        )
+        assert problems == []
+
+    def test_figure3_relations(self):
+        assert self.order.leq([V2], [V1])
+        assert self.order.leq([V4], [V1])
+        assert self.order.leq([V5], [V2])
+        assert self.order.leq([V5], [V4])
+        assert not self.order.leq([V1], [V2, V4])
+        assert not self.order.leq([V2], [V4])
+
+    def test_not_antisymmetric_in_general(self):
+        """V1(x,y):-M(x,y) and V1'(y,x):-M(x,y) normalize identically, so
+        use a genuinely different pair: a view and its GLB-closure twin."""
+        # Two distinct view *sets* that reveal equivalent information:
+        w1 = frozenset([V1])
+        w2 = frozenset([V1, V2])
+        assert self.order.leq(w1, w2) and self.order.leq(w2, w1)
+        assert w1 != w2
+
+    def test_down_operator(self):
+        down = self.order.down([V2], UNIVERSE)
+        assert down == {V2, V5}
+        assert self.order.down([V1], UNIVERSE) == set(UNIVERSE)
+        assert self.order.down([], UNIVERSE) == frozenset()
+
+    def test_down_monotone(self):
+        subsets = all_subsets(UNIVERSE)
+        for w1 in subsets:
+            for w2 in subsets:
+                if self.order.leq(w1, w2):
+                    assert self.order.down(w1, UNIVERSE) <= self.order.down(
+                        w2, UNIVERSE
+                    )
+
+    def test_leq_iff_down_subset(self):
+        """Section 3.2: W1 ⪯ W2 iff ⇓W1 ⊆ ⇓W2 (over a closed universe)."""
+        subsets = all_subsets(UNIVERSE)
+        for w1 in subsets:
+            for w2 in subsets:
+                assert self.order.leq(w1, w2) == (
+                    self.order.down(w1, UNIVERSE) <= self.order.down(w2, UNIVERSE)
+                )
+
+    def test_decomposable(self):
+        assert is_decomposable(self.order, UNIVERSE)
+
+
+class TestSetInclusionOrder:
+    order = SetInclusionOrder()
+
+    def test_axioms(self):
+        problems = check_disclosure_order_axioms(
+            self.order, UNIVERSE, all_subsets(UNIVERSE)
+        )
+        assert problems == []
+
+    def test_is_plain_subset(self):
+        assert self.order.leq([V2], [V2, V4])
+        assert not self.order.leq([V5], [V2])  # no inference at all
+
+    def test_always_decomposable(self):
+        assert is_decomposable(self.order, UNIVERSE)
+
+
+class TestLiftedOrder:
+    def test_lift_of_divisibility(self):
+        order = LiftedOrder(lambda a, b: a % b == 0)
+        universe = (2, 3, 4, 6, 12)
+        problems = check_disclosure_order_axioms(
+            order, universe, all_subsets(universe)
+        )
+        assert problems == []
+        assert order.leq([4, 6], [2, 3])
+        assert not order.leq([4], [3])
+
+    def test_lifted_orders_are_decomposable(self):
+        order = LiftedOrder(lambda a, b: a % b == 0)
+        assert is_decomposable(order, (2, 3, 4, 6))
+
+
+class TestNonDecomposableExample:
+    """A functional order where a view needs *both* sources (not lifted)."""
+
+    def test_detected(self):
+        from repro.order.disclosure_order import FunctionalOrder
+
+        def view_leq(view, views):
+            if view in views:
+                return True
+            # "join" is derivable only from a+b together
+            return view == "join" and {"a", "b"} <= set(views)
+
+        order = FunctionalOrder(view_leq)
+        assert not is_decomposable(order, ("a", "b", "join"))

@@ -1,0 +1,95 @@
+"""Unit tests for the generic finite-lattice machinery."""
+
+import pytest
+
+from repro.order.lattice import FiniteLattice, NotALatticeError
+
+# The divisor lattice of 12: a classic non-distributive-free example
+# (divisors of 12 form a distributive lattice).
+DIV12 = [1, 2, 3, 4, 6, 12]
+
+
+def divides(a, b):
+    return b % a == 0
+
+
+@pytest.fixture
+def lattice():
+    return FiniteLattice(DIV12, divides)
+
+
+class TestLatticeOperations:
+    def test_meet_is_gcd(self, lattice):
+        assert lattice.meet(4, 6) == 2
+        assert lattice.meet(3, 4) == 1
+
+    def test_join_is_lcm(self, lattice):
+        assert lattice.join(4, 6) == 12
+        assert lattice.join(2, 3) == 6
+
+    def test_bounds(self, lattice):
+        assert lattice.bottom == 1
+        assert lattice.top == 12
+
+    def test_meet_all_join_all(self, lattice):
+        assert lattice.meet_all([4, 6, 12]) == 2
+        assert lattice.join_all([2, 3]) == 6
+        assert lattice.meet_all([]) == 12
+        assert lattice.join_all([]) == 1
+
+    def test_idempotent_laws(self, lattice):
+        for a in DIV12:
+            assert lattice.meet(a, a) == a
+            assert lattice.join(a, a) == a
+
+    def test_absorption_laws(self, lattice):
+        for a in DIV12:
+            for b in DIV12:
+                assert lattice.meet(a, lattice.join(a, b)) == a
+                assert lattice.join(a, lattice.meet(a, b)) == a
+
+
+class TestStructure:
+    def test_distributive(self, lattice):
+        assert lattice.is_distributive()
+
+    def test_non_distributive_diamond(self):
+        # M3: bottom, three incomparable middles, top
+        order = {
+            ("0", "0"), ("1", "1"), ("a", "a"), ("b", "b"), ("c", "c"),
+            ("0", "a"), ("0", "b"), ("0", "c"), ("0", "1"),
+            ("a", "1"), ("b", "1"), ("c", "1"),
+        }
+        m3 = FiniteLattice(
+            ["0", "a", "b", "c", "1"], lambda x, y: (x, y) in order
+        )
+        assert not m3.is_distributive()
+
+    def test_covers(self, lattice):
+        assert lattice.covers(1, 2)
+        assert lattice.covers(2, 4)
+        assert not lattice.covers(1, 4)  # 2 is in between
+        assert not lattice.covers(4, 2)
+
+    def test_hasse_edges(self, lattice):
+        edges = set(lattice.hasse_edges())
+        assert edges == {
+            (1, 2), (1, 3), (2, 4), (2, 6), (3, 6), (4, 12), (6, 12)
+        }
+
+    def test_height(self, lattice):
+        assert lattice.height() == 3  # 1-2-4-12 or 1-2-6-12
+
+    def test_not_a_lattice_detected(self):
+        # two incomparable elements with no join
+        with pytest.raises(NotALatticeError):
+            FiniteLattice([1, 2], lambda a, b: a == b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotALatticeError):
+            FiniteLattice([], lambda a, b: True)
+
+    def test_len_and_contains(self, lattice):
+        assert len(lattice) == 6
+        assert 6 in lattice
+        assert 5 not in lattice

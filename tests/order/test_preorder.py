@@ -1,0 +1,102 @@
+"""Unit tests for generic preorder utilities."""
+
+from repro.order.preorder import (
+    QuotientPoset,
+    equivalence_classes,
+    equivalent,
+    is_antisymmetric,
+    is_preorder,
+    is_reflexive,
+    is_transitive,
+    maximal_antichain,
+    maximal_elements,
+    minimal_elements,
+    topological_sort,
+)
+
+# A preorder on 0..5: compare by value // 2 (pairs are equivalent).
+ELEMENTS = [0, 1, 2, 3, 4, 5]
+
+
+def halved(a, b):
+    return a // 2 <= b // 2
+
+
+class TestPredicates:
+    def test_is_preorder(self):
+        assert is_preorder(ELEMENTS, halved)
+
+    def test_is_reflexive(self):
+        assert is_reflexive(ELEMENTS, halved)
+        assert not is_reflexive([1, 2], lambda a, b: a < b)
+
+    def test_is_transitive(self):
+        assert is_transitive(ELEMENTS, halved)
+        # a relation that is reflexive but not transitive
+        edges = {(1, 1), (2, 2), (3, 3), (1, 2), (2, 3)}
+        assert not is_transitive([1, 2, 3], lambda a, b: (a, b) in edges)
+
+    def test_is_antisymmetric(self):
+        assert not is_antisymmetric(ELEMENTS, halved)  # 0 ≡ 1
+        assert is_antisymmetric([0, 2, 4], halved)
+
+
+class TestEquivalence:
+    def test_equivalent(self):
+        assert equivalent(0, 1, halved)
+        assert not equivalent(0, 2, halved)
+
+    def test_equivalence_classes(self):
+        classes = equivalence_classes(ELEMENTS, halved)
+        assert sorted(sorted(c) for c in classes) == [[0, 1], [2, 3], [4, 5]]
+
+
+class TestSorting:
+    def test_topological_sort_respects_order(self):
+        result = topological_sort([5, 0, 3, 2, 4, 1], halved)
+        positions = {v: i for i, v in enumerate(result)}
+        for a in ELEMENTS:
+            for b in ELEMENTS:
+                if halved(a, b) and not halved(b, a):
+                    assert positions[a] < positions[b]
+
+    def test_topological_sort_keeps_all(self):
+        result = topological_sort(ELEMENTS, halved)
+        assert sorted(result) == ELEMENTS
+
+
+class TestExtremes:
+    def test_minimal_elements(self):
+        assert sorted(minimal_elements(ELEMENTS, halved))[0] in (0, 1)
+        assert len(minimal_elements(ELEMENTS, halved)) == 1  # one per class
+
+    def test_maximal_elements(self):
+        maxes = maximal_elements(ELEMENTS, halved)
+        assert len(maxes) == 1
+        assert maxes[0] in (4, 5)
+
+    def test_maximal_antichain_drops_dominated(self):
+        chain = maximal_antichain([0, 2, 4], halved)
+        assert chain == {4}
+
+    def test_maximal_antichain_keeps_incomparable(self):
+        divides = lambda a, b: b % a == 0
+        chain = maximal_antichain([2, 3, 4], divides)
+        assert chain == {3, 4}
+
+    def test_maximal_antichain_dedupes_equivalents(self):
+        chain = maximal_antichain([4, 5], halved)
+        assert len(chain) == 1
+
+
+class TestQuotientPoset:
+    def test_classes(self):
+        poset = QuotientPoset(ELEMENTS, halved)
+        assert len(poset) == 3
+
+    def test_leq_on_classes(self):
+        poset = QuotientPoset(ELEMENTS, halved)
+        low = poset.class_of(0)
+        high = poset.class_of(4)
+        assert poset.leq(low, high)
+        assert not poset.leq(high, low)

@@ -1,0 +1,64 @@
+"""Tests for lattice visualization exports."""
+
+import networkx as nx
+
+from repro.core.tagged import TaggedAtom
+from repro.order.disclosure_lattice import DisclosureLattice
+from repro.order.disclosure_order import RewritingOrder
+from repro.order.lattice import FiniteLattice
+from repro.order.viz import (
+    disclosure_lattice_to_networkx,
+    lattice_to_networkx,
+    to_dot,
+)
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+NAMES = {V1: "V1", V2: "V2", V4: "V4", V5: "V5"}
+LATTICE = DisclosureLattice.from_universe(RewritingOrder(), (V1, V2, V4, V5))
+
+
+class TestNetworkxExport:
+    def test_finite_lattice_graph(self):
+        lattice = FiniteLattice([1, 2, 3, 6], lambda a, b: b % a == 0)
+        graph = lattice_to_networkx(lattice)
+        assert set(graph.nodes) == {1, 2, 3, 6}
+        assert set(graph.edges) == {(1, 2), (1, 3), (2, 6), (3, 6)}
+
+    def test_disclosure_lattice_graph_shape(self):
+        graph = disclosure_lattice_to_networkx(LATTICE, NAMES)
+        assert len(graph.nodes) == 6
+        assert len(graph.edges) == 6  # Figure 3's Hasse diagram
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_bottom_reaches_top(self):
+        graph = disclosure_lattice_to_networkx(LATTICE, NAMES)
+        assert nx.has_path(graph, "⊥", "⇓{V1, V2, V4, V5}")
+
+    def test_unique_source_and_sink(self):
+        graph = disclosure_lattice_to_networkx(LATTICE, NAMES)
+        sources = [n for n in graph if graph.in_degree(n) == 0]
+        sinks = [n for n in graph if graph.out_degree(n) == 0]
+        assert sources == ["⊥"]
+        assert len(sinks) == 1
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        dot = to_dot(LATTICE, NAMES, title="figure 3")
+        assert dot.startswith("digraph L {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="figure 3"' in dot
+        assert dot.count("->") == 6
+        assert "⇓{V5}" in dot
+
+    def test_default_names(self):
+        dot = to_dot(LATTICE)
+        assert "[M(" in dot  # falls back to tagged-atom rendering

@@ -1,0 +1,140 @@
+"""Tests for the fast multi-principal policy checker (Figure 6 machinery)."""
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import PolicyError
+from repro.labeling.bitvector import BitVectorRegistry
+from repro.labeling.cq_labeler import SecurityViews
+from repro.policy.checker import CompiledPolicy, PolicyChecker
+from repro.policy.monitor import ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("Meetings", "x:d", "y:d")
+V2 = pat("Meetings", "x:d", "y:e")
+V3 = pat("Contacts", "x:d", "y:d", "z:d")
+V6 = pat("Contacts", "x:d", "y:d", "z:e")
+V7 = pat("Contacts", "x:d", "y:e", "z:d")
+ALL = {"V1": V1, "V2": V2, "V3": V3, "V6": V6, "V7": V7}
+
+
+@pytest.fixture
+def setup():
+    views = SecurityViews(ALL)
+    registry = BitVectorRegistry(views)
+    checker = PolicyChecker(registry)
+    return views, registry, checker
+
+
+class TestCompiledPolicy:
+    def test_compile(self, setup):
+        views, registry, _ = setup
+        policy = PartitionPolicy([["V1"], ["V3", "V6"]], views)
+        compiled = CompiledPolicy.compile(policy, registry)
+        assert len(compiled) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            CompiledPolicy([])
+
+
+class TestChecker:
+    def test_example_62_on_fast_path(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+
+        assert checker.check(principal, registry.pack_label([V6]))
+        assert checker.check(principal, registry.pack_label([V7]))
+        assert not checker.check(principal, registry.pack_label([V2]))
+        assert checker.live_vector(principal) == 0b10
+
+    def test_multi_atom_label_needs_every_atom(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V3"]], views)
+        principal = checker.add_principal(policy)
+        both = registry.pack_label([V2, V6])
+        assert checker.check(principal, both)
+        only_meetings = PartitionPolicy([["V1"]], views)
+        p2 = checker.add_principal(only_meetings)
+        assert not checker.check(p2, both)
+
+    def test_principals_are_independent(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        a = checker.add_principal(policy)
+        b = checker.add_principal(policy)
+        checker.check(a, registry.pack_label([V6]))
+        assert checker.live_vector(a) == 0b10
+        assert checker.live_vector(b) == 0b11
+
+    def test_reset(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3"]], views)
+        principal = checker.add_principal(policy)
+        checker.check(principal, registry.pack_label([V2]))
+        checker.reset(principal)
+        assert checker.live_vector(principal) == 0b11
+
+    def test_check_fresh_ignores_history(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+        checker.check(principal, registry.pack_label([V6]))  # commit to Contacts
+        # fresh check ignores the commitment
+        assert checker.check_fresh(principal, registry.pack_label([V2]))
+        # stateful check does not
+        assert not checker.check(principal, registry.pack_label([V2]))
+
+    def test_run_stream_counts(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+        stream = [
+            (principal, registry.pack_label([V6])),
+            (principal, registry.pack_label([V7])),
+            (principal, registry.pack_label([V2])),
+        ]
+        assert checker.run_stream(stream) == (2, 1)
+
+    def test_top_label_always_refused(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2", "V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+        top = registry.pack_label([pat("Unknown", "x:d")])
+        assert not checker.check(principal, top)
+
+
+class TestCheckerAgreesWithMonitor:
+    """The integer fast path and the symbolic monitor must always agree."""
+
+    def test_random_streams(self, setup):
+        import random
+
+        views, registry, checker = setup
+        rng = random.Random(42)
+        atoms = [V1, V2, V3, V6, V7, pat("Meetings", "x:e", "y:e")]
+        names = list(ALL)
+
+        for trial in range(25):
+            k = rng.randint(1, 3)
+            partitions = [
+                rng.sample(names, rng.randint(1, len(names))) for _ in range(k)
+            ]
+            policy = PartitionPolicy(partitions, views)
+            monitor = ReferenceMonitor(views, policy)
+            principal = checker.add_principal(policy)
+
+            for _ in range(12):
+                n_atoms = rng.randint(1, 2)
+                query_atoms = rng.sample(atoms, n_atoms)
+                slow = monitor.submit(query_atoms).accepted
+                fast = checker.check(
+                    principal, registry.pack_label(query_atoms)
+                )
+                assert slow == fast, (partitions, query_atoms)

@@ -1,0 +1,129 @@
+"""Tests for the reference monitor (Examples 6.2 and 6.3)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.tagged import TaggedAtom
+from repro.errors import QueryRefusedError
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.policy.monitor import ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("Meetings", "x:d", "y:d")
+V2 = pat("Meetings", "x:d", "y:e")
+V3 = pat("Contacts", "x:d", "y:d", "z:d")
+V6 = pat("Contacts", "x:d", "y:d", "z:e")
+V7 = pat("Contacts", "x:d", "y:e", "z:d")
+
+
+@pytest.fixture
+def views():
+    return SecurityViews({"V1": V1, "V2": V2, "V3": V3, "V6": V6, "V7": V7})
+
+
+@pytest.fixture
+def example_62_monitor(views):
+    """W1 = {V1} (Meetings), W2 = {V3} (Contacts) — one or the other."""
+    policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+    return ReferenceMonitor(views, policy)
+
+
+class TestExample62:
+    def test_full_scenario(self, example_62_monitor):
+        monitor = example_62_monitor
+        assert monitor.live_partitions == (True, True)  # Example 6.3: ⟨1,1⟩
+
+        assert monitor.submit(V6).accepted
+        assert monitor.live_partitions == (False, True)
+
+        assert monitor.submit(V7).accepted
+        assert monitor.live_partitions == (False, True)  # unchanged
+
+        decision = monitor.submit(V2)
+        assert not decision.accepted
+        # "the reference monitor will instead refuse the query and leave
+        # the bit vector as ⟨1, 0⟩" (their W-ordering; ours is reversed)
+        assert monitor.live_partitions == (False, True)
+
+    def test_opposite_commitment(self, example_62_monitor):
+        monitor = example_62_monitor
+        assert monitor.submit(V2).accepted
+        assert monitor.live_partitions == (True, False)
+        assert not monitor.submit(V6).accepted
+
+    def test_refused_query_does_not_burn_state(self, example_62_monitor):
+        monitor = example_62_monitor
+        monitor.submit(V6)
+        monitor.submit(V2)  # refused
+        # still able to continue on the Contacts side
+        assert monitor.submit(V3).accepted
+
+
+class TestMonitorBehaviour:
+    def test_enforce_raises(self, views):
+        policy = PartitionPolicy([["V2"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        with pytest.raises(QueryRefusedError):
+            monitor.enforce(V1)
+
+    def test_would_accept_is_stateless(self, views):
+        policy = PartitionPolicy([["V1", "V2"], ["V3"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        assert monitor.would_accept(V2)
+        assert monitor.live_partitions == (True, True)  # unchanged
+
+    def test_vocabulary_gap_refused(self, views):
+        policy = PartitionPolicy([["V1"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        decision = monitor.submit(parse_query("Q(x) :- Unknown(x, y)"))
+        assert not decision.accepted
+        assert "vocabulary" in decision.reason
+
+    def test_cumulative_label(self, views):
+        policy = PartitionPolicy([["V1", "V2", "V3", "V6", "V7"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        assert monitor.cumulative_label is None
+        monitor.submit(V2)
+        monitor.submit(V6)
+        assert len(monitor.cumulative_label) == 2
+
+    def test_reset(self, views):
+        policy = PartitionPolicy([["V1", "V2"], ["V3"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        monitor.submit(V2)
+        monitor.reset()
+        assert monitor.live_partitions == (True, True)
+        assert monitor.cumulative_label is None
+
+    def test_accepts_parsed_queries(self, views):
+        policy = PartitionPolicy([["V1", "V2"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        decision = monitor.submit(parse_query("Q(x) :- Meetings(x, y)"))
+        assert decision.accepted
+
+    def test_monitor_from_labeler_instance(self, views):
+        labeler = ConjunctiveQueryLabeler(views)
+        monitor = ReferenceMonitor(labeler, PartitionPolicy([["V1"]], views))
+        assert monitor.submit(V2).accepted
+
+
+class TestStatelessEqualsCumulative:
+    """Section 6.2: for a single partition the stateless and cumulative
+    models are equivalent (Definition 3.1)."""
+
+    def test_equivalence_on_query_streams(self, views):
+        policy = PartitionPolicy([["V2", "V6"]], views)
+        stream = [V2, V5_like := pat("Meetings", "x:e", "y:e"), V6, V1, V3, V2]
+
+        cumulative = ReferenceMonitor(views, policy)
+        labeler = ConjunctiveQueryLabeler(views)
+
+        for query in stream:
+            stateless_verdict = policy.permits_fresh(labeler.label(query))
+            cumulative_verdict = cumulative.submit(query).accepted
+            assert stateless_verdict == cumulative_verdict

@@ -1,0 +1,83 @@
+"""Tests for over-privilege analysis (Section 2.2)."""
+
+from repro.core.parser import parse_query
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.policy.overprivilege import analyze
+
+VIEWS = SecurityViews.from_definitions(
+    """
+    V1(x, y)    :- Meetings(x, y)
+    V2(x)       :- Meetings(x, y)
+    V3(x, y, z) :- Contacts(x, y, z)
+    V6(x, y)    :- Contacts(x, y, z)
+    """
+)
+LABELER = ConjunctiveQueryLabeler(VIEWS)
+
+
+def labels_for(*texts):
+    return [LABELER.label(parse_query(t)) for t in texts]
+
+
+class TestAnalyze:
+    def test_unused_grant_detected(self):
+        labels = labels_for("Q(x) :- Meetings(x, y)")
+        report = analyze(labels, ["V1", "V2", "V3"])
+        assert report.unused == {"V3"}
+        assert report.is_overprivileged
+
+    def test_minimal_cover_prefers_fewest_grants(self):
+        # the times query is satisfiable by V1 or V2; granting both is
+        # redundant
+        labels = labels_for("Q(x) :- Meetings(x, y)")
+        report = analyze(labels, ["V1", "V2"])
+        assert len(report.minimal) == 1
+        assert report.redundant  # one of the two is unnecessary
+
+    def test_tight_grant(self):
+        labels = labels_for(
+            "Q(x) :- Meetings(x, 'Cathy')",       # needs V1
+            "P(x, y) :- Contacts(x, y, z)",        # needs V3 or V6
+        )
+        report = analyze(labels, ["V1", "V6"])
+        assert not report.is_overprivileged
+        assert report.minimal == {"V1", "V6"}
+        assert "tight" in report.summary()
+
+    def test_shared_grant_covers_two_queries(self):
+        labels = labels_for(
+            "Q(x) :- Meetings(x, y)",
+            "P(x) :- Meetings(x, 'Cathy')",
+        )
+        report = analyze(labels, ["V1", "V2"])
+        # V1 alone covers both queries
+        assert report.minimal == {"V1"}
+
+    def test_uncovered_query_flagged(self):
+        labels = labels_for("Q(x) :- Contacts(x, y, z)")
+        report = analyze(labels, ["V1"])
+        assert not report.covered
+        assert "exceeds" in report.summary()
+
+    def test_empty_history(self):
+        report = analyze([], ["V1", "V2"])
+        assert report.minimal == frozenset()
+        assert report.unused == {"V1", "V2"}
+
+    def test_summary_lists_unused(self):
+        labels = labels_for("Q(x) :- Meetings(x, y)")
+        report = analyze(labels, ["V2", "V3"])
+        assert "V3" in report.summary()
+
+    def test_greedy_path_on_many_grants(self):
+        # force the greedy branch with > 12 candidate grants
+        names = [f"W{i}(x{i}) :- R{i}(x{i}, y)" for i in range(14)]
+        views = SecurityViews.from_definitions(";".join(names))
+        labeler = ConjunctiveQueryLabeler(views)
+        labels = [
+            labeler.label(parse_query(f"Q(x) :- R{i}(x, y)"))
+            for i in range(14)
+        ]
+        report = analyze(labels, [f"W{i}" for i in range(14)])
+        assert report.minimal == frozenset(f"W{i}" for i in range(14))
+        assert not report.is_overprivileged

@@ -1,0 +1,100 @@
+"""Tests for policy representations (Definition 3.9, Section 6.2)."""
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
+from repro.order.disclosure_lattice import DisclosureLattice
+from repro.order.disclosure_order import RewritingOrder
+from repro.policy.policy import LatticeCutPolicy, PartitionPolicy
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("M", "x:d", "y:d")
+V2 = pat("M", "x:d", "y:e")
+V4 = pat("M", "x:e", "y:d")
+V5 = pat("M", "x:e", "y:e")
+ORDER = RewritingOrder()
+
+
+@pytest.fixture
+def views():
+    return SecurityViews({"V1": V1, "V2": V2, "V4": V4, "V5": V5})
+
+
+class TestPartitionPolicy:
+    def test_construction(self, views):
+        policy = PartitionPolicy([["V1"], ["V2", "V4"]], views)
+        assert len(policy) == 2
+        assert not policy.is_stateless
+
+    def test_stateless(self, views):
+        policy = PartitionPolicy.stateless(["V2"], views)
+        assert policy.is_stateless
+
+    def test_unknown_view_rejected(self, views):
+        with pytest.raises(PolicyError):
+            PartitionPolicy([["nope"]], views)
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            PartitionPolicy([])
+        with pytest.raises(PolicyError):
+            PartitionPolicy([[]])
+
+    def test_satisfying_partitions(self, views):
+        labeler = ConjunctiveQueryLabeler(views)
+        policy = PartitionPolicy([["V1"], ["V2"]], views)
+        label_full = labeler.label(V1)
+        label_times = labeler.label(V2)
+        assert policy.satisfying_partitions(label_full) == [0]
+        assert policy.satisfying_partitions(label_times) == [0, 1]
+
+    def test_live_mask_respected(self, views):
+        labeler = ConjunctiveQueryLabeler(views)
+        policy = PartitionPolicy([["V1"], ["V2"]], views)
+        label_times = labeler.label(V2)
+        assert policy.satisfying_partitions(label_times, live=[False, True]) == [1]
+
+    def test_permits_fresh(self, views):
+        labeler = ConjunctiveQueryLabeler(views)
+        policy = PartitionPolicy([["V2"]], views)
+        assert policy.permits_fresh(labeler.label(V5))
+        assert not policy.permits_fresh(labeler.label(V1))
+
+
+class TestLatticeCutPolicy:
+    lattice = DisclosureLattice.from_universe(ORDER, (V1, V2, V4, V5))
+
+    def test_section_3_4_chinese_wall(self):
+        """P = {⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}}: either attribute but not both."""
+        policy = LatticeCutPolicy.below(self.lattice, [[V2], [V4]])
+        assert policy.is_internally_consistent()
+        assert policy.permits([V2])
+        assert policy.permits([V4])
+        assert policy.permits([V5])
+        assert policy.permits([])
+        assert not policy.permits([V2, V4])
+        assert not policy.permits([V1])
+
+    def test_inconsistent_policy_detected(self):
+        # permitting ⇓{V2} without permitting ⊥ breaks downward closure
+        policy = LatticeCutPolicy(
+            self.lattice, [self.lattice.down([V2])]
+        )
+        assert not policy.is_internally_consistent()
+
+    def test_non_lattice_element_rejected(self):
+        with pytest.raises(PolicyError):
+            LatticeCutPolicy(self.lattice, [frozenset([V1])])  # not ⇓-closed
+
+    def test_below_full_table_permits_everything(self):
+        policy = LatticeCutPolicy.below(self.lattice, [[V1]])
+        for element in self.lattice.elements:
+            assert element in policy.permitted
+        assert policy.permits([V1])
+        assert policy.permits([V2, V4])

@@ -1,0 +1,76 @@
+"""Tests for the multi-principal monitor pool."""
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import SecurityViews
+from repro.policy.policy import PartitionPolicy
+from repro.policy.principals import MonitorPool
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("Meetings", "x:d", "y:d")
+V2 = pat("Meetings", "x:d", "y:e")
+V3 = pat("Contacts", "x:d", "y:d", "z:d")
+
+VIEWS = SecurityViews({"V1": V1, "V2": V2, "V3": V3})
+
+
+@pytest.fixture
+def pool():
+    return MonitorPool(VIEWS)
+
+
+class TestMonitorPool:
+    def test_register_and_submit(self, pool):
+        pool.register("app-a", PartitionPolicy([["V2"]], VIEWS))
+        assert pool.submit("app-a", V2).accepted
+        assert not pool.submit("app-a", V1).accepted
+
+    def test_principals_isolated(self, pool):
+        wall = PartitionPolicy([["V1", "V2"], ["V3"]], VIEWS)
+        pool.register("a", wall)
+        pool.register("b", wall)
+        pool.submit("a", V2)  # a commits to Meetings
+        assert pool.live_partitions("a") == (True, False)
+        assert pool.live_partitions("b") == (True, True)
+        assert pool.submit("b", V3).accepted  # b can take Contacts
+
+    def test_unknown_principal(self, pool):
+        with pytest.raises(PolicyError):
+            pool.submit("ghost", V2)
+        with pytest.raises(PolicyError):
+            pool.policy("ghost")
+
+    def test_shared_labeler_cache(self, pool):
+        pool.register("a", PartitionPolicy([["V2"]], VIEWS))
+        pool.register("b", PartitionPolicy([["V1"]], VIEWS))
+        pool.submit("a", V2)
+        pool.submit("b", V2)
+        # one shared cache entry, not two
+        assert len(pool.labeler._atom_cache) == 1
+
+    def test_reregistration_resets(self, pool):
+        wall = PartitionPolicy([["V1", "V2"], ["V3"]], VIEWS)
+        pool.register("a", wall)
+        pool.submit("a", V2)
+        pool.register("a", wall)
+        assert pool.live_partitions("a") == (True, True)
+
+    def test_reset_and_unregister(self, pool):
+        pool.register("a", PartitionPolicy([["V1", "V2"], ["V3"]], VIEWS))
+        pool.submit("a", V2)
+        pool.reset("a")
+        assert pool.live_partitions("a") == (True, True)
+        pool.unregister("a")
+        assert "a" not in pool
+        assert len(pool) == 0
+
+    def test_principals_listing(self, pool):
+        pool.register("x", PartitionPolicy([["V1"]], VIEWS))
+        pool.register("y", PartitionPolicy([["V3"]], VIEWS))
+        assert set(pool.principals()) == {"x", "y"}

@@ -1,0 +1,102 @@
+"""Tests for policy/monitor persistence."""
+
+import json
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import PolicyError
+from repro.labeling.cq_labeler import SecurityViews
+from repro.policy.monitor import ReferenceMonitor
+from repro.policy.policy import PartitionPolicy
+from repro.policy.serialization import (
+    dumps,
+    loads_monitor,
+    loads_policy,
+    monitor_from_dict,
+    monitor_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+)
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("Meetings", "x:d", "y:d")
+V2 = pat("Meetings", "x:d", "y:e")
+V3 = pat("Contacts", "x:d", "y:d", "z:d")
+VIEWS = SecurityViews({"V1": V1, "V2": V2, "V3": V3})
+
+
+class TestPolicyRoundTrip:
+    def test_round_trip(self):
+        policy = PartitionPolicy([["V1", "V2"], ["V3"]], VIEWS)
+        restored = policy_from_dict(policy_to_dict(policy), VIEWS)
+        assert restored.partitions == policy.partitions
+
+    def test_json_round_trip(self):
+        policy = PartitionPolicy([["V2"]], VIEWS)
+        text = dumps(policy)
+        restored = loads_policy(text, VIEWS)
+        assert restored.partitions == policy.partitions
+        json.loads(text)  # genuinely JSON
+
+    def test_validation_on_restore(self):
+        data = {"format": "repro.policy/1", "partitions": [["nope"]]}
+        with pytest.raises(PolicyError):
+            policy_from_dict(data, VIEWS)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PolicyError):
+            policy_from_dict({"format": "other/9", "partitions": [["V1"]]})
+
+    def test_missing_partitions_rejected(self):
+        with pytest.raises(PolicyError):
+            policy_from_dict({"format": "repro.policy/1"})
+
+
+class TestMonitorRoundTrip:
+    def test_live_bits_survive(self):
+        policy = PartitionPolicy([["V1", "V2"], ["V3"]], VIEWS)
+        monitor = ReferenceMonitor(VIEWS, policy)
+        monitor.submit(V2)  # commit to the Meetings side
+        assert monitor.live_partitions == (True, False)
+
+        restored = loads_monitor(dumps(monitor), VIEWS)
+        assert restored.live_partitions == (True, False)
+        # the wall still holds after the restart
+        assert not restored.submit(V3).accepted
+        assert restored.submit(V1).accepted
+
+    def test_fresh_monitor_round_trip(self):
+        policy = PartitionPolicy([["V1"], ["V3"]], VIEWS)
+        monitor = ReferenceMonitor(VIEWS, policy)
+        restored = monitor_from_dict(monitor_to_dict(monitor), VIEWS)
+        assert restored.live_partitions == (True, True)
+
+    def test_live_length_mismatch_rejected(self):
+        policy = PartitionPolicy([["V1"], ["V3"]], VIEWS)
+        data = monitor_to_dict(ReferenceMonitor(VIEWS, policy))
+        data["live"] = [True]
+        with pytest.raises(PolicyError):
+            monitor_from_dict(data, VIEWS)
+
+    def test_all_dead_state_rejected(self):
+        policy = PartitionPolicy([["V1"]], VIEWS)
+        data = monitor_to_dict(ReferenceMonitor(VIEWS, policy))
+        data["live"] = [False]
+        with pytest.raises(PolicyError):
+            monitor_from_dict(data, VIEWS)
+
+    def test_cumulative_history_not_persisted(self):
+        policy = PartitionPolicy([["V1", "V2"]], VIEWS)
+        monitor = ReferenceMonitor(VIEWS, policy)
+        monitor.submit(V2)
+        restored = loads_monitor(dumps(monitor), VIEWS)
+        assert restored.cumulative_label is None
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(PolicyError):
+            dumps(42)  # type: ignore[arg-type]

@@ -1,0 +1,183 @@
+"""Tests for the SQLite substrate: DDL, loading, CQ compilation."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.schema import Relation, Schema, example_schema
+from repro.errors import StorageError
+from repro.storage.database import (
+    Database,
+    compile_query,
+    random_instance,
+    seed_facebook,
+    seed_figure1,
+)
+from repro.storage.evaluator import evaluate_query
+
+
+class TestDatabaseBasics:
+    def test_create_and_insert(self):
+        with Database(example_schema()) as db:
+            assert db.insert("Meetings", [(9, "Jim")]) == 1
+            assert db.rows("Meetings") == {(9, "Jim")}
+
+    def test_arity_mismatch_rejected(self):
+        with Database(example_schema()) as db:
+            with pytest.raises(StorageError):
+                db.insert("Meetings", [(9,)])
+
+    def test_unknown_relation_rejected(self):
+        with Database(example_schema()) as db:
+            with pytest.raises(Exception):
+                db.insert("Nope", [(1,)])
+
+    def test_instance_roundtrip(self):
+        db = seed_figure1()
+        instance = db.instance()
+        assert instance["Meetings"] == {(9, "Jim"), (10, "Cathy"), (12, "Bob")}
+        assert len(instance["Contacts"]) == 3
+
+    def test_malicious_identifier_rejected(self):
+        schema = Schema([Relation('bad"; DROP TABLE x; --', ["a"])])
+        with pytest.raises(StorageError):
+            Database(schema)
+
+
+class TestFigure1Queries:
+    """Figure 1(c) queries over the Figure 1(a) dataset."""
+
+    @pytest.fixture
+    def db(self):
+        return seed_figure1()
+
+    def test_q1(self, db):
+        q1 = parse_query("Q1(x) :- Meetings(x, 'Cathy')")
+        assert db.execute_query(q1) == {(10,)}
+
+    def test_q2(self, db):
+        q2 = parse_query("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')")
+        assert db.execute_query(q2) == {(10,)}
+
+    def test_v2_projection(self, db):
+        v2 = parse_query("V2(x) :- Meetings(x, y)")
+        assert db.execute_query(v2) == {(9,), (10,), (12,)}
+
+    def test_boolean_true(self, db):
+        assert db.execute_query(parse_query("Q() :- Meetings(x, y)")) == {()}
+
+    def test_boolean_false(self, db):
+        q = parse_query("Q() :- Meetings(x, 'Nobody')")
+        assert db.execute_query(q) == frozenset()
+
+    def test_constant_head(self, db):
+        q = parse_query("Q(x, y) :- Meetings(x, 'Cathy'), Contacts('Cathy', y, z)")
+        assert db.execute_query(q) == {(10, "cathy@e.com")}
+
+    def test_self_join(self, db):
+        q = parse_query("Q(x, y) :- Meetings(x, p), Meetings(y, p)")
+        answer = db.execute_query(q)
+        assert (9, 9) in answer and (10, 10) in answer
+        assert (9, 10) not in answer
+
+    def test_repeated_variable_selection(self, db):
+        db.insert("Meetings", [("same", "same")])
+        q = parse_query("Q(x) :- Meetings(x, x)")
+        assert db.execute_query(q) == {("same",)}
+
+    def test_set_semantics_deduplication(self, db):
+        db.insert("Meetings", [(9, "Duplicate")])
+        q = parse_query("Q(x) :- Meetings(x, y)")
+        answer = db.execute_query(q)
+        assert sorted(answer) == [(9,), (10,), (12,)]
+
+
+class TestSqlEvaluatorAgreement:
+    """SQLite execution and the in-Python evaluator must agree."""
+
+    QUERIES = [
+        "Q(x) :- Meetings(x, y)",
+        "Q(y) :- Meetings(x, y)",
+        "Q(x, y) :- Meetings(x, y)",
+        "Q() :- Meetings(x, y)",
+        "Q(x) :- Meetings(x, 'Cathy')",
+        "Q(x) :- Meetings(x, y), Contacts(y, w, z)",
+        "Q(x, w) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+        "Q(x) :- Meetings(x, y), Meetings(x, z)",
+        "Q(x) :- Meetings(x, x)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_agreement_on_figure1(self, text):
+        db = seed_figure1()
+        query = parse_query(text)
+        assert db.execute_query(query) == evaluate_query(query, db.instance())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_on_random_instances(self, seed):
+        schema = example_schema()
+        instance = random_instance(schema, seed=seed)
+        db = Database(schema)
+        for name, rows in instance.items():
+            db.insert(name, rows)
+        for text in self.QUERIES:
+            query = parse_query(text)
+            assert db.execute_query(query) == evaluate_query(
+                query, instance
+            ), text
+
+
+class TestCompileQuery:
+    def test_parameters_bound_not_interpolated(self):
+        schema = example_schema()
+        from repro.core.queries import make_query
+
+        query = make_query(
+            "Q", ["x"], [("Meetings", ["x", ("'; DROP TABLE Meetings; --",)])]
+        )
+        sql, params = compile_query(query, schema)
+        assert "DROP TABLE" not in sql
+        assert params == ["'; DROP TABLE Meetings; --"]
+
+    def test_null_constant_uses_is_null(self):
+        from repro.core.queries import make_query
+
+        schema = example_schema()
+        query = make_query("Q", ["x"], [("Meetings", ["x", None])])
+        sql, params = compile_query(query, schema)
+        assert "IS NULL" in sql
+        assert params == []
+
+    def test_select_params_precede_where_params(self):
+        from repro.core.queries import make_query
+        from repro.core.terms import Constant
+
+        schema = example_schema()
+        query = make_query(
+            "Q", [Constant("k1"), Constant("k2"), "x"],
+            [("Meetings", ["x", ("Cathy",)])],
+        )
+        sql, params = compile_query(query, schema)
+        assert params == ["k1", "k2", "Cathy"]
+        db = seed_figure1()
+        assert db.execute_query(query) == {("k1", "k2", 10)}
+
+
+class TestSeedFacebook:
+    def test_shape(self):
+        db = seed_facebook(users=15, seed=2)
+        assert len(db.rows("User")) == 15
+        assert len(db.rows("Friend")) > 0
+
+    def test_rel_values_consistent(self):
+        db = seed_facebook(users=15, seed=2)
+        schema = db.schema
+        rel_pos = schema.relation("User").position_of("rel")
+        uid_pos = schema.relation("User").position_of("uid")
+        rels = {row[uid_pos]: row[rel_pos] for row in db.rows("User")}
+        assert rels[1] == "self"
+        assert set(rels.values()) <= {"self", "friend", "fof", "none"}
+
+    def test_deterministic(self):
+        a = seed_facebook(users=10, seed=5).rows("User")
+        b = seed_facebook(users=10, seed=5).rows("User")
+        assert a == b

@@ -1,0 +1,151 @@
+"""End-to-end enforcement tests: SQL -> label -> policy -> SQLite."""
+
+import pytest
+
+from repro.errors import QueryRefusedError, UnsupportedQueryError
+from repro.facebook.permissions import facebook_security_views
+from repro.facebook.schema import facebook_schema
+from repro.labeling.cq_labeler import SecurityViews
+from repro.policy.policy import PartitionPolicy
+from repro.storage.database import seed_facebook, seed_figure1
+from repro.storage.enforcement import EnforcedConnection
+
+FIGURE1_VIEWS = """
+V1(x, y) :- Meetings(x, y)
+V2(x)    :- Meetings(x, y)
+V3(x, y, z) :- Contacts(x, y, z)
+"""
+
+
+@pytest.fixture
+def alice_views():
+    return SecurityViews.from_definitions(FIGURE1_VIEWS)
+
+
+class TestAliceScenario:
+    """The introduction's running example, executed for real."""
+
+    def test_v2_only_policy(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views, PartitionPolicy.stateless(["V2"], alice_views)
+        )
+        result = conn.execute("SELECT time FROM Meetings")
+        assert sorted(result.rows) == [(9,), (10,), (12,)]
+
+        with pytest.raises(QueryRefusedError):
+            conn.execute("SELECT time FROM Meetings WHERE person = 'Cathy'")
+        with pytest.raises(QueryRefusedError):
+            conn.execute(
+                "SELECT m.time FROM Meetings m, Contacts c "
+                "WHERE m.person = c.person AND c.position = 'Intern'"
+            )
+
+    def test_full_policy_answers_q2(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views,
+            PartitionPolicy.stateless(["V1", "V3"], alice_views),
+        )
+        result = conn.execute(
+            "SELECT m.time FROM Meetings m, Contacts c "
+            "WHERE m.person = c.person AND c.position = 'Intern'"
+        )
+        assert result.rows == {(10,)}
+
+    def test_chinese_wall_meetings_or_contacts(self, alice_views):
+        """Section 2.2: meetings or contacts, but never both."""
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views,
+            PartitionPolicy([["V1", "V2"], ["V3"]], alice_views),
+        )
+        assert conn.execute("SELECT * FROM Meetings").rows
+        # committed to the Meetings side now
+        with pytest.raises(QueryRefusedError):
+            conn.execute("SELECT person FROM Contacts")
+        # Meetings still fine
+        assert conn.execute("SELECT time FROM Meetings").rows
+
+    def test_refused_query_never_touches_data(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views, PartitionPolicy.stateless(["V2"], alice_views)
+        )
+        result = conn.try_execute("SELECT person FROM Contacts")
+        assert result is None
+        assert conn.audit_log[-1][1] is False
+
+    def test_audit_log(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views, PartitionPolicy.stateless(["V2"], alice_views)
+        )
+        conn.try_execute("SELECT time FROM Meetings")
+        conn.try_execute("SELECT person FROM Contacts")
+        assert [ok for _, ok in conn.audit_log] == [True, False]
+
+    def test_unsupported_sql_raises_before_policy(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views, PartitionPolicy.stateless(["V2"], alice_views)
+        )
+        with pytest.raises(UnsupportedQueryError):
+            conn.execute("SELECT time FROM Meetings WHERE time > 5")
+
+    def test_explain(self, alice_views):
+        db = seed_figure1()
+        conn = EnforcedConnection(
+            db, alice_views, PartitionPolicy.stateless(["V2"], alice_views)
+        )
+        report = conn.explain("SELECT time FROM Meetings")
+        assert "V2" in report and "ACCEPT" in report
+        report2 = conn.explain("SELECT * FROM Meetings")
+        assert "REFUSE" in report2
+
+
+class TestFacebookScenario:
+    def setup_method(self):
+        self.schema = facebook_schema()
+        self.db = seed_facebook(users=25, seed=7)
+        self.views = facebook_security_views(self.schema)
+
+    def connection(self, *grants):
+        return EnforcedConnection(
+            self.db, self.views, PartitionPolicy.stateless(grants, self.views)
+        )
+
+    def test_birthday_app(self):
+        """An app holding friends_birthday can read friends' birthdays."""
+        conn = self.connection("friends_birthday", "public_profile")
+        result = conn.execute(
+            "SELECT uid, birthday FROM User WHERE rel = 'friend'"
+        )
+        assert result.rows  # seeded graph always gives user 1 friends
+        with pytest.raises(QueryRefusedError):
+            conn.execute("SELECT uid, birthday FROM User WHERE rel = 'none'")
+
+    def test_overprivilege_detection_story(self):
+        """Labeling reveals an app requesting more than it needs: the query
+        only needs public_profile, not friends_birthday."""
+        conn = self.connection("friends_birthday", "public_profile")
+        result = conn.execute("SELECT uid, name FROM User WHERE rel = 'friend'")
+        label = result.decision.label
+        needed = label.required_alternatives(self.views)
+        assert needed == [frozenset({"public_profile"})]
+
+    def test_join_query_needs_both_relations(self):
+        conn = self.connection("friends_status", "public_friend")
+        result = conn.execute(
+            "SELECT s.message FROM Friend f JOIN Status s ON f.friend_uid = s.uid "
+            "WHERE s.rel = 'friend'"
+        )
+        assert result.decision.accepted
+
+    def test_missing_friend_grant_refuses_join(self):
+        conn = self.connection("friends_status")
+        with pytest.raises(QueryRefusedError):
+            conn.execute(
+                "SELECT s.message FROM Friend f JOIN Status s "
+                "ON f.friend_uid = s.uid WHERE s.rel = 'friend'"
+            )

@@ -1,0 +1,98 @@
+"""Tests for view materialization and rewriting execution."""
+
+import pytest
+
+from repro.core.tagged import TaggedAtom
+from repro.errors import StorageError
+from repro.labeling.cq_labeler import SecurityViews
+from repro.storage.database import seed_figure1
+from repro.storage.views import (
+    MaterializedViews,
+    answer_via_rewriting,
+    materialize_instance,
+)
+
+
+def pat(rel, *items):
+    return TaggedAtom.from_pattern(rel, list(items))
+
+
+V1 = pat("Meetings", "x:d", "y:d")
+V2 = pat("Meetings", "x:d", "y:e")
+V4 = pat("Meetings", "x:e", "y:d")
+V5 = pat("Meetings", "x:e", "y:e")
+
+
+class TestMaterializedViews:
+    @pytest.fixture
+    def materialized(self):
+        views = SecurityViews({"V1": V1, "V2": V2, "V4": V4, "V5": V5})
+        return MaterializedViews(seed_figure1(), views)
+
+    def test_full_table(self, materialized):
+        assert materialized.answer("V1") == {
+            (9, "Jim"),
+            (10, "Cathy"),
+            (12, "Bob"),
+        }
+
+    def test_projection(self, materialized):
+        assert materialized.answer("V2") == {(9,), (10,), (12,)}
+        assert materialized.answer("V4") == {("Jim",), ("Cathy",), ("Bob",)}
+
+    def test_boolean_view(self, materialized):
+        assert materialized.answer("V5") == {()}
+
+    def test_unknown_view(self, materialized):
+        with pytest.raises(StorageError):
+            materialized.answer("nope")
+
+    def test_names_and_len(self, materialized):
+        assert set(materialized.names()) == {"V1", "V2", "V4", "V5"}
+        assert len(materialized) == 4
+
+
+class TestMaterializeInstance:
+    def test_plain_dict_instance(self):
+        instance = {"Meetings": {(9, "Jim"), (10, "Cathy")}}
+        answers = materialize_instance([V1, V2, V5], instance)
+        assert answers[V2] == {(9,), (10,)}
+        assert answers[V5] == {()}
+
+    def test_empty_relation(self):
+        answers = materialize_instance([V5], {"Meetings": set()})
+        assert answers[V5] == frozenset()
+
+
+class TestAnswerViaRewriting:
+    def test_projection_from_full_table(self):
+        full_answer = {(9, "Jim"), (10, "Cathy"), (12, "Bob")}
+        times = answer_via_rewriting(V2, V1, full_answer)
+        assert times == {(9,), (10,), (12,)}
+
+    def test_boolean_from_projection(self):
+        assert answer_via_rewriting(V5, V2, {(9,), (10,)}) == {()}
+        assert answer_via_rewriting(V5, V2, set()) == frozenset()
+
+    def test_unrewritable_returns_none(self):
+        assert answer_via_rewriting(V1, V2, {(9,)}) is None
+
+    def test_selection_on_visible_column(self):
+        cathy = pat("Meetings", "x:d", "Cathy")
+        full_answer = {(9, "Jim"), (10, "Cathy")}
+        assert answer_via_rewriting(cathy, V1, full_answer) == {(10,)}
+
+    def test_matches_direct_evaluation_on_live_db(self):
+        """answer_via_rewriting(target ← source) equals evaluating the
+        target directly, for every rewritable pair over Figure 1 data."""
+        from repro.core.rewriting import is_rewritable
+
+        db = seed_figure1()
+        universe = [V1, V2, V4, V5, pat("Meetings", "x:d", "Cathy")]
+        for target in universe:
+            for source in universe:
+                if not is_rewritable(target, source):
+                    continue
+                source_answer = db.execute_view(source)
+                direct = db.execute_view(target)
+                assert answer_via_rewriting(target, source, source_answer) == direct

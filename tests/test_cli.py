@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestLabelCommand:
+    def test_sql_query(self):
+        code, out = run_cli("label", "SELECT time FROM Meetings")
+        assert code == 0
+        assert "V1" in out and "V2" in out
+        assert "required permissions: (V2)" in out
+
+    def test_datalog_query(self):
+        code, out = run_cli("label", "Q(x) :- Meetings(x, 'Cathy')")
+        assert code == 0
+        assert "required permissions: (V1)" in out
+
+    def test_join_query(self):
+        code, out = run_cli(
+            "label",
+            "SELECT m.time FROM Meetings m, Contacts c "
+            "WHERE m.person = c.person",
+        )
+        assert code == 0
+        assert "(V3) AND (V1)" in out or "(V1) AND (V3)" in out
+
+    def test_custom_views_file(self, tmp_path):
+        views_file = tmp_path / "views.datalog"
+        views_file.write_text(
+            "W1(a, b) :- Logs(a, b)\nW2(a) :- Logs(a, b)\n"
+        )
+        code, out = run_cli(
+            "label", "W(a) :- Logs(a, b)", "--views", str(views_file)
+        )
+        assert code == 0
+        assert "W1" in out and "W2" in out
+
+
+class TestOtherCommands:
+    def test_label_fql(self):
+        code, out = run_cli(
+            "label-fql",
+            "SELECT birthday FROM user WHERE uid = me()",
+            "--me", "3",
+        )
+        assert code == 0
+        assert "user_birthday" in out
+
+    def test_audit(self):
+        code, out = run_cli("audit")
+        assert code == 0
+        assert "6 of 42" in out
+        assert "relationship_status" in out
+
+    def test_lattice(self):
+        code, out = run_cli("lattice")
+        assert code == 0
+        assert "⇓{V5}" in out
+        assert "digraph" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("nope")
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli()

@@ -1,0 +1,95 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    LabelingError,
+    ParseError,
+    PolicyError,
+    QueryError,
+    QueryRefusedError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    UnificationError,
+    UnsupportedQueryError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SchemaError,
+            ParseError,
+            UnsupportedQueryError,
+            QueryError,
+            UnificationError,
+            LabelingError,
+            PolicyError,
+            QueryRefusedError,
+            StorageError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_unsupported_is_a_parse_error(self):
+        assert issubclass(UnsupportedQueryError, ParseError)
+        with pytest.raises(ParseError):
+            raise UnsupportedQueryError("nope")
+
+    def test_one_except_catches_everything(self):
+        from repro.core.parser import parse_query
+
+        with pytest.raises(ReproError):
+            parse_query("garbage(((")
+
+
+class TestParseErrorPayload:
+    def test_position_and_text(self):
+        error = ParseError("bad", text="SELECT ?", position=7)
+        assert error.text == "SELECT ?"
+        assert error.position == 7
+
+    def test_defaults(self):
+        error = ParseError("bad")
+        assert error.text == ""
+        assert error.position is None
+
+
+class TestQueryRefusedPayload:
+    def test_carries_query_and_reason(self):
+        error = QueryRefusedError("SELECT 1", reason="policy says no")
+        assert error.query == "SELECT 1"
+        assert error.reason == "policy says no"
+        assert "policy says no" in str(error)
+
+    def test_default_reason(self):
+        error = QueryRefusedError("q")
+        assert "refused" in error.reason
+
+
+class TestErrorsSurfaceUsefully:
+    def test_schema_error_lists_known_relations(self):
+        from repro.core.schema import example_schema
+
+        with pytest.raises(SchemaError) as info:
+            example_schema().relation("Nope")
+        assert "Meetings" in str(info.value)
+
+    def test_attribute_error_lists_attributes(self):
+        from repro.core.schema import example_schema
+
+        with pytest.raises(SchemaError) as info:
+            example_schema().relation("Meetings").position_of("zzz")
+        assert "time" in str(info.value)
+
+    def test_labeling_error_names_equivalent_views(self):
+        from repro.labeling.cq_labeler import SecurityViews
+
+        with pytest.raises(LabelingError) as info:
+            SecurityViews.from_definitions(
+                "A(x, y) :- M(x, y); B(u, w) :- M(u, w)"
+            )
+        assert "A" in str(info.value) and "B" in str(info.value)

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline facts it promises."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "[(9,), (10,), (12,)]" in out
+    assert out.count("REFUSED") == 2
+    assert "Q2 answers -> [(10,)]" in out
+
+
+def test_calendar_lattice():
+    out = run_example("calendar_lattice.py")
+    assert "⇓{V5}" in out
+    assert "GLB(⇓{V2}, ⇓{V4}) = ['V5']" in out
+    assert "distributive: True" in out
+    assert "disclose {V2, V4}" in out and "REFUSED" in out
+    assert "live partitions ⟨10⟩" in out
+
+
+def test_facebook_audit():
+    out = run_example("facebook_audit.py")
+    assert "6 of 42" in out
+    assert "relationship_status" in out
+    assert "user_likes" in out  # the languages drift example
+
+
+def test_birthday_app():
+    out = run_example("birthday_app.py")
+    assert "friends' birthdays" in out
+    assert "REFUSED" in out
+    assert "never needed: friends_likes" in out
+
+
+def test_corporate_byod():
+    out = run_example("corporate_byod.py")
+    assert "Acme pipeline" in out
+    assert "Globex deal ids      -> REFUSED" in out
+    assert "wall holds in the other direction" in out
+
+
+def test_api_gateway():
+    out = run_example("api_gateway.py")
+    assert out.count("✓ identical") == 5
+    assert "DIVERGED" not in out

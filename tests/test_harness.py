@@ -1,0 +1,139 @@
+"""Tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.harness.report import (
+    render_markdown_series,
+    render_series_table,
+    speedup_summary,
+)
+from repro.harness.runner import (
+    Series,
+    SeriesPoint,
+    build_label_stream,
+    run_figure5,
+    run_figure6,
+    run_relation_scaling,
+)
+
+
+class TestSeries:
+    def test_point_normalization(self):
+        point = SeriesPoint(x=3, elapsed=0.5, items=1000)
+        assert point.seconds_per_million == pytest.approx(500.0)
+
+    def test_value_at(self):
+        series = Series("s", [SeriesPoint(3, 0.1, 100), SeriesPoint(6, 0.2, 100)])
+        assert series.value_at(3) == pytest.approx(1000.0)
+        with pytest.raises(KeyError):
+            series.value_at(9)
+
+
+class TestFigure5:
+    def test_four_series_with_expected_names(self):
+        series = run_figure5(queries_per_point=20, atom_axis=(3, 6))
+        assert [s.name for s in series] == [
+            "query generation only",
+            "bit vectors + hashing",
+            "hashing only",
+            "baseline",
+        ]
+        for s in series:
+            assert [p.x for p in s.points] == [3, 6]
+
+    def test_generation_cheaper_than_labeling(self):
+        series = {s.name: s for s in run_figure5(queries_per_point=40, atom_axis=(3,))}
+        assert (
+            series["query generation only"].value_at(3)
+            < series["baseline"].value_at(3)
+        )
+
+    def test_bitvectors_beat_baseline(self):
+        series = {s.name: s for s in run_figure5(queries_per_point=60, atom_axis=(3,))}
+        assert (
+            series["bit vectors + hashing"].value_at(3)
+            < series["baseline"].value_at(3)
+        )
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure5(queries_per_point=5, atom_axis=(4,))
+
+
+class TestRelationScaling:
+    def test_runs_at_multiple_sizes(self):
+        series = run_relation_scaling(relation_counts=(8, 40), queries_per_point=30)
+        assert [p.x for p in series.points] == [8, 40]
+        # throughput within the same order of magnitude (footnote claim)
+        a = series.value_at(8)
+        b = series.value_at(40)
+        assert b < a * 5
+
+
+class TestFigure6:
+    def test_series_grid(self):
+        series = run_figure6(
+            checks_per_point=2_000,
+            element_axis=(5, 10),
+            principal_counts=(200, 1_000),
+            partition_settings=(1, 2),
+            policy_pool_size=32,
+        )
+        assert len(series) == 4
+        for s in series:
+            assert [p.x for p in s.points] == [5, 10]
+
+    def test_labels_reused_across_series(self):
+        registry, labels = build_label_stream(count=100, seed=1)
+        series = run_figure6(
+            checks_per_point=500,
+            element_axis=(5,),
+            principal_counts=(100,),
+            partition_settings=(1,),
+            label_pool=labels,
+            registry=registry,
+        )
+        assert len(series) == 1
+
+    def test_policy_checking_is_fast(self):
+        series = run_figure6(
+            checks_per_point=20_000,
+            element_axis=(25,),
+            principal_counts=(1_000,),
+            partition_settings=(5,),
+        )
+        # well under a minute per million even in Python
+        assert series[0].value_at(25) < 60
+
+
+class TestReport:
+    def make_series(self):
+        return [
+            Series("baseline", [SeriesPoint(3, 0.4, 100), SeriesPoint(6, 0.8, 100)]),
+            Series(
+                "bit vectors + hashing",
+                [SeriesPoint(3, 0.1, 100), SeriesPoint(6, 0.2, 100)],
+            ),
+            Series("hashing only", [SeriesPoint(3, 0.3, 100), SeriesPoint(6, 0.5, 100)]),
+        ]
+
+    def test_render_series_table(self):
+        table = render_series_table("T", self.make_series(), "x")
+        assert "baseline" in table and "4000.00" in table
+
+    def test_speedup_summary(self):
+        summary = speedup_summary(self.make_series())
+        assert "4.00x" in summary
+
+    def test_markdown_series(self):
+        md = render_markdown_series(self.make_series(), "x")
+        assert md.startswith("| x |")
+        assert "| 3 |" in md
+
+    def test_missing_point_rendered_as_dash(self):
+        series = [
+            Series("a", [SeriesPoint(3, 0.1, 100)]),
+            Series("b", [SeriesPoint(6, 0.1, 100)]),
+        ]
+        table = render_series_table("T", series, "x")
+        assert "-" in table

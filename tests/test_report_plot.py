@@ -1,0 +1,50 @@
+"""Tests for the ASCII plot and the harness CLI entry point."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.harness.report import ascii_plot
+from repro.harness.runner import Series, SeriesPoint
+
+
+class TestAsciiPlot:
+    def series(self):
+        return [
+            Series("fast", [SeriesPoint(3, 0.1, 100), SeriesPoint(6, 0.2, 100)]),
+            Series("slow", [SeriesPoint(3, 0.3, 100), SeriesPoint(6, 0.6, 100)]),
+        ]
+
+    def test_contains_legend_and_axis(self):
+        plot = ascii_plot(self.series(), x_label="atoms")
+        assert "* = fast" in plot
+        assert "o = slow" in plot
+        assert "atoms: 3..6" in plot
+
+    def test_marker_placement_monotone(self):
+        plot = ascii_plot(self.series(), width=20, height=8)
+        lines = [l for l in plot.splitlines() if l.startswith("|")]
+        # the slow series' max point sits on the top row
+        assert "o" in lines[0]
+
+    def test_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_single_point(self):
+        plot = ascii_plot([Series("s", [SeriesPoint(3, 0.5, 10)])])
+        assert "* = s" in plot
+
+
+class TestHarnessMain:
+    def test_quick_run_prints_all_sections(self):
+        from repro.harness.__main__ import main
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["--quick"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "Table 2" in output
+        assert "Figure 5" in output
+        assert "Figure 6" in output
+        assert "6 of 42" in output
+        assert "speedups vs baseline" in output
