@@ -1,0 +1,116 @@
+"""Serving-path baseline: end-to-end decisions/sec through the service.
+
+Measures :meth:`DisclosureService.submit` — canonical-key computation,
+label-cache lookup, per-session partition check, metrics — over the
+Section 7.2 workload with randomly generated Figure 6 policies, in two
+series:
+
+* **warm** — the steady-state deployment: every query shape has been
+  seen before, so the labeler never runs;
+* **cold** — label cache disabled, so every decision pays the full
+  dissect/compile/match labeling pipeline.
+
+The warm/cold gap is the value of the shared cache; the warm number is
+the baseline future serving PRs (sharding, async, batching) must beat.
+
+Run with::
+
+    pytest benchmarks/bench_server_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.server.loadgen import run_load
+from repro.server.service import DisclosureService
+
+#: Decisions per measured batch.
+BATCH = 2_000
+
+#: Registered principals (policies drawn from the Figure 6 generator).
+PRINCIPALS = 100
+
+
+def _build_service(security_views, cache_size: int) -> DisclosureService:
+    service = DisclosureService(security_views, label_cache_size=cache_size)
+    policies = generate_policies(
+        security_views.names, PRINCIPALS, max_partitions=5, max_elements=25, seed=0
+    )
+    for index, policy in enumerate(policies):
+        service.register(f"app-{index}", policy)
+    return service
+
+
+def _build_traffic(count: int, seed: int = 0):
+    generator = WorkloadGenerator(max_subqueries=1, seed=seed)
+    rng = random.Random(seed + 1)
+    queries = list(generator.stream(256))
+    return [
+        (f"app-{rng.randrange(PRINCIPALS)}", rng.choice(queries))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("cache", ["warm", "cold"])
+def test_server_decision_throughput(benchmark, security_views, cache):
+    service = _build_service(
+        security_views, cache_size=(1 << 16) if cache == "warm" else 0
+    )
+    traffic = _build_traffic(BATCH)
+    if cache == "warm":
+        for principal, query in traffic:
+            service.submit(principal, query)  # populate the label cache
+
+    def decide_batch():
+        submit = service.submit
+        for principal, query in traffic:
+            submit(principal, query)
+
+    benchmark(decide_batch)
+    if benchmark.stats is not None:
+        mean = benchmark.stats["mean"]
+        benchmark.extra_info["decisions_per_second"] = BATCH / mean
+    benchmark.extra_info["series"] = f"{cache} cache"
+    benchmark.extra_info["figure"] = "server-throughput"
+
+
+def test_warm_cache_meets_the_serving_bar(security_views):
+    """The acceptance floor: ≥ 10k decisions/sec through the full service
+    with a warm label cache (the in-process loadgen measures exactly the
+    serving path the HTTP handler calls)."""
+    service = DisclosureService(security_views, label_cache_size=1 << 16)
+    report = run_load(  # registers its own Figure 6 principals
+        service,
+        workers=2,
+        duration=1.0,
+        principals=PRINCIPALS,
+        query_pool=256,
+        seed=2,
+    )
+    assert report.errors == 0
+    assert report.cache_hit_rate is not None and report.cache_hit_rate > 0.9
+    assert report.qps >= 10_000, f"only {report.qps:,.0f} decisions/sec"
+
+
+def test_warm_beats_cold(security_views):
+    """The cache must actually pay for itself on the serving path."""
+    import time
+
+    traffic = _build_traffic(BATCH, seed=4)
+
+    def measure(cache_size: int) -> float:
+        service = _build_service(security_views, cache_size)
+        for principal, query in traffic:
+            service.submit(principal, query)  # warm (or no-op for size 0)
+        start = time.perf_counter()
+        for principal, query in traffic:
+            service.submit(principal, query)
+        return time.perf_counter() - start
+
+    cold = measure(0)
+    warm = measure(1 << 16)
+    assert warm < cold, f"warm {warm:.3f}s not faster than cold {cold:.3f}s"

@@ -1,0 +1,78 @@
+"""The decision service end to end: sessions, cache, HTTP, restart.
+
+A miniature platform day: two apps with different policies talk to the
+service over real HTTP, one walls itself into a Chinese-Wall partition,
+the platform restarts (sessions survive via their serialized state),
+and the metrics show the shared label cache doing the heavy lifting.
+
+Run:  python examples/decision_service.py
+"""
+
+import json
+import urllib.request
+
+from repro.server import DisclosureService, start_background
+
+service = DisclosureService()
+server, _ = start_background(service)
+host, port = server.server_address[:2]
+base = f"http://{host}:{port}"
+
+
+def call(path, body=None):
+    request = urllib.request.Request(
+        base + path,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+# Two apps: a birthday widget (Chinese Wall: profile-ish data OR likes,
+# never both) and a music app that only ever gets likes.
+call("/v1/register", {
+    "principal": "birthday-widget",
+    "policy": [["user_birthday", "public_profile"], ["user_likes"]],
+})
+call("/v1/register", {"principal": "music-app", "policy": [["user_likes"]]})
+
+print("== birthday-widget commits to partition 0 ==")
+decision = call("/v1/query", {
+    "principal": "birthday-widget",
+    "fql": "SELECT birthday FROM user WHERE uid = me()",
+    "me": 7,
+})
+print(f"  birthday query: accepted={decision['accepted']}  ({decision['reason']})")
+
+decision = call("/v1/query", {
+    "principal": "birthday-widget",
+    "fql": "SELECT music FROM user WHERE uid = me()",
+})
+print(f"  music query:    accepted={decision['accepted']}  ({decision['reason']})")
+
+print("== the same label, cached, serves music-app's session ==")
+decision = call("/v1/query", {
+    "principal": "music-app",
+    "fql": "SELECT music FROM user WHERE uid = me()",
+})
+print(f"  music query:    accepted={decision['accepted']}  cached={decision['cached']}")
+
+print("== restart: serialized session state keeps the wall standing ==")
+state = service.export_state()
+server.shutdown()
+server.server_close()
+
+service2 = DisclosureService()
+service2.import_state(json.loads(json.dumps(state)))  # e.g. via a checkpoint file
+decision = service2.submit_text(
+    "birthday-widget", "SELECT music FROM user WHERE uid = me()", "fql"
+)
+print(f"  music query after restart: accepted={decision.accepted}")
+print(f"  ({decision.reason})")
+
+metrics = service.metrics_snapshot()
+print("== metrics ==")
+print(f"  decisions: {metrics['decisions']}, "
+      f"label-cache hit rate: {metrics['label_cache']['hit_rate']:.0%}, "
+      f"p50 {metrics['latency']['p50_us']:.0f} µs")

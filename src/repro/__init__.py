@@ -5,8 +5,10 @@ A from-scratch reproduction of Bender, Kot, Gehrke, and Koch (SIGMOD
 disclosure orders and lattices, disclosure labelers, generating sets —
 its conjunctive-query labeling algorithms (GenMGU, Dissect), the
 bit-vector label and policy-partition optimizations, a reference monitor,
-an SQLite-backed enforcement layer, and the full Section 7 evaluation
-(Facebook API audit, labeler throughput, policy-checker throughput).
+an SQLite-backed enforcement layer, the full Section 7 evaluation
+(Facebook API audit, labeler throughput, policy-checker throughput), and
+an online multi-principal decision service (``repro.server``) with a
+shared label cache, a JSON HTTP API, and a load generator.
 
 Quick start::
 
@@ -83,6 +85,11 @@ from repro.policy import (
     PolicyChecker,
     ReferenceMonitor,
 )
+from repro.server import (
+    DisclosureService,
+    LabelCache,
+    ServiceDecision,
+)
 from repro.storage import (
     Database,
     EnforcedConnection,
@@ -103,7 +110,9 @@ __all__ = [
     "DisclosureLabel",
     "DisclosureLattice",
     "DisclosureOrder",
+    "DisclosureService",
     "EnforcedConnection",
+    "LabelCache",
     "LabelingError",
     "NaiveLabeler",
     "ParseError",
@@ -119,6 +128,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SecurityViews",
+    "ServiceDecision",
     "SetInclusionOrder",
     "StorageError",
     "TaggedAtom",

@@ -7,12 +7,16 @@ Usage::
     python -m repro audit
     python -m repro lattice
     python -m repro evaluate          # alias of python -m repro.harness
+    python -m repro serve [--host H] [--port P]
+    python -m repro loadgen [--workers N] [--duration S] [--url URL]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
 custom datalog view file with its implied schema) and prints the
 labeling report; ``label-fql`` does the same for FQL over the Facebook
 schema; ``audit`` prints Table 2; ``lattice`` prints the Figure 3
-disclosure lattice and its DOT rendering.
+disclosure lattice and its DOT rendering; ``serve`` starts the JSON
+decision service over the Facebook vocabulary; ``loadgen`` drives the
+Section 7.2 workload through a service and reports throughput.
 """
 
 from __future__ import annotations
@@ -138,6 +142,59 @@ def _cmd_evaluate(_args: argparse.Namespace) -> int:
     return harness_main(["--quick"])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.httpd import DecisionRequestHandler, make_server
+    from repro.server.service import DisclosureService
+
+    default_policy = None
+    if args.default_policy:
+        import json
+
+        default_policy = json.loads(args.default_policy)
+    service = DisclosureService(
+        max_active_sessions=args.max_sessions,
+        label_cache_size=args.cache_size,
+        default_policy=default_policy,
+    )
+    if args.verbose:
+        DecisionRequestHandler.verbose = True
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"disclosure decision service on http://{host}:{port}")
+    print("routes: POST /v1/register /v1/query /v1/peek /v1/reset; GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+
+    from repro.server.loadgen import run_load
+
+    try:
+        report = run_load(
+            url=args.url,
+            workers=args.workers,
+            duration=args.duration,
+            total_queries=args.queries,
+            principals=args.principals,
+            max_partitions=args.partitions,
+            max_subqueries=args.subqueries,
+            seed=args.seed,
+            warm=not args.cold,
+        )
+    except (URLError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -166,6 +223,45 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     evaluate = sub.add_parser("evaluate", help="quick evaluation run")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    serve = sub.add_parser("serve", help="run the JSON decision service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--max-sessions", type=int, default=10_000,
+        help="resident compiled sessions before LRU demotion",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1 << 16,
+        help="entries in the shared query-label cache (0 disables)",
+    )
+    serve.add_argument(
+        "--default-policy",
+        help='JSON partition list (e.g. \'[["public_profile"]]\') '
+        "auto-registered for unknown principals",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log requests")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive the Facebook workload through a service"
+    )
+    loadgen.add_argument(
+        "--url", help="target a running server (default: in-process service)"
+    )
+    loadgen.add_argument("--workers", type=int, default=4)
+    loadgen.add_argument("--duration", type=float, default=2.0)
+    loadgen.add_argument(
+        "--queries", type=int, help="fixed decision count instead of a duration"
+    )
+    loadgen.add_argument("--principals", type=int, default=100)
+    loadgen.add_argument("--partitions", type=int, default=5)
+    loadgen.add_argument("--subqueries", type=int, default=1)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--cold", action="store_true", help="skip the cache warmup pass"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -87,6 +87,20 @@ class WorkloadGenerator:
         """The Figure 5 x-coordinate for this generator."""
         return 3 * self.max_subqueries
 
+    def spawn(self, index: int, seed: int = 0) -> "WorkloadGenerator":
+        """An independent same-configuration generator for worker *index*.
+
+        Load generators fan the workload out across workers; each worker
+        needs its own RNG (``random.Random`` is not thread-safe) with a
+        distinct, reproducible stream.
+        """
+        return WorkloadGenerator(
+            self.schema,
+            max_subqueries=self.max_subqueries,
+            seed=seed * 1000 + index,
+            group_aligned=self.group_aligned,
+        )
+
     # ------------------------------------------------------------------
     def generate(self) -> ConjunctiveQuery:
         """One random query: 1..max_subqueries subqueries joined on uid."""

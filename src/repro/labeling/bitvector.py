@@ -178,6 +178,29 @@ class BitVectorRegistry:
     def _atom_leq_label(self, packed: Packed, label: PackedLabel) -> bool:
         return any(self.layout.leq(packed, other) for other in label)
 
+    def satisfying_partitions_mask(
+        self, label: PackedLabel, grants_seq: Sequence[Dict[int, int]]
+    ) -> int:
+        """Bit ``i`` set iff partition ``i`` of *grants_seq* answers *label*.
+
+        The multi-partition form of :meth:`satisfies`, returning the
+        Example 6.3 bit vector directly; the decision service intersects
+        it with a session's live bits to decide and narrow in one step.
+        """
+        layout = self.layout
+        relation_bits = layout.relation_bits
+        rel_mask = layout.max_relations - 1
+        out = 0
+        bit = 1
+        for grants in grants_seq:
+            for packed in label:
+                if not (packed >> relation_bits) & grants.get(packed & rel_mask, 0):
+                    break
+            else:
+                out |= bit
+            bit <<= 1
+        return out
+
     def satisfies(self, label: PackedLabel, grants: Dict[int, int]) -> bool:
         """Would the per-relation *grants* answer a query with *label*?
 

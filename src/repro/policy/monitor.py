@@ -81,7 +81,8 @@ class ReferenceMonitor:
         self.labeler = labeler
         self.policy = policy
         self._live: List[bool] = [True] * len(policy)
-        self._answered: List[DisclosureLabel] = []
+        self._cumulative: Optional[DisclosureLabel] = None
+        self._answered_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -90,14 +91,20 @@ class ReferenceMonitor:
         return tuple(self._live)
 
     @property
+    def answered_count(self) -> int:
+        """How many queries this monitor has accepted since its last reset."""
+        return self._answered_count
+
+    @property
     def cumulative_label(self) -> Optional[DisclosureLabel]:
-        """Union of labels of all answered queries (diagnostics)."""
-        if not self._answered:
-            return None
-        result = self._answered[0]
-        for label in self._answered[1:]:
-            result = result.union(label)
-        return result
+        """Union of labels of all answered queries (diagnostics).
+
+        Maintained as a running union: the per-query labels are *not*
+        retained, so a long-lived session's memory stays bounded by the
+        number of distinct dissected atoms it has disclosed, not by the
+        number of queries it has answered.
+        """
+        return self._cumulative
 
     # ------------------------------------------------------------------
     def submit(
@@ -133,7 +140,10 @@ class ReferenceMonitor:
             return Decision(False, label, before, before, reason)
 
         self._live = [index in surviving for index in range(len(self.policy))]
-        self._answered.append(label)
+        self._cumulative = (
+            label if self._cumulative is None else self._cumulative.union(label)
+        )
+        self._answered_count += 1
         return Decision(
             True,
             label,
@@ -161,4 +171,5 @@ class ReferenceMonitor:
     def reset(self) -> None:
         """Forget all history (a new session for the principal)."""
         self._live = [True] * len(self.policy)
-        self._answered.clear()
+        self._cumulative = None
+        self._answered_count = 0

@@ -10,9 +10,9 @@ keep track of which of the Wi are consistent with all the queries
 answered so far").
 
 Only the decision-relevant state is persisted: the policy's partitions
-and the live bits.  The cumulative-label diagnostic history is *not*
-persisted (it is unbounded and never consulted for decisions); after a
-restore, :attr:`ReferenceMonitor.cumulative_label` starts empty.
+and the live bits.  The cumulative-label diagnostic is *not* persisted
+(it is never consulted for decisions); after a restore,
+:attr:`ReferenceMonitor.cumulative_label` starts empty.
 """
 
 from __future__ import annotations

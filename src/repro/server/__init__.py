@@ -1,0 +1,34 @@
+"""The online policy decision service (the paper's deployment shape).
+
+* :mod:`repro.server.service` — per-principal sessions with LRU
+  eviction and serializable state over the bit-vector hot path
+* :mod:`repro.server.cache` — the shared canonical-query →
+  packed-label cache (labels are principal-free)
+* :mod:`repro.server.metrics` — counters and latency histograms
+* :mod:`repro.server.httpd` — the stdlib JSON-over-HTTP front end
+  (``python -m repro serve``)
+* :mod:`repro.server.loadgen` — closed-loop multi-worker load
+  generator (``python -m repro loadgen``)
+"""
+
+from repro.server.cache import CacheStats, LabelCache, canonical_key
+from repro.server.httpd import DecisionHTTPServer, make_server, start_background
+from repro.server.loadgen import LoadReport, query_to_datalog, run_load
+from repro.server.metrics import LatencyHistogram
+from repro.server.service import DisclosureService, ServiceDecision, Session
+
+__all__ = [
+    "CacheStats",
+    "DecisionHTTPServer",
+    "DisclosureService",
+    "LabelCache",
+    "LatencyHistogram",
+    "LoadReport",
+    "ServiceDecision",
+    "Session",
+    "canonical_key",
+    "make_server",
+    "query_to_datalog",
+    "run_load",
+    "start_background",
+]

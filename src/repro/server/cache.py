@@ -1,0 +1,180 @@
+"""The shared canonical-query → packed-label cache.
+
+A disclosure label is a function of the query alone: Section 5's labeler
+never consults the principal, the policy, or any session state.  In a
+multi-principal deployment the same handful of query shapes therefore
+recurs across *every* session (each app asks the same questions about
+different users), so one shared cache in front of the labeler removes
+the expensive fold/dissect/match pipeline from the hot path entirely.
+
+The cache key is a *canonical form* of the query: variables are replaced
+by their first-occurrence index over ``(head, body)`` and constants kept
+verbatim.  Two queries with equal keys are identical up to a bijective
+variable renaming, and disclosure labeling is invariant under renaming
+(dissection normalizes atoms to indexed :class:`TaggedVar` patterns), so
+a cache hit is always the label a fresh labeler would have computed —
+the equivalence the ``tests/server`` suite proves query-by-query.
+
+The head *name* is deliberately excluded from the key (labels do not
+depend on it), while head positions are included so distinguished-ness
+is preserved.  Values are packed labels — tuples of ints — so a warm
+cache costs a few dozen bytes per distinct query shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.terms import is_variable
+
+#: A canonical cache key: head term codes + per-atom (relation, term codes).
+CanonicalKey = Tuple
+
+
+def canonical_key(query: ConjunctiveQuery) -> CanonicalKey:
+    """The renaming-invariant structural key of *query*.
+
+    Variables become integers in order of first occurrence (head first,
+    then body atoms left to right); constants stay themselves (they are
+    hashable and compare by type and value).
+    """
+    indices: Dict = {}
+
+    def code(term):
+        if is_variable(term):
+            index = indices.get(term)
+            if index is None:
+                index = len(indices)
+                indices[term] = index
+            return index
+        return ("c", term)
+
+    head = tuple(code(t) for t in query.head_terms)
+    body = tuple(
+        (atom.relation, tuple(code(t) for t in atom.terms))
+        for atom in query.body
+    )
+    return (head, body)
+
+
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    __slots__ = ("hits", "misses", "evictions", "size", "maxsize")
+
+    def __init__(self, hits: int, misses: int, evictions: int, size: int, maxsize: int):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.size = size
+        self.maxsize = maxsize
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when the cache has never been consulted)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.3f}, size={self.size}/{self.maxsize})"
+        )
+
+
+class LabelCache:
+    """A thread-safe LRU map from canonical keys to computed values.
+
+    Used for canonical-query → packed-label (the shared decision-path
+    cache) and, bounded separately, for request-text → parsed-query in
+    the HTTP front end.  ``maxsize <= 0`` disables caching entirely —
+    every lookup is a miss — which gives benchmarks an honest "cold"
+    series without a second code path.
+    """
+
+    def __init__(self, maxsize: int = 65536):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value for *key*, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert *key* → *value*, evicting the least recently used entry."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], object]
+    ) -> object:
+        """Return the cached value, computing and inserting on a miss.
+
+        *compute* runs outside the lock; concurrent misses on the same
+        key may compute twice, but labeling is deterministic so the
+        duplicates are identical — a deliberate trade against holding
+        the lock across the (slow) labeler.
+        """
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                self._hits,
+                self._misses,
+                self._evictions,
+                len(self._data),
+                self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data

@@ -1,0 +1,202 @@
+"""JSON-over-HTTP front end for the decision service (stdlib only).
+
+Routes::
+
+    POST /v1/register   {"principal": "app1", "policy": [["V1"], ["V3"]]}
+    POST /v1/query      {"principal": "app1", "sql": "SELECT ..."}
+                        {"principal": "app1", "fql": "SELECT ...", "me": 3}
+                        {"principal": "app1", "datalog": "Q(x) :- ..."}
+    POST /v1/peek       same body as /v1/query (would_accept; no state change)
+    POST /v1/reset      {"principal": "app1"}
+    GET  /metrics       decision counts, cache hit rates, latency percentiles
+    GET  /healthz       {"ok": true}
+
+Decisions return 200 with ``{"accepted": ..., "reason": ...}`` whether
+accepted or refused — a refusal is a *successful decision*, not an HTTP
+error.  Malformed requests get 400, unknown principals 404, unknown
+routes 404, all with ``{"error": ...}`` bodies.
+
+The server is a :class:`ThreadingHTTPServer`: one thread per connection
+over the shared (internally locked) :class:`DisclosureService`.  Start
+one with ``python -m repro serve`` or :func:`make_server`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParseError, PolicyError, ReproError
+from repro.server.service import DisclosureService
+
+#: Maximum accepted request body (1 MiB — queries are small).
+MAX_BODY = 1 << 20
+
+
+class DecisionHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`DisclosureService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: DisclosureService):
+        super().__init__(address, DecisionRequestHandler)
+        self.service = service
+
+
+class DecisionRequestHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` decision API onto the service."""
+
+    server: DecisionHTTPServer
+    protocol_version = "HTTP/1.1"
+    #: Buffer writes so headers and body leave in one packet, and disable
+    #: Nagle: the stdlib default (unbuffered + Nagle) interacts with
+    #: delayed ACKs to add ~40 ms to every keep-alive response.
+    wbufsize = 1 << 16
+    disable_nagle_algorithm = True
+    #: Silenced by default; flipped by ``serve --verbose``.
+    verbose = False
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/metrics":
+            self._reply(200, self.server.service.metrics_snapshot())
+        elif self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        else:
+            self._reply(404, {"error": f"unknown route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        body = self._read_json()
+        if body is None:
+            return
+        try:
+            if self.path == "/v1/query":
+                self._handle_decision(body, peek=False)
+            elif self.path == "/v1/peek":
+                self._handle_decision(body, peek=True)
+            elif self.path == "/v1/register":
+                self._handle_register(body)
+            elif self.path == "/v1/reset":
+                self._handle_reset(body)
+            else:
+                self._reply(404, {"error": f"unknown route {self.path}"})
+        except ParseError as exc:
+            self._reply(400, {"error": str(exc)})
+        except PolicyError as exc:
+            status = 404 if "unknown principal" in str(exc) else 400
+            self._reply(status, {"error": str(exc)})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    def _handle_decision(self, body: Dict, peek: bool) -> None:
+        principal = self._principal_of(body)
+        if principal is None:
+            return
+        text, dialect = None, None
+        for candidate in ("sql", "fql", "datalog"):
+            if candidate in body:
+                text, dialect = body[candidate], candidate
+                break
+        if not isinstance(text, str):
+            self._reply(
+                400, {"error": "request needs one of 'sql', 'fql', 'datalog'"}
+            )
+            return
+        me = body.get("me", 1)
+        if not isinstance(me, int):
+            self._reply(400, {"error": "'me' must be an integer uid"})
+            return
+        service = self.server.service
+        if peek:
+            decision = service.peek_text(principal, text, dialect, me)
+        else:
+            decision = service.submit_text(principal, text, dialect, me)
+        self._reply(200, decision.as_dict())
+
+    def _handle_register(self, body: Dict) -> None:
+        principal = self._principal_of(body)
+        if principal is None:
+            return
+        policy = body.get("policy")
+        if not isinstance(policy, list):
+            self._reply(400, {"error": "register needs a 'policy' partition list"})
+            return
+        self.server.service.register(principal, policy)
+        self._reply(200, {"registered": principal, "partitions": len(policy)})
+
+    def _handle_reset(self, body: Dict) -> None:
+        principal = self._principal_of(body)
+        if principal is None:
+            return
+        self.server.service.reset(principal)
+        self._reply(200, {"reset": principal})
+
+    def _principal_of(self, body: Dict) -> Optional[str]:
+        """The request's principal, or ``None`` after replying 400.
+
+        Principals are strings on the wire: JSON objects and arrays are
+        unhashable (they would crash the session table), and non-string
+        scalars would not round-trip through serialized session state.
+        """
+        principal = body.get("principal")
+        if not isinstance(principal, str) or not principal:
+            self._reply(400, {"error": "request needs a non-empty string 'principal'"})
+            return None
+        return principal
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Optional[Dict]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0 or length > MAX_BODY:
+            self._reply(400, {"error": "request needs a JSON body"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(body, dict):
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return None
+        return body
+
+    def _reply(self, status: int, payload: Dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: Optional[DisclosureService] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> DecisionHTTPServer:
+    """Build (but do not start) a decision server; ``port=0`` picks a free one."""
+    return DecisionHTTPServer((host, port), service or DisclosureService())
+
+
+def start_background(
+    service: Optional[DisclosureService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[DecisionHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread (tests and the load generator)."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

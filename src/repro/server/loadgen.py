@@ -1,0 +1,326 @@
+"""Closed-loop multi-worker load generator for the decision service.
+
+Drives the Section 7.2 Facebook workload (random relation / attribute
+subset / self–friend–fof–stranger target) through a
+:class:`DisclosureService` — either in-process (the serving hot path,
+no network) or over HTTP against a running ``python -m repro serve`` —
+and reports sustained decisions/sec plus p50/p95/p99 latency.
+
+Closed loop means each worker issues its next request only after the
+previous one completes, so offered load adapts to service capacity and
+the percentiles are honest service times rather than queue times.
+Principals get randomly generated partition policies (the Figure 6
+setup); each worker pre-generates a pool of query shapes and cycles
+them, which after the first cycle exercises the warm-cache path the
+acceptance bar measures.
+
+Run ``python -m repro loadgen --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.queries import ConjunctiveQuery
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.server.metrics import merge_samples, sample_percentile
+from repro.server.service import DisclosureService
+
+
+def query_to_datalog(query: ConjunctiveQuery) -> str:
+    """Render a query as parseable datalog (the HTTP wire format)."""
+    head = f"{query.head_name}({', '.join(str(t) for t in query.head_terms)})"
+    return f"{head} :- {', '.join(str(a) for a in query.body)}"
+
+
+class LoadReport:
+    """The outcome of one load-generation run."""
+
+    __slots__ = (
+        "mode",
+        "workers",
+        "total",
+        "accepted",
+        "refused",
+        "errors",
+        "elapsed",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "cache_hit_rate",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        workers: int,
+        total: int,
+        accepted: int,
+        refused: int,
+        errors: int,
+        elapsed: float,
+        samples: Sequence[float],
+        cache_hit_rate: Optional[float],
+    ):
+        self.mode = mode
+        self.workers = workers
+        self.total = total
+        self.accepted = accepted
+        self.refused = refused
+        self.errors = errors
+        self.elapsed = elapsed
+        self.p50_us = sample_percentile(samples, 0.50) * 1e6
+        self.p95_us = sample_percentile(samples, 0.95) * 1e6
+        self.p99_us = sample_percentile(samples, 0.99) * 1e6
+        self.cache_hit_rate = cache_hit_rate
+
+    @property
+    def qps(self) -> float:
+        return self.total / self.elapsed if self.elapsed else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"mode:       {self.mode} ({self.workers} workers, closed loop)",
+            f"decisions:  {self.total} "
+            f"({self.accepted} accepted, {self.refused} refused, "
+            f"{self.errors} errors)",
+            f"elapsed:    {self.elapsed:.2f} s",
+            f"throughput: {self.qps:,.0f} decisions/sec",
+            f"latency:    p50 {self.p50_us:.1f} µs   "
+            f"p95 {self.p95_us:.1f} µs   p99 {self.p99_us:.1f} µs",
+        ]
+        if self.cache_hit_rate is not None:
+            lines.append(f"label cache hit rate: {self.cache_hit_rate:.1%}")
+        return "\n".join(lines)
+
+
+class _WorkerResult:
+    __slots__ = ("total", "accepted", "refused", "errors", "samples")
+
+    def __init__(self):
+        self.total = 0
+        self.accepted = 0
+        self.refused = 0
+        self.errors = 0
+        self.samples: List[float] = []
+
+
+#: A sender: (principal, query, datalog text) -> accepted (None on error).
+Sender = Callable[[str, ConjunctiveQuery, str], Optional[bool]]
+
+
+def _service_sender(service: DisclosureService) -> Sender:
+    def send(principal: str, query: ConjunctiveQuery, _text: str) -> Optional[bool]:
+        return service.submit(principal, query).accepted
+
+    return send
+
+
+def _http_sender(url: str) -> Sender:
+    import json
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http:// targets are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+
+    from http.client import HTTPConnection, HTTPException
+
+    connection = HTTPConnection(host, port, timeout=10)
+
+    def send(principal: str, _query: ConjunctiveQuery, text: str) -> Optional[bool]:
+        body = json.dumps({"principal": principal, "datalog": text})
+        try:
+            connection.request(
+                "POST",
+                "/v1/query",
+                body,
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                return None
+            return bool(payload.get("accepted"))
+        except (OSError, ValueError, HTTPException):
+            # Covers refused/reset connections, bad JSON, and non-HTTP
+            # peers (BadStatusLine & co.): count an error, keep looping.
+            connection.close()
+            return None
+
+    return send
+
+
+def _register_principals_http(
+    url: str, policies: Dict[str, List[List[str]]]
+) -> None:
+    import json
+    from urllib.request import Request, urlopen
+
+    for principal, policy in policies.items():
+        request = Request(
+            url.rstrip("/") + "/v1/register",
+            data=json.dumps({"principal": principal, "policy": policy}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urlopen(request, timeout=10) as response:
+            response.read()
+
+
+def run_load(
+    service: Optional[DisclosureService] = None,
+    url: Optional[str] = None,
+    *,
+    workers: int = 4,
+    duration: float = 2.0,
+    total_queries: Optional[int] = None,
+    principals: int = 100,
+    max_partitions: int = 5,
+    max_elements: int = 25,
+    max_subqueries: int = 1,
+    query_pool: int = 512,
+    seed: int = 0,
+    warm: bool = True,
+) -> LoadReport:
+    """Drive the workload and return a :class:`LoadReport`.
+
+    Exactly one of *service* (in-process) or *url* (HTTP) must be given;
+    with neither, a fresh Facebook-vocabulary service is built in
+    process.  With *total_queries* the run is a fixed query count split
+    across workers; otherwise it runs for *duration* seconds.  *warm*
+    sends each worker's distinct query shapes through once before the
+    measured window, so the measured window hits the label cache the
+    way a steady-state deployment does.
+    """
+    if service is not None and url is not None:
+        raise ValueError("pass either an in-process service or a URL, not both")
+    mode = "http" if url is not None else "in-process"
+    if service is None and url is None:
+        service = DisclosureService()
+
+    # --- principals with random Figure 6 policies -------------------
+    if service is not None:
+        view_names = service.security_views.names
+    else:
+        from repro.facebook.permissions import facebook_security_views
+
+        view_names = facebook_security_views().names
+    names = [f"app-{index}" for index in range(principals)]
+    policies = {
+        name: [list(p) for p in policy]
+        for name, policy in zip(
+            names,
+            generate_policies(
+                view_names, principals, max_partitions, max_elements, seed=seed
+            ),
+        )
+    }
+    if service is not None:
+        for name, policy in policies.items():
+            service.register(name, policy)
+    else:
+        assert url is not None
+        _register_principals_http(url, policies)
+
+    # --- per-worker query pools -------------------------------------
+    template = WorkloadGenerator(max_subqueries=max_subqueries, seed=seed)
+    pools: List[List[Tuple[str, ConjunctiveQuery, str]]] = []
+    for worker in range(workers):
+        generator = template.spawn(worker, seed=seed)
+        rng = random.Random(seed * 7777 + worker)
+        pool = [
+            (rng.choice(names), query, query_to_datalog(query))
+            for query in generator.stream(query_pool)
+        ]
+        pools.append(pool)
+
+    per_worker_quota = (
+        None if total_queries is None else max(1, total_queries // workers)
+    )
+    barrier = threading.Barrier(workers + 1)
+    results = [_WorkerResult() for _ in range(workers)]
+
+    def make_sender() -> Sender:
+        if url is not None:
+            return _http_sender(url)
+        assert service is not None
+        return _service_sender(service)
+
+    def worker_main(index: int) -> None:
+        pool = pools[index]
+        result = results[index]
+        # Any failure before the barrier must still reach the barrier, or
+        # the main thread (and the surviving workers) would hang forever.
+        sender: Optional[Sender] = None
+        try:
+            sender = make_sender()
+            if warm:
+                for principal, query, text in pool:
+                    if sender(principal, query, text) is None:
+                        result.errors += 1
+        except Exception:
+            result.errors += 1
+            sender = None
+        barrier.wait()
+        if sender is None:
+            return
+        # Each worker times its own measured window from the barrier, so
+        # warmup cost never leaks into the throughput figure.
+        deadline = time.perf_counter() + duration
+        samples = result.samples
+        position = 0
+        size = len(pool)
+        clock = time.perf_counter
+        while True:
+            if per_worker_quota is not None:
+                if result.total >= per_worker_quota:
+                    break
+            elif clock() >= deadline:
+                break
+            principal, query, text = pool[position]
+            position += 1
+            if position == size:
+                position = 0
+            start = clock()
+            accepted = sender(principal, query, text)
+            samples.append(clock() - start)
+            result.total += 1
+            if accepted is None:
+                result.errors += 1
+            elif accepted:
+                result.accepted += 1
+            else:
+                result.refused += 1
+
+    threads = [
+        threading.Thread(target=worker_main, args=(index,), daemon=True)
+        for index in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # releases the workers once every one is warmed and ready
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    samples = merge_samples([r.samples for r in results])
+    hit_rate = (
+        service.label_cache.stats().hit_rate if service is not None else None
+    )
+    return LoadReport(
+        mode,
+        workers,
+        sum(r.total for r in results),
+        sum(r.accepted for r in results),
+        sum(r.refused for r in results),
+        sum(r.errors for r in results),
+        elapsed,
+        samples,
+        hit_rate,
+    )

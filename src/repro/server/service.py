@@ -1,0 +1,535 @@
+"""The multi-principal disclosure decision service.
+
+This is the paper's deployment shape (Sections 3.4, 6, 7.2): an online
+reference monitor mediating the query traffic of an app ecosystem with
+very many principals.  Three observations make it fast and small:
+
+* **Labels are principal-free** — one shared canonical-query →
+  packed-label cache (:mod:`repro.server.cache`) serves every session;
+  a warm decision never runs the labeler at all.
+* **Sessions are tiny** — per Section 6.2 a principal's entire
+  enforcement state is its policy plus one live-partition bit vector
+  (Example 6.3), so state serializes to a few bytes and an LRU of
+  compiled sessions can front millions of passive principals.
+* **Decisions are integer ops** — the packed-label partition check of
+  :class:`~repro.policy.checker.PolicyChecker`, here per named session
+  with human-readable refusal reasons.
+
+The service exposes the same accept/refuse semantics as
+:class:`~repro.policy.monitor.ReferenceMonitor` over the same security
+views — the ``tests/server`` equivalence suite holds the two paths
+bit-for-bit identical across the Facebook workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.errors import ParseError, PolicyError
+from repro.labeling.bitvector import PackedLabel
+from repro.labeling.cq_labeler import SecurityViews
+from repro.labeling.pipeline import BitVectorLabeler
+from repro.policy.policy import PartitionPolicy
+from repro.server.cache import LabelCache, canonical_key
+from repro.server.metrics import Counter, LatencyHistogram
+
+_STATE_FORMAT = "repro.server/1"
+
+
+class ServiceDecision:
+    """One decision of the service (the wire-friendly Decision)."""
+
+    __slots__ = (
+        "accepted",
+        "principal",
+        "reason",
+        "cached",
+        "live_before",
+        "live_after",
+        "label",
+    )
+
+    def __init__(
+        self,
+        accepted: bool,
+        principal: Hashable,
+        reason: str,
+        cached: bool,
+        live_before: int,
+        live_after: int,
+        label: PackedLabel,
+    ):
+        self.accepted = accepted
+        self.principal = principal
+        self.reason = reason
+        self.cached = cached
+        self.live_before = live_before
+        self.live_after = live_after
+        self.label = label
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def live_after_bits(self, partitions: int) -> Tuple[bool, ...]:
+        return tuple(bool(self.live_after >> i & 1) for i in range(partitions))
+
+    def as_dict(self) -> Dict:
+        return {
+            "accepted": self.accepted,
+            "principal": self.principal,
+            "reason": self.reason,
+            "cached": self.cached,
+            "live_before": self.live_before,
+            "live_after": self.live_after,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "ACCEPT" if self.accepted else "REFUSE"
+        return f"ServiceDecision({verdict} {self.principal!r}: {self.reason})"
+
+
+class Session:
+    """One principal's compiled enforcement state (active in the LRU).
+
+    *ephemeral* marks sessions auto-created by a default policy (never
+    explicitly registered); on demotion an ephemeral session whose state
+    is still fresh is dropped rather than retained, so anonymous traffic
+    cannot grow the passive store without bound.
+    """
+
+    __slots__ = ("principal", "partitions", "grants", "live", "ephemeral")
+
+    def __init__(
+        self,
+        principal: Hashable,
+        partitions: Tuple[Tuple[str, ...], ...],
+        grants: Tuple[Dict[int, int], ...],
+        live: int,
+        ephemeral: bool = False,
+    ):
+        self.principal = principal
+        self.partitions = partitions
+        self.grants = grants
+        self.live = live
+        self.ephemeral = ephemeral
+
+    @property
+    def all_live(self) -> int:
+        return (1 << len(self.partitions)) - 1
+
+
+class DisclosureService:
+    """Per-principal disclosure sessions over one shared label cache.
+
+    Parameters
+    ----------
+    security_views:
+        The platform vocabulary (defaults to the Section 7.2 Facebook
+        views).
+    schema:
+        Schema for the SQL front end (defaults to the Facebook schema
+        when *security_views* is also defaulted).
+    max_active_sessions:
+        How many compiled sessions stay resident; excess principals are
+        demoted to their serializable ``(policy, live)`` state and
+        recompiled on next touch.
+    label_cache_size:
+        Entries in the shared canonical-query → packed-label cache
+        (``0`` disables caching — the benchmark's cold series).
+    parse_cache_size:
+        Entries in the request-text → parsed-query memo used by
+        :meth:`submit_text`.
+    default_policy:
+        When given, unknown principals get a session with this policy on
+        first contact instead of raising.  Such sessions are *ephemeral*:
+        read-only probes never allocate state, and a demoted session
+        whose partitions are all still live is dropped rather than
+        retained, so anonymous principals cannot exhaust memory.
+    """
+
+    def __init__(
+        self,
+        security_views: Optional[SecurityViews] = None,
+        *,
+        schema: Optional[Schema] = None,
+        max_active_sessions: int = 10_000,
+        label_cache_size: int = 1 << 16,
+        parse_cache_size: int = 4096,
+        default_policy: "PartitionPolicy | Iterable[Iterable[str]] | None" = None,
+    ):
+        if security_views is None:
+            from repro.facebook.permissions import facebook_security_views
+
+            security_views = facebook_security_views()
+            if schema is None:
+                from repro.facebook.schema import facebook_schema
+
+                schema = facebook_schema()
+        self.security_views = security_views
+        self.schema = schema
+        self.labeler = BitVectorLabeler(security_views)
+        self.registry = self.labeler.registry
+        self._relation_bits = self.registry.layout.relation_bits
+
+        if max_active_sessions < 1:
+            raise PolicyError("max_active_sessions must be >= 1")
+        self.max_active_sessions = max_active_sessions
+        self.label_cache = LabelCache(label_cache_size)
+        self.parse_cache = LabelCache(parse_cache_size)
+
+        self._default_policy = (
+            self._normalize_policy(default_policy)
+            if default_policy is not None
+            else None
+        )
+        self._active: "OrderedDict[Hashable, Session]" = OrderedDict()
+        #: Demoted principals: principal -> (partitions, live bits, ephemeral).
+        self._passive: Dict[
+            Hashable, Tuple[Tuple[Tuple[str, ...], ...], int, bool]
+        ] = {}
+        self._lock = threading.RLock()
+
+        self.decisions = Counter()
+        self.accepted = Counter()
+        self.refused = Counter()
+        self.peeks = Counter()
+        self.latency = LatencyHistogram()
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Principal / session management
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        principal: Hashable,
+        policy: "PartitionPolicy | Iterable[Iterable[str]]",
+    ) -> None:
+        """Register *principal* with *policy*; re-registration resets state."""
+        partitions = self._normalize_policy(policy)
+        with self._lock:
+            self._active.pop(principal, None)
+            self._passive[principal] = (partitions, (1 << len(partitions)) - 1, False)
+
+    def unregister(self, principal: Hashable) -> None:
+        with self._lock:
+            self._active.pop(principal, None)
+            self._passive.pop(principal, None)
+
+    def reset(self, principal: Hashable) -> None:
+        """Forget the principal's history (a fresh session).
+
+        For a principal only known through the default policy and never
+        seen, this is a no-op — its state is already fresh; nothing is
+        allocated.
+        """
+        with self._lock:
+            session = self._active.get(principal)
+            if session is not None:
+                session.live = session.all_live
+                return
+            state = self._passive.get(principal)
+            if state is not None:
+                partitions, _, ephemeral = state
+                self._passive[principal] = (
+                    partitions,
+                    (1 << len(partitions)) - 1,
+                    ephemeral,
+                )
+                return
+            if self._default_policy is None:
+                raise PolicyError(f"unknown principal {principal!r}")
+
+    def principal_count(self) -> int:
+        with self._lock:
+            return len(self._active) + len(self._passive)
+
+    def active_session_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def live_partitions(self, principal: Hashable) -> Tuple[bool, ...]:
+        """The Example 6.3 bit vector of the principal's session."""
+        with self._lock:
+            session = self._peek_session(principal)
+            return tuple(
+                bool(session.live >> i & 1) for i in range(len(session.partitions))
+            )
+
+    def __contains__(self, principal: object) -> bool:
+        with self._lock:
+            return principal in self._active or principal in self._passive
+
+    def _normalize_policy(
+        self, policy: "PartitionPolicy | Iterable[Iterable[str]]"
+    ) -> Tuple[Tuple[str, ...], ...]:
+        if not isinstance(policy, PartitionPolicy):
+            policy = PartitionPolicy(policy, self.security_views)
+        else:
+            for partition in policy.partitions:
+                for name in partition:
+                    if name not in self.security_views:
+                        raise PolicyError(f"unknown security view {name!r} in policy")
+        return tuple(tuple(sorted(p)) for p in policy.partitions)
+
+    def _session(self, principal: Hashable) -> Session:
+        """The principal's active session, compiling/evicting as needed."""
+        session = self._active.get(principal)
+        if session is not None:
+            self._active.move_to_end(principal)
+            return session
+        state = self._passive.pop(principal, None)
+        if state is None:
+            if self._default_policy is None:
+                raise PolicyError(f"unknown principal {principal!r}")
+            state = (
+                self._default_policy,
+                (1 << len(self._default_policy)) - 1,
+                True,
+            )
+        partitions, live, ephemeral = state
+        grants = tuple(self.registry.grant_masks(p) for p in partitions)
+        session = Session(principal, partitions, grants, live, ephemeral)
+        self._active[principal] = session
+        while len(self._active) > self.max_active_sessions:
+            _, evicted = self._active.popitem(last=False)
+            if evicted.ephemeral and evicted.live == evicted.all_live:
+                continue  # fresh default-policy state: recreated on demand
+            self._passive[evicted.principal] = (
+                evicted.partitions,
+                evicted.live,
+                evicted.ephemeral,
+            )
+        return session
+
+    def _peek_session(self, principal: Hashable) -> Session:
+        """Like :meth:`_session`, but an unknown default-policy principal
+        gets a transient session that is never stored — read-only probes
+        from anonymous principals must not allocate server state."""
+        if (
+            principal in self._active
+            or principal in self._passive
+            or self._default_policy is None
+        ):
+            return self._session(principal)
+        partitions = self._default_policy
+        grants = tuple(self.registry.grant_masks(p) for p in partitions)
+        return Session(
+            principal, partitions, grants, (1 << len(partitions)) - 1, True
+        )
+
+    # ------------------------------------------------------------------
+    # Labeling (the shared cache front)
+    # ------------------------------------------------------------------
+    def label_for(self, query: ConjunctiveQuery) -> Tuple[PackedLabel, bool]:
+        """The packed label of *query* and whether it came from the cache."""
+        key = canonical_key(query)
+        label = self.label_cache.get(key)
+        if label is not None:
+            return label, True
+        label = self.labeler.label_query(query)
+        self.label_cache.put(key, label)
+        return label, False
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def submit(self, principal: Hashable, query: ConjunctiveQuery) -> ServiceDecision:
+        """Decide one query for one principal, updating session state."""
+        start = time.perf_counter()
+        label, cached = self.label_for(query)
+        with self._lock:
+            session = self._session(principal)
+            decision = self._decide(session, label, cached, update=True)
+        self.decisions.increment()
+        (self.accepted if decision.accepted else self.refused).increment()
+        self.latency.record(time.perf_counter() - start)
+        return decision
+
+    def peek(self, principal: Hashable, query: ConjunctiveQuery) -> ServiceDecision:
+        """`would_accept`: the decision :meth:`submit` would make, stateless."""
+        label, cached = self.label_for(query)
+        with self._lock:
+            session = self._peek_session(principal)
+            decision = self._decide(session, label, cached, update=False)
+        self.peeks.increment()
+        return decision
+
+    def _decide(
+        self, session: Session, label: PackedLabel, cached: bool, update: bool
+    ) -> ServiceDecision:
+        live_before = session.live
+
+        if any(packed >> self._relation_bits == 0 for packed in label):
+            return ServiceDecision(
+                False,
+                session.principal,
+                "query requires information outside the security-view vocabulary",
+                cached,
+                live_before,
+                live_before,
+                label,
+            )
+
+        anywhere = self.registry.satisfying_partitions_mask(label, session.grants)
+        surviving = anywhere & live_before
+
+        if not surviving:
+            if anywhere:
+                indices = [
+                    i for i in range(len(session.grants)) if anywhere >> i & 1
+                ]
+                reason = (
+                    f"query is permitted by partitions {indices} "
+                    "but earlier queries committed to others"
+                )
+            else:
+                reason = "no policy partition discloses enough to answer the query"
+            return ServiceDecision(
+                False, session.principal, reason, cached, live_before, live_before, label
+            )
+
+        if update:
+            session.live = surviving
+        indices = [i for i in range(len(session.grants)) if surviving >> i & 1]
+        return ServiceDecision(
+            True,
+            session.principal,
+            f"answered under partition(s) {indices}",
+            cached,
+            live_before,
+            surviving if update else live_before,
+            label,
+        )
+
+    # ------------------------------------------------------------------
+    # Text front end (SQL / FQL / datalog)
+    # ------------------------------------------------------------------
+    def parse(self, text: str, dialect: str = "sql", me: int = 1) -> ConjunctiveQuery:
+        """Parse request text into a query, memoized per (dialect, me, text)."""
+        key = (dialect, me if dialect == "fql" else None, text)
+        query = self.parse_cache.get(key)
+        if query is not None:
+            return query
+        if dialect == "sql":
+            if self.schema is None:
+                raise ParseError(
+                    "this service has no schema; SQL requests are unavailable"
+                )
+            from repro.core.sqlparser import sql_to_query
+
+            query = sql_to_query(text, self.schema)
+        elif dialect == "fql":
+            from repro.facebook.fql import fql_to_query
+
+            query = fql_to_query(text, me, self.schema)
+        elif dialect == "datalog":
+            from repro.core.parser import parse_query
+
+            query = parse_query(text)
+        else:
+            raise ParseError(f"unknown query dialect {dialect!r}")
+        self.parse_cache.put(key, query)
+        return query
+
+    def submit_text(
+        self, principal: Hashable, text: str, dialect: str = "sql", me: int = 1
+    ) -> ServiceDecision:
+        return self.submit(principal, self.parse(text, dialect, me))
+
+    def peek_text(
+        self, principal: Hashable, text: str, dialect: str = "sql", me: int = 1
+    ) -> ServiceDecision:
+        return self.peek(principal, self.parse(text, dialect, me))
+
+    # ------------------------------------------------------------------
+    # Serializable session state
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        """Every principal's policy and live bits, JSON-compatible.
+
+        Principals must be strings (the HTTP layer enforces this on the
+        wire); anything else cannot round-trip through JSON keys, so it
+        raises rather than silently losing the session on restore.
+        """
+        sessions = {}
+        with self._lock:
+            entries = [
+                (principal, partitions, live)
+                for principal, (partitions, live, _) in self._passive.items()
+            ] + [
+                (principal, session.partitions, session.live)
+                for principal, session in self._active.items()
+            ]
+        for principal, partitions, live in entries:
+            if not isinstance(principal, str):
+                raise PolicyError(
+                    f"principal {principal!r} is not a string and would not "
+                    "survive a JSON round-trip; use string principals for "
+                    "serializable deployments"
+                )
+            sessions[principal] = self._state_dict(partitions, live)
+        return {"format": _STATE_FORMAT, "sessions": sessions}
+
+    def import_state(self, data: Dict) -> int:
+        """Restore sessions exported by :meth:`export_state`; returns count."""
+        if not isinstance(data, dict) or data.get("format") != _STATE_FORMAT:
+            raise PolicyError(
+                f"unrecognized service state format; expected {_STATE_FORMAT!r}"
+            )
+        sessions = data.get("sessions")
+        if not isinstance(sessions, dict):
+            raise PolicyError("service state has no 'sessions' mapping")
+        restored = {}
+        for principal, state in sessions.items():
+            partitions = self._normalize_policy(state.get("partitions", []))
+            live = state.get("live")
+            if not isinstance(live, list) or len(live) != len(partitions):
+                raise PolicyError(
+                    f"session {principal!r}: live bits do not match partitions"
+                )
+            if not any(live):
+                raise PolicyError(
+                    f"session {principal!r}: corrupt state, no live partition"
+                )
+            bits = 0
+            for index, flag in enumerate(live):
+                if flag:
+                    bits |= 1 << index
+            restored[principal] = (partitions, bits, False)
+        with self._lock:
+            for principal, state in restored.items():
+                self._active.pop(principal, None)
+                self._passive[principal] = state
+        return len(restored)
+
+    @staticmethod
+    def _state_dict(partitions: Tuple[Tuple[str, ...], ...], live: int) -> Dict:
+        return {
+            "partitions": [list(p) for p in partitions],
+            "live": [bool(live >> i & 1) for i in range(len(partitions))],
+        }
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict:
+        """Everything ``GET /metrics`` reports, as a plain dict."""
+        with self._lock:
+            active = len(self._active)
+            passive = len(self._passive)
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "decisions": self.decisions.value,
+            "accepted": self.accepted.value,
+            "refused": self.refused.value,
+            "peeks": self.peeks.value,
+            "sessions": {"active": active, "passive": passive},
+            "label_cache": self.label_cache.stats().as_dict(),
+            "parse_cache": self.parse_cache.stats().as_dict(),
+            "latency": self.latency.snapshot(),
+        }

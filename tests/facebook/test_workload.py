@@ -20,6 +20,16 @@ class TestWorkloadShape:
         b = [str(q) for q in WorkloadGenerator(seed=2).stream(20)]
         assert a != b
 
+    def test_spawn_gives_independent_reproducible_workers(self):
+        template = WorkloadGenerator(max_subqueries=2, group_aligned=True, seed=3)
+        w0 = [str(q) for q in template.spawn(0, seed=3).stream(20)]
+        w1 = [str(q) for q in template.spawn(1, seed=3).stream(20)]
+        assert w0 != w1  # distinct streams per worker...
+        again = [str(q) for q in template.spawn(0, seed=3).stream(20)]
+        assert w0 == again  # ...each reproducible
+        child = template.spawn(1, seed=3)
+        assert child.max_subqueries == 2 and child.group_aligned
+
     def test_single_subquery_atom_bounds(self):
         """Section 7.2: 'each query contained between one and three body
         atoms' for a single subquery."""

@@ -105,6 +105,20 @@ class TestRegistry:
         assert registry.satisfies(label, registry.grant_masks(["V3"]))
         assert not registry.satisfies(label, registry.grant_masks(["V8"]))
 
+    def test_satisfying_partitions_mask(self, registry):
+        label = registry.pack_label([V9])
+        grants = [
+            registry.grant_masks(["V6"]),   # satisfies -> bit 0
+            registry.grant_masks(["V8"]),   # does not  -> bit 1 clear
+            registry.grant_masks(["V3"]),   # satisfies -> bit 2
+        ]
+        mask = registry.satisfying_partitions_mask(label, grants)
+        assert mask == 0b101
+        # Agrees with the single-partition test, partition by partition.
+        for index, grant in enumerate(grants):
+            assert bool(mask >> index & 1) == registry.satisfies(label, grant)
+        assert registry.satisfying_partitions_mask(label, []) == 0
+
     def test_too_many_views_per_relation(self):
         layout = PackedLayout(view_bits=2)
         views = SecurityViews({"A": V3, "B": V6, "C": V7})

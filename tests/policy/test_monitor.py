@@ -92,6 +92,21 @@ class TestMonitorBehaviour:
         monitor.submit(V6)
         assert len(monitor.cumulative_label) == 2
 
+    def test_cumulative_label_is_a_bounded_running_union(self, views):
+        """Long-lived sessions must not grow per accepted query: repeats
+        of the same query shapes leave the cumulative label (the only
+        retained history) at its deduplicated size."""
+        policy = PartitionPolicy([["V1", "V2", "V3", "V6", "V7"]], views)
+        monitor = ReferenceMonitor(views, policy)
+        for _ in range(50):
+            monitor.submit(V2)
+            monitor.submit(V6)
+        assert monitor.answered_count == 100
+        assert len(monitor.cumulative_label) == 2
+        # Refusals contribute neither history nor counts.
+        monitor.submit(parse_query("Q(x) :- Unknown(x, y)"))
+        assert monitor.answered_count == 100
+
     def test_reset(self, views):
         policy = PartitionPolicy([["V1", "V2"], ["V3"]], views)
         monitor = ReferenceMonitor(views, policy)

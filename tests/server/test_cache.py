@@ -1,0 +1,118 @@
+"""Tests for the canonical-query key and the shared label cache."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.parser import parse_query
+from repro.server.cache import LabelCache, canonical_key
+
+
+class TestCanonicalKey:
+    def test_renamed_variables_share_a_key(self):
+        q1 = parse_query("Q(x) :- Meetings(x, y)")
+        q2 = parse_query("Q(a) :- Meetings(a, b)")
+        assert canonical_key(q1) == canonical_key(q2)
+
+    def test_head_name_is_ignored(self):
+        q1 = parse_query("Q(x) :- Meetings(x, y)")
+        q2 = parse_query("SomethingElse(x) :- Meetings(x, y)")
+        assert canonical_key(q1) == canonical_key(q2)
+
+    def test_distinguishedness_is_preserved(self):
+        # x in the head vs not: different labels, so different keys.
+        q1 = parse_query("Q(x) :- Meetings(x, y)")
+        q2 = parse_query("Q(y) :- Meetings(x, y)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_variable_identity_is_preserved(self):
+        q1 = parse_query("Q(x) :- Meetings(x, x)")
+        q2 = parse_query("Q(x) :- Meetings(x, y)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_constants_distinguish(self):
+        q1 = parse_query("Q(x) :- Meetings(x, 'Cathy')")
+        q2 = parse_query("Q(x) :- Meetings(x, 'Dave')")
+        q3 = parse_query("Q(x) :- Meetings(x, y)")
+        keys = {canonical_key(q) for q in (q1, q2, q3)}
+        assert len(keys) == 3
+
+    def test_relation_distinguishes(self):
+        q1 = parse_query("Q(x) :- Meetings(x, y)")
+        q2 = parse_query("Q(x) :- Contacts(x, y)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_join_structure_is_preserved(self):
+        q1 = parse_query("Q(x) :- Meetings(x, y), Contacts(y, z)")
+        q2 = parse_query("Q(x) :- Meetings(x, y), Contacts(w, z)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+
+class TestLabelCache:
+    def test_miss_then_hit(self):
+        cache = LabelCache(4)
+        assert cache.get("k") is None
+        cache.put("k", (1, 2))
+        assert cache.get("k") == (1, 2)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_lru_eviction_order(self):
+        cache = LabelCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_get_or_compute(self):
+        cache = LabelCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return (7,)
+
+        assert cache.get_or_compute("k", compute) == (7,)
+        assert cache.get_or_compute("k", compute) == (7,)
+        assert len(calls) == 1
+
+    def test_zero_size_disables_caching(self):
+        cache = LabelCache(0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LabelCache(4)
+        cache.put("k", 1)
+        cache.clear()
+        assert cache.get("k") is None
+
+    def test_concurrent_access_is_consistent(self):
+        cache = LabelCache(128)
+        errors = []
+
+        def worker(offset):
+            try:
+                for index in range(500):
+                    key = (offset + index) % 200
+                    cache.put(key, key * 2)
+                    value = cache.get(key)
+                    if value is not None and value != key * 2:
+                        errors.append((key, value))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i * 37,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 128

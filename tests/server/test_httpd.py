@@ -1,0 +1,210 @@
+"""Tests for the JSON-over-HTTP front end (real sockets, ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.httpd import start_background
+from repro.server.service import DisclosureService
+
+CHINESE_WALL = [["user_birthday", "public_profile"], ["user_likes"]]
+
+
+@pytest.fixture()
+def server(views, schema):
+    service = DisclosureService(views, schema=schema)
+    server, _thread = start_background(service)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _call(server, path, body=None):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestDecisionRoutes:
+    def test_register_query_peek_reset_cycle(self, server):
+        status, body = _call(
+            server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL}
+        )
+        assert status == 200 and body["registered"] == "app"
+
+        status, body = _call(
+            server,
+            "/v1/query",
+            {
+                "principal": "app",
+                "fql": "SELECT birthday FROM user WHERE uid = me()",
+                "me": 3,
+            },
+        )
+        assert status == 200
+        assert body["accepted"] is True
+        assert body["live_after"] == 1  # committed to partition 0
+
+        # Peek at the now-walled-off likes partition: refused, no change.
+        status, body = _call(
+            server,
+            "/v1/peek",
+            {"principal": "app", "fql": "SELECT music FROM user WHERE uid = me()"},
+        )
+        assert status == 200
+        assert body["accepted"] is False
+        assert body["live_after"] == body["live_before"] == 1
+
+        status, body = _call(server, "/v1/reset", {"principal": "app"})
+        assert status == 200 and body["reset"] == "app"
+        status, body = _call(
+            server,
+            "/v1/query",
+            {"principal": "app", "fql": "SELECT music FROM user WHERE uid = me()"},
+        )
+        assert status == 200 and body["accepted"] is True
+
+    def test_sql_and_datalog_dialects(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        status, body = _call(
+            server,
+            "/v1/query",
+            {"principal": "app", "sql": "SELECT birthday FROM User WHERE rel = 'self'"},
+        )
+        assert status == 200 and body["accepted"] is True
+        status, body = _call(
+            server,
+            "/v1/peek",
+            {"principal": "app", "datalog": "Q(b) :- User2(x, b)"},
+        )
+        # Unknown relation labels to ⊤: decided (refused), not an error.
+        assert status == 200 and body["accepted"] is False
+
+    def test_refusal_is_a_200_decision(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": [["user_email"]]})
+        status, body = _call(
+            server,
+            "/v1/query",
+            {"principal": "app", "fql": "SELECT music FROM user WHERE uid = me()"},
+        )
+        assert status == 200
+        assert body["accepted"] is False
+        assert "partition" in body["reason"]
+
+
+class TestMetricsRoutes:
+    def test_metrics_reports_caches_and_latency(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        fql = "SELECT birthday FROM user WHERE uid = me()"
+        for _ in range(3):
+            _call(server, "/v1/query", {"principal": "app", "fql": fql})
+        status, body = _call(server, "/metrics")
+        assert status == 200
+        assert body["decisions"] == 3
+        assert body["label_cache"]["hits"] == 2
+        assert body["label_cache"]["hit_rate"] == pytest.approx(2 / 3)
+        assert body["latency"]["count"] == 3
+        assert body["latency"]["p95_us"] > 0
+        assert body["sessions"]["active"] == 1
+
+    def test_healthz(self, server):
+        status, body = _call(server, "/healthz")
+        assert status == 200 and body == {"ok": True}
+
+
+class TestErrorHandling:
+    def test_unknown_route(self, server):
+        status, body = _call(server, "/v1/nope", {"principal": "x"})
+        assert status == 404 and "unknown route" in body["error"]
+        status, body = _call(server, "/nope")
+        assert status == 404
+
+    def test_missing_principal(self, server):
+        status, body = _call(server, "/v1/query", {"sql": "SELECT 1"})
+        assert status == 400 and "principal" in body["error"]
+
+    def test_non_string_principal_is_400_not_a_crash(self, server):
+        # Lists/dicts are unhashable and ints would not survive state
+        # serialization: all must be rejected cleanly, on every route.
+        for bad in (["a"], {"x": 1}, 7, ""):
+            for path, extra in (
+                ("/v1/query", {"sql": "SELECT name FROM User"}),
+                ("/v1/peek", {"sql": "SELECT name FROM User"}),
+                ("/v1/register", {"policy": [["public_profile"]]}),
+                ("/v1/reset", {}),
+            ):
+                status, body = _call(
+                    server, path, {"principal": bad, **extra}
+                )
+                assert status == 400, (path, bad)
+                assert "principal" in body["error"]
+
+    def test_missing_query_text(self, server):
+        status, body = _call(server, "/v1/query", {"principal": "app"})
+        assert status == 400 and "sql" in body["error"]
+
+    def test_unknown_principal_is_404(self, server):
+        status, body = _call(
+            server,
+            "/v1/query",
+            {"principal": "ghost", "fql": "SELECT name FROM user WHERE uid = me()"},
+        )
+        assert status == 404 and "unknown principal" in body["error"]
+
+    def test_parse_error_is_400(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        status, body = _call(
+            server, "/v1/query", {"principal": "app", "sql": "SELECT nope FROM User"}
+        )
+        assert status == 400 and "error" in body
+
+    def test_bad_policy_is_400(self, server):
+        status, body = _call(
+            server, "/v1/register", {"principal": "app", "policy": [["no_such_view"]]}
+        )
+        assert status == 400 and "unknown security view" in body["error"]
+
+    def test_invalid_json_body(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/query",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_empty_body(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/query", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_bad_me_type(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        status, body = _call(
+            server,
+            "/v1/query",
+            {"principal": "app", "fql": "SELECT name FROM user", "me": "three"},
+        )
+        assert status == 400 and "'me'" in body["error"]

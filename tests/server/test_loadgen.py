@@ -1,0 +1,133 @@
+"""Tests for the closed-loop load generator (small, deterministic runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.facebook.workload import WorkloadGenerator
+from repro.server.httpd import start_background
+from repro.server.loadgen import query_to_datalog, run_load
+from repro.server.service import DisclosureService
+
+
+class TestQueryToDatalog:
+    def test_roundtrip_through_the_parser(self):
+        generator = WorkloadGenerator(max_subqueries=2, seed=9)
+        for query in generator.stream(50):
+            assert parse_query(query_to_datalog(query)) == query
+
+
+class TestInProcessLoad:
+    def test_fixed_count_run(self, views):
+        service = DisclosureService(views)
+        report = run_load(
+            service,
+            workers=2,
+            total_queries=400,
+            principals=10,
+            query_pool=64,
+            seed=3,
+        )
+        assert report.mode == "in-process"
+        assert report.total >= 400
+        assert report.errors == 0
+        assert report.accepted + report.refused == report.total
+        assert report.qps > 0
+        assert report.p50_us > 0
+        assert report.p99_us >= report.p95_us >= report.p50_us
+        # Warmup ran every distinct shape once: the measured window hits.
+        assert report.cache_hit_rate is not None
+        assert report.cache_hit_rate > 0.5
+        assert "decisions/sec" in report.render()
+
+    def test_cold_run_skips_warmup(self, views):
+        service = DisclosureService(views, label_cache_size=0)
+        report = run_load(
+            service,
+            workers=1,
+            total_queries=50,
+            principals=5,
+            query_pool=32,
+            seed=4,
+            warm=False,
+        )
+        assert report.total >= 50
+        assert report.cache_hit_rate == 0.0
+
+    def test_service_and_url_are_exclusive(self, views):
+        with pytest.raises(ValueError):
+            run_load(DisclosureService(views), url="http://127.0.0.1:1")
+
+
+class TestWorkerRobustness:
+    def test_non_http_peer_does_not_hang_the_run(self, views):
+        """A peer that speaks garbage instead of HTTP must surface as
+        errors in the report, not kill workers before the start barrier
+        (which would deadlock run_load forever)."""
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def garbage_server():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    continue
+                with conn:
+                    try:
+                        conn.recv(4096)
+                        conn.sendall(b"I AM NOT HTTP\r\n\r\n")
+                    except OSError:
+                        pass
+
+        thread = threading.Thread(target=garbage_server, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(Exception):
+                # Registration itself fails against a non-HTTP peer; the
+                # point is that it fails fast instead of hanging.
+                run_load(
+                    url=f"http://127.0.0.1:{port}",
+                    workers=2,
+                    total_queries=4,
+                    principals=2,
+                    query_pool=4,
+                    seed=6,
+                )
+        finally:
+            stop.set()
+            thread.join()
+            listener.close()
+
+class TestHttpLoad:
+    def test_http_run_end_to_end(self, views, schema):
+        service = DisclosureService(views, schema=schema)
+        server, _thread = start_background(service)
+        host, port = server.server_address[:2]
+        try:
+            report = run_load(
+                url=f"http://{host}:{port}",
+                workers=2,
+                total_queries=60,
+                principals=5,
+                query_pool=16,
+                seed=5,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report.mode == "http"
+        assert report.total >= 60
+        assert report.errors == 0
+        assert report.accepted + report.refused == report.total
+        # The HTTP registrations landed on the shared service.
+        assert service.principal_count() == 5
+        assert service.decisions.value >= report.total

@@ -70,6 +70,18 @@ class TestOtherCommands:
         assert "⇓{V5}" in out
         assert "digraph" in out
 
+    def test_loadgen(self):
+        code, out = run_cli(
+            "loadgen",
+            "--workers", "1",
+            "--queries", "40",
+            "--principals", "5",
+            "--seed", "1",
+        )
+        assert code == 0
+        assert "decisions/sec" in out
+        assert "in-process" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             run_cli("nope")

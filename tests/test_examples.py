@@ -60,3 +60,12 @@ def test_api_gateway():
     out = run_example("api_gateway.py")
     assert out.count("✓ identical") == 5
     assert "DIVERGED" not in out
+
+
+def test_decision_service():
+    out = run_example("decision_service.py")
+    assert "birthday query: accepted=True" in out
+    assert "music query:    accepted=False" in out
+    assert "cached=True" in out
+    assert "music query after restart: accepted=False" in out
+    assert "label-cache hit rate" in out
