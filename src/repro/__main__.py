@@ -7,16 +7,22 @@ Usage::
     python -m repro audit
     python -m repro lattice
     python -m repro evaluate          # alias of python -m repro.harness
-    python -m repro serve [--host H] [--port P]
-    python -m repro loadgen [--workers N] [--duration S] [--url URL]
+    python -m repro serve [--host H] [--port P] [--shards N]
+    python -m repro loadgen [--workers N] [--duration S] [--url URL] [--batch B]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
 custom datalog view file with its implied schema) and prints the
 labeling report; ``label-fql`` does the same for FQL over the Facebook
 schema; ``audit`` prints Table 2; ``lattice`` prints the Figure 3
 disclosure lattice and its DOT rendering; ``serve`` starts the JSON
-decision service over the Facebook vocabulary; ``loadgen`` drives the
-Section 7.2 workload through a service and reports throughput.
+decision service over the Facebook vocabulary (``--shards N`` runs N
+worker processes behind a hash-partitioning front end); ``loadgen``
+drives the Section 7.2 workload through a service and reports
+throughput (``--batch B`` sends batches of B through ``/v1/batch`` or
+:meth:`DisclosureService.submit_batch`).
+
+The installed console script ``repro`` (see ``pyproject.toml``) is an
+alias for ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -151,23 +157,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         import json
 
         default_policy = json.loads(args.default_policy)
+    if args.verbose:
+        DecisionRequestHandler.verbose = True
+
+    if args.shards > 1:
+        return _serve_sharded(args, default_policy)
+
     service = DisclosureService(
         max_active_sessions=args.max_sessions,
         label_cache_size=args.cache_size,
         default_policy=default_policy,
     )
-    if args.verbose:
-        DecisionRequestHandler.verbose = True
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"disclosure decision service on http://{host}:{port}")
-    print("routes: POST /v1/register /v1/query /v1/peek /v1/reset; GET /metrics")
+    print(
+        "routes: POST /v1/register /v1/query /v1/peek /v1/batch /v1/reset; "
+        "GET /metrics /healthz"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.server_close()
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace, default_policy) -> int:
+    from repro.server.shard import serve_sharded, stop_shard_workers
+
+    service_kwargs = {
+        "max_active_sessions": args.max_sessions,
+        "label_cache_size": args.cache_size,
+        "default_policy": default_policy,
+    }
+    front, router, workers = serve_sharded(
+        args.shards, args.host, args.port, service_kwargs=service_kwargs
+    )
+    host, port = front.server_address[:2]
+    print(
+        f"sharded disclosure decision service on http://{host}:{port} "
+        f"({args.shards} worker processes)"
+    )
+    for worker in workers:
+        print(f"  shard {worker.index}: http://{worker.host}:{worker.port}")
+    print(
+        "routes: POST /v1/register /v1/query /v1/peek /v1/batch /v1/reset; "
+        "GET /metrics /healthz (aggregated across shards)"
+    )
+    try:
+        front.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        front.server_close()
+        router.close()
+        stop_shard_workers(workers)
     return 0
 
 
@@ -187,6 +233,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             max_subqueries=args.subqueries,
             seed=args.seed,
             warm=not args.cold,
+            batch=args.batch,
         )
     except (URLError, OSError) as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
@@ -195,7 +242,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (also introspected by the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Fine-grained disclosure control for app ecosystems "
@@ -227,6 +275,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve = sub.add_parser("serve", help="run the JSON decision service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes; >1 starts the sharded front end "
+        "(principals hash-partitioned across workers)",
+    )
     serve.add_argument(
         "--max-sessions", type=int, default=10_000,
         help="resident compiled sessions before LRU demotion",
@@ -261,9 +314,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     loadgen.add_argument(
         "--cold", action="store_true", help="skip the cache warmup pass"
     )
+    loadgen.add_argument(
+        "--batch", type=int, default=1,
+        help="decisions per request: >1 drives the batch path "
+        "(submit_batch in process, POST /v1/batch over HTTP)",
+    )
     loadgen.set_defaults(func=_cmd_loadgen)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

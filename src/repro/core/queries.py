@@ -42,7 +42,7 @@ class ConjunctiveQuery:
         with an empty *head* (``Q() :- ...``), not an empty body.
     """
 
-    __slots__ = ("head_name", "head_terms", "body", "_hash")
+    __slots__ = ("head_name", "head_terms", "body", "_hash", "_canonical_key")
 
     def __init__(
         self,
@@ -69,6 +69,10 @@ class ConjunctiveQuery:
         self.head_terms: Tuple[Term, ...] = head
         self.body: Tuple[Atom, ...] = atoms
         self._hash = hash((head_name, head, atoms))
+        # Lazily filled by repro.server.cache.canonical_key: the
+        # renaming-invariant structural key is a function of the (frozen)
+        # head and body alone, so it is computed at most once per object.
+        self._canonical_key = None
 
     # ------------------------------------------------------------------
     # Variable classification

@@ -201,6 +201,31 @@ class BitVectorRegistry:
             bit <<= 1
         return out
 
+    def satisfying_partitions_masks(
+        self,
+        labels: Sequence[PackedLabel],
+        grants_seq: Sequence[Dict[int, int]],
+    ) -> List[int]:
+        """Bulk form of :meth:`satisfying_partitions_mask`.
+
+        Returns one partition mask per entry of *labels*, in order.
+        Distinct labels are evaluated once and memoized for the call
+        (packed labels are hashable tuples), so a batch dominated by a
+        few recurring query shapes pays the per-partition mask loop only
+        once per shape — the amortization the batch decision path of
+        :mod:`repro.server.batch` is built on.
+        """
+        memo: Dict[PackedLabel, int] = {}
+        out: List[int] = []
+        compute = self.satisfying_partitions_mask
+        for label in labels:
+            mask = memo.get(label)
+            if mask is None:
+                mask = compute(label, grants_seq)
+                memo[label] = mask
+            out.append(mask)
+        return out
+
     def satisfies(self, label: PackedLabel, grants: Dict[int, int]) -> bool:
         """Would the per-relation *grants* answer a query with *label*?
 

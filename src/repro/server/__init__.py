@@ -5,6 +5,11 @@
 * :mod:`repro.server.cache` — the shared canonical-query →
   packed-label cache (labels are principal-free)
 * :mod:`repro.server.metrics` — counters and latency histograms
+* :mod:`repro.server.batch` — the vectorized batch decision path
+  (``submit_batch`` / ``/v1/batch``)
+* :mod:`repro.server.shard` — sharded multi-process serving: the
+  principal-hashing :class:`ShardRouter` and its worker processes
+  (``python -m repro serve --shards N``)
 * :mod:`repro.server.httpd` — the stdlib JSON-over-HTTP front end
   (``python -m repro serve``)
 * :mod:`repro.server.loadgen` — closed-loop multi-worker load
@@ -12,23 +17,52 @@
 """
 
 from repro.server.cache import CacheStats, LabelCache, canonical_key
-from repro.server.httpd import DecisionHTTPServer, make_server, start_background
+from repro.server.httpd import (
+    DecisionHTTPServer,
+    dispatch,
+    make_server,
+    start_background,
+)
 from repro.server.loadgen import LoadReport, query_to_datalog, run_load
-from repro.server.metrics import LatencyHistogram
+from repro.server.metrics import LatencyHistogram, aggregate_latency
 from repro.server.service import DisclosureService, ServiceDecision, Session
+from repro.server.shard import (
+    HTTPShardBackend,
+    LocalShardBackend,
+    ShardRouter,
+    ShardWorker,
+    aggregate_metrics,
+    router_for_workers,
+    serve_sharded,
+    shard_for,
+    start_shard_workers,
+    stop_shard_workers,
+)
 
 __all__ = [
     "CacheStats",
     "DecisionHTTPServer",
     "DisclosureService",
+    "HTTPShardBackend",
     "LabelCache",
     "LatencyHistogram",
     "LoadReport",
+    "LocalShardBackend",
     "ServiceDecision",
     "Session",
+    "ShardRouter",
+    "ShardWorker",
+    "aggregate_latency",
+    "aggregate_metrics",
     "canonical_key",
+    "dispatch",
     "make_server",
     "query_to_datalog",
+    "router_for_workers",
     "run_load",
+    "serve_sharded",
+    "shard_for",
     "start_background",
+    "start_shard_workers",
+    "stop_shard_workers",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.core.terms import is_variable
@@ -40,7 +40,16 @@ def canonical_key(query: ConjunctiveQuery) -> CanonicalKey:
     Variables become integers in order of first occurrence (head first,
     then body atoms left to right); constants stay themselves (they are
     hashable and compare by type and value).
+
+    Queries are immutable, so the key is memoized on the query object
+    (the ``_canonical_key`` slot) after the first computation — serving
+    traffic that cycles parsed query objects (the parse cache returns
+    the same object for the same request text) pays the structural walk
+    once per object, not once per decision.
     """
+    key = getattr(query, "_canonical_key", None)
+    if key is not None:
+        return key
     indices: Dict = {}
 
     def code(term):
@@ -57,7 +66,12 @@ def canonical_key(query: ConjunctiveQuery) -> CanonicalKey:
         (atom.relation, tuple(code(t) for t in atom.terms))
         for atom in query.body
     )
-    return (head, body)
+    key = (head, body)
+    try:
+        query._canonical_key = key
+    except AttributeError:
+        pass  # a duck-typed query without the memo slot: still correct
+    return key
 
 
 class CacheStats:
@@ -156,6 +170,59 @@ class LabelCache:
             value = compute()
             self.put(key, value)
         return value
+
+    def record_hits(self, count: int) -> None:
+        """Account *count* extra hits observed outside the cache.
+
+        The batch decision path memoizes repeated keys locally so a
+        thousand-item batch takes the cache lock a handful of times, not
+        a thousand; this keeps the hit/miss counters identical to what
+        the same traffic would have recorded one :meth:`get` at a time.
+        (LRU recency of the memoized keys is not refreshed — the one
+        observable difference from per-item lookups.)
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self._hits += count
+
+    def record_misses(self, count: int) -> None:
+        """Account *count* extra misses observed outside the cache.
+
+        The disabled-cache (``maxsize <= 0``) counterpart of
+        :meth:`record_hits`: a batch still resolves repeated shapes from
+        its local memo, but a disabled cache would have missed every one
+        of those lookups, and the counters must say so.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self._misses += count
+
+    def export_entries(self) -> List[Tuple[Hashable, object]]:
+        """Every ``(key, value)`` pair, least- to most-recently used.
+
+        The transport for warming sibling caches: labels are a function
+        of the query alone, so a shard worker that imports another
+        service's exported entries starts with the same warm hit rate.
+        Pairs are plain tuples — picklable whenever keys and values are,
+        which holds for canonical query keys and packed labels.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def import_entries(self, entries: Iterable[Tuple[Hashable, object]]) -> int:
+        """Insert pairs from :meth:`export_entries`; returns how many.
+
+        Imports count as neither hits nor misses; eviction applies as
+        usual, so importing more than ``maxsize`` entries keeps the
+        most recently imported ones.
+        """
+        count = 0
+        for key, value in entries:
+            self.put(key, value)
+            count += 1
+        return count
 
     def clear(self) -> None:
         with self._lock:

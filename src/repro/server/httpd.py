@@ -7,6 +7,7 @@ Routes::
                         {"principal": "app1", "fql": "SELECT ...", "me": 3}
                         {"principal": "app1", "datalog": "Q(x) :- ..."}
     POST /v1/peek       same body as /v1/query (would_accept; no state change)
+    POST /v1/batch      {"queries": [<query bodies>...], "peek": false}
     POST /v1/reset      {"principal": "app1"}
     GET  /metrics       decision counts, cache hit rates, latency percentiles
     GET  /healthz       {"ok": true}
@@ -14,7 +15,15 @@ Routes::
 Decisions return 200 with ``{"accepted": ..., "reason": ...}`` whether
 accepted or refused — a refusal is a *successful decision*, not an HTTP
 error.  Malformed requests get 400, unknown principals 404, unknown
-routes 404, all with ``{"error": ...}`` bodies.
+routes 404, all with ``{"error": ...}`` bodies.  A batch returns 200
+with per-item decision-or-error entries (see ``docs/http-api.md`` for
+the full reference).
+
+Routing itself is the pure function :func:`dispatch` — ``(service,
+method, path, body) → (status, payload)`` — which the request handler
+wraps in sockets.  The shard layer reuses the same function for its
+in-process backends, so one route table serves single-process,
+in-process-sharded, and multi-process deployments.
 
 The server is a :class:`ThreadingHTTPServer`: one thread per connection
 over the shared (internally locked) :class:`DisclosureService`.  Start
@@ -31,10 +40,149 @@ from typing import Dict, Optional, Tuple
 from repro.errors import ParseError, PolicyError, ReproError
 from repro.server.service import DisclosureService
 
-#: Maximum accepted request body (1 MiB — queries are small).
-MAX_BODY = 1 << 20
+#: Maximum accepted request body (8 MiB — enough for a large batch).
+MAX_BODY = 8 << 20
+
+#: Maximum entries in one ``/v1/batch`` request.
+MAX_BATCH = 10_000
 
 
+def dispatch(
+    service: DisclosureService,
+    method: str,
+    path: str,
+    body: Optional[Dict],
+) -> Tuple[int, Dict]:
+    """Route one parsed request onto *service*: ``(status, payload)``.
+
+    *body* is the parsed JSON object for POSTs (``None`` for GETs); the
+    transport layer is responsible for body parsing and size limits.
+    Never raises for request-shaped problems — they come back as 4xx
+    payloads, exactly as the HTTP server would answer them.
+    """
+    if method == "GET":
+        if path == "/metrics":
+            return 200, service.metrics_snapshot()
+        if path == "/healthz":
+            return 200, {"ok": True}
+        return 404, {"error": f"unknown route {path}"}
+    if method != "POST":
+        return 405, {"error": f"unsupported method {method}"}
+    if body is None:
+        return 400, {"error": "request needs a JSON body"}
+    try:
+        if path == "/v1/query":
+            return _handle_decision(service, body, peek=False)
+        if path == "/v1/peek":
+            return _handle_decision(service, body, peek=True)
+        if path == "/v1/batch":
+            return _handle_batch(service, body)
+        if path == "/v1/register":
+            return _handle_register(service, body)
+        if path == "/v1/reset":
+            return _handle_reset(service, body)
+        return 404, {"error": f"unknown route {path}"}
+    except ParseError as exc:
+        return 400, {"error": str(exc)}
+    except PolicyError as exc:
+        status = 404 if "unknown principal" in str(exc) else 400
+        return status, {"error": str(exc)}
+    except ReproError as exc:
+        return 400, {"error": str(exc)}
+
+
+# ----------------------------------------------------------------------
+def _handle_decision(
+    service: DisclosureService, body: Dict, peek: bool
+) -> Tuple[int, Dict]:
+    principal, error = _principal_of(body)
+    if error is not None:
+        return error
+    text, dialect = None, None
+    for candidate in ("sql", "fql", "datalog"):
+        if candidate in body:
+            text, dialect = body[candidate], candidate
+            break
+    if not isinstance(text, str):
+        return 400, {"error": "request needs one of 'sql', 'fql', 'datalog'"}
+    me = body.get("me", 1)
+    if not isinstance(me, int):
+        return 400, {"error": "'me' must be an integer uid"}
+    if peek:
+        decision = service.peek_text(principal, text, dialect, me)
+    else:
+        decision = service.submit_text(principal, text, dialect, me)
+    return 200, decision.as_dict()
+
+
+def validate_batch_body(
+    body: Dict,
+) -> "Tuple[Optional[list], bool, Optional[Tuple[int, Dict]]]":
+    """``(queries, peek, None)`` for a valid ``/v1/batch`` body, else
+    ``(None, False, (status, payload))``.
+
+    Shared by the single-process handler and the shard router so both
+    deployments reject malformed batches with identical status codes
+    and messages.
+    """
+    queries = body.get("queries")
+    if not isinstance(queries, list):
+        return None, False, (400, {"error": "batch needs a 'queries' list"})
+    if len(queries) > MAX_BATCH:
+        return None, False, (
+            400,
+            {"error": f"batch of {len(queries)} exceeds the {MAX_BATCH} limit"},
+        )
+    peek = body.get("peek", False)
+    if not isinstance(peek, bool):
+        return None, False, (400, {"error": "'peek' must be a boolean"})
+    return queries, peek, None
+
+
+def _handle_batch(service: DisclosureService, body: Dict) -> Tuple[int, Dict]:
+    queries, peek, error = validate_batch_body(body)
+    if error is not None:
+        return error
+    decisions = service.decide_batch_wire(queries, peek=peek)
+    return 200, {"decisions": decisions, "count": len(decisions)}
+
+
+def _handle_register(service: DisclosureService, body: Dict) -> Tuple[int, Dict]:
+    principal, error = _principal_of(body)
+    if error is not None:
+        return error
+    policy = body.get("policy")
+    if not isinstance(policy, list):
+        return 400, {"error": "register needs a 'policy' partition list"}
+    service.register(principal, policy)
+    return 200, {"registered": principal, "partitions": len(policy)}
+
+
+def _handle_reset(service: DisclosureService, body: Dict) -> Tuple[int, Dict]:
+    principal, error = _principal_of(body)
+    if error is not None:
+        return error
+    service.reset(principal)
+    return 200, {"reset": principal}
+
+
+def _principal_of(body: Dict) -> Tuple[Optional[str], Optional[Tuple[int, Dict]]]:
+    """``(principal, None)`` or ``(None, (status, payload))``.
+
+    Principals are strings on the wire: JSON objects and arrays are
+    unhashable (they would crash the session table), and non-string
+    scalars would not round-trip through serialized session state.
+    """
+    principal = body.get("principal")
+    if not isinstance(principal, str) or not principal:
+        return None, (
+            400,
+            {"error": "request needs a non-empty string 'principal'"},
+        )
+    return principal, None
+
+
+# ----------------------------------------------------------------------
 class DecisionHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`DisclosureService`."""
 
@@ -59,94 +207,29 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
     #: Silenced by default; flipped by ``serve --verbose``.
     verbose = False
 
+    def _target(self):
+        """What requests are routed onto; overridable by subclasses."""
+        return self.server.service
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        if self.path == "/metrics":
-            self._reply(200, self.server.service.metrics_snapshot())
-        elif self.path == "/healthz":
-            self._reply(200, {"ok": True})
+        target = self._target()
+        if hasattr(target, "dispatch"):
+            status, payload = target.dispatch("GET", self.path, None)
         else:
-            self._reply(404, {"error": f"unknown route {self.path}"})
+            status, payload = dispatch(target, "GET", self.path, None)
+        self._reply(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802
         body = self._read_json()
         if body is None:
             return
-        try:
-            if self.path == "/v1/query":
-                self._handle_decision(body, peek=False)
-            elif self.path == "/v1/peek":
-                self._handle_decision(body, peek=True)
-            elif self.path == "/v1/register":
-                self._handle_register(body)
-            elif self.path == "/v1/reset":
-                self._handle_reset(body)
-            else:
-                self._reply(404, {"error": f"unknown route {self.path}"})
-        except ParseError as exc:
-            self._reply(400, {"error": str(exc)})
-        except PolicyError as exc:
-            status = 404 if "unknown principal" in str(exc) else 400
-            self._reply(status, {"error": str(exc)})
-        except ReproError as exc:
-            self._reply(400, {"error": str(exc)})
-
-    # ------------------------------------------------------------------
-    def _handle_decision(self, body: Dict, peek: bool) -> None:
-        principal = self._principal_of(body)
-        if principal is None:
-            return
-        text, dialect = None, None
-        for candidate in ("sql", "fql", "datalog"):
-            if candidate in body:
-                text, dialect = body[candidate], candidate
-                break
-        if not isinstance(text, str):
-            self._reply(
-                400, {"error": "request needs one of 'sql', 'fql', 'datalog'"}
-            )
-            return
-        me = body.get("me", 1)
-        if not isinstance(me, int):
-            self._reply(400, {"error": "'me' must be an integer uid"})
-            return
-        service = self.server.service
-        if peek:
-            decision = service.peek_text(principal, text, dialect, me)
+        target = self._target()
+        if hasattr(target, "dispatch"):
+            status, payload = target.dispatch("POST", self.path, body)
         else:
-            decision = service.submit_text(principal, text, dialect, me)
-        self._reply(200, decision.as_dict())
-
-    def _handle_register(self, body: Dict) -> None:
-        principal = self._principal_of(body)
-        if principal is None:
-            return
-        policy = body.get("policy")
-        if not isinstance(policy, list):
-            self._reply(400, {"error": "register needs a 'policy' partition list"})
-            return
-        self.server.service.register(principal, policy)
-        self._reply(200, {"registered": principal, "partitions": len(policy)})
-
-    def _handle_reset(self, body: Dict) -> None:
-        principal = self._principal_of(body)
-        if principal is None:
-            return
-        self.server.service.reset(principal)
-        self._reply(200, {"reset": principal})
-
-    def _principal_of(self, body: Dict) -> Optional[str]:
-        """The request's principal, or ``None`` after replying 400.
-
-        Principals are strings on the wire: JSON objects and arrays are
-        unhashable (they would crash the session table), and non-string
-        scalars would not round-trip through serialized session state.
-        """
-        principal = body.get("principal")
-        if not isinstance(principal, str) or not principal:
-            self._reply(400, {"error": "request needs a non-empty string 'principal'"})
-            return None
-        return principal
+            status, payload = dispatch(target, "POST", self.path, body)
+        self._reply(status, payload)
 
     # ------------------------------------------------------------------
     def _read_json(self) -> Optional[Dict]:
@@ -186,7 +269,12 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
 ) -> DecisionHTTPServer:
-    """Build (but do not start) a decision server; ``port=0`` picks a free one."""
+    """Build (but do not start) a decision server; ``port=0`` picks a free one.
+
+    *service* may also be any object with a compatible
+    ``dispatch(method, path, body)`` method — that is how the shard
+    router reuses this server as its front end.
+    """
     return DecisionHTTPServer((host, port), service or DisclosureService())
 
 

@@ -9,6 +9,10 @@ and reports sustained decisions/sec plus p50/p95/p99 latency.
 Closed loop means each worker issues its next request only after the
 previous one completes, so offered load adapts to service capacity and
 the percentiles are honest service times rather than queue times.
+With ``batch > 1`` each "request" is a whole batch — the vectorized
+:meth:`DisclosureService.submit_batch` path in process, or one
+``POST /v1/batch`` over HTTP — and latency samples are amortized
+per-decision times.
 Principals get randomly generated partition policies (the Figure 6
 setup); each worker pre-generates a pool of query shapes and cycles
 them, which after the first cycle exercises the warm-cache path the
@@ -42,6 +46,7 @@ class LoadReport:
     __slots__ = (
         "mode",
         "workers",
+        "batch",
         "total",
         "accepted",
         "refused",
@@ -64,9 +69,11 @@ class LoadReport:
         elapsed: float,
         samples: Sequence[float],
         cache_hit_rate: Optional[float],
+        batch: int = 1,
     ):
         self.mode = mode
         self.workers = workers
+        self.batch = batch
         self.total = total
         self.accepted = accepted
         self.refused = refused
@@ -82,8 +89,11 @@ class LoadReport:
         return self.total / self.elapsed if self.elapsed else 0.0
 
     def render(self) -> str:
+        shape = f"{self.workers} workers, closed loop"
+        if self.batch > 1:
+            shape += f", batches of {self.batch}"
         lines = [
-            f"mode:       {self.mode} ({self.workers} workers, closed loop)",
+            f"mode:       {self.mode} ({shape})",
             f"decisions:  {self.total} "
             f"({self.accepted} accepted, {self.refused} refused, "
             f"{self.errors} errors)",
@@ -110,6 +120,69 @@ class _WorkerResult:
 
 #: A sender: (principal, query, datalog text) -> accepted (None on error).
 Sender = Callable[[str, ConjunctiveQuery, str], Optional[bool]]
+
+#: A batch sender: chunk of pool entries -> (accepted, refused, errors).
+BatchSender = Callable[
+    [Sequence[Tuple[str, ConjunctiveQuery, str]]], Tuple[int, int, int]
+]
+
+
+def _service_batch_sender(service: DisclosureService) -> BatchSender:
+    def send(chunk) -> Tuple[int, int, int]:
+        decisions = service.submit_batch(
+            [(principal, query) for principal, query, _ in chunk]
+        )
+        accepted = sum(1 for decision in decisions if decision.accepted)
+        return accepted, len(decisions) - accepted, 0
+
+    return send
+
+
+def _http_batch_sender(url: str) -> BatchSender:
+    import json
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http:// targets are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+
+    from http.client import HTTPConnection, HTTPException
+
+    connection = HTTPConnection(host, port, timeout=30)
+
+    def send(chunk) -> Tuple[int, int, int]:
+        body = json.dumps(
+            {
+                "queries": [
+                    {"principal": principal, "datalog": text}
+                    for principal, _, text in chunk
+                ]
+            }
+        )
+        try:
+            connection.request(
+                "POST", "/v1/batch", body, {"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                return 0, 0, len(chunk)
+            accepted = refused = errors = 0
+            for entry in payload.get("decisions", ()):
+                if "error" in entry:
+                    errors += 1
+                elif entry.get("accepted"):
+                    accepted += 1
+                else:
+                    refused += 1
+            return accepted, refused, errors
+        except (OSError, ValueError, HTTPException):
+            connection.close()
+            return 0, 0, len(chunk)
+
+    return send
 
 
 def _service_sender(service: DisclosureService) -> Sender:
@@ -186,6 +259,7 @@ def run_load(
     query_pool: int = 512,
     seed: int = 0,
     warm: bool = True,
+    batch: int = 1,
 ) -> LoadReport:
     """Drive the workload and return a :class:`LoadReport`.
 
@@ -196,7 +270,16 @@ def run_load(
     sends each worker's distinct query shapes through once before the
     measured window, so the measured window hits the label cache the
     way a steady-state deployment does.
+
+    *batch* > 1 switches each worker to the batch decision path:
+    chunks of *batch* pool entries go through
+    :meth:`DisclosureService.submit_batch` (in process) or one
+    ``POST /v1/batch`` (HTTP) per chunk.  Latency samples are then the
+    amortized per-decision time of each batch, so percentiles remain
+    comparable with the one-at-a-time mode.
     """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
     if service is not None and url is not None:
         raise ValueError("pass either an in-process service or a URL, not both")
     mode = "http" if url is not None else "in-process"
@@ -251,31 +334,69 @@ def run_load(
         assert service is not None
         return _service_sender(service)
 
+    def make_batch_sender() -> BatchSender:
+        if url is not None:
+            return _http_batch_sender(url)
+        assert service is not None
+        return _service_batch_sender(service)
+
     def worker_main(index: int) -> None:
         pool = pools[index]
         result = results[index]
         # Any failure before the barrier must still reach the barrier, or
         # the main thread (and the surviving workers) would hang forever.
         sender: Optional[Sender] = None
+        batch_sender: Optional[BatchSender] = None
+        chunks: List[List[Tuple[str, ConjunctiveQuery, str]]] = []
         try:
-            sender = make_sender()
-            if warm:
-                for principal, query, text in pool:
-                    if sender(principal, query, text) is None:
-                        result.errors += 1
+            if batch > 1:
+                batch_sender = make_batch_sender()
+                chunks = [
+                    pool[offset : offset + batch]
+                    for offset in range(0, len(pool), batch)
+                ]
+                if warm:
+                    for chunk in chunks:
+                        result.errors += batch_sender(chunk)[2]
+            else:
+                sender = make_sender()
+                if warm:
+                    for principal, query, text in pool:
+                        if sender(principal, query, text) is None:
+                            result.errors += 1
         except Exception:
             result.errors += 1
-            sender = None
+            sender = batch_sender = None
         barrier.wait()
-        if sender is None:
+        if sender is None and batch_sender is None:
             return
         # Each worker times its own measured window from the barrier, so
         # warmup cost never leaks into the throughput figure.
         deadline = time.perf_counter() + duration
         samples = result.samples
         position = 0
-        size = len(pool)
         clock = time.perf_counter
+        if batch_sender is not None:
+            size = len(chunks)
+            while True:
+                if per_worker_quota is not None:
+                    if result.total >= per_worker_quota:
+                        break
+                elif clock() >= deadline:
+                    break
+                chunk = chunks[position]
+                position += 1
+                if position == size:
+                    position = 0
+                start = clock()
+                accepted, refused, errors = batch_sender(chunk)
+                samples.append((clock() - start) / len(chunk))
+                result.total += len(chunk)
+                result.accepted += accepted
+                result.refused += refused
+                result.errors += errors
+            return
+        size = len(pool)
         while True:
             if per_worker_quota is not None:
                 if result.total >= per_worker_quota:
@@ -323,4 +444,5 @@ def run_load(
         elapsed,
         samples,
         hit_rate,
+        batch=batch,
     )

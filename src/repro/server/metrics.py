@@ -46,6 +46,22 @@ class LatencyHistogram:
             self._count += 1
             self._sum += seconds
 
+    def record_many(self, seconds: float, count: int) -> None:
+        """Record *count* samples of the same value: one bisect, one lock.
+
+        The batch decision path times a whole batch and records the
+        amortized per-decision latency once per batch, so ``/metrics``
+        percentiles stay per-decision without paying one histogram
+        update per decision.
+        """
+        if count <= 0:
+            return
+        index = bisect_right(self.BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += count
+            self._count += count
+            self._sum += seconds * count
+
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold *other*'s buckets into this histogram (for per-worker merges)."""
         with other._lock:
@@ -85,14 +101,48 @@ class LatencyHistogram:
                     return self.BOUNDS[index]
         return self.BOUNDS[-1]
 
+    def bucket_counts(self) -> List[Tuple[int, int]]:
+        """Sparse ``(bucket_index, count)`` pairs for non-empty buckets.
+
+        The mergeable wire form of the histogram: a shard publishes its
+        buckets under ``/metrics`` and the router re-aggregates exact
+        cross-shard percentiles with :func:`aggregate_latency` instead
+        of guessing from per-shard percentile summaries.
+        """
+        with self._lock:
+            return [
+                (index, count)
+                for index, count in enumerate(self._counts)
+                if count
+            ]
+
+    def add_bucket_counts(self, buckets: Iterable[Sequence[int]], mean_seconds: float = 0.0) -> None:
+        """Fold sparse :meth:`bucket_counts` pairs into this histogram.
+
+        *mean_seconds* (the source's mean) keeps the aggregate mean
+        honest since bucket indices alone only bound each sample.
+        """
+        with self._lock:
+            added = 0
+            for index, count in buckets:
+                self._counts[index] += count
+                added += count
+            self._count += added
+            self._sum += mean_seconds * added
+
     def snapshot(self) -> Dict:
-        """Count, mean, and the standard percentiles, as a plain dict."""
+        """Count, mean, the standard percentiles, and the sparse buckets.
+
+        The ``buckets`` entry is the mergeable form consumed by
+        :func:`aggregate_latency`; everything else is human-facing.
+        """
         return {
             "count": self.count,
             "mean_us": self.mean * 1e6,
             "p50_us": self.percentile(0.50) * 1e6,
             "p95_us": self.percentile(0.95) * 1e6,
             "p99_us": self.percentile(0.99) * 1e6,
+            "buckets": [list(pair) for pair in self.bucket_counts()],
         }
 
 
@@ -112,6 +162,23 @@ class Counter:
     @property
     def value(self) -> int:
         return self._value
+
+
+def aggregate_latency(snapshots: Iterable[Dict]) -> Dict:
+    """Merge per-shard latency snapshots into one aggregate snapshot.
+
+    Each input is a :meth:`LatencyHistogram.snapshot` dict (typically
+    pulled from a shard's ``/metrics``); the sparse ``buckets`` entries
+    are summed bucket-by-bucket, so the aggregate percentiles are exact
+    to bucket resolution rather than an average of percentiles.
+    """
+    merged = LatencyHistogram()
+    for snap in snapshots:
+        merged.add_bucket_counts(
+            snap.get("buckets", ()),
+            mean_seconds=snap.get("mean_us", 0.0) * 1e-6,
+        )
+    return merged.snapshot()
 
 
 def merge_samples(sample_lists: Iterable[Sequence[float]]) -> List[float]:

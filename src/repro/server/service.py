@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
@@ -42,7 +42,14 @@ _STATE_FORMAT = "repro.server/1"
 
 
 class ServiceDecision:
-    """One decision of the service (the wire-friendly Decision)."""
+    """One decision of the service (the wire-friendly Decision).
+
+    Instances are immutable value objects; :meth:`as_dict` renders the
+    stable wire schema that ``/v1/query``, ``/v1/peek``, and the items
+    of ``/v1/batch`` return.  ``label`` (the packed disclosure label)
+    stays server-side: it is an internal representation, not part of
+    the wire contract.
+    """
 
     __slots__ = (
         "accepted",
@@ -79,6 +86,28 @@ class ServiceDecision:
         return tuple(bool(self.live_after >> i & 1) for i in range(partitions))
 
     def as_dict(self) -> Dict:
+        """The decision as its stable JSON wire object.
+
+        This is the documented response schema of the decision routes
+        (see ``docs/http-api.md``); keys are never removed or renamed,
+        only added:
+
+        ===============  ======  ==============================================
+        key              type    meaning
+        ===============  ======  ==============================================
+        ``accepted``     bool    ``True`` iff the query is answered
+        ``principal``    str     the principal the decision is for
+        ``reason``       str     human-readable accept/refuse explanation
+        ``cached``       bool    label came from the shared cache (no labeling)
+        ``live_before``  int     live-partition bits before the decision
+        ``live_after``   int     live-partition bits after (== before for
+                                 refusals and for ``peek``)
+        ===============  ======  ==============================================
+
+        ``live_before``/``live_after`` encode the Example 6.3 bit vector
+        as an integer: bit *i* set means partition *i* of the principal's
+        registered policy is still live.
+        """
         return {
             "accepted": self.accepted,
             "principal": self.principal,
@@ -102,7 +131,18 @@ class Session:
     cannot grow the passive store without bound.
     """
 
-    __slots__ = ("principal", "partitions", "grants", "live", "ephemeral")
+    __slots__ = (
+        "principal",
+        "partitions",
+        "grants",
+        "live",
+        "ephemeral",
+        "mask_memo",
+        "outcome_memo",
+    )
+
+    #: Distinct labels memoized per session before the memo resets.
+    MASK_MEMO_LIMIT = 4096
 
     def __init__(
         self,
@@ -117,6 +157,16 @@ class Session:
         self.grants = grants
         self.live = live
         self.ephemeral = ephemeral
+        #: label -> satisfying-partitions mask, filled by the batch path.
+        #: Sound for the session's lifetime: the mask depends only on the
+        #: label and the (immutable) grants; a re-registration builds a
+        #: fresh Session.  Bounded by MASK_MEMO_LIMIT (reset when full).
+        self.mask_memo: Dict[PackedLabel, int] = {}
+        #: (label, live) -> (accepted, reason, surviving), same soundness
+        #: argument with the live bits added to the key.  In steady state
+        #: a session's live mask is stable, so recurring shapes make
+        #: whole decisions two dict probes.  Shares MASK_MEMO_LIMIT.
+        self.outcome_memo: Dict[Tuple, Tuple[bool, str, int]] = {}
 
     @property
     def all_live(self) -> int:
@@ -125,6 +175,15 @@ class Session:
 
 class DisclosureService:
     """Per-principal disclosure sessions over one shared label cache.
+
+    Thread-safety: every public method is safe to call from multiple
+    threads — session state is guarded by one internal lock, and the
+    caches and counters lock independently.  The service is *not*
+    shareable across processes; for multi-process deployments each
+    worker owns its own service and principals are hash-partitioned
+    across workers by :class:`repro.server.shard.ShardRouter` (labels
+    are principal-free, so workers can still share cache warmth through
+    :meth:`export_label_cache` / :meth:`warm_label_cache`).
 
     Parameters
     ----------
@@ -359,23 +418,108 @@ class DisclosureService:
         self.peeks.increment()
         return decision
 
-    def _decide(
-        self, session: Session, label: PackedLabel, cached: bool, update: bool
-    ) -> ServiceDecision:
+    def submit_batch(
+        self, items: "Iterable[Tuple[Hashable, ConjunctiveQuery]]"
+    ) -> List[ServiceDecision]:
+        """Decide a batch of ``(principal, query)`` pairs, updating state.
+
+        Semantically identical to calling :meth:`submit` once per item
+        in order — the ``tests/server/test_batch.py`` suite holds the
+        two paths byte-for-byte identical, decisions and end state —
+        but the batch path amortizes the per-decision Python overhead:
+
+        * canonicalization runs once per distinct query object,
+        * the label cache is consulted once per distinct query shape
+          (repeats are accounted via :meth:`LabelCache.record_hits`),
+        * partition masks are computed once per distinct label per
+          session (:meth:`BitVectorRegistry.satisfying_partitions_masks`),
+        * the service lock is taken once for the whole batch, and
+        * metrics are updated in bulk.
+
+        Returns the decisions in input order.  Every principal in the
+        batch is validated *before* any state changes: an unknown
+        principal (with no default policy) raises :class:`PolicyError`
+        and leaves every session untouched — unlike the sequential
+        loop, which would have applied the prefix.  Thread-safe.
+        """
+        from repro.server.batch import decide_batch
+
+        return decide_batch(self, items, update=True)
+
+    def peek_batch(
+        self, items: "Iterable[Tuple[Hashable, ConjunctiveQuery]]"
+    ) -> List[ServiceDecision]:
+        """Batch form of :meth:`peek`: no session state is changed.
+
+        Returns the decision :meth:`submit` *would* make for each item
+        against the current state.  Note the difference from
+        :meth:`submit_batch`: items here do not observe the effects of
+        earlier items in the same batch, exactly as N sequential
+        :meth:`peek` calls would not.  Thread-safe.
+        """
+        from repro.server.batch import decide_batch
+
+        return decide_batch(self, items, update=False)
+
+    def decide_batch_wire(
+        self, requests: "Sequence[Dict]", peek: bool = False
+    ) -> List[Dict]:
+        """Decide a heterogeneous wire batch (the ``/v1/batch`` body).
+
+        Each request is a ``/v1/query``-shaped JSON object
+        (``principal`` plus one of ``sql`` / ``fql`` / ``datalog``, and
+        optionally ``me``).  Items are isolated: a malformed item, a
+        parse error, or an unknown principal yields an ``{"error": ...}``
+        entry at that item's index while every other item is still
+        decided — matching what N independent ``/v1/query`` calls would
+        have produced.  Returns one dict per request, in input order.
+        """
+        from repro.server.batch import decide_batch_wire
+
+        return decide_batch_wire(self, requests, peek=peek)
+
+    def export_label_cache(self) -> List[Tuple]:
+        """The shared label cache as picklable ``(key, label)`` pairs.
+
+        Labels are principal-free, so these entries are valid for any
+        service over the same security views — shard workers import
+        them at spawn so every shard starts warm
+        (:func:`repro.server.shard.start_shard_workers`).
+        """
+        return self.label_cache.export_entries()
+
+    def warm_label_cache(self, entries: "Iterable[Tuple]") -> int:
+        """Import pairs from :meth:`export_label_cache`; returns count."""
+        return self.label_cache.import_entries(entries)
+
+    def _evaluate(
+        self,
+        session: Session,
+        label: PackedLabel,
+        anywhere: Optional[int] = None,
+    ) -> Tuple[bool, str, int]:
+        """``(accepted, reason, surviving)`` for *label* against *session*.
+
+        Pure with respect to the session: never mutates ``session.live``.
+        *anywhere* is the precomputed satisfying-partitions mask of the
+        label against the session's grants (state-independent, so the
+        batch path memoizes it per label); ``None`` computes it here.
+        ``surviving`` is the post-decision live mask for an accept and
+        the unchanged live mask for a refusal.
+        """
         live_before = session.live
 
         if any(packed >> self._relation_bits == 0 for packed in label):
-            return ServiceDecision(
+            return (
                 False,
-                session.principal,
                 "query requires information outside the security-view vocabulary",
-                cached,
                 live_before,
-                live_before,
-                label,
             )
 
-        anywhere = self.registry.satisfying_partitions_mask(label, session.grants)
+        if anywhere is None:
+            anywhere = self.registry.satisfying_partitions_mask(
+                label, session.grants
+            )
         surviving = anywhere & live_before
 
         if not surviving:
@@ -389,21 +533,21 @@ class DisclosureService:
                 )
             else:
                 reason = "no policy partition discloses enough to answer the query"
-            return ServiceDecision(
-                False, session.principal, reason, cached, live_before, live_before, label
-            )
+            return False, reason, live_before
 
-        if update:
-            session.live = surviving
         indices = [i for i in range(len(session.grants)) if surviving >> i & 1]
+        return True, f"answered under partition(s) {indices}", surviving
+
+    def _decide(
+        self, session: Session, label: PackedLabel, cached: bool, update: bool
+    ) -> ServiceDecision:
+        live_before = session.live
+        accepted, reason, surviving = self._evaluate(session, label)
+        if update and accepted:
+            session.live = surviving
+        live_after = surviving if (accepted and update) else live_before
         return ServiceDecision(
-            True,
-            session.principal,
-            f"answered under partition(s) {indices}",
-            cached,
-            live_before,
-            surviving if update else live_before,
-            label,
+            accepted, session.principal, reason, cached, live_before, live_after, label
         )
 
     # ------------------------------------------------------------------

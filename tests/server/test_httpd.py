@@ -108,6 +108,94 @@ class TestDecisionRoutes:
         assert "partition" in body["reason"]
 
 
+class TestBatchRoute:
+    def test_batch_decides_every_item_in_order(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        status, body = _call(
+            server,
+            "/v1/batch",
+            {
+                "queries": [
+                    {
+                        "principal": "app",
+                        "fql": "SELECT birthday FROM user WHERE uid = me()",
+                    },
+                    {
+                        "principal": "app",
+                        "fql": "SELECT music FROM user WHERE uid = me()",
+                    },
+                    {
+                        "principal": "app",
+                        "sql": "SELECT birthday FROM User WHERE rel = 'self'",
+                    },
+                ]
+            },
+        )
+        assert status == 200 and body["count"] == 3
+        accepted = [entry["accepted"] for entry in body["decisions"]]
+        # Item 0 commits the wall, so item 1 (likes) is refused and
+        # item 2 (birthday again, via SQL) is accepted.
+        assert accepted == [True, False, True]
+
+    def test_batch_isolates_bad_items(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        status, body = _call(
+            server,
+            "/v1/batch",
+            {
+                "queries": [
+                    {"principal": "app", "datalog": "Q(b) :- User(x, b)"},
+                    {"principal": "ghost", "datalog": "Q(b) :- User(x, b)"},
+                    {"principal": "app"},
+                    ["not", "an", "object"],
+                ]
+            },
+        )
+        assert status == 200 and body["count"] == 4
+        decisions = body["decisions"]
+        assert "accepted" in decisions[0]
+        assert "unknown principal" in decisions[1]["error"]
+        assert "'sql', 'fql', 'datalog'" in decisions[2]["error"]
+        assert "JSON object" in decisions[3]["error"]
+
+    def test_batch_peek_changes_nothing(self, server):
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        request = {
+            "queries": [
+                {
+                    "principal": "app",
+                    "fql": "SELECT birthday FROM user WHERE uid = me()",
+                },
+                {
+                    "principal": "app",
+                    "fql": "SELECT music FROM user WHERE uid = me()",
+                },
+            ],
+            "peek": True,
+        }
+        status, body = _call(server, "/v1/batch", request)
+        assert status == 200
+        # Peeks are independent probes: both partitions still live.
+        assert [e["accepted"] for e in body["decisions"]] == [True, True]
+        status, metrics = _call(server, "/metrics")
+        assert metrics["decisions"] == 0 and metrics["peeks"] == 2
+
+    def test_batch_validation_errors(self, server):
+        status, body = _call(server, "/v1/batch", {"queries": "nope"})
+        assert status == 400 and "'queries'" in body["error"]
+        status, body = _call(
+            server, "/v1/batch", {"queries": [], "peek": "yes"}
+        )
+        assert status == 400 and "'peek'" in body["error"]
+
+    def test_oversized_batch_is_rejected(self, server):
+        from repro.server.httpd import MAX_BATCH
+
+        queries = [{"principal": "app", "sql": "x"}] * (MAX_BATCH + 1)
+        status, body = _call(server, "/v1/batch", {"queries": queries})
+        assert status == 400 and "exceeds" in body["error"]
+
+
 class TestMetricsRoutes:
     def test_metrics_reports_caches_and_latency(self, server):
         _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})

@@ -1,0 +1,458 @@
+"""Sharded serving equivalence: sequential == batched == sharded.
+
+Sessions are principal-private and labels are principal-free, so
+hash-partitioning principals across shards must never change a
+decision.  The suites below hold a single service, an in-process
+:class:`ShardRouter`, and real multi-process workers to the same
+decision stream — plus the routing, aggregation, and cache-warming
+machinery around them.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.server.loadgen import query_to_datalog
+from repro.server.service import DisclosureService
+from repro.server.shard import (
+    HTTPShardBackend,
+    LocalShardBackend,
+    ShardRouter,
+    aggregate_metrics,
+    router_for_workers,
+    shard_for,
+    start_shard_workers,
+    stop_shard_workers,
+)
+
+PRINCIPALS = 18
+
+
+def _policies(views, seed: int):
+    return generate_policies(
+        views.names, PRINCIPALS, max_partitions=5, max_elements=25, seed=seed
+    )
+
+
+def _traffic(seed: int, count: int):
+    generator = WorkloadGenerator(max_subqueries=1, seed=seed)
+    queries = list(generator.stream(96))
+    rng = random.Random(seed + 100)
+    return [
+        (f"app-{rng.randrange(PRINCIPALS)}", rng.choice(queries))
+        for _ in range(count)
+    ]
+
+
+def _wire(decisions) -> str:
+    return json.dumps([d.as_dict() for d in decisions], sort_keys=True)
+
+
+def _strip_cached(payload: str) -> str:
+    entries = json.loads(payload)
+    for entry in entries:
+        entry.pop("cached", None)
+    return json.dumps(entries, sort_keys=True)
+
+
+class TestShardFor:
+    def test_stable_and_in_range(self):
+        for count in (1, 2, 3, 8):
+            for principal in ("app-1", "app-2", "x", ""):
+                index = shard_for(principal, count)
+                assert 0 <= index < count
+                assert index == shard_for(principal, count)  # deterministic
+
+    def test_known_values_pin_the_hash(self):
+        """CRC-32 of the UTF-8 principal, mod N: pinned so session state
+        exported under one interpreter routes identically under another
+        (built-in ``hash`` would not, under PYTHONHASHSEED)."""
+        import zlib
+
+        for principal in ("app-0", "alice", "bob"):
+            assert shard_for(principal, 4) == zlib.crc32(
+                principal.encode("utf-8")
+            ) % 4
+
+    def test_spreads_principals(self):
+        counts = [0, 0, 0]
+        for index in range(300):
+            counts[shard_for(f"app-{index}", 3)] += 1
+        assert min(counts) > 50  # no degenerate bucket
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_for("app", 0)
+
+
+class TestInProcessRouterEquivalence:
+    @pytest.fixture()
+    def deployment(self, views):
+        single = DisclosureService(views)
+        router = ShardRouter(
+            [LocalShardBackend(DisclosureService(views)) for _ in range(3)]
+        )
+        for index, policy in enumerate(_policies(views, 6)):
+            single.register(f"app-{index}", policy)
+            router.register(f"app-{index}", policy)
+        return single, router
+
+    def test_sharded_batches_match_single_service(self, deployment):
+        single, router = deployment
+        traffic = _traffic(6, 500)
+        expected = [single.submit(p, q) for p, q in traffic]
+        got = []
+        for start in range(0, len(traffic), 83):
+            got.extend(router.submit_batch(traffic[start : start + 83]))
+        # Decision semantics are route-invariant; the `cached` flag is
+        # cache-locality metadata and legitimately differs while the
+        # per-shard caches warm up independently.
+        assert _strip_cached(_wire(got)) == _strip_cached(_wire(expected))
+
+    def test_warmed_shards_are_byte_identical(self, views):
+        """With label caches warmed via export/import, even the
+        ``cached`` flags agree — full byte equality across routes."""
+        warmup = DisclosureService(views)
+        traffic = _traffic(7, 400)
+        policies = _policies(views, 7)
+        for index, policy in enumerate(policies):
+            warmup.register(f"app-{index}", policy)
+        for principal, query in traffic:
+            warmup.submit(principal, query)
+        entries = warmup.export_label_cache()
+        assert entries
+
+        single = DisclosureService(views)
+        single.warm_label_cache(entries)
+        router = ShardRouter(
+            [LocalShardBackend(DisclosureService(views)) for _ in range(3)]
+        )
+        for backend in router.backends:
+            assert backend.service.warm_label_cache(entries) == len(entries)
+        for index, policy in enumerate(policies):
+            single.register(f"app-{index}", policy)
+            router.register(f"app-{index}", policy)
+
+        expected = [single.submit(p, q) for p, q in traffic]
+        got = router.submit_batch(traffic)
+        assert _wire(got) == _wire(expected)
+        assert all(d.cached for d in got)
+
+    def test_single_submits_match_too(self, deployment):
+        single, router = deployment
+        traffic = _traffic(8, 200)
+        for principal, query in traffic:
+            a = single.submit(principal, query)
+            b = router.submit(principal, query)
+            assert (a.accepted, a.reason, a.live_after) == (
+                b.accepted,
+                b.reason,
+                b.live_after,
+            )
+
+    def test_peek_batch_routes_and_changes_nothing(self, deployment):
+        single, router = deployment
+        traffic = _traffic(9, 150)
+        states = [
+            backend.service.export_state() for backend in router.backends
+        ]
+        expected = [single.peek(p, q) for p, q in traffic]
+        got = router.peek_batch(traffic)
+        assert _strip_cached(_wire(got)) == _strip_cached(_wire(expected))
+        assert states == [
+            backend.service.export_state() for backend in router.backends
+        ]
+
+    def test_principals_partition_across_backends(self, deployment):
+        _, router = deployment
+        owners = {
+            f"app-{index}": router.shard_for(f"app-{index}")
+            for index in range(PRINCIPALS)
+        }
+        assert len(set(owners.values())) > 1  # actually sharded
+        for principal, shard in owners.items():
+            for index, backend in enumerate(router.backends):
+                assert (principal in backend.service) == (index == shard)
+
+
+class TestRouterWire:
+    @pytest.fixture()
+    def router(self, views, schema):
+        router = ShardRouter(
+            [
+                LocalShardBackend(DisclosureService(views, schema=schema))
+                for _ in range(3)
+            ]
+        )
+        router.dispatch(
+            "POST",
+            "/v1/register",
+            {
+                "principal": "app",
+                "policy": [["user_birthday", "public_profile"], ["user_likes"]],
+            },
+        )
+        return router
+
+    def test_single_routes_forward_to_owner(self, router):
+        status, body = router.dispatch(
+            "POST",
+            "/v1/query",
+            {"principal": "app", "fql": "SELECT birthday FROM user WHERE uid = me()"},
+        )
+        assert status == 200 and body["accepted"] is True
+        status, body = router.dispatch(
+            "POST",
+            "/v1/query",
+            {"principal": "ghost", "fql": "SELECT name FROM user WHERE uid = me()"},
+        )
+        assert status == 404
+        status, body = router.dispatch("POST", "/v1/reset", {"principal": "app"})
+        assert status == 200 and body["reset"] == "app"
+
+    def test_batch_splits_and_reassembles_in_order(self, views, schema):
+        router = ShardRouter(
+            [
+                LocalShardBackend(DisclosureService(views, schema=schema))
+                for _ in range(3)
+            ]
+        )
+        generator = WorkloadGenerator(max_subqueries=1, seed=4)
+        queries = list(generator.stream(40))
+        policies = _policies(views, 4)
+        requests = []
+        for index, policy in enumerate(policies):
+            principal = f"app-{index}"
+            router.register(principal, policy)
+            requests.append(
+                {
+                    "principal": principal,
+                    "datalog": query_to_datalog(queries[index % len(queries)]),
+                }
+            )
+        requests.insert(3, {"principal": "", "datalog": "Q(x) :- User(x)"})
+        requests.insert(7, "garbage")
+        status, body = router.dispatch(
+            "POST", "/v1/batch", {"queries": requests}
+        )
+        assert status == 200
+        assert body["count"] == len(requests)
+        assert "principal" in body["decisions"][3]["error"]
+        assert "JSON object" in body["decisions"][7]["error"]
+        for position, request in enumerate(requests):
+            if position in (3, 7):
+                continue
+            entry = body["decisions"][position]
+            assert entry["principal"] == request["principal"], position
+
+    def test_bad_batch_bodies(self, router):
+        status, body = router.dispatch("POST", "/v1/batch", {"queries": "x"})
+        assert status == 400 and "queries" in body["error"]
+        status, body = router.dispatch(
+            "POST", "/v1/batch", {"queries": [], "peek": "yes"}
+        )
+        assert status == 400 and "peek" in body["error"]
+
+    def test_unknown_route_and_missing_principal(self, router):
+        assert router.dispatch("GET", "/nope", None)[0] == 404
+        assert router.dispatch("POST", "/v1/nope", {"principal": "x"})[0] == 404
+        status, body = router.dispatch("POST", "/v1/query", {"sql": "SELECT 1"})
+        assert status == 400 and "principal" in body["error"]
+
+    def test_healthz_fans_out(self, router):
+        status, body = router.dispatch("GET", "/healthz", None)
+        assert status == 200 and body["ok"] is True
+        assert body["shards"] == [True, True, True]
+
+    def test_metrics_aggregate_across_shards(self, views, schema):
+        router = ShardRouter(
+            [
+                LocalShardBackend(DisclosureService(views, schema=schema))
+                for _ in range(3)
+            ]
+        )
+        for index, policy in enumerate(_policies(views, 5)):
+            router.register(f"app-{index}", policy)
+        traffic = _traffic(5, 300)
+        router.submit_batch(traffic)
+        status, metrics = router.dispatch("GET", "/metrics", None)
+        assert status == 200
+        assert metrics["shard_count"] == 3
+        assert metrics["decisions"] == 300
+        assert metrics["accepted"] + metrics["refused"] == 300
+        assert metrics["latency"]["count"] == 300
+        assert metrics["sessions"]["active"] + metrics["sessions"]["passive"] == (
+            PRINCIPALS
+        )
+        # Aggregate equals the sum of the per-shard snapshots it carries.
+        assert metrics["decisions"] == sum(
+            shard["decisions"] for shard in metrics["shards"]
+        )
+
+
+class TestAggregateMetrics:
+    def test_latency_percentiles_merge_exactly(self):
+        from repro.server.metrics import LatencyHistogram
+
+        slow, fast = LatencyHistogram(), LatencyHistogram()
+        for _ in range(100):
+            fast.record(1e-6)
+        for _ in range(100):
+            slow.record(1e-3)
+        merged = aggregate_metrics(
+            [
+                {"latency": fast.snapshot()},
+                {"latency": slow.snapshot()},
+            ]
+        )["latency"]
+        assert merged["count"] == 200
+        # The true p95 over the merged population sits in the slow mode;
+        # averaging per-shard percentiles would have reported ~0.5 ms.
+        assert merged["p95_us"] == pytest.approx(1e3, rel=0.2)
+        assert merged["p50_us"] < 10
+
+    def test_cache_totals_and_hit_rate(self):
+        merged = aggregate_metrics(
+            [
+                {"label_cache": {"hits": 90, "misses": 10}},
+                {"label_cache": {"hits": 30, "misses": 70}},
+            ]
+        )
+        assert merged["label_cache"]["hits"] == 120
+        assert merged["label_cache"]["hit_rate"] == pytest.approx(0.6)
+
+
+class TestMultiProcessWorkers:
+    """The real deployment: worker processes behind HTTP backends."""
+
+    @pytest.fixture(scope="class")
+    def cluster(self, views):
+        warmup = DisclosureService()
+        traffic = _traffic(11, 200)
+        for index, policy in enumerate(_policies(views, 11)):
+            warmup.register(f"app-{index}", policy)
+        for principal, query in traffic:
+            warmup.submit(principal, query)
+        workers = start_shard_workers(
+            2, warm_entries=warmup.export_label_cache()
+        )
+        router = router_for_workers(workers)
+        yield router, workers
+        router.close()
+        stop_shard_workers(workers)
+
+    def test_register_query_batch_and_metrics(self, cluster, views):
+        router, workers = cluster
+        assert len(workers) == 2
+        status, _ = router.dispatch("GET", "/healthz", None)
+        assert status == 200
+
+        policies = _policies(views, 11)
+        for index, policy in enumerate(policies):
+            status, _ = router.dispatch(
+                "POST",
+                "/v1/register",
+                {
+                    "principal": f"app-{index}",
+                    "policy": [list(p) for p in policy],
+                },
+            )
+            assert status == 200
+
+        # Sequential over HTTP == in-process single service.
+        single = DisclosureService()
+        for index, policy in enumerate(policies):
+            single.register(f"app-{index}", policy)
+        traffic = _traffic(11, 60)
+        for principal, query in traffic:
+            expected = single.submit(principal, query)
+            status, got = router.dispatch(
+                "POST",
+                "/v1/query",
+                {"principal": principal, "datalog": query_to_datalog(query)},
+            )
+            assert status == 200
+            assert got["accepted"] == expected.accepted
+            assert got["live_after"] == expected.live_after
+            # The workers imported a warm cache covering this traffic.
+            assert got["cached"] is True
+
+        # Batch over HTTP equals the continuation of the same stream.
+        more = _traffic(12, 60)
+        expected_batch = [single.submit(p, q).as_dict() for p, q in more]
+        status, body = router.dispatch(
+            "POST",
+            "/v1/batch",
+            {
+                "queries": [
+                    {"principal": p, "datalog": query_to_datalog(q)}
+                    for p, q in more
+                ]
+            },
+        )
+        assert status == 200
+        for got, want in zip(body["decisions"], expected_batch):
+            assert got["accepted"] == want["accepted"]
+            assert got["live_after"] == want["live_after"]
+            assert got["reason"] == want["reason"]
+
+        status, metrics = router.dispatch("GET", "/metrics", None)
+        assert status == 200
+        assert metrics["shard_count"] == 2
+        assert metrics["decisions"] == 120
+        # Both shards actually served traffic.
+        assert all(
+            shard["sessions"]["active"] + shard["sessions"]["passive"] > 0
+            for shard in metrics["shards"]
+        )
+
+    def test_dead_worker_degrades_to_json_errors(self, views):
+        """A down shard must answer 502/503 JSON, never crash a front-end
+        request thread."""
+        import socket
+
+        # Reserve-and-release a port so nothing listens on it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        router = ShardRouter(
+            [
+                LocalShardBackend(DisclosureService(views)),
+                HTTPShardBackend("127.0.0.1", dead_port, timeout=2.0),
+            ]
+        )
+        try:
+            ghost = next(
+                f"p-{i}" for i in range(100) if router.shard_for(f"p-{i}") == 1
+            )
+            status, body = router.dispatch(
+                "POST", "/v1/reset", {"principal": ghost}
+            )
+            assert status == 502 and "unreachable" in body["error"]
+            status, body = router.dispatch(
+                "POST",
+                "/v1/batch",
+                {"queries": [{"principal": ghost, "datalog": "Q(x) :- User(x)"}]},
+            )
+            assert status == 200 and "unreachable" in body["decisions"][0]["error"]
+            status, body = router.dispatch("GET", "/healthz", None)
+            assert status == 503 and body["shards"] == [True, False]
+            status, metrics = router.dispatch("GET", "/metrics", None)
+            assert status == 200 and metrics["shard_count"] == 2
+        finally:
+            router.close()
+
+    def test_http_backend_survives_reconnect(self, cluster):
+        router, workers = cluster
+        backend = router.backends[0]
+        assert isinstance(backend, HTTPShardBackend)
+        status, _ = backend.request("GET", "/healthz", None)
+        assert status == 200
+        backend.close()  # drop the per-thread connection
+        status, _ = backend.request("GET", "/healthz", None)
+        assert status == 200

@@ -1,0 +1,186 @@
+"""The docs can't rot: every snippet in ``docs/`` and ``README.md`` is
+checked against the real code.
+
+Four guarantees, enforced on every CI run (the ``docs`` job):
+
+* **Links resolve** — every relative markdown link points at a file
+  that exists.
+* **Commands exist** — every ``python -m repro ...`` / ``repro ...``
+  line in a ``sh`` block names a real subcommand, and every ``--flag``
+  it passes is accepted by that subcommand's argparse parser (so a
+  renamed flag breaks the build, not the reader).
+* **Python runs** — every ``python`` code block is executed, not just
+  compiled; the blocks are written with ``assert``s so behavioral
+  drift fails loudly.
+* **JSON parses** — every ``json`` block is valid JSON (whole-block,
+  or line-by-line for blocks showing several alternative bodies).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_blocks(path: Path):
+    """``(language, text, first_line_number)`` for each fenced block."""
+    blocks = []
+    language = None
+    lines: list = []
+    start = 0
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        match = FENCE.match(line)
+        if match and language is None:
+            language = match.group(1) or ""
+            lines = []
+            start = number + 1
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(lines), start))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    assert language is None, f"{path}: unterminated code fence"
+    return blocks
+
+
+def doc_ids():
+    return [path.relative_to(REPO).as_posix() for path in DOC_FILES]
+
+
+@pytest.fixture(scope="module")
+def cli():
+    """(subcommand -> accepted option strings) from the real parser."""
+    import argparse
+
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    subactions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    assert subactions, "CLI has no subcommands?"
+    return {
+        name: set(sub._option_string_actions)
+        for name, sub in subactions[0].choices.items()
+    }
+
+
+@pytest.mark.parametrize("doc", doc_ids())
+def test_relative_links_resolve(doc):
+    path = REPO / doc
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # same-file anchor
+        resolved = (path.parent / target).resolve()
+        assert resolved.exists(), f"{doc}: broken link -> {target}"
+
+
+def _joined_shell_lines(text: str):
+    """Logical lines with backslash continuations folded."""
+    logical = []
+    buffer = ""
+    for line in text.splitlines():
+        stripped = line.strip()
+        if buffer:
+            buffer += " " + stripped.rstrip("\\").strip()
+        elif stripped:
+            buffer = stripped.rstrip("\\").strip()
+        else:
+            continue
+        if not stripped.endswith("\\"):
+            logical.append(buffer)
+            buffer = ""
+    if buffer:
+        logical.append(buffer)
+    return logical
+
+
+@pytest.mark.parametrize("doc", doc_ids())
+def test_shell_snippets_match_the_cli(doc, cli):
+    for language, text, line in extract_blocks(REPO / doc):
+        if language != "sh":
+            continue
+        for logical in _joined_shell_lines(text):
+            if logical.startswith("#"):
+                continue
+            tokens = shlex.split(logical)
+            # Strip env-var prefixes (PYTHONPATH=src ...).
+            while tokens and "=" in tokens[0] and not tokens[0].startswith("-"):
+                tokens = tokens[1:]
+            if not tokens:
+                continue
+            if tokens[:3] == ["python", "-m", "repro"]:
+                rest = tokens[3:]
+            elif tokens[0] == "repro":
+                rest = tokens[1:]
+            elif tokens[0] == "python" and len(tokens) > 1 and tokens[1].endswith(".py"):
+                script = REPO / tokens[1]
+                assert script.exists(), f"{doc}:{line}: no such script {tokens[1]}"
+                continue
+            else:
+                continue  # pip, curl, pytest, export, ...
+            if not rest or rest[0].startswith("-"):
+                continue  # bare `python -m repro --help`
+            command = rest[0]
+            assert command in cli, f"{doc}:{line}: unknown subcommand {command!r}"
+            for token in rest[1:]:
+                if token.startswith("--"):
+                    flag = token.split("=", 1)[0]
+                    assert flag in cli[command], (
+                        f"{doc}:{line}: `repro {command}` has no {flag} flag"
+                    )
+
+
+@pytest.mark.parametrize("doc", doc_ids())
+def test_python_snippets_execute(doc):
+    for language, text, line in extract_blocks(REPO / doc):
+        if language != "python":
+            continue
+        code = compile(text, f"{doc}:{line}", "exec")
+        namespace: dict = {"__name__": f"docsnippet_{line}"}
+        try:
+            exec(code, namespace)  # noqa: S102 - the point of the test
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"{doc}:{line}: python snippet raised {exc!r}")
+
+
+@pytest.mark.parametrize("doc", doc_ids())
+def test_json_snippets_parse(doc):
+    for language, text, line in extract_blocks(REPO / doc):
+        if language != "json":
+            continue
+        try:
+            json.loads(text)
+            continue
+        except ValueError:
+            pass
+        # Blocks listing several alternative bodies: one object per line.
+        for offset, chunk in enumerate(text.splitlines()):
+            if not chunk.strip():
+                continue
+            try:
+                json.loads(chunk)
+            except ValueError:
+                pytest.fail(f"{doc}:{line + offset}: invalid JSON example")
+
+
+def test_readme_links_the_docs_tree():
+    readme = (REPO / "README.md").read_text()
+    for name in ("docs/quickstart.md", "docs/architecture.md", "docs/http-api.md"):
+        assert name in readme, f"README does not link {name}"
+        assert (REPO / name).exists()
