@@ -19,10 +19,28 @@ Run the pytest series with::
 
     pytest benchmarks/bench_server_throughput.py --benchmark-only
 
-or run the standalone sweep modes (batch sizes, shard counts)::
+or run the standalone sweep modes (batch sizes, shard counts, restart
+cost)::
 
     python benchmarks/bench_server_throughput.py --batch
     python benchmarks/bench_server_throughput.py --shards
+    python benchmarks/bench_server_throughput.py --restart
+
+``--restart`` measures what a crash costs: the same replay through an
+uninterrupted service, a **warm** restart (state restored from a
+:mod:`repro.server.persist` snapshot), and a **cold** restart (all
+state lost) — label-cache hit rate, decisions/sec, and restore time.
+The warm restart must recover ≥ 90% of the pre-restart hit rate (the
+PR 3 acceptance bar).
+
+The CI regression gate runs the deterministic quick form and compares
+against the committed baseline::
+
+    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR3.json \\
+        --check benchmarks/BENCH_BASELINE.json
+
+which exits non-zero when warm single-query throughput drops more than
+30% below the baseline, or the warm-restart recovery bar fails.
 """
 
 from __future__ import annotations
@@ -254,6 +272,169 @@ def _sweep_shard_counts(duration: float, batch: int, seed: int) -> None:
         )
 
 
+def _measure_restart(queries: int, seed: int) -> dict:
+    """Cold vs warm restart: hit rate, decisions/sec, and restore time.
+
+    One warm service accumulates state; a snapshot is taken; then the
+    same replay runs through (a) the uninterrupted original, (b) a
+    fresh service restored from the snapshot (the warm restart), and
+    (c) a fresh service with no snapshot (the cold restart).  Replays
+    use ``peek`` so each variant sees identical traffic against
+    identical session state.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.facebook.permissions import facebook_security_views
+    from repro.server.persist import (
+        SnapshotStore,
+        restore_service,
+        snapshot_service,
+    )
+
+    views = facebook_security_views()
+    service = _build_service(views, cache_size=1 << 16)
+    traffic = _build_traffic(queries, seed=seed)
+    for principal, query in traffic:
+        service.submit(principal, query)  # live traffic: sessions + cache
+
+    def replay(target) -> "tuple[float, float]":
+        before = target.label_cache.stats()
+        start = time.perf_counter()
+        for principal, query in traffic:
+            target.peek(principal, query)
+        elapsed = time.perf_counter() - start
+        after = target.label_cache.stats()
+        lookups = after.lookups - before.lookups
+        hit_rate = (after.hits - before.hits) / lookups if lookups else 0.0
+        return hit_rate, len(traffic) / elapsed
+
+    pre_hit_rate, pre_qps = replay(service)
+
+    with tempfile.TemporaryDirectory() as state_dir:
+        store = SnapshotStore(Path(state_dir))
+        snap_start = time.perf_counter()
+        path = store.save(snapshot_service(service))
+        snapshot_seconds = time.perf_counter() - snap_start
+        snapshot_bytes = path.stat().st_size
+
+        warm = _build_service(views, cache_size=1 << 16)
+        restore_start = time.perf_counter()
+        _, document = store.load_latest()
+        restore_service(warm, document["payload"])
+        restore_seconds = time.perf_counter() - restore_start
+    warm_hit_rate, warm_qps = replay(warm)
+
+    cold = _build_service(views, cache_size=1 << 16)
+    cold_hit_rate, cold_qps = replay(cold)
+
+    return {
+        "queries": len(traffic),
+        "pre_restart": {"hit_rate": pre_hit_rate, "qps": pre_qps},
+        "warm_restart": {
+            "hit_rate": warm_hit_rate,
+            "qps": warm_qps,
+            "restore_seconds": restore_seconds,
+        },
+        "cold_restart": {"hit_rate": cold_hit_rate, "qps": cold_qps},
+        "snapshot_seconds": snapshot_seconds,
+        "snapshot_bytes": snapshot_bytes,
+        "hit_rate_recovery": (
+            warm_hit_rate / pre_hit_rate if pre_hit_rate else 0.0
+        ),
+    }
+
+
+def _sweep_restart(queries: int, seed: int) -> None:
+    """Human-readable form of :func:`_measure_restart`."""
+    result = _measure_restart(queries, seed)
+    print(
+        f"restart cost over {result['queries']} replayed decisions "
+        f"(snapshot: {result['snapshot_bytes']:,} bytes in "
+        f"{result['snapshot_seconds'] * 1e3:.1f} ms)"
+    )
+    print(f"{'variant':>14}  {'hit rate':>9}  {'decisions/sec':>14}")
+    rows = [
+        ("uninterrupted", result["pre_restart"]),
+        ("warm restart", result["warm_restart"]),
+        ("cold restart", result["cold_restart"]),
+    ]
+    for name, row in rows:
+        print(f"{name:>14}  {row['hit_rate']:>8.1%}  {row['qps']:>14,.0f}")
+    recovery = result["hit_rate_recovery"]
+    print(
+        f"warm restart recovered {recovery:.1%} of the pre-restart hit "
+        f"rate (restore took "
+        f"{result['warm_restart']['restore_seconds'] * 1e3:.1f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# The CI regression gate: deterministic quick run + committed baseline
+# ----------------------------------------------------------------------
+def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
+    """Emit ``BENCH_PR3.json`` and gate against the committed baseline.
+
+    Thresholds are deliberately loose (warm single-query throughput may
+    not drop more than 30% below baseline) because CI machines vary;
+    the hit-rate recovery bar is exact because it is machine-independent.
+    """
+    import json
+    import platform
+
+    from repro.facebook.permissions import facebook_security_views
+
+    views = facebook_security_views()
+    service = _build_service(views, cache_size=1 << 16)
+    traffic = _build_traffic(BATCH, seed=seed)
+    for principal, query in traffic:
+        service.submit(principal, query)  # warm the cache and sessions
+    warm_qps = _best_rate(_sequential_run(service, traffic), len(traffic), 3)
+    service.submit_batch(traffic)  # warm the batch-path memos
+    batch_qps = _best_rate(lambda: service.submit_batch(traffic), len(traffic), 3)
+    restart = _measure_restart(queries=BATCH, seed=seed + 1)
+
+    results = {
+        "figure": "server-throughput-ci",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "decisions": len(traffic),
+        "warm_single_qps": warm_qps,
+        "batch_qps": batch_qps,
+        "restart": restart,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"wrote {json_path}")
+    print(f"warm single-query: {warm_qps:>12,.0f} decisions/sec")
+    print(f"batch path:        {batch_qps:>12,.0f} decisions/sec")
+    print(f"warm-restart hit-rate recovery: {restart['hit_rate_recovery']:.1%}")
+
+    failures = []
+    if restart["hit_rate_recovery"] < 0.9:
+        failures.append(
+            f"warm restart recovered only {restart['hit_rate_recovery']:.1%} "
+            "of the pre-restart label-cache hit rate (bar: 90%)"
+        )
+    if check_path:
+        with open(check_path) as handle:
+            baseline = json.load(handle)
+        floor = 0.7 * baseline["warm_single_qps"]
+        print(
+            f"baseline warm single-query: {baseline['warm_single_qps']:,.0f} "
+            f"decisions/sec (floor at -30%: {floor:,.0f})"
+        )
+        if warm_qps < floor:
+            failures.append(
+                f"warm single-query throughput {warm_qps:,.0f}/s is more "
+                f"than 30% below the committed baseline "
+                f"{baseline['warm_single_qps']:,.0f}/s"
+            )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -268,18 +449,39 @@ def main(argv=None) -> int:
         "--shards", action="store_true",
         help="sweep shard counts through the HTTP front end",
     )
+    parser.add_argument(
+        "--restart", action="store_true",
+        help="measure cold vs warm restart (hit rate, qps, restore time)",
+    )
+    parser.add_argument(
+        "--ci", action="store_true",
+        help="deterministic quick run for the CI regression gate",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_PR3.json",
+        help="(--ci) where to write the results JSON",
+    )
+    parser.add_argument(
+        "--check",
+        help="(--ci) baseline JSON; exit 1 if warm single-query "
+        "throughput drops >30%% below it",
+    )
     parser.add_argument("--queries", type=int, default=4096)
     parser.add_argument("--duration", type=float, default=2.0)
     parser.add_argument("--batch-size", type=int, default=256,
                         help="request size for the --shards sweep")
     parser.add_argument("--seed", type=int, default=6)
     args = parser.parse_args(argv)
-    if not (args.batch or args.shards):
-        parser.error("pick a sweep: --batch and/or --shards")
+    if not (args.batch or args.shards or args.restart or args.ci):
+        parser.error("pick a mode: --batch, --shards, --restart, and/or --ci")
+    if args.ci:
+        return _run_ci(args.json, args.check, args.seed)
     if args.batch:
         _sweep_batch_sizes(args.queries, args.seed)
     if args.shards:
         _sweep_shard_counts(args.duration, args.batch_size, args.seed)
+    if args.restart:
+        _sweep_restart(args.queries, args.seed)
     return 0
 
 

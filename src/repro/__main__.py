@@ -8,7 +8,9 @@ Usage::
     python -m repro lattice
     python -m repro evaluate          # alias of python -m repro.harness
     python -m repro serve [--host H] [--port P] [--shards N]
+                          [--state-dir DIR] [--snapshot-interval S]
     python -m repro loadgen [--workers N] [--duration S] [--url URL] [--batch B]
+    python -m repro snapshot save|load|inspect [FILE] [--state-dir DIR] [--url URL]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
 custom datalog view file with its implied schema) and prints the
@@ -16,10 +18,12 @@ labeling report; ``label-fql`` does the same for FQL over the Facebook
 schema; ``audit`` prints Table 2; ``lattice`` prints the Figure 3
 disclosure lattice and its DOT rendering; ``serve`` starts the JSON
 decision service over the Facebook vocabulary (``--shards N`` runs N
-worker processes behind a hash-partitioning front end); ``loadgen``
-drives the Section 7.2 workload through a service and reports
-throughput (``--batch B`` sends batches of B through ``/v1/batch`` or
-:meth:`DisclosureService.submit_batch`).
+worker processes behind a hash-partitioning front end; ``--state-dir``
+makes sessions, label cache, and counters durable across restarts);
+``loadgen`` drives the Section 7.2 workload through a service and
+reports throughput (``--batch B`` sends batches of B through
+``/v1/batch`` or :meth:`DisclosureService.submit_batch`); ``snapshot``
+saves, restores, and inspects the durable snapshot files.
 
 The installed console script ``repro`` (see ``pyproject.toml``) is an
 alias for ``python -m repro``.
@@ -159,6 +163,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_policy = json.loads(args.default_policy)
     if args.verbose:
         DecisionRequestHandler.verbose = True
+    if args.state_dir and args.snapshot_interval <= 0:
+        print(
+            "error: --snapshot-interval must be > 0 seconds", file=sys.stderr
+        )
+        return 2
 
     if args.shards > 1:
         return _serve_sharded(args, default_policy)
@@ -168,6 +177,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         label_cache_size=args.cache_size,
         default_policy=default_policy,
     )
+    snapshotter = None
+    if args.state_dir:
+        from pathlib import Path
+
+        from repro.server.persist import (
+            SnapshotStore,
+            Snapshotter,
+            clean_stale_shards,
+            collect_state,
+            sessions_payload,
+            snapshot_service,
+        )
+
+        store = SnapshotStore(args.state_dir)
+        collected = collect_state(args.state_dir)
+        if collected is None:
+            leftover = sorted(
+                entry.name
+                for entry in Path(args.state_dir).glob("*.json")
+                if entry.name.startswith(("snapshot-", "shard-"))
+            )
+            if leftover:
+                print(
+                    f"warning: no valid snapshot among {leftover}; "
+                    "starting cold (files left in place)"
+                )
+        snapshotter = Snapshotter(
+            lambda: store.save(snapshot_service(service)),
+            interval=args.snapshot_interval,
+        )
+        if collected is not None:
+            restored = service.import_state(
+                sessions_payload(collected.sessions)
+            )
+            warmed = service.warm_label_cache(collected.cache_entries)
+            if collected.metrics and not collected.sharded:
+                service.restore_metrics(collected.metrics)
+            print(
+                f"warm restart: {restored} sessions, {warmed} cache "
+                f"entries from {len(collected.sources)} snapshot file(s)"
+            )
+            for path, reason in collected.skipped:
+                print(f"  skipped {path.name}: {reason}")
+            if snapshotter.run_once():  # restored state durable pre-traffic
+                # ...and only then may the absorbed shard files go: if
+                # the write failed they are still the sole durable copy.
+                clean_stale_shards(args.state_dir, 0)
+            else:
+                print(
+                    f"warning: initial snapshot failed "
+                    f"({snapshotter.last_error}); keeping existing files"
+                )
+        else:
+            snapshotter.run_once()
+        snapshotter.start()
+        print(
+            f"snapshots: {store.state_dir} every "
+            f"{args.snapshot_interval:g}s (keeping {store.keep})"
+        )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"disclosure decision service on http://{host}:{port}")
@@ -181,6 +249,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.server_close()
+        if snapshotter is not None:
+            snapshotter.stop()  # takes the final shutdown snapshot
     return 0
 
 
@@ -193,8 +263,19 @@ def _serve_sharded(args: argparse.Namespace, default_policy) -> int:
         "default_policy": default_policy,
     }
     front, router, workers = serve_sharded(
-        args.shards, args.host, args.port, service_kwargs=service_kwargs
+        args.shards,
+        args.host,
+        args.port,
+        service_kwargs=service_kwargs,
+        state_dir=args.state_dir,
+        snapshot_interval=args.snapshot_interval,
     )
+    if args.state_dir:
+        print(
+            f"snapshots: {args.state_dir}/shard-<i>.json every "
+            f"{args.snapshot_interval:g}s (sessions re-hashed for "
+            f"{args.shards} shards at startup)"
+        )
     host, port = front.server_address[:2]
     print(
         f"sharded disclosure decision service on http://{host}:{port} "
@@ -214,6 +295,127 @@ def _serve_sharded(args: argparse.Namespace, default_policy) -> int:
         front.server_close()
         router.close()
         stop_shard_workers(workers)
+    return 0
+
+
+def _snapshot_targets(args: argparse.Namespace):
+    """The snapshot files a ``snapshot load|inspect`` invocation names."""
+    from pathlib import Path
+
+    if args.file:
+        return [Path(args.file)]
+    if args.state_dir:
+        state_dir = Path(args.state_dir)
+        if not state_dir.is_dir():
+            return []
+        return sorted(
+            entry
+            for entry in state_dir.iterdir()
+            if entry.name.endswith(".json")
+            and (
+                entry.name.startswith("snapshot-")
+                or entry.name.startswith("shard-")
+            )
+        )
+    return None
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotError
+    from repro.server.persist import (
+        SnapshotStore,
+        inspect_snapshot,
+        load_snapshot,
+        restore_service,
+        save_snapshot,
+    )
+
+    if args.action == "save":
+        if not args.url:
+            print("error: snapshot save needs --url of a running server",
+                  file=sys.stderr)
+            return 2
+        if not (args.state_dir or args.out):
+            print("error: snapshot save needs --state-dir or --out",
+                  file=sys.stderr)
+            return 2
+        import json
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(
+                args.url.rstrip("/") + "/internal/snapshot", timeout=30
+            ) as response:
+                payload = json.loads(response.read())
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot pull snapshot from {args.url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.out:
+            path = save_snapshot(args.out, payload)
+        else:
+            path = SnapshotStore(args.state_dir).save(payload)
+        sessions = len((payload.get("sessions") or {}).get("sessions", {}))
+        print(
+            f"saved {path} ({sessions} sessions, "
+            f"{len(payload.get('label_cache', []))} cache entries)"
+        )
+        return 0
+
+    targets = _snapshot_targets(args)
+    if targets is None:
+        print("error: pass a snapshot FILE or --state-dir DIR", file=sys.stderr)
+        return 2
+    if not targets:
+        print("no snapshot files found", file=sys.stderr)
+        return 1
+
+    if args.action == "inspect":
+        failures = 0
+        for path in targets:
+            try:
+                summary = inspect_snapshot(path)
+            except SnapshotError as exc:
+                failures += 1
+                print(f"{path}: INVALID — {exc}")
+                continue
+            shard = summary.get("shard")
+            extra = (
+                f", shard {shard['index']}/{shard['count']}" if shard else ""
+            )
+            print(
+                f"{path}: {summary['format']}, "
+                f"{summary['sessions']} sessions, "
+                f"{summary['cache_entries']} cache entries, "
+                f"{summary['decisions']} decisions{extra}, checksum ok"
+            )
+        # Any invalid file is a failed inspection (matching `load`):
+        # monitoring that gates on the exit code must see corruption.
+        return 1 if failures else 0
+
+    # load: validate end-to-end by restoring into a fresh service.
+    from repro.server.service import DisclosureService
+
+    service = DisclosureService()
+    restored = 0
+    for path in targets:
+        try:
+            stats = restore_service(service, load_snapshot(path)["payload"])
+        except SnapshotError as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        restored += 1
+        print(
+            f"{path}: restored {stats.sessions} sessions, "
+            f"{stats.cache_entries} cache entries, "
+            f"{stats.decisions} decisions"
+        )
+    print(
+        f"ok: {restored} file(s) restore cleanly; service now holds "
+        f"{service.principal_count()} principals, "
+        f"{len(service.label_cache)} cached labels"
+    )
     return 0
 
 
@@ -293,8 +495,42 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON partition list (e.g. \'[["public_profile"]]\') '
         "auto-registered for unknown principals",
     )
+    serve.add_argument(
+        "--state-dir",
+        help="directory for durable snapshots; startup warm-loads the "
+        "newest valid state (re-hashed if --shards changed)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=30.0,
+        help="seconds between background snapshots (with --state-dir)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log requests")
     serve.set_defaults(func=_cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="save, restore-check, or inspect durable snapshots"
+    )
+    snapshot.add_argument(
+        "action", choices=("save", "load", "inspect"),
+        help="save: pull state from a running server; load: restore "
+        "file(s) into a fresh service to prove they are valid; "
+        "inspect: print header, counts, and checksum status",
+    )
+    snapshot.add_argument(
+        "file", nargs="?", help="one snapshot file (or use --state-dir)"
+    )
+    snapshot.add_argument(
+        "--state-dir", help="operate on every snapshot file in this directory"
+    )
+    snapshot.add_argument(
+        "--url",
+        help="(save) running server whose GET /internal/snapshot to capture "
+        "(a sharded front end returns the merged, topology-free state)",
+    )
+    snapshot.add_argument(
+        "--out", help="(save) write this exact file instead of a store entry"
+    )
+    snapshot.set_defaults(func=_cmd_snapshot)
 
     loadgen = sub.add_parser(
         "loadgen", help="drive the Facebook workload through a service"

@@ -78,3 +78,15 @@ class QueryRefusedError(ReproError):
 
 class StorageError(ReproError):
     """A failure in the SQLite-backed storage substrate."""
+
+
+class SnapshotError(ReproError):
+    """A service snapshot is missing, truncated, corrupt, or incompatible.
+
+    Raised by :mod:`repro.server.persist` when a snapshot file cannot be
+    trusted: unreadable JSON, an unknown format version, a checksum
+    mismatch, or a payload whose structure does not round-trip.  Loading
+    code treats the error as "this file does not exist" plus a clear
+    message — never as a crash — so a damaged snapshot can only cost
+    warmth, not availability.
+    """

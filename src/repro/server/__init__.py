@@ -10,6 +10,9 @@
 * :mod:`repro.server.shard` — sharded multi-process serving: the
   principal-hashing :class:`ShardRouter` and its worker processes
   (``python -m repro serve --shards N``)
+* :mod:`repro.server.persist` — durable, checksummed snapshots and
+  warm restarts (``python -m repro serve --state-dir DIR``,
+  ``python -m repro snapshot``)
 * :mod:`repro.server.httpd` — the stdlib JSON-over-HTTP front end
   (``python -m repro serve``)
 * :mod:`repro.server.loadgen` — closed-loop multi-worker load
@@ -25,6 +28,16 @@ from repro.server.httpd import (
 )
 from repro.server.loadgen import LoadReport, query_to_datalog, run_load
 from repro.server.metrics import LatencyHistogram, aggregate_latency
+from repro.server.persist import (
+    SnapshotStore,
+    Snapshotter,
+    collect_state,
+    load_snapshot,
+    partition_sessions,
+    restore_service,
+    save_snapshot,
+    snapshot_service,
+)
 from repro.server.service import DisclosureService, ServiceDecision, Session
 from repro.server.shard import (
     HTTPShardBackend,
@@ -52,16 +65,24 @@ __all__ = [
     "Session",
     "ShardRouter",
     "ShardWorker",
+    "SnapshotStore",
+    "Snapshotter",
     "aggregate_latency",
     "aggregate_metrics",
     "canonical_key",
+    "collect_state",
     "dispatch",
+    "load_snapshot",
     "make_server",
+    "partition_sessions",
     "query_to_datalog",
+    "restore_service",
     "router_for_workers",
     "run_load",
+    "save_snapshot",
     "serve_sharded",
     "shard_for",
+    "snapshot_service",
     "start_background",
     "start_shard_workers",
     "stop_shard_workers",

@@ -11,6 +11,8 @@ Routes::
     POST /v1/reset      {"principal": "app1"}
     GET  /metrics       decision counts, cache hit rates, latency percentiles
     GET  /healthz       {"ok": true}
+    GET  /internal/snapshot   full durable state (sessions, label cache,
+                              counters) as a snapshot payload
 
 Decisions return 200 with ``{"accepted": ..., "reason": ...}`` whether
 accepted or refused — a refusal is a *successful decision*, not an HTTP
@@ -65,6 +67,10 @@ def dispatch(
             return 200, service.metrics_snapshot()
         if path == "/healthz":
             return 200, {"ok": True}
+        if path == "/internal/snapshot":
+            from repro.server.persist import snapshot_service
+
+            return 200, snapshot_service(service)
         return 404, {"error": f"unknown route {path}"}
     if method != "POST":
         return 405, {"error": f"unsupported method {method}"}

@@ -1,0 +1,599 @@
+"""Durable snapshots and warm restarts for the serving stack.
+
+The decision service is stateful by design: every future decision of a
+principal depends on its accumulated live-partition state, and the
+steady-state throughput of the whole deployment depends on the shared
+canonical-query → packed-label cache being warm.  A restart that loses
+either is not a restart — it is a new, differently-behaving service.
+This module makes restarts safe and cheap:
+
+* **Snapshot documents** — one JSON document per snapshot carrying the
+  sessions (:meth:`DisclosureService.export_state`), the label cache
+  (:meth:`DisclosureService.export_label_cache`, re-encoded to survive
+  JSON), and the metrics counters, wrapped in a format-version header
+  and a CRC-32 checksum over the canonicalized payload bytes.
+* **Crash safety** — :func:`save_snapshot` writes a temporary file in
+  the target directory, fsyncs it, and atomically renames it over the
+  destination, so a crash mid-write leaves the previous snapshot
+  intact.  :func:`load_snapshot` rejects truncation, bit flips, and
+  unknown formats with :class:`SnapshotError` and a reason, never a
+  crash.
+* **A state directory** — :class:`SnapshotStore` keeps a bounded
+  sequence of ``snapshot-<seq>.json`` files (single-process serving);
+  sharded serving keeps one ``shard-<i>.json`` per worker.
+  :func:`collect_state` merges whatever mixture a directory holds —
+  including files left by a run with a *different* shard count — and
+  :func:`partition_sessions` re-hashes principals for the new topology
+  (CRC-32 shard assignment is shard-count-dependent, so rebalancing is
+  mandatory, not optional).
+* **A background snapshotter** — :class:`Snapshotter` runs a snapshot
+  callable every *interval* seconds on a daemon thread; the httpd and
+  every shard worker run one (``repro serve --state-dir DIR
+  --snapshot-interval S``).
+
+The restart-equivalence suite (``tests/server/test_persist.py``) holds
+the core guarantee: decisions after snapshot → kill → warm restart are
+byte-for-byte identical to an uninterrupted service, for the same and
+for a changed shard count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.terms import Constant
+from repro.errors import SnapshotError
+from repro.server.service import DisclosureService
+
+#: Format-version header of every snapshot document.  Bump on any
+#: change a previous release could not read.
+SNAPSHOT_FORMAT = "repro.snapshot/1"
+
+#: How many sequence-numbered snapshots a :class:`SnapshotStore` keeps.
+DEFAULT_KEEP = 4
+
+_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{8})\.json$")
+_SHARD_NAME = re.compile(r"^shard-(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# JSON-safe encoding of cache entries
+# ----------------------------------------------------------------------
+def _encode(obj):
+    """A canonical-cache-key element as a JSON-round-trippable value.
+
+    Keys mix variable indices (ints), relation names (strings), nested
+    tuples, and :class:`Constant` terms whose values may be str, int,
+    float, bool, or ``None`` — distinctions JSON flattens (tuples become
+    lists, ``Constant(1)`` ≠ ``Constant(True)`` ≠ ``1``).  Everything
+    non-int is therefore tagged: ``["s", x]`` strings, ``["t", [...]]``
+    tuples, ``["c", ...]`` constants, ``["b", x]`` bools, ``["f", x]``
+    floats, ``["z"]`` None.
+    """
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        return ["b", obj]
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return ["f", obj]
+    if isinstance(obj, str):
+        return ["s", obj]
+    if obj is None:
+        return ["z"]
+    if isinstance(obj, tuple):
+        return ["t", [_encode(item) for item in obj]]
+    if isinstance(obj, Constant):
+        return ["c", _encode(obj.value)]
+    raise SnapshotError(
+        f"cannot serialize cache-key element of type {type(obj).__name__}"
+    )
+
+
+def _decode(obj):
+    """Inverse of :func:`_encode`."""
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, list) and obj:
+        tag = obj[0]
+        if tag == "s":
+            return obj[1]
+        if tag == "t":
+            return tuple(_decode(item) for item in obj[1])
+        if tag == "c":
+            return Constant(_decode(obj[1]))
+        if tag == "b":
+            return bool(obj[1])
+        if tag == "f":
+            return float(obj[1])
+        if tag == "z":
+            return None
+    raise SnapshotError(f"unrecognized encoded cache-key element {obj!r}")
+
+
+def encode_cache_entries(entries: Iterable[Tuple]) -> List[List]:
+    """``export_label_cache()`` pairs as JSON-safe ``[key, label]`` lists."""
+    return [
+        [_encode(key), [int(packed) for packed in label]]
+        for key, label in entries
+    ]
+
+
+def decode_cache_entries(data: Iterable) -> List[Tuple]:
+    """JSON-safe pairs back into ``warm_label_cache()`` form."""
+    entries = []
+    for item in data:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise SnapshotError(f"malformed cache entry {item!r}")
+        key, label = item
+        if not isinstance(label, (list, tuple)) or not all(
+            isinstance(packed, int) for packed in label
+        ):
+            raise SnapshotError(f"malformed packed label {label!r}")
+        entries.append((_decode(key), tuple(label)))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Snapshot payloads: service state in, service state out
+# ----------------------------------------------------------------------
+def snapshot_service(
+    service: DisclosureService,
+    *,
+    shard_index: Optional[int] = None,
+    shard_count: Optional[int] = None,
+) -> Dict:
+    """The full durable state of *service* as a JSON-compatible payload.
+
+    Carries sessions, label-cache entries, and metrics counters.  Shard
+    workers stamp their ``(index, count)`` so a later restart knows the
+    topology the file was written under.
+    """
+    payload = {
+        "sessions": service.export_state(),
+        "label_cache": encode_cache_entries(service.export_label_cache()),
+        "metrics": {
+            "decisions": service.decisions.value,
+            "accepted": service.accepted.value,
+            "refused": service.refused.value,
+            "peeks": service.peeks.value,
+            "latency": service.latency.snapshot(),
+        },
+    }
+    if shard_index is not None and shard_count is not None:
+        payload["shard"] = {"index": shard_index, "count": shard_count}
+    return payload
+
+
+class RestoreStats:
+    """What a warm restore brought back (for logs and the CLI report)."""
+
+    __slots__ = ("sessions", "cache_entries", "decisions")
+
+    def __init__(self, sessions: int, cache_entries: int, decisions: int):
+        self.sessions = sessions
+        self.cache_entries = cache_entries
+        self.decisions = decisions
+
+    def __repr__(self) -> str:
+        return (
+            f"RestoreStats(sessions={self.sessions}, "
+            f"cache_entries={self.cache_entries}, decisions={self.decisions})"
+        )
+
+
+def restore_service(
+    service: DisclosureService,
+    payload: Dict,
+    *,
+    include_metrics: bool = True,
+) -> RestoreStats:
+    """Load a :func:`snapshot_service` payload into *service*.
+
+    Sessions and cache entries always restore; metrics counters restore
+    only with *include_metrics* (a rebalanced restart merges sessions
+    from several old shards, where per-shard counter continuity is no
+    longer meaningful).  Raises :class:`SnapshotError` on a payload that
+    does not validate — the service is left with whatever prefix
+    imported, so callers restoring into a *fresh* service (the only
+    supported direction) should discard it on failure.
+    """
+    if not isinstance(payload, dict):
+        raise SnapshotError("snapshot payload is not an object")
+    from repro.errors import PolicyError
+
+    sessions = payload.get("sessions")
+    try:
+        restored = service.import_state(sessions) if sessions else 0
+    except PolicyError as exc:
+        raise SnapshotError(f"snapshot sessions do not restore: {exc}") from exc
+    entries = decode_cache_entries(payload.get("label_cache", []))
+    imported = service.warm_label_cache(entries)
+    decisions = 0
+    metrics = payload.get("metrics")
+    if include_metrics and isinstance(metrics, dict):
+        decisions = service.restore_metrics(metrics)
+    return RestoreStats(restored, imported, decisions)
+
+
+# ----------------------------------------------------------------------
+# Snapshot files: atomic, versioned, checksummed
+# ----------------------------------------------------------------------
+def _canonical_payload_bytes(payload: Dict) -> bytes:
+    """The checksummed byte form of a payload.
+
+    ``sort_keys`` plus compact separators make the serialization a pure
+    function of the payload's value, so the checksum computed at save
+    time matches one recomputed from the parsed document at load time.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def save_snapshot(path: "Path | str", payload: Dict) -> Path:
+    """Atomically write *payload* as a snapshot document at *path*.
+
+    Write-temp + fsync + rename: a crash at any point leaves either the
+    old file or the new file, never a torn mixture.  The temporary file
+    lives in the destination directory so the rename cannot cross
+    filesystems.
+    """
+    path = Path(path)
+    body = _canonical_payload_bytes(payload)
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "created": time.time(),
+        "checksum": zlib.crc32(body),
+        "payload": payload,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if temp.exists():  # a failure before the rename: don't litter
+            temp.unlink()
+    return path
+
+
+def load_snapshot(path: "Path | str") -> Dict:
+    """Read and validate a snapshot document; returns the whole document.
+
+    Every way a file can be wrong maps to a :class:`SnapshotError` with
+    a reason: unreadable, truncated/not-JSON, not a snapshot document,
+    an unknown format version, or a checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        raise SnapshotError(
+            f"snapshot {path} is truncated or not JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise SnapshotError(f"snapshot {path} is not a snapshot document")
+    fmt = document.get("format")
+    if fmt != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"snapshot {path} has unsupported format {fmt!r} "
+            f"(this build reads {SNAPSHOT_FORMAT!r})"
+        )
+    payload = document["payload"]
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"snapshot {path} payload is not an object")
+    checksum = document.get("checksum")
+    actual = zlib.crc32(_canonical_payload_bytes(payload))
+    if checksum != actual:
+        raise SnapshotError(
+            f"snapshot {path} failed its checksum "
+            f"(stored {checksum!r}, computed {actual}): corrupt or tampered"
+        )
+    return document
+
+
+def inspect_snapshot(path: "Path | str") -> Dict:
+    """A human-facing summary of one snapshot file (validates fully)."""
+    document = load_snapshot(path)
+    payload = document["payload"]
+    sessions = payload.get("sessions") or {}
+    metrics = payload.get("metrics") or {}
+    summary = {
+        "path": str(path),
+        "format": document["format"],
+        "created": document.get("created"),
+        "checksum": document.get("checksum"),
+        "sessions": len(sessions.get("sessions", {})),
+        "cache_entries": len(payload.get("label_cache", [])),
+        "decisions": metrics.get("decisions", 0),
+    }
+    if "shard" in payload:
+        summary["shard"] = payload["shard"]
+    return summary
+
+
+# ----------------------------------------------------------------------
+# The state directory
+# ----------------------------------------------------------------------
+class SnapshotStore:
+    """Sequence-numbered snapshots in a state directory, pruned to *keep*.
+
+    Used by single-process serving: every :meth:`save` writes the next
+    ``snapshot-<seq>.json`` and removes the oldest beyond *keep*, so a
+    corrupt latest file (a crash between fsync and rename cannot cause
+    one, but a disk can) still leaves older valid generations for
+    :meth:`load_latest` to fall back to.
+    """
+
+    def __init__(self, state_dir: "Path | str", keep: int = DEFAULT_KEEP):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.keep = keep
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    def _numbered(self) -> List[Tuple[int, Path]]:
+        found = []
+        for entry in self.state_dir.iterdir():
+            match = _SNAPSHOT_NAME.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        found.sort()
+        return found
+
+    def paths(self) -> List[Path]:
+        """Snapshot files, oldest first."""
+        return [entry for _, entry in self._numbered()]
+
+    def save(self, payload: Dict) -> Path:
+        numbered = self._numbered()
+        last = numbered[-1][0] if numbered else 0
+        path = save_snapshot(
+            self.state_dir / f"snapshot-{last + 1:08d}.json", payload
+        )
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def load_latest(self) -> Optional[Tuple[Path, Dict]]:
+        """``(path, document)`` of the newest *valid* snapshot, else None.
+
+        Invalid files are skipped (newest-first), never raised — losing
+        warmth beats refusing to start.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return path, load_snapshot(path)
+            except SnapshotError:
+                continue
+        return None
+
+
+def shard_snapshot_path(state_dir: "Path | str", index: int) -> Path:
+    """Where shard *index* keeps its current snapshot."""
+    return Path(state_dir) / f"shard-{index}.json"
+
+
+class CollectedState:
+    """Everything a state directory knows, merged across file kinds."""
+
+    __slots__ = (
+        "sessions",
+        "cache_entries",
+        "metrics",
+        "sources",
+        "skipped",
+        "sharded",
+    )
+
+    def __init__(
+        self,
+        sessions: Dict[str, Dict],
+        cache_entries: List[Tuple],
+        metrics: Optional[Dict],
+        sources: List[Path],
+        skipped: List[Tuple[Path, str]],
+        sharded: bool,
+    ):
+        #: principal -> the export_state per-session dict.
+        self.sessions = sessions
+        #: decoded ``warm_label_cache`` pairs, deduplicated.
+        self.cache_entries = cache_entries
+        #: metrics of the newest source.  Meaningful for a same-shape
+        #: restart (newest file carries the full history); one shard's
+        #: counters are *not* the deployment's, so check :attr:`sharded`
+        #: before restoring them.
+        self.metrics = metrics
+        self.sources = sources
+        self.skipped = skipped
+        #: True when any contributing file was a per-shard snapshot.
+        self.sharded = sharded
+
+
+def collect_state(state_dir: "Path | str") -> Optional[CollectedState]:
+    """The newest complete state a directory holds, plus merged warmth.
+
+    Handles all three directory histories: sequence files from
+    single-process runs, ``shard-<i>.json`` files from sharded runs,
+    and mixtures left by switching between the two.  **Sessions** come
+    only from the newest complete *generation* — the newest valid
+    sequence file, or the merged set of shard files, whichever is
+    newer (by the documents' ``created`` stamps).  Older generations
+    must not contribute sessions: a principal deliberately absent from
+    the newest snapshot (unregistered, or an ephemeral session dropped
+    fresh) would otherwise be resurrected with stale state, breaking
+    restart equivalence.  **Cache entries** merge from every valid
+    file: a label is a pure function of the query, so old warmth is
+    never wrong, only extra.  Damaged files are collected into
+    ``skipped`` and otherwise ignored.  Returns ``None`` when the
+    directory holds no valid snapshot at all.
+    """
+    state_dir = Path(state_dir)
+    if not state_dir.is_dir():
+        return None
+    sequence_docs: List[Tuple[float, Path, Dict]] = []
+    shard_docs: List[Tuple[float, Path, Dict]] = []
+    skipped: List[Tuple[Path, str]] = []
+    for entry in sorted(state_dir.iterdir()):
+        is_sequence = bool(_SNAPSHOT_NAME.match(entry.name))
+        if not (is_sequence or _SHARD_NAME.match(entry.name)):
+            continue
+        try:
+            document = load_snapshot(entry)
+        except SnapshotError as exc:
+            skipped.append((entry, str(exc)))
+            continue
+        created = float(document.get("created") or 0.0)
+        (sequence_docs if is_sequence else shard_docs).append(
+            (created, entry, document)
+        )
+    if not (sequence_docs or shard_docs):
+        return None
+    sequence_docs.sort(key=lambda item: item[0])
+    shard_docs.sort(key=lambda item: item[0])
+
+    # The newest sequence file alone is one complete generation; the
+    # shard files together are the other.  The newer one wins sessions.
+    newest_sequence = sequence_docs[-1] if sequence_docs else None
+    shard_age = shard_docs[-1][0] if shard_docs else float("-inf")
+    use_shards = bool(shard_docs) and (
+        newest_sequence is None or shard_age >= newest_sequence[0]
+    )
+    if use_shards:
+        generation = shard_docs  # oldest first: newest wins ties
+    else:
+        generation = [newest_sequence]
+    sessions: Dict[str, Dict] = {}
+    for _, _, document in generation:
+        exported = document["payload"].get("sessions") or {}
+        sessions.update(exported.get("sessions", {}))
+
+    cache: Dict = {}
+    for _, _, document in sequence_docs + shard_docs:
+        payload = document["payload"]
+        for key, label in decode_cache_entries(payload.get("label_cache", [])):
+            cache[key] = label
+
+    newest_payload = generation[-1][2]["payload"]
+    return CollectedState(
+        sessions,
+        list(cache.items()),
+        newest_payload.get("metrics"),
+        [path for _, path, _ in generation],
+        skipped,
+        use_shards,
+    )
+
+
+def partition_sessions(
+    sessions: Dict[str, Dict], shard_count: int
+) -> List[Dict[str, Dict]]:
+    """Re-hash principals onto *shard_count* shards.
+
+    CRC-32 shard assignment depends on the shard count, so session
+    files written under one ``--shards N`` must be re-partitioned —
+    never replayed file-to-worker — when N changes.  Re-hashing is also
+    correct when N is unchanged (each principal lands where it was).
+    """
+    from repro.server.shard import shard_for
+
+    partitioned: List[Dict[str, Dict]] = [{} for _ in range(shard_count)]
+    for principal, state in sessions.items():
+        partitioned[shard_for(principal, shard_count)][principal] = state
+    return partitioned
+
+
+def sessions_payload(sessions: Dict[str, Dict]) -> Dict:
+    """Wrap per-principal session dicts in the ``export_state`` format."""
+    from repro.server.service import _STATE_FORMAT
+
+    return {"format": _STATE_FORMAT, "sessions": sessions}
+
+
+def clean_stale_shards(state_dir: "Path | str", shard_count: int) -> List[Path]:
+    """Remove shard files outside ``0..shard_count-1``; returns removals.
+
+    Called after a rebalanced restart has absorbed every old file, so a
+    later restart cannot resurrect sessions from a dead topology.
+    """
+    removed = []
+    state_dir = Path(state_dir)
+    if not state_dir.is_dir():
+        return removed
+    for entry in sorted(state_dir.iterdir()):
+        match = _SHARD_NAME.match(entry.name)
+        if match and int(match.group(1)) >= shard_count:
+            entry.unlink(missing_ok=True)
+            removed.append(entry)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# The background snapshotter
+# ----------------------------------------------------------------------
+class Snapshotter:
+    """Runs *snapshot* every *interval* seconds on a daemon thread.
+
+    The callable does the whole job (typically ``lambda:
+    store.save(snapshot_service(service))``); this class only owns the
+    cadence and the thread.  Exceptions from the callable are recorded
+    on :attr:`last_error` and do not kill the thread — a full disk at
+    2 a.m. should cost snapshots, not the serving loop.  :meth:`stop`
+    takes one final snapshot by default so planned shutdowns never lose
+    the tail of the session history.
+    """
+
+    def __init__(self, snapshot: Callable[[], object], interval: float = 30.0):
+        if interval <= 0:
+            raise ValueError("snapshot interval must be > 0 seconds")
+        self._snapshot = snapshot
+        self.interval = interval
+        self.snapshots_taken = 0
+        self.last_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def run_once(self) -> bool:
+        """Take one snapshot now; ``True`` on success."""
+        try:
+            self._snapshot()
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            self.last_error = exc
+            return False
+        self.snapshots_taken += 1
+        return True
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.run_once()
+
+    def start(self) -> "Snapshotter":
+        if self._thread is not None:
+            raise RuntimeError("snapshotter already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="snapshotter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_snapshot: bool = True, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if final_snapshot:
+            self.run_once()

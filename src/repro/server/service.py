@@ -661,6 +661,28 @@ class DisclosureService:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def restore_metrics(self, metrics: Dict) -> int:
+        """Fold snapshotted counters back in; returns the decision count.
+
+        The warm-restart half of :mod:`repro.server.persist`: a restarted
+        service's ``/metrics`` keeps counting from where the snapshot
+        left off instead of resetting to zero (uptime still restarts —
+        it describes the process, not the history).  Latency buckets
+        merge through :meth:`LatencyHistogram.add_bucket_counts`.
+        """
+        decisions = int(metrics.get("decisions", 0))
+        self.decisions.increment(decisions)
+        self.accepted.increment(int(metrics.get("accepted", 0)))
+        self.refused.increment(int(metrics.get("refused", 0)))
+        self.peeks.increment(int(metrics.get("peeks", 0)))
+        latency = metrics.get("latency")
+        if isinstance(latency, dict):
+            self.latency.add_bucket_counts(
+                latency.get("buckets", ()),
+                mean_seconds=float(latency.get("mean_us", 0.0)) * 1e-6,
+            )
+        return decisions
+
     def metrics_snapshot(self) -> Dict:
         """Everything ``GET /metrics`` reports, as a plain dict."""
         with self._lock:

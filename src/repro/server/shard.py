@@ -47,7 +47,19 @@ import json
 import multiprocessing
 import threading
 import zlib
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # import only for annotations: the pool is lazy
+    from concurrent.futures import ThreadPoolExecutor
 
 from repro.server.batch import ITEM_NOT_OBJECT_ERROR, ITEM_PRINCIPAL_ERROR
 from repro.server.httpd import dispatch, make_server, validate_batch_body
@@ -182,7 +194,7 @@ class ShardRouter:
         # Per-shard sub-batches are forwarded concurrently: a persistent
         # pool (not per-call threads) so HTTP backends keep their
         # per-thread connections alive across batches.
-        self._fanout: "Optional[object]" = None
+        self._fanout: "Optional[ThreadPoolExecutor]" = None
         self._fanout_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -208,6 +220,8 @@ class ShardRouter:
                 return 200, self.metrics_snapshot()
             if path == "/healthz":
                 return self._healthz()
+            if path == "/internal/snapshot":
+                return self._snapshot()
             return 404, {"error": f"unknown route {path}"}
         if method != "POST":
             return 405, {"error": f"unsupported method {method}"}
@@ -294,6 +308,29 @@ class ShardRouter:
                     thread_name_prefix="shard-fanout",
                 )
             return self._fanout
+
+    def _snapshot(self) -> Tuple[int, Dict]:
+        """``GET /internal/snapshot``: one merged payload for all shards.
+
+        Sessions merge disjointly (each principal lives on exactly one
+        shard), caches merge because labels are principal-free, and
+        counters sum — so the result restores into *any* topology via
+        :func:`repro.server.persist.partition_sessions`.  A dead shard
+        fails the whole snapshot (502): a capture silently missing one
+        shard's sessions would restore as silent state loss.
+        """
+        payloads = []
+        for shard in range(len(self.backends)):
+            status, payload = self._request(
+                shard, "GET", "/internal/snapshot", None
+            )
+            if status != 200:
+                return 502, {
+                    "error": f"shard {shard} snapshot failed: "
+                    + str(payload.get("error", status))
+                }
+            payloads.append(payload)
+        return 200, merge_snapshot_payloads(payloads)
 
     def _healthz(self) -> Tuple[int, Dict]:
         states = []
@@ -419,6 +456,39 @@ def aggregate_metrics(snapshots: Sequence[Dict]) -> Dict:
     }
 
 
+def merge_snapshot_payloads(payloads: Sequence[Dict]) -> Dict:
+    """Fold per-shard snapshot payloads into one restorable payload.
+
+    The merge mirrors why sharding needs no coordination: sessions are
+    disjoint across shards (dict union), label-cache entries are
+    principal-free (union, later shards win ties), counters sum, and
+    latency percentiles re-derive from merged buckets.  The result
+    carries no ``shard`` stamp — it is topology-free by construction.
+    """
+    from repro.server.service import _STATE_FORMAT
+
+    sessions: Dict[str, Dict] = {}
+    cache: Dict[str, List] = {}
+    totals = {"decisions": 0, "accepted": 0, "refused": 0, "peeks": 0}
+    latencies = []
+    for payload in payloads:
+        exported = payload.get("sessions") or {}
+        sessions.update(exported.get("sessions", {}))
+        for entry in payload.get("label_cache", []):
+            cache[json.dumps(entry[0])] = entry
+        metrics = payload.get("metrics") or {}
+        for name in totals:
+            value = metrics.get(name, 0)
+            totals[name] += value if isinstance(value, int) else 0
+        if isinstance(metrics.get("latency"), dict):
+            latencies.append(metrics["latency"])
+    return {
+        "sessions": {"format": _STATE_FORMAT, "sessions": sessions},
+        "label_cache": list(cache.values()),
+        "metrics": {**totals, "latency": aggregate_latency(latencies)},
+    }
+
+
 # ----------------------------------------------------------------------
 # Multi-process workers
 # ----------------------------------------------------------------------
@@ -443,15 +513,46 @@ def _shard_worker_main(
     ready_queue,
     service_kwargs: Dict,
     warm_entries: Optional[List[Tuple]],
+    restore_sessions: Optional[Dict] = None,
+    persist_kwargs: Optional[Dict] = None,
 ) -> None:
     """Worker entry point: own service, own HTTP server, ephemeral port.
 
     Top-level so it pickles under the ``spawn`` start method; reports
     ``(index, port)`` on *ready_queue* once the socket is bound.
+    *restore_sessions* is this shard's slice of a rebalanced warm
+    restart (``export_state`` format); *persist_kwargs* — ``state_dir``,
+    ``snapshot_interval``, ``shard_count`` — turns on the worker's own
+    background snapshotter writing ``shard-<index>.json``.
     """
     service = DisclosureService(**service_kwargs)
     if warm_entries:
         service.warm_label_cache(warm_entries)
+    if restore_sessions:
+        service.import_state(restore_sessions)
+    snapshotter = None
+    if persist_kwargs and persist_kwargs.get("state_dir"):
+        from repro.server.persist import (
+            Snapshotter,
+            save_snapshot,
+            shard_snapshot_path,
+            snapshot_service,
+        )
+
+        path = shard_snapshot_path(persist_kwargs["state_dir"], index)
+        shard_count = persist_kwargs.get("shard_count", 1)
+        interval = persist_kwargs.get("snapshot_interval")
+        snapshotter = Snapshotter(
+            lambda: save_snapshot(
+                path,
+                snapshot_service(
+                    service, shard_index=index, shard_count=shard_count
+                ),
+            ),
+            interval=30.0 if interval is None else interval,
+        )
+        snapshotter.run_once()  # the rebalanced state is durable pre-traffic
+        snapshotter.start()
     server = make_server(service, host, 0)
     ready_queue.put((index, server.server_address[1]))
     try:
@@ -460,6 +561,8 @@ def _shard_worker_main(
         pass
     finally:
         server.server_close()
+        if snapshotter is not None:
+            snapshotter.stop()
 
 
 def start_shard_workers(
@@ -468,6 +571,8 @@ def start_shard_workers(
     host: str = "127.0.0.1",
     service_kwargs: Optional[Dict] = None,
     warm_entries: Optional[List[Tuple]] = None,
+    restore_sessions_by_shard: Optional[List[Optional[Dict]]] = None,
+    persist_kwargs: Optional[Dict] = None,
     start_method: Optional[str] = None,
     ready_timeout: float = 30.0,
 ) -> List[ShardWorker]:
@@ -476,18 +581,43 @@ def start_shard_workers(
     Every worker builds its own :class:`DisclosureService` from
     *service_kwargs* (which must be picklable — e.g. ``default_policy``
     as plain lists) and, when *warm_entries* is given, imports the
-    exported label cache so all shards start equally warm.  Blocks
+    exported label cache so all shards start equally warm.
+    *restore_sessions_by_shard* hands each worker its slice of a warm
+    restart (index-aligned, already re-hashed for *count* shards by
+    :func:`repro.server.persist.partition_sessions`); *persist_kwargs*
+    (``state_dir``, ``snapshot_interval``) makes every worker run a
+    background snapshotter over its own ``shard-<i>.json``.  Blocks
     until every worker has bound its port or *ready_timeout* elapses
     (then tears everything down and raises ``TimeoutError``).
     """
     if count < 1:
         raise ValueError("need at least one shard worker")
+    if restore_sessions_by_shard is not None and len(
+        restore_sessions_by_shard
+    ) != count:
+        raise ValueError(
+            "restore_sessions_by_shard must have exactly one entry per "
+            "shard (re-partition with persist.partition_sessions first)"
+        )
+    worker_persist = dict(persist_kwargs or {})
+    if worker_persist:
+        worker_persist["shard_count"] = count
     context = multiprocessing.get_context(start_method)
     queue = context.Queue()
     processes = [
         context.Process(
             target=_shard_worker_main,
-            args=(index, host, queue, dict(service_kwargs or {}), warm_entries),
+            args=(
+                index,
+                host,
+                queue,
+                dict(service_kwargs or {}),
+                warm_entries,
+                restore_sessions_by_shard[index]
+                if restore_sessions_by_shard
+                else None,
+                worker_persist or None,
+            ),
             daemon=True,
         )
         for index in range(count)
@@ -547,6 +677,8 @@ def serve_sharded(
     *,
     service_kwargs: Optional[Dict] = None,
     warm_entries: Optional[List[Tuple]] = None,
+    state_dir: "Optional[str]" = None,
+    snapshot_interval: Optional[float] = None,
 ):
     """Build the ``serve --shards N`` deployment (not yet serving).
 
@@ -554,13 +686,76 @@ def serve_sharded(
     :class:`DecisionHTTPServer` whose handler dispatches into *router*;
     the caller runs ``front_server.serve_forever()`` and must
     :func:`stop_shard_workers` on the way out.
+
+    With *state_dir*, startup warm-loads whatever the directory holds —
+    files from any earlier shard count, or from single-process runs —
+    re-hashes every principal for *shard_count* shards, removes shard
+    files of the dead topology, and hands each worker its slice plus
+    the merged label cache; each worker then keeps its own
+    ``shard-<i>.json`` fresh every *snapshot_interval* seconds.
     """
+    restore_by_shard: Optional[List[Optional[Dict]]] = None
+    persist_kwargs: Optional[Dict] = None
+    collected = None
+    if state_dir is not None:
+        from repro.server.persist import (
+            collect_state,
+            partition_sessions,
+            sessions_payload,
+        )
+
+        persist_kwargs = {
+            "state_dir": str(state_dir),
+            "snapshot_interval": snapshot_interval,
+        }
+        collected = collect_state(state_dir)
+        if collected is not None:
+            restore_by_shard = [
+                sessions_payload(shard_sessions) if shard_sessions else None
+                for shard_sessions in partition_sessions(
+                    collected.sessions, shard_count
+                )
+            ]
+            # Canonical keys are hashable, so a dict dedups; entries the
+            # caller passed explicitly win over recovered ones.
+            merged = dict(collected.cache_entries)
+            merged.update(warm_entries or [])
+            warm_entries = list(merged.items())
     workers = start_shard_workers(
         shard_count,
         host=host,
         service_kwargs=service_kwargs,
         warm_entries=warm_entries,
+        restore_sessions_by_shard=restore_by_shard,
+        persist_kwargs=persist_kwargs,
     )
+    if state_dir is not None and collected is not None:
+        from repro.errors import SnapshotError
+        from repro.server.persist import (
+            clean_stale_shards,
+            load_snapshot,
+            shard_snapshot_path,
+        )
+
+        # Every worker wrote its rebalanced shard-<i>.json (run_once
+        # precedes the ready handshake) — verify each file really is
+        # the *new* topology's (a failed initial write would leave a
+        # stale old-topology file that merely existing can't reveal)
+        # before removing the old files, which until now were the only
+        # durable copy of the absorbed sessions.
+        def _freshly_written(index: int) -> bool:
+            try:
+                document = load_snapshot(shard_snapshot_path(state_dir, index))
+            except SnapshotError:
+                return False
+            stamp = document["payload"].get("shard") or {}
+            return (
+                stamp.get("index") == index
+                and stamp.get("count") == shard_count
+            )
+
+        if all(_freshly_written(index) for index in range(shard_count)):
+            clean_stale_shards(state_dir, shard_count)
     router = router_for_workers(workers)
     front_server = make_server(router, host, port)
     return front_server, router, workers

@@ -92,6 +92,55 @@ class TestLabelCache:
         cache.clear()
         assert cache.get("k") is None
 
+    def test_export_of_an_empty_cache(self):
+        cache = LabelCache(4)
+        assert cache.export_entries() == []
+        # and importing nothing is a clean no-op
+        assert LabelCache(4).import_entries([]) == 0
+
+    def test_export_preserves_lru_order(self):
+        cache = LabelCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh: a is now most recent
+        assert cache.export_entries() == [("b", 2), ("a", 1)]
+
+    def test_import_with_duplicate_keys_keeps_the_last(self):
+        cache = LabelCache(4)
+        count = cache.import_entries([("k", 1), ("k", 2), ("k", 3)])
+        assert count == 3  # every pair was processed...
+        assert cache.get("k") == 3  # ...and the last one won
+        assert len(cache) == 1
+
+    def test_import_into_a_warm_cache_overwrites_and_evicts(self):
+        cache = LabelCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        before = cache.stats()
+        cache.import_entries([("a", 10), ("c", 30)])
+        # "a" took the imported value; the LRU entry "b" was evicted
+        # to make room for "c" under maxsize=2.
+        assert cache.get("a") == 10
+        assert cache.get("c") == 30
+        assert "b" not in cache
+        # imports count as neither hits nor misses
+        after = cache.stats()
+        assert (after.hits - before.hits) == 2  # the two asserts above
+        assert after.misses == before.misses
+
+    def test_import_roundtrips_an_export(self):
+        source = LabelCache(8)
+        for index in range(5):
+            source.put(("q", index), (index, index + 1))
+        target = LabelCache(8)
+        assert target.import_entries(source.export_entries()) == 5
+        assert target.export_entries() == source.export_entries()
+
+    def test_import_into_a_disabled_cache_stores_nothing(self):
+        cache = LabelCache(0)
+        assert cache.import_entries([("a", 1)]) == 1  # processed, not kept
+        assert len(cache) == 0
+
     def test_concurrent_access_is_consistent(self):
         cache = LabelCache(128)
         errors = []

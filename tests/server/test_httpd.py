@@ -215,6 +215,29 @@ class TestMetricsRoutes:
         status, body = _call(server, "/healthz")
         assert status == 200 and body == {"ok": True}
 
+    def test_internal_snapshot_round_trips_over_the_wire(self, server, views):
+        """GET /internal/snapshot returns the service's full durable
+        state, restorable into a fresh service byte-for-byte."""
+        from repro.server.persist import restore_service
+
+        _call(server, "/v1/register", {"principal": "app", "policy": CHINESE_WALL})
+        fql = "SELECT birthday FROM user WHERE uid = me()"
+        status, body = _call(server, "/v1/query", {"principal": "app", "fql": fql})
+        assert status == 200 and body["accepted"] is True
+
+        status, payload = _call(server, "/internal/snapshot")
+        assert status == 200
+        restored = DisclosureService(views)
+        stats = restore_service(restored, payload)
+        assert stats.sessions == 1 and stats.decisions == 1
+        # The wall commitment survived: likes are refused on the copy
+        # exactly as they would be on the live server.
+        decision = restored.peek_text(
+            "app", "SELECT music FROM user WHERE uid = me()", dialect="fql"
+        )
+        assert decision.accepted is False
+        assert decision.live_before == 1
+
 
 class TestErrorHandling:
     def test_unknown_route(self, server):

@@ -1,0 +1,611 @@
+"""Durable snapshots and warm restarts (:mod:`repro.server.persist`).
+
+Two properties carry the subsystem:
+
+* **Restart equivalence** — decisions after serve → snapshot → kill →
+  warm-restart are byte-for-byte identical to an uninterrupted service,
+  including refusals, the ``cached`` flag, and session evolution — for
+  a same-shape restart *and* for restarts that change the shard count
+  (sessions are re-hashed, because CRC-32 shard assignment depends on
+  the count).
+* **Corruption safety** — a truncated, bit-flipped, or wrong-format
+  snapshot is rejected with :class:`SnapshotError` and a clear reason,
+  and the store falls back to the newest *valid* generation.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.errors import SnapshotError
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.server.httpd import dispatch
+from repro.server.persist import (
+    SnapshotStore,
+    Snapshotter,
+    clean_stale_shards,
+    collect_state,
+    decode_cache_entries,
+    encode_cache_entries,
+    inspect_snapshot,
+    load_snapshot,
+    partition_sessions,
+    restore_service,
+    save_snapshot,
+    sessions_payload,
+    shard_snapshot_path,
+    snapshot_service,
+)
+from repro.server.loadgen import query_to_datalog
+from repro.server.service import DisclosureService
+from repro.server.shard import (
+    LocalShardBackend,
+    ShardRouter,
+    serve_sharded,
+    shard_for,
+    stop_shard_workers,
+)
+
+PRINCIPALS = 12
+
+
+def _policies(views, seed: int = 3):
+    return [
+        [list(partition) for partition in policy]
+        for policy in generate_policies(
+            views.names, PRINCIPALS, max_partitions=4, max_elements=20, seed=seed
+        )
+    ]
+
+
+def _query_pool():
+    generator = WorkloadGenerator(max_subqueries=1, seed=7)
+    return list(generator.stream(40))
+
+
+def _traffic(seed: int, count: int):
+    queries = _query_pool()
+    rng = random.Random(seed)
+    return [
+        (f"app-{rng.randrange(PRINCIPALS)}", rng.choice(queries))
+        for _ in range(count)
+    ]
+
+
+def _covering_traffic(seed: int, count: int):
+    """Random traffic prefixed so every query shape occurs at least once.
+
+    Equivalence phases use this for the *pre-snapshot* stream: a shape
+    first seen after the restart would be a per-shard cache miss in a
+    sharded deployment but a hit in the single-service reference —
+    a warmth difference sharding always had (PR 2 strips ``cached`` for
+    it), not something restarts introduce; full phase-1 coverage keeps
+    the post-restart comparison byte-exact, ``cached`` included.
+    """
+    covering = [
+        (f"app-{index % PRINCIPALS}", query)
+        for index, query in enumerate(_query_pool())
+    ]
+    return covering + _traffic(seed, count)
+
+
+def _registered_service(views, policies) -> DisclosureService:
+    service = DisclosureService(views)
+    for index, policy in enumerate(policies):
+        service.register(f"app-{index}", policy)
+    return service
+
+
+def _wire(decisions) -> str:
+    return json.dumps([d.as_dict() for d in decisions], sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Cache-entry encoding
+# ----------------------------------------------------------------------
+class TestCacheEntryEncoding:
+    def test_roundtrips_every_constant_type(self):
+        key = (
+            (0, ("c", Constant("Cathy")), ("c", Constant(9))),
+            (
+                ("User", (0, 1, ("c", Constant(2.5)))),
+                ("Likes", (("c", Constant(True)), ("c", Constant(None)))),
+            ),
+        )
+        entries = [(key, (3, 7, 1 << 40))]
+        decoded = decode_cache_entries(
+            json.loads(json.dumps(encode_cache_entries(entries)))
+        )
+        assert decoded == entries
+        # type distinctions survive: Constant(1) != Constant(True) != 1
+        one = ((("c", Constant(1)),), ())
+        true = ((("c", Constant(True)),), ())
+        out = decode_cache_entries(
+            json.loads(json.dumps(encode_cache_entries([(one, (1,)), (true, (2,))])))
+        )
+        assert out[0][0] != out[1][0]
+
+    def test_real_service_entries_roundtrip(self, views):
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(1, 120):
+            service.submit(principal, query)
+        entries = service.export_label_cache()
+        decoded = decode_cache_entries(
+            json.loads(json.dumps(encode_cache_entries(entries)))
+        )
+        assert decoded == entries
+
+    def test_malformed_entries_are_rejected(self):
+        with pytest.raises(SnapshotError, match="malformed cache entry"):
+            decode_cache_entries([["key-only"]])
+        with pytest.raises(SnapshotError, match="malformed packed label"):
+            decode_cache_entries([[0, ["not-an-int"]]])
+        with pytest.raises(SnapshotError, match="unrecognized"):
+            decode_cache_entries([[["?"], [1]]])
+
+
+# ----------------------------------------------------------------------
+# Snapshot files: atomicity and corruption rejection
+# ----------------------------------------------------------------------
+class TestSnapshotFiles:
+    def _payload(self, views):
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(2, 100):
+            service.submit(principal, query)
+        return snapshot_service(service)
+
+    def test_save_load_roundtrip(self, views, tmp_path):
+        payload = self._payload(views)
+        path = save_snapshot(tmp_path / "snap.json", payload)
+        document = load_snapshot(path)
+        assert document["format"] == "repro.snapshot/1"
+        assert document["payload"] == json.loads(json.dumps(payload))
+        assert not list(tmp_path.glob(".*tmp*")), "temp file left behind"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "nope.json")
+
+    def test_empty_and_truncated_files(self, views, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(SnapshotError, match="truncated or not JSON"):
+            load_snapshot(empty)
+        path = save_snapshot(tmp_path / "snap.json", self._payload(views))
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(SnapshotError, match="truncated or not JSON"):
+            load_snapshot(truncated)
+
+    def test_non_snapshot_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SnapshotError, match="not a snapshot document"):
+            load_snapshot(path)
+        path.write_text('[1, 2, 3]')
+        with pytest.raises(SnapshotError, match="not a snapshot document"):
+            load_snapshot(path)
+
+    def test_unknown_format_version(self, views, tmp_path):
+        path = save_snapshot(tmp_path / "snap.json", self._payload(views))
+        document = json.loads(path.read_text())
+        document["format"] = "repro.snapshot/99"
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="unsupported format"):
+            load_snapshot(path)
+
+    def test_bit_flip_fails_the_checksum(self, views, tmp_path):
+        path = save_snapshot(tmp_path / "snap.json", self._payload(views))
+        document = json.loads(path.read_text())
+        document["payload"]["metrics"]["decisions"] += 1  # the flip
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path)
+
+    def test_inspect_reports_counts(self, views, tmp_path):
+        path = save_snapshot(tmp_path / "snap.json", self._payload(views))
+        summary = inspect_snapshot(path)
+        assert summary["sessions"] == PRINCIPALS
+        assert summary["cache_entries"] > 0
+        assert summary["decisions"] == 100
+
+
+class TestSnapshotStore:
+    def test_sequencing_and_pruning(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for n in range(5):
+            store.save({"n": n})
+        names = [path.name for path in store.paths()]
+        assert names == ["snapshot-00000004.json", "snapshot-00000005.json"]
+        _, document = store.load_latest()
+        assert document["payload"] == {"n": 4}
+
+    def test_falls_back_past_a_corrupt_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=4)
+        store.save({"n": 0})
+        newest = store.save({"n": 1})
+        newest.write_text(newest.read_text()[:20])  # simulate torn disk
+        path, document = store.load_latest()
+        assert path.name == "snapshot-00000001.json"
+        assert document["payload"] == {"n": 0}
+
+    def test_empty_store(self, tmp_path):
+        assert SnapshotStore(tmp_path).load_latest() is None
+        assert collect_state(tmp_path) is None
+        assert collect_state(tmp_path / "never-created") is None
+
+
+# ----------------------------------------------------------------------
+# Restart equivalence: the acceptance property
+# ----------------------------------------------------------------------
+class TestRestartEquivalence:
+    def _warm_pair(self, views, seed: int = 2):
+        """An uninterrupted reference service and the phase-1 traffic."""
+        policies = _policies(views)
+        reference = _registered_service(views, policies)
+        before = _covering_traffic(seed, 250)
+        for principal, query in before:
+            reference.submit(principal, query)
+        return policies, reference, before
+
+    def test_single_process_restart_is_byte_identical(self, views, tmp_path):
+        policies, reference, before = self._warm_pair(views)
+        store = SnapshotStore(tmp_path)
+        store.save(snapshot_service(reference))
+
+        restarted = DisclosureService(views)  # "kill": a fresh process
+        _, document = store.load_latest()
+        stats = restore_service(restarted, document["payload"])
+        assert stats.sessions == PRINCIPALS
+
+        after = _traffic(99, 250)
+        assert _wire(
+            [reference.submit(p, q) for p, q in after]
+        ) == _wire([restarted.submit(p, q) for p, q in after])
+        # including refusals on both sides
+        assert any(not d for d in (reference.peek(p, q) for p, q in after))
+        # and identical end state, principal by principal
+        for index in range(PRINCIPALS):
+            principal = f"app-{index}"
+            assert reference.live_partitions(principal) == restarted.live_partitions(
+                principal
+            )
+
+    @pytest.mark.parametrize("old_count,new_count", [(2, 3), (3, 2), (2, 1)])
+    def test_shard_count_change_is_byte_identical(
+        self, views, tmp_path, old_count, new_count
+    ):
+        """Serve sharded → snapshot per shard → restart with a different
+        ``--shards N`` → decisions match an uninterrupted service."""
+        policies, reference, before = self._warm_pair(views)
+        old = ShardRouter([LocalShardBackend() for _ in range(old_count)])
+        for index, policy in enumerate(policies):
+            old.register(f"app-{index}", policy)
+        for principal, query in before:
+            old.submit(principal, query)
+
+        for index, backend in enumerate(old.backends):
+            save_snapshot(
+                shard_snapshot_path(tmp_path, index),
+                snapshot_service(
+                    backend.service, shard_index=index, shard_count=old_count
+                ),
+            )
+
+        collected = collect_state(tmp_path)
+        assert len(collected.sessions) == PRINCIPALS
+        slices = partition_sessions(collected.sessions, new_count)
+        assert all(
+            shard_for(principal, new_count) == index
+            for index, shard_sessions in enumerate(slices)
+            for principal in shard_sessions
+        )
+        new = ShardRouter([LocalShardBackend() for _ in range(new_count)])
+        for index, shard_sessions in enumerate(slices):
+            if shard_sessions:
+                new.backends[index].service.import_state(
+                    sessions_payload(shard_sessions)
+                )
+            new.backends[index].service.warm_label_cache(
+                collected.cache_entries
+            )
+
+        after = _traffic(100 + new_count, 250)
+        assert _wire(
+            [reference.submit(p, q) for p, q in after]
+        ) == _wire([new.submit(p, q) for p, q in after])
+
+    def test_warm_restart_restores_the_cache_hit_rate(self, views, tmp_path):
+        """The ≥90% acceptance bar, deterministically: a warm-restarted
+        service replays the workload at (here exactly) the pre-restart
+        hit rate, while a cold restart measurably does not."""
+        policies, reference, before = self._warm_pair(views)
+
+        def replay_hit_rate(service) -> float:
+            start = service.label_cache.stats()
+            for principal, query in before:
+                service.peek(principal, query)
+            end = service.label_cache.stats()
+            lookups = end.lookups - start.lookups
+            return (end.hits - start.hits) / lookups
+
+        pre = replay_hit_rate(reference)
+        payload = snapshot_service(reference)
+        warm = _registered_service(views, policies)
+        restore_service(warm, payload)
+        cold = _registered_service(views, policies)
+
+        assert replay_hit_rate(warm) >= 0.9 * pre
+        assert replay_hit_rate(cold) < replay_hit_rate(warm)
+
+    def test_metrics_survive_the_restart(self, views, tmp_path):
+        _, reference, before = self._warm_pair(views)
+        payload = snapshot_service(reference)
+        restarted = DisclosureService(views)
+        restore_service(restarted, payload)
+        snap = restarted.metrics_snapshot()
+        assert snap["decisions"] == len(before)
+        assert snap["latency"]["count"] == len(before)
+        assert restarted.accepted.value == reference.accepted.value
+        assert restarted.refused.value == reference.refused.value
+
+
+# ----------------------------------------------------------------------
+# State-directory collection
+# ----------------------------------------------------------------------
+class TestCollectState:
+    def test_newest_file_wins_for_a_duplicated_principal(self, views, tmp_path):
+        policies = _policies(views)
+        older = _registered_service(views, policies)
+        save_snapshot(shard_snapshot_path(tmp_path, 0), snapshot_service(older))
+
+        newer = _registered_service(views, policies)
+        for principal, query in _traffic(5, 150):
+            newer.submit(principal, query)  # narrows some live bits
+        newer_doc_path = SnapshotStore(tmp_path).save(snapshot_service(newer))
+        # make the ordering unambiguous regardless of clock resolution
+        document = json.loads(newer_doc_path.read_text())
+        document["created"] += 60.0
+        newer_doc_path.write_text(json.dumps(document, sort_keys=True))
+
+        collected = collect_state(tmp_path)
+        restored = DisclosureService(views)
+        restored.import_state(sessions_payload(collected.sessions))
+        for index in range(PRINCIPALS):
+            principal = f"app-{index}"
+            assert restored.live_partitions(principal) == newer.live_partitions(
+                principal
+            )
+
+    def test_sessions_come_only_from_the_newest_generation(self, views, tmp_path):
+        """A principal absent from the newest snapshot was removed on
+        purpose (unregister, or an ephemeral session dropped fresh) —
+        older generations must not resurrect it."""
+        service = _registered_service(views, _policies(views))
+        store = SnapshotStore(tmp_path)
+        store.save(snapshot_service(service))  # generation 1: everyone
+        service.unregister("app-0")
+        store.save(snapshot_service(service))  # generation 2: app-0 gone
+        collected = collect_state(tmp_path)
+        assert "app-0" not in collected.sessions
+        assert len(collected.sessions) == PRINCIPALS - 1
+
+    def test_cache_warmth_still_merges_from_older_generations(
+        self, views, tmp_path
+    ):
+        """Labels are pure functions of the query, so warmth from older
+        generations is never wrong — keep it even though their sessions
+        are ignored."""
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(6, 100):
+            service.submit(principal, query)
+        store = SnapshotStore(tmp_path)
+        store.save(snapshot_service(service))  # old: warm cache
+        empty = _registered_service(views, _policies(views))
+        store.save(snapshot_service(empty))  # new: cold cache
+        collected = collect_state(tmp_path)
+        assert len(collected.cache_entries) == len(
+            service.export_label_cache()
+        )
+
+    def test_corrupt_files_are_skipped_and_reported(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        save_snapshot(shard_snapshot_path(tmp_path, 0), snapshot_service(service))
+        bad = shard_snapshot_path(tmp_path, 1)
+        bad.write_text("{not json")
+        collected = collect_state(tmp_path)
+        assert len(collected.sessions) == PRINCIPALS
+        assert [path.name for path, _ in collected.skipped] == ["shard-1.json"]
+
+    def test_clean_stale_shards(self, tmp_path):
+        for index in range(4):
+            save_snapshot(shard_snapshot_path(tmp_path, index), {"i": index})
+        removed = clean_stale_shards(tmp_path, 2)
+        assert [path.name for path in removed] == ["shard-2.json", "shard-3.json"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shard-0.json",
+            "shard-1.json",
+        ]
+
+
+# ----------------------------------------------------------------------
+# The background snapshotter
+# ----------------------------------------------------------------------
+class TestSnapshotter:
+    def test_run_once_writes_through(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        store = SnapshotStore(tmp_path)
+        snapshotter = Snapshotter(
+            lambda: store.save(snapshot_service(service)), interval=3600
+        )
+        assert snapshotter.run_once()
+        assert snapshotter.snapshots_taken == 1
+        assert store.load_latest() is not None
+
+    def test_interval_thread_snapshots_and_stops(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        store = SnapshotStore(tmp_path)
+        taken = threading.Event()
+
+        def snap():
+            store.save(snapshot_service(service))
+            taken.set()
+
+        snapshotter = Snapshotter(snap, interval=0.02).start()
+        assert taken.wait(timeout=10), "no periodic snapshot within 10s"
+        snapshotter.stop()
+        assert snapshotter.snapshots_taken >= 2  # periodic + final
+
+    def test_a_failing_snapshot_does_not_kill_the_loop(self):
+        boom = RuntimeError("disk full")
+
+        def snap():
+            raise boom
+
+        snapshotter = Snapshotter(snap, interval=3600)
+        assert not snapshotter.run_once()
+        assert snapshotter.last_error is boom
+        snapshotter.stop(final_snapshot=False)
+
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(ValueError):
+            Snapshotter(lambda: None, interval=0)
+
+
+# ----------------------------------------------------------------------
+# The wire route
+# ----------------------------------------------------------------------
+class TestInternalSnapshotRoute:
+    def test_http_dispatch_returns_a_restorable_payload(self, views):
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(8, 150):
+            service.submit(principal, query)
+        status, payload = dispatch(service, "GET", "/internal/snapshot", None)
+        assert status == 200
+        payload = json.loads(json.dumps(payload))  # through the wire
+        restarted = DisclosureService(views)
+        restore_service(restarted, payload)
+
+        after = _traffic(9, 150)
+        assert _wire(
+            [service.submit(p, q) for p, q in after]
+        ) == _wire([restarted.submit(p, q) for p, q in after])
+
+    def test_router_merges_all_shards(self, views):
+        policies = _policies(views)
+        router = ShardRouter([LocalShardBackend(), LocalShardBackend()])
+        for index, policy in enumerate(policies):
+            router.register(f"app-{index}", policy)
+        for principal, query in _traffic(10, 150):
+            router.submit(principal, query)
+        status, payload = router.dispatch("GET", "/internal/snapshot", None)
+        assert status == 200
+        assert len(payload["sessions"]["sessions"]) == PRINCIPALS
+        assert payload["metrics"]["decisions"] == 150
+        assert "shard" not in payload  # merged payloads are topology-free
+
+        restarted = DisclosureService(views)
+        restore_service(restarted, json.loads(json.dumps(payload)))
+        assert restarted.principal_count() == PRINCIPALS
+        assert restarted.decisions.value == 150
+
+
+# ----------------------------------------------------------------------
+# The real deployment: worker processes, periodic snapshots, kill, restart
+# ----------------------------------------------------------------------
+class TestMultiProcessRestart:
+    def _drive(self, router, traffic):
+        payloads = []
+        for principal, query in traffic:
+            status, payload = router.dispatch(
+                "POST",
+                "/v1/query",
+                {"principal": principal, "datalog": query_to_datalog(query)},
+            )
+            assert status == 200
+            payloads.append(payload)
+        return payloads
+
+    def test_kill_and_warm_restart_with_more_shards(self, views, tmp_path):
+        """serve --shards 2 --state-dir → periodic snapshots → terminate →
+        serve --shards 3 over the same directory → decisions continue
+        byte-identically vs an uninterrupted single service."""
+        import time as time_module
+
+        policies = _policies(views)
+        reference = _registered_service(views, policies)
+        before, after = _covering_traffic(21, 150), _traffic(22, 150)
+
+        front, router, workers = serve_sharded(
+            2,
+            port=0,
+            state_dir=str(tmp_path),
+            snapshot_interval=0.2,
+        )
+        try:
+            for index, policy in enumerate(policies):
+                status, _ = router.dispatch(
+                    "POST",
+                    "/v1/register",
+                    {"principal": f"app-{index}", "policy": policy},
+                )
+                assert status == 200
+            expected_before = [
+                reference.submit(p, q).as_dict() for p, q in before
+            ]
+            got_before = self._drive(router, before)
+            for got, want in zip(got_before, expected_before):
+                assert got["accepted"] == want["accepted"]
+                assert got["live_after"] == want["live_after"]
+            # Wait for the workers' periodic snapshotters to catch up.
+            deadline = time_module.time() + 20
+            while time_module.time() < deadline:
+                collected = collect_state(tmp_path)
+                if (
+                    collected is not None
+                    and len(collected.sessions) == PRINCIPALS
+                    # refusals change no live bit but do fill the cache,
+                    # so cache parity is part of "caught up"
+                    and len(collected.cache_entries)
+                    >= len(reference.export_label_cache())
+                ):
+                    restored = DisclosureService(views)
+                    restored.import_state(sessions_payload(collected.sessions))
+                    if all(
+                        restored.live_partitions(f"app-{i}")
+                        == reference.live_partitions(f"app-{i}")
+                        for i in range(PRINCIPALS)
+                    ):
+                        break
+                time_module.sleep(0.05)
+            else:
+                pytest.fail("periodic snapshots never caught up with traffic")
+        finally:
+            front.server_close()
+            router.close()
+            stop_shard_workers(workers)  # the kill: SIGTERM, no goodbye
+
+        front2, router2, workers2 = serve_sharded(
+            3,
+            port=0,
+            state_dir=str(tmp_path),
+            snapshot_interval=30.0,
+        )
+        try:
+            expected_after = [
+                reference.submit(p, q).as_dict() for p, q in after
+            ]
+            got_after = self._drive(router2, after)
+            assert got_after == expected_after  # byte-identical, cached too
+            # the dead topology's files were rebalanced into 3 fresh ones
+            names = sorted(p.name for p in tmp_path.iterdir())
+            assert names == ["shard-0.json", "shard-1.json", "shard-2.json"]
+        finally:
+            front2.server_close()
+            router2.close()
+            stop_shard_workers(workers2)

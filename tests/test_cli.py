@@ -86,6 +86,66 @@ class TestOtherCommands:
         with pytest.raises(SystemExit):
             run_cli("nope")
 
+
+class TestSnapshotCommand:
+    @pytest.fixture()
+    def snapshot_file(self, tmp_path):
+        from repro.server import DisclosureService
+        from repro.server.persist import save_snapshot, snapshot_service
+
+        service = DisclosureService()
+        service.register("app1", [["public_profile"], ["user_likes"]])
+        service.submit_text(
+            "app1", "SELECT name FROM user WHERE uid = me()", dialect="fql"
+        )
+        return save_snapshot(
+            tmp_path / "snap.json", snapshot_service(service)
+        )
+
+    def test_inspect(self, snapshot_file):
+        code, out = run_cli("snapshot", "inspect", str(snapshot_file))
+        assert code == 0
+        assert "1 sessions" in out and "checksum ok" in out
+
+    def test_load_restores_into_a_fresh_service(self, snapshot_file):
+        code, out = run_cli("snapshot", "load", str(snapshot_file))
+        assert code == 0
+        assert "restored 1 sessions" in out
+        assert "restore cleanly" in out
+
+    def test_inspect_rejects_a_corrupt_file(self, snapshot_file):
+        snapshot_file.write_text("{broken")
+        code, out = run_cli("snapshot", "inspect", str(snapshot_file))
+        assert code == 1
+        assert "INVALID" in out and "truncated or not JSON" in out
+
+    def test_save_pulls_from_a_running_server(self, tmp_path):
+        from repro.server import DisclosureService, start_background
+
+        service = DisclosureService()
+        service.register("app1", [["public_profile"]])
+        server, _ = start_background(service)
+        host, port = server.server_address[:2]
+        try:
+            code, out = run_cli(
+                "snapshot", "save",
+                "--url", f"http://{host}:{port}",
+                "--state-dir", str(tmp_path / "state"),
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert code == 0
+        assert "snapshot-00000001.json" in out and "1 sessions" in out
+
+    def test_save_without_url_is_a_usage_error(self):
+        code, _ = run_cli("snapshot", "save")
+        assert code == 2
+
+    def test_missing_target_is_a_usage_error(self):
+        code, _ = run_cli("snapshot", "inspect")
+        assert code == 2
+
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             run_cli()
