@@ -36,11 +36,15 @@ PR 3 acceptance bar).
 The CI regression gate runs the deterministic quick form and compares
 against the committed baseline::
 
-    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR3.json \\
+    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR4.json \\
         --check benchmarks/BENCH_BASELINE.json
 
-which exits non-zero when warm single-query throughput drops more than
-30% below the baseline, or the warm-restart recovery bar fails.
+which exits non-zero when warm single-query or batch throughput drops
+more than 30% below the baseline, or the warm-restart recovery bar
+fails.  The ``--ci`` output also carries a ``kernel`` microbenchmark
+section (qid resolution and pure ``decide_many`` rates over the
+interned ID plane) so kernel-level drift is visible in the artifact
+even before it moves an end-to-end number.
 """
 
 from __future__ import annotations
@@ -372,12 +376,46 @@ def _sweep_restart(queries: int, seed: int) -> None:
 # ----------------------------------------------------------------------
 # The CI regression gate: deterministic quick run + committed baseline
 # ----------------------------------------------------------------------
-def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
-    """Emit ``BENCH_PR3.json`` and gate against the committed baseline.
+def _measure_kernel(service, traffic) -> dict:
+    """The kernel microbenchmark section of ``--ci``.
 
-    Thresholds are deliberately loose (warm single-query throughput may
-    not drop more than 30% below baseline) because CI machines vary;
-    the hit-rate recovery bar is exact because it is machine-independent.
+    Measures the ID plane below the transports: qid resolution over
+    cycling parsed objects (``resolve_queries``, the batch label
+    stage) and pure ``decide_many`` throughput over pre-interned qid
+    arrays grouped per principal — the ceiling the transport adapters
+    amortize toward.
+    """
+    kernel = service.kernel
+    queries = [query for _, query in traffic]
+    by_principal: "dict[str, list]" = {}
+    for principal, query in traffic:
+        by_principal.setdefault(principal, []).append(kernel.intern(query))
+
+    resolve_qps = _best_rate(
+        lambda: kernel.resolve_queries(queries), len(queries), 3
+    )
+
+    def decide_all():
+        decide_many = kernel.decide_many
+        for principal, qids in by_principal.items():
+            decide_many(qids, principal, update=False)
+
+    decide_qps = _best_rate(decide_all, len(traffic), 3)
+    return {
+        "resolve_queries_qps": resolve_qps,
+        "decide_many_qps": decide_qps,
+        "queries_interned": kernel.stats()["queries_interned"],
+        "labels_interned": kernel.stats()["labels_interned"],
+    }
+
+
+def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
+    """Emit ``BENCH_PR4.json`` and gate against the committed baseline.
+
+    Thresholds are deliberately loose (warm single-query and batch
+    throughput may not drop more than 30% below baseline) because CI
+    machines vary; the hit-rate recovery bar is exact because it is
+    machine-independent.
     """
     import json
     import platform
@@ -392,6 +430,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     warm_qps = _best_rate(_sequential_run(service, traffic), len(traffic), 3)
     service.submit_batch(traffic)  # warm the batch-path memos
     batch_qps = _best_rate(lambda: service.submit_batch(traffic), len(traffic), 3)
+    kernel = _measure_kernel(service, traffic)
     restart = _measure_restart(queries=BATCH, seed=seed + 1)
 
     results = {
@@ -401,6 +440,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         "decisions": len(traffic),
         "warm_single_qps": warm_qps,
         "batch_qps": batch_qps,
+        "kernel": kernel,
         "restart": restart,
     }
     with open(json_path, "w") as handle:
@@ -408,6 +448,12 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     print(f"wrote {json_path}")
     print(f"warm single-query: {warm_qps:>12,.0f} decisions/sec")
     print(f"batch path:        {batch_qps:>12,.0f} decisions/sec")
+    print(
+        f"kernel: resolve {kernel['resolve_queries_qps']:,.0f}/s · "
+        f"decide_many {kernel['decide_many_qps']:,.0f}/s · "
+        f"{kernel['queries_interned']} qids / "
+        f"{kernel['labels_interned']} lids"
+    )
     print(f"warm-restart hit-rate recovery: {restart['hit_rate_recovery']:.1%}")
 
     failures = []
@@ -429,6 +475,13 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
                 f"warm single-query throughput {warm_qps:,.0f}/s is more "
                 f"than 30% below the committed baseline "
                 f"{baseline['warm_single_qps']:,.0f}/s"
+            )
+        batch_floor = 0.7 * baseline.get("batch_qps", 0)
+        if batch_qps < batch_floor:
+            failures.append(
+                f"batch throughput {batch_qps:,.0f}/s is more than 30% "
+                f"below the committed baseline "
+                f"{baseline['batch_qps']:,.0f}/s"
             )
     for failure in failures:
         print(f"REGRESSION: {failure}")
@@ -458,7 +511,7 @@ def main(argv=None) -> int:
         help="deterministic quick run for the CI regression gate",
     )
     parser.add_argument(
-        "--json", default="BENCH_PR3.json",
+        "--json", default="BENCH_PR4.json",
         help="(--ci) where to write the results JSON",
     )
     parser.add_argument(

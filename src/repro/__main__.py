@@ -357,9 +357,14 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         else:
             path = SnapshotStore(args.state_dir).save(payload)
         sessions = len((payload.get("sessions") or {}).get("sessions", {}))
+        # Single-process servers return the interned (v2) payload; the
+        # sharded front end returns the merged form with plain entries.
+        cache_entries = (payload.get("interning") or {}).get(
+            "cache"
+        ) or payload.get("label_cache", [])
         print(
             f"saved {path} ({sessions} sessions, "
-            f"{len(payload.get('label_cache', []))} cache entries)"
+            f"{len(cache_entries)} cache entries)"
         )
         return 0
 

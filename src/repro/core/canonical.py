@@ -1,0 +1,115 @@
+"""The canonical-key protocol on immutable queries.
+
+A *canonical key* is the renaming-invariant structural form of a
+conjunctive query: variables are replaced by their first-occurrence
+index over ``(head, body)`` and constants are kept verbatim.  Two
+queries with equal keys are identical up to a bijective variable
+renaming, and disclosure labeling is invariant under renaming
+(dissection normalizes atoms to indexed :class:`TaggedVar` patterns),
+so every label-producing cache in the system may key on canonical keys
+instead of query objects.
+
+The head *name* is deliberately excluded (labels do not depend on it);
+head positions are included so distinguished-ness is preserved.
+
+The protocol has three parts:
+
+* :func:`canonical_key` — the key itself, memoized on the (immutable)
+  query object through the ``_canonical_key`` slot, so serving traffic
+  that cycles parsed query objects pays the structural walk once per
+  object, not once per decision.
+* :func:`query_from_key` — a *representative* query rebuilt from a key
+  (variables named ``v0, v1, ...``, head predicate ``Q``).  Because
+  labeling is renaming-invariant, labeling the representative yields
+  exactly the label of every query with that key — this is what lets
+  the decision kernel re-derive a label from a bare interned query id
+  with no query object in hand.
+* the ``_interned`` slot — scratch space for
+  :class:`repro.server.interning.QueryInterner` to pin a dense integer
+  id on the object itself (see there for the invalidation rule).
+
+This module is the *core*-layer end of the ID plane: everything above
+it (interners, kernel, caches, snapshots) speaks dense integers; this
+is where those integers bottom out in query structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.queries import ConjunctiveQuery
+from repro.core.terms import Variable, is_variable
+
+#: A canonical key: head term codes + per-atom (relation, term codes).
+CanonicalKey = Tuple
+
+#: Head predicate of representative queries (the name is not in the key).
+_REPRESENTATIVE_HEAD = "Q"
+
+
+def canonical_key(query: ConjunctiveQuery) -> CanonicalKey:
+    """The renaming-invariant structural key of *query*.
+
+    Variables become integers in order of first occurrence (head first,
+    then body atoms left to right); constants stay themselves (they are
+    hashable and compare by type and value).
+
+    Queries are immutable, so the key is memoized on the query object
+    (the ``_canonical_key`` slot) after the first computation.
+    """
+    key = getattr(query, "_canonical_key", None)
+    if key is not None:
+        return key
+    indices: Dict = {}
+
+    def code(term):
+        if is_variable(term):
+            index = indices.get(term)
+            if index is None:
+                index = len(indices)
+                indices[term] = index
+            return index
+        return ("c", term)
+
+    head = tuple(code(t) for t in query.head_terms)
+    body = tuple(
+        (atom.relation, tuple(code(t) for t in atom.terms))
+        for atom in query.body
+    )
+    key = (head, body)
+    try:
+        query._canonical_key = key
+    except AttributeError:
+        pass  # a duck-typed query without the memo slot: still correct
+    return key
+
+
+def query_from_key(key: CanonicalKey) -> ConjunctiveQuery:
+    """A representative query whose :func:`canonical_key` equals *key*.
+
+    Variable codes become ``Variable("v<code>")``; constant codes keep
+    their :class:`~repro.core.terms.Constant` verbatim.  The rebuilt
+    query is equivalent to every query with this key up to variable
+    renaming (and the irrelevant head name), so any renaming-invariant
+    computation — labeling above all — may run on the representative in
+    place of the original.
+    """
+    head_codes, body_codes = key
+    variables: Dict[int, Variable] = {}
+
+    def term(code):
+        if isinstance(code, int):
+            variable = variables.get(code)
+            if variable is None:
+                variable = Variable(f"v{code}")
+                variables[code] = variable
+            return variable
+        return code[1]  # ("c", Constant)
+
+    body = tuple(
+        Atom(relation, tuple(term(c) for c in codes))
+        for relation, codes in body_codes
+    )
+    head = tuple(term(c) for c in head_codes)
+    return ConjunctiveQuery(_REPRESENTATIVE_HEAD, head, body)

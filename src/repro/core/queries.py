@@ -13,7 +13,7 @@ algorithms of Section 5 use the order-free *tagged* representation
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.schema import Schema
@@ -42,7 +42,14 @@ class ConjunctiveQuery:
         with an empty *head* (``Q() :- ...``), not an empty body.
     """
 
-    __slots__ = ("head_name", "head_terms", "body", "_hash", "_canonical_key")
+    __slots__ = (
+        "head_name",
+        "head_terms",
+        "body",
+        "_hash",
+        "_canonical_key",
+        "_interned",
+    )
 
     def __init__(
         self,
@@ -69,10 +76,13 @@ class ConjunctiveQuery:
         self.head_terms: Tuple[Term, ...] = head
         self.body: Tuple[Atom, ...] = atoms
         self._hash = hash((head_name, head, atoms))
-        # Lazily filled by repro.server.cache.canonical_key: the
+        # Lazily filled by repro.core.canonical.canonical_key: the
         # renaming-invariant structural key is a function of the (frozen)
         # head and body alone, so it is computed at most once per object.
         self._canonical_key = None
+        # Scratch slot for repro.server.interning.QueryInterner: the
+        # (interner, qid) pair of the interner that last saw this object.
+        self._interned = None
 
     # ------------------------------------------------------------------
     # Variable classification

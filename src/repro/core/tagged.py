@@ -22,7 +22,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.atoms import Atom
 from repro.core.queries import ConjunctiveQuery
-from repro.core.terms import Constant, Variable, is_variable
+from repro.core.terms import Constant, Variable
 from repro.errors import QueryError
 
 DISTINGUISHED = "d"

@@ -28,7 +28,7 @@ otherwise existential beats distinguished.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.tagged import DISTINGUISHED, EXISTENTIAL, Entry, TaggedAtom, TaggedVar
 from repro.core.terms import Constant

@@ -16,15 +16,10 @@ Two analyses:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.schema import Schema
-from repro.core.tagged import TaggedAtom
-from repro.facebook.docs import (
-    DOCUMENTED_VIEWS,
-    DocumentedView,
-    PermissionLabel,
-)
+from repro.facebook.docs import DOCUMENTED_VIEWS, DocumentedView
 from repro.facebook.permissions import facebook_security_views, projection_view
 from repro.facebook.schema import REL_FRIEND, REL_SELF, facebook_schema
 from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews

@@ -30,7 +30,6 @@ from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
 from repro.core.sqlparser import sql_to_query
 from repro.core.terms import Constant, Variable
-from repro.errors import ParseError
 from repro.facebook.schema import REL_SELF, facebook_schema
 
 #: FQL table name -> evaluation-schema relation.

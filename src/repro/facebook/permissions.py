@@ -24,7 +24,7 @@ both a user's 'Liked' pages and the languages the user speaks" — our
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.schema import Relation, Schema
 from repro.core.tagged import DISTINGUISHED, EXISTENTIAL, TaggedAtom, TaggedVar

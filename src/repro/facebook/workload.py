@@ -28,7 +28,7 @@ through ``Friend`` just as in the paper, so the atom counts match
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 from repro.core.atoms import Atom
 from repro.core.queries import ConjunctiveQuery

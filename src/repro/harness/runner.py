@@ -12,7 +12,7 @@ Python numbers.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.facebook.permissions import (

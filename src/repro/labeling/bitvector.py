@@ -201,29 +201,26 @@ class BitVectorRegistry:
             bit <<= 1
         return out
 
-    def satisfying_partitions_masks(
+    def satisfying_masks_by_id(
         self,
+        ids: Sequence[int],
         labels: Sequence[PackedLabel],
         grants_seq: Sequence[Dict[int, int]],
-    ) -> List[int]:
-        """Bulk form of :meth:`satisfying_partitions_mask`.
+    ) -> Dict[int, int]:
+        """ID-keyed bulk form of :meth:`satisfying_partitions_mask`.
 
-        Returns one partition mask per entry of *labels*, in order.
-        Distinct labels are evaluated once and memoized for the call
-        (packed labels are hashable tuples), so a batch dominated by a
-        few recurring query shapes pays the per-partition mask loop only
-        once per shape — the amortization the batch decision path of
-        :mod:`repro.server.batch` is built on.
+        *ids* and *labels* are aligned: ``ids[i]`` is the caller's
+        integer id for ``labels[i]`` (in the serving stack, the decision
+        kernel's dense lid).  Returns ``{id: mask}``, computing each
+        distinct id exactly once — the memo hashes small ints instead
+        of label tuples, and the result plugs straight into int-keyed
+        session memos.
         """
-        memo: Dict[PackedLabel, int] = {}
-        out: List[int] = []
+        out: Dict[int, int] = {}
         compute = self.satisfying_partitions_mask
-        for label in labels:
-            mask = memo.get(label)
-            if mask is None:
-                mask = compute(label, grants_seq)
-                memo[label] = mask
-            out.append(mask)
+        for label_id, label in zip(ids, labels):
+            if label_id not in out:
+                out[label_id] = compute(label, grants_seq)
         return out
 
     def satisfies(self, label: PackedLabel, grants: Dict[int, int]) -> bool:

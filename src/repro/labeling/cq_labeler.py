@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.dissect import dissect, dissect_all
+from repro.core.dissect import dissect
 from repro.core.queries import ConjunctiveQuery
 from repro.core.rewriting import is_rewritable
 from repro.core.tagged import TaggedAtom

@@ -166,7 +166,7 @@ class DisclosureLattice(Generic[V]):
 
         *names* optionally maps views to display names.
         """
-        lattice = self.as_finite_lattice()
+        self.as_finite_lattice()  # validates the lattice structure
         depth: dict = {}
         for element in sorted(self.elements, key=len):
             depth[element] = 1 + max(
@@ -178,7 +178,6 @@ class DisclosureLattice(Generic[V]):
             row = [e for e in self.elements if depth[e] == rank]
             rendered = "   ".join(self._label(e, names) for e in row)
             lines.append(rendered)
-        del lattice  # structure validated as a side effect
         return "\n".join(lines)
 
     def _label(self, element: Element, names: "Optional[dict]") -> str:

@@ -115,6 +115,54 @@ class PolicyChecker:
         self._live[principal] = surviving
         return True
 
+    def satisfying_mask(self, principal: int, label: PackedLabel) -> int:
+        """Bit ``i`` set iff partition ``i`` of the principal's policy
+        answers *label*, ignoring history (the Example 6.3 vector).
+
+        This is the state-independent half of :meth:`check` — a pure
+        function of the label and the compiled grants — which is what
+        makes it cacheable.  It is the same split the serving stack's
+        :class:`~repro.server.kernel.DecisionKernel` makes (there the
+        mask is memoized per dense label id in each session's
+        ``mask_memo``); here it lets a Figure 6 benchmark driver
+        pre-compute masks for a recurring label set and decide with
+        :meth:`check_mask` alone.
+        """
+        return self.registry.satisfying_partitions_mask(
+            label, self._policies[principal].partitions
+        )
+
+    def check_mask(self, principal: int, satisfying: int) -> bool:
+        """Decide from a precomputed satisfying-partitions mask.
+
+        The mask-native form of :meth:`check`: *satisfying* is the
+        :meth:`satisfying_mask` of the query's label, so the whole
+        stateful decision collapses to one ``&`` against the live
+        vector.  Narrows state on accept.
+        """
+        surviving = self._live[principal] & satisfying
+        if not surviving:
+            return False
+        self._live[principal] = surviving
+        return True
+
+    def run_stream_masks(
+        self, assignments: Iterable[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Mask-native :meth:`run_stream`: ``(principal, satisfying_mask)``
+        pairs in, ``(answered, refused)`` out."""
+        answered = 0
+        refused = 0
+        live = self._live
+        for principal, satisfying in assignments:
+            surviving = live[principal] & satisfying
+            if surviving:
+                live[principal] = surviving
+                answered += 1
+            else:
+                refused += 1
+        return answered, refused
+
     def check_fresh(self, principal: int, label: PackedLabel) -> bool:
         """Stateless variant: ignore and do not update history."""
         partitions = self._policies[principal].partitions

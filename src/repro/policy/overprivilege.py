@@ -20,7 +20,7 @@ app asked for X but never needed it").
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Set
 
 from repro.labeling.cq_labeler import DisclosureLabel
 

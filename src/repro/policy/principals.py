@@ -15,7 +15,7 @@ apps where decisions should come with human-readable reasons.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from repro.errors import PolicyError
 from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews

@@ -1,11 +1,18 @@
 """The online policy decision service (the paper's deployment shape).
 
+* :mod:`repro.server.kernel` — the :class:`DecisionKernel`: the one
+  canonicalize → label → mask → outcome pipeline every transport
+  (single, batch, shard) routes through, expressed over dense ids
+* :mod:`repro.server.interning` — the ID plane: :class:`QueryInterner`
+  (canonical query shape → qid) and :class:`LabelInterner` (packed
+  label → lid)
 * :mod:`repro.server.service` — per-principal sessions with LRU
-  eviction and serializable state over the bit-vector hot path
-* :mod:`repro.server.cache` — the shared canonical-query →
-  packed-label cache (labels are principal-free)
+  eviction and serializable state; the session store the kernel
+  decides against
+* :mod:`repro.server.cache` — the shared LRU (the kernel's qid → lid
+  label cache; labels are principal-free)
 * :mod:`repro.server.metrics` — counters and latency histograms
-* :mod:`repro.server.batch` — the vectorized batch decision path
+* :mod:`repro.server.batch` — the batch transport adapter
   (``submit_batch`` / ``/v1/batch``)
 * :mod:`repro.server.shard` — sharded multi-process serving: the
   principal-hashing :class:`ShardRouter` and its worker processes
@@ -26,6 +33,8 @@ from repro.server.httpd import (
     make_server,
     start_background,
 )
+from repro.server.interning import LabelInterner, QueryInterner
+from repro.server.kernel import DecisionKernel
 from repro.server.loadgen import LoadReport, query_to_datalog, run_load
 from repro.server.metrics import LatencyHistogram, aggregate_latency
 from repro.server.persist import (
@@ -55,9 +64,12 @@ from repro.server.shard import (
 __all__ = [
     "CacheStats",
     "DecisionHTTPServer",
+    "DecisionKernel",
     "DisclosureService",
     "HTTPShardBackend",
     "LabelCache",
+    "LabelInterner",
+    "QueryInterner",
     "LatencyHistogram",
     "LoadReport",
     "LocalShardBackend",

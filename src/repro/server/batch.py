@@ -1,32 +1,34 @@
-"""The vectorized batch decision path.
+"""The batch transport adapter over the decision kernel.
 
-One-at-a-time serving pays a fixed Python toll per decision: a canonical
-key walk, a locked cache lookup, a partition-mask computation, three
-counter locks, and a histogram update.  Real app-ecosystem traffic is
-heavily repetitive — the same handful of query shapes, per principal,
-per tick — so a batch of decisions can share almost all of that work.
-This module is where the sharing happens; the public surface is
-:meth:`DisclosureService.submit_batch` / :meth:`~DisclosureService.peek_batch`
-/ :meth:`~DisclosureService.decide_batch_wire`, which delegate here.
+One-at-a-time serving pays a fixed Python toll per decision: an intern
+probe, a locked cache lookup, three counter locks, and a histogram
+update.  Real app-ecosystem traffic is heavily repetitive — the same
+handful of query shapes, per principal, per tick — so a batch of
+decisions can share almost all of that work.  Since the ID-plane
+refactor the sharing itself lives in
+:class:`~repro.server.kernel.DecisionKernel` (bulk label resolution,
+per-session mask and outcome memos, all keyed by dense integer ids);
+this module is only the *transport*: it turns an ordered
+``(principal, query)`` stream into per-principal groups of qids, routes
+each group through the kernel, and does the batch bookkeeping.
 
 The plan for a batch:
 
-1. **Labels** (:func:`resolve_labels`) — canonical keys are computed
-   once per distinct query *object* and the shared label cache is
-   consulted once per distinct query *shape*; repeats within the batch
-   are served from a batch-local memo (and accounted as cache hits so
-   ``/metrics`` matches the sequential path).
-2. **Grouping** — item indices are grouped by principal, preserving
+1. **Intern** — every query becomes a dense qid (once per distinct
+   object, pinned on the object itself).
+2. **Labels** (:meth:`DecisionKernel.resolve_many`) — the shared
+   qid → lid cache is consulted once per distinct qid; repeats within
+   the batch are served from a batch-local memo (and accounted as
+   cache hits so ``/metrics`` matches the sequential path).
+3. **Grouping** — item indices are grouped by principal, preserving
    input order within each group.  Sessions are independent, so
    deciding group-by-group is exactly equivalent to deciding the whole
    batch in input order.
-3. **Masks** — per group, the satisfying-partitions mask is computed
-   once per distinct label
-   (:meth:`BitVectorRegistry.satisfying_partitions_masks`); per item,
-   the decision reduces to an ``&`` against the session's live bits,
-   with ``(label, live)`` pairs memoized so even the reason strings are
-   built once per distinct transition.
-4. **Bookkeeping** — the service lock is taken once, counters are
+4. **Decide** (:meth:`DecisionKernel.decide_group`) — per group, masks
+   are bulk-computed once per distinct lid and each decision reduces
+   to int-keyed memo probes, with whole decisions reused for exact
+   repeats.
+5. **Bookkeeping** — the service lock is taken once, counters are
    incremented in bulk, and the latency histogram records the
    amortized per-decision time once per batch.
 
@@ -44,8 +46,6 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.errors import PolicyError, ReproError
-from repro.labeling.bitvector import PackedLabel
-from repro.server.cache import canonical_key
 
 #: One submit-batch item: a principal and a parsed query.
 BatchItem = Tuple[Hashable, ConjunctiveQuery]
@@ -63,91 +63,39 @@ ITEM_TEXT_ERROR = "batch item needs one of 'sql', 'fql', 'datalog'"
 ITEM_ME_ERROR = "'me' must be an integer uid"
 
 
-def resolve_labels(
-    service, queries: Sequence[ConjunctiveQuery]
-) -> Tuple[List[PackedLabel], List[bool]]:
-    """Labels and ``cached`` flags for *queries*, amortizing lookups.
-
-    The returned flags match what sequential :meth:`label_for` calls
-    would have reported: the first occurrence of a shape missing from
-    the cache is ``False`` (the labeler ran), every later occurrence is
-    ``True``.  Cache hit/miss counters end up identical too — repeats
-    served from the batch-local memo are folded back in via
-    :meth:`LabelCache.record_hits`, or as misses (and ``False`` flags)
-    when the cache is disabled entirely (``maxsize <= 0``).
-
-    One deliberate approximation: a cache so small that it *evicts
-    mid-batch* (``maxsize`` below the batch's distinct-shape count)
-    would sequentially re-miss an evicted shape, while the batch memo
-    still reports it as a hit.  Decisions themselves are unaffected
-    (labels are deterministic); only the ``cached`` flag and hit/miss
-    counters can flatter such an undersized cache, and deployment
-    caches are sized orders of magnitude above any batch.
-    """
-    labels: List[Optional[PackedLabel]] = [None] * len(queries)
-    flags: List[bool] = [False] * len(queries)
-    cache = service.label_cache
-    # A disabled cache (maxsize <= 0, the benchmark's cold series) hits
-    # nothing sequentially, so batch-memoized repeats must stay
-    # cached=False and count as misses to keep the two paths identical.
-    cache_enabled = cache.maxsize > 0
-    # Two memo tiers: by object identity (an int hash — the common case,
-    # since serving traffic cycles parsed query objects) and by canonical
-    # key (distinct objects of the same shape).  id() keys are safe: the
-    # queries sequence keeps every object alive for the whole call.
-    by_object: Dict[int, PackedLabel] = {}
-    by_key: Dict[Tuple, PackedLabel] = {}
-    memoized = 0
-    for index, query in enumerate(queries):
-        label = by_object.get(id(query))
-        if label is not None:
-            labels[index] = label
-            flags[index] = cache_enabled
-            memoized += 1
-            continue
-        key = canonical_key(query)  # memoized on the query object
-        label = by_key.get(key)
-        if label is not None:
-            labels[index] = label
-            flags[index] = cache_enabled
-            memoized += 1
-            by_object[id(query)] = label
-            continue
-        label = cache.get(key)
-        if label is not None:
-            flags[index] = True
-        else:
-            label = service.labeler.label_query(query)
-            cache.put(key, label)
-        by_key[key] = label
-        by_object[id(query)] = label
-        labels[index] = label
-    if memoized:
-        if cache_enabled:
-            cache.record_hits(memoized)
-        else:
-            cache.record_misses(memoized)
-    return labels, flags  # type: ignore[return-value]
-
-
 def decide_batch(
-    service, items: Iterable[BatchItem], *, update: bool
+    service,
+    items: Iterable[BatchItem],
+    *,
+    update: bool,
+    qids: Optional[Sequence[int]] = None,
+    qids_plane: object = None,
 ) -> List:
     """Decide *items* as one batch; the core of ``submit_batch``.
 
     With ``update=True`` session state evolves item by item exactly as
     sequential submits would; with ``update=False`` every item is a
     stateless peek.  Principals are validated before any state change.
+    *qids* lets a caller that already interned the queries (the shard
+    router ships qids ahead of the sub-batch) skip the intern stage; it
+    must be index-aligned with *items* and carry the kernel plane it
+    was interned against in *qids_plane* — if that plane has rotated
+    away, the qids are silently re-derived from the query objects.
     """
-    from repro.server.service import ServiceDecision
-
     items = list(items)
     total = len(items)
     if not total:
         return []
     start = time.perf_counter()
 
-    labels, cached_flags = resolve_labels(service, [q for _, q in items])
+    kernel = service.kernel
+    queries = [query for _, query in items]
+    if qids is not None and qids_plane is kernel.plane:
+        plane, lids, cached_flags = kernel.resolve_many(
+            qids, queries, plane=qids_plane
+        )
+    else:
+        plane, lids, cached_flags = kernel.resolve_queries(queries)
 
     groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
     for index, (principal, _) in enumerate(items):
@@ -155,7 +103,6 @@ def decide_batch(
 
     decisions: List = [None] * total
     accepted_count = 0
-    registry = service.registry
     with service._lock:
         if update and service._default_policy is None:
             # All-or-nothing validation: no session may change if any
@@ -172,69 +119,9 @@ def decide_batch(
                 if update
                 else service._peek_session(principal)
             )
-            anywhere_by_label = session.mask_memo
-            if len(anywhere_by_label) > session.MASK_MEMO_LIMIT:
-                anywhere_by_label.clear()
-            missing = list(
-                dict.fromkeys(
-                    labels[i]
-                    for i in indices
-                    if labels[i] not in anywhere_by_label
-                )
+            accepted_count += kernel.decide_group(
+                plane, session, indices, lids, cached_flags, update, decisions
             )
-            if missing:
-                masks = registry.satisfying_partitions_masks(
-                    missing, session.grants
-                )
-                anywhere_by_label.update(zip(missing, masks))
-            # Two memo layers: the session-persistent (label, live) ->
-            # outcome memo skips the partition walk and reason formatting
-            # across batches; the batch-local (label, live, cached) ->
-            # decision memo reuses whole immutable ServiceDecisions for
-            # exact repeats within this batch.
-            outcome_memo = session.outcome_memo
-            if len(outcome_memo) > session.MASK_MEMO_LIMIT:
-                outcome_memo.clear()
-            decision_memo: Dict[Tuple, object] = {}
-            for index in indices:
-                label = labels[index]
-                live_before = session.live
-                cached = cached_flags[index]
-                decision_key = (label, live_before, cached)
-                decision = decision_memo.get(decision_key)
-                if decision is not None:
-                    if decision.accepted:
-                        accepted_count += 1
-                        if update:
-                            session.live = decision.live_after
-                    decisions[index] = decision
-                    continue
-                memo_key = (label, live_before)
-                outcome = outcome_memo.get(memo_key)
-                if outcome is None:
-                    outcome = service._evaluate(
-                        session, label, anywhere_by_label[label]
-                    )
-                    outcome_memo[memo_key] = outcome
-                accepted, reason, surviving = outcome
-                if accepted:
-                    accepted_count += 1
-                    if update:
-                        session.live = surviving
-                live_after = (
-                    surviving if (accepted and update) else live_before
-                )
-                decision = ServiceDecision(
-                    accepted,
-                    principal,
-                    reason,
-                    cached,
-                    live_before,
-                    live_after,
-                    label,
-                )
-                decision_memo[decision_key] = decision
-                decisions[index] = decision
 
     if update:
         service.decisions.increment(total)

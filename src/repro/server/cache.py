@@ -1,4 +1,4 @@
-"""The shared canonical-query → packed-label cache.
+"""The shared serving-path LRU cache.
 
 A disclosure label is a function of the query alone: Section 5's labeler
 never consults the principal, the policy, or any session state.  In a
@@ -7,18 +7,15 @@ recurs across *every* session (each app asks the same questions about
 different users), so one shared cache in front of the labeler removes
 the expensive fold/dissect/match pipeline from the hot path entirely.
 
-The cache key is a *canonical form* of the query: variables are replaced
-by their first-occurrence index over ``(head, body)`` and constants kept
-verbatim.  Two queries with equal keys are identical up to a bijective
-variable renaming, and disclosure labeling is invariant under renaming
-(dissection normalizes atoms to indexed :class:`TaggedVar` patterns), so
-a cache hit is always the label a fresh labeler would have computed —
-the equivalence the ``tests/server`` suite proves query-by-query.
-
-The head *name* is deliberately excluded from the key (labels do not
-depend on it), while head positions are included so distinguished-ness
-is preserved.  Values are packed labels — tuples of ints — so a warm
-cache costs a few dozen bytes per distinct query shape.
+Since the ID-plane refactor the decision kernel keys this cache by
+dense integer query ids (qid → lid; see :mod:`repro.server.kernel`),
+so a warm lookup hashes one int instead of a nested canonical-key
+tuple.  The canonical-key protocol itself — the renaming-invariant
+structural form that makes shape-level caching sound — lives in
+:mod:`repro.core.canonical`; :func:`canonical_key` is re-exported here
+for compatibility.  The class is key-agnostic: the parse cache keys it
+by request text, and the snapshot transport still speaks canonical
+keys at the edges.
 """
 
 from __future__ import annotations
@@ -27,51 +24,14 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
-from repro.core.queries import ConjunctiveQuery
-from repro.core.terms import is_variable
+from repro.core.canonical import CanonicalKey, canonical_key
 
-#: A canonical cache key: head term codes + per-atom (relation, term codes).
-CanonicalKey = Tuple
-
-
-def canonical_key(query: ConjunctiveQuery) -> CanonicalKey:
-    """The renaming-invariant structural key of *query*.
-
-    Variables become integers in order of first occurrence (head first,
-    then body atoms left to right); constants stay themselves (they are
-    hashable and compare by type and value).
-
-    Queries are immutable, so the key is memoized on the query object
-    (the ``_canonical_key`` slot) after the first computation — serving
-    traffic that cycles parsed query objects (the parse cache returns
-    the same object for the same request text) pays the structural walk
-    once per object, not once per decision.
-    """
-    key = getattr(query, "_canonical_key", None)
-    if key is not None:
-        return key
-    indices: Dict = {}
-
-    def code(term):
-        if is_variable(term):
-            index = indices.get(term)
-            if index is None:
-                index = len(indices)
-                indices[term] = index
-            return index
-        return ("c", term)
-
-    head = tuple(code(t) for t in query.head_terms)
-    body = tuple(
-        (atom.relation, tuple(code(t) for t in atom.terms))
-        for atom in query.body
-    )
-    key = (head, body)
-    try:
-        query._canonical_key = key
-    except AttributeError:
-        pass  # a duck-typed query without the memo slot: still correct
-    return key
+__all__ = [
+    "CacheStats",
+    "CanonicalKey",
+    "LabelCache",
+    "canonical_key",
+]
 
 
 class CacheStats:
@@ -223,6 +183,24 @@ class LabelCache:
             self.put(key, value)
             count += 1
         return count
+
+    def inherit_counters(self, other: "LabelCache") -> None:
+        """Fold *other*'s lifetime counters into this (fresh) cache.
+
+        Used when the kernel rotates to a new ID-plane generation: the
+        replacement cache starts empty but ``/metrics`` hit/miss/
+        eviction history must stay monotonic across the swap.
+        """
+        with other._lock:
+            hits, misses, evictions = (
+                other._hits,
+                other._misses,
+                other._evictions,
+            )
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+            self._evictions += evictions
 
     def clear(self) -> None:
         with self._lock:

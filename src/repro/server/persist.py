@@ -52,9 +52,22 @@ from repro.core.terms import Constant
 from repro.errors import SnapshotError
 from repro.server.service import DisclosureService
 
-#: Format-version header of every snapshot document.  Bump on any
-#: change a previous release could not read.
-SNAPSHOT_FORMAT = "repro.snapshot/1"
+#: Format-version header written on every new snapshot document.  Bump
+#: on any change a previous release could not read.
+SNAPSHOT_FORMAT = "repro.snapshot/2"
+
+#: Every format this build can *read*.  Version 1 stored sessions as
+#: per-principal partition lists and the label cache as flat
+#: ``[key, label]`` pairs; version 2 stores the interner tables once
+#: (each canonical key and each packed label exactly once) and
+#: references them by dense integer id, and deduplicates session
+#: policies into a table referenced by index.
+READABLE_FORMATS = ("repro.snapshot/1", SNAPSHOT_FORMAT)
+
+#: Session-table formats: v1 is the live ``export_state`` wire form;
+#: v2 is the ID-plane file form (policy table + ``[index, live_int]``).
+_SESSIONS_V1 = "repro.server/1"
+_SESSIONS_V2 = "repro.server/2"
 
 #: How many sequence-numbered snapshots a :class:`SnapshotStore` keeps.
 DEFAULT_KEEP = 4
@@ -141,6 +154,154 @@ def decode_cache_entries(data: Iterable) -> List[Tuple]:
 
 
 # ----------------------------------------------------------------------
+# ID-plane encoding: tables once, references by dense integer id
+# ----------------------------------------------------------------------
+def encode_sessions(exported: Dict) -> Dict:
+    """``export_state()`` output as the v2 session table.
+
+    Distinct policies (partition tuples) are stored once in a table;
+    each session becomes ``[policy_index, live_int]``.  Deployments
+    where many principals share a policy (the default-policy fleet, the
+    Figure 6 generator's repeats) shrink accordingly.
+    """
+    policies: List[List[List[str]]] = []
+    index_of: Dict[Tuple, int] = {}
+    sessions: Dict[str, List[int]] = {}
+    for principal, state in exported.get("sessions", {}).items():
+        partitions = tuple(tuple(p) for p in state["partitions"])
+        index = index_of.get(partitions)
+        if index is None:
+            index = len(policies)
+            index_of[partitions] = index
+            policies.append([list(p) for p in partitions])
+        live = 0
+        for bit, flag in enumerate(state["live"]):
+            if flag:
+                live |= 1 << bit
+        sessions[principal] = [index, live]
+    return {"format": _SESSIONS_V2, "policies": policies, "sessions": sessions}
+
+
+def decode_sessions(data: Dict) -> Dict:
+    """Any readable session table back into the ``export_state`` v1 form.
+
+    v1 payloads pass through unchanged; v2 payloads expand the policy
+    table.  Raises :class:`SnapshotError` on anything malformed.
+    """
+    if not isinstance(data, dict):
+        raise SnapshotError("session table is not an object")
+    fmt = data.get("format")
+    if fmt == _SESSIONS_V1:
+        return data
+    if fmt != _SESSIONS_V2:
+        raise SnapshotError(f"unrecognized session-table format {fmt!r}")
+    policies = data.get("policies")
+    sessions = data.get("sessions")
+    if not isinstance(policies, list) or not isinstance(sessions, dict):
+        raise SnapshotError("v2 session table needs 'policies' and 'sessions'")
+    out: Dict[str, Dict] = {}
+    for principal, entry in sessions.items():
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(isinstance(value, int) for value in entry)
+        ):
+            raise SnapshotError(
+                f"session {principal!r}: expected [policy_index, live_bits]"
+            )
+        index, live = entry
+        if not 0 <= index < len(policies):
+            raise SnapshotError(
+                f"session {principal!r}: policy index {index} out of range"
+            )
+        partitions = policies[index]
+        out[principal] = {
+            "partitions": [list(p) for p in partitions],
+            "live": [bool(live >> bit & 1) for bit in range(len(partitions))],
+        }
+    return {"format": _SESSIONS_V1, "sessions": out}
+
+
+def encode_interned_cache(entries: Iterable[Tuple]) -> Dict:
+    """``export_label_cache()`` pairs as the v2 interned-cache section.
+
+    Each distinct canonical key and each distinct packed label is
+    stored exactly once, in its own table; the cache itself is a list
+    of ``[key_index, label_index]`` pairs in LRU order.  Many query
+    shapes share a label, so the label table is the big win — the
+    duplication v1 paid per entry disappears.
+    """
+    keys: List = []
+    key_index: Dict = {}
+    labels: List[List[int]] = []
+    label_index: Dict[Tuple, int] = {}
+    pairs: List[List[int]] = []
+    for key, label in entries:
+        ki = key_index.get(key)
+        if ki is None:
+            ki = len(keys)
+            key_index[key] = ki
+            keys.append(_encode(key))
+        label = tuple(label)
+        li = label_index.get(label)
+        if li is None:
+            li = len(labels)
+            label_index[label] = li
+            labels.append([int(packed) for packed in label])
+        pairs.append([ki, li])
+    return {"queries": keys, "labels": labels, "cache": pairs}
+
+
+def decode_interned_cache(data: Dict) -> List[Tuple]:
+    """The v2 interned-cache section back into ``warm_label_cache`` pairs."""
+    if not isinstance(data, dict):
+        raise SnapshotError("interned cache section is not an object")
+    keys_in = data.get("queries")
+    labels_in = data.get("labels")
+    pairs = data.get("cache")
+    if not all(isinstance(part, list) for part in (keys_in, labels_in, pairs)):
+        raise SnapshotError(
+            "interned cache needs 'queries', 'labels', and 'cache' lists"
+        )
+    keys = [_decode(key) for key in keys_in]
+    labels: List[Tuple[int, ...]] = []
+    for label in labels_in:
+        if not isinstance(label, list) or not all(
+            isinstance(packed, int) for packed in label
+        ):
+            raise SnapshotError(f"malformed packed label {label!r}")
+        labels.append(tuple(label))
+    entries: List[Tuple] = []
+    for pair in pairs:
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or not all(isinstance(value, int) for value in pair)
+        ):
+            raise SnapshotError(f"malformed interned cache entry {pair!r}")
+        ki, li = pair
+        if not (0 <= ki < len(keys) and 0 <= li < len(labels)):
+            raise SnapshotError(f"interned cache entry {pair!r} out of range")
+        entries.append((keys[ki], labels[li]))
+    return entries
+
+
+def payload_sessions(payload: Dict) -> Dict[str, Dict]:
+    """The per-principal session dicts of any readable payload."""
+    sessions = payload.get("sessions")
+    if not sessions:
+        return {}
+    return decode_sessions(sessions).get("sessions", {})
+
+
+def payload_cache_entries(payload: Dict) -> List[Tuple]:
+    """The ``warm_label_cache`` pairs of any readable payload."""
+    if "interning" in payload:
+        return decode_interned_cache(payload["interning"])
+    return decode_cache_entries(payload.get("label_cache", []))
+
+
+# ----------------------------------------------------------------------
 # Snapshot payloads: service state in, service state out
 # ----------------------------------------------------------------------
 def snapshot_service(
@@ -151,13 +312,16 @@ def snapshot_service(
 ) -> Dict:
     """The full durable state of *service* as a JSON-compatible payload.
 
-    Carries sessions, label-cache entries, and metrics counters.  Shard
+    Carries sessions, the interned label cache, and metrics counters,
+    in the v2 ID-plane form: the policy, canonical-key, and packed-label
+    tables are each stored once and everything else references them by
+    dense integer index (smaller snapshots, faster restore).  Shard
     workers stamp their ``(index, count)`` so a later restart knows the
     topology the file was written under.
     """
     payload = {
-        "sessions": service.export_state(),
-        "label_cache": encode_cache_entries(service.export_label_cache()),
+        "sessions": encode_sessions(service.export_state()),
+        "interning": encode_interned_cache(service.export_label_cache()),
         "metrics": {
             "decisions": service.decisions.value,
             "accepted": service.accepted.value,
@@ -210,10 +374,12 @@ def restore_service(
 
     sessions = payload.get("sessions")
     try:
-        restored = service.import_state(sessions) if sessions else 0
+        restored = (
+            service.import_state(decode_sessions(sessions)) if sessions else 0
+        )
     except PolicyError as exc:
         raise SnapshotError(f"snapshot sessions do not restore: {exc}") from exc
-    entries = decode_cache_entries(payload.get("label_cache", []))
+    entries = payload_cache_entries(payload)
     imported = service.warm_label_cache(entries)
     decisions = 0
     metrics = payload.get("metrics")
@@ -288,10 +454,10 @@ def load_snapshot(path: "Path | str") -> Dict:
     if not isinstance(document, dict) or "payload" not in document:
         raise SnapshotError(f"snapshot {path} is not a snapshot document")
     fmt = document.get("format")
-    if fmt != SNAPSHOT_FORMAT:
+    if fmt not in READABLE_FORMATS:
         raise SnapshotError(
             f"snapshot {path} has unsupported format {fmt!r} "
-            f"(this build reads {SNAPSHOT_FORMAT!r})"
+            f"(this build reads {', '.join(map(repr, READABLE_FORMATS))})"
         )
     payload = document["payload"]
     if not isinstance(payload, dict):
@@ -312,13 +478,17 @@ def inspect_snapshot(path: "Path | str") -> Dict:
     payload = document["payload"]
     sessions = payload.get("sessions") or {}
     metrics = payload.get("metrics") or {}
+    if "interning" in payload:
+        cache_entries = len((payload["interning"] or {}).get("cache", []))
+    else:
+        cache_entries = len(payload.get("label_cache", []))
     summary = {
         "path": str(path),
         "format": document["format"],
         "created": document.get("created"),
         "checksum": document.get("checksum"),
         "sessions": len(sessions.get("sessions", {})),
-        "cache_entries": len(payload.get("label_cache", [])),
+        "cache_entries": cache_entries,
         "decisions": metrics.get("decisions", 0),
     }
     if "shard" in payload:
@@ -479,13 +649,11 @@ def collect_state(state_dir: "Path | str") -> Optional[CollectedState]:
         generation = [newest_sequence]
     sessions: Dict[str, Dict] = {}
     for _, _, document in generation:
-        exported = document["payload"].get("sessions") or {}
-        sessions.update(exported.get("sessions", {}))
+        sessions.update(payload_sessions(document["payload"]))
 
     cache: Dict = {}
     for _, _, document in sequence_docs + shard_docs:
-        payload = document["payload"]
-        for key, label in decode_cache_entries(payload.get("label_cache", [])):
+        for key, label in payload_cache_entries(document["payload"]):
             cache[key] = label
 
     newest_payload = generation[-1][2]["payload"]

@@ -5,20 +5,24 @@ reference monitor mediating the query traffic of an app ecosystem with
 very many principals.  Three observations make it fast and small:
 
 * **Labels are principal-free** — one shared canonical-query →
-  packed-label cache (:mod:`repro.server.cache`) serves every session;
-  a warm decision never runs the labeler at all.
+  packed-label cache serves every session; a warm decision never runs
+  the labeler at all.
 * **Sessions are tiny** — per Section 6.2 a principal's entire
   enforcement state is its policy plus one live-partition bit vector
   (Example 6.3), so state serializes to a few bytes and an LRU of
   compiled sessions can front millions of passive principals.
-* **Decisions are integer ops** — the packed-label partition check of
-  :class:`~repro.policy.checker.PolicyChecker`, here per named session
-  with human-readable refusal reasons.
+* **Decisions are integer ops** — queries and labels are interned into
+  dense ids (:mod:`repro.server.interning`) and every decision runs
+  through the one array-native :class:`~repro.server.kernel.DecisionKernel`,
+  whether it arrives as a single call, a batch, or a shard sub-batch.
 
-The service exposes the same accept/refuse semantics as
-:class:`~repro.policy.monitor.ReferenceMonitor` over the same security
-views — the ``tests/server`` equivalence suite holds the two paths
-bit-for-bit identical across the Facebook workload.
+The service itself is the *session store and transport adapter*: it
+owns registration, the LRU of compiled sessions, serializable state,
+parsing, and metrics — while the canonicalize → label → mask → outcome
+pipeline lives entirely in the kernel.  The service exposes the same
+accept/refuse semantics as :class:`~repro.policy.monitor.ReferenceMonitor`
+over the same security views — the ``tests/server`` equivalence suite
+holds the two paths bit-for-bit identical across the Facebook workload.
 """
 
 from __future__ import annotations
@@ -35,91 +39,13 @@ from repro.labeling.bitvector import PackedLabel
 from repro.labeling.cq_labeler import SecurityViews
 from repro.labeling.pipeline import BitVectorLabeler
 from repro.policy.policy import PartitionPolicy
-from repro.server.cache import LabelCache, canonical_key
+from repro.server.cache import LabelCache
+from repro.server.kernel import DecisionKernel, ServiceDecision
 from repro.server.metrics import Counter, LatencyHistogram
 
+__all__ = ["DisclosureService", "ServiceDecision", "Session"]
+
 _STATE_FORMAT = "repro.server/1"
-
-
-class ServiceDecision:
-    """One decision of the service (the wire-friendly Decision).
-
-    Instances are immutable value objects; :meth:`as_dict` renders the
-    stable wire schema that ``/v1/query``, ``/v1/peek``, and the items
-    of ``/v1/batch`` return.  ``label`` (the packed disclosure label)
-    stays server-side: it is an internal representation, not part of
-    the wire contract.
-    """
-
-    __slots__ = (
-        "accepted",
-        "principal",
-        "reason",
-        "cached",
-        "live_before",
-        "live_after",
-        "label",
-    )
-
-    def __init__(
-        self,
-        accepted: bool,
-        principal: Hashable,
-        reason: str,
-        cached: bool,
-        live_before: int,
-        live_after: int,
-        label: PackedLabel,
-    ):
-        self.accepted = accepted
-        self.principal = principal
-        self.reason = reason
-        self.cached = cached
-        self.live_before = live_before
-        self.live_after = live_after
-        self.label = label
-
-    def __bool__(self) -> bool:
-        return self.accepted
-
-    def live_after_bits(self, partitions: int) -> Tuple[bool, ...]:
-        return tuple(bool(self.live_after >> i & 1) for i in range(partitions))
-
-    def as_dict(self) -> Dict:
-        """The decision as its stable JSON wire object.
-
-        This is the documented response schema of the decision routes
-        (see ``docs/http-api.md``); keys are never removed or renamed,
-        only added:
-
-        ===============  ======  ==============================================
-        key              type    meaning
-        ===============  ======  ==============================================
-        ``accepted``     bool    ``True`` iff the query is answered
-        ``principal``    str     the principal the decision is for
-        ``reason``       str     human-readable accept/refuse explanation
-        ``cached``       bool    label came from the shared cache (no labeling)
-        ``live_before``  int     live-partition bits before the decision
-        ``live_after``   int     live-partition bits after (== before for
-                                 refusals and for ``peek``)
-        ===============  ======  ==============================================
-
-        ``live_before``/``live_after`` encode the Example 6.3 bit vector
-        as an integer: bit *i* set means partition *i* of the principal's
-        registered policy is still live.
-        """
-        return {
-            "accepted": self.accepted,
-            "principal": self.principal,
-            "reason": self.reason,
-            "cached": self.cached,
-            "live_before": self.live_before,
-            "live_after": self.live_after,
-        }
-
-    def __repr__(self) -> str:
-        verdict = "ACCEPT" if self.accepted else "REFUSE"
-        return f"ServiceDecision({verdict} {self.principal!r}: {self.reason})"
 
 
 class Session:
@@ -129,6 +55,10 @@ class Session:
     explicitly registered); on demotion an ephemeral session whose state
     is still fresh is dropped rather than retained, so anonymous traffic
     cannot grow the passive store without bound.
+
+    The memo dicts live on the ID plane: both are keyed by dense
+    integer label ids (lids), never by label tuples — the kernel is
+    their only writer and reader.
     """
 
     __slots__ = (
@@ -137,11 +67,12 @@ class Session:
         "grants",
         "live",
         "ephemeral",
+        "plane_epoch",
         "mask_memo",
         "outcome_memo",
     )
 
-    #: Distinct labels memoized per session before the memo resets.
+    #: Distinct lids memoized per session before the memo resets.
     MASK_MEMO_LIMIT = 4096
 
     def __init__(
@@ -157,16 +88,20 @@ class Session:
         self.grants = grants
         self.live = live
         self.ephemeral = ephemeral
-        #: label -> satisfying-partitions mask, filled by the batch path.
-        #: Sound for the session's lifetime: the mask depends only on the
-        #: label and the (immutable) grants; a re-registration builds a
-        #: fresh Session.  Bounded by MASK_MEMO_LIMIT (reset when full).
-        self.mask_memo: Dict[PackedLabel, int] = {}
-        #: (label, live) -> (accepted, reason, surviving), same soundness
+        #: The kernel plane generation the memos below were filled
+        #: under; the kernel clears them on first contact with a newer
+        #: plane (ids are generation-scoped).
+        self.plane_epoch = -1
+        #: lid -> satisfying-partitions mask.  Sound for the session's
+        #: lifetime: the mask depends only on the label and the
+        #: (immutable) grants; a re-registration builds a fresh Session.
+        #: Bounded by MASK_MEMO_LIMIT (reset when full).
+        self.mask_memo: Dict[int, int] = {}
+        #: (lid, live) -> (accepted, reason, surviving), same soundness
         #: argument with the live bits added to the key.  In steady state
         #: a session's live mask is stable, so recurring shapes make
         #: whole decisions two dict probes.  Shares MASK_MEMO_LIMIT.
-        self.outcome_memo: Dict[Tuple, Tuple[bool, str, int]] = {}
+        self.outcome_memo: Dict[Tuple[int, int], Tuple[bool, str, int]] = {}
 
     @property
     def all_live(self) -> int:
@@ -174,7 +109,7 @@ class Session:
 
 
 class DisclosureService:
-    """Per-principal disclosure sessions over one shared label cache.
+    """Per-principal disclosure sessions over one shared decision kernel.
 
     Thread-safety: every public method is safe to call from multiple
     threads — session state is guarded by one internal lock, and the
@@ -198,8 +133,8 @@ class DisclosureService:
         demoted to their serializable ``(policy, live)`` state and
         recompiled on next touch.
     label_cache_size:
-        Entries in the shared canonical-query → packed-label cache
-        (``0`` disables caching — the benchmark's cold series).
+        Entries in the kernel's shared qid → lid label cache (``0``
+        disables caching — the benchmark's cold series).
     parse_cache_size:
         Entries in the request-text → parsed-query memo used by
         :meth:`submit_text`.
@@ -233,12 +168,14 @@ class DisclosureService:
         self.schema = schema
         self.labeler = BitVectorLabeler(security_views)
         self.registry = self.labeler.registry
-        self._relation_bits = self.registry.layout.relation_bits
 
         if max_active_sessions < 1:
             raise PolicyError("max_active_sessions must be >= 1")
         self.max_active_sessions = max_active_sessions
-        self.label_cache = LabelCache(label_cache_size)
+        #: The one decision pipeline every transport routes through.
+        self.kernel = DecisionKernel(
+            self.labeler, sessions=self, label_cache_size=label_cache_size
+        )
         self.parse_cache = LabelCache(parse_cache_size)
 
         self._default_policy = (
@@ -259,6 +196,14 @@ class DisclosureService:
         self.peeks = Counter()
         self.latency = LatencyHistogram()
         self._started = time.time()
+
+    @property
+    def label_cache(self) -> LabelCache:
+        """The kernel's shared label cache (qid → lid), for stats and
+        tests; decisions never consult it directly.  A property because
+        the cache belongs to the current plane generation and rotates
+        with it."""
+        return self.kernel.label_cache
 
     # ------------------------------------------------------------------
     # Principal / session management
@@ -382,17 +327,11 @@ class DisclosureService:
         )
 
     # ------------------------------------------------------------------
-    # Labeling (the shared cache front)
+    # Labeling (the kernel's cache front)
     # ------------------------------------------------------------------
     def label_for(self, query: ConjunctiveQuery) -> Tuple[PackedLabel, bool]:
         """The packed label of *query* and whether it came from the cache."""
-        key = canonical_key(query)
-        label = self.label_cache.get(key)
-        if label is not None:
-            return label, True
-        label = self.labeler.label_query(query)
-        self.label_cache.put(key, label)
-        return label, False
+        return self.kernel.label_for(query)
 
     # ------------------------------------------------------------------
     # Decisions
@@ -400,10 +339,7 @@ class DisclosureService:
     def submit(self, principal: Hashable, query: ConjunctiveQuery) -> ServiceDecision:
         """Decide one query for one principal, updating session state."""
         start = time.perf_counter()
-        label, cached = self.label_for(query)
-        with self._lock:
-            session = self._session(principal)
-            decision = self._decide(session, label, cached, update=True)
+        decision = self.kernel.decide_query(query, principal, update=True)
         self.decisions.increment()
         (self.accepted if decision.accepted else self.refused).increment()
         self.latency.record(time.perf_counter() - start)
@@ -411,10 +347,7 @@ class DisclosureService:
 
     def peek(self, principal: Hashable, query: ConjunctiveQuery) -> ServiceDecision:
         """`would_accept`: the decision :meth:`submit` would make, stateless."""
-        label, cached = self.label_for(query)
-        with self._lock:
-            session = self._peek_session(principal)
-            decision = self._decide(session, label, cached, update=False)
+        decision = self.kernel.decide_query(query, principal, update=False)
         self.peeks.increment()
         return decision
 
@@ -428,11 +361,11 @@ class DisclosureService:
         two paths byte-for-byte identical, decisions and end state —
         but the batch path amortizes the per-decision Python overhead:
 
-        * canonicalization runs once per distinct query object,
-        * the label cache is consulted once per distinct query shape
+        * queries are interned once per distinct object,
+        * the kernel's label cache is consulted once per distinct qid
           (repeats are accounted via :meth:`LabelCache.record_hits`),
-        * partition masks are computed once per distinct label per
-          session (:meth:`BitVectorRegistry.satisfying_partitions_masks`),
+        * partition masks are computed once per distinct lid per
+          session (:meth:`BitVectorRegistry.satisfying_masks_by_id`),
         * the service lock is taken once for the whole batch, and
         * metrics are updated in bulk.
 
@@ -484,71 +417,15 @@ class DisclosureService:
         Labels are principal-free, so these entries are valid for any
         service over the same security views — shard workers import
         them at spawn so every shard starts warm
-        (:func:`repro.server.shard.start_shard_workers`).
+        (:func:`repro.server.shard.start_shard_workers`).  The kernel
+        translates its private qid/lid plane back to canonical keys and
+        packed labels on the way out.
         """
-        return self.label_cache.export_entries()
+        return self.kernel.export_label_cache()
 
     def warm_label_cache(self, entries: "Iterable[Tuple]") -> int:
         """Import pairs from :meth:`export_label_cache`; returns count."""
-        return self.label_cache.import_entries(entries)
-
-    def _evaluate(
-        self,
-        session: Session,
-        label: PackedLabel,
-        anywhere: Optional[int] = None,
-    ) -> Tuple[bool, str, int]:
-        """``(accepted, reason, surviving)`` for *label* against *session*.
-
-        Pure with respect to the session: never mutates ``session.live``.
-        *anywhere* is the precomputed satisfying-partitions mask of the
-        label against the session's grants (state-independent, so the
-        batch path memoizes it per label); ``None`` computes it here.
-        ``surviving`` is the post-decision live mask for an accept and
-        the unchanged live mask for a refusal.
-        """
-        live_before = session.live
-
-        if any(packed >> self._relation_bits == 0 for packed in label):
-            return (
-                False,
-                "query requires information outside the security-view vocabulary",
-                live_before,
-            )
-
-        if anywhere is None:
-            anywhere = self.registry.satisfying_partitions_mask(
-                label, session.grants
-            )
-        surviving = anywhere & live_before
-
-        if not surviving:
-            if anywhere:
-                indices = [
-                    i for i in range(len(session.grants)) if anywhere >> i & 1
-                ]
-                reason = (
-                    f"query is permitted by partitions {indices} "
-                    "but earlier queries committed to others"
-                )
-            else:
-                reason = "no policy partition discloses enough to answer the query"
-            return False, reason, live_before
-
-        indices = [i for i in range(len(session.grants)) if surviving >> i & 1]
-        return True, f"answered under partition(s) {indices}", surviving
-
-    def _decide(
-        self, session: Session, label: PackedLabel, cached: bool, update: bool
-    ) -> ServiceDecision:
-        live_before = session.live
-        accepted, reason, surviving = self._evaluate(session, label)
-        if update and accepted:
-            session.live = surviving
-        live_after = surviving if (accepted and update) else live_before
-        return ServiceDecision(
-            accepted, session.principal, reason, cached, live_before, live_after, label
-        )
+        return self.kernel.import_label_cache(entries)
 
     # ------------------------------------------------------------------
     # Text front end (SQL / FQL / datalog)
@@ -697,5 +574,6 @@ class DisclosureService:
             "sessions": {"active": active, "passive": passive},
             "label_cache": self.label_cache.stats().as_dict(),
             "parse_cache": self.parse_cache.stats().as_dict(),
+            "kernel": self.kernel.stats(),
             "latency": self.latency.snapshot(),
         }

@@ -14,6 +14,12 @@ classic partitioned design:
   alone, so each worker runs its own label cache and all caches converge
   on the same entries; a new worker starts warm by importing another
   service's exported entries (:meth:`DisclosureService.export_label_cache`).
+* **Interning is per-kernel, translation is cheap.**  Each worker's
+  :class:`~repro.server.kernel.DecisionKernel` assigns its own dense
+  query ids, so the in-process router keeps one interner of its own and
+  a per-backend qid translation table: a fan-out ships already-interned
+  qids plus the *delta* of canonical keys the worker has not seen,
+  instead of re-canonicalizing every query per worker.
 
 The pieces:
 
@@ -196,6 +202,21 @@ class ShardRouter:
         # per-thread connections alive across batches.
         self._fanout: "Optional[ThreadPoolExecutor]" = None
         self._fanout_lock = threading.Lock()
+        # The router's own query interner (local backends): queries are
+        # canonicalized once here, and each backend gets a router-qid →
+        # local-qid translation table extended by interner deltas.  The
+        # interner is replaced wholesale when it crosses the shape cap
+        # (the same unbounded-growth defence as the kernel's plane
+        # rotation); maps record which (router interner, backend plane)
+        # pair they translate between and rebuild when either moves.
+        from repro.server.interning import QueryInterner
+
+        self._interner = QueryInterner()
+        self._qid_maps: Dict[int, Tuple[object, object, List[int]]] = {}
+        self._intern_lock = threading.Lock()
+
+    #: Distinct query shapes the router interner holds before it resets.
+    ROUTER_SHAPE_CAP = 1 << 16
 
     # ------------------------------------------------------------------
     @property
@@ -378,7 +399,17 @@ class ShardRouter:
         return self._batch(items, peek=True)
 
     def _batch(self, items, peek: bool) -> List:
+        from repro.server.batch import decide_batch
+        from repro.server.interning import QueryInterner
+
         items = list(items)
+        with self._intern_lock:
+            if len(self._interner) > self.ROUTER_SHAPE_CAP:
+                self._interner = QueryInterner()
+                self._qid_maps.clear()
+            interner = self._interner
+        intern = interner.intern
+        router_qids = [intern(query) for _, query in items]
         by_shard: Dict[int, List[int]] = {}
         for index, (principal, _) in enumerate(items):
             by_shard.setdefault(self.shard_for(principal), []).append(index)
@@ -386,10 +417,48 @@ class ShardRouter:
         for shard, indices in by_shard.items():
             service = self.backends[shard].service
             sub = [items[i] for i in indices]
-            decided = service.peek_batch(sub) if peek else service.submit_batch(sub)
+            sub_qids, plane = self._local_qids(
+                interner, shard, [router_qids[i] for i in indices]
+            )
+            decided = decide_batch(
+                service, sub, update=not peek, qids=sub_qids, qids_plane=plane
+            )
             for index, decision in zip(indices, decided):
                 decisions[index] = decision
         return decisions
+
+    def _local_qids(
+        self, interner, shard: int, router_qids: List[int]
+    ) -> "Tuple[List[int], object]":
+        """Translate router qids into *shard*'s kernel qids.
+
+        The translation table grows by interner *deltas*: a router qid
+        the backend has not seen yet ships as its canonical key (read
+        straight off the router's interner — the query is never
+        re-canonicalized), interned once into the backend's kernel.
+        Returns the local qids plus the backend plane they belong to;
+        a map built for a rotated-away router interner or backend plane
+        is discarded and rebuilt.
+        """
+        with self._intern_lock:
+            kernel = self.backends[shard].service.kernel
+            # resolution_plane (not .plane): interning through the
+            # router must trigger the backend's shape-cap rotation too.
+            plane = kernel.resolution_plane()
+            entry = self._qid_maps.get(shard)
+            if entry is None or entry[0] is not interner or entry[1] is not plane:
+                entry = (interner, plane, [])
+                self._qid_maps[shard] = entry
+            mapping = entry[2]
+            known = len(interner)
+            if len(mapping) < known:
+                key_of = interner.key_of
+                intern_key = plane.queries.intern_key
+                mapping.extend(
+                    intern_key(key_of(router_qid))
+                    for router_qid in range(len(mapping), known)
+                )
+            return [mapping[router_qid] for router_qid in router_qids], plane
 
     def __contains__(self, principal: object) -> bool:
         return principal in self.backend_for(principal).service
@@ -449,6 +518,13 @@ def aggregate_metrics(snapshots: Sequence[Dict]) -> Dict:
         },
         "label_cache": cache_aggregate("label_cache"),
         "parse_cache": cache_aggregate("parse_cache"),
+        # Interner sizes sum across shards: each worker's kernel interns
+        # independently, so the total is table entries held, not
+        # distinct shapes seen by the deployment.
+        "kernel": {
+            "queries_interned": total("kernel", "queries_interned"),
+            "labels_interned": total("kernel", "labels_interned"),
+        },
         "latency": aggregate_latency(
             [snap.get("latency", {}) for snap in snapshots]
         ),
@@ -462,20 +538,29 @@ def merge_snapshot_payloads(payloads: Sequence[Dict]) -> Dict:
     The merge mirrors why sharding needs no coordination: sessions are
     disjoint across shards (dict union), label-cache entries are
     principal-free (union, later shards win ties), counters sum, and
-    latency percentiles re-derive from merged buckets.  The result
-    carries no ``shard`` stamp — it is topology-free by construction.
+    latency percentiles re-derive from merged buckets.  Per-shard
+    payloads arrive in whatever readable snapshot form the worker wrote
+    (the interned v2 tables, in this release); shard-local integer ids
+    are meaningless across kernels, so the merge decodes everything to
+    canonical keys and packed labels and emits the plain (v1-style)
+    sections.  The result carries no ``shard`` stamp — it is
+    topology-free by construction.
     """
+    from repro.server.persist import (
+        encode_cache_entries,
+        payload_cache_entries,
+        payload_sessions,
+    )
     from repro.server.service import _STATE_FORMAT
 
     sessions: Dict[str, Dict] = {}
-    cache: Dict[str, List] = {}
+    cache: Dict = {}
     totals = {"decisions": 0, "accepted": 0, "refused": 0, "peeks": 0}
     latencies = []
     for payload in payloads:
-        exported = payload.get("sessions") or {}
-        sessions.update(exported.get("sessions", {}))
-        for entry in payload.get("label_cache", []):
-            cache[json.dumps(entry[0])] = entry
+        sessions.update(payload_sessions(payload))
+        for key, label in payload_cache_entries(payload):
+            cache[key] = label
         metrics = payload.get("metrics") or {}
         for name in totals:
             value = metrics.get(name, 0)
@@ -484,7 +569,7 @@ def merge_snapshot_payloads(payloads: Sequence[Dict]) -> Dict:
             latencies.append(metrics["latency"])
     return {
         "sessions": {"format": _STATE_FORMAT, "sessions": sessions},
-        "label_cache": list(cache.values()),
+        "label_cache": encode_cache_entries(cache.items()),
         "metrics": {**totals, "latency": aggregate_latency(latencies)},
     }
 

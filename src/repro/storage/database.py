@@ -11,14 +11,14 @@ from __future__ import annotations
 import random
 import re
 import sqlite3
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
 from repro.core.tagged import TaggedAtom
 from repro.core.terms import Constant, Variable, is_variable
 from repro.errors import StorageError
-from repro.facebook.schema import REL_VALUES, facebook_schema
+from repro.facebook.schema import facebook_schema
 
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 

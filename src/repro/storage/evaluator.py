@@ -10,7 +10,7 @@ executable *definition* of CQ semantics against which the SQL translation
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.core.tagged import TaggedAtom, TaggedVar

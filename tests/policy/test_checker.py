@@ -138,3 +138,72 @@ class TestCheckerAgreesWithMonitor:
                     principal, registry.pack_label(query_atoms)
                 )
                 assert slow == fast, (partitions, query_atoms)
+
+
+class TestMaskEntryPoints:
+    """The packed-mask forms must agree with the label forms exactly."""
+
+    def test_check_mask_matches_check(self, setup):
+        import random
+
+        views, registry, checker = setup
+        shadow = PolicyChecker(registry)
+        rng = random.Random(7)
+        atoms = [V1, V2, V3, V6, V7]
+        names = list(ALL)
+        for _ in range(20):
+            partitions = [
+                rng.sample(names, rng.randint(1, len(names)))
+                for _ in range(rng.randint(1, 3))
+            ]
+            policy = PartitionPolicy(partitions, views)
+            principal = checker.add_principal(policy)
+            shadow_principal = shadow.add_principal(policy)
+            for _ in range(10):
+                label = registry.pack_label(
+                    rng.sample(atoms, rng.randint(1, 2))
+                )
+                mask = checker.satisfying_mask(principal, label)
+                assert checker.check_mask(principal, mask) == shadow.check(
+                    shadow_principal, label
+                )
+                assert checker.live_vector(principal) == shadow.live_vector(
+                    shadow_principal
+                )
+
+    def test_satisfying_mask_ignores_history(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+        v2_label = registry.pack_label([V2])
+        before = checker.satisfying_mask(principal, v2_label)
+        assert checker.check(principal, registry.pack_label([V6]))  # commit
+        assert checker.satisfying_mask(principal, v2_label) == before == 0b01
+        # ... while check_mask respects the committed live vector:
+        assert not checker.check_mask(principal, before)
+
+    def test_refused_mask_leaves_state(self, setup):
+        views, registry, checker = setup
+        policy = PartitionPolicy([["V1"]], views)
+        principal = checker.add_principal(policy)
+        assert not checker.check_mask(principal, 0)
+        assert checker.live_vector(principal) == 0b1
+
+    def test_run_stream_masks_matches_run_stream(self, setup):
+        views, registry, checker = setup
+        shadow = PolicyChecker(registry)
+        policy = PartitionPolicy([["V1", "V2"], ["V3", "V6", "V7"]], views)
+        principal = checker.add_principal(policy)
+        shadow_principal = shadow.add_principal(policy)
+        labels = [registry.pack_label([a]) for a in (V6, V7, V2, V1)]
+        stream = [(principal, label) for label in labels]
+        masks = [
+            (principal, checker.satisfying_mask(principal, label))
+            for label in labels
+        ]
+        assert checker.run_stream_masks(masks) == shadow.run_stream(
+            [(shadow_principal, label) for label in labels]
+        )
+        assert checker.live_vector(principal) == shadow.live_vector(
+            shadow_principal
+        )

@@ -163,9 +163,69 @@ class TestSnapshotFiles:
         payload = self._payload(views)
         path = save_snapshot(tmp_path / "snap.json", payload)
         document = load_snapshot(path)
-        assert document["format"] == "repro.snapshot/1"
+        assert document["format"] == "repro.snapshot/2"
         assert document["payload"] == json.loads(json.dumps(payload))
         assert not list(tmp_path.glob(".*tmp*")), "temp file left behind"
+
+    def test_v1_documents_still_restore(self, views, tmp_path):
+        """Snapshots written by the pre-ID-plane release (format 1:
+        per-principal partition lists + flat ``[key, label]`` cache
+        pairs) must keep loading and restoring byte-identically."""
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(2, 100):
+            service.submit(principal, query)
+        v1_payload = {
+            "sessions": service.export_state(),
+            "label_cache": encode_cache_entries(service.export_label_cache()),
+            "metrics": {"decisions": service.decisions.value},
+        }
+        path = tmp_path / "snapshot-00000001.json"
+        save_snapshot(path, v1_payload)
+        # Rewrite the header to the v1 format stamp (save writes v2).
+        document = json.loads(path.read_text())
+        document["format"] = "repro.snapshot/1"
+        path.write_text(json.dumps(document, sort_keys=True))
+
+        loaded = load_snapshot(path)
+        assert loaded["format"] == "repro.snapshot/1"
+        restored = DisclosureService(views)
+        stats = restore_service(restored, loaded["payload"])
+        assert stats.sessions == PRINCIPALS
+        assert stats.cache_entries == len(service.export_label_cache())
+        after = _traffic(77, 150)
+        assert _wire(
+            [service.submit(p, q) for p, q in after]
+        ) == _wire([restored.submit(p, q) for p, q in after])
+        # collect_state normalizes v1 files exactly like v2 ones.
+        collected = collect_state(tmp_path)
+        assert len(collected.sessions) == PRINCIPALS
+
+    def test_v2_payload_dedupes_tables(self, views):
+        """The ID-plane payload stores each policy, canonical key, and
+        packed label once, however many sessions or cache entries
+        reference it — and is smaller than the v1 encoding on the same
+        state."""
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(3, 200):
+            service.submit(principal, query)
+        payload = snapshot_service(service)
+        interning = payload["interning"]
+        entries = service.export_label_cache()
+        assert len(interning["cache"]) == len(entries)
+        distinct_labels = {tuple(label) for _, label in entries}
+        assert len(interning["labels"]) == len(distinct_labels)
+        assert len(distinct_labels) < len(entries)  # labels are shared
+        v1_bytes = len(
+            json.dumps(
+                {
+                    "sessions": service.export_state(),
+                    "label_cache": encode_cache_entries(entries),
+                    "metrics": payload["metrics"],
+                }
+            )
+        )
+        v2_bytes = len(json.dumps(payload))
+        assert v2_bytes < v1_bytes
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(SnapshotError, match="cannot read"):
