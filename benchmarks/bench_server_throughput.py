@@ -20,11 +20,20 @@ Run the pytest series with::
     pytest benchmarks/bench_server_throughput.py --benchmark-only
 
 or run the standalone sweep modes (batch sizes, shard counts, restart
-cost)::
+cost, HTTP transports)::
 
     python benchmarks/bench_server_throughput.py --batch
     python benchmarks/bench_server_throughput.py --shards
     python benchmarks/bench_server_throughput.py --restart
+    python benchmarks/bench_server_throughput.py --http
+
+``--http`` compares single-query decisions/sec over the wire: the v1
+text protocol against the stdlib thread-per-connection server versus
+the v2 qid wire against the asyncio front end (pipelined
+:class:`repro.client.AsyncHttpClient`, per-tick coalescing on the
+server).  The PR 5 acceptance bar requires the v2 asyncio path to
+clear 4× the v1 stdlib baseline; the CI gate enforces a conservative
+floor from ``BENCH_BASELINE.json``.
 
 ``--restart`` measures what a crash costs: the same replay through an
 uninterrupted service, a **warm** restart (state restored from a
@@ -36,15 +45,17 @@ PR 3 acceptance bar).
 The CI regression gate runs the deterministic quick form and compares
 against the committed baseline::
 
-    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR4.json \\
+    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR5.json \\
         --check benchmarks/BENCH_BASELINE.json
 
 which exits non-zero when warm single-query or batch throughput drops
-more than 30% below the baseline, or the warm-restart recovery bar
-fails.  The ``--ci`` output also carries a ``kernel`` microbenchmark
-section (qid resolution and pure ``decide_many`` rates over the
-interned ID plane) so kernel-level drift is visible in the artifact
-even before it moves an end-to-end number.
+more than 30% below the baseline, the warm-restart recovery bar fails,
+or the HTTP section falls below its committed floors (absolute v2
+asyncio throughput and its speedup over v1 stdlib).  The ``--ci``
+output also carries a ``kernel`` microbenchmark section (qid
+resolution and pure ``decide_many`` rates over the interned ID plane)
+so kernel-level drift is visible in the artifact even before it moves
+an end-to-end number.
 """
 
 from __future__ import annotations
@@ -373,6 +384,98 @@ def _sweep_restart(queries: int, seed: int) -> None:
     )
 
 
+def _measure_http(duration: float, seed: int) -> dict:
+    """Single-query decisions/sec over the wire, v1-stdlib vs v2-asyncio.
+
+    Both sides run the same closed-loop Figure 6 workload through the
+    one :class:`repro.client.DecisionClient` API; only the transport
+    differs.  The v1 baseline uses 4 worker threads (its best shape on
+    a small machine); the v2 asyncio side uses 64 pipelined in-flight
+    requests on one connection — the concurrency the server's per-tick
+    drain turns into bulk decisions.
+    """
+    import threading
+
+    from repro.server.aio import start_async_background
+    from repro.server.httpd import start_background
+
+    def fresh_service() -> DisclosureService:
+        from repro.facebook.permissions import facebook_security_views
+
+        return DisclosureService(facebook_security_views())
+
+    # --- v1 text wire, stdlib thread-per-connection server ----------
+    service = fresh_service()
+    server, _thread = start_background(service)
+    host, port = server.server_address[:2]
+    try:
+        v1 = run_load(
+            url=f"http://{host}:{port}",
+            transport="http",
+            protocol="v1",
+            workers=4,
+            duration=duration,
+            principals=PRINCIPALS,
+            query_pool=256,
+            seed=seed,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    # --- v2 qid wire, asyncio front end with tick coalescing --------
+    handle = start_async_background(fresh_service())
+    try:
+        v2 = run_load(
+            url=f"http://{handle.host}:{handle.port}",
+            transport="async-http",
+            protocol="v2",
+            workers=64,
+            duration=duration,
+            principals=PRINCIPALS,
+            query_pool=256,
+            seed=seed,
+        )
+        coalescing = (
+            handle.server.drained / handle.server.ticks
+            if handle.server.ticks
+            else 0.0
+        )
+    finally:
+        handle.stop()
+
+    return {
+        "v1_stdlib_single_qps": v1.qps,
+        "v1_p50_us": v1.p50_us,
+        "v2_async_single_qps": v2.qps,
+        "v2_p50_us": v2.p50_us,
+        "speedup": v2.qps / v1.qps if v1.qps else 0.0,
+        "v2_requests_per_tick": coalescing,
+        "errors": v1.errors + v2.errors,
+    }
+
+
+def _sweep_http(duration: float, seed: int) -> None:
+    """Human-readable form of :func:`_measure_http`."""
+    result = _measure_http(duration, seed)
+    print("single-query decisions/sec over HTTP:")
+    print(
+        f"  v1 text wire, stdlib httpd:     "
+        f"{result['v1_stdlib_single_qps']:>10,.0f}/s   "
+        f"p50 {result['v1_p50_us']:.0f} µs"
+    )
+    print(
+        f"  v2 qid wire, asyncio front end: "
+        f"{result['v2_async_single_qps']:>10,.0f}/s   "
+        f"p50 {result['v2_p50_us']:.0f} µs"
+    )
+    print(
+        f"  speedup: {result['speedup']:.2f}x   "
+        f"(server coalesced {result['v2_requests_per_tick']:.1f} "
+        f"requests per tick, {result['errors']} errors)"
+    )
+
+
 # ----------------------------------------------------------------------
 # The CI regression gate: deterministic quick run + committed baseline
 # ----------------------------------------------------------------------
@@ -410,11 +513,12 @@ def _measure_kernel(service, traffic) -> dict:
 
 
 def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
-    """Emit ``BENCH_PR4.json`` and gate against the committed baseline.
+    """Emit ``BENCH_PR5.json`` and gate against the committed baseline.
 
     Thresholds are deliberately loose (warm single-query and batch
-    throughput may not drop more than 30% below baseline) because CI
-    machines vary; the hit-rate recovery bar is exact because it is
+    throughput may not drop more than 30% below baseline; HTTP floors
+    are set conservatively in the baseline file) because CI machines
+    vary; the hit-rate recovery bar is exact because it is
     machine-independent.
     """
     import json
@@ -432,6 +536,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     batch_qps = _best_rate(lambda: service.submit_batch(traffic), len(traffic), 3)
     kernel = _measure_kernel(service, traffic)
     restart = _measure_restart(queries=BATCH, seed=seed + 1)
+    http = _measure_http(duration=1.5, seed=seed + 2)
 
     results = {
         "figure": "server-throughput-ci",
@@ -442,6 +547,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         "batch_qps": batch_qps,
         "kernel": kernel,
         "restart": restart,
+        "http": http,
     }
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -455,6 +561,12 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         f"{kernel['labels_interned']} lids"
     )
     print(f"warm-restart hit-rate recovery: {restart['hit_rate_recovery']:.1%}")
+    print(
+        f"HTTP single-query: v1 stdlib {http['v1_stdlib_single_qps']:,.0f}/s "
+        f"→ v2 asyncio {http['v2_async_single_qps']:,.0f}/s "
+        f"({http['speedup']:.2f}x, "
+        f"{http['v2_requests_per_tick']:.1f} requests/tick coalesced)"
+    )
 
     failures = []
     if restart["hit_rate_recovery"] < 0.9:
@@ -483,6 +595,20 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
                 f"below the committed baseline "
                 f"{baseline['batch_qps']:,.0f}/s"
             )
+        http_floor = baseline.get("http_v2_async_qps", 0)
+        if http["v2_async_single_qps"] < http_floor:
+            failures.append(
+                f"v2 asyncio HTTP throughput "
+                f"{http['v2_async_single_qps']:,.0f}/s is below the "
+                f"committed floor {http_floor:,.0f}/s"
+            )
+        speedup_floor = baseline.get("http_speedup_floor", 0.0)
+        if http["speedup"] < speedup_floor:
+            failures.append(
+                f"v2 asyncio speedup over v1 stdlib is only "
+                f"{http['speedup']:.2f}x (floor: {speedup_floor:.1f}x; "
+                "the PR 5 acceptance bar on an unloaded machine is 4x)"
+            )
     for failure in failures:
         print(f"REGRESSION: {failure}")
     return 1 if failures else 0
@@ -507,11 +633,15 @@ def main(argv=None) -> int:
         help="measure cold vs warm restart (hit rate, qps, restore time)",
     )
     parser.add_argument(
+        "--http", action="store_true",
+        help="compare v1-stdlib vs v2-asyncio single-query HTTP throughput",
+    )
+    parser.add_argument(
         "--ci", action="store_true",
         help="deterministic quick run for the CI regression gate",
     )
     parser.add_argument(
-        "--json", default="BENCH_PR4.json",
+        "--json", default="BENCH_PR5.json",
         help="(--ci) where to write the results JSON",
     )
     parser.add_argument(
@@ -525,8 +655,10 @@ def main(argv=None) -> int:
                         help="request size for the --shards sweep")
     parser.add_argument("--seed", type=int, default=6)
     args = parser.parse_args(argv)
-    if not (args.batch or args.shards or args.restart or args.ci):
-        parser.error("pick a mode: --batch, --shards, --restart, and/or --ci")
+    if not (args.batch or args.shards or args.restart or args.http or args.ci):
+        parser.error(
+            "pick a mode: --batch, --shards, --restart, --http, and/or --ci"
+        )
     if args.ci:
         return _run_ci(args.json, args.check, args.seed)
     if args.batch:
@@ -535,6 +667,8 @@ def main(argv=None) -> int:
         _sweep_shard_counts(args.duration, args.batch_size, args.seed)
     if args.restart:
         _sweep_restart(args.queries, args.seed)
+    if args.http:
+        _sweep_http(args.duration, args.seed)
     return 0
 
 

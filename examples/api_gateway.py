@@ -5,15 +5,18 @@ for FQL, once for the Graph API — and the two hand-maintained label sets
 diverged.  This example runs equivalent requests through both of our API
 front ends and shows they compile to the same conjunctive query shape
 and therefore receive the *same* machine-computed label, for exactly the
-attributes where the 2013 documentation disagreed.
+attributes where the 2013 documentation disagreed — then feeds both
+through one DecisionClient to show the *decisions* agree too.
 
 Run:  python examples/api_gateway.py
 """
 
 from repro import facebook_schema, facebook_security_views
+from repro.client import LocalClient
 from repro.facebook.fql import fql_to_query
 from repro.facebook.graphapi import graph_to_query
 from repro.labeling import ConjunctiveQueryLabeler
+from repro.server import DisclosureService
 
 ME = 7
 schema = facebook_schema()
@@ -72,3 +75,20 @@ for attribute, graph_path, fql_text in REQUESTS:
 
 print("Hand-written documentation drifted (Table 2); a label computed from")
 print("the query itself is one artifact shared by every API surface.")
+
+# The serving-layer corollary: because both front ends compile to the
+# same query shapes, a gateway can put ONE decision client in front of
+# ONE policy and the two surfaces cannot disagree on enforcement
+# either.  (LocalClient here; an HttpClient against `repro serve`
+# behaves identically — that is the DecisionClient contract.)
+client = LocalClient(DisclosureService(facebook_security_views(schema), schema=schema))
+client.register("gateway-app", [["user_birthday", "public_profile"], ["user_likes"]])
+
+print("\nDecisions through one DecisionClient, per surface:")
+for attribute, graph_path, fql_text in REQUESTS:
+    graph_decision = client.peek("gateway-app", graph_to_query(graph_path, ME, schema))
+    fql_decision = client.peek("gateway-app", fql_to_query(fql_text, ME, schema))
+    assert graph_decision["accepted"] == fql_decision["accepted"]
+    verdict = "accepted" if graph_decision["accepted"] else "refused"
+    print(f"{attribute:22s} Graph API == FQL == {verdict}")
+

@@ -7,9 +7,10 @@ Usage::
     python -m repro audit
     python -m repro lattice
     python -m repro evaluate          # alias of python -m repro.harness
-    python -m repro serve [--host H] [--port P] [--shards N]
+    python -m repro serve [--host H] [--port P] [--shards N] [--async]
                           [--state-dir DIR] [--snapshot-interval S]
     python -m repro loadgen [--workers N] [--duration S] [--url URL] [--batch B]
+                            [--transport local|http|async-http] [--v1|--v2]
     python -m repro snapshot save|load|inspect [FILE] [--state-dir DIR] [--url URL]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
@@ -18,12 +19,16 @@ labeling report; ``label-fql`` does the same for FQL over the Facebook
 schema; ``audit`` prints Table 2; ``lattice`` prints the Figure 3
 disclosure lattice and its DOT rendering; ``serve`` starts the JSON
 decision service over the Facebook vocabulary (``--shards N`` runs N
-worker processes behind a hash-partitioning front end; ``--state-dir``
+worker processes behind a hash-partitioning front end; ``--async``
+serves the same routes from an asyncio event loop whose per-tick drain
+coalesces concurrent requests into bulk decisions; ``--state-dir``
 makes sessions, label cache, and counters durable across restarts);
-``loadgen`` drives the Section 7.2 workload through a service and
-reports throughput (``--batch B`` sends batches of B through
-``/v1/batch`` or :meth:`DisclosureService.submit_batch`); ``snapshot``
-saves, restores, and inspects the durable snapshot files.
+``loadgen`` drives the Section 7.2 workload through a
+:class:`repro.client.DecisionClient` and reports throughput
+(``--transport local|http|async-http`` picks the client, ``--v1`` /
+``--v2`` pins the wire protocol, ``--batch B`` sends batches of B
+through ``submit_many``); ``snapshot`` saves, restores, and inspects
+the durable snapshot files.
 
 The installed console script ``repro`` (see ``pyproject.toml``) is an
 alias for ``python -m repro``.
@@ -168,6 +173,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "error: --snapshot-interval must be > 0 seconds", file=sys.stderr
         )
         return 2
+    if args.async_mode and args.shards > 1:
+        print(
+            "error: --async serves a single process; combine scale-out "
+            "with a shard-aware client over per-shard --async servers "
+            "instead of --shards",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.shards > 1:
         return _serve_sharded(args, default_policy)
@@ -236,12 +249,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"snapshots: {store.state_dir} every "
             f"{args.snapshot_interval:g}s (keeping {store.keep})"
         )
+    if args.async_mode:
+        return _serve_async(service, args, snapshotter)
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"disclosure decision service on http://{host}:{port}")
     print(
-        "routes: POST /v1/register /v1/query /v1/peek /v1/batch /v1/reset; "
-        "GET /metrics /healthz"
+        "routes: POST /v1/register /v1/query /v1/peek /v1/batch /v1/reset "
+        "/v2/query /v2/batch; GET /v2/protocol /metrics /healthz"
     )
     try:
         server.serve_forever()
@@ -249,6 +264,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.server_close()
+        if snapshotter is not None:
+            snapshotter.stop()  # takes the final shutdown snapshot
+    return 0
+
+
+def _serve_async(service, args: argparse.Namespace, snapshotter) -> int:
+    """The ``serve --async`` composition: one asyncio front end."""
+    import asyncio
+
+    from repro.server.aio import AsyncDecisionServer
+
+    async def run() -> None:
+        server = AsyncDecisionServer(service, args.host, args.port)
+        await server.start()
+        print(
+            f"disclosure decision service (asyncio) on "
+            f"http://{server.host}:{server.port}"
+        )
+        print(
+            "routes: POST /v1/register /v1/query /v1/peek /v1/batch "
+            "/v1/reset /v2/query /v2/batch; GET /v2/protocol /metrics "
+            "/healthz (single decisions coalesce per event-loop tick)"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
         if snapshotter is not None:
             snapshotter.stop()  # takes the final shutdown snapshot
     return 0
@@ -429,9 +477,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.server.loadgen import run_load
 
+    from repro.client import ClientError
+
     try:
         report = run_load(
             url=args.url,
+            transport=args.transport,
+            protocol=args.protocol,
             workers=args.workers,
             duration=args.duration,
             total_queries=args.queries,
@@ -442,7 +494,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             warm=not args.cold,
             batch=args.batch,
         )
-    except (URLError, OSError) as exc:
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ClientError, URLError, OSError) as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
     print(report.render())
@@ -486,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="worker processes; >1 starts the sharded front end "
         "(principals hash-partitioned across workers)",
+    )
+    serve.add_argument(
+        "--async", dest="async_mode", action="store_true",
+        help="serve from an asyncio event loop instead of the "
+        "thread-per-connection stdlib server; concurrent decision "
+        "requests coalesce into bulk decisions per event-loop tick",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=10_000,
@@ -558,7 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--batch", type=int, default=1,
         help="decisions per request: >1 drives the batch path "
-        "(submit_batch in process, POST /v1/batch over HTTP)",
+        "(DecisionClient.submit_many on every transport)",
+    )
+    loadgen.add_argument(
+        "--transport", choices=("local", "http", "async-http"),
+        help="client transport (default: local, or http when --url is "
+        "given); async-http pipelines --workers in-flight requests "
+        "over one connection (pair with `repro serve --async`)",
+    )
+    loadgen.add_argument(
+        "--protocol", choices=("auto", "v1", "v2"), default="auto",
+        help="HTTP wire protocol (auto negotiates v2, falling back "
+        "to v1 against older servers or a sharded front end)",
+    )
+    loadgen.add_argument(
+        "--v2", dest="protocol", action="store_const", const="v2",
+        help="shorthand for --protocol v2 (the qid-native wire)",
+    )
+    loadgen.add_argument(
+        "--v1", dest="protocol", action="store_const", const="v1",
+        help="shorthand for --protocol v1 (the text wire)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
     return parser

@@ -1,0 +1,40 @@
+"""``repro.client`` — one :class:`DecisionClient` API over every transport.
+
+* :mod:`repro.client.base` — the :class:`DecisionClient` protocol
+  (``submit`` / ``peek`` / ``submit_many`` / ``peek_many`` /
+  ``decide_group`` / ``register`` / ``reset`` / ``metrics`` /
+  ``snapshot``) and the uniform :class:`ClientError`
+* :mod:`repro.client.local` — :class:`LocalClient`: an in-process
+  :class:`~repro.server.service.DisclosureService` behind the protocol
+* :mod:`repro.client.http` — :class:`HttpClient`: sync HTTP speaking
+  the qid-native v2 wire, negotiating down to v1 against older servers
+* :mod:`repro.client.aio` — :class:`AsyncHttpClient`: the same surface
+  as coroutines, pipelining requests over one connection (pair it with
+  ``repro serve --async``)
+* :mod:`repro.client.sharded` — :class:`ShardedClient`: client-side
+  principal routing over one client per shard
+* :mod:`repro.client.wire` — the client half of the v2 wire protocol
+  (interner generations, qid deltas, compact-row inflation)
+* :mod:`repro.client.parsing` — :func:`parse_text`: the one place
+  request text becomes a parsed query for the client stack
+"""
+
+from repro.client.aio import AsyncHttpClient
+from repro.client.base import ClientError, DecisionClient
+from repro.client.http import HttpClient
+from repro.client.local import LocalClient
+from repro.client.parsing import parse_text
+from repro.client.sharded import ShardedClient
+from repro.client.wire import WireState, query_to_datalog
+
+__all__ = [
+    "AsyncHttpClient",
+    "ClientError",
+    "DecisionClient",
+    "HttpClient",
+    "LocalClient",
+    "ShardedClient",
+    "WireState",
+    "parse_text",
+    "query_to_datalog",
+]

@@ -1,0 +1,414 @@
+"""The asyncio HTTP :class:`DecisionClient`: pipelined v2 over one socket.
+
+``AsyncHttpClient`` exposes the same :class:`~repro.client.base
+.DecisionClient` surface as coroutines.  Any number of tasks may call
+it concurrently: requests are written back to back on one keep-alive
+connection (HTTP/1.1 responses arrive in request order, so a FIFO of
+waiter futures matches them back), which is what makes the asyncio
+front end's per-tick coalescing effective — N in-flight single-query
+requests from one client arrive in one socket read, drain into one
+``decide_group`` per principal on the server, and come back in one
+write.  Closed-loop concurrency without threads.
+
+The v2 sync rules are the same as the sync client's
+(:mod:`repro.client.wire`): request building is serialized with
+transmission under the write lock, and a ``409 unknown-generation``
+re-sends the request with the full key table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.client import wire
+from repro.client.base import ClientError, ClientItem
+from repro.client.http import _error_from, _split_url
+from repro.core.queries import ConjunctiveQuery
+
+_CRLF = b"\r\n"
+
+
+class AsyncHttpClient:
+    """The :class:`DecisionClient` surface as coroutines (v2 wire).
+
+    Not a :class:`DecisionClient` subclass — every decision and
+    administration method is ``async`` — but method for method the same
+    contract, returning the same stable wire dicts.  See
+    :class:`repro.client.HttpClient` for the parameters; ``protocol``
+    accepts ``"v2"`` (default), ``"v1"``, or ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        protocol: str = "v2",
+        compact: bool = True,
+        timeout: Optional[float] = 30.0,
+    ):
+        if protocol not in ("auto", "v1", "v2"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.host, self.port = _split_url(url)
+        #: Stall timeout: if responses stop arriving for this long while
+        #: requests are in flight, the connection is failed.  Enforced
+        #: by one per-connection watchdog, not per request — responses
+        #: are FIFO on the socket, so "the head response is late" is the
+        #: only timeout there is.  ``None`` disables it.
+        self.timeout = timeout
+        self.compact = compact
+        self._protocol: Optional[str] = None if protocol == "auto" else protocol
+        self._state = wire.WireState()
+        self._texts: Dict[int, str] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._waiters: "deque[asyncio.Future]" = deque()
+        self._write_lock = asyncio.Lock()
+        self._last_activity = 0.0
+        #: path -> rendered request-head prefix (up to Content-Length).
+        self._head_prefixes: Dict[str, bytes] = {}
+        #: Requests rendered this tick, flushed in one socket write.
+        self._out: List[bytes] = []
+        self._flush_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def connect(self) -> "AsyncHttpClient":
+        """Open the connection eagerly (otherwise the first call does)."""
+        async with self._write_lock:
+            await self._ensure_connected()
+        return self
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        # Unflushed bytes belong to the dead connection; their waiters
+        # were failed with it, and replaying them on the new socket
+        # would misalign every future response.
+        self._out.clear()
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        loop = asyncio.get_running_loop()
+        self._reader_task = loop.create_task(self._read_responses(self._reader))
+        if self.timeout is not None and self._watchdog_task is None:
+            self._watchdog_task = loop.create_task(self._watchdog())
+
+    async def _watchdog(self) -> None:
+        """Fail the connection when in-flight responses stop arriving."""
+        assert self.timeout is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.timeout / 2)
+            writer = self._writer
+            if (
+                writer is not None
+                and self._waiters
+                and loop.time() - self._last_activity > self.timeout
+            ):
+                writer.close()  # the reader task fails every waiter
+
+    async def _read_responses(self, reader: asyncio.StreamReader) -> None:
+        """Match responses to waiters in FIFO order until EOF/error."""
+        loop = asyncio.get_running_loop()
+        loads = json.loads
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        raise
+                    break  # clean EOF between responses
+                status = int(head.split(None, 2)[1])
+                length = 0
+                for line in head.split(_CRLF)[1:]:
+                    name, _, value = line.partition(b":")
+                    if name.strip().lower() == b"content-length":
+                        length = int(value.strip())
+                        break
+                payload = (
+                    loads(await reader.readexactly(length)) if length else None
+                )
+                self._last_activity = loop.time()
+                if self._waiters:
+                    waiter = self._waiters.popleft()
+                    if not waiter.done():
+                        waiter.set_result((status, payload))
+        except Exception as exc:  # noqa: BLE001 - surfaced via waiters
+            error = exc
+        # The connection is gone: fail everything still in flight and
+        # force a full interner resync (the server may have restarted).
+        self._state.resync()
+        failure = ClientError(
+            f"connection to {self.host}:{self.port} closed"
+            + (f": {error}" if error else ""),
+            status=502,
+        )
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(failure)
+        if self._writer is not None and reader is self._reader:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def close(self) -> None:
+        async with self._write_lock:
+            writer, self._writer, self._reader = self._writer, None, None
+            task, self._reader_task = self._reader_task, None
+            watchdog, self._watchdog_task = self._watchdog_task, None
+        if watchdog is not None:
+            watchdog.cancel()
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+
+    async def __aenter__(self) -> "AsyncHttpClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # The pipelined request primitive
+    # ------------------------------------------------------------------
+    def _render(self, method: str, path: str, body: Optional[Dict]) -> bytes:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        prefix = self._head_prefixes.get(path)
+        if prefix is None or not prefix.startswith(method.encode()):
+            prefix = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: "
+            ).encode("ascii")
+            self._head_prefixes[path] = prefix
+        return b"%b%d\r\n\r\n%b" % (prefix, len(payload), payload)
+
+    async def _send(
+        self, method: str, path: str, build: Callable[[], Optional[Dict]]
+    ) -> Tuple[int, object]:
+        """Build, transmit, await the response.
+
+        Build-and-write is serialized with other senders, which is what
+        keeps interner deltas arriving at the server in ``base`` order.
+        On the connected fast path that needs no lock at all: there is
+        no ``await`` between *build* and the socket write, so the event
+        loop cannot interleave another sender.  Only (re)connection
+        takes the lock.
+        """
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            async with self._write_lock:
+                await self._ensure_connected()
+            writer = self._writer
+            assert writer is not None
+        body = build()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if not self._waiters:
+            self._last_activity = loop.time()  # the watchdog clock starts
+        self._waiters.append(future)
+        # Coalesce writes: every request issued this event-loop tick
+        # leaves in one socket write (one syscall for a whole burst of
+        # concurrent senders — the profile's dominant per-request cost).
+        self._out.append(self._render(method, path, body))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_soon(self._flush_writes)
+        return await future
+
+    def _flush_writes(self) -> None:
+        self._flush_scheduled = False
+        if not self._out:
+            return
+        data = b"".join(self._out)
+        self._out.clear()
+        writer = self._writer
+        if writer is not None and not writer.is_closing():
+            writer.write(data)
+        # A connection that dropped between queueing and flush loses
+        # these bytes, but their waiters were already failed by the
+        # reader task — callers see the ClientError either way.
+
+    async def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, object]:
+        return await self._send(method, path, lambda: body)
+
+    async def _request_v2(
+        self, path: str, build: Callable[[], Dict]
+    ) -> Tuple[int, object]:
+        """A v2 request with automatic 409 resync-and-retry."""
+        sent: Dict = {}
+
+        def build_and_record() -> Dict:
+            sent.update(build())
+            return sent
+
+        status, payload = await self._send("POST", path, build_and_record)
+        if status == 409:
+            status, payload = await self._send(
+                "POST", path, lambda: wire.resync_body(self._state, sent)
+            )
+        return status, payload
+
+    async def _protocol_name(self) -> str:
+        if self._protocol is None:
+            status, payload = await self._request("GET", "/v2/protocol")
+            self._protocol = (
+                "v2"
+                if status == 200
+                and isinstance(payload, dict)
+                and "v2" in payload.get("versions", ())
+                else "v1"
+            )
+        return self._protocol
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    async def _decide(
+        self, principal: Hashable, query: ConjunctiveQuery, *, peek: bool
+    ) -> Dict:
+        if await self._protocol_name() == "v2":
+            status, payload = await self._request_v2(
+                "/v2/query",
+                lambda: wire.single_body(
+                    self._state,
+                    principal,
+                    query,
+                    peek=peek,
+                    compact=self.compact,
+                ),
+            )
+            if status != 200:
+                raise _error_from(status, payload)
+            return wire.inflate_single(payload, principal)
+        status, payload = await self._request(
+            "POST",
+            "/v1/peek" if peek else "/v1/query",
+            {"principal": principal, "datalog": self._datalog(query)},
+        )
+        if status != 200:
+            raise _error_from(status, payload)
+        return payload  # type: ignore[return-value]
+
+    async def _decide_many(
+        self, items: Sequence[ClientItem], *, peek: bool
+    ) -> List[Dict]:
+        if not items:
+            return []
+        if await self._protocol_name() == "v2":
+            principals: List[str] = []
+
+            def build() -> Dict:
+                body, table = wire.batch_body(
+                    self._state, items, peek=peek, compact=self.compact
+                )
+                principals[:] = table
+                return body
+
+            status, payload = await self._request_v2("/v2/batch", build)
+            if status != 200:
+                raise _error_from(status, payload)
+            return wire.inflate_batch(payload, principals)
+        status, payload = await self._request(
+            "POST",
+            "/v1/batch",
+            {
+                "queries": [
+                    {"principal": principal, "datalog": self._datalog(query)}
+                    for principal, query in items
+                ],
+                "peek": peek,
+            },
+        )
+        if status != 200:
+            raise _error_from(status, payload)
+        return payload["decisions"]  # type: ignore[index]
+
+    def _datalog(self, query: ConjunctiveQuery) -> str:
+        qid = self._state.interner.intern(query)
+        text = self._texts.get(qid)
+        if text is None:
+            text = wire.query_to_datalog(query)
+            self._texts[qid] = text
+        return text
+
+    async def submit(self, principal: Hashable, query: ConjunctiveQuery) -> Dict:
+        """Decide one query for one principal, updating session state."""
+        return await self._decide(principal, query, peek=False)
+
+    async def peek(self, principal: Hashable, query: ConjunctiveQuery) -> Dict:
+        """The decision :meth:`submit` would make, without making it."""
+        return await self._decide(principal, query, peek=True)
+
+    async def submit_many(self, items: Sequence[ClientItem]) -> List[Dict]:
+        """Ordered stateful batch, per-item isolated (one round trip)."""
+        return await self._decide_many(list(items), peek=False)
+
+    async def peek_many(self, items: Sequence[ClientItem]) -> List[Dict]:
+        """Batch peek: independent probes, no state change."""
+        return await self._decide_many(list(items), peek=True)
+
+    async def decide_group(
+        self,
+        principal: Hashable,
+        queries: Sequence[ConjunctiveQuery],
+        *,
+        peek: bool = False,
+    ) -> List[Dict]:
+        """Decide many queries for one principal in one round trip."""
+        return await self._decide_many(
+            [(principal, query) for query in queries], peek=peek
+        )
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+    async def register(self, principal: Hashable, policy) -> None:
+        partitions = getattr(policy, "partitions", policy)
+        status, payload = await self._request(
+            "POST",
+            "/v1/register",
+            {"principal": principal, "policy": [list(p) for p in partitions]},
+        )
+        if status != 200:
+            raise _error_from(status, payload)
+
+    async def reset(self, principal: Hashable) -> None:
+        status, payload = await self._request(
+            "POST", "/v1/reset", {"principal": principal}
+        )
+        if status != 200:
+            raise _error_from(status, payload)
+
+    async def metrics(self) -> Dict:
+        status, payload = await self._request("GET", "/metrics")
+        if status != 200:
+            raise _error_from(status, payload)
+        return payload  # type: ignore[return-value]
+
+    async def snapshot(self) -> Dict:
+        status, payload = await self._request("GET", "/internal/snapshot")
+        if status != 200:
+            raise _error_from(status, payload)
+        return payload  # type: ignore[return-value]

@@ -1,0 +1,80 @@
+"""The in-process :class:`DecisionClient`: a service behind the protocol.
+
+``LocalClient`` is the reference implementation the other transports
+are measured against: its batch path runs the *same*
+:func:`repro.server.batch.decide_wire_items` core the ``/v2`` routes
+and the asyncio front end call, so "local" and "over the wire" cannot
+disagree by construction — the equivalence suite
+(``tests/client/test_equivalence.py``) holds them byte-for-byte equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+from repro.client.base import ClientError, ClientItem, DecisionClient
+from repro.core.queries import ConjunctiveQuery
+from repro.errors import PolicyError
+from repro.server.kernel import ServiceDecision
+from repro.server.service import DisclosureService
+
+
+def _client_error(exc: PolicyError) -> ClientError:
+    message = str(exc)
+    if "unknown principal" in message:
+        return ClientError(message, status=404, code="unknown-principal")
+    return ClientError(message, status=400, code="bad-request")
+
+
+class LocalClient(DecisionClient):
+    """A :class:`DecisionClient` over an in-process service."""
+
+    def __init__(self, service: DisclosureService = None):
+        self.service = service if service is not None else DisclosureService()
+
+    # -- decisions -----------------------------------------------------
+    def _decide(
+        self, principal: Hashable, query: ConjunctiveQuery, *, peek: bool
+    ) -> Dict:
+        try:
+            if peek:
+                return self.service.peek(principal, query).as_dict()
+            return self.service.submit(principal, query).as_dict()
+        except PolicyError as exc:
+            raise _client_error(exc) from exc
+
+    def _decide_many(
+        self, items: Sequence[ClientItem], *, peek: bool
+    ) -> List[Dict]:
+        from repro.server.batch import decide_wire_items
+
+        results = decide_wire_items(
+            self.service,
+            [(principal, query, None) for principal, query in items],
+            update=not peek,
+        )
+        return [
+            item.as_dict() if isinstance(item, ServiceDecision) else item
+            for item in results
+        ]
+
+    # -- administration ------------------------------------------------
+    def register(self, principal: Hashable, policy) -> None:
+        try:
+            self.service.register(principal, policy)
+        except PolicyError as exc:
+            raise _client_error(exc) from exc
+
+    def reset(self, principal: Hashable) -> None:
+        try:
+            self.service.reset(principal)
+        except PolicyError as exc:
+            raise _client_error(exc) from exc
+
+    def metrics(self) -> Dict:
+        return self.service.metrics_snapshot()
+
+    def snapshot(self) -> Dict:
+        from repro.server.persist import snapshot_service
+
+        return snapshot_service(self.service)

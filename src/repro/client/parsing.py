@@ -1,0 +1,53 @@
+"""The client-side parse path: request text into parsed queries.
+
+Clients hold parsed :class:`~repro.core.queries.ConjunctiveQuery`
+objects — that is what lets the v2 wire ship interned ids instead of
+text, and what lets one parse serve any number of decisions.  This
+module is the one place text becomes a query for the client stack; the
+service's own :meth:`~repro.server.service.DisclosureService.parse`
+front end delegates here too (adding its memo cache), so the two paths
+cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.queries import ConjunctiveQuery
+from repro.core.schema import Schema
+from repro.errors import ParseError
+
+
+def parse_text(
+    text: str,
+    dialect: str = "sql",
+    me: int = 1,
+    *,
+    schema: Optional[Schema] = None,
+) -> ConjunctiveQuery:
+    """Parse request *text* in *dialect* (``sql`` / ``fql`` / ``datalog``).
+
+    *me* is the caller's uid for FQL; *schema* defaults to the Facebook
+    schema for the schema-ful dialects (``datalog`` needs none).
+    """
+    if dialect == "sql":
+        if schema is None:
+            from repro.facebook.schema import facebook_schema
+
+            schema = facebook_schema()
+        from repro.core.sqlparser import sql_to_query
+
+        return sql_to_query(text, schema)
+    if dialect == "fql":
+        if schema is None:
+            from repro.facebook.schema import facebook_schema
+
+            schema = facebook_schema()
+        from repro.facebook.fql import fql_to_query
+
+        return fql_to_query(text, me, schema)
+    if dialect == "datalog":
+        from repro.core.parser import parse_query
+
+        return parse_query(text)
+    raise ParseError(f"unknown query dialect {dialect!r}")

@@ -1,0 +1,209 @@
+"""Client half of the qid-native v2 wire protocol.
+
+The shared state machine behind :class:`~repro.client.HttpClient` and
+:class:`~repro.client.AsyncHttpClient`: a local
+:class:`~repro.server.interning.QueryInterner` under a random
+*generation* id, a high-water mark of how many of its keys the server
+has been shipped, and the request/response codecs.
+
+Sync discipline is optimistic: a request carries the delta of keys the
+server has not seen yet and the mark advances at *send* time.  If the
+server disagrees — it answers ``409 unknown-generation`` after evicting
+the generation or restarting — the client calls :meth:`WireState.resync`
+and re-sends with ``base=0`` and the full key table; qids never change
+within a generation, so the retried request is otherwise identical.
+When the local table crosses the server's advertised key cap the client
+rotates to a fresh generation, mirroring the shard router's interner
+reset.
+
+Callers must serialize :meth:`WireState.encode_refs` with their request
+transmission (the sync client's request lock, the async client's write
+lock): the server applies deltas append-only in ``base`` order.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.canonical import encode_key
+from repro.core.queries import ConjunctiveQuery
+from repro.server.interning import QueryInterner
+from repro.server.wire2 import GENERATION_KEYS_CAP
+
+
+def query_to_datalog(query: ConjunctiveQuery) -> str:
+    """Render a query as parseable datalog (the v1 HTTP wire format)."""
+    head = f"{query.head_name}({', '.join(str(t) for t in query.head_terms)})"
+    return f"{head} :- {', '.join(str(a) for a in query.body)}"
+
+
+class WireState:
+    """One client's interner generation and its server sync mark."""
+
+    __slots__ = ("keys_cap", "gen", "interner", "synced", "generations")
+
+    def __init__(self, keys_cap: int = GENERATION_KEYS_CAP):
+        self.keys_cap = keys_cap
+        #: How many generations this state has run through (observability).
+        self.generations = 0
+        self._rotate()
+
+    def _rotate(self) -> None:
+        self.gen = secrets.token_hex(8)
+        self.interner = QueryInterner()
+        self.synced = 0
+        self.generations += 1
+
+    def resync(self) -> None:
+        """The server lost this generation: re-ship the whole table next."""
+        self.synced = 0
+
+    def encode_refs(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> Tuple[str, int, Optional[List], List[int]]:
+        """``(gen, base, delta, qids)`` for a request over *queries*.
+
+        Interns every query locally, advances the sync mark, and
+        returns the delta of encoded canonical keys the server still
+        needs (``None`` when it needs none — the steady state, where a
+        request is principals plus bare ints).  Must be serialized with
+        transmission; see the module docstring.
+        """
+        if len(self.interner) >= self.keys_cap:
+            self._rotate()
+        qids = [self.interner.intern(query) for query in queries]
+        if len(self.interner) > self.keys_cap:
+            # This call's novel shapes crossed the cap mid-intern: a
+            # delta past the cap would be refused server-side
+            # (bad-delta), so rotate now and re-intern into the fresh
+            # generation.  A single call can never itself exceed the
+            # cap — the wire's batch limit is far smaller.
+            self._rotate()
+            qids = [self.interner.intern(query) for query in queries]
+        base = self.synced
+        count = len(self.interner)
+        if count == base:
+            return self.gen, base, None, qids
+        key_of = self.interner.key_of
+        delta = [encode_key(key_of(qid)) for qid in range(base, count)]
+        self.synced = count
+        return self.gen, base, delta, qids
+
+
+def single_body(
+    state: WireState,
+    principal: str,
+    query: ConjunctiveQuery,
+    *,
+    peek: bool,
+    compact: bool,
+) -> Dict:
+    """The ``POST /v2/query`` body for one decision."""
+    gen, base, delta, qids = state.encode_refs((query,))
+    # ``base`` is always declared, delta or not: it is how the server
+    # detects a lost generation (eviction or restart) and answers 409
+    # instead of misreading bare qids as out of range.
+    body: Dict = {
+        "gen": gen,
+        "base": base,
+        "principal": principal,
+        "qid": qids[0],
+    }
+    if delta is not None:
+        body["delta"] = delta
+    if peek:
+        body["peek"] = True
+    if compact:
+        body["compact"] = True
+    return body
+
+
+def batch_body(
+    state: WireState,
+    items: Sequence[Tuple[str, ConjunctiveQuery]],
+    *,
+    peek: bool,
+    compact: bool,
+) -> Tuple[Dict, List[str]]:
+    """``(POST /v2/batch body, principals table)`` for an item stream."""
+    gen, base, delta, qids = state.encode_refs([query for _, query in items])
+    principals: List[str] = []
+    principal_index: Dict[str, int] = {}
+    wire_items: List[List[int]] = []
+    for (principal, _), qid in zip(items, qids):
+        index = principal_index.get(principal)
+        if index is None:
+            index = len(principals)
+            principal_index[principal] = index
+            principals.append(principal)
+        wire_items.append([index, qid])
+    body: Dict = {
+        "gen": gen,
+        "base": base,
+        "principals": principals,
+        "items": wire_items,
+    }
+    if delta is not None:
+        body["delta"] = delta
+    if peek:
+        body["peek"] = True
+    if compact:
+        body["compact"] = True
+    return body, principals
+
+
+def resync_body(state: WireState, body: Dict) -> Dict:
+    """Rebuild *body* after a 409: ``base=0`` plus the full key table.
+
+    qids are stable within a generation, so only the delta changes.
+    Must run under the same serialization as :meth:`WireState.encode_refs`.
+    """
+    state.resync()
+    key_of = state.interner.key_of
+    count = len(state.interner)
+    rebuilt = dict(body)
+    rebuilt["base"] = 0
+    rebuilt["delta"] = [encode_key(key_of(qid)) for qid in range(count)]
+    state.synced = count
+    return rebuilt
+
+
+def inflate_single(payload: object, principal: str) -> Dict:
+    """A ``/v2/query`` payload (full or compact) as the stable dict."""
+    if isinstance(payload, dict):
+        return payload
+    accepted, cached, live_before, live_after, reason = payload  # type: ignore[misc]
+    return {
+        "accepted": bool(accepted),
+        "principal": principal,
+        "reason": reason,
+        "cached": bool(cached),
+        "live_before": live_before,
+        "live_after": live_after,
+    }
+
+
+def inflate_batch(payload: Dict, principals: Sequence[str]) -> List[Dict]:
+    """A ``/v2/batch`` payload (full or compact) as stable dicts."""
+    decisions = payload.get("decisions", [])
+    if not payload.get("compact"):
+        return list(decisions)
+    reasons = payload.get("reasons", [])
+    out: List[Dict] = []
+    for row in decisions:
+        if isinstance(row, dict):  # a per-item error entry
+            out.append(row)
+            continue
+        accepted, cached, live_before, live_after, reason_idx, principal_idx = row
+        out.append(
+            {
+                "accepted": bool(accepted),
+                "principal": principals[principal_idx],
+                "reason": reasons[reason_idx],
+                "cached": bool(cached),
+                "live_before": live_before,
+                "live_after": live_after,
+            }
+        )
+    return out

@@ -28,6 +28,12 @@ The protocol has three parts:
   :class:`repro.server.interning.QueryInterner` to pin a dense integer
   id on the object itself (see there for the invalidation rule).
 
+Since canonical keys travel — snapshot files store them, shard routers
+ship them between processes, and the v2 wire protocol sends them as
+interner deltas — the module also owns their JSON-safe codec
+(:func:`encode_key` / :func:`decode_key`): one encoding shared by every
+consumer, so a key written anywhere decodes identically everywhere.
+
 This module is the *core*-layer end of the ID plane: everything above
 it (interners, kernel, caches, snapshots) speaks dense integers; this
 is where those integers bottom out in query structure.
@@ -39,7 +45,7 @@ from typing import Dict, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.queries import ConjunctiveQuery
-from repro.core.terms import Variable, is_variable
+from repro.core.terms import Constant, Variable, is_variable
 
 #: A canonical key: head term codes + per-atom (relation, term codes).
 CanonicalKey = Tuple
@@ -113,3 +119,61 @@ def query_from_key(key: CanonicalKey) -> ConjunctiveQuery:
     )
     head = tuple(term(c) for c in head_codes)
     return ConjunctiveQuery(_REPRESENTATIVE_HEAD, head, body)
+
+
+# ----------------------------------------------------------------------
+# The JSON-safe key codec
+# ----------------------------------------------------------------------
+def encode_key(obj):
+    """A canonical key (or key element) as a JSON-round-trippable value.
+
+    Keys mix variable indices (ints), relation names (strings), nested
+    tuples, and :class:`~repro.core.terms.Constant` terms whose values
+    may be str, int, float, bool, or ``None`` — distinctions JSON
+    flattens (tuples become lists, ``Constant(1)`` ≠ ``Constant(True)``
+    ≠ ``1``).  Everything non-int is therefore tagged: ``["s", x]``
+    strings, ``["t", [...]]`` tuples, ``["c", ...]`` constants,
+    ``["b", x]`` bools, ``["f", x]`` floats, ``["z"]`` None.
+
+    Used by snapshot files (:mod:`repro.server.persist`) and by the v2
+    wire protocol's interner deltas — one codec, so a key encoded for
+    either consumer decodes identically for both.
+    """
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        return ["b", obj]
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return ["f", obj]
+    if isinstance(obj, str):
+        return ["s", obj]
+    if obj is None:
+        return ["z"]
+    if isinstance(obj, tuple):
+        return ["t", [encode_key(item) for item in obj]]
+    if isinstance(obj, Constant):
+        return ["c", encode_key(obj.value)]
+    raise ValueError(
+        f"cannot serialize canonical-key element of type {type(obj).__name__}"
+    )
+
+
+def decode_key(obj):
+    """Inverse of :func:`encode_key`; raises ``ValueError`` on garbage."""
+    if isinstance(obj, int) and not isinstance(obj, bool):
+        return obj
+    if isinstance(obj, list) and obj:
+        tag = obj[0]
+        if tag == "s" and len(obj) == 2 and isinstance(obj[1], str):
+            return obj[1]
+        if tag == "t" and len(obj) == 2 and isinstance(obj[1], list):
+            return tuple(decode_key(item) for item in obj[1])
+        if tag == "c" and len(obj) == 2:
+            return Constant(decode_key(obj[1]))
+        if tag == "b" and len(obj) == 2:
+            return bool(obj[1])
+        if tag == "f" and len(obj) == 2 and isinstance(obj[1], (int, float)):
+            return float(obj[1])
+        if tag == "z" and len(obj) == 1:
+            return None
+    raise ValueError(f"unrecognized encoded canonical-key element {obj!r}")

@@ -22,10 +22,20 @@
   ``python -m repro snapshot``)
 * :mod:`repro.server.httpd` — the stdlib JSON-over-HTTP front end
   (``python -m repro serve``)
+* :mod:`repro.server.aio` — the asyncio front end with per-tick
+  request coalescing (``python -m repro serve --async``)
+* :mod:`repro.server.wire2` — server side of the qid-native ``/v2``
+  wire protocol (client side: :mod:`repro.client.wire`)
 * :mod:`repro.server.loadgen` — closed-loop multi-worker load
-  generator (``python -m repro loadgen``)
+  generator over the :class:`repro.client.DecisionClient` transports
+  (``python -m repro loadgen``)
 """
 
+from repro.server.aio import (
+    AsyncDecisionServer,
+    serve_async,
+    start_async_background,
+)
 from repro.server.cache import CacheStats, LabelCache, canonical_key
 from repro.server.httpd import (
     DecisionHTTPServer,
@@ -61,7 +71,10 @@ from repro.server.shard import (
     stop_shard_workers,
 )
 
+from repro.server.wire2 import WireGateway, gateway_for
+
 __all__ = [
+    "AsyncDecisionServer",
     "CacheStats",
     "DecisionHTTPServer",
     "DecisionKernel",
@@ -79,13 +92,17 @@ __all__ = [
     "ShardWorker",
     "SnapshotStore",
     "Snapshotter",
+    "WireGateway",
     "aggregate_latency",
     "aggregate_metrics",
     "canonical_key",
     "collect_state",
     "dispatch",
+    "gateway_for",
     "load_snapshot",
     "make_server",
+    "serve_async",
+    "start_async_background",
     "partition_sessions",
     "query_to_datalog",
     "restore_service",

@@ -135,6 +135,125 @@ def decide_batch(
     return decisions
 
 
+def decide_wire_items(
+    service,
+    entries: "Sequence[Tuple[Hashable, Optional[ConjunctiveQuery], Optional[int]]]",
+    *,
+    update: bool,
+    plane: object = None,
+) -> List:
+    """Per-item-isolated bulk decide over mixed query/qid entries.
+
+    This is the shared decision core of every v2 surface — the
+    ``/v2/batch`` route, the asyncio front end's per-tick drain, and
+    :class:`repro.client.LocalClient` — so all three produce identical
+    decisions and identical error entries by construction.
+
+    Each entry is ``(principal, query, qid)`` where exactly one of
+    *query* (a parsed object, interned here) or *qid* (already interned
+    against *plane* — the v2 gateway's translation output) may be
+    ``None``.  *plane* must be the kernel plane any given qids belong
+    to; with ``plane=None`` the current resolution plane is captured
+    (entries must then carry query objects).
+
+    Unlike :func:`decide_batch`, principals are isolated rather than
+    all-or-nothing: an unknown principal (no default policy) yields an
+    ``{"error": ..., "code": "unknown-principal"}`` entry at its index
+    while every other item is still decided — the v2 wire taxonomy.
+    Returns a list aligned with *entries* whose elements are
+    :class:`~repro.server.kernel.ServiceDecision` objects or error
+    dicts.  State evolves in entry order, exactly as sequential
+    submits of the valid items would.
+    """
+    entries = list(entries)
+    total = len(entries)
+    if not total:
+        return []
+    start = time.perf_counter()
+
+    kernel = service.kernel
+    if plane is None:
+        plane = kernel.resolution_plane()
+
+    results: List = [None] * total
+    if service._default_policy is None:
+        distinct = {principal for principal, _, _ in entries}
+        with service._lock:
+            unknown = {
+                principal
+                for principal in distinct
+                if principal not in service._active
+                and principal not in service._passive
+            }
+    else:
+        unknown = frozenset()
+
+    positions: List[int] = []
+    qids: List[int] = []
+    queries: List[Optional[ConjunctiveQuery]] = []
+    intern = plane.queries.intern
+    for index, (principal, query, qid) in enumerate(entries):
+        if principal in unknown:
+            results[index] = {
+                "error": f"unknown principal {principal!r}",
+                "code": "unknown-principal",
+            }
+            continue
+        positions.append(index)
+        qids.append(intern(query) if qid is None else qid)
+        queries.append(query)
+    if not positions:
+        return results
+
+    plane, group_lids, group_flags = kernel.resolve_many(
+        qids, queries, plane=plane
+    )
+    lids: List[int] = [0] * total
+    flags: List[bool] = [False] * total
+    for position, lid, flag in zip(positions, group_lids, group_flags):
+        lids[position] = lid
+        flags[position] = flag
+
+    groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
+    for position in positions:
+        groups.setdefault(entries[position][0], []).append(position)
+
+    accepted_count = 0
+    decided = 0
+    with service._lock:
+        for principal, indices in groups.items():
+            try:
+                session = (
+                    service._session(principal)
+                    if update
+                    else service._peek_session(principal)
+                )
+            except PolicyError as exc:
+                # The principal vanished between validation and decision
+                # (a concurrent unregister): isolate it like any other
+                # unknown principal.
+                error = {"error": str(exc), "code": "unknown-principal"}
+                for index in indices:
+                    results[index] = dict(error)
+                continue
+            accepted_count += kernel.decide_group(
+                plane, session, indices, lids, flags, update, results
+            )
+            decided += len(indices)
+
+    if decided:
+        if update:
+            service.decisions.increment(decided)
+            service.accepted.increment(accepted_count)
+            service.refused.increment(decided - accepted_count)
+            service.latency.record_many(
+                (time.perf_counter() - start) / decided, decided
+            )
+        else:
+            service.peeks.increment(decided)
+    return results
+
+
 def parse_wire_request(
     service, request: object
 ) -> "Tuple[Optional[BatchItem], Optional[str]]":

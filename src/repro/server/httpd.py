@@ -9,10 +9,18 @@ Routes::
     POST /v1/peek       same body as /v1/query (would_accept; no state change)
     POST /v1/batch      {"queries": [<query bodies>...], "peek": false}
     POST /v1/reset      {"principal": "app1"}
+    POST /v2/query      {"gen": ..., "qid": 17, "delta": [...], ...}
+    POST /v2/batch      {"gen": ..., "items": [[0, 17], ...], ...}
+    GET  /v2/protocol   versions/limits for client content negotiation
     GET  /metrics       decision counts, cache hit rates, latency percentiles
     GET  /healthz       {"ok": true}
     GET  /internal/snapshot   full durable state (sessions, label cache,
                               counters) as a snapshot payload
+
+The ``/v2`` routes speak the qid-native wire protocol
+(:mod:`repro.server.wire2`): clients intern query shapes locally and
+ship dense integer ids plus interner deltas instead of query text.  The
+``/v1`` routes are byte-compatible with every earlier release.
 
 Decisions return 200 with ``{"accepted": ..., "reason": ...}`` whether
 accepted or refused — a refusal is a *successful decision*, not an HTTP
@@ -54,14 +62,22 @@ def dispatch(
     method: str,
     path: str,
     body: Optional[Dict],
-) -> Tuple[int, Dict]:
+) -> Tuple[int, object]:
     """Route one parsed request onto *service*: ``(status, payload)``.
 
     *body* is the parsed JSON object for POSTs (``None`` for GETs); the
     transport layer is responsible for body parsing and size limits.
     Never raises for request-shaped problems — they come back as 4xx
-    payloads, exactly as the HTTP server would answer them.
+    payloads, exactly as the HTTP server would answer them.  Payloads
+    are JSON objects except for the negotiated compact ``/v2/query``
+    response, which is a JSON array.
     """
+    if path.startswith("/v2/"):
+        from repro.server.wire2 import dispatch_v2
+
+        routed = dispatch_v2(service, method, path, body)
+        if routed is not None:
+            return routed
     if method == "GET":
         if path == "/metrics":
             return 200, service.metrics_snapshot()
@@ -98,26 +114,47 @@ def dispatch(
 
 
 # ----------------------------------------------------------------------
-def _handle_decision(
-    service: DisclosureService, body: Dict, peek: bool
-) -> Tuple[int, Dict]:
+def parse_decision_body(
+    service: DisclosureService, body: Dict
+) -> "Tuple[Optional[Tuple[str, object]], Optional[Tuple[int, Dict]]]":
+    """``((principal, query), None)`` for a valid ``/v1/query``-shaped
+    body, else ``(None, (status, payload))``.
+
+    The one copy of the v1 single-decision validation: the stdlib and
+    asyncio front ends both call it, so their error payloads cannot
+    drift.  Parse failures (:class:`~repro.errors.ReproError`) are the
+    caller's to map — :func:`dispatch` catches them route-wide.
+    """
     principal, error = _principal_of(body)
     if error is not None:
-        return error
+        return None, error
     text, dialect = None, None
     for candidate in ("sql", "fql", "datalog"):
         if candidate in body:
             text, dialect = body[candidate], candidate
             break
     if not isinstance(text, str):
-        return 400, {"error": "request needs one of 'sql', 'fql', 'datalog'"}
+        return None, (
+            400,
+            {"error": "request needs one of 'sql', 'fql', 'datalog'"},
+        )
     me = body.get("me", 1)
     if not isinstance(me, int):
-        return 400, {"error": "'me' must be an integer uid"}
+        return None, (400, {"error": "'me' must be an integer uid"})
+    return (principal, service.parse(text, dialect, me)), None
+
+
+def _handle_decision(
+    service: DisclosureService, body: Dict, peek: bool
+) -> Tuple[int, Dict]:
+    parsed, error = parse_decision_body(service, body)
+    if error is not None:
+        return error
+    principal, query = parsed
     if peek:
-        decision = service.peek_text(principal, text, dialect, me)
+        decision = service.peek(principal, query)
     else:
-        decision = service.submit_text(principal, text, dialect, me)
+        decision = service.submit(principal, query)
     return 200, decision.as_dict()
 
 
@@ -257,7 +294,7 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
             return None
         return body
 
-    def _reply(self, status: int, payload: Dict) -> None:
+    def _reply(self, status: int, payload: object) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")

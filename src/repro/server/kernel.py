@@ -268,6 +268,26 @@ class DecisionKernel:
             plane = self._rotate(plane)
         return plane
 
+    def intern_keys(
+        self, keys: Iterable, *, plane: Optional[_Plane] = None
+    ) -> Tuple[_Plane, List[int]]:
+        """Bulk canonical-key ingestion: the qid-delta path.
+
+        External id-producers — the shard router's translation stage,
+        the v2 wire gateway absorbing a client's interner delta — hold
+        canonical keys, not query objects.  This interns them in order
+        against one plane (the cap-respecting resolution plane when
+        *plane* is ``None``) and returns that plane with the kernel
+        qid of each key.  The returned qids are only meaningful against
+        the returned plane; callers that cache them must record which
+        plane they belong to and rebuild after a rotation (the pattern
+        :class:`repro.server.shard.ShardRouter` and the v2 gateway both
+        follow).
+        """
+        if plane is None:
+            plane = self.resolution_plane()
+        intern_key = plane.queries.intern_key
+        return plane, [intern_key(key) for key in keys]
 
     def _rotate(self, full: _Plane) -> _Plane:
         """Swap in a fresh plane generation (idempotent under races)."""

@@ -2,21 +2,29 @@
 
 Drives the Section 7.2 Facebook workload (random relation / attribute
 subset / self–friend–fof–stranger target) through a
-:class:`DisclosureService` — either in-process (the serving hot path,
-no network) or over HTTP against a running ``python -m repro serve`` —
-and reports sustained decisions/sec plus p50/p95/p99 latency.
+:class:`~repro.client.DecisionClient` and reports sustained
+decisions/sec plus p50/p95/p99 latency.  Three transports:
 
-Closed loop means each worker issues its next request only after the
-previous one completes, so offered load adapts to service capacity and
-the percentiles are honest service times rather than queue times.
-With ``batch > 1`` each "request" is a whole batch — the vectorized
-:meth:`DisclosureService.submit_batch` path in process, or one
-``POST /v1/batch`` over HTTP — and latency samples are amortized
-per-decision times.
-Principals get randomly generated partition policies (the Figure 6
-setup); each worker pre-generates a pool of query shapes and cycles
-them, which after the first cycle exercises the warm-cache path the
-acceptance bar measures.
+* ``local`` — :class:`~repro.client.LocalClient` over an in-process
+  service (the serving hot path, no network);
+* ``http`` — one :class:`~repro.client.HttpClient` per worker thread
+  against a running ``python -m repro serve`` (the v2 qid wire by
+  default, negotiated down to v1 against older servers or a sharded
+  front end);
+* ``async-http`` — one :class:`~repro.client.AsyncHttpClient` shared
+  by *workers* coroutine slots on a single event loop, pipelining
+  requests over one connection against ``repro serve --async`` (whose
+  per-tick drain coalesces them into bulk decisions).
+
+Closed loop means each worker (or slot) issues its next request only
+after the previous one completes, so offered load adapts to service
+capacity and the percentiles are honest service times rather than
+queue times.  With ``batch > 1`` each "request" is a whole batch —
+``submit_many`` on whichever transport — and latency samples are
+amortized per-decision times.  Principals get randomly generated
+partition policies (the Figure 6 setup); each worker pre-generates a
+pool of query shapes and cycles them, which after the first cycle
+exercises the warm-cache path the acceptance bar measures.
 
 Run ``python -m repro loadgen --help`` for the CLI.
 """
@@ -26,18 +34,25 @@ from __future__ import annotations
 import random
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.client import (
+    AsyncHttpClient,
+    ClientError,
+    DecisionClient,
+    HttpClient,
+    LocalClient,
+    query_to_datalog,
+)
 from repro.core.queries import ConjunctiveQuery
 from repro.facebook.workload import WorkloadGenerator, generate_policies
 from repro.server.metrics import merge_samples, sample_percentile
 from repro.server.service import DisclosureService
 
+__all__ = ["LoadReport", "query_to_datalog", "run_load"]
 
-def query_to_datalog(query: ConjunctiveQuery) -> str:
-    """Render a query as parseable datalog (the HTTP wire format)."""
-    head = f"{query.head_name}({', '.join(str(t) for t in query.head_terms)})"
-    return f"{head} :- {', '.join(str(a) for a in query.body)}"
+#: The transports ``run_load`` (and ``repro loadgen --transport``) accept.
+TRANSPORTS = ("local", "http", "async-http")
 
 
 class LoadReport:
@@ -118,137 +133,79 @@ class _WorkerResult:
         self.samples: List[float] = []
 
 
-#: A sender: (principal, query, datalog text) -> accepted (None on error).
-Sender = Callable[[str, ConjunctiveQuery, str], Optional[bool]]
-
-#: A batch sender: chunk of pool entries -> (accepted, refused, errors).
-BatchSender = Callable[
-    [Sequence[Tuple[str, ConjunctiveQuery, str]]], Tuple[int, int, int]
-]
+#: One pool entry: a principal and its parsed query.
+PoolItem = Tuple[str, ConjunctiveQuery]
 
 
-def _service_batch_sender(service: DisclosureService) -> BatchSender:
-    def send(chunk) -> Tuple[int, int, int]:
-        decisions = service.submit_batch(
-            [(principal, query) for principal, query, _ in chunk]
+def _count_batch(decisions: Sequence[Dict]) -> Tuple[int, int, int]:
+    accepted = refused = errors = 0
+    for entry in decisions:
+        if "error" in entry:
+            errors += 1
+        elif entry.get("accepted"):
+            accepted += 1
+        else:
+            refused += 1
+    return accepted, refused, errors
+
+
+def _submit_one(client: DecisionClient, principal: str, query) -> Optional[bool]:
+    """One decision through the client; ``None`` counts as an error."""
+    try:
+        return bool(client.submit(principal, query)["accepted"])
+    except ClientError:
+        return None
+
+
+def _submit_chunk(client: DecisionClient, chunk: Sequence[PoolItem]):
+    """One batch through the client: ``(accepted, refused, errors)``."""
+    try:
+        return _count_batch(client.submit_many(chunk))
+    except ClientError:
+        return 0, 0, len(chunk)
+
+
+def _build_workload(
+    view_names,
+    workers: int,
+    principals: int,
+    max_partitions: int,
+    max_elements: int,
+    max_subqueries: int,
+    query_pool: int,
+    seed: int,
+) -> Tuple[Dict[str, List[List[str]]], List[List[PoolItem]]]:
+    """Figure 6 policies plus one query pool per worker."""
+    names = [f"app-{index}" for index in range(principals)]
+    policies = {
+        name: [list(p) for p in policy]
+        for name, policy in zip(
+            names,
+            generate_policies(
+                view_names, principals, max_partitions, max_elements, seed=seed
+            ),
         )
-        accepted = sum(1 for decision in decisions if decision.accepted)
-        return accepted, len(decisions) - accepted, 0
-
-    return send
-
-
-def _http_batch_sender(url: str) -> BatchSender:
-    import json
-    from urllib.parse import urlsplit
-
-    parts = urlsplit(url)
-    if parts.scheme not in ("http", ""):
-        raise ValueError(f"only http:// targets are supported, got {url!r}")
-    host = parts.hostname or "127.0.0.1"
-    port = parts.port or 80
-
-    from http.client import HTTPConnection, HTTPException
-
-    connection = HTTPConnection(host, port, timeout=30)
-
-    def send(chunk) -> Tuple[int, int, int]:
-        body = json.dumps(
-            {
-                "queries": [
-                    {"principal": principal, "datalog": text}
-                    for principal, _, text in chunk
-                ]
-            }
+    }
+    template = WorkloadGenerator(max_subqueries=max_subqueries, seed=seed)
+    pools: List[List[PoolItem]] = []
+    for worker in range(workers):
+        generator = template.spawn(worker, seed=seed)
+        rng = random.Random(seed * 7777 + worker)
+        pools.append(
+            [
+                (rng.choice(names), query)
+                for query in generator.stream(query_pool)
+            ]
         )
-        try:
-            connection.request(
-                "POST", "/v1/batch", body, {"Content-Type": "application/json"}
-            )
-            response = connection.getresponse()
-            payload = json.loads(response.read())
-            if response.status != 200:
-                return 0, 0, len(chunk)
-            accepted = refused = errors = 0
-            for entry in payload.get("decisions", ()):
-                if "error" in entry:
-                    errors += 1
-                elif entry.get("accepted"):
-                    accepted += 1
-                else:
-                    refused += 1
-            return accepted, refused, errors
-        except (OSError, ValueError, HTTPException):
-            connection.close()
-            return 0, 0, len(chunk)
-
-    return send
-
-
-def _service_sender(service: DisclosureService) -> Sender:
-    def send(principal: str, query: ConjunctiveQuery, _text: str) -> Optional[bool]:
-        return service.submit(principal, query).accepted
-
-    return send
-
-
-def _http_sender(url: str) -> Sender:
-    import json
-    from urllib.parse import urlsplit
-
-    parts = urlsplit(url)
-    if parts.scheme not in ("http", ""):
-        raise ValueError(f"only http:// targets are supported, got {url!r}")
-    host = parts.hostname or "127.0.0.1"
-    port = parts.port or 80
-
-    from http.client import HTTPConnection, HTTPException
-
-    connection = HTTPConnection(host, port, timeout=10)
-
-    def send(principal: str, _query: ConjunctiveQuery, text: str) -> Optional[bool]:
-        body = json.dumps({"principal": principal, "datalog": text})
-        try:
-            connection.request(
-                "POST",
-                "/v1/query",
-                body,
-                {"Content-Type": "application/json"},
-            )
-            response = connection.getresponse()
-            payload = json.loads(response.read())
-            if response.status != 200:
-                return None
-            return bool(payload.get("accepted"))
-        except (OSError, ValueError, HTTPException):
-            # Covers refused/reset connections, bad JSON, and non-HTTP
-            # peers (BadStatusLine & co.): count an error, keep looping.
-            connection.close()
-            return None
-
-    return send
-
-
-def _register_principals_http(
-    url: str, policies: Dict[str, List[List[str]]]
-) -> None:
-    import json
-    from urllib.request import Request, urlopen
-
-    for principal, policy in policies.items():
-        request = Request(
-            url.rstrip("/") + "/v1/register",
-            data=json.dumps({"principal": principal, "policy": policy}).encode(),
-            headers={"Content-Type": "application/json"},
-        )
-        with urlopen(request, timeout=10) as response:
-            response.read()
+    return policies, pools
 
 
 def run_load(
     service: Optional[DisclosureService] = None,
     url: Optional[str] = None,
     *,
+    transport: Optional[str] = None,
+    protocol: str = "auto",
     workers: int = 4,
     duration: float = 2.0,
     total_queries: Optional[int] = None,
@@ -263,26 +220,38 @@ def run_load(
 ) -> LoadReport:
     """Drive the workload and return a :class:`LoadReport`.
 
-    Exactly one of *service* (in-process) or *url* (HTTP) must be given;
-    with neither, a fresh Facebook-vocabulary service is built in
-    process.  With *total_queries* the run is a fixed query count split
-    across workers; otherwise it runs for *duration* seconds.  *warm*
-    sends each worker's distinct query shapes through once before the
-    measured window, so the measured window hits the label cache the
-    way a steady-state deployment does.
+    The target is either *service* (an in-process
+    :class:`DisclosureService`; the ``local`` transport) or *url* (a
+    running server; ``http`` by default, ``async-http`` when requested
+    via *transport*).  With neither, a fresh Facebook-vocabulary
+    service is built in process.  *protocol* picks the HTTP wire
+    (``auto`` negotiates v2 with fallback to v1).
 
-    *batch* > 1 switches each worker to the batch decision path:
-    chunks of *batch* pool entries go through
-    :meth:`DisclosureService.submit_batch` (in process) or one
-    ``POST /v1/batch`` (HTTP) per chunk.  Latency samples are then the
-    amortized per-decision time of each batch, so percentiles remain
-    comparable with the one-at-a-time mode.
+    With *total_queries* the run is a fixed decision count split across
+    workers; otherwise it runs for *duration* seconds.  *warm* sends
+    each worker's distinct query shapes through once before the
+    measured window, so the measured window hits the label cache the
+    way a steady-state deployment does.  *batch* > 1 sends chunks of
+    that many pool entries through ``submit_many`` per request; latency
+    samples are then amortized per-decision times, so percentiles
+    remain comparable with the one-at-a-time mode.
+
+    For ``async-http``, *workers* is the number of concurrent
+    closed-loop coroutine slots pipelined over one connection (64 is a
+    good default against ``repro serve --async``).
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
     if service is not None and url is not None:
         raise ValueError("pass either an in-process service or a URL, not both")
-    mode = "http" if url is not None else "in-process"
+    if transport is None:
+        transport = "local" if url is None else "http"
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r} (use {TRANSPORTS})")
+    if transport == "local" and url is not None:
+        raise ValueError("the local transport drives a service, not a URL")
+    if transport != "local" and url is None:
+        raise ValueError(f"the {transport} transport needs a --url target")
     if service is None and url is None:
         service = DisclosureService()
 
@@ -293,82 +262,79 @@ def run_load(
         from repro.facebook.permissions import facebook_security_views
 
         view_names = facebook_security_views().names
-    names = [f"app-{index}" for index in range(principals)]
-    policies = {
-        name: [list(p) for p in policy]
-        for name, policy in zip(
-            names,
-            generate_policies(
-                view_names, principals, max_partitions, max_elements, seed=seed
-            ),
-        )
-    }
+    policies, pools = _build_workload(
+        view_names,
+        workers,
+        principals,
+        max_partitions,
+        max_elements,
+        max_subqueries,
+        query_pool,
+        seed,
+    )
     if service is not None:
         for name, policy in policies.items():
             service.register(name, policy)
     else:
-        assert url is not None
-        _register_principals_http(url, policies)
-
-    # --- per-worker query pools -------------------------------------
-    template = WorkloadGenerator(max_subqueries=max_subqueries, seed=seed)
-    pools: List[List[Tuple[str, ConjunctiveQuery, str]]] = []
-    for worker in range(workers):
-        generator = template.spawn(worker, seed=seed)
-        rng = random.Random(seed * 7777 + worker)
-        pool = [
-            (rng.choice(names), query, query_to_datalog(query))
-            for query in generator.stream(query_pool)
-        ]
-        pools.append(pool)
+        # One short-lived sync client registers for every transport
+        # (registration is identical on both wire versions).
+        with HttpClient(url) as admin:
+            for name, policy in policies.items():
+                admin.register(name, policy)
 
     per_worker_quota = (
         None if total_queries is None else max(1, total_queries // workers)
     )
+
+    if transport == "async-http":
+        assert url is not None
+        return _run_async(
+            url,
+            protocol,
+            pools,
+            workers=workers,
+            duration=duration,
+            per_worker_quota=per_worker_quota,
+            warm=warm,
+            batch=batch,
+        )
+
+    def make_client() -> DecisionClient:
+        if transport == "local":
+            assert service is not None
+            return LocalClient(service)
+        assert url is not None
+        return HttpClient(url, protocol=protocol)
+
     barrier = threading.Barrier(workers + 1)
     results = [_WorkerResult() for _ in range(workers)]
-
-    def make_sender() -> Sender:
-        if url is not None:
-            return _http_sender(url)
-        assert service is not None
-        return _service_sender(service)
-
-    def make_batch_sender() -> BatchSender:
-        if url is not None:
-            return _http_batch_sender(url)
-        assert service is not None
-        return _service_batch_sender(service)
 
     def worker_main(index: int) -> None:
         pool = pools[index]
         result = results[index]
         # Any failure before the barrier must still reach the barrier, or
         # the main thread (and the surviving workers) would hang forever.
-        sender: Optional[Sender] = None
-        batch_sender: Optional[BatchSender] = None
-        chunks: List[List[Tuple[str, ConjunctiveQuery, str]]] = []
+        client: Optional[DecisionClient] = None
+        chunks: List[List[PoolItem]] = []
         try:
+            client = make_client()
             if batch > 1:
-                batch_sender = make_batch_sender()
                 chunks = [
                     pool[offset : offset + batch]
                     for offset in range(0, len(pool), batch)
                 ]
                 if warm:
                     for chunk in chunks:
-                        result.errors += batch_sender(chunk)[2]
-            else:
-                sender = make_sender()
-                if warm:
-                    for principal, query, text in pool:
-                        if sender(principal, query, text) is None:
-                            result.errors += 1
+                        result.errors += _submit_chunk(client, chunk)[2]
+            elif warm:
+                for principal, query in pool:
+                    if _submit_one(client, principal, query) is None:
+                        result.errors += 1
         except Exception:
             result.errors += 1
-            sender = batch_sender = None
+            client = None
         barrier.wait()
-        if sender is None and batch_sender is None:
+        if client is None:
             return
         # Each worker times its own measured window from the barrier, so
         # warmup cost never leaks into the throughput figure.
@@ -376,7 +342,7 @@ def run_load(
         samples = result.samples
         position = 0
         clock = time.perf_counter
-        if batch_sender is not None:
+        if batch > 1:
             size = len(chunks)
             while True:
                 if per_worker_quota is not None:
@@ -389,12 +355,13 @@ def run_load(
                 if position == size:
                     position = 0
                 start = clock()
-                accepted, refused, errors = batch_sender(chunk)
+                accepted, refused, errors = _submit_chunk(client, chunk)
                 samples.append((clock() - start) / len(chunk))
                 result.total += len(chunk)
                 result.accepted += accepted
                 result.refused += refused
                 result.errors += errors
+            client.close()
             return
         size = len(pool)
         while True:
@@ -403,12 +370,12 @@ def run_load(
                     break
             elif clock() >= deadline:
                 break
-            principal, query, text = pool[position]
+            principal, query = pool[position]
             position += 1
             if position == size:
                 position = 0
             start = clock()
-            accepted = sender(principal, query, text)
+            accepted = _submit_one(client, principal, query)
             samples.append(clock() - start)
             result.total += 1
             if accepted is None:
@@ -417,6 +384,7 @@ def run_load(
                 result.accepted += 1
             else:
                 result.refused += 1
+        client.close()
 
     threads = [
         threading.Thread(target=worker_main, args=(index,), daemon=True)
@@ -434,6 +402,7 @@ def run_load(
     hit_rate = (
         service.label_cache.stats().hit_rate if service is not None else None
     )
+    mode = "in-process" if transport == "local" else transport
     return LoadReport(
         mode,
         workers,
@@ -444,5 +413,118 @@ def run_load(
         elapsed,
         samples,
         hit_rate,
+        batch=batch,
+    )
+
+
+def _run_async(
+    url: str,
+    protocol: str,
+    pools: List[List[PoolItem]],
+    *,
+    workers: int,
+    duration: float,
+    per_worker_quota: Optional[int],
+    warm: bool,
+    batch: int,
+) -> LoadReport:
+    """The ``async-http`` driver: coroutine slots over one pipelined client.
+
+    Every slot is its own closed loop — it issues its next request only
+    once its previous response arrived — so *workers* is exactly the
+    in-flight request count the server's tick drain gets to coalesce.
+    """
+    import asyncio
+
+    results = [_WorkerResult() for _ in range(workers)]
+
+    async def slot_main(client: AsyncHttpClient, index: int) -> None:
+        pool = pools[index]
+        result = results[index]
+        samples = result.samples
+        clock = time.perf_counter
+        chunks = [
+            pool[offset : offset + batch]
+            for offset in range(0, len(pool), batch)
+        ]
+        deadline = clock() + duration
+        position = 0
+        size = len(chunks) if batch > 1 else len(pool)
+        while True:
+            if per_worker_quota is not None:
+                if result.total >= per_worker_quota:
+                    break
+            elif clock() >= deadline:
+                break
+            start = clock()
+            if batch > 1:
+                chunk = chunks[position]
+                try:
+                    accepted, refused, errors = _count_batch(
+                        await client.submit_many(chunk)
+                    )
+                except ClientError:
+                    accepted, refused, errors = 0, 0, len(chunk)
+                samples.append((clock() - start) / len(chunk))
+                result.total += len(chunk)
+                result.accepted += accepted
+                result.refused += refused
+                result.errors += errors
+            else:
+                principal, query = pool[position]
+                try:
+                    accepted = bool(
+                        (await client.submit(principal, query))["accepted"]
+                    )
+                except ClientError:
+                    accepted = None
+                samples.append(clock() - start)
+                result.total += 1
+                if accepted is None:
+                    result.errors += 1
+                elif accepted:
+                    result.accepted += 1
+                else:
+                    result.refused += 1
+            position += 1
+            if position == size:
+                position = 0
+
+    async def main() -> float:
+        client = AsyncHttpClient(url, protocol=protocol)
+        await client.connect()
+        try:
+            if warm:
+                # Warm sequentially per slot, concurrently across slots.
+                async def warm_slot(index: int) -> None:
+                    for principal, query in pools[index]:
+                        try:
+                            await client.submit(principal, query)
+                        except ClientError:
+                            results[index].errors += 1
+
+                await asyncio.gather(
+                    *[warm_slot(index) for index in range(workers)]
+                )
+            start = time.perf_counter()
+            await asyncio.gather(
+                *[slot_main(client, index) for index in range(workers)]
+            )
+            return time.perf_counter() - start
+        finally:
+            await client.close()
+
+    elapsed = asyncio.run(main())
+    samples = merge_samples([r.samples for r in results])
+    return LoadReport(
+        "async-http",
+        workers,
+        sum(r.total for r in results),
+        sum(r.accepted for r in results),
+        sum(r.refused for r in results),
+        sum(r.errors for r in results),
+        elapsed,
+        samples,
+        None,
         batch=batch,
     )

@@ -48,7 +48,7 @@ import zlib
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.terms import Constant
+from repro.core.canonical import decode_key, encode_key
 from repro.errors import SnapshotError
 from repro.server.service import DisclosureService
 
@@ -82,52 +82,23 @@ _SHARD_NAME = re.compile(r"^shard-(\d+)\.json$")
 def _encode(obj):
     """A canonical-cache-key element as a JSON-round-trippable value.
 
-    Keys mix variable indices (ints), relation names (strings), nested
-    tuples, and :class:`Constant` terms whose values may be str, int,
-    float, bool, or ``None`` — distinctions JSON flattens (tuples become
-    lists, ``Constant(1)`` ≠ ``Constant(True)`` ≠ ``1``).  Everything
-    non-int is therefore tagged: ``["s", x]`` strings, ``["t", [...]]``
-    tuples, ``["c", ...]`` constants, ``["b", x]`` bools, ``["f", x]``
-    floats, ``["z"]`` None.
+    The codec itself lives with the canonical-key protocol
+    (:func:`repro.core.canonical.encode_key` — the v2 wire protocol's
+    interner deltas share it); this wrapper only converts its
+    ``ValueError`` into the snapshot error taxonomy.
     """
-    if isinstance(obj, bool):  # before int: bool is an int subclass
-        return ["b", obj]
-    if isinstance(obj, int):
-        return obj
-    if isinstance(obj, float):
-        return ["f", obj]
-    if isinstance(obj, str):
-        return ["s", obj]
-    if obj is None:
-        return ["z"]
-    if isinstance(obj, tuple):
-        return ["t", [_encode(item) for item in obj]]
-    if isinstance(obj, Constant):
-        return ["c", _encode(obj.value)]
-    raise SnapshotError(
-        f"cannot serialize cache-key element of type {type(obj).__name__}"
-    )
+    try:
+        return encode_key(obj)
+    except ValueError as exc:
+        raise SnapshotError(str(exc)) from exc
 
 
 def _decode(obj):
-    """Inverse of :func:`_encode`."""
-    if isinstance(obj, int):
-        return obj
-    if isinstance(obj, list) and obj:
-        tag = obj[0]
-        if tag == "s":
-            return obj[1]
-        if tag == "t":
-            return tuple(_decode(item) for item in obj[1])
-        if tag == "c":
-            return Constant(_decode(obj[1]))
-        if tag == "b":
-            return bool(obj[1])
-        if tag == "f":
-            return float(obj[1])
-        if tag == "z":
-            return None
-    raise SnapshotError(f"unrecognized encoded cache-key element {obj!r}")
+    """Inverse of :func:`_encode` (same :class:`SnapshotError` wrapping)."""
+    try:
+        return decode_key(obj)
+    except ValueError as exc:
+        raise SnapshotError(str(exc)) from exc
 
 
 def encode_cache_entries(entries: Iterable[Tuple]) -> List[List]:

@@ -30,7 +30,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # import only for annotations (no runtime cycle)
+    from repro.client.base import DecisionClient
 
 from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
@@ -183,6 +195,10 @@ class DisclosureService:
             if default_policy is not None
             else None
         )
+        #: Lazily created by :func:`repro.server.wire2.gateway_for`: the
+        #: per-service v2 wire gateway (client-generation translation).
+        self._wire2_gateway: Optional[object] = None
+
         self._active: "OrderedDict[Hashable, Session]" = OrderedDict()
         #: Demoted principals: principal -> (partitions, live bits, ephemeral).
         self._passive: Dict[
@@ -196,6 +212,15 @@ class DisclosureService:
         self.peeks = Counter()
         self.latency = LatencyHistogram()
         self._started = time.time()
+
+    def client(self) -> "DecisionClient":
+        """This service behind the one :class:`repro.client.DecisionClient`
+        API — the in-process backend of the transport-agnostic client
+        protocol (swap it for an ``HttpClient`` without touching caller
+        code)."""
+        from repro.client.local import LocalClient
+
+        return LocalClient(self)
 
     @property
     def label_cache(self) -> LabelCache:
@@ -431,40 +456,61 @@ class DisclosureService:
     # Text front end (SQL / FQL / datalog)
     # ------------------------------------------------------------------
     def parse(self, text: str, dialect: str = "sql", me: int = 1) -> ConjunctiveQuery:
-        """Parse request text into a query, memoized per (dialect, me, text)."""
+        """Parse request text into a query, memoized per (dialect, me, text).
+
+        The parsing itself is the client stack's
+        :func:`repro.client.parsing.parse_text` — one parse path for
+        clients and service alike; this method adds the request-text
+        memo cache and the service's schema.
+        """
         key = (dialect, me if dialect == "fql" else None, text)
         query = self.parse_cache.get(key)
         if query is not None:
             return query
-        if dialect == "sql":
-            if self.schema is None:
-                raise ParseError(
-                    "this service has no schema; SQL requests are unavailable"
-                )
-            from repro.core.sqlparser import sql_to_query
+        if dialect == "sql" and self.schema is None:
+            raise ParseError(
+                "this service has no schema; SQL requests are unavailable"
+            )
+        from repro.client.parsing import parse_text
 
-            query = sql_to_query(text, self.schema)
-        elif dialect == "fql":
-            from repro.facebook.fql import fql_to_query
-
-            query = fql_to_query(text, me, self.schema)
-        elif dialect == "datalog":
-            from repro.core.parser import parse_query
-
-            query = parse_query(text)
-        else:
-            raise ParseError(f"unknown query dialect {dialect!r}")
+        query = parse_text(text, dialect, me, schema=self.schema)
         self.parse_cache.put(key, query)
         return query
 
     def submit_text(
         self, principal: Hashable, text: str, dialect: str = "sql", me: int = 1
     ) -> ServiceDecision:
+        """Deprecated: parse client-side and :meth:`submit` the query.
+
+        .. deprecated:: PR 5
+            Text front ends belong to the client layer now — parse once
+            with :func:`repro.client.parse_text` (or hold parsed
+            queries) and call :meth:`submit` /
+            :meth:`repro.client.DecisionClient.submit`.  This shim
+            routes through the same parse path and will be removed.
+        """
+        import warnings
+
+        warnings.warn(
+            "DisclosureService.submit_text is deprecated; parse with "
+            "repro.client.parse_text and call submit()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.submit(principal, self.parse(text, dialect, me))
 
     def peek_text(
         self, principal: Hashable, text: str, dialect: str = "sql", me: int = 1
     ) -> ServiceDecision:
+        """Deprecated twin of :meth:`submit_text` (see there)."""
+        import warnings
+
+        warnings.warn(
+            "DisclosureService.peek_text is deprecated; parse with "
+            "repro.client.parse_text and call peek()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.peek(principal, self.parse(text, dialect, me))
 
     # ------------------------------------------------------------------

@@ -248,6 +248,18 @@ class ShardRouter:
             return 405, {"error": f"unsupported method {method}"}
         if body is None:
             return 400, {"error": "request needs a JSON body"}
+        if path.startswith("/v2/"):
+            # v2 qids are scoped to one worker's gateway; a front-end
+            # router cannot split a shared interner delta across shards.
+            # The shard-aware client (repro.client.ShardedClient) routes
+            # principals client-side and speaks v2 to each worker
+            # directly.
+            return 501, {
+                "error": "v2 endpoints are served per-shard; use a "
+                "shard-aware client (repro.client.ShardedClient) "
+                "against the workers",
+                "code": "bad-request",
+            }
         if path == "/v1/batch":
             return self._dispatch_batch(body)
         if path in ("/v1/query", "/v1/peek", "/v1/register", "/v1/reset"):
@@ -380,6 +392,15 @@ class ShardRouter:
     # Object-level conveniences (local backends only): the in-process
     # sharded deployment used by tests and benchmarks.
     # ------------------------------------------------------------------
+    def client(self) -> "object":
+        """This deployment behind the shard-aware
+        :class:`repro.client.ShardedClient` (local backends only)."""
+        from repro.client.sharded import ShardedClient
+
+        return ShardedClient.for_services(
+            [backend.service for backend in self.backends]
+        )
+
     def register(self, principal: Hashable, policy) -> None:
         self.service_for(principal).register(principal, policy)
 

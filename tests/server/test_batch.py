@@ -279,8 +279,9 @@ class TestWireBatch:
         for request in requests:
             text_key = "fql" if "fql" in request else "datalog"
             expected.append(
-                one_at_a_time.submit_text(
-                    request["principal"], request[text_key], text_key
+                one_at_a_time.submit(
+                    request["principal"],
+                    one_at_a_time.parse(request[text_key], text_key),
                 ).as_dict()
             )
         got = batched.decide_batch_wire(requests)

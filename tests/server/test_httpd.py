@@ -232,8 +232,9 @@ class TestMetricsRoutes:
         assert stats.sessions == 1 and stats.decisions == 1
         # The wall commitment survived: likes are refused on the copy
         # exactly as they would be on the live server.
-        decision = restored.peek_text(
-            "app", "SELECT music FROM user WHERE uid = me()", dialect="fql"
+        decision = restored.peek(
+            "app",
+            restored.parse("SELECT music FROM user WHERE uid = me()", "fql"),
         )
         assert decision.accepted is False
         assert decision.live_before == 1

@@ -59,6 +59,14 @@ class TestInProcessLoad:
         with pytest.raises(ValueError):
             run_load(DisclosureService(views), url="http://127.0.0.1:1")
 
+    def test_transport_validation(self, views):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_load(DisclosureService(views), transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="needs a --url"):
+            run_load(transport="async-http")
+        with pytest.raises(ValueError, match="drives a service"):
+            run_load(url="http://127.0.0.1:1", transport="local")
+
 
 class TestWorkerRobustness:
     def test_non_http_peer_does_not_hang_the_run(self, views):
@@ -108,13 +116,15 @@ class TestWorkerRobustness:
             listener.close()
 
 class TestHttpLoad:
-    def test_http_run_end_to_end(self, views, schema):
+    @pytest.mark.parametrize("protocol", ["auto", "v1", "v2"])
+    def test_http_run_end_to_end(self, views, schema, protocol):
         service = DisclosureService(views, schema=schema)
         server, _thread = start_background(service)
         host, port = server.server_address[:2]
         try:
             report = run_load(
                 url=f"http://{host}:{port}",
+                protocol=protocol,
                 workers=2,
                 total_queries=60,
                 principals=5,
@@ -131,3 +141,90 @@ class TestHttpLoad:
         # The HTTP registrations landed on the shared service.
         assert service.principal_count() == 5
         assert service.decisions.value >= report.total
+
+
+class TestAsyncHttpLoad:
+    def test_async_run_against_the_asyncio_front_end(self, views, schema):
+        from repro.server.aio import start_async_background
+
+        service = DisclosureService(views, schema=schema)
+        handle = start_async_background(service)
+        try:
+            report = run_load(
+                url=f"http://{handle.host}:{handle.port}",
+                transport="async-http",
+                workers=8,
+                total_queries=160,
+                principals=5,
+                query_pool=16,
+                seed=5,
+            )
+        finally:
+            handle.stop()
+        assert report.mode == "async-http"
+        assert report.total >= 160
+        assert report.errors == 0
+        assert report.accepted + report.refused == report.total
+        assert service.decisions.value >= report.total
+        # The coalescing actually engaged: fewer drains than requests.
+        assert handle.server.ticks < handle.server.drained
+
+    def test_async_auto_negotiates_down_to_v1(self, views, schema):
+        """`--transport async-http` with the default auto protocol must
+        fall back to the v1 wire against a server without /v2 (e.g. a
+        sharded front end), not fail every request with 501s."""
+        import threading
+
+        from repro.server.httpd import dispatch, make_server
+
+        class V1Only:
+            def __init__(self, service):
+                self.service = service
+
+            def dispatch(self, method, path, body):
+                if path.startswith("/v2/"):
+                    return 404, {"error": f"unknown route {path}"}
+                return dispatch(self.service, method, path, body)
+
+        service = DisclosureService(views, schema=schema)
+        server = make_server(V1Only(service), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            report = run_load(
+                url=f"http://{host}:{port}",
+                transport="async-http",
+                workers=4,
+                total_queries=40,
+                principals=4,
+                query_pool=8,
+                seed=7,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report.errors == 0
+        assert report.total >= 40
+
+    def test_async_batch_mode(self, views, schema):
+        from repro.server.aio import start_async_background
+
+        service = DisclosureService(views, schema=schema)
+        handle = start_async_background(service)
+        try:
+            report = run_load(
+                url=f"http://{handle.host}:{handle.port}",
+                transport="async-http",
+                workers=3,
+                total_queries=90,
+                batch=10,
+                principals=4,
+                query_pool=20,
+                seed=6,
+            )
+        finally:
+            handle.stop()
+        assert report.batch == 10
+        assert report.total >= 90
+        assert report.errors == 0

@@ -16,6 +16,15 @@ BIRTHDAY_FQL = "SELECT birthday FROM user WHERE uid = me()"
 MUSIC_FQL = "SELECT music FROM user WHERE uid = me()"
 
 
+def _submit(service, principal, text, dialect="sql"):
+    """Text submit through the supported path (parse, then submit)."""
+    return service.submit(principal, service.parse(text, dialect))
+
+
+def _peek(service, principal, text, dialect="sql"):
+    return service.peek(principal, service.parse(text, dialect))
+
+
 @pytest.fixture()
 def service(views, schema):
     service = DisclosureService(views, schema=schema)
@@ -26,11 +35,11 @@ def service(views, schema):
 class TestSessions:
     def test_unknown_principal_raises(self, service):
         with pytest.raises(PolicyError, match="unknown principal"):
-            service.submit_text("ghost", BIRTHDAY_FQL, "fql")
+            _submit(service, "ghost", BIRTHDAY_FQL, "fql")
 
     def test_default_policy_auto_registers(self, views):
         service = DisclosureService(views, default_policy=[["public_profile"]])
-        decision = service.submit_text(
+        decision = _submit(service, 
             "new-app", "SELECT name FROM user WHERE uid = me()", "fql"
         )
         assert decision.accepted
@@ -39,7 +48,7 @@ class TestSessions:
     def test_default_policy_peek_does_not_allocate(self, views):
         service = DisclosureService(views, default_policy=[["public_profile"]])
         for index in range(50):
-            decision = service.peek_text(
+            decision = _peek(service, 
                 f"anon-{index}", "SELECT name FROM user WHERE uid = me()", "fql"
             )
             assert decision.accepted
@@ -65,47 +74,47 @@ class TestSessions:
         # This query is refused (email is outside the default policy), so
         # live bits stay fresh and the demoted sessions evaporate.
         for index in range(40):
-            refused = service.submit_text(
+            refused = _submit(service, 
                 f"anon-{index}", "SELECT email FROM user WHERE uid = me()", "fql"
             )
             assert not refused.accepted
         assert service.principal_count() <= 2
         # A principal that *commits* survives demotion with its wall intact.
-        service.submit_text("committed", BIRTHDAY_FQL, "fql")
+        _submit(service, "committed", BIRTHDAY_FQL, "fql")
         for index in range(10):
-            service.submit_text(f"churn-{index}", BIRTHDAY_FQL, "fql")
+            _submit(service, f"churn-{index}", BIRTHDAY_FQL, "fql")
         assert "committed" in service
         assert service.live_partitions("committed") == (True, False)
 
     def test_reregistration_resets_state(self, service):
-        assert service.submit_text("app", BIRTHDAY_FQL, "fql").accepted
-        assert not service.submit_text("app", MUSIC_FQL, "fql").accepted
+        assert _submit(service, "app", BIRTHDAY_FQL, "fql").accepted
+        assert not _submit(service, "app", MUSIC_FQL, "fql").accepted
         service.register("app", CHINESE_WALL)
-        assert service.submit_text("app", MUSIC_FQL, "fql").accepted
+        assert _submit(service, "app", MUSIC_FQL, "fql").accepted
 
     def test_unregister(self, service):
         service.unregister("app")
         assert "app" not in service
         with pytest.raises(PolicyError):
-            service.submit_text("app", BIRTHDAY_FQL, "fql")
+            _submit(service, "app", BIRTHDAY_FQL, "fql")
 
     def test_chinese_wall_commitment(self, service):
-        first = service.submit_text("app", BIRTHDAY_FQL, "fql")
+        first = _submit(service, "app", BIRTHDAY_FQL, "fql")
         assert first.accepted
-        second = service.submit_text("app", MUSIC_FQL, "fql")
+        second = _submit(service, "app", MUSIC_FQL, "fql")
         assert not second.accepted
         assert "committed" in second.reason
         assert service.live_partitions("app") == (True, False)
 
     def test_reset_restores_all_partitions(self, service):
-        service.submit_text("app", BIRTHDAY_FQL, "fql")
+        _submit(service, "app", BIRTHDAY_FQL, "fql")
         service.reset("app")
         assert service.live_partitions("app") == (True, True)
-        assert service.submit_text("app", MUSIC_FQL, "fql").accepted
+        assert _submit(service, "app", MUSIC_FQL, "fql").accepted
 
     def test_peek_leaves_state_untouched(self, service):
         before = service.live_partitions("app")
-        peeked = service.peek_text("app", BIRTHDAY_FQL, "fql")
+        peeked = _peek(service, "app", BIRTHDAY_FQL, "fql")
         assert peeked.accepted
         assert service.live_partitions("app") == before
 
@@ -121,14 +130,14 @@ class TestSessions:
 
 class TestTextFrontEnd:
     def test_sql_dialect(self, service):
-        decision = service.submit_text(
+        decision = _submit(service, 
             "app", "SELECT birthday FROM User WHERE rel = 'self'", "sql"
         )
         assert decision.accepted
 
     def test_datalog_dialect(self, views):
         service = DisclosureService(views, default_policy=[["public_status"]])
-        decision = service.submit_text(
+        decision = _submit(service, 
             "app",
             "Q(s) :- Status(u, s, m, t, 'self')",
             "datalog",
@@ -137,25 +146,25 @@ class TestTextFrontEnd:
 
     def test_unknown_dialect(self, service):
         with pytest.raises(ParseError, match="unknown query dialect"):
-            service.submit_text("app", "whatever", "graphql")
+            _submit(service, "app", "whatever", "graphql")
 
     def test_parse_cache_hits_on_repeat(self, service):
-        service.submit_text("app", BIRTHDAY_FQL, "fql")
+        _submit(service, "app", BIRTHDAY_FQL, "fql")
         before = service.parse_cache.stats().hits
-        service.peek_text("app", BIRTHDAY_FQL, "fql")
+        _peek(service, "app", BIRTHDAY_FQL, "fql")
         assert service.parse_cache.stats().hits == before + 1
 
     def test_sql_without_schema_raises(self, views):
         service = DisclosureService(views, default_policy=[["public_profile"]])
         with pytest.raises(ParseError, match="no schema"):
-            service.submit_text("app", "SELECT name FROM User", "sql")
+            _submit(service, "app", "SELECT name FROM User", "sql")
 
 
 class TestSerializableState:
     def test_export_import_roundtrip_preserves_commitments(self, views, schema):
         service = DisclosureService(views, schema=schema)
         service.register("app", CHINESE_WALL)
-        assert service.submit_text("app", BIRTHDAY_FQL, "fql").accepted
+        assert _submit(service, "app", BIRTHDAY_FQL, "fql").accepted
 
         blob = json.dumps(service.export_state())
 
@@ -164,14 +173,14 @@ class TestSerializableState:
         # The Chinese Wall commitment survives the restart: partition 1
         # is still dead, so the likes query is still refused.
         assert restored.live_partitions("app") == (True, False)
-        assert not restored.submit_text("app", MUSIC_FQL, "fql").accepted
+        assert not _submit(restored, "app", MUSIC_FQL, "fql").accepted
 
     def test_export_covers_active_and_passive(self, views):
         service = DisclosureService(views, max_active_sessions=1)
         service.register("a", [["public_profile"]])
         service.register("b", [["user_likes"]])
-        service.submit_text("a", "SELECT name FROM user WHERE uid = me()", "fql")
-        service.submit_text("b", MUSIC_FQL, "fql")
+        _submit(service, "a", "SELECT name FROM user WHERE uid = me()", "fql")
+        _submit(service, "b", MUSIC_FQL, "fql")
         state = service.export_state()
         assert set(state["sessions"]) == {"a", "b"}
 
@@ -208,11 +217,39 @@ class TestSerializableState:
             )
 
 
+class TestDeprecatedTextShims:
+    """``submit_text`` / ``peek_text`` warn and route through the client
+    parse path (the PR 5 deprecation satellite)."""
+
+    def test_submit_text_warns_and_still_decides(self, service):
+        with pytest.warns(DeprecationWarning, match="submit_text is deprecated"):
+            decision = service.submit_text("app", BIRTHDAY_FQL, "fql")
+        assert decision.accepted
+        assert service.live_partitions("app") == (True, False)
+
+    def test_peek_text_warns_and_changes_nothing(self, service):
+        before = service.live_partitions("app")
+        with pytest.warns(DeprecationWarning, match="peek_text is deprecated"):
+            decision = service.peek_text("app", MUSIC_FQL, "fql")
+        assert decision.accepted
+        assert service.live_partitions("app") == before
+
+    def test_shims_match_the_client_parse_path(self, service):
+        """The shim decides exactly what parse_text + submit decides."""
+        from repro.client import parse_text
+
+        query = parse_text(BIRTHDAY_FQL, "fql", schema=service.schema)
+        service.peek("app", query)  # warm the label cache for both paths
+        with pytest.warns(DeprecationWarning):
+            shimmed = service.peek_text("app", BIRTHDAY_FQL, "fql")
+        assert shimmed.as_dict() == service.peek("app", query).as_dict()
+
+
 class TestMetrics:
     def test_snapshot_counts_decisions(self, service):
-        service.submit_text("app", BIRTHDAY_FQL, "fql")
-        service.submit_text("app", MUSIC_FQL, "fql")
-        service.peek_text("app", BIRTHDAY_FQL, "fql")
+        _submit(service, "app", BIRTHDAY_FQL, "fql")
+        _submit(service, "app", MUSIC_FQL, "fql")
+        _peek(service, "app", BIRTHDAY_FQL, "fql")
         snapshot = service.metrics_snapshot()
         assert snapshot["decisions"] == 2
         assert snapshot["accepted"] == 1

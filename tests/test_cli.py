@@ -95,8 +95,9 @@ class TestSnapshotCommand:
 
         service = DisclosureService()
         service.register("app1", [["public_profile"], ["user_likes"]])
-        service.submit_text(
-            "app1", "SELECT name FROM user WHERE uid = me()", dialect="fql"
+        service.submit(
+            "app1",
+            service.parse("SELECT name FROM user WHERE uid = me()", "fql"),
         )
         return save_snapshot(
             tmp_path / "snap.json", snapshot_service(service)
