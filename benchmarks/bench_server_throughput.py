@@ -76,8 +76,10 @@ BATCH = 2_000
 PRINCIPALS = 100
 
 
-def _build_service(security_views, cache_size: int) -> DisclosureService:
-    service = DisclosureService(security_views, label_cache_size=cache_size)
+def _build_service(security_views, cache_size: int, **kwargs) -> DisclosureService:
+    service = DisclosureService(
+        security_views, label_cache_size=cache_size, **kwargs
+    )
     policies = generate_policies(
         security_views.names, PRINCIPALS, max_partitions=5, max_elements=25, seed=0
     )
@@ -441,6 +443,7 @@ def _measure_http(duration: float, seed: int) -> dict:
             if handle.server.ticks
             else 0.0
         )
+        prometheus = _scrape_prometheus(handle.host, handle.port)
     finally:
         handle.stop()
 
@@ -452,6 +455,88 @@ def _measure_http(duration: float, seed: int) -> dict:
         "speedup": v2.qps / v1.qps if v1.qps else 0.0,
         "v2_requests_per_tick": coalescing,
         "errors": v1.errors + v2.errors,
+        "prometheus": prometheus,
+    }
+
+
+def _scrape_prometheus(host: str, port: int) -> dict:
+    """Scrape the live server both ways and cross-check the expositions.
+
+    Pulls ``/metrics`` (JSON) and ``/metrics?format=prometheus`` from
+    the still-running front end, parses the text form with the in-repo
+    parser, and verifies the headline counters and the latency
+    histogram count agree between the two — the CI form of the
+    "prometheus agrees with JSON" acceptance criterion.
+    """
+    import json
+    from urllib.request import urlopen
+
+    from repro.obs import parse_prometheus, sample_value
+
+    base = f"http://{host}:{port}/metrics"
+    with urlopen(base, timeout=10) as response:
+        snapshot = json.loads(response.read())
+    with urlopen(base + "?format=prometheus", timeout=10) as response:
+        parsed = parse_prometheus(response.read().decode("utf-8"))
+
+    mismatches = []
+    for name, key in (
+        ("repro_decisions_total", "decisions"),
+        ("repro_accepted_total", "accepted"),
+        ("repro_refused_total", "refused"),
+        ("repro_peeks_total", "peeks"),
+    ):
+        exposed = sample_value(parsed, name)
+        if exposed != float(snapshot.get(key, 0)):
+            mismatches.append(f"{name}={exposed} vs json {snapshot.get(key)}")
+    latency_count = sample_value(parsed, "repro_request_latency_seconds_count")
+    json_count = float((snapshot.get("latency") or {}).get("count", 0))
+    if latency_count != json_count:
+        mismatches.append(
+            f"latency _count={latency_count} vs json {json_count}"
+        )
+    return {
+        "samples": sum(len(rows) for rows in parsed["samples"].values()),
+        "consistent": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def _measure_obs_overhead(views, seed: int) -> dict:
+    """Instrumented vs bare warm single-query floors (the obs gate).
+
+    Both services decide identical warm traffic best-of-N; the
+    instrumented one runs the shipped defaults (labeled registry,
+    tenant counters, 1-in-64 stage sampling), the bare one has
+    ``observability=False``.  The ratio is the fraction of the
+    uninstrumented floor the default configuration retains — gated
+    against ``obs_overhead_floor`` in the committed baseline.
+
+    Repetitions for the two services are *interleaved* (bare,
+    instrumented, bare, ...): a sequential A-then-B comparison lets
+    slow drift in host load land entirely on one side and can swing
+    the ratio by more than the effect being measured.
+    """
+    traffic = _build_traffic(BATCH, seed=seed)
+
+    def prepared(**kwargs):
+        service = _build_service(views, cache_size=1 << 16, **kwargs)
+        for principal, query in traffic:
+            service.submit(principal, query)  # warm cache + memos
+        return _sequential_run(service, traffic)
+
+    bare_run = prepared(observability=False)
+    instrumented_run = prepared()
+    bare_qps = instrumented_qps = 0.0
+    for _ in range(7):
+        bare_qps = max(bare_qps, _best_rate(bare_run, len(traffic), 1))
+        instrumented_qps = max(
+            instrumented_qps, _best_rate(instrumented_run, len(traffic), 1)
+        )
+    return {
+        "instrumented_qps": instrumented_qps,
+        "bare_qps": bare_qps,
+        "ratio": instrumented_qps / bare_qps if bare_qps else 0.0,
     }
 
 
@@ -537,6 +622,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     kernel = _measure_kernel(service, traffic)
     restart = _measure_restart(queries=BATCH, seed=seed + 1)
     http = _measure_http(duration=1.5, seed=seed + 2)
+    obs = _measure_obs_overhead(views, seed=seed + 3)
 
     results = {
         "figure": "server-throughput-ci",
@@ -548,6 +634,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         "kernel": kernel,
         "restart": restart,
         "http": http,
+        "obs": obs,
     }
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -567,12 +654,26 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         f"({http['speedup']:.2f}x, "
         f"{http['v2_requests_per_tick']:.1f} requests/tick coalesced)"
     )
+    print(
+        f"prometheus scrape: {http['prometheus']['samples']} samples, "
+        f"consistent with JSON: {http['prometheus']['consistent']}"
+    )
+    print(
+        f"observability overhead: instrumented "
+        f"{obs['instrumented_qps']:,.0f}/s vs bare {obs['bare_qps']:,.0f}/s "
+        f"({obs['ratio']:.1%} of the uninstrumented floor)"
+    )
 
     failures = []
     if restart["hit_rate_recovery"] < 0.9:
         failures.append(
             f"warm restart recovered only {restart['hit_rate_recovery']:.1%} "
             "of the pre-restart label-cache hit rate (bar: 90%)"
+        )
+    if not http["prometheus"]["consistent"]:
+        failures.append(
+            "prometheus exposition disagrees with the JSON snapshot: "
+            + "; ".join(http["prometheus"]["mismatches"])
         )
     if check_path:
         with open(check_path) as handle:
@@ -608,6 +709,13 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
                 f"v2 asyncio speedup over v1 stdlib is only "
                 f"{http['speedup']:.2f}x (floor: {speedup_floor:.1f}x; "
                 "the PR 5 acceptance bar on an unloaded machine is 4x)"
+            )
+        obs_floor = baseline.get("obs_overhead_floor", 0.0)
+        if obs["ratio"] < obs_floor:
+            failures.append(
+                f"default observability retains only {obs['ratio']:.1%} of "
+                f"the uninstrumented warm single-query floor "
+                f"(floor: {obs_floor:.0%})"
             )
     for failure in failures:
         print(f"REGRESSION: {failure}")

@@ -9,8 +9,11 @@ Usage::
     python -m repro evaluate          # alias of python -m repro.harness
     python -m repro serve [--host H] [--port P] [--shards N] [--async]
                           [--state-dir DIR] [--snapshot-interval S]
+                          [--stage-sample-rate N]
     python -m repro loadgen [--workers N] [--duration S] [--url URL] [--batch B]
                             [--transport local|http|async-http] [--v1|--v2]
+                            [--open-loop RATE] [--hist-out FILE]
+    python -m repro metrics [--url URL] [--watch S] [--prometheus]
     python -m repro snapshot save|load|inspect [FILE] [--state-dir DIR] [--url URL]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
@@ -27,8 +30,12 @@ makes sessions, label cache, and counters durable across restarts);
 :class:`repro.client.DecisionClient` and reports throughput
 (``--transport local|http|async-http`` picks the client, ``--v1`` /
 ``--v2`` pins the wire protocol, ``--batch B`` sends batches of B
-through ``submit_many``); ``snapshot`` saves, restores, and inspects
-the durable snapshot files.
+through ``submit_many``, ``--open-loop RATE`` offers a fixed Poisson
+load with lateness-corrected latency, ``--hist-out FILE`` writes the
+mergeable latency histogram as JSON); ``metrics`` pretty-prints a
+running server's ``/metrics`` (``--watch S`` refreshes every S
+seconds, ``--prometheus`` dumps the text exposition); ``snapshot``
+saves, restores, and inspects the durable snapshot files.
 
 The installed console script ``repro`` (see ``pyproject.toml``) is an
 alias for ``python -m repro``.
@@ -189,6 +196,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_active_sessions=args.max_sessions,
         label_cache_size=args.cache_size,
         default_policy=default_policy,
+        stage_sample_rate=args.stage_sample_rate,
     )
     snapshotter = None
     if args.state_dir:
@@ -309,6 +317,7 @@ def _serve_sharded(args: argparse.Namespace, default_policy) -> int:
         "max_active_sessions": args.max_sessions,
         "label_cache_size": args.cache_size,
         "default_policy": default_policy,
+        "stage_sample_rate": args.stage_sample_rate,
     }
     front, router, workers = serve_sharded(
         args.shards,
@@ -493,6 +502,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             warm=not args.cold,
             batch=args.batch,
+            open_loop=args.open_loop,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -501,7 +511,83 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
     print(report.render())
+    if args.hist_out:
+        import json
+
+        with open(args.hist_out, "w") as handle:
+            json.dump(report.hist_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"histogram written to {args.hist_out}")
     return 0
+
+
+def _render_metrics(snapshot: dict) -> str:
+    """The human-facing lines of ``repro metrics`` (JSON form)."""
+    latency = snapshot.get("latency") or {}
+    sessions = snapshot.get("sessions") or {}
+    cache = snapshot.get("label_cache") or {}
+    lines = [
+        f"decisions:  {snapshot.get('decisions', 0)} "
+        f"({snapshot.get('accepted', 0)} accepted, "
+        f"{snapshot.get('refused', 0)} refused; "
+        f"peeks {snapshot.get('peeks', 0)})",
+        f"latency:    p50 {latency.get('p50_us', 0.0):.1f} µs   "
+        f"p95 {latency.get('p95_us', 0.0):.1f} µs   "
+        f"p99 {latency.get('p99_us', 0.0):.1f} µs",
+        f"sessions:   {sessions.get('active', 0)} active, "
+        f"{sessions.get('passive', 0)} passive",
+        f"label cache: {cache.get('hit_rate', 0.0):.1%} hit rate "
+        f"({cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses)",
+    ]
+    if "shard_count" in snapshot:
+        lines.append(f"shards:     {snapshot['shard_count']}")
+    for vector in (snapshot.get("registry") or {}).get("vectors", []):
+        if vector.get("name") != "repro_kernel_stage_seconds":
+            continue
+        stages = []
+        for series in vector.get("series", []):
+            histogram = series.get("histogram") or {}
+            if histogram.get("count"):
+                stages.append(
+                    f"{series.get('labels', {}).get('stage')} "
+                    f"p95 {histogram.get('p95_us', 0.0):.1f} µs"
+                )
+        if stages:
+            lines.append("kernel:     " + "   ".join(stages) + " (sampled)")
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch needs a positive interval", file=sys.stderr)
+        return 2
+    target = (args.url or "http://127.0.0.1:8080").rstrip("/") + "/metrics"
+    if args.prometheus:
+        target += "?format=prometheus"
+    first = True
+    while True:
+        try:
+            with urlopen(target, timeout=10) as response:
+                body = response.read().decode("utf-8")
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot reach {target}: {exc}", file=sys.stderr)
+            return 1
+        if not first:
+            print("---")
+        first = False
+        if args.prometheus:
+            print(body, end="" if body.endswith("\n") else "\n")
+        else:
+            print(_render_metrics(json.loads(body)))
+        if args.watch is None:
+            return 0
+        sys.stdout.flush()
+        time.sleep(args.watch)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -570,8 +656,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-interval", type=float, default=30.0,
         help="seconds between background snapshots (with --state-dir)",
     )
+    serve.add_argument(
+        "--stage-sample-rate", type=int, default=64,
+        help="sample 1 in N decisions for per-stage kernel timing "
+        "histograms (repro_kernel_stage_seconds; 0 disables)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log requests")
     serve.set_defaults(func=_cmd_serve)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print a running server's /metrics"
+    )
+    metrics.add_argument(
+        "--url", help="server base URL (default: http://127.0.0.1:8080)"
+    )
+    metrics.add_argument(
+        "--watch", type=float,
+        help="refresh every this many seconds until interrupted",
+    )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="dump the text exposition (GET /metrics?format=prometheus) "
+        "instead of the human summary",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     snapshot = sub.add_parser(
         "snapshot", help="save, restore-check, or inspect durable snapshots"
@@ -639,6 +747,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--v1", dest="protocol", action="store_const", const="v1",
         help="shorthand for --protocol v1 (the text wire)",
+    )
+    loadgen.add_argument(
+        "--open-loop", type=float, metavar="RATE",
+        help="offer a fixed RATE requests/sec (Poisson arrivals) instead "
+        "of the closed loop; latency is measured from each request's "
+        "scheduled arrival, so overload shows up as queueing delay",
+    )
+    loadgen.add_argument(
+        "--hist-out", metavar="FILE",
+        help="write the run's latency histogram (mergeable log-bucketed "
+        "JSON) to FILE",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
     return parser

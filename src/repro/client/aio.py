@@ -47,11 +47,13 @@ class AsyncHttpClient:
         *,
         protocol: str = "v2",
         compact: bool = True,
+        trace: "bool | int" = False,
         timeout: Optional[float] = 30.0,
     ):
         if protocol not in ("auto", "v1", "v2"):
             raise ValueError(f"unknown protocol {protocol!r}")
         self.host, self.port = _split_url(url)
+        self._trace = wire.TraceSampler(trace)
         #: Stall timeout: if responses stop arriving for this long while
         #: requests are in flight, the connection is failed.  Enforced
         #: by one per-connection watchdog, not per request — responses
@@ -286,9 +288,17 @@ class AsyncHttpClient:
     # Decisions
     # ------------------------------------------------------------------
     async def _decide(
-        self, principal: Hashable, query: ConjunctiveQuery, *, peek: bool
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        peek: bool,
+        trace: Optional[bool] = None,
     ) -> Dict:
         if await self._protocol_name() == "v2":
+            # Sampled once, out here: a 409 resync retry re-sends the
+            # same request and must not consume another countdown tick.
+            traced = self._trace.should(trace)
             status, payload = await self._request_v2(
                 "/v2/query",
                 lambda: wire.single_body(
@@ -297,6 +307,7 @@ class AsyncHttpClient:
                     query,
                     peek=peek,
                     compact=self.compact,
+                    trace=traced,
                 ),
             )
             if status != 200:
@@ -353,13 +364,30 @@ class AsyncHttpClient:
             self._texts[qid] = text
         return text
 
-    async def submit(self, principal: Hashable, query: ConjunctiveQuery) -> Dict:
-        """Decide one query for one principal, updating session state."""
-        return await self._decide(principal, query, peek=False)
+    async def submit(
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        trace: Optional[bool] = None,
+    ) -> Dict:
+        """Decide one query for one principal, updating session state.
 
-    async def peek(self, principal: Hashable, query: ConjunctiveQuery) -> Dict:
+        ``trace=`` overrides the client's trace sampling for this one
+        request; a traced decision dict carries the server span under
+        ``"trace"``.
+        """
+        return await self._decide(principal, query, peek=False, trace=trace)
+
+    async def peek(
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        trace: Optional[bool] = None,
+    ) -> Dict:
         """The decision :meth:`submit` would make, without making it."""
-        return await self._decide(principal, query, peek=True)
+        return await self._decide(principal, query, peek=True, trace=trace)
 
     async def submit_many(self, items: Sequence[ClientItem]) -> List[Dict]:
         """Ordered stateful batch, per-item isolated (one round trip)."""

@@ -59,6 +59,12 @@ class HttpClient(DecisionClient):
         (negotiate via ``GET /v2/protocol``; the default).
     compact:
         Negotiate the dense v2 response rows (ignored on v1).
+    trace:
+        Request server-side spans (v2 only): ``False`` never, ``True``
+        on every decision, an integer N to sample one decision in N.
+        A traced decision dict carries the span under ``"trace"``; the
+        per-call ``trace=`` keyword on :meth:`submit`/:meth:`peek`
+        overrides this default for that one request.
     timeout:
         Socket timeout in seconds.
     """
@@ -69,6 +75,7 @@ class HttpClient(DecisionClient):
         *,
         protocol: str = "auto",
         compact: bool = True,
+        trace: "bool | int" = False,
         timeout: float = 30.0,
     ):
         if protocol not in ("auto", "v1", "v2"):
@@ -76,6 +83,7 @@ class HttpClient(DecisionClient):
         self.host, self.port = _split_url(url)
         self.timeout = timeout
         self.compact = compact
+        self._trace = wire.TraceSampler(trace)
         self._protocol: Optional[str] = None if protocol == "auto" else protocol
         self._state = wire.WireState()
         self._connection: "Optional[HTTPConnection]" = None
@@ -160,12 +168,42 @@ class HttpClient(DecisionClient):
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
+    def submit(
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        trace: Optional[bool] = None,
+    ) -> Dict:
+        """Decide one query statefully; ``trace=`` overrides the default."""
+        return self._decide(principal, query, peek=False, trace=trace)
+
+    def peek(
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        trace: Optional[bool] = None,
+    ) -> Dict:
+        """Stateless probe; ``trace=`` overrides the client default."""
+        return self._decide(principal, query, peek=True, trace=trace)
+
     def _decide(
-        self, principal: Hashable, query: ConjunctiveQuery, *, peek: bool
+        self,
+        principal: Hashable,
+        query: ConjunctiveQuery,
+        *,
+        peek: bool,
+        trace: Optional[bool] = None,
     ) -> Dict:
         if self.protocol == "v2":
             body = wire.single_body(
-                self._state, principal, query, peek=peek, compact=self.compact
+                self._state,
+                principal,
+                query,
+                peek=peek,
+                compact=self.compact,
+                trace=self._trace.should(trace),
             )
             status, payload = self._request_v2("/v2/query", body)
             if status != 200:

@@ -91,6 +91,43 @@ class WireState:
         return self.gen, base, delta, qids
 
 
+class TraceSampler:
+    """Turns a client's ``trace`` parameter into per-request decisions.
+
+    ``False`` never traces, ``True`` traces every decision, and an
+    integer ``N >= 1`` traces one decision in N (the first immediately,
+    so a short session still yields a span).  A per-call override wins
+    outright and does not consume the countdown.
+    """
+
+    __slots__ = ("every", "_countdown")
+
+    def __init__(self, trace: object = False):
+        if trace is True:
+            self.every = 1
+        elif trace is False or trace is None:
+            self.every = 0
+        elif isinstance(trace, int) and trace >= 1:
+            self.every = trace
+        else:
+            raise ValueError(
+                "trace must be a bool or an integer sampling period >= 1, "
+                f"got {trace!r}"
+            )
+        self._countdown = 1
+
+    def should(self, override: Optional[bool] = None) -> bool:
+        if override is not None:
+            return bool(override)
+        if not self.every:
+            return False
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.every
+            return True
+        return False
+
+
 def single_body(
     state: WireState,
     principal: str,
@@ -98,8 +135,13 @@ def single_body(
     *,
     peek: bool,
     compact: bool,
+    trace: bool = False,
 ) -> Dict:
-    """The ``POST /v2/query`` body for one decision."""
+    """The ``POST /v2/query`` body for one decision.
+
+    With *trace* the server returns the full-dict payload carrying a
+    ``"trace"`` span (``compact`` is ignored for that request).
+    """
     gen, base, delta, qids = state.encode_refs((query,))
     # ``base`` is always declared, delta or not: it is how the server
     # detects a lost generation (eviction or restart) and answers 409
@@ -116,6 +158,8 @@ def single_body(
         body["peek"] = True
     if compact:
         body["compact"] = True
+    if trace:
+        body["trace"] = True
     return body
 
 

@@ -1,0 +1,50 @@
+"""repro.obs — the observability plane.
+
+One :class:`MetricsRegistry` of typed instruments (counters, gauges,
+log-bucketed latency histograms) addressable by name plus a bounded
+label set; sampled per-stage kernel timing; Prometheus text exposition
+rendered from the same snapshot the JSON ``/metrics`` form uses; and a
+ring buffer of per-request trace spans.  See ``docs/observability.md``.
+"""
+
+from .instruments import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    aggregate_latency,
+)
+from .prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+)
+from .registry import (
+    DEFAULT_MAX_SERIES,
+    InstrumentVec,
+    MetricsRegistry,
+    OVERFLOW_LABEL,
+    merge_registry_snapshots,
+)
+from .timing import DEFAULT_SAMPLE_RATE, STAGES, StageTimer
+from .trace import TraceBuffer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "aggregate_latency",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus",
+    "render_prometheus",
+    "sample_value",
+    "DEFAULT_MAX_SERIES",
+    "InstrumentVec",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "merge_registry_snapshots",
+    "DEFAULT_SAMPLE_RATE",
+    "STAGES",
+    "StageTimer",
+    "TraceBuffer",
+]

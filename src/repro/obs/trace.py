@@ -1,0 +1,58 @@
+"""A fixed-size ring buffer of per-request trace spans.
+
+Traced requests (``trace: true`` on the v2 wire) produce a small span
+dict — queue wait, coalesce size, decide and serialize timings, the
+qid the query resolved to — appended here and exposed verbatim at
+``GET /internal/trace``.  The ring is bounded: once full, each append
+overwrites the oldest span and bumps ``dropped`` so operators can see
+they are sampling a window, not the full history.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+
+class TraceBuffer:
+    """Thread-safe bounded ring of span dicts, oldest-first on read."""
+
+    __slots__ = ("capacity", "_spans", "_next", "_dropped", "_seq", "_lock")
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, int(capacity))
+        self._spans: List[Dict] = []
+        self._next = 0
+        self._dropped = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def append(self, span: Dict) -> None:
+        with self._lock:
+            span = dict(span)
+            span["seq"] = self._seq
+            self._seq += 1
+            if len(self._spans) < self.capacity:
+                self._spans.append(span)
+            else:
+                self._spans[self._next] = span
+                self._next = (self._next + 1) % self.capacity
+                self._dropped += 1
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def snapshot(self) -> Dict:
+        """Spans oldest-first, plus capacity/drop accounting."""
+        with self._lock:
+            if len(self._spans) < self.capacity:
+                spans = list(self._spans)
+            else:
+                spans = self._spans[self._next:] + self._spans[:self._next]
+            return {
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self._dropped,
+                "traces": spans,
+            }

@@ -40,8 +40,15 @@ import json
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from time import perf_counter
+
 from repro.errors import ReproError
-from repro.server.httpd import MAX_BODY, dispatch, parse_decision_body
+from repro.server.httpd import (
+    MAX_BODY,
+    dispatch,
+    negotiate_metrics_path,
+    parse_decision_body,
+)
 from repro.server.kernel import ServiceDecision
 from repro.server.service import DisclosureService
 from repro.server.wire2 import (
@@ -61,9 +68,10 @@ _REASON = {200: "OK", 400: "Bad Request", 404: "Not Found",
 class _QueuedRequest:
     """One request waiting for the tick drain."""
 
-    __slots__ = ("kind", "method", "path", "body", "slot", "update")
+    __slots__ = ("kind", "method", "path", "body", "slot", "update", "enqueued")
 
-    def __init__(self, kind, method, path, body, slot, update=False):
+    def __init__(self, kind, method, path, body, slot, update=False,
+                 enqueued=0.0):
         self.kind = kind  # "v1" | "v2" | "inline"
         self.method = method
         self.path = path
@@ -71,6 +79,9 @@ class _QueuedRequest:
         self.slot = slot
         #: For decision kinds: True for submit semantics, False for peek.
         self.update = update
+        #: perf_counter at queue time, recorded only for traced requests
+        #: (their spans report the drain-tick queue wait).
+        self.enqueued = enqueued
 
 
 class _HttpProtocol(asyncio.Protocol):
@@ -120,6 +131,7 @@ class _HttpProtocol(asyncio.Protocol):
             path = parts[1].decode("ascii", "replace")
             length = 0
             close = False
+            accept = None
             for line in header_block.split(b"\r\n"):
                 name, _, value = line.partition(b":")
                 lowered = name.strip().lower()
@@ -131,6 +143,8 @@ class _HttpProtocol(asyncio.Protocol):
                         return
                 elif lowered == b"connection":
                     close = value.strip().lower() == b"close"
+                elif lowered == b"accept":
+                    accept = value.strip().decode("ascii", "replace")
             if length > MAX_BODY:
                 self._fail_now(413, "request body exceeds the 8 MiB cap")
                 return
@@ -139,6 +153,8 @@ class _HttpProtocol(asyncio.Protocol):
                 return  # body still in flight
             raw = self._buffer[body_start : body_start + length]
             self._buffer = self._buffer[body_start + length :]
+            if method == "GET":
+                path = negotiate_metrics_path(path, accept)
             self._accept(method, path, raw, close)
 
     def _accept(self, method: str, path: str, raw: bytes, close: bool) -> None:
@@ -157,11 +173,19 @@ class _HttpProtocol(asyncio.Protocol):
         while self._responses and self._responses[0][0].done():
             slot, close = self._responses.pop(0)
             status, payload = slot.result()
-            body = json.dumps(payload).encode("utf-8")
+            if isinstance(payload, str):
+                # Pre-rendered text (the Prometheus exposition).
+                from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+                body = payload.encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
             chunks.append(
                 (
                     f"HTTP/1.1 {status} {_REASON.get(status, 'OK')}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     + ("Connection: close\r\n" if close else "")
                     + "\r\n"
@@ -268,7 +292,16 @@ class AsyncDecisionServer:
                         )
                     )
                     return
-                queued = _QueuedRequest("v2", method, path, body, slot, not peek)
+                queued = _QueuedRequest(
+                    "v2",
+                    method,
+                    path,
+                    body,
+                    slot,
+                    not peek,
+                    # Traced requests report their drain-tick queue wait.
+                    perf_counter() if body.get("trace") is True else 0.0,
+                )
             elif path in ("/v1/query", "/v1/peek"):
                 queued = _QueuedRequest(
                     "v1", method, path, body, slot, path == "/v1/query"
@@ -277,6 +310,12 @@ class AsyncDecisionServer:
                 queued = _QueuedRequest("inline", method, path, body, slot)
         else:
             queued = _QueuedRequest("inline", method, path, body, slot)
+        if queued.kind != "inline":
+            # Inline requests are counted by dispatch(); the coalesced
+            # decision kinds bypass it, so label them here.
+            requests = self.service.requests
+            if requests is not None:
+                requests.labels("async", path).increment()
         self._pending.append(queued)
         if len(self._pending) == 1:
             asyncio.get_running_loop().call_soon(self._drain)
@@ -300,7 +339,11 @@ class AsyncDecisionServer:
                 run = []
                 try:
                     status_payload = dispatch(
-                        self.service, request.method, request.path, request.body
+                        self.service,
+                        request.method,
+                        request.path,
+                        request.body,
+                        transport="async",
                     )
                 except Exception as exc:  # noqa: BLE001 - never hang a slot
                     status_payload = (500, {"error": f"internal error: {exc}"})
@@ -317,7 +360,7 @@ class AsyncDecisionServer:
         self._flush_run(run, run_update)
 
     def _prepare(self, request: _QueuedRequest):
-        """``(principal, query, qid, plane, compact)`` or ``None``.
+        """``(principal, query, qid, plane, compact, trace)`` or ``None``.
 
         Resolves the request down to a decision entry through the same
         validation helpers the stdlib front end uses
@@ -329,13 +372,13 @@ class AsyncDecisionServer:
         body = request.body
         if request.kind == "v2":
             try:
-                principal, _, compact, plane, qid = resolve_single(
+                principal, _, compact, trace, plane, qid = resolve_single(
                     self.service, body
                 )
             except WireError as exc:
                 request.slot.set_result((exc.status, exc.payload()))
                 return None
-            return principal, None, qid, plane, compact
+            return principal, None, qid, plane, compact, trace
         # v1: the stdlib front end's validation and parse path.
         try:
             parsed, error = parse_decision_body(self.service, body)
@@ -346,7 +389,7 @@ class AsyncDecisionServer:
             request.slot.set_result(error)
             return None
         principal, query = parsed
-        return principal, query, None, None, False
+        return principal, query, None, None, False, False
 
     def _flush_run(self, run: List, update: bool) -> None:
         """Decide one homogeneous run through the shared batch core."""
@@ -375,27 +418,80 @@ class AsyncDecisionServer:
 
         entries = [
             (principal, query, qid)
-            for _, (principal, query, qid, _, _) in segment
+            for _, (principal, query, qid, _, _, _) in segment
         ]
+        traced = any(prepared[5] for _, prepared in segment)
+        timings: Optional[Dict] = {} if traced else None
+        started = perf_counter() if traced else 0.0
         try:
             results = decide_wire_items(
-                self.service, entries, update=update, plane=plane
+                self.service, entries, update=update, plane=plane,
+                timings=timings,
             )
         except Exception as exc:  # noqa: BLE001 - never hang a slot
             failure = (500, {"error": f"internal error: {exc}"})
             for request, _ in segment:
                 request.slot.set_result(failure)
             return
+        coalesced = len(segment)
         for (request, prepared), result in zip(segment, results):
             compact = prepared[4]
             if isinstance(result, ServiceDecision):
-                request.slot.set_result((200, render_single(result, compact)))
+                if prepared[5]:
+                    request.slot.set_result(
+                        self._traced_response(
+                            request, prepared, result, started, timings,
+                            coalesced,
+                        )
+                    )
+                else:
+                    request.slot.set_result(
+                        (200, render_single(result, compact))
+                    )
             elif request.kind == "v2":
                 request.slot.set_result((single_error_status(result), result))
             else:  # v1 keeps its historical error shape (no code field)
                 request.slot.set_result(
                     (single_error_status(result), {"error": result["error"]})
                 )
+
+    def _traced_response(
+        self,
+        request: _QueuedRequest,
+        prepared: Tuple,
+        result: ServiceDecision,
+        started: float,
+        timings: Dict,
+        coalesced: int,
+    ) -> Tuple[int, Dict]:
+        """Build the traced full-dict response for one segment member.
+
+        The drain decides a whole segment in one :func:`decide_wire_items`
+        pass, so the kernel stage times in the span are *amortized* —
+        the segment total divided by its size — while ``queue_us``
+        (accept → decide start) and ``serialize_us`` are this request's
+        own.  ``coalesced`` reports the segment size so the amortization
+        is visible.
+        """
+        from repro.server.wire2 import finish_span
+
+        render_started = perf_counter()
+        payload = result.as_dict()
+        span = {
+            "transport": "async",
+            "principal": prepared[0],
+            "qid": request.body.get("qid"),
+            "peek": not request.update,
+            "coalesced": coalesced,
+            "queue_us": (
+                (started - request.enqueued) * 1e6 if request.enqueued else 0.0
+            ),
+            "label_us": timings.get("label_us", 0.0) / coalesced,
+            "decide_us": timings.get("decide_us", 0.0) / coalesced,
+            "serialize_us": (perf_counter() - render_started) * 1e6,
+            "total_us": (render_started - started) * 1e6,
+        }
+        return 200, finish_span(self.service, span, payload)
 
 
 # ----------------------------------------------------------------------

@@ -103,6 +103,7 @@ def decide_batch(
 
     decisions: List = [None] * total
     accepted_count = 0
+    tenant_counts: List[Tuple[Hashable, int, int]] = []
     with service._lock:
         if update and service._default_policy is None:
             # All-or-nothing validation: no session may change if any
@@ -119,14 +120,17 @@ def decide_batch(
                 if update
                 else service._peek_session(principal)
             )
-            accepted_count += kernel.decide_group(
+            group_accepted = kernel.decide_group(
                 plane, session, indices, lids, cached_flags, update, decisions
             )
+            accepted_count += group_accepted
+            tenant_counts.append((principal, len(indices), group_accepted))
 
     if update:
         service.decisions.increment(total)
         service.accepted.increment(accepted_count)
         service.refused.increment(total - accepted_count)
+        _record_tenants(service, tenant_counts)
         service.latency.record_many(
             (time.perf_counter() - start) / total, total
         )
@@ -135,12 +139,28 @@ def decide_batch(
     return decisions
 
 
+def _record_tenants(
+    service, tenant_counts: "Iterable[Tuple[Hashable, int, int]]"
+) -> None:
+    """Bulk per-tenant counter updates: one vec probe per group, not per
+    decision, so the batch paths keep their amortized metrics cost."""
+    tenants = service.tenant_decisions
+    if tenants is None:
+        return
+    refused = service.tenant_refused
+    for principal, decided, accepted in tenant_counts:
+        tenants.labels(principal).increment(decided)
+        if decided > accepted:
+            refused.labels(principal).increment(decided - accepted)
+
+
 def decide_wire_items(
     service,
     entries: "Sequence[Tuple[Hashable, Optional[ConjunctiveQuery], Optional[int]]]",
     *,
     update: bool,
     plane: object = None,
+    timings: Optional[Dict] = None,
 ) -> List:
     """Per-item-isolated bulk decide over mixed query/qid entries.
 
@@ -164,6 +184,11 @@ def decide_wire_items(
     :class:`~repro.server.kernel.ServiceDecision` objects or error
     dicts.  State evolves in entry order, exactly as sequential
     submits of the valid items would.
+
+    *timings*, when given, receives ``label_us`` (intern + label
+    resolution) and ``decide_us`` (the locked mask/outcome pass) wall
+    times for this call — the per-request kernel stage breakdown of a
+    traced v2 request.
     """
     entries = list(entries)
     total = len(entries)
@@ -205,9 +230,13 @@ def decide_wire_items(
     if not positions:
         return results
 
+    label_started = time.perf_counter() if timings is not None else 0.0
     plane, group_lids, group_flags = kernel.resolve_many(
         qids, queries, plane=plane
     )
+    if timings is not None:
+        decide_started = time.perf_counter()
+        timings["label_us"] = (decide_started - label_started) * 1e6
     lids: List[int] = [0] * total
     flags: List[bool] = [False] * total
     for position, lid, flag in zip(positions, group_lids, group_flags):
@@ -220,6 +249,7 @@ def decide_wire_items(
 
     accepted_count = 0
     decided = 0
+    tenant_counts: List[Tuple[Hashable, int, int]] = []
     with service._lock:
         for principal, indices in groups.items():
             try:
@@ -236,16 +266,21 @@ def decide_wire_items(
                 for index in indices:
                     results[index] = dict(error)
                 continue
-            accepted_count += kernel.decide_group(
+            group_accepted = kernel.decide_group(
                 plane, session, indices, lids, flags, update, results
             )
+            accepted_count += group_accepted
             decided += len(indices)
+            tenant_counts.append((principal, len(indices), group_accepted))
+    if timings is not None:
+        timings["decide_us"] = (time.perf_counter() - decide_started) * 1e6
 
     if decided:
         if update:
             service.decisions.increment(decided)
             service.accepted.increment(accepted_count)
             service.refused.increment(decided - accepted_count)
+            _record_tenants(service, tenant_counts)
             service.latency.record_many(
                 (time.perf_counter() - start) / decided, decided
             )

@@ -13,7 +13,10 @@ Routes::
     POST /v2/batch      {"gen": ..., "items": [[0, 17], ...], ...}
     GET  /v2/protocol   versions/limits for client content negotiation
     GET  /metrics       decision counts, cache hit rates, latency percentiles
+                        (``?format=prometheus`` or ``Accept: text/plain``
+                        switches to the Prometheus text exposition)
     GET  /healthz       {"ok": true}
+    GET  /internal/trace      the ring buffer of traced-request spans
     GET  /internal/snapshot   full durable state (sessions, label cache,
                               counters) as a snapshot payload
 
@@ -57,11 +60,49 @@ MAX_BODY = 8 << 20
 MAX_BATCH = 10_000
 
 
+def metrics_format(query_string: str) -> Tuple[Optional[str], Optional[str]]:
+    """``("json" | "prometheus", None)`` or ``(None, error message)``.
+
+    The one parser of the ``/metrics`` query string, shared by the
+    stdlib front end, the asyncio front end, and the shard router so an
+    unknown ``format`` fails identically everywhere.
+    """
+    if not query_string:
+        return "json", None
+    from urllib.parse import parse_qs
+
+    params = parse_qs(query_string, keep_blank_values=True)
+    fmt = params.get("format", ["json"])[-1]
+    if fmt in ("json", "prometheus"):
+        return fmt, None
+    return None, f"unknown metrics format {fmt!r}"
+
+
+def negotiate_metrics_path(path: str, accept: Optional[str]) -> str:
+    """Apply ``Accept`` content negotiation to a bare ``/metrics`` GET.
+
+    An explicit ``?format=`` always wins (the path passes through
+    untouched); otherwise a client that asks for ``text/plain`` or an
+    OpenMetrics type gets the Prometheus exposition.  ``application/
+    json`` anywhere in the Accept value pins the JSON form — scrapers
+    send long Accept lists, so JSON stays the tiebreak default.
+    """
+    if path != "/metrics" or not accept:
+        return path
+    accept = accept.lower()
+    if "application/json" in accept:
+        return path
+    if "text/plain" in accept or "openmetrics" in accept:
+        return "/metrics?format=prometheus"
+    return path
+
+
 def dispatch(
     service: DisclosureService,
     method: str,
     path: str,
     body: Optional[Dict],
+    transport: str = "http",
 ) -> Tuple[int, object]:
     """Route one parsed request onto *service*: ``(status, payload)``.
 
@@ -70,40 +111,56 @@ def dispatch(
     Never raises for request-shaped problems — they come back as 4xx
     payloads, exactly as the HTTP server would answer them.  Payloads
     are JSON objects except for the negotiated compact ``/v2/query``
-    response, which is a JSON array.
+    response (a JSON array) and the Prometheus exposition (a ``str``
+    the transport sends as ``text/plain``).  *transport* labels the
+    per-route request counter (the asyncio front end passes "async").
     """
-    if path.startswith("/v2/"):
+    route, _, query_string = path.partition("?")
+    requests = service.requests
+    if requests is not None:
+        requests.labels(transport, route).increment()
+    if route.startswith("/v2/"):
         from repro.server.wire2 import dispatch_v2
 
-        routed = dispatch_v2(service, method, path, body)
+        routed = dispatch_v2(service, method, route, body)
         if routed is not None:
             return routed
     if method == "GET":
-        if path == "/metrics":
-            return 200, service.metrics_snapshot()
-        if path == "/healthz":
+        if route == "/metrics":
+            fmt, error = metrics_format(query_string)
+            if error is not None:
+                return 400, {"error": error}
+            snapshot = service.metrics_snapshot()
+            if fmt == "prometheus":
+                from repro.obs import render_prometheus
+
+                return 200, render_prometheus(snapshot)
+            return 200, snapshot
+        if route == "/healthz":
             return 200, {"ok": True}
-        if path == "/internal/snapshot":
+        if route == "/internal/trace":
+            return 200, service.traces.snapshot()
+        if route == "/internal/snapshot":
             from repro.server.persist import snapshot_service
 
             return 200, snapshot_service(service)
-        return 404, {"error": f"unknown route {path}"}
+        return 404, {"error": f"unknown route {route}"}
     if method != "POST":
         return 405, {"error": f"unsupported method {method}"}
     if body is None:
         return 400, {"error": "request needs a JSON body"}
     try:
-        if path == "/v1/query":
+        if route == "/v1/query":
             return _handle_decision(service, body, peek=False)
-        if path == "/v1/peek":
+        if route == "/v1/peek":
             return _handle_decision(service, body, peek=True)
-        if path == "/v1/batch":
+        if route == "/v1/batch":
             return _handle_batch(service, body)
-        if path == "/v1/register":
+        if route == "/v1/register":
             return _handle_register(service, body)
-        if path == "/v1/reset":
+        if route == "/v1/reset":
             return _handle_reset(service, body)
-        return 404, {"error": f"unknown route {path}"}
+        return 404, {"error": f"unknown route {route}"}
     except ParseError as exc:
         return 400, {"error": str(exc)}
     except PolicyError as exc:
@@ -257,10 +314,11 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         target = self._target()
+        path = negotiate_metrics_path(self.path, self.headers.get("Accept"))
         if hasattr(target, "dispatch"):
-            status, payload = target.dispatch("GET", self.path, None)
+            status, payload = target.dispatch("GET", path, None)
         else:
-            status, payload = dispatch(target, "GET", self.path, None)
+            status, payload = dispatch(target, "GET", path, None)
         self._reply(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802
@@ -295,9 +353,17 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
         return body
 
     def _reply(self, status: int, payload: object) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text (the Prometheus exposition).
+            from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+            data = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

@@ -53,6 +53,7 @@ hold one path against itself.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
@@ -211,6 +212,23 @@ class DecisionKernel:
         )
         self._plane = _Plane(0, LabelCache(label_cache_size))
         self._plane_lock = threading.Lock()
+        #: Optional :class:`repro.obs.StageTimer`.  When set, a sampled
+        #: fraction of decisions records canonicalize/label/mask/outcome
+        #: stage durations; ``None`` costs one attribute load per call.
+        self.stage_timer = None
+        #: When true, updating decisions tally onto the session's
+        #: ``pending_decided`` / ``pending_refused`` fields while the
+        #: session lock is already held — the cheapest possible form of
+        #: per-tenant accounting (two plain int increments).  The service
+        #: drains the tallies into its labeled counter vectors at scrape
+        #: time, so the hot path never pays a label lookup.
+        self.tenant_accounting = False
+        #: :meth:`decide_query`'s inlined copy of the stage-timer
+        #: countdown (a method call per decision is measurable at the
+        #: warm single-query floor; batch paths still use
+        #: ``StageTimer.sample`` since theirs is amortized).  Starts at
+        #: 1 so the first single-query decision is sampled.
+        self._stage_countdown = 1
 
     # ------------------------------------------------------------------
     # The ID plane
@@ -412,6 +430,12 @@ class DecisionKernel:
         if plane is None:
             plane = self.resolution_plane()
         total = len(qids)
+        timer = self.stage_timer
+        started = (
+            perf_counter()
+            if timer is not None and total and timer.sample()
+            else None
+        )
         lids: List[int] = [0] * total
         flags: List[bool] = [False] * total
         cache = plane.cache
@@ -445,6 +469,8 @@ class DecisionKernel:
                 cache.record_hits(memoized)
             else:
                 cache.record_misses(memoized)
+        if started is not None:
+            timer.observe_many("label", (perf_counter() - started) / total, total)
         return plane, lids, flags
 
     def resolve_queries(
@@ -460,6 +486,12 @@ class DecisionKernel:
         """
         plane = self.resolution_plane()
         total = len(queries)
+        timer = self.stage_timer
+        started = (
+            perf_counter()
+            if timer is not None and total and timer.sample()
+            else None
+        )
         lids: List[int] = [0] * total
         flags: List[bool] = [False] * total
         cache = plane.cache
@@ -497,6 +529,10 @@ class DecisionKernel:
                 cache.record_hits(memoized)
             else:
                 cache.record_misses(memoized)
+        if started is not None:
+            # The fused path interns as it labels, so the batch "label"
+            # stage includes canonicalization.
+            timer.observe_many("label", (perf_counter() - started) / total, total)
         return plane, lids, flags
 
     # ------------------------------------------------------------------
@@ -616,9 +652,85 @@ class DecisionKernel:
         rotation can never mix id spaces.  This is what
         ``DisclosureService.submit`` / ``peek`` call.
         """
+        timer = self.stage_timer
+        if timer is not None:
+            remaining = self._stage_countdown - 1
+            if remaining > 0:
+                self._stage_countdown = remaining
+            else:
+                self._stage_countdown = timer.rate
+                return self._decide_query_timed(query, principal, update, timer)
         plane = self.resolution_plane()
         lid, cached = self._resolve(plane, plane.queries.intern(query), query)
         return self._decide_resolved(plane, principal, lid, cached, update)
+
+    def _decide_query_timed(
+        self,
+        query: ConjunctiveQuery,
+        principal: Hashable,
+        update: bool,
+        timer,
+    ) -> ServiceDecision:
+        """:meth:`decide_query` with per-stage clocks.
+
+        The decision is byte-identical to the untimed path; the only
+        behavioral difference is memo *warmth* — the mask memo is
+        probed even on an outcome-memo hit so the mask stage always has
+        a defined duration.  Runs for a sampled fraction of decisions.
+        """
+        t0 = perf_counter()
+        plane = self.resolution_plane()
+        qid = plane.queries.intern(query)
+        t1 = perf_counter()
+        lid, cached = self._resolve(plane, qid, query)
+        t2 = perf_counter()
+        sessions = self.sessions
+        with sessions._lock:
+            session = (
+                sessions._session(principal)
+                if update
+                else sessions._peek_session(principal)
+            )
+            live_before = session.live
+            synced = self._sync_session(session, plane)
+            t3 = perf_counter()
+            anywhere = self._anywhere(plane, session, lid) if synced else None
+            t4 = perf_counter()
+            if synced:
+                memo = session.outcome_memo
+                key = (lid, live_before)
+                outcome = memo.get(key)
+                if outcome is None:
+                    if len(memo) > session.MASK_MEMO_LIMIT:
+                        memo.clear()
+                    outcome = self.evaluate(plane, session, lid, anywhere)
+                    memo[key] = outcome
+            else:
+                outcome = self.evaluate(plane, session, lid)
+            t5 = perf_counter()
+            accepted, reason, surviving = outcome
+            if update:
+                if accepted:
+                    session.live = surviving
+                if self.tenant_accounting:
+                    session.pending_decided += 1
+                    if not accepted:
+                        session.pending_refused += 1
+            live_after = surviving if (accepted and update) else live_before
+            decision = ServiceDecision(
+                accepted,
+                principal,
+                reason,
+                cached,
+                live_before,
+                live_after,
+                plane.labels.label_of(lid),
+            )
+        timer.observe("canonicalize", t1 - t0)
+        timer.observe("label", t2 - t1)
+        timer.observe("mask", t4 - t3)
+        timer.observe("outcome", t5 - t4)
+        return decision
 
     def decide(
         self,
@@ -669,8 +781,13 @@ class DecisionKernel:
             else:
                 outcome = self.evaluate(plane, session, lid)
             accepted, reason, surviving = outcome
-            if update and accepted:
-                session.live = surviving
+            if update:
+                if accepted:
+                    session.live = surviving
+                if self.tenant_accounting:
+                    session.pending_decided += 1
+                    if not accepted:
+                        session.pending_refused += 1
             live_after = surviving if (accepted and update) else live_before
             return ServiceDecision(
                 accepted,
@@ -739,6 +856,9 @@ class DecisionKernel:
         whole immutable :class:`ServiceDecision` objects for exact
         repeats within the group.
         """
+        timer = self.stage_timer
+        timed = timer is not None and len(indices) > 0 and timer.sample()
+        t0 = perf_counter() if timed else 0.0
         if self._sync_session(session, plane):
             masks = self._ensure_masks(
                 plane, session, (lids[i] for i in indices)
@@ -756,6 +876,7 @@ class DecisionKernel:
                 session.grants,
             )
             outcome_memo = {}
+        t1 = perf_counter() if timed else 0.0
         principal = session.principal
         decision_memo: Dict[Tuple[int, int, bool], ServiceDecision] = {}
         evaluate = self.evaluate
@@ -790,6 +911,10 @@ class DecisionKernel:
                 if update:
                     session.live = decision.live_after
             out[index] = decision
+        if timed:
+            group = len(indices)
+            timer.observe_many("mask", (t1 - t0) / group, group)
+            timer.observe_many("outcome", (perf_counter() - t1) / group, group)
         return accepted_count
 
     # ------------------------------------------------------------------

@@ -19,12 +19,19 @@ decisions/sec plus p50/p95/p99 latency.  Three transports:
 Closed loop means each worker (or slot) issues its next request only
 after the previous one completes, so offered load adapts to service
 capacity and the percentiles are honest service times rather than
-queue times.  With ``batch > 1`` each "request" is a whole batch —
-``submit_many`` on whichever transport — and latency samples are
-amortized per-decision times.  Principals get randomly generated
-partition policies (the Figure 6 setup); each worker pre-generates a
-pool of query shapes and cycles them, which after the first cycle
-exercises the warm-cache path the acceptance bar measures.
+queue times.  With ``open_loop=RATE`` the generator instead offers a
+fixed aggregate load: arrivals are a Poisson process (exponential
+gaps, rate split evenly across workers) and each latency sample is
+*lateness-corrected* — measured from the request's scheduled arrival,
+not from when the loop got around to sending it — so queueing delay
+from an overloaded server shows up in the percentiles instead of
+being silently absorbed (the coordinated-omission fix).  With
+``batch > 1`` each "request" is a whole batch — ``submit_many`` on
+whichever transport — and latency samples are amortized per-decision
+times.  Principals get randomly generated partition policies (the
+Figure 6 setup); each worker pre-generates a pool of query shapes and
+cycles them, which after the first cycle exercises the warm-cache
+path the acceptance bar measures.
 
 Run ``python -m repro loadgen --help`` for the CLI.
 """
@@ -46,7 +53,11 @@ from repro.client import (
 )
 from repro.core.queries import ConjunctiveQuery
 from repro.facebook.workload import WorkloadGenerator, generate_policies
-from repro.server.metrics import merge_samples, sample_percentile
+from repro.server.metrics import (
+    LatencyHistogram,
+    merge_samples,
+    sample_percentile,
+)
 from repro.server.service import DisclosureService
 
 __all__ = ["LoadReport", "query_to_datalog", "run_load"]
@@ -71,6 +82,8 @@ class LoadReport:
         "p95_us",
         "p99_us",
         "cache_hit_rate",
+        "open_loop",
+        "histogram",
     )
 
     def __init__(
@@ -85,6 +98,7 @@ class LoadReport:
         samples: Sequence[float],
         cache_hit_rate: Optional[float],
         batch: int = 1,
+        open_loop: Optional[float] = None,
     ):
         self.mode = mode
         self.workers = workers
@@ -98,13 +112,41 @@ class LoadReport:
         self.p95_us = sample_percentile(samples, 0.95) * 1e6
         self.p99_us = sample_percentile(samples, 0.99) * 1e6
         self.cache_hit_rate = cache_hit_rate
+        self.open_loop = open_loop
+        #: The samples folded into the mergeable log-bucketed form — the
+        #: ``--hist-out`` artifact, comparable across runs and shards
+        #: via :func:`repro.server.metrics.aggregate_latency`.
+        self.histogram = LatencyHistogram()
+        for sample in samples:
+            self.histogram.record(sample)
 
     @property
     def qps(self) -> float:
         return self.total / self.elapsed if self.elapsed else 0.0
 
+    def hist_payload(self) -> Dict:
+        """The JSON histogram artifact (``repro loadgen --hist-out``)."""
+        payload = {
+            "mode": self.mode,
+            "workers": self.workers,
+            "batch": self.batch,
+            "open_loop": self.open_loop,
+            "total": self.total,
+            "errors": self.errors,
+            "elapsed": self.elapsed,
+            "qps": self.qps,
+            "latency": self.histogram.snapshot(),
+        }
+        return payload
+
     def render(self) -> str:
-        shape = f"{self.workers} workers, closed loop"
+        if self.open_loop is not None:
+            shape = (
+                f"{self.workers} workers, open loop @ "
+                f"{self.open_loop:,.0f}/s offered"
+            )
+        else:
+            shape = f"{self.workers} workers, closed loop"
         if self.batch > 1:
             shape += f", batches of {self.batch}"
         lines = [
@@ -217,6 +259,7 @@ def run_load(
     seed: int = 0,
     warm: bool = True,
     batch: int = 1,
+    open_loop: Optional[float] = None,
 ) -> LoadReport:
     """Drive the workload and return a :class:`LoadReport`.
 
@@ -236,12 +279,20 @@ def run_load(
     samples are then amortized per-decision times, so percentiles
     remain comparable with the one-at-a-time mode.
 
+    *open_loop* switches from closed-loop to a fixed offered load of
+    that many requests/sec in aggregate (Poisson arrivals split across
+    workers); latency samples are then measured from each request's
+    scheduled arrival time, so percentiles include the queueing delay
+    of a server that cannot keep up (see the module docstring).
+
     For ``async-http``, *workers* is the number of concurrent
     closed-loop coroutine slots pipelined over one connection (64 is a
     good default against ``repro serve --async``).
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
+    if open_loop is not None and open_loop <= 0:
+        raise ValueError("open_loop must be a positive requests/sec rate")
     if service is not None and url is not None:
         raise ValueError("pass either an in-process service or a URL, not both")
     if transport is None:
@@ -297,6 +348,8 @@ def run_load(
             per_worker_quota=per_worker_quota,
             warm=warm,
             batch=batch,
+            open_loop=open_loop,
+            seed=seed,
         )
 
     def make_client() -> DecisionClient:
@@ -342,6 +395,16 @@ def run_load(
         samples = result.samples
         position = 0
         clock = time.perf_counter
+        # Open loop: this worker's slice of the Poisson arrival process.
+        # ``next_at`` is the *scheduled* send time; samples measure from
+        # it, so falling behind surfaces as latency, not lost load.
+        arrival_rng = (
+            random.Random(seed * 31337 + index + 1)
+            if open_loop is not None
+            else None
+        )
+        per_rate = open_loop / workers if open_loop is not None else 0.0
+        next_at = clock()
         if batch > 1:
             size = len(chunks)
             while True:
@@ -354,7 +417,14 @@ def run_load(
                 position += 1
                 if position == size:
                     position = 0
-                start = clock()
+                if arrival_rng is None:
+                    start = clock()
+                else:
+                    next_at += arrival_rng.expovariate(per_rate)
+                    delay = next_at - clock()
+                    if delay > 0:
+                        time.sleep(delay)
+                    start = next_at
                 accepted, refused, errors = _submit_chunk(client, chunk)
                 samples.append((clock() - start) / len(chunk))
                 result.total += len(chunk)
@@ -374,7 +444,14 @@ def run_load(
             position += 1
             if position == size:
                 position = 0
-            start = clock()
+            if arrival_rng is None:
+                start = clock()
+            else:
+                next_at += arrival_rng.expovariate(per_rate)
+                delay = next_at - clock()
+                if delay > 0:
+                    time.sleep(delay)
+                start = next_at
             accepted = _submit_one(client, principal, query)
             samples.append(clock() - start)
             result.total += 1
@@ -414,6 +491,7 @@ def run_load(
         samples,
         hit_rate,
         batch=batch,
+        open_loop=open_loop,
     )
 
 
@@ -427,12 +505,17 @@ def _run_async(
     per_worker_quota: Optional[int],
     warm: bool,
     batch: int,
+    open_loop: Optional[float] = None,
+    seed: int = 0,
 ) -> LoadReport:
     """The ``async-http`` driver: coroutine slots over one pipelined client.
 
     Every slot is its own closed loop — it issues its next request only
     once its previous response arrived — so *workers* is exactly the
     in-flight request count the server's tick drain gets to coalesce.
+    With *open_loop*, slots instead pace themselves on their slice of
+    the Poisson arrival schedule (lateness-corrected, as in the
+    threaded driver).
     """
     import asyncio
 
@@ -447,6 +530,13 @@ def _run_async(
             pool[offset : offset + batch]
             for offset in range(0, len(pool), batch)
         ]
+        arrival_rng = (
+            random.Random(seed * 31337 + index + 1)
+            if open_loop is not None
+            else None
+        )
+        per_rate = open_loop / workers if open_loop is not None else 0.0
+        next_at = clock()
         deadline = clock() + duration
         position = 0
         size = len(chunks) if batch > 1 else len(pool)
@@ -456,7 +546,14 @@ def _run_async(
                     break
             elif clock() >= deadline:
                 break
-            start = clock()
+            if arrival_rng is None:
+                start = clock()
+            else:
+                next_at += arrival_rng.expovariate(per_rate)
+                delay = next_at - clock()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                start = next_at
             if batch > 1:
                 chunk = chunks[position]
                 try:
@@ -527,4 +624,5 @@ def _run_async(
         samples,
         None,
         batch=batch,
+        open_loop=open_loop,
     )

@@ -1,184 +1,32 @@
-"""Service metrics: counters and a log-bucketed latency histogram.
+"""Service metrics — compatibility facade over :mod:`repro.obs`.
 
-The decision service answers in single-digit microseconds on a warm
-cache, so the histogram uses logarithmic buckets from 100 ns to 100 s
-(twenty per decade) rather than storing samples: recording is one
-``bisect`` plus one increment under a lock, memory is fixed, and the
-p50/p95/p99 read off the cumulative counts with sub-12% bucket error —
-plenty for a ``/metrics`` endpoint and the load-generator report.
+The instruments themselves (``Counter``, ``Gauge``, the log-bucketed
+``LatencyHistogram``, and ``aggregate_latency``) moved to
+:mod:`repro.obs.instruments` when the labeled metrics plane landed;
+they are re-exported here so existing imports keep working.  The two
+raw-sample helpers below stay local: they serve the load generator's
+exact-percentile report, not the service's ``/metrics`` plane.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_right
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
-#: Histogram range: 1e-7 s .. 1e2 s, 20 buckets per decade.
-_DECADES = (-7, 2)
-_PER_DECADE = 20
+from ..obs.instruments import (  # noqa: F401 - re-exports
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    aggregate_latency,
+)
 
-
-def _bucket_bounds() -> Tuple[float, ...]:
-    low, high = _DECADES
-    steps = (high - low) * _PER_DECADE
-    return tuple(10.0 ** (low + i / _PER_DECADE) for i in range(steps + 1))
-
-
-class LatencyHistogram:
-    """Fixed-memory latency histogram with percentile estimation.
-
-    Samples are seconds; out-of-range samples clamp to the end buckets.
-    """
-
-    BOUNDS: Tuple[float, ...] = _bucket_bounds()
-
-    def __init__(self):
-        self._counts: List[int] = [0] * (len(self.BOUNDS) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._lock = threading.Lock()
-
-    def record(self, seconds: float) -> None:
-        index = bisect_right(self.BOUNDS, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._sum += seconds
-
-    def record_many(self, seconds: float, count: int) -> None:
-        """Record *count* samples of the same value: one bisect, one lock.
-
-        The batch decision path times a whole batch and records the
-        amortized per-decision latency once per batch, so ``/metrics``
-        percentiles stay per-decision without paying one histogram
-        update per decision.
-        """
-        if count <= 0:
-            return
-        index = bisect_right(self.BOUNDS, seconds)
-        with self._lock:
-            self._counts[index] += count
-            self._count += count
-            self._sum += seconds * count
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold *other*'s buckets into this histogram (for per-worker merges)."""
-        with other._lock:
-            counts = list(other._counts)
-            count = other._count
-            total = other._sum
-        with self._lock:
-            for index, value in enumerate(counts):
-                self._counts[index] += value
-            self._count += count
-            self._sum += total
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, fraction: float) -> float:
-        """The upper bound of the bucket holding the *fraction* quantile.
-
-        Returns 0.0 for an empty histogram.  ``fraction`` is in [0, 1].
-        """
-        with self._lock:
-            total = self._count
-            if not total:
-                return 0.0
-            rank = max(1, int(fraction * total + 0.5))
-            running = 0
-            for index, value in enumerate(self._counts):
-                running += value
-                if running >= rank:
-                    if index >= len(self.BOUNDS):
-                        return self.BOUNDS[-1]
-                    return self.BOUNDS[index]
-        return self.BOUNDS[-1]
-
-    def bucket_counts(self) -> List[Tuple[int, int]]:
-        """Sparse ``(bucket_index, count)`` pairs for non-empty buckets.
-
-        The mergeable wire form of the histogram: a shard publishes its
-        buckets under ``/metrics`` and the router re-aggregates exact
-        cross-shard percentiles with :func:`aggregate_latency` instead
-        of guessing from per-shard percentile summaries.
-        """
-        with self._lock:
-            return [
-                (index, count)
-                for index, count in enumerate(self._counts)
-                if count
-            ]
-
-    def add_bucket_counts(self, buckets: Iterable[Sequence[int]], mean_seconds: float = 0.0) -> None:
-        """Fold sparse :meth:`bucket_counts` pairs into this histogram.
-
-        *mean_seconds* (the source's mean) keeps the aggregate mean
-        honest since bucket indices alone only bound each sample.
-        """
-        with self._lock:
-            added = 0
-            for index, count in buckets:
-                self._counts[index] += count
-                added += count
-            self._count += added
-            self._sum += mean_seconds * added
-
-    def snapshot(self) -> Dict:
-        """Count, mean, the standard percentiles, and the sparse buckets.
-
-        The ``buckets`` entry is the mergeable form consumed by
-        :func:`aggregate_latency`; everything else is human-facing.
-        """
-        return {
-            "count": self.count,
-            "mean_us": self.mean * 1e6,
-            "p50_us": self.percentile(0.50) * 1e6,
-            "p95_us": self.percentile(0.95) * 1e6,
-            "p99_us": self.percentile(0.99) * 1e6,
-            "buckets": [list(pair) for pair in self.bucket_counts()],
-        }
-
-
-class Counter:
-    """A named thread-safe monotonically increasing counter."""
-
-    __slots__ = ("_value", "_lock")
-
-    def __init__(self):
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-def aggregate_latency(snapshots: Iterable[Dict]) -> Dict:
-    """Merge per-shard latency snapshots into one aggregate snapshot.
-
-    Each input is a :meth:`LatencyHistogram.snapshot` dict (typically
-    pulled from a shard's ``/metrics``); the sparse ``buckets`` entries
-    are summed bucket-by-bucket, so the aggregate percentiles are exact
-    to bucket resolution rather than an average of percentiles.
-    """
-    merged = LatencyHistogram()
-    for snap in snapshots:
-        merged.add_bucket_counts(
-            snap.get("buckets", ()),
-            mean_seconds=snap.get("mean_us", 0.0) * 1e-6,
-        )
-    return merged.snapshot()
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "aggregate_latency",
+    "merge_samples",
+    "sample_percentile",
+]
 
 
 def merge_samples(sample_lists: Iterable[Sequence[float]]) -> List[float]:

@@ -51,9 +51,10 @@ from repro.labeling.bitvector import PackedLabel
 from repro.labeling.cq_labeler import SecurityViews
 from repro.labeling.pipeline import BitVectorLabeler
 from repro.policy.policy import PartitionPolicy
+from repro.obs import MetricsRegistry, StageTimer, TraceBuffer
+from repro.obs.timing import DEFAULT_SAMPLE_RATE, STAGES
 from repro.server.cache import LabelCache
 from repro.server.kernel import DecisionKernel, ServiceDecision
-from repro.server.metrics import Counter, LatencyHistogram
 
 __all__ = ["DisclosureService", "ServiceDecision", "Session"]
 
@@ -82,6 +83,8 @@ class Session:
         "plane_epoch",
         "mask_memo",
         "outcome_memo",
+        "pending_decided",
+        "pending_refused",
     )
 
     #: Distinct lids memoized per session before the memo resets.
@@ -114,6 +117,13 @@ class Session:
         #: a session's live mask is stable, so recurring shapes make
         #: whole decisions two dict probes.  Shares MASK_MEMO_LIMIT.
         self.outcome_memo: Dict[Tuple[int, int], Tuple[bool, str, int]] = {}
+        #: Per-tenant metric tallies, updated by the kernel inside the
+        #: session lock it already holds (a plain int increment, so the
+        #: single-query hot path never touches the labeled metric
+        #: vectors).  Drained into ``repro_tenant_*_total`` whenever the
+        #: registry is scraped and before the session object is dropped.
+        self.pending_decided = 0
+        self.pending_refused = 0
 
     @property
     def all_live(self) -> int:
@@ -156,6 +166,14 @@ class DisclosureService:
         read-only probes never allocate state, and a demoted session
         whose partitions are all still live is dropped rather than
         retained, so anonymous principals cannot exhaust memory.
+    stage_sample_rate:
+        One decision in this many records per-stage kernel timings into
+        the ``repro_kernel_stage_seconds{stage=...}`` histograms
+        (default 64; ``0`` disables stage timing entirely).
+    observability:
+        ``False`` strips the labeled metrics plane down to the legacy
+        counters: no per-tenant/per-route vectors, no stage timer.  The
+        CI bench job uses this to measure instrumentation overhead.
     """
 
     def __init__(
@@ -167,6 +185,8 @@ class DisclosureService:
         label_cache_size: int = 1 << 16,
         parse_cache_size: int = 4096,
         default_policy: "PartitionPolicy | Iterable[Iterable[str]] | None" = None,
+        stage_sample_rate: int = DEFAULT_SAMPLE_RATE,
+        observability: bool = True,
     ):
         if security_views is None:
             from repro.facebook.permissions import facebook_security_views
@@ -206,11 +226,47 @@ class DisclosureService:
         ] = {}
         self._lock = threading.RLock()
 
-        self.decisions = Counter()
-        self.accepted = Counter()
-        self.refused = Counter()
-        self.peeks = Counter()
-        self.latency = LatencyHistogram()
+        #: The labeled metrics plane (see :mod:`repro.obs`).  The legacy
+        #: attribute names below stay — they are the same instruments,
+        #: registered in the registry so both the JSON ``/metrics`` form
+        #: and the Prometheus exposition render from one snapshot.
+        self.metrics = MetricsRegistry()
+        self.decisions = self.metrics.counter("repro_decisions_total")
+        self.accepted = self.metrics.counter("repro_accepted_total")
+        self.refused = self.metrics.counter("repro_refused_total")
+        self.peeks = self.metrics.counter("repro_peeks_total")
+        self.latency = self.metrics.histogram("repro_request_latency_seconds")
+        #: Ring buffer of spans from traced v2 requests (GET /internal/trace).
+        self.traces = TraceBuffer()
+        self.observability = bool(observability)
+        self.stage_sample_rate = stage_sample_rate if observability else 0
+        if self.observability:
+            self.tenant_decisions = self.metrics.counter_vec(
+                "repro_tenant_decisions_total", ("tenant",)
+            )
+            self.tenant_refused = self.metrics.counter_vec(
+                "repro_tenant_refused_total", ("tenant",)
+            )
+            self.requests = self.metrics.counter_vec(
+                "repro_requests_total", ("transport", "route")
+            )
+            #: Tenant counts accumulate on the Session objects (plain
+            #: int fields bumped by the kernel under its existing lock)
+            #: and drain into the vectors at scrape time — the warm
+            #: single-query path must not pay a label lookup per call.
+            self.kernel.tenant_accounting = True
+        else:
+            self.tenant_decisions = None
+            self.tenant_refused = None
+            self.requests = None
+        if self.stage_sample_rate > 0:
+            stage_vec = self.metrics.histogram_vec(
+                "repro_kernel_stage_seconds", ("stage",)
+            )
+            self.kernel.stage_timer = StageTimer(
+                {stage: stage_vec.labels(stage) for stage in STAGES},
+                rate=self.stage_sample_rate,
+            )
         self._started = time.time()
 
     def client(self) -> "DecisionClient":
@@ -241,12 +297,12 @@ class DisclosureService:
         """Register *principal* with *policy*; re-registration resets state."""
         partitions = self._normalize_policy(policy)
         with self._lock:
-            self._active.pop(principal, None)
+            self._drain_session_counts(self._active.pop(principal, None))
             self._passive[principal] = (partitions, (1 << len(partitions)) - 1, False)
 
     def unregister(self, principal: Hashable) -> None:
         with self._lock:
-            self._active.pop(principal, None)
+            self._drain_session_counts(self._active.pop(principal, None))
             self._passive.pop(principal, None)
 
     def reset(self, principal: Hashable) -> None:
@@ -326,6 +382,7 @@ class DisclosureService:
         self._active[principal] = session
         while len(self._active) > self.max_active_sessions:
             _, evicted = self._active.popitem(last=False)
+            self._drain_session_counts(evicted)
             if evicted.ephemeral and evicted.live == evicted.all_live:
                 continue  # fresh default-policy state: recreated on demand
             self._passive[evicted.principal] = (
@@ -334,6 +391,35 @@ class DisclosureService:
                 evicted.ephemeral,
             )
         return session
+
+    def _drain_session_counts(self, session: Optional[Session]) -> None:
+        """Fold a session's pending tenant tallies into the metric vectors.
+
+        Callers hold the service lock; the passed session is either
+        still active or about to be discarded (evicted, unregistered,
+        or re-registered) — either way its pending counts must land in
+        ``repro_tenant_*_total`` before they become unreachable.
+        """
+        if session is None or self.tenant_decisions is None:
+            return
+        if session.pending_decided:
+            self.tenant_decisions.labels(session.principal).increment(
+                session.pending_decided
+            )
+            session.pending_decided = 0
+        if session.pending_refused:
+            self.tenant_refused.labels(session.principal).increment(
+                session.pending_refused
+            )
+            session.pending_refused = 0
+
+    def _flush_tenant_counts(self) -> None:
+        """Drain every active session's tallies (called at scrape time)."""
+        if self.tenant_decisions is None:
+            return
+        with self._lock:
+            for session in self._active.values():
+                self._drain_session_counts(session)
 
     def _peek_session(self, principal: Hashable) -> Session:
         """Like :meth:`_session`, but an unknown default-policy principal
@@ -570,7 +656,7 @@ class DisclosureService:
             restored[principal] = (partitions, bits, False)
         with self._lock:
             for principal, state in restored.items():
-                self._active.pop(principal, None)
+                self._drain_session_counts(self._active.pop(principal, None))
                 self._passive[principal] = state
         return len(restored)
 
@@ -608,6 +694,7 @@ class DisclosureService:
 
     def metrics_snapshot(self) -> Dict:
         """Everything ``GET /metrics`` reports, as a plain dict."""
+        self._flush_tenant_counts()
         with self._lock:
             active = len(self._active)
             passive = len(self._passive)
@@ -622,4 +709,5 @@ class DisclosureService:
             "parse_cache": self.parse_cache.stats().as_dict(),
             "kernel": self.kernel.stats(),
             "latency": self.latency.snapshot(),
+            "registry": self.metrics.snapshot(),
         }

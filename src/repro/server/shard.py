@@ -68,7 +68,12 @@ if TYPE_CHECKING:  # import only for annotations: the pool is lazy
     from concurrent.futures import ThreadPoolExecutor
 
 from repro.server.batch import ITEM_NOT_OBJECT_ERROR, ITEM_PRINCIPAL_ERROR
-from repro.server.httpd import dispatch, make_server, validate_batch_body
+from repro.server.httpd import (
+    dispatch,
+    make_server,
+    metrics_format,
+    validate_batch_body,
+)
 from repro.server.metrics import aggregate_latency
 from repro.server.service import DisclosureService
 
@@ -234,14 +239,28 @@ class ShardRouter:
         return self.backend_for(principal).service
 
     # ------------------------------------------------------------------
-    def dispatch(self, method: str, path: str, body: Optional[Dict]) -> Tuple[int, Dict]:
+    def dispatch(self, method: str, path: str, body: Optional[Dict]) -> Tuple[int, object]:
         """Route one wire request; the router's entire public wire API."""
+        route, _, query_string = path.partition("?")
         if method == "GET":
-            if path == "/metrics":
-                return 200, self.metrics_snapshot()
-            if path == "/healthz":
+            if route == "/metrics":
+                fmt, error = metrics_format(query_string)
+                if error is not None:
+                    return 400, {"error": error}
+                snapshot = self.metrics_snapshot()
+                if fmt == "prometheus":
+                    # Rendered *after* the merge, so one scrape of the
+                    # router sees deployment-wide counters and exact
+                    # merged histograms, not one shard's.
+                    from repro.obs import render_prometheus
+
+                    return 200, render_prometheus(snapshot)
+                return 200, snapshot
+            if route == "/healthz":
                 return self._healthz()
-            if path == "/internal/snapshot":
+            if route == "/internal/trace":
+                return 200, self._traces()
+            if route == "/internal/snapshot":
                 return self._snapshot()
             return 404, {"error": f"unknown route {path}"}
         if method != "POST":
@@ -364,6 +383,37 @@ class ShardRouter:
                 }
             payloads.append(payload)
         return 200, merge_snapshot_payloads(payloads)
+
+    def _traces(self) -> Dict:
+        """``GET /internal/trace``: every shard's ring, shard-tagged.
+
+        Traces concatenate in shard order (each shard's own oldest-first
+        order preserved); ``seq`` numbers are per-shard, so the shard
+        tag is what makes them globally meaningful.  An unreachable
+        shard contributes an empty ring plus an ``error`` entry under
+        ``"shards"`` rather than failing the scrape.
+        """
+        merged = {"capacity": 0, "recorded": 0, "dropped": 0, "traces": []}
+        states: List[Dict] = []
+        for shard in range(len(self.backends)):
+            status, payload = self._request(
+                shard, "GET", "/internal/trace", None
+            )
+            if status != 200 or not isinstance(payload, dict):
+                states.append(
+                    {"shard": shard, "error": f"trace scrape failed ({status})"}
+                )
+                continue
+            states.append({"shard": shard, "recorded": payload.get("recorded", 0)})
+            merged["capacity"] += payload.get("capacity", 0)
+            merged["recorded"] += payload.get("recorded", 0)
+            merged["dropped"] += payload.get("dropped", 0)
+            for span in payload.get("traces", ()):
+                tagged = dict(span)
+                tagged["shard"] = shard
+                merged["traces"].append(tagged)
+        merged["shards"] = states
+        return merged
 
     def _healthz(self) -> Tuple[int, Dict]:
         states = []
@@ -498,9 +548,11 @@ def aggregate_metrics(snapshots: Sequence[Dict]) -> Dict:
 
     Counters and cache totals sum; latency percentiles are re-derived
     from the merged histogram buckets (exact to bucket resolution, not
-    an average of per-shard percentiles); the raw per-shard snapshots
-    are preserved under ``"shards"``.
+    an average of per-shard percentiles); labeled registry sections
+    merge series-by-series (:func:`repro.obs.merge_registry_snapshots`);
+    the raw per-shard snapshots are preserved under ``"shards"``.
     """
+    from repro.obs import merge_registry_snapshots
 
     def total(*path) -> int:
         out = 0
@@ -548,6 +600,9 @@ def aggregate_metrics(snapshots: Sequence[Dict]) -> Dict:
         },
         "latency": aggregate_latency(
             [snap.get("latency", {}) for snap in snapshots]
+        ),
+        "registry": merge_registry_snapshots(
+            [snap.get("registry") for snap in snapshots]
         ),
         "shards": list(snapshots),
     }

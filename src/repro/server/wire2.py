@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.canonical import (
@@ -341,6 +342,7 @@ def protocol_info(service) -> Dict:
         "versions": ["v1", "v2"],
         "wire": "qid-delta",
         "compact": True,
+        "trace": True,
         "max_batch": MAX_BATCH,
         "max_body": MAX_BODY,
         "generation_keys_cap": GENERATION_KEYS_CAP,
@@ -363,23 +365,40 @@ def _flag_of(body: Dict, name: str) -> bool:
     return value
 
 
-def resolve_single(service, body: Dict) -> Tuple[str, bool, bool, object, int]:
+def resolve_single(
+    service, body: Dict
+) -> Tuple[str, bool, bool, bool, object, int]:
     """Validate and translate a ``/v2/query`` body (the shared half).
 
-    Returns ``(principal, peek, compact, plane, kernel_qid)``; raises
-    :class:`WireError` for every request-shaped failure.  Both front
-    ends call this, so their validation cannot drift.
+    Returns ``(principal, peek, compact, trace, plane, kernel_qid)``;
+    raises :class:`WireError` for every request-shaped failure.  Both
+    front ends call this, so their validation cannot drift.
     """
     principal = _principal_of(body)
     peek = _flag_of(body, "peek")
     compact = _flag_of(body, "compact")
+    trace = _flag_of(body, "trace")
     qid = body.get("qid")
     if not isinstance(qid, int) or isinstance(qid, bool):
         raise WireError(400, BAD_REQUEST, "'qid' must be an integer")
     plane, qids = gateway_for(service).resolve(
         body.get("gen"), body.get("base"), body.get("delta"), (qid,)
     )
-    return principal, peek, compact, plane, qids[0]
+    return principal, peek, compact, trace, plane, qids[0]
+
+
+def finish_span(service, span: Dict, payload: Dict) -> Dict:
+    """Attach *span* to the traced response and the service's ring.
+
+    The span lands both on the wire (``payload["trace"]`` — the client
+    surfaces it on the decision dict) and in the server's
+    :class:`~repro.obs.TraceBuffer` for ``GET /internal/trace``.
+    """
+    traces = getattr(service, "traces", None)
+    if traces is not None:
+        traces.append(span)
+    payload["trace"] = span
+    return payload
 
 
 def single_error_status(result: Dict) -> int:
@@ -388,17 +407,54 @@ def single_error_status(result: Dict) -> int:
 
 
 def handle_query(service, body: Dict) -> Tuple[int, object]:
-    """``POST /v2/query``: one qid-native decision."""
+    """``POST /v2/query``: one qid-native decision.
+
+    With ``"trace": true`` the response is always the full dict form
+    (``compact`` is ignored — a span needs a key to hang off) and
+    carries a ``trace`` object: per-stage kernel timings plus queue and
+    serialization accounting.  The stdlib front end serves each request
+    on its own thread, so ``queue_us`` is 0 and ``coalesced`` is 1 here;
+    the asyncio front end fills in real values.
+    """
     try:
-        principal, peek, compact, plane, qid = resolve_single(service, body)
+        principal, peek, compact, trace, plane, qid = resolve_single(
+            service, body
+        )
     except WireError as exc:
         return exc.status, exc.payload()
+    if not trace:
+        (result,) = decide_wire_items(
+            service, [(principal, None, qid)], update=not peek, plane=plane
+        )
+        if isinstance(result, dict):  # per-item error taxonomy, promoted
+            return single_error_status(result), result
+        return 200, render_single(result, compact)
+    timings: Dict = {}
+    started = perf_counter()
     (result,) = decide_wire_items(
-        service, [(principal, None, qid)], update=not peek, plane=plane
+        service,
+        [(principal, None, qid)],
+        update=not peek,
+        plane=plane,
+        timings=timings,
     )
-    if isinstance(result, dict):  # the per-item error taxonomy, promoted
+    decided = perf_counter()
+    if isinstance(result, dict):
         return single_error_status(result), result
-    return 200, render_single(result, compact)
+    payload = result.as_dict()
+    span = {
+        "transport": "http",
+        "principal": principal,
+        "qid": body.get("qid"),
+        "peek": peek,
+        "coalesced": 1,
+        "queue_us": 0.0,
+        "label_us": timings.get("label_us", 0.0),
+        "decide_us": timings.get("decide_us", 0.0),
+        "serialize_us": (perf_counter() - decided) * 1e6,
+        "total_us": (decided - started) * 1e6,
+    }
+    return 200, finish_span(service, span, payload)
 
 
 def handle_batch(service, body: Dict) -> Tuple[int, object]:

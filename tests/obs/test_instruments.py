@@ -1,0 +1,142 @@
+"""The typed instruments: histogram edges and exact cross-shard merges."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Counter, Gauge, LatencyHistogram, aggregate_latency
+
+
+class TestHistogramEdges:
+    def test_empty_histogram_reports_zero(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["buckets"] == []
+
+    def test_midpoints_sit_inside_their_buckets(self):
+        bounds = LatencyHistogram.BOUNDS
+        mids = LatencyHistogram.MIDPOINTS
+        assert len(mids) == len(bounds) + 1
+        assert mids[0] == bounds[0]
+        assert mids[-1] == bounds[-1]
+        for index in range(1, len(bounds)):
+            lower, upper = bounds[index - 1], bounds[index]
+            assert lower < mids[index] <= upper
+            assert math.isclose(mids[index], math.sqrt(lower * upper))
+
+    def test_percentile_uses_the_geometric_midpoint(self):
+        hist = LatencyHistogram()
+        sample = 5e-6  # interior of a bucket, well inside the range
+        hist.record(sample)
+        reported = hist.percentile(0.5)
+        # The midpoint is within one bucket of the true sample (the
+        # upper-bound form of this estimator was biased a full bucket
+        # high; the midpoint stays within half a bucket geometrically).
+        assert 0.89 * sample <= reported <= 1.13 * sample
+
+    def test_out_of_range_samples_clamp_to_the_edge_buckets(self):
+        hist = LatencyHistogram()
+        hist.record(1e-12)  # below the 100 ns floor
+        hist.record(1e6)  # above the 100 s ceiling
+        assert hist.percentile(0.25) == LatencyHistogram.MIDPOINTS[0]
+        assert hist.percentile(0.99) == LatencyHistogram.MIDPOINTS[-1]
+        indices = [index for index, _ in hist.bucket_counts()]
+        assert indices == [0, len(LatencyHistogram.BOUNDS)]
+
+    def test_record_many_equals_repeated_record(self):
+        loop, bulk = LatencyHistogram(), LatencyHistogram()
+        for _ in range(7):
+            loop.record(3e-5)
+        bulk.record_many(3e-5, 7)
+        assert loop.bucket_counts() == bulk.bucket_counts()
+        assert loop.count == bulk.count == 7
+        assert math.isclose(loop.sum, bulk.sum)
+
+    def test_record_many_ignores_nonpositive_counts(self):
+        hist = LatencyHistogram()
+        hist.record_many(1e-3, 0)
+        hist.record_many(1e-3, -4)
+        assert hist.count == 0
+
+    def test_merge_folds_buckets_and_sums(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record(1e-5)
+        right.record(1e-2)
+        right.record(1e-2)
+        left.merge(right)
+        assert left.count == 3
+        assert math.isclose(left.sum, 1e-5 + 2e-2)
+        assert right.count == 2  # the source is untouched
+
+    def test_snapshot_shape(self):
+        hist = LatencyHistogram()
+        hist.record(2e-4)
+        snap = hist.snapshot()
+        assert set(snap) == {
+            "count", "mean_us", "p50_us", "p95_us", "p99_us", "buckets",
+        }
+        assert snap["count"] == 1
+        assert math.isclose(snap["mean_us"], 200.0)
+        (pair,) = snap["buckets"]
+        assert pair[1] == 1
+
+
+class TestAggregateLatency:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1e-8, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_cross_shard_merge_is_exact(self, shards):
+        """Merging per-shard snapshots == one histogram fed everything.
+
+        This is the property the ShardRouter relies on: aggregating the
+        sparse bucket wire forms yields the same percentiles (to bucket
+        resolution, i.e. exactly, since buckets merge count-by-count)
+        as a single service seeing the union of the traffic.
+        """
+        union = LatencyHistogram()
+        snapshots = []
+        for samples in shards:
+            shard = LatencyHistogram()
+            for value in samples:
+                shard.record(value)
+                union.record(value)
+            snapshots.append(shard.snapshot())
+        merged = aggregate_latency(snapshots)
+        reference = union.snapshot()
+        assert merged["count"] == reference["count"]
+        assert merged["buckets"] == reference["buckets"]
+        for key in ("p50_us", "p95_us", "p99_us"):
+            assert merged[key] == reference[key]
+
+    def test_merge_tolerates_missing_buckets_entry(self):
+        merged = aggregate_latency([{"count": 0, "mean_us": 0.0}])
+        assert merged["count"] == 0
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment(41)
+        assert counter.value == 42
+
+    def test_gauge_sets_and_adds(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == 1.5

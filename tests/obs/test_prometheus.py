@@ -1,0 +1,108 @@
+"""The text exposition: render → parse round trips, strict rejection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    LatencyHistogram,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+)
+
+
+def _snapshot_with_traffic():
+    registry = MetricsRegistry()
+    registry.counter("repro_decisions_total").increment(11)
+    hist = registry.histogram("repro_request_latency_seconds")
+    for value in (1e-5, 2e-5, 3e-3):
+        hist.record(value)
+    vec = registry.counter_vec("repro_tenant_decisions_total", ("tenant",))
+    vec.labels("app-1").increment(4)
+    vec.labels('odd"name\\with\nstuff').increment(2)
+    return {
+        "registry": registry.snapshot(),
+        "uptime_seconds": 12.5,
+        "sessions": {"active": 3, "passive": 1},
+    }
+
+
+class TestRoundTrip:
+    def test_every_rendered_line_parses(self):
+        parsed = parse_prometheus(render_prometheus(_snapshot_with_traffic()))
+        assert parsed["types"]["repro_decisions_total"] == "counter"
+        assert parsed["types"]["repro_request_latency_seconds"] == "histogram"
+        assert sample_value(parsed, "repro_decisions_total") == 11
+
+    def test_label_values_round_trip_through_escaping(self):
+        parsed = parse_prometheus(render_prometheus(_snapshot_with_traffic()))
+        value = sample_value(
+            parsed,
+            "repro_tenant_decisions_total",
+            {"tenant": 'odd"name\\with\nstuff'},
+        )
+        assert value == 2
+
+    def test_histogram_buckets_are_cumulative_and_match_count(self):
+        parsed = parse_prometheus(render_prometheus(_snapshot_with_traffic()))
+        buckets = parsed["samples"]["repro_request_latency_seconds_bucket"]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        inf = next(v for labels, v in buckets if labels["le"] == "+Inf")
+        assert inf == sample_value(
+            parsed, "repro_request_latency_seconds_count"
+        ) == 3
+        total = sample_value(parsed, "repro_request_latency_seconds_sum")
+        assert math.isclose(total, 1e-5 + 2e-5 + 3e-3, rel_tol=1e-6)
+
+    def test_bucket_bounds_are_real_histogram_bounds(self):
+        parsed = parse_prometheus(render_prometheus(_snapshot_with_traffic()))
+        buckets = parsed["samples"]["repro_request_latency_seconds_bucket"]
+        finite = [float(labels["le"]) for labels, _ in buckets
+                  if labels["le"] != "+Inf"]
+        rendered_bounds = {f"{b:.9g}" for b in LatencyHistogram.BOUNDS}
+        for value in finite:
+            assert f"{value:.9g}" in rendered_bounds
+
+    def test_flattened_gauges_cover_the_json_extras(self):
+        parsed = parse_prometheus(render_prometheus(_snapshot_with_traffic()))
+        assert sample_value(parsed, "repro_uptime_seconds") == 12.5
+        assert sample_value(parsed, "repro_sessions_active") == 3
+        assert parsed["types"]["repro_sessions_active"] == "gauge"
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestStrictParsing:
+    def test_malformed_sample_lines_are_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("repro_decisions_total = 12\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("repro_decisions_total 1 2 3\n")
+
+    def test_malformed_labels_are_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("repro_total{not labels} 1\n")
+
+    def test_malformed_comments_are_rejected(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus("# not a directive\n")
+
+    def test_help_and_blank_lines_are_tolerated(self):
+        parsed = parse_prometheus(
+            "# HELP repro_x_total a counter\n"
+            "# TYPE repro_x_total counter\n"
+            "\n"
+            "repro_x_total 5\n"
+        )
+        assert sample_value(parsed, "repro_x_total") == 5
+
+    def test_inf_values_parse(self):
+        parsed = parse_prometheus("repro_x_bucket{le=\"+Inf\"} 7\n")
+        assert sample_value(parsed, "repro_x_bucket", {"le": "+Inf"}) == 7

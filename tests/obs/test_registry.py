@@ -1,0 +1,111 @@
+"""The registry: naming, label cardinality bounding, and exact merges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+    merge_registry_snapshots,
+)
+
+
+def _vector(snapshot, name):
+    return next(v for v in snapshot["vectors"] if v["name"] == name)
+
+
+class TestRegistration:
+    def test_scalars_are_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_things_total")
+        assert registry.counter("repro_things_total") is first
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+        registry.counter_vec("repro_labeled_total", ("tenant",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_labeled_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter_vec("repro_labeled_total", ("other",))
+
+    def test_vector_requires_label_names_and_matching_values(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one label"):
+            registry.counter_vec("repro_bad_total", ())
+        vec = registry.counter_vec("repro_ok_total", ("tenant", "mode"))
+        with pytest.raises(ValueError, match="expected 2"):
+            vec.labels("only-one")
+
+
+class TestCardinalityBounding:
+    def test_lru_eviction_folds_into_overflow_exactly(self):
+        """A hostile principal minting labels cannot grow memory, and
+        the family total never loses an increment to an eviction."""
+        registry = MetricsRegistry(max_series=4)
+        vec = registry.counter_vec("repro_tenant_total", ("tenant",))
+        for round_number in range(3):
+            for tenant in range(10):
+                vec.labels(f"tenant-{tenant}").increment()
+        snapshot = registry.snapshot()
+        family = _vector(snapshot, "repro_tenant_total")
+        live = [row for row in family["series"]
+                if row["labels"]["tenant"] != OVERFLOW_LABEL]
+        overflow = [row for row in family["series"]
+                    if row["labels"]["tenant"] == OVERFLOW_LABEL]
+        assert len(live) <= 4
+        assert len(overflow) == 1
+        total = sum(row["value"] for row in family["series"])
+        assert total == 30
+        assert family["evicted_series"] > 0
+
+    def test_recently_used_series_survive(self):
+        registry = MetricsRegistry(max_series=2)
+        vec = registry.counter_vec("repro_tenant_total", ("tenant",))
+        vec.labels("hot").increment()
+        vec.labels("cold").increment()
+        vec.labels("hot").increment()  # refresh: "cold" is now the LRU
+        vec.labels("new").increment()  # evicts "cold"
+        family = _vector(registry.snapshot(), "repro_tenant_total")
+        names = {row["labels"]["tenant"] for row in family["series"]}
+        assert "hot" in names and "cold" not in names
+
+    def test_histogram_vectors_bound_and_merge_on_eviction(self):
+        registry = MetricsRegistry(max_series=1)
+        vec = registry.histogram_vec("repro_stage_seconds", ("stage",))
+        vec.labels("label").record(1e-4)
+        vec.labels("mask").record(2e-4)  # evicts "label" into overflow
+        family = _vector(registry.snapshot(), "repro_stage_seconds")
+        by_stage = {row["labels"]["stage"]: row["histogram"]
+                    for row in family["series"]}
+        assert by_stage[OVERFLOW_LABEL]["count"] == 1
+        assert by_stage["mask"]["count"] == 1
+
+
+class TestSnapshotMerge:
+    def test_counters_sum_and_histograms_merge(self):
+        snaps = []
+        for portion in (3, 4):
+            registry = MetricsRegistry()
+            registry.counter("repro_decisions_total").increment(portion)
+            registry.histogram("repro_latency_seconds").record(1e-3)
+            vec = registry.counter_vec("repro_tenant_total", ("tenant",))
+            vec.labels("alpha").increment(portion)
+            snaps.append(registry.snapshot())
+        merged = merge_registry_snapshots(snaps)
+        scalars = {entry["name"]: entry for entry in merged["scalars"]}
+        assert scalars["repro_decisions_total"]["value"] == 7
+        assert scalars["repro_latency_seconds"]["histogram"]["count"] == 2
+        family = _vector(merged, "repro_tenant_total")
+        (row,) = family["series"]
+        assert row["labels"] == {"tenant": "alpha"} and row["value"] == 7
+
+    def test_merge_skips_non_dict_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_decisions_total").increment()
+        merged = merge_registry_snapshots([None, registry.snapshot(), 3])
+        (entry,) = merged["scalars"]
+        assert entry["value"] == 1
