@@ -15,6 +15,12 @@ Usage::
                             [--open-loop RATE] [--hist-out FILE]
     python -m repro metrics [--url URL] [--watch S] [--prometheus]
     python -m repro snapshot save|load|inspect [FILE] [--state-dir DIR] [--url URL]
+    python -m repro scenario list
+    python -m repro scenario compile NAME --out FILE [--seed N] [--events N]
+    python -m repro scenario run [NAME | --all] [--transport local|http|async-http]
+                                 [--url URL] [--trace FILE] [--timed]
+                                 [--hist-dir DIR] [--check BASELINE.json]
+    python -m repro scenario verify FILE [--spec NAME]
 
 ``label`` parses the query against the Figure 1 calendar schema (or a
 custom datalog view file with its implied schema) and prints the
@@ -35,7 +41,13 @@ load with lateness-corrected latency, ``--hist-out FILE`` writes the
 mergeable latency histogram as JSON); ``metrics`` pretty-prints a
 running server's ``/metrics`` (``--watch S`` refreshes every S
 seconds, ``--prometheus`` dumps the text exposition); ``snapshot``
-saves, restores, and inspects the durable snapshot files.
+saves, restores, and inspects the durable snapshot files; ``scenario``
+is the trace-driven workload engine (``list`` names the scenarios,
+``compile`` writes a replayable checksummed trace file, ``run`` replays
+scenarios through a :class:`repro.client.DecisionClient` backend with
+per-scenario SLO verdicts — nonzero exit on a violated floor —
+``verify`` validates a trace file and proves it recompiles
+byte-identically from its embedded spec).
 
 The installed console script ``repro`` (see ``pyproject.toml``) is an
 alias for ``python -m repro``.
@@ -521,6 +533,220 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_spec(args: argparse.Namespace, name: str):
+    """The (possibly resized) named spec an invocation asks for."""
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(name)
+    if args.events or args.principals:
+        spec = spec.scaled(args.events or spec.events, args.principals)
+    return spec
+
+
+def _scenario_client(args: argparse.Namespace):
+    """A fresh client for ``scenario run`` (local builds its own service)."""
+    from repro.client import HttpClient, LocalClient
+
+    if args.transport == "local":
+        return LocalClient()
+    if not args.url:
+        raise ValueError(f"the {args.transport} transport needs a --url target")
+    return HttpClient(args.url, protocol=args.protocol)
+
+
+def _scenario_replay(args: argparse.Namespace, trace, slo):
+    """One trace through the requested transport; returns the report."""
+    from repro.scenarios import replay_trace, replay_trace_async
+
+    if args.transport == "async-http":
+        import asyncio
+
+        from repro.client import AsyncHttpClient
+
+        if not args.url:
+            raise ValueError("the async-http transport needs a --url target")
+
+        async def drive():
+            client = AsyncHttpClient(args.url, protocol=args.protocol)
+            await client.connect()
+            try:
+                return await replay_trace_async(
+                    trace,
+                    client,
+                    timed=args.timed,
+                    rate_scale=args.rate_scale,
+                    slo=slo,
+                )
+            finally:
+                await client.close()
+
+        return asyncio.run(drive())
+    with _scenario_client(args) as client:
+        return replay_trace(
+            trace,
+            client,
+            timed=args.timed,
+            rate_scale=args.rate_scale,
+            transport=args.transport,
+            slo=slo,
+        )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TraceError
+    from repro.scenarios import (
+        SCENARIOS,
+        ScenarioSpec,
+        compile_scenario,
+        load_trace,
+        trace_bytes,
+        write_trace,
+    )
+
+    if args.action == "list":
+        for name, spec in SCENARIOS.items():
+            slo = spec.slo
+            print(
+                f"{name:<18} {spec.events:>6} decides, "
+                f"{spec.principals:>4} principals; SLO p50<{slo.p50_us:g}µs "
+                f"p95<{slo.p95_us:g}µs p99<{slo.p99_us:g}µs"
+            )
+            print(f"{'':<18} {spec.description}")
+        return 0
+
+    if args.action == "compile":
+        if len(args.names) != 1:
+            print("error: scenario compile takes exactly one NAME",
+                  file=sys.stderr)
+            return 2
+        if not args.out:
+            print("error: scenario compile needs --out FILE", file=sys.stderr)
+            return 2
+        try:
+            spec = _scenario_spec(args, args.names[0])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        trace = compile_scenario(spec, seed=args.seed)
+        path = write_trace(args.out, trace)
+        print(
+            f"compiled {spec.name} (seed {trace.seed}) -> {path}: "
+            f"{len(trace)} events, {path.stat().st_size} bytes, "
+            f"crc {trace.crc:#010x}"
+        )
+        return 0
+
+    if args.action == "verify":
+        if len(args.names) != 1:
+            print("error: scenario verify takes exactly one trace FILE",
+                  file=sys.stderr)
+            return 2
+        path = args.names[0]
+        try:
+            trace = load_trace(path)
+        except TraceError as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{path}: {len(trace)} events, scenario "
+            f"{trace.scenario or '(unnamed)'}, seed {trace.seed}, "
+            f"checksum ok"
+        )
+        spec_dict = dict(trace.spec)
+        if args.spec:
+            try:
+                spec = _scenario_spec(args, args.spec)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif spec_dict:
+            spec = ScenarioSpec.from_dict(spec_dict)
+        else:
+            print(f"{path}: no embedded spec; checksum-only verification")
+            return 0
+        recompiled = compile_scenario(spec, seed=trace.seed)
+        if trace_bytes(recompiled) == trace_bytes(trace):
+            print(
+                f"{path}: recompiles byte-identically from "
+                f"(spec {spec.name!r}, seed {trace.seed})"
+            )
+            return 0
+        print(
+            f"{path}: MISMATCH — recompiling (spec {spec.name!r}, seed "
+            f"{trace.seed}) yields a different trace",
+            file=sys.stderr,
+        )
+        return 1
+
+    # run -----------------------------------------------------------------
+    if args.trace and (args.names or args.all):
+        print("error: pass --trace FILE or scenario names, not both",
+              file=sys.stderr)
+        return 2
+    floors_by_name = {}
+    if args.check:
+        with open(args.check) as handle:
+            floors_by_name = json.load(handle).get("scenarios", {})
+    jobs = []  # (name, trace, spec-or-None)
+    if args.trace:
+        try:
+            trace = load_trace(args.trace)
+        except TraceError as exc:
+            print(f"{args.trace}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        jobs.append((trace.scenario or args.trace, trace, None))
+    else:
+        names = list(SCENARIOS) if args.all else args.names
+        if not names:
+            print("error: scenario run needs NAME(s), --all, or --trace FILE",
+                  file=sys.stderr)
+            return 2
+        for name in names:
+            try:
+                spec = _scenario_spec(args, name)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            jobs.append((name, compile_scenario(spec, seed=args.seed), spec))
+
+    failures = 0
+    for position, (name, trace, spec) in enumerate(jobs):
+        slo = spec.slo if spec is not None else None
+        try:
+            report = _scenario_replay(args, trace, slo)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 1
+        floors = floors_by_name.get(name)
+        if position:
+            print()
+        print(report.render(floors))
+        if not report.ok(floors):
+            failures += 1
+            print(f"SLO GATE FAILED for {name}", file=sys.stderr)
+        if args.hist_out and len(jobs) == 1:
+            with open(args.hist_out, "w") as handle:
+                json.dump(report.hist_payload(), handle, indent=2)
+                handle.write("\n")
+            print(f"histogram written to {args.hist_out}")
+        elif args.hist_dir:
+            from pathlib import Path
+
+            directory = Path(args.hist_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            target = directory / f"{name}.json"
+            with open(target, "w") as handle:
+                json.dump(report.hist_payload(), handle, indent=2)
+                handle.write("\n")
+            print(f"histogram written to {target}")
+    return 1 if failures else 0
+
+
 def _render_metrics(snapshot: dict) -> str:
     """The human-facing lines of ``repro metrics`` (JSON form)."""
     latency = snapshot.get("latency") or {}
@@ -760,6 +986,86 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON) to FILE",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="compile, replay, and verify trace-driven workload scenarios",
+    )
+    scenario.add_argument(
+        "action", choices=("list", "compile", "run", "verify"),
+        help="list the named scenarios; compile one to a trace file; "
+        "run (replay) scenarios with SLO verdicts; verify a trace file's "
+        "checksum and byte-identical recompilation",
+    )
+    scenario.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="scenario name(s) (compile/run), or the trace FILE (verify)",
+    )
+    scenario.add_argument(
+        "--all", action="store_true",
+        help="run every named scenario (the CI shape)",
+    )
+    scenario.add_argument(
+        "--out", metavar="FILE", help="trace file to write (compile)"
+    )
+    scenario.add_argument(
+        "--trace", metavar="FILE",
+        help="replay this trace file instead of compiling a named scenario",
+    )
+    scenario.add_argument(
+        "--spec", metavar="NAME",
+        help="verify against this named spec instead of the trace's "
+        "embedded fingerprint",
+    )
+    scenario.add_argument(
+        "--seed", type=int,
+        help="override the spec's seed (same spec + seed = same trace)",
+    )
+    scenario.add_argument(
+        "--events", type=int,
+        help="scale the scenario to this many decide events",
+    )
+    scenario.add_argument(
+        "--principals", type=int,
+        help="scale the scenario to this many principals",
+    )
+    scenario.add_argument(
+        "--transport", choices=("local", "http", "async-http"),
+        default="local",
+        help="client transport to replay through (default: local, a "
+        "fresh in-process service per scenario)",
+    )
+    scenario.add_argument(
+        "--url", help="server URL for the http/async-http transports"
+    )
+    scenario.add_argument(
+        "--protocol", choices=("auto", "v1", "v2"), default="auto",
+        help="HTTP wire protocol (see `repro loadgen --protocol`)",
+    )
+    scenario.add_argument(
+        "--timed", action="store_true",
+        help="pace replay to the trace's own timestamps (lateness-"
+        "corrected percentiles) instead of back-to-back fast replay",
+    )
+    scenario.add_argument(
+        "--rate-scale", type=float, default=1.0, metavar="X",
+        help="divide trace timestamps by X in timed replay (2.0 = "
+        "replay twice as fast as recorded)",
+    )
+    scenario.add_argument(
+        "--hist-out", metavar="FILE",
+        help="write the (single) scenario's histogram artifact to FILE",
+    )
+    scenario.add_argument(
+        "--hist-dir", metavar="DIR",
+        help="write one histogram artifact per scenario to DIR/<name>.json",
+    )
+    scenario.add_argument(
+        "--check", metavar="BASELINE.json",
+        help="gate each scenario on the floors committed under the "
+        "baseline's `scenarios` key (exit 1 on any violation)",
+    )
+    scenario.set_defaults(func=_cmd_scenario)
     return parser
 
 

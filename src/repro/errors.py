@@ -80,6 +80,18 @@ class StorageError(ReproError):
     """A failure in the SQLite-backed storage substrate."""
 
 
+class TraceError(ReproError):
+    """A scenario trace file is missing, truncated, corrupt, or incompatible.
+
+    Raised by :mod:`repro.scenarios.trace` when a trace cannot be
+    trusted: unreadable JSON lines, an unknown format version, an event
+    count or CRC-32 checksum that does not match the header, or an event
+    whose shape is not one the replay engine knows.  Like
+    :class:`SnapshotError`, loading code treats the error as "this file
+    cannot be replayed" plus a clear message — never as a crash.
+    """
+
+
 class SnapshotError(ReproError):
     """A service snapshot is missing, truncated, corrupt, or incompatible.
 

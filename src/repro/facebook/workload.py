@@ -28,7 +28,9 @@ through ``Friend`` just as in the paper, so the atom counts match
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Sequence
+from bisect import bisect_right
+from itertools import accumulate
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.atoms import Atom
 from repro.core.queries import ConjunctiveQuery
@@ -92,12 +94,17 @@ class WorkloadGenerator:
 
         Load generators fan the workload out across workers; each worker
         needs its own RNG (``random.Random`` is not thread-safe) with a
-        distinct, reproducible stream.
+        distinct, reproducible stream.  The derived seed mixes *seed*
+        and *index* through a 64-bit multiplicative hash so distinct
+        ``(seed, index)`` pairs get distinct streams — the old
+        ``seed * 1000 + index`` derivation collided (e.g. ``(1, 0)``
+        and ``(0, 1000)``), silently duplicating workloads.
         """
+        derived = (seed * 0x9E3779B97F4A7C15 + index + 1) & (2**64 - 1)
         return WorkloadGenerator(
             self.schema,
             max_subqueries=self.max_subqueries,
-            seed=seed * 1000 + index,
+            seed=derived,
             group_aligned=self.group_aligned,
         )
 
@@ -233,3 +240,97 @@ def generate_policies(
             partitions.append(rng.sample(names, size))
         policies.append(partitions)
     return policies
+
+
+def zipf_weights(count: int, exponent: float) -> List[float]:
+    """Zipfian popularity weights over *count* ranks.
+
+    Rank 0 is the most popular principal; ``exponent == 0`` degenerates
+    to uniform.  Weights are unnormalized (samplers work off cumulative
+    sums), so they compose with arrival-gated subsets.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [1.0 / (rank + 1) ** exponent for rank in range(count)]
+
+
+class AppEcosystem:
+    """A multi-tenant app ecosystem: the population behind a scenario.
+
+    The Section 7.2 generator models *queries*; an ecosystem models the
+    *tenants* issuing them — named principals with Figure 6 random
+    partition policies and zipf-ranked popularity (``app-0`` is the
+    head tenant).  Scenario compilation
+    (:mod:`repro.scenarios.generators`) draws its population from here;
+    anything driving a :class:`~repro.client.base.DecisionClient` can
+    reuse it directly via :meth:`register_all` / :meth:`sample`.
+
+    Determinism contract: equal constructor parameters yield equal
+    names, policies, weights, and per-tenant generator streams.
+    """
+
+    def __init__(
+        self,
+        principals: int = 100,
+        *,
+        view_names: Optional[Sequence[str]] = None,
+        zipf_exponent: float = 1.1,
+        max_partitions: int = 5,
+        max_elements: int = 25,
+        max_subqueries: int = 1,
+        seed: int = 0,
+    ):
+        if principals < 1:
+            raise ValueError("principals must be >= 1")
+        if view_names is None:
+            from repro.facebook.permissions import facebook_security_views
+
+            view_names = facebook_security_views().names
+        self.view_names = list(view_names)
+        self.seed = seed
+        self.zipf_exponent = zipf_exponent
+        self.max_partitions = max_partitions
+        self.max_elements = max_elements
+        self.names: List[str] = [f"app-{index}" for index in range(principals)]
+        self.policies: Dict[str, List[List[str]]] = dict(
+            zip(
+                self.names,
+                generate_policies(
+                    self.view_names,
+                    principals,
+                    max_partitions,
+                    max_elements,
+                    seed=seed,
+                ),
+            )
+        )
+        self.weights = zipf_weights(principals, zipf_exponent)
+        self._cumulative = list(accumulate(self.weights))
+        self._template = WorkloadGenerator(
+            max_subqueries=max_subqueries, seed=seed
+        )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def sample(self, rng: random.Random) -> str:
+        """One principal name, zipf-weighted by rank."""
+        return self.names[self.sample_index(rng)]
+
+    def sample_index(self, rng: random.Random) -> int:
+        position = bisect_right(
+            self._cumulative, rng.random() * self._cumulative[-1]
+        )
+        return min(position, len(self.names) - 1)
+
+    def generator_for(self, index: int) -> WorkloadGenerator:
+        """Tenant *index*'s own reproducible query stream."""
+        return self._template.spawn(index, seed=self.seed)
+
+    def register_all(self, target) -> int:
+        """Register every tenant on *target* (a service or client —
+        anything with ``register(principal, policy)``); returns how
+        many were registered."""
+        for name in self.names:
+            target.register(name, self.policies[name])
+        return len(self.names)

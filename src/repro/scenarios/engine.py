@@ -1,0 +1,403 @@
+"""The replay engine: drive a trace through any client, gate on SLOs.
+
+:func:`replay_trace` walks a trace's events in order through one
+:class:`~repro.client.base.DecisionClient` — any backend: in-process,
+HTTP, asyncio HTTP (via :func:`replay_trace_async`), client-side
+sharded — and returns a :class:`ScenarioReport`:
+
+* the **decision stream**, every ``decide``/``peek`` outcome as the
+  stable wire dict in event order.  Replay is deterministic, so the
+  stream's digest (:func:`decision_digest`) is the transport-
+  equivalence witness: local == http == async-http == sharded, byte
+  for byte (``cached`` flags excepted on cold caches — cache locality
+  is not a decision);
+* the **latency histogram** (the loadgen artifact form, mergeable via
+  :func:`repro.obs.instruments.aggregate_latency`), sampled per
+  decision — pure service time in fast replay, lateness-corrected from
+  the trace's own timestamps in timed replay (reusing the loadgen
+  open-loop scheduler);
+* the **SLO verdicts** against the scenario's targets (or the floors
+  committed in ``benchmarks/BENCH_BASELINE.json`` — the CI gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.client.base import ClientError, DecisionClient
+from repro.client.parsing import parse_text
+from repro.core.queries import ConjunctiveQuery
+from repro.obs.instruments import LatencyHistogram
+from repro.scenarios.spec import ScenarioSpec, SLOTarget, get_scenario
+from repro.scenarios.trace import Trace
+from repro.server.loadgen import OpenLoopSchedule
+
+__all__ = [
+    "ScenarioReport",
+    "decision_digest",
+    "replay_trace",
+    "replay_trace_async",
+    "run_scenario",
+]
+
+#: The SLO metrics a verdict row can gate on.
+_SLO_METRICS = ("p50_us", "p95_us", "p99_us")
+
+
+def decision_digest(
+    decisions: Sequence[Dict], *, include_cached: bool = False
+) -> str:
+    """SHA-256 over the canonical decision stream.
+
+    ``cached`` flags are stripped by default: whether a label came from
+    the shared cache depends on cache locality, not on the decision,
+    so cold backends legitimately differ there (warmed ones agree even
+    with ``include_cached=True`` — full byte equality).
+    """
+    if include_cached:
+        stream = list(decisions)
+    else:
+        stream = []
+        for entry in decisions:
+            entry = dict(entry)
+            entry.pop("cached", None)
+            stream.append(entry)
+    payload = json.dumps(stream, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ScenarioReport:
+    """The outcome of one scenario replay (see module docstring)."""
+
+    __slots__ = (
+        "scenario",
+        "transport",
+        "seed",
+        "events",
+        "decides",
+        "peeks",
+        "accepted",
+        "refused",
+        "errors",
+        "elapsed",
+        "timed",
+        "slo",
+        "decisions",
+        "histogram",
+    )
+
+    def __init__(
+        self,
+        scenario: str,
+        transport: str,
+        seed: int,
+        slo: Optional[SLOTarget],
+        timed: bool,
+    ):
+        self.scenario = scenario
+        self.transport = transport
+        self.seed = seed
+        self.slo = slo
+        self.timed = timed
+        self.events = 0
+        self.decides = 0
+        self.peeks = 0
+        self.accepted = 0
+        self.refused = 0
+        self.errors = 0
+        self.elapsed = 0.0
+        #: The stable wire dicts, in event order (decide and peek only).
+        self.decisions: List[Dict] = []
+        self.histogram = LatencyHistogram()
+
+    # -- accounting (shared by the sync and async replay loops) -------
+    def _count(self, outcome: Dict) -> None:
+        self.decisions.append(outcome)
+        if "error" in outcome:
+            self.errors += 1
+        elif outcome.get("accepted"):
+            self.accepted += 1
+        else:
+            self.refused += 1
+
+    @property
+    def qps(self) -> float:
+        return (
+            (self.decides + self.peeks) / self.elapsed if self.elapsed else 0.0
+        )
+
+    def digest(self, *, include_cached: bool = False) -> str:
+        return decision_digest(
+            self.decisions, include_cached=include_cached
+        )
+
+    # -- the SLO gate --------------------------------------------------
+    def verdicts(
+        self, floors: Optional[Mapping[str, float]] = None
+    ) -> List[Tuple[str, float, float, bool]]:
+        """``(metric, limit_us, measured_us, ok)`` per gated percentile.
+
+        *floors* overrides the spec's intrinsic targets (the CI gate
+        passes the committed ``BENCH_BASELINE.json`` scenario floors).
+        """
+        if floors is None:
+            floors = self.slo.as_dict() if self.slo is not None else {}
+        snapshot = self.histogram.snapshot()
+        rows = []
+        for metric in _SLO_METRICS:
+            limit = floors.get(metric)
+            if limit is None:
+                continue
+            measured = float(snapshot.get(metric, 0.0))
+            rows.append((metric, float(limit), measured, measured <= limit))
+        return rows
+
+    def ok(self, floors: Optional[Mapping[str, float]] = None) -> bool:
+        """Every gated percentile under its floor, and no replay errors."""
+        return self.errors == 0 and all(
+            verdict for _, _, _, verdict in self.verdicts(floors)
+        )
+
+    def hist_payload(self) -> Dict:
+        """The per-scenario histogram artifact (CI uploads one each)."""
+        return {
+            "scenario": self.scenario,
+            "transport": self.transport,
+            "seed": self.seed,
+            "timed": self.timed,
+            "events": self.events,
+            "decides": self.decides,
+            "peeks": self.peeks,
+            "accepted": self.accepted,
+            "refused": self.refused,
+            "errors": self.errors,
+            "elapsed": self.elapsed,
+            "qps": self.qps,
+            "slo": self.slo.as_dict() if self.slo is not None else None,
+            "verdicts": [
+                {
+                    "metric": metric,
+                    "limit_us": limit,
+                    "measured_us": measured,
+                    "ok": verdict,
+                }
+                for metric, limit, measured, verdict in self.verdicts()
+            ],
+            "digest": self.digest(),
+            "latency": self.histogram.snapshot(),
+        }
+
+    def render(self, floors: Optional[Mapping[str, float]] = None) -> str:
+        mode = "timed replay" if self.timed else "fast replay"
+        lines = [
+            f"scenario:   {self.scenario} ({mode}, {self.transport}, "
+            f"seed {self.seed})",
+            f"events:     {self.events} "
+            f"({self.decides} decides, {self.peeks} peeks; "
+            f"{self.accepted} accepted, {self.refused} refused, "
+            f"{self.errors} errors)",
+            f"elapsed:    {self.elapsed:.2f} s ({self.qps:,.0f} decisions/sec)",
+        ]
+        for metric, limit, measured, verdict in self.verdicts(floors):
+            status = "ok" if verdict else "FAIL"
+            lines.append(
+                f"slo {metric.removesuffix('_us'):>5}:  "
+                f"{measured:>10.1f} µs <= {limit:>10.1f} µs  [{status}]"
+            )
+        lines.append(f"digest:     {self.digest()}")
+        return "\n".join(lines)
+
+
+class _QueryMemo:
+    """datalog text → parsed query, shared across a replay (the pool
+    repeats shapes, so parsing is amortized to the distinct ones)."""
+
+    def __init__(self) -> None:
+        self._memo: Dict[str, ConjunctiveQuery] = {}
+
+    def __call__(self, text: str) -> ConjunctiveQuery:
+        query = self._memo.get(text)
+        if query is None:
+            query = self._memo[text] = parse_text(text, "datalog")
+        return query
+
+
+def _slo_from_trace(trace: Trace) -> Optional[SLOTarget]:
+    """The spec's SLO if the trace names a known scenario."""
+    try:
+        return get_scenario(trace.scenario).slo
+    except ValueError:
+        return None
+
+
+def replay_trace(
+    trace: Trace,
+    client: DecisionClient,
+    *,
+    timed: bool = False,
+    rate_scale: float = 1.0,
+    transport: str = "local",
+    slo: Optional[SLOTarget] = None,
+) -> ScenarioReport:
+    """Replay *trace* through *client* in event order.
+
+    Fast replay (the default) issues events back to back and samples
+    pure service time — the deterministic mode the equivalence suite
+    and the CI gate run.  With ``timed=True``, decisions are paced to
+    the trace's own timestamps (divided by *rate_scale*) on the
+    loadgen open-loop scheduler, and samples are lateness-corrected
+    from the scheduled time, so an engine that cannot keep up shows
+    the queueing delay in its percentiles.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    report = ScenarioReport(
+        trace.scenario,
+        transport,
+        trace.seed,
+        slo if slo is not None else _slo_from_trace(trace),
+        timed,
+    )
+    parse = _QueryMemo()
+    clock = time.perf_counter
+    schedule = OpenLoopSchedule()
+    begin = clock()
+    for event in trace.events:
+        report.events += 1
+        op = event["op"]
+        principal = event["principal"]
+        if op == "register":
+            try:
+                client.register(principal, event["policy"])
+            except ClientError:
+                report.errors += 1
+            continue
+        if op == "reset":
+            try:
+                client.reset(principal)
+            except ClientError:
+                report.errors += 1
+            continue
+        query = parse(event["datalog"])
+        if timed:
+            start = schedule.wait_until(event["t"] / rate_scale)
+        else:
+            start = clock()
+        try:
+            if op == "peek":
+                report.peeks += 1
+                outcome = client.peek(principal, query)
+            else:
+                report.decides += 1
+                outcome = client.submit(principal, query)
+        except ClientError as exc:
+            outcome = {"error": str(exc), "code": exc.code}
+        report.histogram.record(clock() - start)
+        report._count(outcome)
+    report.elapsed = clock() - begin
+    return report
+
+
+async def replay_trace_async(
+    trace: Trace,
+    client,
+    *,
+    timed: bool = False,
+    rate_scale: float = 1.0,
+    transport: str = "async-http",
+    slo: Optional[SLOTarget] = None,
+) -> ScenarioReport:
+    """:func:`replay_trace` for an :class:`~repro.client.AsyncHttpClient`.
+
+    Events are awaited strictly in order — the replay is a single
+    logical stream, so transport equivalence compares like with like
+    (the server's tick coalescing is free to batch whatever lands in
+    one tick; ordering is preserved by the drain).
+    """
+    import asyncio
+
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    report = ScenarioReport(
+        trace.scenario,
+        transport,
+        trace.seed,
+        slo if slo is not None else _slo_from_trace(trace),
+        timed,
+    )
+    parse = _QueryMemo()
+    clock = time.perf_counter
+    schedule = OpenLoopSchedule()
+    begin = clock()
+    for event in trace.events:
+        report.events += 1
+        op = event["op"]
+        principal = event["principal"]
+        if op == "register":
+            try:
+                await client.register(principal, event["policy"])
+            except ClientError:
+                report.errors += 1
+            continue
+        if op == "reset":
+            try:
+                await client.reset(principal)
+            except ClientError:
+                report.errors += 1
+            continue
+        query = parse(event["datalog"])
+        if timed:
+            start, delay = schedule.delay_until(event["t"] / rate_scale)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        else:
+            start = clock()
+        try:
+            if op == "peek":
+                report.peeks += 1
+                outcome = await client.peek(principal, query)
+            else:
+                report.decides += 1
+                outcome = await client.submit(principal, query)
+        except ClientError as exc:
+            outcome = {"error": str(exc), "code": exc.code}
+        report.histogram.record(clock() - start)
+        report._count(outcome)
+    report.elapsed = clock() - begin
+    return report
+
+
+def run_scenario(
+    spec: "ScenarioSpec | str",
+    client: Optional[DecisionClient] = None,
+    *,
+    seed: Optional[int] = None,
+    timed: bool = False,
+    rate_scale: float = 1.0,
+    transport: str = "local",
+) -> ScenarioReport:
+    """Compile *spec* (or the named scenario) and replay it.
+
+    Without *client*, a fresh in-process service over the Facebook
+    vocabulary is built — the ``--transport local`` shape CI runs.
+    """
+    from repro.scenarios.generators import compile_scenario
+
+    if isinstance(spec, str):
+        spec = get_scenario(spec)
+    trace = compile_scenario(spec, seed=seed)
+    if client is None:
+        from repro.client.local import LocalClient
+
+        client = LocalClient()
+    return replay_trace(
+        trace,
+        client,
+        timed=timed,
+        rate_scale=rate_scale,
+        transport=transport,
+        slo=spec.slo,
+    )

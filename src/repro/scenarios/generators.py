@@ -1,0 +1,219 @@
+"""Composable event generators: (spec, seed) → a deterministic trace.
+
+:func:`compile_scenario` is a pure function of its inputs: one
+``random.Random(seed)`` drives every draw, events are emitted in
+timestamp order with a stable tiebreak, and queries are rendered to
+datalog text immediately — so equal ``(spec, seed)`` yield
+byte-identical trace files (the property suite proves it with
+hypothesis).  The pieces compose:
+
+* **population** — Figure 6 random policies over the platform
+  vocabulary, zipf-ranked popularity, a core registered up front and a
+  tail that *arrives* (register events) mid-stream, with a few
+  *departures* (reset events);
+* **arrivals** — a Poisson process at ``spec.rate``, optionally
+  modulated by flash-crowd windows that multiply the instantaneous
+  rate (timestamps bunch up inside a window);
+* **churn** — every ``spec.churn_every`` decides, a random arrived
+  principal is re-registered with a freshly drawn policy;
+* **adversaries** — designated principals expand each decision into a
+  probe burst (``peek`` × ``probe_length``) followed by a commit of one
+  probed query.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.wire import query_to_datalog
+from repro.facebook.workload import AppEcosystem, WorkloadGenerator
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.trace import Trace
+
+__all__ = ["compile_scenario"]
+
+
+def _random_policy(
+    rng: random.Random,
+    names: Sequence[str],
+    max_partitions: int,
+    max_elements: int,
+) -> List[List[str]]:
+    """One churned policy, drawn exactly like :func:`generate_policies`."""
+    partitions = []
+    for _ in range(rng.randint(1, max_partitions)):
+        size = rng.randint(1, min(max_elements, len(names)))
+        partitions.append(sorted(rng.sample(list(names), size)))
+    return partitions
+
+
+def _flash_multiplier(
+    fraction: float, windows: Tuple[Tuple[float, float, float], ...]
+) -> float:
+    for start, duration, multiplier in windows:
+        if start <= fraction < start + duration:
+            return multiplier
+    return 1.0
+
+
+class _Population:
+    """Arrived principals with zipf-weighted sampling.
+
+    Popularity follows the principal's *rank* (index), not arrival
+    order: the head of the ecosystem stays the head whenever it joins.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        self._weights = weights
+        self._indices: List[int] = []
+        self._cumulative: List[float] = []
+        self._total = 0.0
+
+    def add(self, index: int) -> None:
+        self._total += self._weights[index]
+        self._indices.append(index)
+        self._cumulative.append(self._total)
+
+    def sample(self, rng: random.Random) -> int:
+        position = bisect_right(self._cumulative, rng.random() * self._total)
+        return self._indices[min(position, len(self._indices) - 1)]
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    view_names: Optional[Sequence[str]] = None,
+) -> Trace:
+    """Compile *spec* into a replayable :class:`Trace` (deterministic).
+
+    *seed* overrides ``spec.seed``; *view_names* is the platform
+    vocabulary policies draw from (defaults to the Facebook security
+    views — the vocabulary ``repro serve`` runs).
+    """
+    seed = spec.seed if seed is None else seed
+    rng = random.Random(seed)
+
+    ecosystem = AppEcosystem(
+        spec.principals,
+        view_names=view_names,
+        zipf_exponent=spec.zipf_exponent,
+        max_partitions=spec.max_partitions,
+        max_elements=spec.max_elements,
+        max_subqueries=spec.max_subqueries,
+        seed=seed,
+    )
+    view_names = ecosystem.view_names
+    names = ecosystem.names
+    policies = [ecosystem.policies[name] for name in names]
+    weights = ecosystem.weights
+    pool = [
+        query_to_datalog(query)
+        for query in WorkloadGenerator(
+            max_subqueries=spec.max_subqueries, seed=seed
+        ).stream(spec.query_pool)
+    ]
+    span = spec.events / spec.rate if spec.rate > 0 else float(spec.events)
+
+    # --- the admin schedule: arrivals and departures -----------------
+    core = max(1, min(spec.principals, round(spec.principals * spec.core_fraction)))
+    arrival = [0.0] * spec.principals
+    admin: List[Tuple[float, int, Dict]] = []
+    order = 0
+    for index in range(core, spec.principals):
+        arrival[index] = rng.uniform(0.0, span * 0.8)
+    departing = rng.sample(
+        range(spec.principals),
+        min(spec.principals, int(spec.principals * spec.departure_fraction)),
+    )
+    for index in sorted(departing):
+        at = rng.uniform(arrival[index], span)
+        admin.append(
+            (round(at, 9), order := order + 1, {"op": "reset", "principal": names[index]})
+        )
+    for index in range(core, spec.principals):
+        admin.append(
+            (
+                round(arrival[index], 9),
+                order := order + 1,
+                {
+                    "op": "register",
+                    "principal": names[index],
+                    "policy": policies[index],
+                },
+            )
+        )
+    admin.sort(key=lambda entry: (entry[0], entry[1]))
+
+    adversaries = (
+        frozenset(rng.sample(range(spec.principals), spec.probe_principals))
+        if spec.probe_principals
+        else frozenset()
+    )
+
+    # --- the merged event stream -------------------------------------
+    events: List[Dict] = []
+    population = _Population(weights)
+    for index in range(core):
+        population.add(index)
+        events.append(
+            {
+                "op": "register",
+                "principal": names[index],
+                "policy": policies[index],
+                "t": 0.0,
+            }
+        )
+    pending = 0  # next admin entry not yet merged
+    clock = 0.0
+    for decided in range(spec.events):
+        rate = spec.rate * _flash_multiplier(
+            clock / span if span else 0.0, spec.flash_windows
+        )
+        clock += rng.expovariate(rate) if rate > 0 else 1.0
+        while pending < len(admin) and admin[pending][0] <= clock:
+            at, _, event = admin[pending]
+            if event["op"] == "register":
+                population.add(names.index(event["principal"]))
+            events.append({**event, "t": at})
+            pending += 1
+        stamp = round(clock, 9)
+        index = population.sample(rng)
+        if index in adversaries:
+            probed = [rng.choice(pool) for _ in range(spec.probe_length)]
+            for text in probed:
+                events.append(
+                    {
+                        "op": "peek",
+                        "principal": names[index],
+                        "datalog": text,
+                        "t": stamp,
+                    }
+                )
+            text = rng.choice(probed)
+        else:
+            text = rng.choice(pool)
+        events.append(
+            {"op": "decide", "principal": names[index], "datalog": text, "t": stamp}
+        )
+        if spec.churn_every and (decided + 1) % spec.churn_every == 0:
+            victim = population.sample(rng)
+            events.append(
+                {
+                    "op": "register",
+                    "principal": names[victim],
+                    "policy": _random_policy(
+                        rng, view_names, spec.max_partitions, spec.max_elements
+                    ),
+                    "t": stamp,
+                }
+            )
+    # Admin events scheduled after the last decision still belong to
+    # the trace (replay must converge to the same end state).
+    for at, _, event in admin[pending:]:
+        events.append({**event, "t": at})
+
+    return Trace(
+        scenario=spec.name, seed=seed, spec=spec.as_dict(), events=events
+    )

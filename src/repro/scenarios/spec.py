@@ -1,0 +1,233 @@
+"""Named scenario specs: the knobs a trace is compiled from.
+
+A :class:`ScenarioSpec` is a small, immutable bundle of generator
+parameters — principal population and skew, arrival process, policy
+churn, adversarial probing — plus the scenario's explicit latency SLO.
+Everything a compiled trace depends on lives here, so ``(spec, seed)``
+fully determines the trace bytes (:func:`repro.scenarios.generators.
+compile_scenario` is deterministic by construction) and the spec dict
+is embedded in the trace header as the reproducibility fingerprint.
+
+The four named scenarios ship the workload shapes the uniform Section
+7.2 sampler never exercises:
+
+``zipfian-steady``
+    A multi-tenant app ecosystem under steady Poisson load with
+    zipf-skewed principal popularity — the head tenants dominate, the
+    tail stays cold, session LRU and label cache see realistic reuse.
+``policy-churn``
+    The same ecosystem with policies re-registered mid-stream: every
+    re-registration drops a compiled session and its memos, so the
+    steady-state fast path is continually interrupted.
+``adversarial-probe``
+    A fraction of principals probe-then-commit: bursts of ``peek``
+    calls scouting what a policy still allows, then one committing
+    ``submit`` — the read-mostly traffic shape of an app fishing for
+    residual disclosure.
+``flash-crowd``
+    Poisson background traffic with flash windows where the offered
+    rate multiplies — arrival timestamps bunch up, so timed replay
+    stresses queueing and the lateness-corrected percentiles.
+
+SLO targets are per-scenario and deliberately far beyond the OmniSQL
+exemplar's published floors (P50 < 500 ms / P95 < 1.5 s at 1 k QPS):
+the decision path is microseconds, so the gates below are set in low
+milliseconds — two to three orders of magnitude tighter — while still
+absorbing shared-CI-runner noise.  ``benchmarks/BENCH_BASELINE.json``
+carries the committed copy the CI gate enforces (the baseline wins
+when both are given, so re-tuning the gate is a one-file change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "SLOTarget",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Per-scenario latency floor: replay fails the gate above these."""
+
+    p50_us: float
+    p95_us: float
+    p99_us: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One compiled-trace recipe (see the module docstring).
+
+    ``scaled`` derives a smaller (or larger) copy — the test suite
+    replays shrunken scenarios so the equivalence proofs stay fast
+    while CI runs the full-size ones.
+    """
+
+    name: str
+    description: str
+    seed: int = 0
+    #: How many ``decide`` events the trace carries (probes and
+    #: registrations come on top).
+    events: int = 3000
+    principals: int = 200
+    #: Zipf exponent of the principal-popularity ranking (0 = uniform).
+    zipf_exponent: float = 1.1
+    #: Offered aggregate rate (events/sec) the arrival process encodes
+    #: into event timestamps; replay honours it only in timed mode.
+    rate: float = 2000.0
+    #: Distinct query shapes in the sampling pool (cache-realistic reuse).
+    query_pool: int = 256
+    max_subqueries: int = 2
+    max_partitions: int = 5
+    max_elements: int = 25
+    #: Fraction of principals registered before traffic starts; the rest
+    #: arrive (register) mid-stream.
+    core_fraction: float = 0.8
+    #: Fraction of principals that depart (reset) mid-stream.
+    departure_fraction: float = 0.05
+    #: Re-register a random principal with a fresh policy every this
+    #: many decide events (0 disables churn).
+    churn_every: int = 0
+    #: How many principals behave adversarially (probe-then-commit).
+    probe_principals: int = 0
+    #: Peeks each adversarial principal issues before committing.
+    probe_length: int = 4
+    #: Flash-crowd windows as (start_fraction, duration_fraction,
+    #: rate_multiplier) over the nominal run span; empty = plain Poisson.
+    flash_windows: Tuple[Tuple[float, float, float], ...] = ()
+    slo: SLOTarget = field(
+        default_factory=lambda: SLOTarget(
+            p50_us=2_000.0, p95_us=10_000.0, p99_us=50_000.0
+        )
+    )
+
+    def scaled(self, events: int, principals: Optional[int] = None) -> "ScenarioSpec":
+        """A copy resized to *events* (and optionally *principals*)."""
+        from dataclasses import replace
+
+        scale = events / max(1, self.events)
+        kwargs: Dict = {"events": events}
+        if principals is not None:
+            kwargs["principals"] = principals
+            kwargs["probe_principals"] = min(
+                self.probe_principals, max(0, principals // 10)
+            )
+        if self.churn_every:
+            kwargs["churn_every"] = max(2, round(self.churn_every * scale))
+        return replace(self, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        """Rebuild a spec from a trace header's fingerprint.
+
+        ``repro scenario verify`` uses this to recompile a trace from
+        its own embedded parameters and prove byte-identity.  The
+        description and SLO are not part of the fingerprint (they do
+        not shape the event stream); the named scenario's are restored
+        when the name is known.
+        """
+        known = {f.name for f in fields(cls)} - {"description", "slo"}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if "flash_windows" in kwargs:
+            kwargs["flash_windows"] = tuple(
+                tuple(window) for window in kwargs["flash_windows"]
+            )
+        base = SCENARIOS.get(str(data.get("name", "")))
+        return cls(
+            description=base.description if base else "(from trace header)",
+            slo=base.slo
+            if base
+            else SLOTarget(p50_us=2_000.0, p95_us=10_000.0, p99_us=50_000.0),
+            **kwargs,
+        )
+
+    def as_dict(self) -> Dict:
+        """The reproducibility fingerprint embedded in trace headers."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": self.events,
+            "principals": self.principals,
+            "zipf_exponent": self.zipf_exponent,
+            "rate": self.rate,
+            "query_pool": self.query_pool,
+            "max_subqueries": self.max_subqueries,
+            "max_partitions": self.max_partitions,
+            "max_elements": self.max_elements,
+            "core_fraction": self.core_fraction,
+            "departure_fraction": self.departure_fraction,
+            "churn_every": self.churn_every,
+            "probe_principals": self.probe_principals,
+            "probe_length": self.probe_length,
+            "flash_windows": [list(w) for w in self.flash_windows],
+        }
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="zipfian-steady",
+            description="steady Poisson load, zipf-skewed multi-tenant "
+            "ecosystem (head tenants dominate, tail stays cold)",
+            events=3000,
+            principals=200,
+            zipf_exponent=1.1,
+        ),
+        ScenarioSpec(
+            name="policy-churn",
+            description="zipfian traffic with policies re-registered "
+            "mid-stream (compiled sessions and memos keep dropping)",
+            events=3000,
+            principals=150,
+            churn_every=50,
+        ),
+        ScenarioSpec(
+            name="adversarial-probe",
+            description="probe-then-commit principals: peek bursts "
+            "scouting residual disclosure, then one committing submit",
+            events=2000,
+            principals=120,
+            probe_principals=12,
+            probe_length=4,
+        ),
+        ScenarioSpec(
+            name="flash-crowd",
+            description="Poisson background with 10x flash windows "
+            "(arrival timestamps bunch; timed replay stresses queueing)",
+            events=3000,
+            principals=200,
+            rate=1000.0,
+            flash_windows=((0.25, 0.1, 10.0), (0.65, 0.1, 10.0)),
+        ),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The named spec, or a ``ValueError`` naming the valid choices."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (choose from "
+            f"{', '.join(SCENARIOS)})"
+        ) from None

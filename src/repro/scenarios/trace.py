@@ -1,0 +1,208 @@
+"""Replayable trace files: versioned, checksummed JSONL artifacts.
+
+A trace is the compiled form of a scenario — a header line followed by
+one timestamped event per line — written so that equal ``(spec, seed)``
+always produce byte-identical files:
+
+* events are serialized with ``sort_keys`` and compact separators, so
+  the encoding is canonical;
+* the header carries the format version, the spec fingerprint, the
+  event count, and a CRC-32 over the exact event bytes, so truncation,
+  reordering, or in-place edits are detected before replay;
+* queries travel as datalog text (the v1 wire rendering), so a trace is
+  self-contained — no pickle, no interner state, nothing
+  transport-specific.
+
+Event shapes (all carry ``t``, the offset in seconds from trace start,
+and ``principal``)::
+
+    {"op": "register", "policy": [["view", ...], ...]}   # arrival/churn
+    {"op": "reset"}                                      # departure
+    {"op": "decide", "datalog": "Q(x) :- ..."}           # submit
+    {"op": "peek",   "datalog": "Q(x) :- ..."}           # probe
+
+Anything a loader cannot trust raises :class:`repro.errors.TraceError`
+with a reason — a damaged trace can never crash the engine, and can
+never silently replay differently from how it was compiled.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TraceError
+
+__all__ = [
+    "TRACE_FORMAT",
+    "Trace",
+    "encode_event",
+    "trace_bytes",
+    "write_trace",
+    "load_trace",
+    "loads_trace",
+]
+
+TRACE_FORMAT = "repro.trace/1"
+
+#: The operations the replay engine knows, and the extra key each needs.
+_EVENT_SHAPES = {
+    "register": "policy",
+    "reset": None,
+    "decide": "datalog",
+    "peek": "datalog",
+}
+
+
+def encode_event(event: Dict) -> bytes:
+    """One event line in the canonical (byte-stable) encoding."""
+    return (
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _validate_event(event: Dict, line: int) -> None:
+    op = event.get("op")
+    if op not in _EVENT_SHAPES:
+        raise TraceError(
+            f"line {line}: unknown event op {op!r} "
+            f"(expected one of {sorted(_EVENT_SHAPES)})"
+        )
+    if "principal" not in event:
+        raise TraceError(f"line {line}: {op} event has no principal")
+    if not isinstance(event.get("t"), (int, float)):
+        raise TraceError(f"line {line}: {op} event has no numeric t")
+    needs = _EVENT_SHAPES[op]
+    if needs is not None and needs not in event:
+        raise TraceError(f"line {line}: {op} event has no {needs!r}")
+
+
+class Trace:
+    """A loaded (or freshly compiled) trace: header metadata + events."""
+
+    __slots__ = ("scenario", "seed", "spec", "events", "crc")
+
+    def __init__(
+        self,
+        scenario: str,
+        seed: int,
+        spec: Dict,
+        events: List[Dict],
+        crc: Optional[int] = None,
+    ):
+        self.scenario = scenario
+        self.seed = seed
+        self.spec = spec
+        self.events = events
+        self.crc = crc if crc is not None else _crc(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def header(self) -> Dict:
+        return {
+            "format": TRACE_FORMAT,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "events": len(self.events),
+            "crc": self.crc,
+            "spec": self.spec,
+        }
+
+
+def _crc(events: Sequence[Dict]) -> int:
+    crc = 0
+    for event in events:
+        crc = zlib.crc32(encode_event(event), crc)
+    return crc
+
+
+def trace_bytes(trace: Trace) -> bytes:
+    """The exact file bytes — header line plus canonical event lines."""
+    body = b"".join(encode_event(event) for event in trace.events)
+    header = (
+        json.dumps(trace.header(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    ).encode("utf-8")
+    return header + body
+
+
+def write_trace(path: "str | Path", trace: Trace) -> Path:
+    """Write the trace file (canonical bytes) and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(trace_bytes(trace))
+    return path
+
+
+def loads_trace(data: bytes) -> Trace:
+    """Parse and fully validate trace *data* (see :func:`load_trace`)."""
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        raise TraceError("empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise TraceError(f"header is not JSON: {exc}") from None
+    if not isinstance(header, dict) or "format" not in header:
+        raise TraceError("header line has no format field")
+    if header["format"] != TRACE_FORMAT:
+        raise TraceError(
+            f"unknown trace format {header['format']!r} "
+            f"(this build reads {TRACE_FORMAT})"
+        )
+    declared = header.get("events")
+    if not isinstance(declared, int):
+        raise TraceError("header has no integer event count")
+    if declared != len(lines) - 1:
+        raise TraceError(
+            f"truncated or padded trace: header declares {declared} "
+            f"events, file has {len(lines) - 1}"
+        )
+    events: List[Dict] = []
+    crc = 0
+    for number, raw in enumerate(lines[1:], 2):
+        try:
+            event = json.loads(raw)
+        except ValueError as exc:
+            raise TraceError(f"line {number}: not JSON: {exc}") from None
+        if not isinstance(event, dict):
+            raise TraceError(f"line {number}: event is not an object")
+        _validate_event(event, number)
+        # Checksum the *canonical* re-encoding: a trace that parses to
+        # the same events is the same trace, regardless of whitespace.
+        crc = zlib.crc32(encode_event(event), crc)
+        events.append(event)
+    if crc != header.get("crc"):
+        raise TraceError(
+            f"checksum mismatch: header says {header.get('crc')}, "
+            f"events hash to {crc} (file corrupted or edited)"
+        )
+    return Trace(
+        scenario=str(header.get("scenario", "")),
+        seed=int(header.get("seed", 0)),
+        spec=dict(header.get("spec") or {}),
+        events=events,
+        crc=crc,
+    )
+
+
+def load_trace(path: "str | Path") -> Trace:
+    """Load and fully validate a trace file.
+
+    Raises :class:`TraceError` — never any other exception — for a
+    missing file, a header that is not JSON or has the wrong format
+    version, an event line that is not a known event shape, an event
+    count that disagrees with the header (truncation), or a CRC-32
+    mismatch (corruption).
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from None
+    return loads_trace(data)

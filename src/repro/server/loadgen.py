@@ -60,10 +60,54 @@ from repro.server.metrics import (
 )
 from repro.server.service import DisclosureService
 
-__all__ = ["LoadReport", "query_to_datalog", "run_load"]
+__all__ = [
+    "LoadReport",
+    "OpenLoopSchedule",
+    "poisson_offsets",
+    "query_to_datalog",
+    "run_load",
+]
 
 #: The transports ``run_load`` (and ``repro loadgen --transport``) accept.
 TRANSPORTS = ("local", "http", "async-http")
+
+
+class OpenLoopSchedule:
+    """Lateness-corrected open-loop pacing (the coordinated-omission fix).
+
+    :meth:`wait_until` sleeps until ``origin + offset`` and returns the
+    *scheduled* time; callers measure latency from the returned value,
+    so a loop that falls behind surfaces queueing delay in its samples
+    instead of silently thinning the offered load.  :meth:`delay_until`
+    returns ``(scheduled, remaining_delay)`` for async callers that
+    must ``await`` their own sleep.  Shared by the loadgen workers here
+    and by the scenario trace-replay engine
+    (:mod:`repro.scenarios.engine`), whose event timestamps are the
+    offsets.
+    """
+
+    __slots__ = ("origin",)
+
+    def __init__(self, origin: Optional[float] = None):
+        self.origin = time.perf_counter() if origin is None else origin
+
+    def delay_until(self, offset: float) -> Tuple[float, float]:
+        scheduled = self.origin + offset
+        return scheduled, scheduled - time.perf_counter()
+
+    def wait_until(self, offset: float) -> float:
+        scheduled, delay = self.delay_until(offset)
+        if delay > 0:
+            time.sleep(delay)
+        return scheduled
+
+
+def poisson_offsets(rng: random.Random, rate: float):
+    """Cumulative Poisson arrival offsets (exponential gaps), forever."""
+    offset = 0.0
+    while True:
+        offset += rng.expovariate(rate)
+        yield offset
 
 
 class LoadReport:
@@ -396,15 +440,17 @@ def run_load(
         position = 0
         clock = time.perf_counter
         # Open loop: this worker's slice of the Poisson arrival process.
-        # ``next_at`` is the *scheduled* send time; samples measure from
-        # it, so falling behind surfaces as latency, not lost load.
-        arrival_rng = (
-            random.Random(seed * 31337 + index + 1)
+        # The schedule's returned times are *scheduled* send times;
+        # samples measure from them, so falling behind surfaces as
+        # latency, not lost load.
+        offsets = (
+            poisson_offsets(
+                random.Random(seed * 31337 + index + 1), open_loop / workers
+            )
             if open_loop is not None
             else None
         )
-        per_rate = open_loop / workers if open_loop is not None else 0.0
-        next_at = clock()
+        schedule = OpenLoopSchedule()
         if batch > 1:
             size = len(chunks)
             while True:
@@ -417,14 +463,10 @@ def run_load(
                 position += 1
                 if position == size:
                     position = 0
-                if arrival_rng is None:
+                if offsets is None:
                     start = clock()
                 else:
-                    next_at += arrival_rng.expovariate(per_rate)
-                    delay = next_at - clock()
-                    if delay > 0:
-                        time.sleep(delay)
-                    start = next_at
+                    start = schedule.wait_until(next(offsets))
                 accepted, refused, errors = _submit_chunk(client, chunk)
                 samples.append((clock() - start) / len(chunk))
                 result.total += len(chunk)
@@ -444,14 +486,10 @@ def run_load(
             position += 1
             if position == size:
                 position = 0
-            if arrival_rng is None:
+            if offsets is None:
                 start = clock()
             else:
-                next_at += arrival_rng.expovariate(per_rate)
-                delay = next_at - clock()
-                if delay > 0:
-                    time.sleep(delay)
-                start = next_at
+                start = schedule.wait_until(next(offsets))
             accepted = _submit_one(client, principal, query)
             samples.append(clock() - start)
             result.total += 1
@@ -530,13 +568,14 @@ def _run_async(
             pool[offset : offset + batch]
             for offset in range(0, len(pool), batch)
         ]
-        arrival_rng = (
-            random.Random(seed * 31337 + index + 1)
+        offsets = (
+            poisson_offsets(
+                random.Random(seed * 31337 + index + 1), open_loop / workers
+            )
             if open_loop is not None
             else None
         )
-        per_rate = open_loop / workers if open_loop is not None else 0.0
-        next_at = clock()
+        schedule = OpenLoopSchedule()
         deadline = clock() + duration
         position = 0
         size = len(chunks) if batch > 1 else len(pool)
@@ -546,14 +585,12 @@ def _run_async(
                     break
             elif clock() >= deadline:
                 break
-            if arrival_rng is None:
+            if offsets is None:
                 start = clock()
             else:
-                next_at += arrival_rng.expovariate(per_rate)
-                delay = next_at - clock()
+                start, delay = schedule.delay_until(next(offsets))
                 if delay > 0:
                     await asyncio.sleep(delay)
-                start = next_at
             if batch > 1:
                 chunk = chunks[position]
                 try:

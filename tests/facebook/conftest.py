@@ -1,0 +1,18 @@
+"""Shared fixtures for the Facebook case-study test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facebook.permissions import facebook_security_views
+from repro.facebook.schema import facebook_schema
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return facebook_schema()
+
+
+@pytest.fixture(scope="session")
+def views(schema):
+    return facebook_security_views(schema)

@@ -1,12 +1,18 @@
 """Tests for the Section 7.2 workload generator."""
 
+import random
 from collections import Counter
 
 import pytest
 
 from repro.core.terms import Constant, Variable
 from repro.facebook.schema import REL_VALUES, facebook_schema
-from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.facebook.workload import (
+    AppEcosystem,
+    WorkloadGenerator,
+    generate_policies,
+    zipf_weights,
+)
 
 
 class TestWorkloadShape:
@@ -117,6 +123,151 @@ class TestWorkloadShape:
                 }
                 if requested:
                     assert any(requested <= pool for pool in pools), requested
+
+
+class TestSpawnSeedDerivation:
+    """The derived worker seed must be collision-free over (seed, index).
+
+    The original ``seed * 1000 + index`` derivation collided — e.g.
+    ``(seed=1, index=0)`` and ``(seed=0, index=1000)`` produced the
+    same stream, silently duplicating workloads across fan-outs.
+    """
+
+    def test_the_historical_collision_pair_now_differs(self):
+        a = WorkloadGenerator(seed=1).spawn(0, seed=1)
+        b = WorkloadGenerator(seed=0).spawn(1000, seed=0)
+        assert [str(q) for q in a.stream(20)] != [
+            str(q) for q in b.stream(20)
+        ]
+
+    def test_streams_are_pairwise_distinct_over_a_seed_index_grid(self):
+        template = WorkloadGenerator(seed=0)
+        streams = {}
+        for seed in range(4):
+            for index in range(4):
+                key = tuple(
+                    str(q) for q in template.spawn(index, seed=seed).stream(8)
+                )
+                assert key not in streams, (
+                    f"({seed}, {index}) collides with {streams[key]}"
+                )
+                streams[key] = (seed, index)
+
+    def test_spawn_is_reproducible_per_pair(self):
+        template = WorkloadGenerator(max_subqueries=2, seed=5)
+        first = [str(q) for q in template.spawn(7, seed=5).stream(15)]
+        second = [str(q) for q in template.spawn(7, seed=5).stream(15)]
+        assert first == second
+
+
+class TestZipfWeights:
+    def test_weights_decrease_by_rank(self):
+        weights = zipf_weights(10, 1.1)
+        assert len(weights) == 10
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestAppEcosystem:
+    def test_equal_parameters_give_equal_populations(self):
+        a = AppEcosystem(12, zipf_exponent=1.2, max_subqueries=2, seed=4)
+        b = AppEcosystem(12, zipf_exponent=1.2, max_subqueries=2, seed=4)
+        assert a.names == b.names
+        assert a.policies == b.policies
+        assert a.weights == b.weights
+        for index in range(len(a)):
+            assert [str(q) for q in a.generator_for(index).stream(10)] == [
+                str(q) for q in b.generator_for(index).stream(10)
+            ]
+
+    def test_sampling_is_rank_skewed_and_arrival_free(self):
+        ecosystem = AppEcosystem(20, zipf_exponent=1.5, seed=1)
+        rng = random.Random(3)
+        draws = Counter(ecosystem.sample(rng) for _ in range(2000))
+        assert draws["app-0"] > draws.get("app-19", 0)
+        assert set(draws) <= set(ecosystem.names)
+
+    def test_per_tenant_streams_are_distinct(self):
+        ecosystem = AppEcosystem(6, seed=2)
+        streams = {
+            tuple(str(q) for q in ecosystem.generator_for(i).stream(8))
+            for i in range(6)
+        }
+        assert len(streams) == 6
+
+    def test_register_all_targets_a_service(self, views):
+        from repro.server.service import DisclosureService
+
+        service = DisclosureService(views)
+        ecosystem = AppEcosystem(5, view_names=views.names, seed=3)
+        assert ecosystem.register_all(service) == 5
+        for name in ecosystem.names:
+            assert name in service
+
+    def test_principals_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AppEcosystem(0)
+
+
+class TestStreamsSurviveAPlaneRotation:
+    """Equal-parameter generator streams stay equal while the kernel
+    rotates its interner plane mid-stream (generation bump)."""
+
+    def test_equal_streams_and_equal_decisions_across_rotation(self, views):
+        from repro.client import LocalClient
+        from repro.server.service import DisclosureService
+
+        ecosystem = AppEcosystem(4, view_names=views.names, seed=6)
+        capped_service = DisclosureService(views)
+        capped_service.kernel.max_interned_shapes = 8
+        roomy_service = DisclosureService(views)
+        decisions = {}
+        for label, service in (
+            ("capped", capped_service), ("roomy", roomy_service),
+        ):
+            client = LocalClient(service)
+            ecosystem.register_all(client)
+            stream = []
+            for index in range(len(ecosystem)):
+                generator = ecosystem.generator_for(index)
+                for query in generator.stream(30):
+                    outcome = dict(
+                        client.submit(ecosystem.names[index], query)
+                    )
+                    outcome.pop("cached", None)  # locality, not a decision
+                    stream.append(outcome)
+            decisions[label] = stream
+        # The capped kernel actually rotated mid-stream...
+        assert capped_service.kernel.stats()["plane_epoch"] > 0
+        assert roomy_service.kernel.stats()["plane_epoch"] == 0
+        # ...and the decision stream is identical to the roomy kernel's.
+        assert decisions["capped"] == decisions["roomy"]
+
+    def test_replaying_the_same_ecosystem_twice_is_deterministic(self, views):
+        from repro.client import LocalClient
+        from repro.server.service import DisclosureService
+
+        streams = []
+        for _ in range(2):
+            ecosystem = AppEcosystem(3, view_names=views.names, seed=9)
+            service = DisclosureService(views)
+            service.kernel.max_interned_shapes = 8
+            client = LocalClient(service)
+            ecosystem.register_all(client)
+            streams.append(
+                [
+                    client.submit(ecosystem.names[index], query)
+                    for index in range(3)
+                    for query in ecosystem.generator_for(index).stream(25)
+                ]
+            )
+        assert streams[0] == streams[1]
 
 
 class TestPolicyGeneration:

@@ -1,0 +1,244 @@
+"""The replay engine: deterministic digests, SLO verdicts, artifacts.
+
+Fast replay is the deterministic mode the CI gate runs: the decision
+stream (and therefore its digest) is a pure function of the trace and
+the backend's decision logic — not of timing, transport, or cache
+temperature (``cached`` flags are stripped from the default digest).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.client import LocalClient
+from repro.obs.instruments import aggregate_latency
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    Trace,
+    compile_scenario,
+    decision_digest,
+    get_scenario,
+    replay_trace,
+    run_scenario,
+    scenario_names,
+)
+from repro.server.service import DisclosureService
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return get_scenario("adversarial-probe").scaled(events=80, principals=20)
+
+
+@pytest.fixture(scope="module")
+def small_trace(views, small_spec):
+    return compile_scenario(small_spec, seed=3, view_names=views.names)
+
+
+class TestRegistry:
+    def test_the_four_named_scenarios_ship(self):
+        assert set(scenario_names()) == {
+            "zipfian-steady",
+            "policy-churn",
+            "adversarial-probe",
+            "flash-crowd",
+        }
+
+    def test_every_scenario_declares_a_full_slo(self):
+        for spec in SCENARIOS.values():
+            slo = spec.slo.as_dict()
+            assert set(slo) == {"p50_us", "p95_us", "p99_us"}
+            assert slo["p50_us"] <= slo["p95_us"] <= slo["p99_us"]
+
+    def test_unknown_name_is_a_value_error_naming_the_choices(self):
+        with pytest.raises(ValueError, match="zipfian-steady"):
+            get_scenario("no-such-scenario")
+
+    def test_scaled_keeps_churn_proportional(self):
+        spec = get_scenario("policy-churn").scaled(events=300)
+        assert spec.events == 300
+        assert 0 < spec.churn_every < get_scenario("policy-churn").churn_every
+
+    def test_fingerprint_round_trips_through_from_dict(self, small_spec):
+        rebuilt = ScenarioSpec.from_dict(small_spec.as_dict())
+        assert rebuilt.as_dict() == small_spec.as_dict()
+
+
+class TestReplayDeterminism:
+    def test_same_trace_same_backend_same_digest(self, views, small_trace):
+        reports = [
+            replay_trace(small_trace, LocalClient(DisclosureService(views)))
+            for _ in range(2)
+        ]
+        assert reports[0].digest() == reports[1].digest()
+        assert reports[0].decisions == reports[1].decisions
+        assert reports[0].errors == 0
+        assert reports[0].decides == 80
+        assert reports[0].peeks > 0  # adversaries probed before committing
+        assert reports[0].accepted > 0 and reports[0].refused > 0
+
+    def test_counts_partition_the_decision_stream(self, views, small_trace):
+        report = replay_trace(
+            small_trace, LocalClient(DisclosureService(views))
+        )
+        assert len(report.decisions) == report.decides + report.peeks
+        assert (
+            report.accepted + report.refused + report.errors
+            == len(report.decisions)
+        )
+        assert report.events == len(small_trace.events)
+
+    def test_run_scenario_is_compile_plus_replay(self, views, small_spec):
+        via_runner = run_scenario(small_spec, seed=3)
+        compiled = compile_scenario(small_spec, seed=3, view_names=views.names)
+        direct = replay_trace(compiled, LocalClient(DisclosureService(views)))
+        assert via_runner.digest() == direct.digest()
+
+    def test_digest_strips_cached_but_can_include_it(self):
+        cold = [{"accepted": True, "cached": False, "principal": "a"}]
+        warm = [{"accepted": True, "cached": True, "principal": "a"}]
+        assert decision_digest(cold) == decision_digest(warm)
+        assert decision_digest(cold, include_cached=True) != decision_digest(
+            warm, include_cached=True
+        )
+
+
+class TestSLOVerdicts:
+    def test_intrinsic_targets_pass_on_fast_replay(self, views, small_trace):
+        report = replay_trace(
+            small_trace,
+            LocalClient(DisclosureService(views)),
+            slo=get_scenario("adversarial-probe").slo,
+        )
+        rows = report.verdicts()
+        assert [metric for metric, *_ in rows] == [
+            "p50_us", "p95_us", "p99_us",
+        ]
+        assert all(ok for *_, ok in rows)
+        assert report.ok()
+
+    def test_floors_override_the_spec_and_can_fail(self, views, small_trace):
+        report = replay_trace(
+            small_trace, LocalClient(DisclosureService(views))
+        )
+        impossible = {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+        assert not report.ok(impossible)
+        assert all(not ok for *_, ok in report.verdicts(impossible))
+        generous = {"p99_us": 10_000_000.0}
+        rows = report.verdicts(generous)
+        assert len(rows) == 1 and rows[0][0] == "p99_us" and rows[0][3]
+        assert report.ok(generous)
+
+    def test_replay_errors_fail_the_gate_even_under_the_floor(
+        self, views, small_trace
+    ):
+        # A hand-built trace that decides for a never-registered
+        # principal: the ClientError becomes an error entry, not a crash.
+        datalog = next(
+            event["datalog"]
+            for event in small_trace.events
+            if event["op"] == "decide"
+        )
+        trace = Trace(
+            "hand",
+            seed=0,
+            spec={},
+            events=[
+                {
+                    "op": "decide",
+                    "principal": "ghost",
+                    "t": 0.0,
+                    "datalog": datalog,
+                }
+            ],
+        )
+        report = replay_trace(trace, LocalClient(DisclosureService(views)))
+        assert report.errors == 1
+        assert report.decisions[0]["code"] == "unknown-principal"
+        assert not report.ok({"p99_us": 10_000_000.0})
+
+    def test_committed_baseline_floors_cover_every_scenario(self):
+        baseline = json.loads(
+            (
+                __import__("pathlib").Path(__file__).parents[2]
+                / "benchmarks"
+                / "BENCH_BASELINE.json"
+            ).read_text()
+        )
+        floors = baseline["scenarios"]
+        assert set(floors) == set(scenario_names())
+        for name, row in floors.items():
+            slo = get_scenario(name).slo.as_dict()
+            for metric, intrinsic in slo.items():
+                assert row[metric] >= intrinsic, (
+                    f"{name}.{metric}: CI floor tighter than the spec's"
+                )
+
+
+class TestArtifacts:
+    def test_hist_payload_is_the_ci_artifact(self, views, small_trace):
+        report = replay_trace(
+            small_trace,
+            LocalClient(DisclosureService(views)),
+            slo=get_scenario("adversarial-probe").slo,
+        )
+        payload = report.hist_payload()
+        assert payload["scenario"] == "adversarial-probe"
+        assert payload["decides"] == report.decides
+        assert payload["digest"] == report.digest()
+        assert payload["latency"]["count"] == report.decides + report.peeks
+        assert {row["metric"] for row in payload["verdicts"]} == {
+            "p50_us", "p95_us", "p99_us",
+        }
+        json.dumps(payload)  # the artifact is plain JSON
+
+    def test_histograms_merge_across_scenarios(self, views, small_trace):
+        a = replay_trace(small_trace, LocalClient(DisclosureService(views)))
+        b = replay_trace(small_trace, LocalClient(DisclosureService(views)))
+        merged = aggregate_latency(
+            [a.histogram.snapshot(), b.histogram.snapshot()]
+        )
+        assert merged["count"] == 2 * (a.decides + a.peeks)
+
+    def test_render_mentions_the_verdicts_and_digest(self, views, small_trace):
+        report = replay_trace(
+            small_trace,
+            LocalClient(DisclosureService(views)),
+            slo=get_scenario("adversarial-probe").slo,
+        )
+        text = report.render()
+        assert "adversarial-probe" in text
+        assert "[ok]" in text and "FAIL" not in text
+        assert report.digest() in text
+
+
+class TestTimedReplay:
+    def test_timed_replay_paces_and_still_matches_the_fast_digest(
+        self, views
+    ):
+        spec = get_scenario("flash-crowd").scaled(events=30, principals=8)
+        trace = compile_scenario(spec, seed=1, view_names=views.names)
+        fast = replay_trace(trace, LocalClient(DisclosureService(views)))
+        # rate_scale shrinks the recorded span to a few milliseconds so
+        # the test stays quick while exercising the scheduler path.
+        span = max(event["t"] for event in trace.events)
+        timed = replay_trace(
+            trace,
+            LocalClient(DisclosureService(views)),
+            timed=True,
+            rate_scale=max(1.0, span * 200),
+            slo=spec.slo,
+        )
+        assert timed.timed and not fast.timed
+        assert timed.digest() == fast.digest()
+
+    def test_rate_scale_must_be_positive(self, views, small_trace):
+        with pytest.raises(ValueError, match="rate_scale"):
+            replay_trace(
+                small_trace,
+                LocalClient(DisclosureService(views)),
+                rate_scale=0.0,
+            )

@@ -1,0 +1,246 @@
+"""The trace contract: deterministic bytes, lossless round-trips, and
+typed rejection of anything damaged.
+
+Three properties, hypothesis-driven over randomized scenario specs:
+
+* equal ``(spec, seed)`` compile to **byte-identical** trace files;
+* compile → write → load round-trips preserve every event (and the
+  reloaded trace re-serializes to the same bytes);
+* corrupt, truncated, padded, or version-skewed traces raise
+  :class:`repro.errors.TraceError` — never any other exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.scenarios import (
+    TRACE_FORMAT,
+    Trace,
+    compile_scenario,
+    load_trace,
+    loads_trace,
+    trace_bytes,
+    write_trace,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+# Small randomized specs: enough knobs to exercise every generator
+# (skew, churn, probes, flash windows, arrivals/departures) while
+# keeping each compilation a few milliseconds.
+spec_strategy = st.builds(
+    ScenarioSpec,
+    name=st.just("prop"),
+    description=st.just("randomized property-test spec"),
+    events=st.integers(min_value=5, max_value=40),
+    principals=st.integers(min_value=2, max_value=8),
+    zipf_exponent=st.floats(min_value=0.0, max_value=2.0),
+    rate=st.floats(min_value=50.0, max_value=5000.0),
+    query_pool=st.integers(min_value=2, max_value=12),
+    max_subqueries=st.just(1),
+    core_fraction=st.floats(min_value=0.0, max_value=1.0),
+    departure_fraction=st.floats(min_value=0.0, max_value=0.5),
+    churn_every=st.sampled_from((0, 3, 7)),
+    probe_principals=st.integers(min_value=0, max_value=2),
+    probe_length=st.integers(min_value=1, max_value=3),
+    flash_windows=st.sampled_from(((), ((0.3, 0.2, 8.0),))),
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestDeterministicCompilation:
+    @given(spec=spec_strategy, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_equal_spec_and_seed_give_byte_identical_traces(
+        self, views, spec, seed
+    ):
+        first = compile_scenario(spec, seed=seed, view_names=views.names)
+        second = compile_scenario(spec, seed=seed, view_names=views.names)
+        assert trace_bytes(first) == trace_bytes(second)
+
+    def test_different_seeds_give_different_traces(self, views):
+        spec = ScenarioSpec(
+            name="prop", description="seed sensitivity", events=30,
+            principals=5, query_pool=8, max_subqueries=1,
+        )
+        a = compile_scenario(spec, seed=1, view_names=views.names)
+        b = compile_scenario(spec, seed=2, view_names=views.names)
+        assert trace_bytes(a) != trace_bytes(b)
+
+    def test_the_spec_seed_wins_only_when_no_override_is_given(self, views):
+        spec = ScenarioSpec(
+            name="prop", description="seed default", seed=9, events=10,
+            principals=3, query_pool=4, max_subqueries=1,
+        )
+        assert compile_scenario(spec, view_names=views.names).seed == 9
+        assert (
+            compile_scenario(spec, seed=4, view_names=views.names).seed == 4
+        )
+
+
+class TestRoundTrip:
+    @given(spec=spec_strategy, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_bytes_round_trip_preserves_every_event(self, views, spec, seed):
+        compiled = compile_scenario(spec, seed=seed, view_names=views.names)
+        loaded = loads_trace(trace_bytes(compiled))
+        assert loaded.events == compiled.events
+        assert loaded.scenario == compiled.scenario
+        assert loaded.seed == compiled.seed
+        assert loaded.spec == compiled.spec
+        assert loaded.crc == compiled.crc
+        assert trace_bytes(loaded) == trace_bytes(compiled)
+
+    def test_file_round_trip_is_byte_identical(self, views, tmp_path):
+        spec = ScenarioSpec(
+            name="prop", description="file round-trip", events=25,
+            principals=4, query_pool=6, max_subqueries=1, churn_every=5,
+        )
+        compiled = compile_scenario(spec, seed=13, view_names=views.names)
+        path = write_trace(tmp_path / "prop.jsonl", compiled)
+        assert path.read_bytes() == trace_bytes(compiled)
+        assert trace_bytes(load_trace(path)) == trace_bytes(compiled)
+
+    def test_whitespace_variant_encoding_still_checksums(self, views):
+        """The CRC covers the canonical re-encoding, so a trace that
+        parses to the same events is the same trace."""
+        spec = ScenarioSpec(
+            name="prop", description="reflow", events=8, principals=3,
+            query_pool=4, max_subqueries=1,
+        )
+        compiled = compile_scenario(spec, seed=2, view_names=views.names)
+        lines = [json.dumps(compiled.header(), sort_keys=True)]
+        lines += [
+            json.dumps(event, sort_keys=True, indent=None, separators=(", ", ": "))
+            for event in compiled.events
+        ]
+        reflowed = ("\n".join(lines) + "\n").encode()
+        assert reflowed != trace_bytes(compiled)
+        assert loads_trace(reflowed).events == compiled.events
+
+
+@pytest.fixture(scope="module")
+def healthy(views):
+    spec = ScenarioSpec(
+        name="prop", description="corruption target", events=20,
+        principals=4, query_pool=6, max_subqueries=1, probe_principals=1,
+    )
+    return trace_bytes(compile_scenario(spec, seed=5, view_names=views.names))
+
+
+class TestDamageIsATypedError:
+    """Every way a file can lie raises TraceError, never a crash."""
+
+    def test_healthy_bytes_load(self, healthy):
+        assert len(loads_trace(healthy)) > 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self):
+        with pytest.raises(TraceError):
+            loads_trace(b"")
+
+    def test_header_not_json(self, healthy):
+        with pytest.raises(TraceError, match="header is not JSON"):
+            loads_trace(b"not json\n" + healthy.split(b"\n", 1)[1])
+
+    def test_header_not_an_object(self):
+        with pytest.raises(TraceError, match="format"):
+            loads_trace(b"[1,2,3]\n")
+
+    def test_unknown_format_version(self, healthy):
+        header, rest = healthy.split(b"\n", 1)
+        bumped = json.loads(header)
+        bumped["format"] = "repro.trace/999"
+        with pytest.raises(TraceError, match="unknown trace format"):
+            loads_trace(json.dumps(bumped).encode() + b"\n" + rest)
+
+    @given(cut=st.integers(min_value=1, max_value=19))
+    @settings(max_examples=10, deadline=None)
+    def test_truncation_is_detected(self, healthy, cut):
+        lines = healthy.splitlines(keepends=True)
+        truncated = b"".join(lines[: len(lines) - cut])
+        with pytest.raises(TraceError):
+            loads_trace(truncated)
+
+    def test_extra_events_are_detected(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        with pytest.raises(TraceError, match="truncated or padded"):
+            loads_trace(healthy + lines[-1])
+
+    def test_non_json_event_line(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        lines[1] = b"garbage here\n"
+        with pytest.raises(TraceError, match="not JSON"):
+            loads_trace(b"".join(lines))
+
+    def test_unknown_event_op(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        event = json.loads(lines[1])
+        event["op"] = "launch-missiles"
+        lines[1] = json.dumps(event).encode() + b"\n"
+        with pytest.raises(TraceError, match="unknown event op"):
+            loads_trace(b"".join(lines))
+
+    def test_event_missing_its_payload_key(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        for index, raw in enumerate(lines[1:], 1):
+            event = json.loads(raw)
+            if event["op"] in ("decide", "peek"):
+                del event["datalog"]
+                lines[index] = json.dumps(event).encode() + b"\n"
+                break
+        else:  # pragma: no cover - the spec always emits decides
+            pytest.fail("no decide/peek event in the healthy trace")
+        with pytest.raises(TraceError, match="has no 'datalog'"):
+            loads_trace(b"".join(lines))
+
+    def test_event_missing_timestamp(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        event = json.loads(lines[1])
+        del event["t"]
+        lines[1] = json.dumps(event).encode() + b"\n"
+        with pytest.raises(TraceError, match="numeric t"):
+            loads_trace(b"".join(lines))
+
+    def test_edited_event_fails_the_checksum(self, healthy):
+        lines = healthy.splitlines(keepends=True)
+        event = json.loads(lines[1])
+        event["t"] = event["t"] + 1.0  # a plausible but dishonest edit
+        lines[1] = json.dumps(event, sort_keys=True).encode() + b"\n"
+        with pytest.raises(TraceError, match="checksum mismatch"):
+            loads_trace(b"".join(lines))
+
+    @given(position=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_single_byte_corruption_never_escapes_traceerror(
+        self, healthy, position
+    ):
+        """Flip one byte anywhere: the loader either still proves the
+        same events (whitespace/no-op) or raises TraceError."""
+        position %= len(healthy)
+        corrupted = bytearray(healthy)
+        corrupted[position] ^= 0x5A
+        try:
+            loaded = loads_trace(bytes(corrupted))
+        except TraceError:
+            return
+        assert loaded.events == loads_trace(healthy).events
+
+    def test_manual_trace_construction_checksums_itself(self):
+        events = [
+            {"op": "register", "principal": "a", "t": 0.0, "policy": [["x"]]},
+            {"op": "decide", "principal": "a", "t": 0.1, "datalog": "Q() :- ."},
+        ]
+        trace = Trace("hand", seed=1, spec={}, events=events)
+        assert loads_trace(trace_bytes(trace)).events == events
+        assert json.loads(trace_bytes(trace).split(b"\n")[0])["format"] == (
+            TRACE_FORMAT
+        )

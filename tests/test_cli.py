@@ -150,3 +150,141 @@ class TestSnapshotCommand:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             run_cli()
+
+
+class TestScenarioCommand:
+    def run_cli2(self, *argv):
+        """run_cli plus captured stderr (scenario errors go there)."""
+        import contextlib
+
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = main(list(argv))
+        return code, out.getvalue(), err.getvalue()
+
+    def test_list_names_every_scenario(self):
+        code, out = run_cli("scenario", "list")
+        assert code == 0
+        for name in (
+            "zipfian-steady", "policy-churn", "adversarial-probe",
+            "flash-crowd",
+        ):
+            assert name in out
+        assert "SLO" in out
+
+    def test_compile_run_verify_cycle(self, tmp_path):
+        trace = tmp_path / "zs.jsonl"
+        code, out = run_cli(
+            "scenario", "compile", "zipfian-steady",
+            "--out", str(trace), "--events", "40", "--principals", "10",
+            "--seed", "5",
+        )
+        assert code == 0
+        assert "compiled zipfian-steady (seed 5)" in out
+        assert trace.exists()
+
+        code, out = run_cli("scenario", "verify", str(trace))
+        assert code == 0
+        assert "checksum ok" in out
+        assert "byte-identically" in out
+
+        code, out = run_cli("scenario", "run", "--trace", str(trace))
+        assert code == 0
+        assert "zipfian-steady" in out and "digest:" in out
+        assert "0 errors" in out
+
+    def test_run_named_scenario_with_slo_verdicts(self, tmp_path):
+        hist = tmp_path / "hist.json"
+        code, out = run_cli(
+            "scenario", "run", "adversarial-probe",
+            "--events", "40", "--principals", "10",
+            "--hist-out", str(hist),
+        )
+        assert code == 0
+        assert "[ok]" in out and "FAIL" not in out
+        import json as json_module
+
+        payload = json_module.loads(hist.read_text())
+        assert payload["scenario"] == "adversarial-probe"
+        assert payload["latency"]["count"] > 0
+
+    def test_run_all_writes_one_artifact_per_scenario(self, tmp_path):
+        hist_dir = tmp_path / "hist"
+        code, out = run_cli(
+            "scenario", "run", "--all",
+            "--events", "30", "--principals", "8",
+            "--hist-dir", str(hist_dir),
+        )
+        assert code == 0
+        assert sorted(p.name for p in hist_dir.iterdir()) == [
+            "adversarial-probe.json", "flash-crowd.json",
+            "policy-churn.json", "zipfian-steady.json",
+        ]
+
+    def test_run_gates_on_check_floors(self, tmp_path):
+        import json as json_module
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json_module.dumps({
+            "scenarios": {
+                "zipfian-steady": {
+                    "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0,
+                }
+            }
+        }))
+        code, out, err = self.run_cli2(
+            "scenario", "run", "zipfian-steady",
+            "--events", "30", "--principals", "8",
+            "--check", str(baseline),
+        )
+        assert code == 1
+        assert "FAIL" in out
+        assert "SLO GATE FAILED" in err
+
+    def test_unknown_scenario_name_is_a_usage_error(self):
+        code, _, err = self.run_cli2("scenario", "run", "no-such")
+        assert code == 2
+        assert "unknown scenario" in err and "zipfian-steady" in err
+
+    def test_verify_missing_trace_file_fails_typed(self, tmp_path):
+        code, _, err = self.run_cli2(
+            "scenario", "verify", str(tmp_path / "missing.jsonl")
+        )
+        assert code == 1
+        assert "INVALID" in err and "cannot read" in err
+
+    def test_verify_corrupt_trace_fails_typed(self, tmp_path):
+        trace = tmp_path / "zs.jsonl"
+        code, _ = run_cli(
+            "scenario", "compile", "zipfian-steady",
+            "--out", str(trace), "--events", "20", "--principals", "6",
+        )
+        assert code == 0
+        data = trace.read_bytes().splitlines(keepends=True)
+        trace.write_bytes(b"".join(data[:-2]))  # truncate two events
+        code, _, err = self.run_cli2("scenario", "verify", str(trace))
+        assert code == 1
+        assert "INVALID" in err and "truncated" in err
+
+    def test_compile_without_out_is_a_usage_error(self):
+        code, _, err = self.run_cli2("scenario", "compile", "zipfian-steady")
+        assert code == 2
+        assert "--out" in err
+
+    def test_run_without_names_is_a_usage_error(self):
+        code, _, err = self.run_cli2("scenario", "run")
+        assert code == 2
+        assert "NAME" in err
+
+    def test_http_transport_without_url_is_a_usage_error(self):
+        code, _, err = self.run_cli2(
+            "scenario", "run", "zipfian-steady",
+            "--events", "10", "--principals", "4", "--transport", "http",
+        )
+        assert code == 2
+        assert "--url" in err
+
+    def test_help_documents_the_actions(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("scenario", "--help")
+        assert excinfo.value.code == 0
