@@ -20,12 +20,13 @@ Run the pytest series with::
     pytest benchmarks/bench_server_throughput.py --benchmark-only
 
 or run the standalone sweep modes (batch sizes, shard counts, restart
-cost, HTTP transports)::
+cost, HTTP transports, the disk-backed memory tier)::
 
     python benchmarks/bench_server_throughput.py --batch
     python benchmarks/bench_server_throughput.py --shards
     python benchmarks/bench_server_throughput.py --restart
     python benchmarks/bench_server_throughput.py --http
+    python benchmarks/bench_server_throughput.py --spill [--principals N]
 
 ``--http`` compares single-query decisions/sec over the wire: the v1
 text protocol against the stdlib thread-per-connection server versus
@@ -42,6 +43,17 @@ state lost) — label-cache hit rate, decisions/sec, and restore time.
 The warm restart must recover ≥ 90% of the pre-restart hit rate (the
 PR 3 acceptance bar).
 
+``--spill`` measures the disk-backed memory tier from PR 8: the warm
+path's throughput with the spill store configured versus the plain
+in-memory store (gated ≥ 90% by ``spill_warm_floor``), mean fault
+latency for re-admitting a cold session from the log, bounded
+residency across a zipfian population (default 100k principals
+through 512 resident slots; ``--principals 1000000`` is the
+million-session smoke left out of CI), and the size and time of an
+incremental snapshot delta versus the full base (the delta must
+undershoot the full by ``snapshot_delta_shrink``× in bytes — the
+machine-independent O(delta) witness).
+
 The CI regression gate runs the deterministic quick form and compares
 against the committed baseline::
 
@@ -50,8 +62,11 @@ against the committed baseline::
 
 which exits non-zero when warm single-query or batch throughput drops
 more than 30% below the baseline, the warm-restart recovery bar fails,
-or the HTTP section falls below its committed floors (absolute v2
-asyncio throughput and its speedup over v1 stdlib).  The ``--ci``
+the HTTP section falls below its committed floors (absolute v2
+asyncio throughput and its speedup over v1 stdlib), the spill tier
+taxes the warm path below ``spill_warm_floor``, lets residency exceed
+its cap, or writes snapshot deltas that are not at least
+``snapshot_delta_shrink``× smaller than the full base.  The ``--ci``
 output also carries a ``kernel`` microbenchmark section (qid
 resolution and pure ``decide_many`` rates over the interned ID plane)
 so kernel-level drift is visible in the artifact even before it moves
@@ -561,6 +576,173 @@ def _sweep_http(duration: float, seed: int) -> None:
     )
 
 
+def _measure_spill(views, seed: int, population: int = 100_000) -> dict:
+    """The memory-tier section of ``--ci``: the spill store's costs.
+
+    Four numbers:
+
+    * **warm-tier ratio** — warm single-query decisions/sec with the
+      spill tier configured (hot working set fully resident) versus the
+      plain in-memory store, interleaved best-of-N.  The spill tier may
+      not tax the warm path: gated by ``spill_warm_floor`` (≥ 0.9×).
+    * **fault latency** — mean µs to fault one cold session back from
+      the log (seek + one line read + decode), measured store-level
+      over thousands of spill/fault round-trips.
+    * **bounded residency** — a zipfian population of *population*
+      principals (default 100k; ``--spill --principals 1000000`` is the
+      non-CI smoke) runs through a service capped at 512 resident
+      sessions.  Structural gate: the resident tier never exceeds its
+      cap while every principal stays reachable; ``tracemalloc`` peak
+      is reported so the artifact shows RSS staying O(cap + index),
+      not O(population).
+    * **snapshot delta** — with the population registered, one full
+      :class:`~repro.server.persist.SnapshotChain` base versus a delta
+      covering a handful of dirty sessions.  Gated by
+      ``snapshot_delta_shrink``: the delta must be at least that many
+      times smaller than the full base (the O(delta) claim, on bytes —
+      machine-independent, unlike seconds).
+    """
+    import tempfile
+    import tracemalloc
+    from pathlib import Path
+
+    from repro.server.persist import SnapshotChain
+    from repro.server.store import SessionState, SpillStore
+
+    traffic = _build_traffic(BATCH, seed=seed)
+
+    def prepared(**kwargs):
+        service = _build_service(views, cache_size=1 << 16, **kwargs)
+        for principal, query in traffic:
+            service.submit(principal, query)  # warm cache + memos
+        return service, _sequential_run(service, traffic)
+
+    with tempfile.TemporaryDirectory() as tier_dir:
+        # --- warm-tier A/B: resident working set, spill configured ---
+        inmem_service, inmem_run = prepared()
+        spill_service, spill_run = prepared(
+            spill_dir=Path(tier_dir) / "warm", max_active_sessions=PRINCIPALS
+        )
+        inmem_qps = spill_qps = 0.0
+        for _ in range(7):
+            inmem_qps = max(inmem_qps, _best_rate(inmem_run, len(traffic), 1))
+            spill_qps = max(spill_qps, _best_rate(spill_run, len(traffic), 1))
+        spill_service.close()
+
+        # --- fault latency: store-level spill/fault round-trips ------
+        store = SpillStore(Path(tier_dir) / "faults", max_resident=16)
+        parts = tuple(
+            tuple(sorted(views.names)[:3]) for _ in range(2)
+        )
+        rounds = 4096
+        for index in range(rounds):
+            store.put_state(f"p-{index}", SessionState(parts, 0b11, False, 1))
+        start = time.perf_counter()
+        for index in range(rounds):
+            store.fault(f"p-{index}")
+        fault_us = (time.perf_counter() - start) / rounds * 1e6
+        store.close()
+
+        # --- bounded residency over a zipfian population -------------
+        cap = 512
+        policies = generate_policies(
+            views.names, 50, max_partitions=5, max_elements=25, seed=seed
+        )
+        queries = [query for _, query in traffic[:64]]
+        rng = random.Random(seed)
+        tracemalloc.start()
+        big = DisclosureService(
+            views,
+            label_cache_size=1 << 16,
+            max_active_sessions=cap,
+            spill_dir=Path(tier_dir) / "population",
+        )
+        for index in range(population):
+            big.register(f"app-{index}", policies[index % len(policies)])
+        cap_held = big.store.resident_count() <= cap
+        for _ in range(5_000):
+            rank = int(population * rng.random() ** 3)
+            big.submit(f"app-{min(rank, population - 1)}", rng.choice(queries))
+            cap_held = cap_held and big.store.resident_count() <= cap
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        residency = {
+            "population": population,
+            "max_resident": cap,
+            "cap_held": cap_held,
+            "resident": big.store.resident_count(),
+            "cold": big.store.cold_count(),
+            "faults": big.store.fault_count,
+            "evictions": big.store.eviction_count,
+            "log_bytes": big.store.log_bytes(),
+            "traced_peak_mb": peak_bytes / (1 << 20),
+        }
+
+        # --- snapshot delta vs full over the same population ---------
+        with tempfile.TemporaryDirectory() as state_dir:
+            chain = SnapshotChain(big, state_dir)
+            start = time.perf_counter()
+            full_path = chain.save()
+            full_seconds = time.perf_counter() - start
+            for index in range(20):
+                big.reset(f"app-{index}")  # the dirty window
+            start = time.perf_counter()
+            delta_path = chain.save()
+            delta_seconds = time.perf_counter() - start
+            full_bytes = full_path.stat().st_size
+            delta_bytes = delta_path.stat().st_size
+        big.close()
+
+    return {
+        "warm_inmemory_qps": inmem_qps,
+        "warm_spill_qps": spill_qps,
+        "warm_ratio": spill_qps / inmem_qps if inmem_qps else 0.0,
+        "fault_us": fault_us,
+        "residency": residency,
+        "snapshot": {
+            "full_bytes": full_bytes,
+            "full_seconds": full_seconds,
+            "delta_bytes": delta_bytes,
+            "delta_seconds": delta_seconds,
+            "shrink": full_bytes / delta_bytes if delta_bytes else 0.0,
+            "speedup": full_seconds / delta_seconds if delta_seconds else 0.0,
+        },
+    }
+
+
+def _sweep_spill(seed: int, population: int) -> None:
+    """Human-readable form of :func:`_measure_spill` (the ``--spill``
+    mode; ``--principals 1000000`` is the non-CI million-session smoke)."""
+    from repro.facebook.permissions import facebook_security_views
+
+    result = _measure_spill(
+        facebook_security_views(), seed, population=population
+    )
+    print(
+        f"warm tier: in-memory {result['warm_inmemory_qps']:,.0f}/s vs "
+        f"spill-backed {result['warm_spill_qps']:,.0f}/s "
+        f"({result['warm_ratio']:.1%})"
+    )
+    print(f"fault latency: {result['fault_us']:.1f} µs mean")
+    residency = result["residency"]
+    print(
+        f"population {residency['population']:,} through "
+        f"{residency['max_resident']} resident slots: cap held = "
+        f"{residency['cap_held']}, {residency['cold']:,} cold on disk "
+        f"({residency['log_bytes']:,} bytes), {residency['faults']:,} "
+        f"faults, traced peak {residency['traced_peak_mb']:.1f} MB"
+    )
+    snapshot = result["snapshot"]
+    print(
+        f"snapshot: full {snapshot['full_bytes']:,} B in "
+        f"{snapshot['full_seconds'] * 1e3:.0f} ms; delta "
+        f"{snapshot['delta_bytes']:,} B in "
+        f"{snapshot['delta_seconds'] * 1e3:.1f} ms "
+        f"({snapshot['shrink']:.0f}x smaller, "
+        f"{snapshot['speedup']:.0f}x faster)"
+    )
+
+
 # ----------------------------------------------------------------------
 # The CI regression gate: deterministic quick run + committed baseline
 # ----------------------------------------------------------------------
@@ -623,6 +805,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     restart = _measure_restart(queries=BATCH, seed=seed + 1)
     http = _measure_http(duration=1.5, seed=seed + 2)
     obs = _measure_obs_overhead(views, seed=seed + 3)
+    spill = _measure_spill(views, seed=seed + 4)
 
     results = {
         "figure": "server-throughput-ci",
@@ -635,6 +818,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         "restart": restart,
         "http": http,
         "obs": obs,
+        "spill": spill,
     }
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -663,8 +847,33 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         f"{obs['instrumented_qps']:,.0f}/s vs bare {obs['bare_qps']:,.0f}/s "
         f"({obs['ratio']:.1%} of the uninstrumented floor)"
     )
+    residency = spill["residency"]
+    snapshot = spill["snapshot"]
+    print(
+        f"spill warm tier: {spill['warm_spill_qps']:,.0f}/s vs in-memory "
+        f"{spill['warm_inmemory_qps']:,.0f}/s ({spill['warm_ratio']:.1%}) · "
+        f"fault {spill['fault_us']:.1f} µs"
+    )
+    print(
+        f"spill residency: {residency['population']:,} principals through "
+        f"{residency['max_resident']} slots (cap held: "
+        f"{residency['cap_held']}), {residency['faults']:,} faults, "
+        f"log {residency['log_bytes']:,} B, "
+        f"peak {residency['traced_peak_mb']:.0f} MB"
+    )
+    print(
+        f"snapshot delta: {snapshot['delta_bytes']:,} B vs full "
+        f"{snapshot['full_bytes']:,} B ({snapshot['shrink']:.0f}x smaller, "
+        f"{snapshot['speedup']:.0f}x faster)"
+    )
 
     failures = []
+    if not residency["cap_held"]:
+        failures.append(
+            f"spill tier let residency exceed its "
+            f"{residency['max_resident']}-session cap "
+            f"(peak population {residency['population']:,})"
+        )
     if restart["hit_rate_recovery"] < 0.9:
         failures.append(
             f"warm restart recovered only {restart['hit_rate_recovery']:.1%} "
@@ -717,6 +926,20 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
                 f"the uninstrumented warm single-query floor "
                 f"(floor: {obs_floor:.0%})"
             )
+        spill_floor = baseline.get("spill_warm_floor", 0.0)
+        if spill["warm_ratio"] < spill_floor:
+            failures.append(
+                f"spill-backed warm tier runs at only "
+                f"{spill['warm_ratio']:.1%} of the in-memory store's "
+                f"throughput (floor: {spill_floor:.0%})"
+            )
+        shrink_floor = baseline.get("snapshot_delta_shrink", 0.0)
+        if snapshot["shrink"] < shrink_floor:
+            failures.append(
+                f"incremental snapshot is only {snapshot['shrink']:.1f}x "
+                f"smaller than the full base (floor: {shrink_floor:.0f}x; "
+                "delta writes must stay O(dirty sessions), not O(sessions))"
+            )
     for failure in failures:
         print(f"REGRESSION: {failure}")
     return 1 if failures else 0
@@ -745,6 +968,16 @@ def main(argv=None) -> int:
         help="compare v1-stdlib vs v2-asyncio single-query HTTP throughput",
     )
     parser.add_argument(
+        "--spill", action="store_true",
+        help="measure the disk-backed memory tier (warm-path tax, fault "
+        "latency, bounded residency, snapshot delta vs full)",
+    )
+    parser.add_argument(
+        "--principals", type=int, default=100_000,
+        help="(--spill) zipfian population size; 1000000 is the "
+        "million-session smoke (not run in CI)",
+    )
+    parser.add_argument(
         "--ci", action="store_true",
         help="deterministic quick run for the CI regression gate",
     )
@@ -763,9 +996,13 @@ def main(argv=None) -> int:
                         help="request size for the --shards sweep")
     parser.add_argument("--seed", type=int, default=6)
     args = parser.parse_args(argv)
-    if not (args.batch or args.shards or args.restart or args.http or args.ci):
+    if not (
+        args.batch or args.shards or args.restart or args.http
+        or args.spill or args.ci
+    ):
         parser.error(
-            "pick a mode: --batch, --shards, --restart, --http, and/or --ci"
+            "pick a mode: --batch, --shards, --restart, --http, --spill, "
+            "and/or --ci"
         )
     if args.ci:
         return _run_ci(args.json, args.check, args.seed)
@@ -777,6 +1014,8 @@ def main(argv=None) -> int:
         _sweep_restart(args.queries, args.seed)
     if args.http:
         _sweep_http(args.duration, args.seed)
+    if args.spill:
+        _sweep_spill(args.seed, args.principals)
     return 0
 
 

@@ -9,16 +9,19 @@ Usage::
     python -m repro evaluate          # alias of python -m repro.harness
     python -m repro serve [--host H] [--port P] [--shards N] [--async]
                           [--state-dir DIR] [--snapshot-interval S]
+                          [--spill-dir DIR] [--max-resident-sessions N]
                           [--stage-sample-rate N]
     python -m repro loadgen [--workers N] [--duration S] [--url URL] [--batch B]
                             [--transport local|http|async-http] [--v1|--v2]
                             [--open-loop RATE] [--hist-out FILE]
     python -m repro metrics [--url URL] [--watch S] [--prometheus]
-    python -m repro snapshot save|load|inspect [FILE] [--state-dir DIR] [--url URL]
+    python -m repro snapshot save|load|inspect|compact [FILE] [--state-dir DIR]
+                                                       [--url URL]
     python -m repro scenario list
     python -m repro scenario compile NAME --out FILE [--seed N] [--events N]
     python -m repro scenario run [NAME | --all] [--transport local|http|async-http]
                                  [--url URL] [--trace FILE] [--timed]
+                                 [--restart-at FRACTION] [--spill-dir DIR]
                                  [--hist-dir DIR] [--check BASELINE.json]
     python -m repro scenario verify FILE [--spec NAME]
 
@@ -31,7 +34,10 @@ decision service over the Facebook vocabulary (``--shards N`` runs N
 worker processes behind a hash-partitioning front end; ``--async``
 serves the same routes from an asyncio event loop whose per-tick drain
 coalesces concurrent requests into bulk decisions; ``--state-dir``
-makes sessions, label cache, and counters durable across restarts);
+makes sessions, label cache, and counters durable across restarts via
+incremental snapshot generations; ``--spill-dir`` adds the disk-backed
+cold-session tier with ``--max-resident-sessions`` warm sessions in
+RAM);
 ``loadgen`` drives the Section 7.2 workload through a
 :class:`repro.client.DecisionClient` and reports throughput
 (``--transport local|http|async-http`` picks the client, ``--v1`` /
@@ -41,13 +47,16 @@ load with lateness-corrected latency, ``--hist-out FILE`` writes the
 mergeable latency histogram as JSON); ``metrics`` pretty-prints a
 running server's ``/metrics`` (``--watch S`` refreshes every S
 seconds, ``--prometheus`` dumps the text exposition); ``snapshot``
-saves, restores, and inspects the durable snapshot files; ``scenario``
+saves, restores, inspects, and compacts the durable snapshot files
+(``compact`` folds a delta chain into one full snapshot); ``scenario``
 is the trace-driven workload engine (``list`` names the scenarios,
 ``compile`` writes a replayable checksummed trace file, ``run`` replays
 scenarios through a :class:`repro.client.DecisionClient` backend with
 per-scenario SLO verdicts — nonzero exit on a violated floor —
-``verify`` validates a trace file and proves it recompiles
-byte-identically from its embedded spec).
+``--restart-at F`` snapshots, kills, and warm-restarts the local
+service after fraction F of the trace and digest-checks the result
+against an uninterrupted replay, ``verify`` validates a trace file and
+proves it recompiles byte-identically from its embedded spec).
 
 The installed console script ``repro`` (see ``pyproject.toml``) is an
 alias for ``python -m repro``.
@@ -205,25 +214,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return _serve_sharded(args, default_policy)
 
     service = DisclosureService(
-        max_active_sessions=args.max_sessions,
+        max_active_sessions=args.max_resident_sessions or args.max_sessions,
+        spill_dir=args.spill_dir,
         label_cache_size=args.cache_size,
         default_policy=default_policy,
         stage_sample_rate=args.stage_sample_rate,
     )
+    if args.spill_dir:
+        print(
+            f"spill tier: cold sessions under {args.spill_dir} "
+            f"(max {service.max_active_sessions} resident)"
+        )
     snapshotter = None
     if args.state_dir:
         from pathlib import Path
 
         from repro.server.persist import (
-            SnapshotStore,
+            SnapshotChain,
             Snapshotter,
             clean_stale_shards,
             collect_state,
             sessions_payload,
-            snapshot_service,
         )
 
-        store = SnapshotStore(args.state_dir)
+        chain = SnapshotChain(service, args.state_dir)
         collected = collect_state(args.state_dir)
         if collected is None:
             leftover = sorted(
@@ -237,7 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "starting cold (files left in place)"
                 )
         snapshotter = Snapshotter(
-            lambda: store.save(snapshot_service(service)),
+            chain.save,
             interval=args.snapshot_interval,
         )
         if collected is not None:
@@ -266,8 +280,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshotter.run_once()
         snapshotter.start()
         print(
-            f"snapshots: {store.state_dir} every "
-            f"{args.snapshot_interval:g}s (keeping {store.keep})"
+            f"snapshots: {chain.state_dir} every "
+            f"{args.snapshot_interval:g}s (incremental, full base every "
+            f"{chain.compact_every} deltas)"
         )
     if args.async_mode:
         return _serve_async(service, args, snapshotter)
@@ -286,6 +301,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if snapshotter is not None:
             snapshotter.stop()  # takes the final shutdown snapshot
+        service.close()
     return 0
 
 
@@ -326,11 +342,15 @@ def _serve_sharded(args: argparse.Namespace, default_policy) -> int:
     from repro.server.shard import serve_sharded, stop_shard_workers
 
     service_kwargs = {
-        "max_active_sessions": args.max_sessions,
+        "max_active_sessions": args.max_resident_sessions or args.max_sessions,
         "label_cache_size": args.cache_size,
         "default_policy": default_policy,
         "stage_sample_rate": args.stage_sample_rate,
     }
+    if args.spill_dir:
+        # Each worker gets spill_dir/shard-<i>; derived in the worker.
+        service_kwargs["spill_dir"] = args.spill_dir
+        print(f"spill tier: per-shard logs under {args.spill_dir}/shard-<i>")
     front, router, workers = serve_sharded(
         args.shards,
         args.host,
@@ -393,11 +413,30 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.errors import SnapshotError
     from repro.server.persist import (
         SnapshotStore,
+        compact_chain,
         inspect_snapshot,
         load_snapshot,
         restore_service,
         save_snapshot,
     )
+
+    if args.action == "compact":
+        if not args.state_dir:
+            print("error: snapshot compact needs --state-dir DIR",
+                  file=sys.stderr)
+            return 2
+        try:
+            path, removed = compact_chain(args.state_dir)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        info = inspect_snapshot(path)
+        print(
+            f"compacted {len(removed)} file(s) into {path} "
+            f"({info.sessions} sessions, {info.cache_entries} cache "
+            f"entries, {info.bytes} bytes)"
+        )
+        return 0
 
     if args.action == "save":
         if not args.url:
@@ -449,20 +488,29 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         failures = 0
         for path in targets:
             try:
-                summary = inspect_snapshot(path)
+                info = inspect_snapshot(path)
             except SnapshotError as exc:
                 failures += 1
                 print(f"{path}: INVALID — {exc}")
                 continue
-            shard = summary.get("shard")
-            extra = (
-                f", shard {shard['index']}/{shard['count']}" if shard else ""
-            )
+            extra = ""
+            if info.generation is not None:
+                kind = (
+                    "full"
+                    if info.delta_of is None
+                    else f"delta of {info.delta_of}"
+                )
+                extra += f", generation {info.generation} ({kind})"
+                if info.removed:
+                    extra += f", {info.removed} removed"
+            if info.shard:
+                extra += f", shard {info.shard['index']}/{info.shard['count']}"
             print(
-                f"{path}: {summary['format']}, "
-                f"{summary['sessions']} sessions, "
-                f"{summary['cache_entries']} cache entries, "
-                f"{summary['decisions']} decisions{extra}, checksum ok"
+                f"{path}: {info.format}, "
+                f"{info.sessions} sessions, "
+                f"{info.cache_entries} cache entries, "
+                f"{info.decisions} decisions{extra}, "
+                f"{info.bytes} bytes, checksum ok"
             )
         # Any invalid file is a failed inspection (matching `load`):
         # monitoring that gates on the exit code must see corruption.
@@ -554,10 +602,47 @@ def _scenario_client(args: argparse.Namespace):
     return HttpClient(args.url, protocol=args.protocol)
 
 
+def _scenario_restart_replay(args: argparse.Namespace, trace, slo):
+    """The ``--restart-at`` path: snapshot + kill + warm-restart replay,
+    digest-checked against an uninterrupted replay of the same trace."""
+    from repro.client import LocalClient
+    from repro.scenarios import replay_trace, replay_trace_with_restart
+
+    if args.transport != "local":
+        raise ValueError("--restart-at needs the local transport")
+    if args.timed:
+        raise ValueError(
+            "--restart-at replays in fast (deterministic) mode; drop --timed"
+        )
+    if not 0.0 < args.restart_at < 1.0:
+        raise ValueError("--restart-at must be strictly between 0 and 1")
+    baseline = replay_trace(trace, LocalClient(), slo=slo)
+    report = replay_trace_with_restart(
+        trace,
+        restart_at=args.restart_at,
+        spill_dir=args.spill_dir,
+        slo=slo,
+    )
+    match = report.digest() == baseline.digest()
+    tier = f" (spill tier under {args.spill_dir})" if args.spill_dir else ""
+    print(
+        f"restart @ {args.restart_at:.0%}: digest "
+        + ("matches" if match else "MISMATCHES")
+        + f" the uninterrupted replay{tier}"
+    )
+    if not match:
+        # A mismatch is a correctness failure: fail the gate the same
+        # way a replay error would.
+        report.errors += 1
+    return report
+
+
 def _scenario_replay(args: argparse.Namespace, trace, slo):
     """One trace through the requested transport; returns the report."""
     from repro.scenarios import replay_trace, replay_trace_async
 
+    if getattr(args, "restart_at", None) is not None:
+        return _scenario_restart_replay(args, trace, slo)
     if args.transport == "async-http":
         import asyncio
 
@@ -865,6 +950,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="resident compiled sessions before LRU demotion",
     )
     serve.add_argument(
+        "--max-resident-sessions", type=int, metavar="N",
+        help="alias of --max-sessions with the memory-tier name: compiled "
+        "sessions resident in RAM before demotion (takes precedence)",
+    )
+    serve.add_argument(
+        "--spill-dir", metavar="DIR",
+        help="spill demoted sessions to an append-only log under DIR "
+        "instead of keeping them in RAM (bounded RSS; --shards workers "
+        "use DIR/shard-<i>)",
+    )
+    serve.add_argument(
         "--cache-size", type=int, default=1 << 16,
         help="entries in the shared query-label cache (0 disables)",
     )
@@ -911,10 +1007,12 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot", help="save, restore-check, or inspect durable snapshots"
     )
     snapshot.add_argument(
-        "action", choices=("save", "load", "inspect"),
+        "action", choices=("save", "load", "inspect", "compact"),
         help="save: pull state from a running server; load: restore "
         "file(s) into a fresh service to prove they are valid; "
-        "inspect: print header, counts, and checksum status",
+        "inspect: print header, generation chain, counts, and checksum "
+        "status; compact: fold a --state-dir's delta chain into one "
+        "full snapshot",
     )
     snapshot.add_argument(
         "file", nargs="?", help="one snapshot file (or use --state-dir)"
@@ -1046,6 +1144,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--timed", action="store_true",
         help="pace replay to the trace's own timestamps (lateness-"
         "corrected percentiles) instead of back-to-back fast replay",
+    )
+    scenario.add_argument(
+        "--restart-at", type=float, metavar="FRACTION",
+        help="local transport only: snapshot + kill + warm-restart the "
+        "service after this fraction (0..1) of the trace, then verify "
+        "the decision digest equals an uninterrupted replay",
+    )
+    scenario.add_argument(
+        "--spill-dir", metavar="DIR",
+        help="(with --restart-at) give the replayed services a disk "
+        "spill tier under DIR to prove tier-independence of decisions",
     )
     scenario.add_argument(
         "--rate-scale", type=float, default=1.0, metavar="X",

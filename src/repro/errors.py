@@ -92,6 +92,19 @@ class TraceError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """The session memory tier cannot serve or persist a session.
+
+    Raised by :mod:`repro.server.store` when the cold tier is unusable:
+    a spill log with a corrupt interior record, a principal that cannot
+    round-trip through the on-disk encoding (non-string principals are
+    not spillable), or an I/O failure underneath the log.  A torn final
+    record — the crash-mid-append signature — is *not* an error; the
+    store truncates it and carries on, exactly like the snapshot
+    loader's corrupt-file fallback.
+    """
+
+
 class SnapshotError(ReproError):
     """A service snapshot is missing, truncated, corrupt, or incompatible.
 

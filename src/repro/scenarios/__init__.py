@@ -15,8 +15,9 @@ backend with per-scenario SLO verdicts:
   (CRC-32 checksummed; corrupt files raise
   :class:`repro.errors.TraceError`)
 * :mod:`repro.scenarios.engine` — :func:`replay_trace` /
-  :func:`replay_trace_async` / :func:`run_scenario` and the
-  :class:`ScenarioReport` with SLO verdicts and histogram artifacts
+  :func:`replay_trace_async` / :func:`replay_trace_with_restart` /
+  :func:`run_scenario` and the :class:`ScenarioReport` with SLO
+  verdicts and histogram artifacts
 
 CLI: ``python -m repro scenario list|compile|run|verify`` (see
 ``docs/scenarios.md``).
@@ -27,6 +28,7 @@ from repro.scenarios.engine import (
     decision_digest,
     replay_trace,
     replay_trace_async,
+    replay_trace_with_restart,
     run_scenario,
 )
 from repro.scenarios.generators import compile_scenario
@@ -60,6 +62,7 @@ __all__ = [
     "loads_trace",
     "replay_trace",
     "replay_trace_async",
+    "replay_trace_with_restart",
     "run_scenario",
     "scenario_names",
     "trace_bytes",

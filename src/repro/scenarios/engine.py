@@ -40,6 +40,7 @@ __all__ = [
     "decision_digest",
     "replay_trace",
     "replay_trace_async",
+    "replay_trace_with_restart",
     "run_scenario",
 ]
 
@@ -298,6 +299,154 @@ def replay_trace(
         report.histogram.record(clock() - start)
         report._count(outcome)
     report.elapsed = clock() - begin
+    return report
+
+
+def _replay_fast(
+    report: ScenarioReport,
+    events,
+    client: DecisionClient,
+    parse: _QueryMemo,
+    clock,
+) -> None:
+    """The fast-replay event loop over an event slice (shared by the
+    restart replay, which drives two service lifetimes through it)."""
+    for event in events:
+        report.events += 1
+        op = event["op"]
+        principal = event["principal"]
+        if op == "register":
+            try:
+                client.register(principal, event["policy"])
+            except ClientError:
+                report.errors += 1
+            continue
+        if op == "reset":
+            try:
+                client.reset(principal)
+            except ClientError:
+                report.errors += 1
+            continue
+        query = parse(event["datalog"])
+        start = clock()
+        try:
+            if op == "peek":
+                report.peeks += 1
+                outcome = client.peek(principal, query)
+            else:
+                report.decides += 1
+                outcome = client.submit(principal, query)
+        except ClientError as exc:
+            outcome = {"error": str(exc), "code": exc.code}
+        report.histogram.record(clock() - start)
+        report._count(outcome)
+
+
+def replay_trace_with_restart(
+    trace: Trace,
+    *,
+    restart_at: float = 0.5,
+    state_dir: "str | None" = None,
+    spill_dir: "str | None" = None,
+    max_resident_sessions: Optional[int] = None,
+    slo: Optional[SLOTarget] = None,
+) -> ScenarioReport:
+    """Replay *trace* across a snapshot + kill + warm-restart.
+
+    The first ``restart_at`` fraction of the trace runs against a fresh
+    in-process service.  The service is then snapshotted (one
+    :class:`~repro.server.persist.SnapshotChain` generation under
+    *state_dir*) and dropped — close, delete, no surviving in-memory
+    state — and a second service is rebuilt purely from the snapshot
+    chain (:func:`~repro.server.persist.collect_state` → session import,
+    label-cache warmth, metric continuity) before the remaining events
+    replay against it.
+
+    The returned report spans the whole trace, so its
+    :meth:`~ScenarioReport.digest` is directly comparable to an
+    uninterrupted :func:`replay_trace` of the same trace: decisions are
+    state-deterministic, so the two digests must match — the restart
+    correctness witness the CI gate checks (``cached`` flags are
+    excluded by default; cache locality legitimately differs across a
+    restart).
+
+    With *spill_dir*, both service lifetimes run the disk-backed
+    :class:`~repro.server.store.SpillStore` tier — each under its own
+    subdirectory (``before``/``after``), so the restart restores from
+    the snapshot chain alone and the equivalence also witnesses that
+    spilled cold sessions are captured by the chain.  Unless
+    *max_resident_sessions* overrides it, the spill runs cap residency
+    at 32 sessions so every named scenario actually evicts and faults
+    rather than merely configuring the tier.  Without *state_dir* a
+    temporary directory is used and removed afterwards.
+
+    Fast (deterministic) replay only; ``elapsed`` includes the restart
+    downtime, but the SLO verdicts gate on per-decision percentiles,
+    which do not.
+    """
+    import os
+    import tempfile
+
+    from repro.client.local import LocalClient
+    from repro.server.persist import (
+        SnapshotChain,
+        collect_state,
+        sessions_payload,
+    )
+    from repro.server.service import DisclosureService
+
+    if not 0.0 < restart_at < 1.0:
+        raise ValueError("restart_at must be strictly between 0 and 1")
+    events = trace.events
+    split = max(1, int(len(events) * restart_at)) if events else 0
+    report = ScenarioReport(
+        trace.scenario,
+        "local+restart",
+        trace.seed,
+        slo if slo is not None else _slo_from_trace(trace),
+        False,
+    )
+    parse = _QueryMemo()
+    clock = time.perf_counter
+    if max_resident_sessions is None and spill_dir is not None:
+        max_resident_sessions = 32
+
+    def build_service(half: str) -> DisclosureService:
+        kwargs: Dict = {}
+        if max_resident_sessions is not None:
+            kwargs["max_active_sessions"] = max_resident_sessions
+        if spill_dir is not None:
+            kwargs["spill_dir"] = os.path.join(os.fspath(spill_dir), half)
+        return DisclosureService(**kwargs)
+
+    owned_tmp = None
+    if state_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-restart-")
+        state_dir = owned_tmp.name
+    try:
+        service = build_service("before")
+        client = LocalClient(service)
+        begin = clock()
+        _replay_fast(report, events[:split], client, parse, clock)
+        # The "kill": one snapshot generation, then drop the service.
+        SnapshotChain(service, state_dir).save()
+        service.close()
+        del client, service
+        # The warm restart: rebuilt purely from the snapshot chain.
+        service = build_service("after")
+        collected = collect_state(state_dir)
+        if collected is not None:
+            service.import_state(sessions_payload(collected.sessions))
+            service.warm_label_cache(collected.cache_entries)
+            if collected.metrics:
+                service.restore_metrics(collected.metrics)
+        client = LocalClient(service)
+        _replay_fast(report, events[split:], client, parse, clock)
+        report.elapsed = clock() - begin
+        service.close()
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
     return report
 
 

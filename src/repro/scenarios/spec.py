@@ -8,7 +8,7 @@ fully determines the trace bytes (:func:`repro.scenarios.generators.
 compile_scenario` is deterministic by construction) and the spec dict
 is embedded in the trace header as the reproducibility fingerprint.
 
-The four named scenarios ship the workload shapes the uniform Section
+The named scenarios ship the workload shapes the uniform Section
 7.2 sampler never exercises:
 
 ``zipfian-steady``
@@ -28,6 +28,12 @@ The four named scenarios ship the workload shapes the uniform Section
     Poisson background traffic with flash windows where the offered
     rate multiplies — arrival timestamps bunch up, so timed replay
     stresses queueing and the lateness-corrected percentiles.
+``restart-mid-stream``
+    Zipfian traffic with mid-stream policy churn, replayed across a
+    snapshot + kill + warm-restart
+    (:func:`repro.scenarios.engine.replay_trace_with_restart`): the
+    decision digest must equal an uninterrupted run, with the spill
+    tier on and off — the durability correctness witness.
 
 SLO targets are per-scenario and deliberately far beyond the OmniSQL
 exemplar's published floors (P50 < 500 ms / P95 < 1.5 s at 1 k QPS):
@@ -204,6 +210,16 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             principals=120,
             probe_principals=12,
             probe_length=4,
+        ),
+        ScenarioSpec(
+            name="restart-mid-stream",
+            description="zipfian traffic with policy churn replayed "
+            "across a snapshot + kill + warm-restart (digest must "
+            "equal an uninterrupted run, spill tier on or off)",
+            events=2000,
+            principals=150,
+            zipf_exponent=1.1,
+            churn_every=80,
         ),
         ScenarioSpec(
             name="flash-crowd",

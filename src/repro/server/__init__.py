@@ -9,6 +9,10 @@
 * :mod:`repro.server.service` — per-principal sessions with LRU
   eviction and serializable state; the session store the kernel
   decides against
+* :mod:`repro.server.store` — the :class:`SessionStore` memory tier:
+  resident LRU + cold tier, in RAM (:class:`InMemoryStore`) or
+  spilled to an on-disk log (:class:`SpillStore`,
+  ``python -m repro serve --spill-dir DIR``)
 * :mod:`repro.server.cache` — the shared LRU (the kernel's qid → lid
   label cache; labels are principal-free)
 * :mod:`repro.server.metrics` — counters and latency histograms
@@ -48,9 +52,12 @@ from repro.server.kernel import DecisionKernel
 from repro.server.loadgen import LoadReport, query_to_datalog, run_load
 from repro.server.metrics import LatencyHistogram, aggregate_latency
 from repro.server.persist import (
+    SnapshotChain,
+    SnapshotInfo,
     SnapshotStore,
     Snapshotter,
     collect_state,
+    compact_chain,
     load_snapshot,
     partition_sessions,
     restore_service,
@@ -58,6 +65,13 @@ from repro.server.persist import (
     snapshot_service,
 )
 from repro.server.service import DisclosureService, ServiceDecision, Session
+from repro.server.store import (
+    InMemoryStore,
+    SessionState,
+    SessionStore,
+    SpillStore,
+    state_of,
+)
 from repro.server.shard import (
     HTTPShardBackend,
     LocalShardBackend,
@@ -86,18 +100,26 @@ __all__ = [
     "LatencyHistogram",
     "LoadReport",
     "LocalShardBackend",
+    "InMemoryStore",
     "ServiceDecision",
     "Session",
+    "SessionState",
+    "SessionStore",
     "ShardRouter",
     "ShardWorker",
+    "SnapshotChain",
+    "SnapshotInfo",
     "SnapshotStore",
     "Snapshotter",
+    "SpillStore",
     "WireGateway",
     "aggregate_latency",
     "aggregate_metrics",
     "canonical_key",
     "collect_state",
+    "compact_chain",
     "dispatch",
+    "state_of",
     "gateway_for",
     "load_snapshot",
     "make_server",

@@ -109,10 +109,7 @@ def decide_batch(
             # All-or-nothing validation: no session may change if any
             # principal in the batch is unknown.
             for principal in groups:
-                if (
-                    principal not in service._active
-                    and principal not in service._passive
-                ):
+                if principal not in service.store:
                     raise PolicyError(f"unknown principal {principal!r}")
         for principal, indices in groups.items():
             session = (
@@ -207,8 +204,7 @@ def decide_wire_items(
             unknown = {
                 principal
                 for principal in distinct
-                if principal not in service._active
-                and principal not in service._passive
+                if principal not in service.store
             }
     else:
         unknown = frozenset()

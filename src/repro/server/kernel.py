@@ -712,6 +712,7 @@ class DecisionKernel:
             if update:
                 if accepted:
                     session.live = surviving
+                    session.dirty_epoch = self.sessions.state_epoch
                 if self.tenant_accounting:
                     session.pending_decided += 1
                     if not accepted:
@@ -784,6 +785,7 @@ class DecisionKernel:
             if update:
                 if accepted:
                     session.live = surviving
+                    session.dirty_epoch = self.sessions.state_epoch
                 if self.tenant_accounting:
                     session.pending_decided += 1
                     if not accepted:
@@ -911,6 +913,8 @@ class DecisionKernel:
                 if update:
                     session.live = decision.live_after
             out[index] = decision
+        if update and accepted_count:
+            session.dirty_epoch = self.sessions.state_epoch
         if timed:
             group = len(indices)
             timer.observe_many("mask", (t1 - t0) / group, group)
@@ -935,6 +939,37 @@ class DecisionKernel:
             (key_of(qid), label_of(lid))
             for qid, lid in plane.cache.export_entries()
         ]
+
+    def export_label_cache_since(
+        self, plane_epoch: int, qid_floor: int
+    ) -> Tuple[int, int, List[Tuple]]:
+        """Incremental form of :meth:`export_label_cache`.
+
+        Returns ``(plane_epoch, qid_count, entries)`` where *entries*
+        covers only cache lines whose qid is >= *qid_floor* — qids are
+        interned append-only within a plane generation, so any entry
+        below the floor already appeared in an earlier export of the
+        same generation.  When the plane rotated since *plane_epoch*
+        (new generation, ids re-dealt), every entry is exported.
+
+        An old-qid entry that was evicted and later re-cached between
+        two exports never reappears in a delta; chain *replay* absorbs
+        this by merging cache entries from every generation file, so a
+        restart can only see extra warmth, never wrong labels.
+        """
+        plane = self._plane
+        key_of = plane.queries.key_of
+        label_of = plane.labels.label_of
+        floor = qid_floor if plane.epoch == plane_epoch else 0
+        return (
+            plane.epoch,
+            len(plane.queries),
+            [
+                (key_of(qid), label_of(lid))
+                for qid, lid in plane.cache.export_entries()
+                if qid >= floor
+            ],
+        )
 
     def import_label_cache(self, entries) -> int:
         """Import ``(canonical_key, label)`` pairs; returns the count."""

@@ -52,17 +52,25 @@ from repro.core.canonical import decode_key, encode_key
 from repro.errors import SnapshotError
 from repro.server.service import DisclosureService
 
-#: Format-version header written on every new snapshot document.  Bump
-#: on any change a previous release could not read.
+#: Format-version header written on every new full, self-contained
+#: snapshot document.  Bump on any change a previous release could not
+#: read.
 SNAPSHOT_FORMAT = "repro.snapshot/2"
+
+#: Generation documents (:class:`SnapshotChain`): the payload carries a
+#: ``delta`` header linking it into a chain — a *full* base
+#: (``of: null``) or an increment holding only the sessions dirtied and
+#: the interner rows added since the generation it extends.
+SNAPSHOT_FORMAT_V3 = "repro.snapshot/3"
 
 #: Every format this build can *read*.  Version 1 stored sessions as
 #: per-principal partition lists and the label cache as flat
 #: ``[key, label]`` pairs; version 2 stores the interner tables once
 #: (each canonical key and each packed label exactly once) and
 #: references them by dense integer id, and deduplicates session
-#: policies into a table referenced by index.
-READABLE_FORMATS = ("repro.snapshot/1", SNAPSHOT_FORMAT)
+#: policies into a table referenced by index; version 3 adds the
+#: incremental-generation header on the same section encodings.
+READABLE_FORMATS = ("repro.snapshot/1", SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V3)
 
 #: Session-table formats: v1 is the live ``export_state`` wire form;
 #: v2 is the ID-plane file form (policy table + ``[index, live_int]``).
@@ -293,17 +301,22 @@ def snapshot_service(
     payload = {
         "sessions": encode_sessions(service.export_state()),
         "interning": encode_interned_cache(service.export_label_cache()),
-        "metrics": {
-            "decisions": service.decisions.value,
-            "accepted": service.accepted.value,
-            "refused": service.refused.value,
-            "peeks": service.peeks.value,
-            "latency": service.latency.snapshot(),
-        },
+        "metrics": _service_metrics(service),
     }
     if shard_index is not None and shard_count is not None:
         payload["shard"] = {"index": shard_index, "count": shard_count}
     return payload
+
+
+def _service_metrics(service: DisclosureService) -> Dict:
+    """The metrics section every snapshot kind carries in full."""
+    return {
+        "decisions": service.decisions.value,
+        "accepted": service.accepted.value,
+        "refused": service.refused.value,
+        "peeks": service.peeks.value,
+        "latency": service.latency.snapshot(),
+    }
 
 
 class RestoreStats:
@@ -380,12 +393,13 @@ def save_snapshot(path: "Path | str", payload: Dict) -> Path:
     Write-temp + fsync + rename: a crash at any point leaves either the
     old file or the new file, never a torn mixture.  The temporary file
     lives in the destination directory so the rename cannot cross
-    filesystems.
+    filesystems.  A payload carrying a ``delta`` generation header is
+    stamped as v3; everything else stays the self-contained v2.
     """
     path = Path(path)
     body = _canonical_payload_bytes(payload)
     document = {
-        "format": SNAPSHOT_FORMAT,
+        "format": SNAPSHOT_FORMAT_V3 if "delta" in payload else SNAPSHOT_FORMAT,
         "created": time.time(),
         "checksum": zlib.crc32(body),
         "payload": payload,
@@ -443,8 +457,100 @@ def load_snapshot(path: "Path | str") -> Dict:
     return document
 
 
-def inspect_snapshot(path: "Path | str") -> Dict:
-    """A human-facing summary of one snapshot file (validates fully)."""
+class SnapshotInfo:
+    """Typed summary of one validated snapshot file.
+
+    Replaces the ad-hoc dicts the inspect path used to pass around.
+    ``generation``/``delta_of``/``epoch`` are ``None`` for v1/v2 files
+    (which are always self-contained); ``delta_of is None`` on a v3
+    file means a *full* chain base.  Supports ``info["key"]`` as a
+    compatibility bridge for callers that treated the summary as a
+    mapping.
+    """
+
+    __slots__ = (
+        "path",
+        "format",
+        "created",
+        "checksum",
+        "generation",
+        "delta_of",
+        "epoch",
+        "sessions",
+        "removed",
+        "cache_entries",
+        "decisions",
+        "bytes",
+        "shard",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        format: str,
+        created: Optional[float],
+        checksum: Optional[int],
+        generation: Optional[int],
+        delta_of: Optional[int],
+        epoch: Optional[int],
+        sessions: int,
+        removed: int,
+        cache_entries: int,
+        decisions: int,
+        bytes: int,
+        shard: Optional[Dict],
+    ):
+        self.path = path
+        self.format = format
+        self.created = created
+        self.checksum = checksum
+        self.generation = generation
+        self.delta_of = delta_of
+        self.epoch = epoch
+        self.sessions = sessions
+        self.removed = removed
+        self.cache_entries = cache_entries
+        self.decisions = decisions
+        self.bytes = bytes
+        self.shard = shard
+
+    def as_dict(self) -> Dict:
+        summary: Dict = {
+            "path": self.path,
+            "format": self.format,
+            "created": self.created,
+            "checksum": self.checksum,
+            "sessions": self.sessions,
+            "cache_entries": self.cache_entries,
+            "decisions": self.decisions,
+            "bytes": self.bytes,
+        }
+        if self.generation is not None:
+            summary["generation"] = self.generation
+            summary["delta_of"] = self.delta_of
+            summary["epoch"] = self.epoch
+            summary["removed"] = self.removed
+        if self.shard is not None:
+            summary["shard"] = self.shard
+        return summary
+
+    def __getitem__(self, key: str):
+        return self.as_dict()[key]
+
+    def __repr__(self) -> str:
+        kind = (
+            "full"
+            if self.delta_of is None
+            else f"delta-of-{self.delta_of}"
+        )
+        return (
+            f"SnapshotInfo({self.path}: {self.format} {kind}, "
+            f"{self.sessions} sessions, {self.cache_entries} cache entries)"
+        )
+
+
+def inspect_snapshot(path: "Path | str") -> SnapshotInfo:
+    """A typed summary of one snapshot file (validates fully)."""
     document = load_snapshot(path)
     payload = document["payload"]
     sessions = payload.get("sessions") or {}
@@ -453,18 +559,28 @@ def inspect_snapshot(path: "Path | str") -> Dict:
         cache_entries = len((payload["interning"] or {}).get("cache", []))
     else:
         cache_entries = len(payload.get("label_cache", []))
-    summary = {
-        "path": str(path),
-        "format": document["format"],
-        "created": document.get("created"),
-        "checksum": document.get("checksum"),
-        "sessions": len(sessions.get("sessions", {})),
-        "cache_entries": cache_entries,
-        "decisions": metrics.get("decisions", 0),
-    }
-    if "shard" in payload:
-        summary["shard"] = payload["shard"]
-    return summary
+    delta = payload.get("delta")
+    if not isinstance(delta, dict):
+        delta = None
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        size = 0
+    return SnapshotInfo(
+        path=str(path),
+        format=document["format"],
+        created=document.get("created"),
+        checksum=document.get("checksum"),
+        generation=delta.get("generation") if delta else None,
+        delta_of=delta.get("of") if delta else None,
+        epoch=delta.get("epoch") if delta else None,
+        sessions=len(sessions.get("sessions", {})),
+        removed=len(delta.get("removed") or ()) if delta else 0,
+        cache_entries=cache_entries,
+        decisions=metrics.get("decisions", 0),
+        bytes=size,
+        shard=payload.get("shard"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -522,6 +638,161 @@ class SnapshotStore:
             except SnapshotError:
                 continue
         return None
+
+
+class SnapshotChain:
+    """Incremental generation writer: a full base plus dirty deltas.
+
+    The qid/lid plane is append-only and sessions stamp a
+    ``dirty_epoch`` on every durable mutation, so after one *full* base
+    each :meth:`save` writes only:
+
+    * sessions with ``dirty_epoch >= since`` (plus the tombstones of
+      principals unregistered in the window), via
+      :meth:`DisclosureService.export_generation`;
+    * label-cache entries whose qid was interned since the last cut,
+      via :meth:`DecisionKernel.export_label_cache_since`;
+    * the (cheap, always-full) metrics counters.
+
+    Snapshot cost becomes O(delta), not O(state).  Every
+    ``compact_every`` deltas — or on :meth:`compact` — the next write
+    is a fresh full base, and files older than the *previous* full are
+    pruned, so the directory always holds at most two replayable
+    chains (the live one plus one fallback, mirroring
+    :class:`SnapshotStore`'s skip-corrupt semantics).
+
+    Files use the same ``snapshot-<seq>.json`` names as
+    :class:`SnapshotStore`; :func:`collect_state` replays the chain on
+    restart.  A chain always *starts* with a full base: dirty epochs
+    live in process memory, so a restarted writer cannot know what an
+    earlier process already captured.
+    """
+
+    def __init__(
+        self,
+        service: DisclosureService,
+        state_dir: "Path | str",
+        *,
+        compact_every: int = 8,
+    ):
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.service = service
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.compact_every = compact_every
+        self._next_since = 0
+        self._deltas_since_full = 0
+        self._last_generation: Optional[int] = None
+        self._last_full: Optional[int] = None
+        self._plane_epoch = -1
+        self._qid_floor = 0
+
+    def _numbered(self) -> List[Tuple[int, Path]]:
+        found = []
+        for entry in self.state_dir.iterdir():
+            match = _SNAPSHOT_NAME.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        found.sort()
+        return found
+
+    def save(self) -> Path:
+        """Write the next generation (full when the chain calls for it)."""
+        full = (
+            self._last_generation is None
+            or self._deltas_since_full >= self.compact_every
+        )
+        return self._write(full)
+
+    def compact(self) -> Path:
+        """Force the next generation to be a full base (prunes history)."""
+        return self._write(True)
+
+    def _write(self, full: bool) -> Path:
+        numbered = self._numbered()
+        seq = (numbered[-1][0] + 1) if numbered else 1
+        since = 0 if full else self._next_since
+        state, watermark, removed = self.service.export_generation(since)
+        plane_epoch, qid_count, entries = (
+            self.service.kernel.export_label_cache_since(
+                self._plane_epoch, 0 if full else self._qid_floor
+            )
+        )
+        payload = {
+            "sessions": encode_sessions(state),
+            "interning": encode_interned_cache(entries),
+            "metrics": _service_metrics(self.service),
+            "delta": {
+                "generation": seq,
+                "of": None if full else self._last_generation,
+                "epoch": watermark,
+                "removed": removed,
+                "plane_epoch": plane_epoch,
+                "qid_floor": 0 if full else self._qid_floor,
+            },
+        }
+        path = save_snapshot(
+            self.state_dir / f"snapshot-{seq:08d}.json", payload
+        )
+        self._next_since = watermark + 1
+        self._plane_epoch = plane_epoch
+        self._qid_floor = qid_count
+        self._last_generation = seq
+        if full:
+            self._deltas_since_full = 0
+            if self._last_full is not None:
+                cutoff = self._last_full
+                for old_seq, old_path in numbered:
+                    if old_seq < cutoff:
+                        old_path.unlink(missing_ok=True)
+            self._last_full = seq
+        else:
+            self._deltas_since_full += 1
+        return path
+
+
+def compact_chain(state_dir: "Path | str") -> Tuple[Path, List[Path]]:
+    """Offline compaction: fold a directory's chain into one full base.
+
+    Replays whatever :func:`collect_state` can trust, writes the merged
+    result as the next-sequence *full* v3 generation, and removes every
+    older sequence file (shard files are left alone).  Returns the new
+    path and the removed ones.  Raises :class:`SnapshotError` when the
+    directory holds nothing replayable.
+    """
+    state_dir = Path(state_dir)
+    collected = collect_state(state_dir)
+    if collected is None:
+        raise SnapshotError(f"no valid snapshot under {state_dir}")
+    numbered = []
+    for entry in state_dir.iterdir():
+        match = _SNAPSHOT_NAME.match(entry.name)
+        if match:
+            numbered.append((int(match.group(1)), entry))
+    numbered.sort()
+    seq = (numbered[-1][0] + 1) if numbered else 1
+    payload = {
+        "sessions": encode_sessions(sessions_payload(collected.sessions)),
+        "interning": encode_interned_cache(collected.cache_entries),
+        "metrics": collected.metrics
+        if isinstance(collected.metrics, dict)
+        else {},
+        "delta": {
+            "generation": seq,
+            "of": None,
+            "epoch": 0,
+            "removed": [],
+            "plane_epoch": -1,
+            "qid_floor": 0,
+        },
+    }
+    path = save_snapshot(state_dir / f"snapshot-{seq:08d}.json", payload)
+    removed = []
+    for _, old_path in numbered:
+        old_path.unlink(missing_ok=True)
+        removed.append(old_path)
+    return path, removed
 
 
 def shard_snapshot_path(state_dir: "Path | str", index: int) -> Path:
@@ -586,12 +857,14 @@ def collect_state(state_dir: "Path | str") -> Optional[CollectedState]:
     state_dir = Path(state_dir)
     if not state_dir.is_dir():
         return None
-    sequence_docs: List[Tuple[float, Path, Dict]] = []
+    # Sequence files carry their chain order in the name; shard files
+    # are ordered by their created stamps.
+    sequence_docs: List[Tuple[int, float, Path, Dict]] = []
     shard_docs: List[Tuple[float, Path, Dict]] = []
     skipped: List[Tuple[Path, str]] = []
     for entry in sorted(state_dir.iterdir()):
-        is_sequence = bool(_SNAPSHOT_NAME.match(entry.name))
-        if not (is_sequence or _SHARD_NAME.match(entry.name)):
+        seq_match = _SNAPSHOT_NAME.match(entry.name)
+        if not (seq_match or _SHARD_NAME.match(entry.name)):
             continue
         try:
             document = load_snapshot(entry)
@@ -599,43 +872,95 @@ def collect_state(state_dir: "Path | str") -> Optional[CollectedState]:
             skipped.append((entry, str(exc)))
             continue
         created = float(document.get("created") or 0.0)
-        (sequence_docs if is_sequence else shard_docs).append(
-            (created, entry, document)
-        )
+        if seq_match:
+            sequence_docs.append((int(seq_match.group(1)), created, entry, document))
+        else:
+            shard_docs.append((created, entry, document))
     if not (sequence_docs or shard_docs):
         return None
     sequence_docs.sort(key=lambda item: item[0])
     shard_docs.sort(key=lambda item: item[0])
 
-    # The newest sequence file alone is one complete generation; the
-    # shard files together are the other.  The newer one wins sessions.
-    newest_sequence = sequence_docs[-1] if sequence_docs else None
+    chain = _sequence_chain(sequence_docs)
+
+    # The sequence chain is one complete generation; the shard files
+    # together are the other.  The newer one wins sessions.
+    chain_age = chain[-1][1] if chain else float("-inf")
     shard_age = shard_docs[-1][0] if shard_docs else float("-inf")
-    use_shards = bool(shard_docs) and (
-        newest_sequence is None or shard_age >= newest_sequence[0]
-    )
-    if use_shards:
-        generation = shard_docs  # oldest first: newest wins ties
-    else:
-        generation = [newest_sequence]
+    use_shards = bool(shard_docs) and (not chain or shard_age >= chain_age)
     sessions: Dict[str, Dict] = {}
-    for _, _, document in generation:
-        sessions.update(payload_sessions(document["payload"]))
+    if use_shards:
+        sources = [path for _, path, _ in shard_docs]
+        for _, _, document in shard_docs:  # oldest first: newest wins ties
+            sessions.update(payload_sessions(document["payload"]))
+        newest_payload = shard_docs[-1][2]["payload"]
+    else:
+        sources = [path for _, _, path, _ in chain]
+        for _, _, _, document in chain:
+            payload = document["payload"]
+            delta = payload.get("delta")
+            if isinstance(delta, dict):
+                # Apply a generation's removals before its updates, so
+                # an unregister + re-register in one window nets out to
+                # the re-registered state.
+                for principal in delta.get("removed") or ():
+                    sessions.pop(principal, None)
+            sessions.update(payload_sessions(payload))
+        newest_payload = chain[-1][3]["payload"] if chain else {}
 
     cache: Dict = {}
-    for _, _, document in sequence_docs + shard_docs:
+    for _, _, _, document in sequence_docs:
+        for key, label in payload_cache_entries(document["payload"]):
+            cache[key] = label
+    for _, _, document in shard_docs:
         for key, label in payload_cache_entries(document["payload"]):
             cache[key] = label
 
-    newest_payload = generation[-1][2]["payload"]
     return CollectedState(
         sessions,
         list(cache.items()),
         newest_payload.get("metrics"),
-        [path for _, path, _ in generation],
+        sources,
         skipped,
         use_shards,
     )
+
+
+def _sequence_chain(
+    sequence_docs: List[Tuple[int, float, Path, Dict]]
+) -> List[Tuple[int, float, Path, Dict]]:
+    """The longest replayable suffix chain of a sequence directory.
+
+    Finds the newest *full* document (v1/v2, or v3 with ``of: null``)
+    and extends it with each following delta whose ``of`` links to the
+    generation before it.  A broken link — a skipped-corrupt file, a
+    delta written by a different chain — ends the replay there: the
+    valid prefix is still a coherent state, which is exactly the
+    corrupt-file fallback :class:`SnapshotStore` restores have always
+    had.  Returns ``[]`` when the directory holds only orphan deltas.
+    """
+    base_index: Optional[int] = None
+    for index in range(len(sequence_docs) - 1, -1, -1):
+        delta = sequence_docs[index][3]["payload"].get("delta")
+        if not isinstance(delta, dict) or delta.get("of") is None:
+            base_index = index
+            break
+    if base_index is None:
+        return []
+    chain = [sequence_docs[base_index]]
+    base_delta = sequence_docs[base_index][3]["payload"].get("delta")
+    expected_of = (
+        base_delta.get("generation")
+        if isinstance(base_delta, dict)
+        else sequence_docs[base_index][0]
+    )
+    for member in sequence_docs[base_index + 1 :]:
+        delta = member[3]["payload"].get("delta")
+        if not isinstance(delta, dict) or delta.get("of") != expected_of:
+            break
+        chain.append(member)
+        expected_of = delta.get("generation")
+    return chain
 
 
 def partition_sessions(

@@ -27,9 +27,9 @@ holds the two paths bit-for-bit identical across the Facebook workload.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -55,6 +55,12 @@ from repro.obs import MetricsRegistry, StageTimer, TraceBuffer
 from repro.obs.timing import DEFAULT_SAMPLE_RATE, STAGES
 from repro.server.cache import LabelCache
 from repro.server.kernel import DecisionKernel, ServiceDecision
+from repro.server.store import (
+    InMemoryStore,
+    SessionState,
+    SessionStore,
+    SpillStore,
+)
 
 __all__ = ["DisclosureService", "ServiceDecision", "Session"]
 
@@ -81,6 +87,7 @@ class Session:
         "live",
         "ephemeral",
         "plane_epoch",
+        "dirty_epoch",
         "mask_memo",
         "outcome_memo",
         "pending_decided",
@@ -107,6 +114,12 @@ class Session:
         #: under; the kernel clears them on first contact with a newer
         #: plane (ids are generation-scoped).
         self.plane_epoch = -1
+        #: The service ``state_epoch`` at this session's last durable
+        #: mutation (stamped by the kernel on every accepted update and
+        #: by the service on register/reset/restore).  Incremental
+        #: snapshots export exactly the sessions with
+        #: ``dirty_epoch >= since``.
+        self.dirty_epoch = 0
         #: lid -> satisfying-partitions mask.  Sound for the session's
         #: lifetime: the mask depends only on the label and the
         #: (immutable) grants; a re-registration builds a fresh Session.
@@ -154,6 +167,19 @@ class DisclosureService:
         How many compiled sessions stay resident; excess principals are
         demoted to their serializable ``(policy, live)`` state and
         recompiled on next touch.
+    session_store:
+        Any :class:`repro.server.store.SessionStore` implementation to
+        hold the session tiers.  When given, it is used as-is (its own
+        ``max_resident`` wins over *max_active_sessions*).  Defaults to
+        :class:`~repro.server.store.InMemoryStore` — the historical
+        all-RAM behavior.
+    spill_dir:
+        Shorthand for ``session_store=SpillStore(spill_dir,
+        max_resident=max_active_sessions)``: demoted sessions append
+        to an on-disk log under this directory and fault back in on
+        touch, so RSS is bounded by the resident tier while the
+        principal population lives on disk.  Ignored when
+        *session_store* is given.
     label_cache_size:
         Entries in the kernel's shared qid → lid label cache (``0``
         disables caching — the benchmark's cold series).
@@ -182,6 +208,8 @@ class DisclosureService:
         *,
         schema: Optional[Schema] = None,
         max_active_sessions: int = 10_000,
+        session_store: Optional[SessionStore] = None,
+        spill_dir: "str | os.PathLike[str] | None" = None,
         label_cache_size: int = 1 << 16,
         parse_cache_size: int = 4096,
         default_policy: "PartitionPolicy | Iterable[Iterable[str]] | None" = None,
@@ -203,7 +231,27 @@ class DisclosureService:
 
         if max_active_sessions < 1:
             raise PolicyError("max_active_sessions must be >= 1")
-        self.max_active_sessions = max_active_sessions
+        #: The session memory tier (see :mod:`repro.server.store`).
+        #: Every session access in the service, the batch path, and the
+        #: persistence layer goes through this object — never through a
+        #: dict — so the tiering strategy is swappable.
+        self.store: SessionStore
+        if session_store is not None:
+            self.store = session_store
+        elif spill_dir is not None:
+            self.store = SpillStore(spill_dir, max_resident=max_active_sessions)
+        else:
+            self.store = InMemoryStore(max_active_sessions)
+        self.max_active_sessions = self.store.max_resident
+        self.store.on_demote = self._drain_session_counts
+        #: Monotonic state generation: bumped by each incremental
+        #: export cut (:meth:`export_generation`); sessions stamp it
+        #: into ``dirty_epoch`` on mutation.
+        self.state_epoch = 1
+        #: Principals unregistered since the last *full* export, with
+        #: the epoch of their removal — the tombstones an incremental
+        #: snapshot needs so a restart does not resurrect them.
+        self._removed: Dict[str, int] = {}
         #: The one decision pipeline every transport routes through.
         self.kernel = DecisionKernel(
             self.labeler, sessions=self, label_cache_size=label_cache_size
@@ -219,11 +267,6 @@ class DisclosureService:
         #: per-service v2 wire gateway (client-generation translation).
         self._wire2_gateway: Optional[object] = None
 
-        self._active: "OrderedDict[Hashable, Session]" = OrderedDict()
-        #: Demoted principals: principal -> (partitions, live bits, ephemeral).
-        self._passive: Dict[
-            Hashable, Tuple[Tuple[Tuple[str, ...], ...], int, bool]
-        ] = {}
         self._lock = threading.RLock()
 
         #: The labeled metrics plane (see :mod:`repro.obs`).  The legacy
@@ -267,7 +310,25 @@ class DisclosureService:
                 {stage: stage_vec.labels(stage) for stage in STAGES},
                 rate=self.stage_sample_rate,
             )
+        if self.observability and self.store.observe is None:
+            #: Spill-tier stage timing: one histogram per expensive tier
+            #: op (spill / fault / compact).  The in-memory store never
+            #: reports, so the vector stays empty unless a disk tier is
+            #: actually configured.
+            spill_vec = self.metrics.histogram_vec("repro_spill_seconds", ("op",))
+            self.store.observe = lambda op, seconds: spill_vec.labels(op).record(
+                seconds
+            )
         self._started = time.time()
+
+    def close(self) -> None:
+        """Release the session store's OS resources (spill log handles).
+
+        Idempotent; an all-RAM service has nothing to release.  Pairs
+        with ``spill_dir=`` / ``session_store=`` deployments where the
+        store holds open file handles.
+        """
+        self.store.close()
 
     def client(self) -> "DecisionClient":
         """This service behind the one :class:`repro.client.DecisionClient`
@@ -297,13 +358,22 @@ class DisclosureService:
         """Register *principal* with *policy*; re-registration resets state."""
         partitions = self._normalize_policy(policy)
         with self._lock:
-            self._drain_session_counts(self._active.pop(principal, None))
-            self._passive[principal] = (partitions, (1 << len(partitions)) - 1, False)
+            self.store.discard(principal)
+            self.store.put_state(
+                principal,
+                SessionState(
+                    partitions, (1 << len(partitions)) - 1, False, self.state_epoch
+                ),
+            )
+            if isinstance(principal, str):
+                self._removed.pop(principal, None)
 
     def unregister(self, principal: Hashable) -> None:
         with self._lock:
-            self._drain_session_counts(self._active.pop(principal, None))
-            self._passive.pop(principal, None)
+            known = principal in self.store
+            self.store.discard(principal)
+            if known and isinstance(principal, str):
+                self._removed[principal] = self.state_epoch
 
     def reset(self, principal: Hashable) -> None:
         """Forget the principal's history (a fresh session).
@@ -313,17 +383,21 @@ class DisclosureService:
         allocated.
         """
         with self._lock:
-            session = self._active.get(principal)
+            session = self.store.peek(principal)
             if session is not None:
                 session.live = session.all_live
+                session.dirty_epoch = self.state_epoch
                 return
-            state = self._passive.get(principal)
+            state = self.store.fault(principal)
             if state is not None:
-                partitions, _, ephemeral = state
-                self._passive[principal] = (
-                    partitions,
-                    (1 << len(partitions)) - 1,
-                    ephemeral,
+                self.store.put_state(
+                    principal,
+                    SessionState(
+                        state.partitions,
+                        (1 << len(state.partitions)) - 1,
+                        state.ephemeral,
+                        self.state_epoch,
+                    ),
                 )
                 return
             if self._default_policy is None:
@@ -331,11 +405,11 @@ class DisclosureService:
 
     def principal_count(self) -> int:
         with self._lock:
-            return len(self._active) + len(self._passive)
+            return self.store.resident_count() + self.store.cold_count()
 
     def active_session_count(self) -> int:
         with self._lock:
-            return len(self._active)
+            return self.store.resident_count()
 
     def live_partitions(self, principal: Hashable) -> Tuple[bool, ...]:
         """The Example 6.3 bit vector of the principal's session."""
@@ -347,7 +421,7 @@ class DisclosureService:
 
     def __contains__(self, principal: object) -> bool:
         with self._lock:
-            return principal in self._active or principal in self._passive
+            return principal in self.store
 
     def _normalize_policy(
         self, policy: "PartitionPolicy | Iterable[Iterable[str]]"
@@ -362,34 +436,26 @@ class DisclosureService:
         return tuple(tuple(sorted(p)) for p in policy.partitions)
 
     def _session(self, principal: Hashable) -> Session:
-        """The principal's active session, compiling/evicting as needed."""
-        session = self._active.get(principal)
+        """The principal's active session, compiling/faulting as needed."""
+        session = self.store.get(principal)
         if session is not None:
-            self._active.move_to_end(principal)
             return session
-        state = self._passive.pop(principal, None)
+        state = self.store.fault(principal)
         if state is None:
             if self._default_policy is None:
                 raise PolicyError(f"unknown principal {principal!r}")
-            state = (
+            state = SessionState(
                 self._default_policy,
                 (1 << len(self._default_policy)) - 1,
                 True,
+                0,
             )
-        partitions, live, ephemeral = state
-        grants = tuple(self.registry.grant_masks(p) for p in partitions)
-        session = Session(principal, partitions, grants, live, ephemeral)
-        self._active[principal] = session
-        while len(self._active) > self.max_active_sessions:
-            _, evicted = self._active.popitem(last=False)
-            self._drain_session_counts(evicted)
-            if evicted.ephemeral and evicted.live == evicted.all_live:
-                continue  # fresh default-policy state: recreated on demand
-            self._passive[evicted.principal] = (
-                evicted.partitions,
-                evicted.live,
-                evicted.ephemeral,
-            )
+        grants = tuple(self.registry.grant_masks(p) for p in state.partitions)
+        session = Session(
+            principal, state.partitions, grants, state.live, state.ephemeral
+        )
+        session.dirty_epoch = state.dirty_epoch
+        self.store.put(principal, session)
         return session
 
     def _drain_session_counts(self, session: Optional[Session]) -> None:
@@ -418,18 +484,14 @@ class DisclosureService:
         if self.tenant_decisions is None:
             return
         with self._lock:
-            for session in self._active.values():
+            for session in self.store.resident_sessions():
                 self._drain_session_counts(session)
 
     def _peek_session(self, principal: Hashable) -> Session:
         """Like :meth:`_session`, but an unknown default-policy principal
         gets a transient session that is never stored — read-only probes
         from anonymous principals must not allocate server state."""
-        if (
-            principal in self._active
-            or principal in self._passive
-            or self._default_policy is None
-        ):
+        if principal in self.store or self._default_policy is None:
             return self._session(principal)
         partitions = self._default_policy
         grants = tuple(self.registry.grant_masks(p) for p in partitions)
@@ -609,24 +671,58 @@ class DisclosureService:
         wire); anything else cannot round-trip through JSON keys, so it
         raises rather than silently losing the session on restore.
         """
-        sessions = {}
         with self._lock:
-            entries = [
-                (principal, partitions, live)
-                for principal, (partitions, live, _) in self._passive.items()
-            ] + [
-                (principal, session.partitions, session.live)
-                for principal, session in self._active.items()
-            ]
-        for principal, partitions, live in entries:
-            if not isinstance(principal, str):
-                raise PolicyError(
-                    f"principal {principal!r} is not a string and would not "
-                    "survive a JSON round-trip; use string principals for "
-                    "serializable deployments"
+            return self.store.export_state()
+
+    def export_generation(
+        self, since: int = 0
+    ) -> Tuple[Dict, int, List[str]]:
+        """Cut an incremental state generation.
+
+        Returns ``(state, watermark, removed)``:
+
+        * ``state`` — an :meth:`export_state`-shaped document holding
+          only the sessions with ``dirty_epoch >= since`` (``since <= 0``
+          exports everything: a *full* generation);
+        * ``watermark`` — the epoch this cut covers through.  The next
+          delta should pass ``since = watermark + 1``;
+        * ``removed`` — principals unregistered at epoch >= *since*
+          (always empty for a full export, which simply omits them).
+
+        The cut and the epoch bump happen under one lock hold, so a
+        session mutated concurrently with the export lands either in
+        this generation or the next — never in neither.
+        """
+        with self._lock:
+            watermark = self.state_epoch
+            self.state_epoch = watermark + 1
+            full = since <= 0
+            iterator = (
+                self.store.iter_states()
+                if full
+                else self.store.iter_dirty_states(since)
+            )
+            sessions = {}
+            for principal, state in iterator:
+                if not isinstance(principal, str):
+                    raise PolicyError(
+                        f"principal {principal!r} is not a string and would "
+                        "not survive a JSON round-trip; use string principals "
+                        "for serializable deployments"
+                    )
+                sessions[principal] = self._state_dict(state.partitions, state.live)
+            if full:
+                removed: List[str] = []
+                # A full generation lists every surviving session, so
+                # tombstones through the watermark are settled debt.
+                self._removed = {
+                    p: e for p, e in self._removed.items() if e > watermark
+                }
+            else:
+                removed = sorted(
+                    p for p, e in self._removed.items() if e >= since
                 )
-            sessions[principal] = self._state_dict(partitions, live)
-        return {"format": _STATE_FORMAT, "sessions": sessions}
+        return {"format": _STATE_FORMAT, "sessions": sessions}, watermark, removed
 
     def import_state(self, data: Dict) -> int:
         """Restore sessions exported by :meth:`export_state`; returns count."""
@@ -653,12 +749,31 @@ class DisclosureService:
             for index, flag in enumerate(live):
                 if flag:
                     bits |= 1 << index
-            restored[principal] = (partitions, bits, False)
+            restored[principal] = (partitions, bits)
         with self._lock:
-            for principal, state in restored.items():
-                self._drain_session_counts(self._active.pop(principal, None))
-                self._passive[principal] = state
+            for principal, (partitions, bits) in restored.items():
+                self.store.discard(principal)
+                self.store.put_state(
+                    principal,
+                    SessionState(partitions, bits, False, self.state_epoch),
+                )
         return len(restored)
+
+    def remove_sessions(self, principals: Iterable[Hashable]) -> int:
+        """Forget each principal without recording tombstones.
+
+        The restore-side twin of the ``removed`` list in
+        :meth:`export_generation`: replaying a snapshot chain applies
+        each generation's removals *before* its session states.
+        Returns how many principals were actually known.
+        """
+        count = 0
+        with self._lock:
+            for principal in principals:
+                if principal in self.store:
+                    count += 1
+                self.store.discard(principal)
+        return count
 
     @staticmethod
     def _state_dict(partitions: Tuple[Tuple[str, ...], ...], live: int) -> Dict:
@@ -696,15 +811,28 @@ class DisclosureService:
         """Everything ``GET /metrics`` reports, as a plain dict."""
         self._flush_tenant_counts()
         with self._lock:
-            active = len(self._active)
-            passive = len(self._passive)
+            active = self.store.resident_count()
+            passive = self.store.cold_count()
+            spilled = passive if getattr(self.store, "persistent", False) else 0
+            faults = self.store.fault_count
+            evictions = self.store.eviction_count
         return {
             "uptime_seconds": time.time() - self._started,
             "decisions": self.decisions.value,
             "accepted": self.accepted.value,
             "refused": self.refused.value,
             "peeks": self.peeks.value,
-            "sessions": {"active": active, "passive": passive},
+            "sessions": {
+                # "active"/"passive" are the legacy names; "resident"/
+                # "spilled" describe the memory tier (spilled counts
+                # only principals whose cold state lives on disk).
+                "active": active,
+                "passive": passive,
+                "resident": active,
+                "spilled": spilled,
+                "faults": faults,
+                "evictions": evictions,
+            },
             "label_cache": self.label_cache.stats().as_dict(),
             "parse_cache": self.parse_cache.stats().as_dict(),
             "kernel": self.kernel.stats(),

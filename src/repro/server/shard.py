@@ -588,6 +588,10 @@ def aggregate_metrics(snapshots: Sequence[Dict]) -> Dict:
         "sessions": {
             "active": total("sessions", "active"),
             "passive": total("sessions", "passive"),
+            "resident": total("sessions", "resident"),
+            "spilled": total("sessions", "spilled"),
+            "faults": total("sessions", "faults"),
+            "evictions": total("sessions", "evictions"),
         },
         "label_cache": cache_aggregate("label_cache"),
         "parse_cache": cache_aggregate("parse_cache"),
@@ -686,6 +690,17 @@ def _shard_worker_main(
     ``snapshot_interval``, ``shard_count`` — turns on the worker's own
     background snapshotter writing ``shard-<index>.json``.
     """
+    if service_kwargs.get("spill_dir"):
+        # Spill logs are single-writer: each worker owns its own
+        # subdirectory so two shards never append to one log.
+        import os.path
+
+        service_kwargs = dict(
+            service_kwargs,
+            spill_dir=os.path.join(
+                os.fspath(service_kwargs["spill_dir"]), f"shard-{index}"
+            ),
+        )
     service = DisclosureService(**service_kwargs)
     if warm_entries:
         service.warm_label_cache(warm_entries)

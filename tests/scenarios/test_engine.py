@@ -22,6 +22,7 @@ from repro.scenarios import (
     decision_digest,
     get_scenario,
     replay_trace,
+    replay_trace_with_restart,
     run_scenario,
     scenario_names,
 )
@@ -39,12 +40,13 @@ def small_trace(views, small_spec):
 
 
 class TestRegistry:
-    def test_the_four_named_scenarios_ship(self):
+    def test_the_five_named_scenarios_ship(self):
         assert set(scenario_names()) == {
             "zipfian-steady",
             "policy-churn",
             "adversarial-probe",
             "flash-crowd",
+            "restart-mid-stream",
         }
 
     def test_every_scenario_declares_a_full_slo(self):
@@ -242,3 +244,68 @@ class TestTimedReplay:
                 LocalClient(DisclosureService(views)),
                 rate_scale=0.0,
             )
+
+
+class TestRestartMidStream:
+    """Snapshot + kill + warm-restart halfway through a trace: the
+    combined decision stream must equal an uninterrupted replay's —
+    with the spill tier off *and* on (ROADMAP item from PR 7)."""
+
+    @pytest.fixture(scope="class")
+    def restart_trace(self, views):
+        spec = get_scenario("restart-mid-stream").scaled(
+            events=160, principals=30
+        )
+        return compile_scenario(spec, seed=5, view_names=views.names)
+
+    def test_digest_matches_the_uninterrupted_run(
+        self, views, restart_trace, tmp_path
+    ):
+        baseline = replay_trace(
+            restart_trace, LocalClient(DisclosureService(views))
+        )
+        restarted = replay_trace_with_restart(
+            restart_trace, restart_at=0.5, state_dir=str(tmp_path)
+        )
+        assert restarted.transport == "local+restart"
+        assert restarted.errors == 0
+        assert restarted.digest() == baseline.digest()
+        assert restarted.events == baseline.events
+
+    def test_digest_matches_with_the_spill_tier_on(
+        self, views, restart_trace, tmp_path
+    ):
+        baseline = replay_trace(
+            restart_trace, LocalClient(DisclosureService(views))
+        )
+        restarted = replay_trace_with_restart(
+            restart_trace,
+            restart_at=0.5,
+            state_dir=str(tmp_path / "state"),
+            spill_dir=str(tmp_path / "spill"),
+            max_resident_sessions=8,
+        )
+        assert restarted.errors == 0
+        assert restarted.digest() == baseline.digest()
+        # The spill tier genuinely ran on both sides of the restart.
+        for half in ("before", "after"):
+            assert (tmp_path / "spill" / half / "sessions.log").stat().st_size
+
+    def test_restart_fraction_is_validated(self, restart_trace):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="restart_at"):
+                replay_trace_with_restart(restart_trace, restart_at=bad)
+
+    def test_restart_point_varies_without_changing_the_digest(
+        self, views, restart_trace, tmp_path
+    ):
+        baseline = replay_trace(
+            restart_trace, LocalClient(DisclosureService(views))
+        )
+        for index, fraction in enumerate((0.25, 0.75)):
+            report = replay_trace_with_restart(
+                restart_trace,
+                restart_at=fraction,
+                state_dir=str(tmp_path / str(index)),
+            )
+            assert report.digest() == baseline.digest()

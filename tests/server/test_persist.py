@@ -26,10 +26,12 @@ from repro.errors import SnapshotError
 from repro.facebook.workload import WorkloadGenerator, generate_policies
 from repro.server.httpd import dispatch
 from repro.server.persist import (
+    SnapshotChain,
     SnapshotStore,
     Snapshotter,
     clean_stale_shards,
     collect_state,
+    compact_chain,
     decode_cache_entries,
     encode_cache_entries,
     inspect_snapshot,
@@ -669,3 +671,209 @@ class TestMultiProcessRestart:
             front2.server_close()
             router2.close()
             stop_shard_workers(workers2)
+
+# ----------------------------------------------------------------------
+# Incremental generations: export_generation and the snapshot chain
+# ----------------------------------------------------------------------
+class TestExportGeneration:
+    def test_full_export_covers_everything_and_bumps_the_epoch(self, views):
+        service = _registered_service(views, _policies(views))
+        epoch_before = service.state_epoch
+        state, watermark, removed = service.export_generation(0)
+        assert set(state["sessions"]) == {f"app-{i}" for i in range(PRINCIPALS)}
+        assert watermark == epoch_before
+        assert removed == []
+        assert service.state_epoch == watermark + 1
+
+    def test_delta_export_carries_only_dirty_sessions(self, views):
+        service = _registered_service(views, _policies(views))
+        _, watermark, _ = service.export_generation(0)
+        service.reset("app-3")  # the only mutation in this window
+        state, _, removed = service.export_generation(watermark + 1)
+        assert set(state["sessions"]) == {"app-3"}
+        assert removed == []
+
+    def test_unregister_tombstones_ride_the_delta(self, views):
+        service = _registered_service(views, _policies(views))
+        _, watermark, _ = service.export_generation(0)
+        service.unregister("app-5")
+        state, _, removed = service.export_generation(watermark + 1)
+        assert "app-5" not in state["sessions"]
+        assert removed == ["app-5"]
+        # A full export lists every survivor, settling the tombstone.
+        state, watermark, removed = service.export_generation(0)
+        assert removed == []
+        _, _, removed = service.export_generation(watermark + 1)
+        assert removed == []
+
+    def test_remove_sessions_discards_without_tombstones(self, views):
+        service = _registered_service(views, _policies(views))
+        _, watermark, _ = service.export_generation(0)
+        assert service.remove_sessions(["app-1", "app-2", "no-such"]) == 2
+        assert "app-1" not in service
+        _, _, removed = service.export_generation(watermark + 1)
+        assert removed == []
+
+
+class TestSnapshotChain:
+    def test_first_save_is_full_then_deltas_link(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        base = inspect_snapshot(chain.save())
+        assert base.format == "repro.snapshot/3"
+        assert base.generation == 1 and base.delta_of is None
+        assert base.sessions == PRINCIPALS
+        service.reset("app-0")
+        delta = inspect_snapshot(chain.save())
+        assert delta.generation == 2 and delta.delta_of == 1
+        assert delta.sessions == 1  # only the dirtied session
+
+    def test_delta_files_are_measurably_smaller_than_full(self, views, tmp_path):
+        """The O(delta) claim, at the file level: one dirty session out
+        of a whole population writes a fraction of the full base."""
+        policies = _policies(views)
+        service = DisclosureService(views)
+        for index in range(60):
+            service.register(f"app-{index}", policies[index % len(policies)])
+        chain = SnapshotChain(service, tmp_path)
+        full = inspect_snapshot(chain.save())
+        service.reset("app-0")
+        delta = inspect_snapshot(chain.save())
+        assert delta.bytes * 5 < full.bytes
+
+    def test_chain_replay_restores_the_latest_state(self, views, tmp_path):
+        policies = _policies(views)
+        reference = _registered_service(views, policies)
+        chained = _registered_service(views, policies)
+        chain = SnapshotChain(chained, tmp_path)
+        chain.save()  # full base
+        for phase_seed in (31, 32):
+            for principal, query in _traffic(phase_seed, 120):
+                reference.submit(principal, query)
+                chained.submit(principal, query)
+            chain.save()  # one delta per phase
+
+        restarted = DisclosureService(views)
+        collected = collect_state(tmp_path)
+        assert len(collected.sources) == 3  # base + two deltas replayed
+        restarted.import_state(sessions_payload(collected.sessions))
+        restarted.warm_label_cache(collected.cache_entries)
+        after = _traffic(33, 120)
+        assert _wire(
+            [reference.submit(p, q) for p, q in after]
+        ) == _wire([restarted.submit(p, q) for p, q in after])
+
+    def test_chain_replay_applies_tombstones(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        chain.save()
+        service.unregister("app-7")
+        chain.save()
+        collected = collect_state(tmp_path)
+        assert "app-7" not in collected.sessions
+        assert len(collected.sessions) == PRINCIPALS - 1
+
+    def test_compact_every_forces_a_full_base_and_prunes(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path, compact_every=2)
+        for _ in range(7):
+            service.reset("app-0")
+            chain.save()
+        # Generations: 1 full, 2-3 deltas, 4 full, 5-6 deltas, 7 full.
+        # The 7th save prunes everything older than the previous full.
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [f"snapshot-{seq:08d}.json" for seq in (4, 5, 6, 7)]
+        assert inspect_snapshot(tmp_path / names[-1]).delta_of is None
+
+    def test_explicit_compact_forces_a_full_base(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        chain.save()
+        service.reset("app-0")
+        info = inspect_snapshot(chain.compact())
+        assert info.delta_of is None
+        assert info.sessions == PRINCIPALS
+
+    def test_broken_link_falls_back_to_the_valid_prefix(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        chain.save()                      # 1: full, the trusted prefix
+        service.register("extra-1", [["friends_photo"]])
+        chain.save()                      # 2: delta carrying extra-1
+        service.register("extra-2", [["friends_photo"]])
+        chain.save()                      # 3: delta carrying extra-2
+        (tmp_path / "snapshot-00000002.json").unlink()
+        collected = collect_state(tmp_path)
+        # Delta 3 links to the missing 2, so only the base is trusted.
+        assert set(collected.sessions) == {
+            f"app-{i}" for i in range(PRINCIPALS)
+        }
+
+    def test_corrupt_delta_falls_back_like_a_missing_one(self, views, tmp_path):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        chain.save()
+        service.register("extra-1", [["friends_photo"]])
+        delta_path = chain.save()
+        payload = delta_path.read_bytes()
+        delta_path.write_bytes(payload[: len(payload) // 2])  # truncated
+        collected = collect_state(tmp_path)
+        assert "extra-1" not in collected.sessions
+        assert any(path == delta_path for path, _ in collected.skipped)
+
+    def test_compact_chain_folds_the_directory_to_one_full(
+        self, views, tmp_path
+    ):
+        service = _registered_service(views, _policies(views))
+        chain = SnapshotChain(service, tmp_path)
+        chain.save()
+        service.reset("app-0")
+        chain.save()
+        service.unregister("app-7")
+        chain.save()
+
+        path, removed = compact_chain(tmp_path)
+        assert len(removed) == 3
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+        info = inspect_snapshot(path)
+        assert info.delta_of is None
+        assert info.sessions == PRINCIPALS - 1
+        collected = collect_state(tmp_path)
+        assert "app-7" not in collected.sessions
+
+    def test_compact_chain_refuses_an_empty_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no valid snapshot"):
+            compact_chain(tmp_path)
+
+    def test_chain_restores_sessions_spilled_to_disk(self, views, tmp_path):
+        """A full base must capture cold sessions living only in the
+        spill log — iter_states reads through the disk tier."""
+        policies = _policies(views)
+        spilled = DisclosureService(
+            views, max_active_sessions=2, spill_dir=tmp_path / "spill"
+        )
+        for index, policy in enumerate(policies):
+            spilled.register(f"app-{index}", policy)
+        for principal, query in _traffic(41, 80):
+            spilled.submit(principal, query)
+        assert spilled.store.cold_count() > 0
+        chain = SnapshotChain(spilled, tmp_path / "state")
+        chain.save()
+        spilled.close()
+
+        collected = collect_state(tmp_path / "state")
+        assert set(collected.sessions) == {
+            f"app-{i}" for i in range(PRINCIPALS)
+        }
+
+    def test_v2_snapshots_still_restore(self, views, tmp_path):
+        """The pre-chain format keeps loading: a v2 sequence file is a
+        valid chain base of length one."""
+        service = _registered_service(views, _policies(views))
+        for principal, query in _traffic(51, 60):
+            service.submit(principal, query)
+        SnapshotStore(tmp_path).save(snapshot_service(service))
+        document = load_snapshot(next(tmp_path.iterdir()))
+        assert document["format"] == "repro.snapshot/2"
+        collected = collect_state(tmp_path)
+        assert len(collected.sessions) == PRINCIPALS

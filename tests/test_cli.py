@@ -218,7 +218,8 @@ class TestScenarioCommand:
         assert code == 0
         assert sorted(p.name for p in hist_dir.iterdir()) == [
             "adversarial-probe.json", "flash-crowd.json",
-            "policy-churn.json", "zipfian-steady.json",
+            "policy-churn.json", "restart-mid-stream.json",
+            "zipfian-steady.json",
         ]
 
     def test_run_gates_on_check_floors(self, tmp_path):
