@@ -27,6 +27,7 @@ cost, HTTP transports, the disk-backed memory tier)::
     python benchmarks/bench_server_throughput.py --restart
     python benchmarks/bench_server_throughput.py --http
     python benchmarks/bench_server_throughput.py --spill [--principals N]
+    python benchmarks/bench_server_throughput.py --pool
 
 ``--http`` compares single-query decisions/sec over the wire: the v1
 text protocol against the stdlib thread-per-connection server versus
@@ -54,10 +55,18 @@ incremental snapshot delta versus the full base (the delta must
 undershoot the full by ``snapshot_delta_shrink``× in bytes — the
 machine-independent O(delta) witness).
 
+``--pool`` compares the single-process asyncio front end against the
+same front end backed by a :mod:`repro.server.pool` kernel replica
+pool, on a deliberately label-bound workload (label cache off, so the
+data plane is pure CPU).  On a multi-core machine the pool must scale
+label-bound throughput by ≥ ``http_pool_scaling`` (1.8× with two
+replicas); on a single visible core the number is reported but not
+gated, since the replicas would just time-slice one CPU.
+
 The CI regression gate runs the deterministic quick form and compares
 against the committed baseline::
 
-    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR5.json \\
+    python benchmarks/bench_server_throughput.py --ci --json BENCH_PR9.json \\
         --check benchmarks/BENCH_BASELINE.json
 
 which exits non-zero when warm single-query or batch throughput drops
@@ -65,8 +74,9 @@ more than 30% below the baseline, the warm-restart recovery bar fails,
 the HTTP section falls below its committed floors (absolute v2
 asyncio throughput and its speedup over v1 stdlib), the spill tier
 taxes the warm path below ``spill_warm_floor``, lets residency exceed
-its cap, or writes snapshot deltas that are not at least
-``snapshot_delta_shrink``× smaller than the full base.  The ``--ci``
+its cap, writes snapshot deltas that are not at least
+``snapshot_delta_shrink``× smaller than the full base, or (multi-core
+machines only) the replica pool fails its ``http_pool_scaling`` bar.  The ``--ci``
 output also carries a ``kernel`` microbenchmark section (qid
 resolution and pure ``decide_many`` rates over the interned ID plane)
 so kernel-level drift is visible in the artifact even before it moves
@@ -555,6 +565,111 @@ def _measure_obs_overhead(views, seed: int) -> dict:
     }
 
 
+def _measure_pool(duration: float, seed: int) -> dict:
+    """The kernel-replica-pool section of ``--ci``: multi-core scaling.
+
+    Drives a deliberately **label-bound** workload — ``label_cache_size
+    = 0`` on both sides, so every decision pays the full
+    dissect/compile/match pipeline — through (a) the plain single-
+    process asyncio front end and (b) the same front end backed by a
+    :class:`repro.server.pool.ReplicaPool` of kernel worker processes.
+    With the cache off, the data plane is pure CPU, which is exactly
+    the work the replicas spread across cores; the ratio is the pool's
+    scaling factor.  Gated by ``http_pool_scaling`` (≥ 1.8× with two
+    replicas) **only when more than one CPU core is visible** — on a
+    single core the replicas time-slice one CPU and pay the pipe tax
+    with nothing to parallelize, so the measurement is reported but
+    not gated (the same caveat the shard sweep prints).
+    """
+    import os
+
+    from repro.facebook.permissions import facebook_security_views
+    from repro.server.aio import start_async_background
+    from repro.server.pool import start_pooled_background
+
+    views = facebook_security_views()
+    cores = os.cpu_count() or 1
+    replicas = max(2, min(4, cores))
+
+    handle = start_async_background(
+        DisclosureService(views, label_cache_size=0)
+    )
+    try:
+        single = run_load(
+            url=f"http://{handle.host}:{handle.port}",
+            transport="async-http",
+            protocol="v2",
+            workers=64,
+            duration=duration,
+            principals=PRINCIPALS,
+            query_pool=256,
+            seed=seed,
+        )
+    finally:
+        handle.stop()
+
+    pooled_handle = start_pooled_background(
+        replicas,
+        service_kwargs={"security_views": views, "label_cache_size": 0},
+    )
+    try:
+        pooled = run_load(
+            url=f"http://{pooled_handle.host}:{pooled_handle.port}",
+            transport="async-http",
+            protocol="v2",
+            workers=64,
+            duration=duration,
+            principals=PRINCIPALS,
+            query_pool=256,
+            seed=seed,
+        )
+        merged = pooled_handle.pool.metrics_snapshot()
+    finally:
+        pooled_handle.stop()
+
+    return {
+        "replicas": replicas,
+        "cores_visible": cores,
+        "single_async_qps": single.qps,
+        "pooled_async_qps": pooled.qps,
+        "scaling": pooled.qps / single.qps if single.qps else 0.0,
+        "single_p50_us": single.p50_us,
+        "pooled_p50_us": pooled.p50_us,
+        "replica_decisions": [
+            replica.get("decisions", 0) for replica in merged["replicas"]
+        ],
+        "errors": single.errors + pooled.errors,
+    }
+
+
+def _sweep_pool(duration: float, seed: int) -> None:
+    """Human-readable form of :func:`_measure_pool` (``--pool``)."""
+    result = _measure_pool(duration, seed)
+    print(
+        f"label-bound single-query decisions/sec over the asyncio front "
+        f"end ({result['cores_visible']} CPU core(s) visible):"
+    )
+    print(
+        f"  single process:              {result['single_async_qps']:>10,.0f}/s"
+        f"   p50 {result['single_p50_us']:.0f} µs"
+    )
+    print(
+        f"  {result['replicas']} kernel replicas (pool):    "
+        f"{result['pooled_async_qps']:>10,.0f}/s"
+        f"   p50 {result['pooled_p50_us']:.0f} µs"
+    )
+    print(
+        f"  scaling: {result['scaling']:.2f}x   per-replica decisions: "
+        f"{result['replica_decisions']}   ({result['errors']} errors)"
+    )
+    if result["cores_visible"] < 2:
+        print(
+            "  note: with a single visible core the replicas time-slice "
+            "one CPU and pay the pipe tax with nothing to parallelize; "
+            "expect flat-to-negative scaling on this machine"
+        )
+
+
 def _sweep_http(duration: float, seed: int) -> None:
     """Human-readable form of :func:`_measure_http`."""
     result = _measure_http(duration, seed)
@@ -780,7 +895,7 @@ def _measure_kernel(service, traffic) -> dict:
 
 
 def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
-    """Emit ``BENCH_PR5.json`` and gate against the committed baseline.
+    """Emit ``BENCH_PR9.json`` and gate against the committed baseline.
 
     Thresholds are deliberately loose (warm single-query and batch
     throughput may not drop more than 30% below baseline; HTTP floors
@@ -806,6 +921,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
     http = _measure_http(duration=1.5, seed=seed + 2)
     obs = _measure_obs_overhead(views, seed=seed + 3)
     spill = _measure_spill(views, seed=seed + 4)
+    pool = _measure_pool(duration=1.5, seed=seed + 5)
 
     results = {
         "figure": "server-throughput-ci",
@@ -819,6 +935,7 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         "http": http,
         "obs": obs,
         "spill": spill,
+        "pool": pool,
     }
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -865,6 +982,11 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
         f"snapshot delta: {snapshot['delta_bytes']:,} B vs full "
         f"{snapshot['full_bytes']:,} B ({snapshot['shrink']:.0f}x smaller, "
         f"{snapshot['speedup']:.0f}x faster)"
+    )
+    print(
+        f"replica pool (label-bound): single {pool['single_async_qps']:,.0f}/s "
+        f"→ {pool['replicas']} replicas {pool['pooled_async_qps']:,.0f}/s "
+        f"({pool['scaling']:.2f}x on {pool['cores_visible']} visible core(s))"
     )
 
     failures = []
@@ -940,6 +1062,20 @@ def _run_ci(json_path: str, check_path: "str | None", seed: int) -> int:
                 f"smaller than the full base (floor: {shrink_floor:.0f}x; "
                 "delta writes must stay O(dirty sessions), not O(sessions))"
             )
+        pool_floor = baseline.get("http_pool_scaling", 0.0)
+        if pool["cores_visible"] < 2:
+            print(
+                "replica-pool scaling gate skipped: only one CPU core is "
+                "visible, so the replicas time-slice one CPU and the "
+                "measurement cannot show multi-core scaling"
+            )
+        elif pool["scaling"] < pool_floor:
+            failures.append(
+                f"kernel replica pool scales label-bound throughput only "
+                f"{pool['scaling']:.2f}x over the single-process front end "
+                f"with {pool['replicas']} replicas on "
+                f"{pool['cores_visible']} cores (floor: {pool_floor:.1f}x)"
+            )
     for failure in failures:
         print(f"REGRESSION: {failure}")
     return 1 if failures else 0
@@ -973,6 +1109,11 @@ def main(argv=None) -> int:
         "latency, bounded residency, snapshot delta vs full)",
     )
     parser.add_argument(
+        "--pool", action="store_true",
+        help="compare the single-process asyncio front end against the "
+        "kernel replica pool on a label-bound workload",
+    )
+    parser.add_argument(
         "--principals", type=int, default=100_000,
         help="(--spill) zipfian population size; 1000000 is the "
         "million-session smoke (not run in CI)",
@@ -982,7 +1123,7 @@ def main(argv=None) -> int:
         help="deterministic quick run for the CI regression gate",
     )
     parser.add_argument(
-        "--json", default="BENCH_PR5.json",
+        "--json", default="BENCH_PR9.json",
         help="(--ci) where to write the results JSON",
     )
     parser.add_argument(
@@ -998,11 +1139,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if not (
         args.batch or args.shards or args.restart or args.http
-        or args.spill or args.ci
+        or args.spill or args.pool or args.ci
     ):
         parser.error(
             "pick a mode: --batch, --shards, --restart, --http, --spill, "
-            "and/or --ci"
+            "--pool, and/or --ci"
         )
     if args.ci:
         return _run_ci(args.json, args.check, args.seed)
@@ -1016,6 +1157,8 @@ def main(argv=None) -> int:
         _sweep_http(args.duration, args.seed)
     if args.spill:
         _sweep_spill(args.seed, args.principals)
+    if args.pool:
+        _sweep_pool(args.duration, args.seed)
     return 0
 
 

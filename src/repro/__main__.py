@@ -8,6 +8,7 @@ Usage::
     python -m repro lattice
     python -m repro evaluate          # alias of python -m repro.harness
     python -m repro serve [--host H] [--port P] [--shards N] [--async]
+                          [--replicas N]
                           [--state-dir DIR] [--snapshot-interval S]
                           [--spill-dir DIR] [--max-resident-sessions N]
                           [--stage-sample-rate N]
@@ -20,7 +21,7 @@ Usage::
     python -m repro scenario list
     python -m repro scenario compile NAME --out FILE [--seed N] [--events N]
     python -m repro scenario run [NAME | --all] [--transport local|http|async-http]
-                                 [--url URL] [--trace FILE] [--timed]
+                                 [--url URL] [--replicas N] [--trace FILE] [--timed]
                                  [--restart-at FRACTION] [--spill-dir DIR]
                                  [--hist-dir DIR] [--check BASELINE.json]
     python -m repro scenario verify FILE [--spec NAME]
@@ -33,7 +34,10 @@ disclosure lattice and its DOT rendering; ``serve`` starts the JSON
 decision service over the Facebook vocabulary (``--shards N`` runs N
 worker processes behind a hash-partitioning front end; ``--async``
 serves the same routes from an asyncio event loop whose per-tick drain
-coalesces concurrent requests into bulk decisions; ``--state-dir``
+coalesces concurrent requests into bulk decisions; ``--async
+--replicas N`` keeps that single front end and moves the data plane
+into N kernel-replica worker processes fed over pipes — multi-core
+throughput with no HTTP between front end and kernels; ``--state-dir``
 makes sessions, label cache, and counters durable across restarts via
 incremental snapshot generations; ``--spill-dir`` adds the disk-backed
 cold-session tier with ``--max-resident-sessions`` warm sessions in
@@ -203,13 +207,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.async_mode and args.shards > 1:
         print(
-            "error: --async serves a single process; combine scale-out "
-            "with a shard-aware client over per-shard --async servers "
-            "instead of --shards",
+            "error: --async runs one front-end process; scale it out "
+            "with --replicas N (kernel replica workers behind this "
+            "front end) or a shard-aware client over per-shard --async "
+            "servers, not --shards",
             file=sys.stderr,
         )
         return 2
+    if args.replicas > 1 and not args.async_mode:
+        print(
+            "error: --replicas needs --async (the replica pool lives "
+            "behind the asyncio front end; the stdlib server scales "
+            "with --shards instead)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
 
+    if args.async_mode and args.replicas > 1:
+        return _serve_pooled(args, default_policy)
     if args.shards > 1:
         return _serve_sharded(args, default_policy)
 
@@ -335,6 +353,113 @@ def _serve_async(service, args: argparse.Namespace, snapshotter) -> int:
     finally:
         if snapshotter is not None:
             snapshotter.stop()  # takes the final shutdown snapshot
+    return 0
+
+
+def _serve_pooled(args: argparse.Namespace, default_policy) -> int:
+    """``serve --async --replicas N``: the kernel replica pool.
+
+    One asyncio front end (parsing, interning, admin, session mirror)
+    dispatching every decision to N kernel-replica worker processes
+    over pipes — multi-core throughput with none of ``--shards``'s
+    per-worker HTTP hop.  See ``docs/pool.md``.
+    """
+    import asyncio
+    import os.path
+
+    from repro.server.aio import AsyncDecisionServer
+    from repro.server.pool import ReplicaPool
+    from repro.server.service import DisclosureService
+
+    service_kwargs = {
+        "max_active_sessions": args.max_resident_sessions or args.max_sessions,
+        "label_cache_size": args.cache_size,
+        "default_policy": default_policy,
+        "stage_sample_rate": args.stage_sample_rate,
+    }
+    parent_kwargs = dict(service_kwargs)
+    if args.spill_dir:
+        # Replica i spills under DIR/replica-<i> (derived in the
+        # worker); the front end's mirror spills beside them.
+        service_kwargs["spill_dir"] = args.spill_dir
+        parent_kwargs["spill_dir"] = os.path.join(args.spill_dir, "front")
+        print(
+            f"spill tier: per-replica logs under "
+            f"{args.spill_dir}/replica-<i> (mirror under "
+            f"{args.spill_dir}/front)"
+        )
+    service = DisclosureService(**parent_kwargs)
+
+    warm_entries = None
+    snapshotter = None
+    if args.state_dir:
+        from repro.server.persist import collect_state, sessions_payload
+
+        collected = collect_state(args.state_dir)
+        if collected is not None:
+            restored = service.import_state(
+                sessions_payload(collected.sessions)
+            )
+            warm_entries = collected.cache_entries
+            print(
+                f"warm restart: {restored} sessions, "
+                f"{len(warm_entries)} cache entries from "
+                f"{len(collected.sources)} snapshot file(s); replicas "
+                f"refault their partitions at spawn"
+            )
+            for path, reason in collected.skipped:
+                print(f"  skipped {path.name}: {reason}")
+
+    pool = ReplicaPool(
+        service,
+        args.replicas,
+        service_kwargs=service_kwargs,
+        warm_entries=warm_entries,
+    ).start()
+    if args.state_dir:
+        from repro.server.persist import Snapshotter, save_pool_snapshot
+
+        snapshotter = Snapshotter(
+            lambda: save_pool_snapshot(
+                args.state_dir, pool.snapshot_payloads()
+            ),
+            interval=args.snapshot_interval,
+        )
+        snapshotter.run_once()
+        snapshotter.start()
+        print(
+            f"snapshots: {args.state_dir} every "
+            f"{args.snapshot_interval:g}s (merged across replicas)"
+        )
+
+    async def run() -> None:
+        server = AsyncDecisionServer(
+            service, args.host, args.port, pool=pool
+        )
+        await server.start()
+        print(
+            f"disclosure decision service (asyncio, {args.replicas} "
+            f"kernel replicas) on http://{server.host}:{server.port}"
+        )
+        print(
+            "routes: POST /v1/register /v1/query /v1/peek /v1/batch "
+            "/v1/reset /v2/query /v2/batch; GET /v2/protocol /metrics "
+            "/healthz (decisions dispatch to replicas by principal hash)"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if snapshotter is not None:
+            snapshotter.stop()  # final merged snapshot, replicas still up
+        pool.close()
+        service.close()
     return 0
 
 
@@ -648,11 +773,27 @@ def _scenario_replay(args: argparse.Namespace, trace, slo):
 
         from repro.client import AsyncHttpClient
 
-        if not args.url:
-            raise ValueError("the async-http transport needs a --url target")
+        replicas = getattr(args, "replicas", 1)
+        if args.url and replicas > 1:
+            raise ValueError(
+                "--replicas starts its own pooled server; pass either "
+                "--replicas N or --url, not both"
+            )
+        if not args.url and replicas <= 1:
+            raise ValueError(
+                "the async-http transport needs a --url target (or "
+                "--replicas N to start a pooled front end in-process)"
+            )
+        handle = None
+        url = args.url
+        if replicas > 1:
+            from repro.server.pool import start_pooled_background
+
+            handle = start_pooled_background(replicas)
+            url = f"http://{handle.host}:{handle.port}"
 
         async def drive():
-            client = AsyncHttpClient(args.url, protocol=args.protocol)
+            client = AsyncHttpClient(url, protocol=args.protocol)
             await client.connect()
             try:
                 return await replay_trace_async(
@@ -665,7 +806,11 @@ def _scenario_replay(args: argparse.Namespace, trace, slo):
             finally:
                 await client.close()
 
-        return asyncio.run(drive())
+        try:
+            return asyncio.run(drive())
+        finally:
+            if handle is not None:
+                handle.stop()
     with _scenario_client(args) as client:
         return replay_trace(
             trace,
@@ -773,7 +918,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     floors_by_name = {}
     if args.check:
         with open(args.check) as handle:
-            floors_by_name = json.load(handle).get("scenarios", {})
+            baseline = json.load(handle)
+        # A pooled replay pays a real cross-process pipe round trip per
+        # decision, so it gates on its own (looser) committed floors.
+        section = "scenarios"
+        if getattr(args, "replicas", 1) > 1 and "scenarios_pooled" in baseline:
+            section = "scenarios_pooled"
+        floors_by_name = baseline.get(section, {})
     jobs = []  # (name, trace, spec-or-None)
     if args.trace:
         try:
@@ -852,6 +1003,8 @@ def _render_metrics(snapshot: dict) -> str:
     ]
     if "shard_count" in snapshot:
         lines.append(f"shards:     {snapshot['shard_count']}")
+    if "replica_count" in snapshot:
+        lines.append(f"replicas:   {snapshot['replica_count']}")
     for vector in (snapshot.get("registry") or {}).get("vectors", []):
         if vector.get("name") != "repro_kernel_stage_seconds":
             continue
@@ -944,6 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from an asyncio event loop instead of the "
         "thread-per-connection stdlib server; concurrent decision "
         "requests coalesce into bulk decisions per event-loop tick",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="with --async: kernel replica worker processes behind the "
+        "single asyncio front end (principals hash-partitioned across "
+        "replicas, no HTTP between front end and data plane)",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=10_000,
@@ -1135,6 +1294,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument(
         "--url", help="server URL for the http/async-http transports"
+    )
+    scenario.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="async-http transport without --url: start an in-process "
+        "pooled front end with N kernel replicas and replay against it",
     )
     scenario.add_argument(
         "--protocol", choices=("auto", "v1", "v2"), default="auto",

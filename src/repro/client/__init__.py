@@ -3,7 +3,8 @@
 * :mod:`repro.client.base` — the :class:`DecisionClient` protocol
   (``submit`` / ``peek`` / ``submit_many`` / ``peek_many`` /
   ``decide_group`` / ``register`` / ``reset`` / ``metrics`` /
-  ``snapshot``) and the uniform :class:`ClientError`
+  ``snapshot``) and the uniform :class:`ClientError` (plus the
+  retryable :class:`StallError` watchdog teardowns raise)
 * :mod:`repro.client.local` — :class:`LocalClient`: an in-process
   :class:`~repro.server.service.DisclosureService` behind the protocol
 * :mod:`repro.client.http` — :class:`HttpClient`: sync HTTP speaking
@@ -20,7 +21,7 @@
 """
 
 from repro.client.aio import AsyncHttpClient
-from repro.client.base import ClientError, DecisionClient
+from repro.client.base import ClientError, DecisionClient, StallError
 from repro.client.http import HttpClient
 from repro.client.local import LocalClient
 from repro.client.parsing import parse_text
@@ -34,6 +35,7 @@ __all__ = [
     "HttpClient",
     "LocalClient",
     "ShardedClient",
+    "StallError",
     "WireState",
     "parse_text",
     "query_to_datalog",

@@ -24,7 +24,7 @@ from collections import deque
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.client import wire
-from repro.client.base import ClientError, ClientItem
+from repro.client.base import ClientError, ClientItem, StallError
 from repro.client.http import _error_from, _split_url
 from repro.core.queries import ConjunctiveQuery
 
@@ -71,6 +71,11 @@ class AsyncHttpClient:
         self._waiters: "deque[asyncio.Future]" = deque()
         self._write_lock = asyncio.Lock()
         self._last_activity = 0.0
+        #: Set by the watchdog just before it kills a stalled
+        #: connection, so the reader task fails the in-flight waiters
+        #: with the retryable :class:`StallError` instead of the generic
+        #: closed-connection error.
+        self._stalled = False
         #: path -> rendered request-head prefix (up to Content-Length).
         self._head_prefixes: Dict[str, bytes] = {}
         #: Requests rendered this tick, flushed in one socket write.
@@ -93,6 +98,7 @@ class AsyncHttpClient:
         # were failed with it, and replaying them on the new socket
         # would misalign every future response.
         self._out.clear()
+        self._stalled = False
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
@@ -113,6 +119,7 @@ class AsyncHttpClient:
                 and self._waiters
                 and loop.time() - self._last_activity > self.timeout
             ):
+                self._stalled = True
                 writer.close()  # the reader task fails every waiter
 
     async def _read_responses(self, reader: asyncio.StreamReader) -> None:
@@ -148,11 +155,22 @@ class AsyncHttpClient:
         # The connection is gone: fail everything still in flight and
         # force a full interner resync (the server may have restarted).
         self._state.resync()
-        failure = ClientError(
-            f"connection to {self.host}:{self.port} closed"
-            + (f": {error}" if error else ""),
-            status=502,
-        )
+        failure: ClientError
+        if self._stalled:
+            # The watchdog tore this connection down: none of the
+            # in-flight requests were answered, so each fails with the
+            # typed retryable error rather than a bare disconnect.
+            failure = StallError(
+                f"connection to {self.host}:{self.port} stalled for "
+                f"{self.timeout:g}s with responses in flight; torn down "
+                "(retryable: the requests were never answered)"
+            )
+        else:
+            failure = ClientError(
+                f"connection to {self.host}:{self.port} closed"
+                + (f": {error}" if error else ""),
+                status=502,
+            )
         while self._waiters:
             waiter = self._waiters.popleft()
             if not waiter.done():

@@ -66,7 +66,14 @@ class ClientError(ReproError):
     code:
         The v2 error-taxonomy slug (``unknown-principal``,
         ``bad-delta``, ...) when the failure has one, else ``None``.
+    retryable:
+        ``True`` when the request itself was never judged — the
+        connection died or stalled under it — so re-sending it is safe
+        and likely to succeed.  ``False`` (the default) for
+        request-shaped failures, where a retry would just fail again.
     """
+
+    retryable = False
 
     def __init__(self, message: str, status: int = 400, code: Optional[str] = None):
         super().__init__(message)
@@ -75,6 +82,23 @@ class ClientError(ReproError):
 
     def __repr__(self) -> str:
         return f"ClientError({self.status}, {self.code!r}, {str(self)!r})"
+
+
+class StallError(ClientError):
+    """A pipelined connection stalled and was torn down mid-flight.
+
+    Raised into every in-flight future when
+    :class:`~repro.client.aio.AsyncHttpClient`'s watchdog kills a
+    connection whose responses stopped arriving (server wedged, network
+    black hole).  The decisions were never observed, so the error is
+    :attr:`retryable` — callers may re-issue the same requests on the
+    reconnected client, which resyncs its interner state automatically.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, status: int = 504, code: Optional[str] = None):
+        super().__init__(message, status=status, code=code)
 
 
 class DecisionClient(ABC):

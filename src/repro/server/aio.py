@@ -65,6 +65,20 @@ _REASON = {200: "OK", 400: "Bad Request", 404: "Not Found",
            501: "Not Implemented", 502: "Bad Gateway", 503: "Service Unavailable"}
 
 
+def _error_status(result: Dict) -> int:
+    """HTTP status for a per-item error promoted to a single response.
+
+    Same taxonomy as :func:`repro.server.wire2.single_error_status`,
+    plus the pooled front end's one addition: a replica that died and
+    could not be respawned answers 503, not 400.
+    """
+    from repro.server.pool import REPLICA_UNAVAILABLE
+
+    if result.get("code") == REPLICA_UNAVAILABLE:
+        return 503
+    return single_error_status(result)
+
+
 class _QueuedRequest:
     """One request waiting for the tick drain."""
 
@@ -216,20 +230,33 @@ class _HttpProtocol(asyncio.Protocol):
 
 
 class AsyncDecisionServer:
-    """The asyncio front end over one :class:`DisclosureService`."""
+    """The asyncio front end over one :class:`DisclosureService`.
+
+    With *pool* (a started :class:`repro.server.pool.ReplicaPool`), the
+    front end becomes a pure control plane: the tick drain hands each
+    coalesced tick to a single consumer task which dispatches decision
+    runs to the kernel replicas and awaits their pipes without blocking
+    the loop — new connections keep parsing and queueing while replicas
+    compute.  One consumer preserves the drain's order-exactness: ticks
+    are processed strictly in arrival order, one at a time.
+    """
 
     def __init__(
         self,
         service: Optional[DisclosureService] = None,
         host: str = "127.0.0.1",
         port: int = 8080,
+        pool=None,
     ):
         self.service = service if service is not None else DisclosureService()
         self.host = host
         self.port = port
+        self.pool = pool
         self.gateway = gateway_for(self.service)
         self._pending: List[_QueuedRequest] = []
         self._server: Optional[asyncio.AbstractServer] = None
+        self._ticks: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
         #: Drain observability: ticks run and requests coalesced.
         self.ticks = 0
         self.drained = 0
@@ -243,6 +270,9 @@ class AsyncDecisionServer:
             lambda: _HttpProtocol(self), self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.pool is not None:
+            self._ticks = asyncio.Queue()
+            self._consumer = loop.create_task(self._consume_ticks())
         return self
 
     async def serve_forever(self) -> None:
@@ -250,6 +280,13 @@ class AsyncDecisionServer:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -327,10 +364,17 @@ class AsyncDecisionServer:
         become one run — decided in one :func:`decide_wire_items` pass —
         and any other request flushes the run first, so the observable
         state evolution is exactly sequential.
+
+        In pooled mode the tick is only *handed off* here — the consumer
+        task drains it, so the loop never blocks on a replica pipe and
+        ticks still settle strictly in arrival order.
         """
         pending, self._pending = self._pending, []
         self.ticks += 1
         self.drained += len(pending)
+        if self._ticks is not None:
+            self._ticks.put_nowait(pending)
+            return
         run: List[Tuple[_QueuedRequest, Tuple]] = []
         run_update = False
         for request in pending:
@@ -358,6 +402,61 @@ class AsyncDecisionServer:
             run_update = request.update
             run.append((request, prepared))
         self._flush_run(run, run_update)
+
+    async def _consume_ticks(self) -> None:
+        """Drain handed-off ticks, one at a time, in arrival order."""
+        assert self._ticks is not None
+        while True:
+            pending = await self._ticks.get()
+            try:
+                await self._drain_pooled(pending)
+            except Exception as exc:  # noqa: BLE001 - never hang a slot
+                failure = (500, {"error": f"internal error: {exc}"})
+                for request in pending:
+                    if not request.slot.done():
+                        request.slot.set_result(failure)
+
+    async def _drain_pooled(self, pending: List[_QueuedRequest]) -> None:
+        """The pooled tick drain: same run discipline, replica dispatch.
+
+        Inline routes that touch sessions or metrics go through
+        :meth:`ReplicaPool.dispatch_inline` (the parent never decides in
+        pooled mode); everything else falls through to the ordinary
+        dispatch.  Decision runs ship to the replicas and their pipes
+        are awaited, so replica compute overlaps front-end work.
+        """
+        pool = self.pool
+        run: List[Tuple[_QueuedRequest, Tuple]] = []
+        run_update = False
+        for request in pending:
+            if request.kind == "inline":
+                await self._flush_run_pooled(run, run_update)
+                run = []
+                try:
+                    status_payload = pool.dispatch_inline(
+                        request.method, request.path, request.body
+                    )
+                    if status_payload is None:
+                        status_payload = dispatch(
+                            self.service,
+                            request.method,
+                            request.path,
+                            request.body,
+                            transport="async",
+                        )
+                except Exception as exc:  # noqa: BLE001 - never hang a slot
+                    status_payload = (500, {"error": f"internal error: {exc}"})
+                request.slot.set_result(status_payload)
+                continue
+            prepared = self._prepare(request)
+            if prepared is None:
+                continue  # already answered (a request-shaped error)
+            if run and request.update != run_update:
+                await self._flush_run_pooled(run, run_update)
+                run = []
+            run_update = request.update
+            run.append((request, prepared))
+        await self._flush_run_pooled(run, run_update)
 
     def _prepare(self, request: _QueuedRequest):
         """``(principal, query, qid, plane, compact, trace)`` or ``None``.
@@ -391,13 +490,15 @@ class AsyncDecisionServer:
         principal, query = parsed
         return principal, query, None, None, False, False
 
-    def _flush_run(self, run: List, update: bool) -> None:
-        """Decide one homogeneous run through the shared batch core."""
-        if not run:
-            return
-        # Segment by captured kernel plane: v2 entries carry the plane
-        # their qids belong to, and a rotation mid-tick must not mix id
-        # spaces.  v1 entries (plane None) join any segment.
+    @staticmethod
+    def _segment_runs(run: List) -> List[Tuple[List, Any]]:
+        """Split a run into plane-homogeneous segments, in order.
+
+        v2 entries carry the plane their qids belong to, and a rotation
+        mid-tick must not mix id spaces.  v1 entries (plane None) join
+        any segment.
+        """
+        segments: List[Tuple[List, Any]] = []
         start = 0
         plane = None
         for index, (_, prepared) in enumerate(run):
@@ -405,17 +506,29 @@ class AsyncDecisionServer:
             if entry_plane is None:
                 continue
             if plane is not None and entry_plane is not plane:
-                self._decide_segment(run[start:index], update, plane)
+                segments.append((run[start:index], plane))
                 start, plane = index, entry_plane
             else:
                 plane = entry_plane
-        self._decide_segment(run[start:], update, plane)
+        segments.append((run[start:], plane))
+        return segments
 
-    def _decide_segment(self, segment: List, update: bool, plane) -> None:
-        if not segment:
+    def _flush_run(self, run: List, update: bool) -> None:
+        """Decide one homogeneous run through the shared batch core."""
+        if not run:
             return
-        from repro.server.batch import decide_wire_items
+        for segment, plane in self._segment_runs(run):
+            self._decide_segment(segment, update, plane)
 
+    async def _flush_run_pooled(self, run: List, update: bool) -> None:
+        """Decide one homogeneous run through the replica pool."""
+        if not run:
+            return
+        for segment, plane in self._segment_runs(run):
+            await self._decide_segment_pooled(segment, update, plane)
+
+    @staticmethod
+    def _segment_entries(segment: List):
         entries = [
             (principal, query, qid)
             for _, (principal, query, qid, _, _, _) in segment
@@ -423,16 +536,49 @@ class AsyncDecisionServer:
         traced = any(prepared[5] for _, prepared in segment)
         timings: Optional[Dict] = {} if traced else None
         started = perf_counter() if traced else 0.0
+        return entries, timings, started
+
+    @staticmethod
+    def _fail_segment(segment: List, exc: Exception) -> None:
+        failure = (500, {"error": f"internal error: {exc}"})
+        for request, _ in segment:
+            request.slot.set_result(failure)
+
+    def _decide_segment(self, segment: List, update: bool, plane) -> None:
+        if not segment:
+            return
+        from repro.server.batch import decide_wire_items
+
+        entries, timings, started = self._segment_entries(segment)
         try:
             results = decide_wire_items(
                 self.service, entries, update=update, plane=plane,
                 timings=timings,
             )
         except Exception as exc:  # noqa: BLE001 - never hang a slot
-            failure = (500, {"error": f"internal error: {exc}"})
-            for request, _ in segment:
-                request.slot.set_result(failure)
+            self._fail_segment(segment, exc)
             return
+        self._answer_segment(segment, results, started, timings)
+
+    async def _decide_segment_pooled(
+        self, segment: List, update: bool, plane
+    ) -> None:
+        if not segment:
+            return
+        entries, timings, started = self._segment_entries(segment)
+        try:
+            results = await self.pool.decide_async(
+                entries, update=update, plane=plane, timings=timings
+            )
+        except Exception as exc:  # noqa: BLE001 - never hang a slot
+            self._fail_segment(segment, exc)
+            return
+        self._answer_segment(segment, results, started, timings)
+
+    def _answer_segment(
+        self, segment: List, results: List, started: float,
+        timings: Optional[Dict],
+    ) -> None:
         coalesced = len(segment)
         for (request, prepared), result in zip(segment, results):
             compact = prepared[4]
@@ -449,10 +595,10 @@ class AsyncDecisionServer:
                         (200, render_single(result, compact))
                     )
             elif request.kind == "v2":
-                request.slot.set_result((single_error_status(result), result))
+                request.slot.set_result((_error_status(result), result))
             else:  # v1 keeps its historical error shape (no code field)
                 request.slot.set_result(
-                    (single_error_status(result), {"error": result["error"]})
+                    (_error_status(result), {"error": result["error"]})
                 )
 
     def _traced_response(
@@ -502,6 +648,7 @@ async def serve_async(
     host: str = "127.0.0.1",
     port: int = 8080,
     *,
+    pool=None,
     ready=None,
 ) -> None:
     """Run an :class:`AsyncDecisionServer` until cancelled.
@@ -509,7 +656,7 @@ async def serve_async(
     *ready*, when given, is called with the started server (tests and
     the CLI use it to learn the bound port).
     """
-    server = AsyncDecisionServer(service, host, port)
+    server = AsyncDecisionServer(service, host, port, pool=pool)
     await server.start()
     if ready is not None:
         ready(server)
@@ -542,13 +689,14 @@ def start_async_background(
     service: Optional[DisclosureService] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    pool=None,
 ) -> BackgroundAsyncServer:
     """Start an asyncio front end on a daemon thread; returns a handle."""
     started = threading.Event()
     holder: Dict = {}
 
     async def main() -> None:
-        server = AsyncDecisionServer(service, host, port)
+        server = AsyncDecisionServer(service, host, port, pool=pool)
         await server.start()
         holder["server"] = server
         holder["loop"] = asyncio.get_running_loop()

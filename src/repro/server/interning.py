@@ -108,6 +108,17 @@ class QueryInterner:
         with self._lock:
             return list(self._keys)
 
+    def export_keys_since(self, start: int) -> List[CanonicalKey]:
+        """The key table slice from qid *start* on (the delta form).
+
+        Ids are dense and append-only, so a consumer that has already
+        absorbed qids ``0..start-1`` only needs this suffix to stay
+        positionally exact — the replica-pool dispatcher ships these
+        deltas ahead of each batch instead of re-exporting the table.
+        """
+        with self._lock:
+            return self._keys[start:]
+
     def import_keys(self, keys: Iterable[CanonicalKey]) -> List[int]:
         """Intern *keys* in order; returns the local qid of each.
 

@@ -318,6 +318,32 @@ class DecisionKernel:
             self._plane = _Plane(plane.epoch + 1, cache)
             return self._plane
 
+    def adopt_plane_epoch(self, epoch: int) -> _Plane:
+        """Rotate to a fresh plane stamped *epoch* (the follower handshake).
+
+        A kernel replica never interns or rotates on its own — its qid
+        table is a positional mirror of the pool parent's, rebuilt from
+        shipped key deltas — so when the parent's plane rotates, the
+        parent propagates the bump and the replica adopts the new epoch
+        wholesale: fresh interners, fresh cache (hit counters carried
+        over, same as a local rotation).  Idempotent at the current
+        epoch; refuses to travel backwards, since a stale epoch would
+        silently mix id spaces.
+        """
+        with self._plane_lock:
+            plane = self._plane
+            if plane.epoch == epoch:
+                return plane
+            if epoch < plane.epoch:
+                raise ValueError(
+                    f"cannot adopt plane epoch {epoch} behind the current "
+                    f"epoch {plane.epoch}"
+                )
+            cache = LabelCache(self.label_cache_size)
+            cache.inherit_counters(plane.cache)
+            self._plane = _Plane(epoch, cache)
+            return self._plane
+
     @staticmethod
     def _sync_session(session, plane: _Plane) -> bool:
         """Align *session*'s memos with *plane*; ``False`` means bypass.

@@ -640,6 +640,33 @@ class SnapshotStore:
         return None
 
 
+def save_pool_snapshot(
+    state_dir: "Path | str", payloads: List[Dict], keep: int = DEFAULT_KEEP
+) -> Optional[Path]:
+    """Persist one merged snapshot of a replica-pool deployment.
+
+    *payloads* are the per-replica ``snapshot_service`` payloads the
+    pool dispatcher gathered over its pipes; they merge through the
+    same topology-free fold the shard router serves
+    (:func:`repro.server.shard.merge_snapshot_payloads` — sessions are
+    partition-disjoint, caches union, counters sum), so the file is an
+    ordinary single-service snapshot: a restart with a *different*
+    ``--replicas`` count restores it by re-partitioning, exactly like a
+    resharded restart.  Writes the next ``snapshot-<seq>.json`` through
+    :class:`SnapshotStore` (full views from merged payloads — the
+    delta machinery of :class:`SnapshotChain` needs one service's
+    dirty-epoch stream and does not apply here).  Returns the path, or
+    ``None`` when every replica was unreachable.
+    """
+    if not payloads:
+        return None
+    from repro.server.shard import merge_snapshot_payloads
+
+    return SnapshotStore(state_dir, keep=keep).save(
+        merge_snapshot_payloads(payloads)
+    )
+
+
 class SnapshotChain:
     """Incremental generation writer: a full base plus dirty deltas.
 

@@ -77,6 +77,16 @@ from repro.server.httpd import (
 from repro.server.metrics import aggregate_latency
 from repro.server.service import DisclosureService
 
+#: Why the sharded front end refuses ``/v2``, and what to use instead —
+#: served on every ``/v2/*`` POST and on the ``GET /v2/protocol`` probe
+#: so downgrade-capable clients negotiate v1 instead of failing.
+_V2_SHARDED_HINT = (
+    "v2 endpoints are served per-shard; use a shard-aware client "
+    "(repro.client.ShardedClient) against the workers, or run "
+    "`repro serve --async --replicas N` — the kernel replica pool "
+    "serves full v2 from a single front end"
+)
+
 
 def shard_for(principal: Hashable, shard_count: int) -> int:
     """The shard index owning *principal*: ``crc32(str(principal)) % N``.
@@ -258,6 +268,16 @@ class ShardRouter:
                 return 200, snapshot
             if route == "/healthz":
                 return self._healthz()
+            if route == "/v2/protocol":
+                # The negotiated form of the 501 below: HttpClient's
+                # protocol probe hits this route first, so old clients
+                # fall back to v1 cleanly instead of tripping over 501s
+                # on their first decision.
+                return 501, {
+                    "error": _V2_SHARDED_HINT,
+                    "code": "bad-request",
+                    "protocols": ["v1"],
+                }
             if route == "/internal/trace":
                 return 200, self._traces()
             if route == "/internal/snapshot":
@@ -272,11 +292,10 @@ class ShardRouter:
             # router cannot split a shared interner delta across shards.
             # The shard-aware client (repro.client.ShardedClient) routes
             # principals client-side and speaks v2 to each worker
-            # directly.
+            # directly — and `serve --async --replicas N` serves full v2
+            # from one front end by keeping interning in the parent.
             return 501, {
-                "error": "v2 endpoints are served per-shard; use a "
-                "shard-aware client (repro.client.ShardedClient) "
-                "against the workers",
+                "error": _V2_SHARDED_HINT,
                 "code": "bad-request",
             }
         if path == "/v1/batch":

@@ -260,6 +260,25 @@ def state_of(session: "Session") -> SessionState:
     )
 
 
+def iter_owned_states(
+    store: SessionStore, owner: int, owners: int
+) -> Iterator[Tuple[Hashable, SessionState]]:
+    """The states (resident and cold) owned by replica/shard *owner*.
+
+    Ownership is the deployment-wide CRC-32 principal partitioning
+    (:func:`repro.server.shard.shard_for` over *owners* peers) — the
+    same assignment the shard router and the replica-pool dispatcher
+    route by, so the slice this yields is exactly what a respawned
+    worker must refault to resume where its predecessor died.  The
+    caller serializes against concurrent mutation (the service lock).
+    """
+    from repro.server.shard import shard_for
+
+    for principal, state in store.iter_states():
+        if shard_for(principal, owners) == owner:
+            yield principal, state
+
+
 def _state_dict(partitions: Partitions, live: int) -> Dict[str, object]:
     return {
         "partitions": [list(partition) for partition in partitions],

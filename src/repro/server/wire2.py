@@ -457,60 +457,76 @@ def handle_query(service, body: Dict) -> Tuple[int, object]:
     return 200, finish_span(service, span, payload)
 
 
-def handle_batch(service, body: Dict) -> Tuple[int, object]:
-    """``POST /v2/batch``: a qid-native batch, per-item isolated."""
+def resolve_batch(service, body: Dict):
+    """Validate a ``/v2/batch`` body down to decidable wire entries.
+
+    Returns ``(peek, compact, principal_indices, plane, entries)`` where
+    *entries* is the ``(principal, None, qid)`` list every decide core
+    accepts — :func:`decide_wire_items` locally,
+    :meth:`repro.server.pool.ReplicaPool.decide` in pooled mode.  Raises
+    :class:`WireError` on any malformed field, so both callers share one
+    validation surface byte for byte.
+    """
     from repro.server.httpd import MAX_BATCH
 
-    try:
-        peek = _flag_of(body, "peek")
-        compact = _flag_of(body, "compact")
-        items = body.get("items")
-        if not isinstance(items, list):
-            raise WireError(
-                400, BAD_REQUEST, "batch needs an 'items' list of [p, qid]"
-            )
-        if len(items) > MAX_BATCH:
-            raise WireError(
-                400,
-                OVERSIZED_BATCH,
-                f"batch of {len(items)} exceeds the {MAX_BATCH} limit",
-            )
-        principals = body.get("principals")
-        if not isinstance(principals, list) or not all(
-            isinstance(p, str) and p for p in principals
+    peek = _flag_of(body, "peek")
+    compact = _flag_of(body, "compact")
+    items = body.get("items")
+    if not isinstance(items, list):
+        raise WireError(
+            400, BAD_REQUEST, "batch needs an 'items' list of [p, qid]"
+        )
+    if len(items) > MAX_BATCH:
+        raise WireError(
+            400,
+            OVERSIZED_BATCH,
+            f"batch of {len(items)} exceeds the {MAX_BATCH} limit",
+        )
+    principals = body.get("principals")
+    if not isinstance(principals, list) or not all(
+        isinstance(p, str) and p for p in principals
+    ):
+        raise WireError(
+            400,
+            BAD_REQUEST,
+            "batch needs a 'principals' list of non-empty strings",
+        )
+    principal_indices: List[int] = []
+    qid_refs: List[int] = []
+    for item in items:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not isinstance(item[0], int)
+            or isinstance(item[0], bool)
+            or not 0 <= item[0] < len(principals)
         ):
             raise WireError(
                 400,
                 BAD_REQUEST,
-                "batch needs a 'principals' list of non-empty strings",
+                f"batch item {item!r} is not a valid "
+                "[principal_index, qid] pair",
             )
-        principal_indices: List[int] = []
-        qid_refs: List[int] = []
-        for item in items:
-            if (
-                not isinstance(item, list)
-                or len(item) != 2
-                or not isinstance(item[0], int)
-                or isinstance(item[0], bool)
-                or not 0 <= item[0] < len(principals)
-            ):
-                raise WireError(
-                    400,
-                    BAD_REQUEST,
-                    f"batch item {item!r} is not a valid "
-                    "[principal_index, qid] pair",
-                )
-            principal_indices.append(item[0])
-            qid_refs.append(item[1])
-        plane, qids = gateway_for(service).resolve(
-            body.get("gen"), body.get("base"), body.get("delta"), qid_refs
-        )
-    except WireError as exc:
-        return exc.status, exc.payload()
+        principal_indices.append(item[0])
+        qid_refs.append(item[1])
+    plane, qids = gateway_for(service).resolve(
+        body.get("gen"), body.get("base"), body.get("delta"), qid_refs
+    )
     entries = [
         (principals[principal_idx], None, qid)
         for principal_idx, qid in zip(principal_indices, qids)
     ]
+    return peek, compact, principal_indices, plane, entries
+
+
+def handle_batch(service, body: Dict) -> Tuple[int, object]:
+    """``POST /v2/batch``: a qid-native batch, per-item isolated."""
+    try:
+        peek, compact, principal_indices, plane, entries = resolve_batch(
+            service, body
+        )
+    except WireError as exc:
+        return exc.status, exc.payload()
     results = decide_wire_items(
         service, entries, update=not peek, plane=plane
     )

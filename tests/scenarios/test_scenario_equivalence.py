@@ -78,6 +78,29 @@ class TestEveryTransportReplaysIdentically:
         assert report.errors == 0
         assert report.digest() == _local_digest(views, trace)
 
+    def test_pooled_matches_local(self, views, trace):
+        """The kernel replica pool: decisions travel parent → worker
+        process → parent over pipes, and the digests must not notice."""
+        from repro.server.pool import start_pooled_background
+
+        handle = start_pooled_background(
+            2, service_kwargs={"security_views": views}
+        )
+        try:
+            async def main():
+                client = AsyncHttpClient(f"http://{handle.host}:{handle.port}")
+                await client.connect()
+                try:
+                    return await replay_trace_async(trace, client)
+                finally:
+                    await client.close()
+
+            report = asyncio.run(main())
+        finally:
+            handle.stop()
+        assert report.errors == 0
+        assert report.digest() == _local_digest(views, trace)
+
     def test_sharded_matches_local(self, views, trace):
         client = ShardedClient.for_services(
             [DisclosureService(views) for _ in range(SHARDS)]

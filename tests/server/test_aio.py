@@ -340,3 +340,53 @@ class TestFrontEndEquivalence:
             handle.stop()
         assert service.live_partitions("a") == (True, False)
         assert service.live_partitions("b") == (True, False)
+
+
+class TestWatchdogStall:
+    def test_stalled_connection_fails_in_flight_with_stall_error(
+        self, schema
+    ):
+        """A server that accepts and reads but never answers: the
+        client watchdog must tear the connection down and fail every
+        in-flight future with the typed, retryable :class:`StallError`
+        — not a generic close, which callers could not safely retry."""
+        from repro.client import ClientError, StallError
+
+        birthday = parse_text(BIRTHDAY, "fql", schema=schema)
+
+        async def main():
+            async def black_hole(reader, writer):
+                try:
+                    while await reader.read(65536):
+                        pass  # swallow requests, answer nothing
+                except ConnectionError:
+                    pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(
+                black_hole, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncHttpClient(
+                f"http://{host}:{port}", timeout=0.3
+            )
+            try:
+                outcomes = await asyncio.gather(
+                    *[client.submit("app", birthday) for _ in range(3)],
+                    return_exceptions=True,
+                )
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return outcomes
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert isinstance(outcome, StallError), outcome
+            assert isinstance(outcome, ClientError)
+            assert outcome.retryable is True
+            assert outcome.status == 504
+            assert "stalled" in str(outcome)

@@ -1,0 +1,346 @@
+"""The kernel replica pool: parity, plane deltas, crash recovery.
+
+A pooled deployment must be observationally identical to one local
+service — decisions, error taxonomy, admin routes, session evolution —
+with the data plane spread across worker processes.  These suites hold
+a :class:`ReplicaPool` and a twin local service to the same decision
+stream (the ``cached`` flag excepted: label-cache warmth is
+per-replica), then break the pool on purpose: kill -9 a replica
+mid-stream and require the respawn to refault its sessions from the
+parent mirror and keep the stream byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.facebook.workload import WorkloadGenerator, generate_policies
+from repro.server.batch import decide_wire_items
+from repro.server.httpd import dispatch
+from repro.server.kernel import ServiceDecision
+from repro.server.pool import ReplicaPool, start_pooled_background
+from repro.server.service import DisclosureService
+from repro.server.shard import shard_for
+from repro.server.store import state_of
+
+PRINCIPALS = ("alice", "bob", "carol", "dave", "erin")
+REPLICAS = 2
+
+
+def _assert_same_decision(want, got):
+    """Decision equality modulo ``cached`` (warmth is per-replica)."""
+    assert isinstance(got, ServiceDecision), got
+    assert (want.accepted, want.principal, want.reason) == (
+        got.accepted,
+        got.principal,
+        got.reason,
+    )
+    assert (want.live_before, want.live_after) == (
+        got.live_before,
+        got.live_after,
+    )
+
+
+def _traffic(seed: int, count: int):
+    generator = WorkloadGenerator(max_subqueries=1, seed=seed)
+    queries = list(generator.stream(64))
+    import random
+
+    rng = random.Random(seed + 17)
+    return [
+        (PRINCIPALS[rng.randrange(len(PRINCIPALS))], rng.choice(queries))
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def deployment(views, schema):
+    """A 2-replica pool and its single-service twin, same policies."""
+    kwargs = {"security_views": views, "schema": schema}
+    local = DisclosureService(**kwargs)
+    parent = DisclosureService(**kwargs)
+    pool = ReplicaPool(parent, REPLICAS, service_kwargs=kwargs).start()
+    policies = generate_policies(
+        views.names, len(PRINCIPALS), max_partitions=4, max_elements=25,
+        seed=3,
+    )
+    for principal, policy in zip(PRINCIPALS, policies):
+        local.register(principal, policy)
+        status, _ = pool.dispatch_inline(
+            "POST",
+            "/v1/register",
+            {"principal": principal, "policy": [list(p) for p in policy]},
+        )
+        assert status == 200
+    yield local, parent, pool
+    pool.close()
+    parent.close()
+    local.close()
+
+
+class TestDecideParity:
+    def test_updates_and_peeks_match_local(self, deployment):
+        local, _, pool = deployment
+        traffic = _traffic(5, 80)
+        for update in (True, False, True):
+            entries = [(p, q, None) for p, q in traffic]
+            want = decide_wire_items(local, entries, update=update)
+            got = pool.decide(entries, update=update)
+            assert len(want) == len(got)
+            for w, g in zip(want, got):
+                _assert_same_decision(w, g)
+
+    def test_unknown_principal_is_isolated_per_item(self, deployment):
+        local, _, pool = deployment
+        (_, query), = _traffic(6, 1)
+        entries = [("alice", query, None), ("ghost", query, None)]
+        want = decide_wire_items(local, entries, update=True)
+        got = pool.decide(entries, update=True)
+        _assert_same_decision(want[0], got[0])
+        assert got[1] == want[1]  # the same error dict, byte for byte
+        assert got[1]["code"] == "unknown-principal"
+
+    def test_parent_mirror_tracks_replica_sessions(self, deployment):
+        local, parent, pool = deployment
+        pool.decide(
+            [(p, q, None) for p, q in _traffic(7, 40)], update=True
+        )
+        decide_wire_items(
+            local, [(p, q, None) for p, q in _traffic(7, 40)], update=True
+        )
+        mirror = dict(parent.store.iter_states())
+        for principal in PRINCIPALS:
+            session = local.store.peek(principal)
+            want = (
+                state_of(session)
+                if session is not None
+                else dict(local.store.iter_states())[principal]
+            )
+            got = mirror[principal]
+            assert (want.partitions, want.live) == (
+                got.partitions,
+                got.live,
+            )
+
+    def test_sessions_partition_by_crc32(self, deployment):
+        _, _, pool = deployment
+        for principal in PRINCIPALS:
+            assert pool.owner_of(principal) == shard_for(principal, REPLICAS)
+
+
+class TestInlineRoutes:
+    def test_v1_batch_matches_local_dispatch(self, deployment):
+        local, _, pool = deployment
+        from repro.server.loadgen import query_to_datalog
+
+        traffic = _traffic(8, 12)
+        body = {
+            "queries": [
+                {"principal": p, "datalog": query_to_datalog(q)}
+                for p, q in traffic
+            ]
+            + [
+                {"principal": "ghost", "datalog": "q(X) :- likes(U, X)"},
+                {"bad": "item"},
+            ]
+        }
+        want_status, want = dispatch(local, "POST", "/v1/batch", body)
+        got_status, got = pool.dispatch_inline("POST", "/v1/batch", body)
+        assert (want_status, want["count"]) == (got_status, got["count"])
+        for w, g in zip(want["decisions"], got["decisions"]):
+            if "error" in w:
+                assert w == g
+            else:
+                for key in ("accepted", "principal", "reason",
+                            "live_before", "live_after"):
+                    assert w[key] == g[key]
+
+    def test_reset_restores_full_liveness_everywhere(self, deployment):
+        local, parent, pool = deployment
+        local.reset("alice")
+        status, payload = pool.dispatch_inline(
+            "POST", "/v1/reset", {"principal": "alice"}
+        )
+        assert (status, payload) == (200, {"reset": "alice"})
+        (_, query), = _traffic(9, 1)
+        want = decide_wire_items(local, [("alice", query, None)], update=True)
+        got = pool.decide([("alice", query, None)], update=True)
+        _assert_same_decision(want[0], got[0])
+
+    def test_metrics_merge_across_replicas(self, deployment):
+        _, _, pool = deployment
+        snapshot = pool.metrics_snapshot()
+        assert snapshot["replica_count"] == REPLICAS
+        assert len(snapshot["replicas"]) == REPLICAS
+        # Every decision in this module went through a replica; the sum
+        # must cover them all (exact counts shift as tests are added).
+        assert snapshot["decisions"] > 0
+        vectors = {
+            vector["name"] for vector in snapshot["registry"]["vectors"]
+        }
+        assert {"repro_pool_batches_total", "repro_pool_items_total"} <= vectors
+        scalars = {
+            scalar["name"] for scalar in snapshot["registry"]["scalars"]
+        }
+        assert "repro_pool_dispatch_seconds" in scalars
+
+    def test_merged_snapshot_restores_into_one_service(
+        self, deployment, views, schema
+    ):
+        local, _, pool = deployment
+        merged = pool.merged_snapshot()
+        sessions = merged["sessions"]["sessions"]
+        assert set(PRINCIPALS) <= set(sessions)
+        restored = DisclosureService(views, schema=schema)
+        try:
+            assert restored.import_state(merged["sessions"]) == len(sessions)
+            (_, query), = _traffic(10, 1)
+            want = pool.decide([("bob", query, None)], update=False)
+            got = decide_wire_items(
+                restored, [("bob", query, None)], update=False
+            )
+            _assert_same_decision(got[0], want[0])
+        finally:
+            restored.close()
+
+
+class TestPlaneDeltas:
+    def test_rotation_mid_stream_stays_exact(self, views, schema):
+        """Tiny interner cap: the parent rotates planes every few
+        shapes, replicas must adopt each epoch and stay id-exact."""
+        kwargs = {"security_views": views, "schema": schema}
+        local = DisclosureService(**kwargs)
+        parent = DisclosureService(**kwargs)
+        local.kernel.max_interned_shapes = 8
+        parent.kernel.max_interned_shapes = 8
+        pool = ReplicaPool(parent, REPLICAS, service_kwargs=kwargs).start()
+        try:
+            policies = generate_policies(
+                views.names, len(PRINCIPALS), max_partitions=4,
+                max_elements=25, seed=3,
+            )
+            for principal, policy in zip(PRINCIPALS, policies):
+                local.register(principal, policy)
+                status, _ = pool.dispatch_inline(
+                    "POST",
+                    "/v1/register",
+                    {
+                        "principal": principal,
+                        "policy": [list(p) for p in policy],
+                    },
+                )
+                assert status == 200
+            epochs = set()
+            for start in range(0, 60, 6):
+                batch = [(p, q, None) for p, q in _traffic(30, 60)[start:start + 6]]
+                want = decide_wire_items(local, batch, update=True)
+                got = pool.decide(batch, update=True)
+                for w, g in zip(want, got):
+                    _assert_same_decision(w, g)
+                epochs.add(parent.kernel.plane.epoch)
+            assert len(epochs) > 1, "the cap never forced a rotation"
+        finally:
+            pool.close()
+            parent.close()
+            local.close()
+
+
+class TestCrashRecovery:
+    def test_kill_dash_nine_respawns_and_refaults(self, deployment):
+        local, _, pool = deployment
+        victim = pool.handles[0]
+        old_pid = victim.process.pid
+        os.kill(old_pid, signal.SIGKILL)
+        time.sleep(0.2)
+        traffic = _traffic(11, 40)
+        entries = [(p, q, None) for p, q in traffic]
+        want = decide_wire_items(local, entries, update=True)
+        got = pool.decide(entries, update=True)
+        for w, g in zip(want, got):
+            _assert_same_decision(w, g)
+        assert pool.handles[0].process.pid != old_pid
+        snapshot = pool.metrics_snapshot()
+        respawns = [
+            series
+            for vector in snapshot["registry"]["vectors"]
+            if vector["name"] == "repro_pool_respawns_total"
+            for series in vector["series"]
+        ]
+        assert sum(series["value"] for series in respawns) >= 1
+
+    def test_both_replicas_die_both_recover(self, deployment):
+        local, _, pool = deployment
+        for handle in list(pool.handles):
+            os.kill(handle.process.pid, signal.SIGKILL)
+        time.sleep(0.2)
+        traffic = _traffic(12, 30)
+        entries = [(p, q, None) for p, q in traffic]
+        want = decide_wire_items(local, entries, update=True)
+        got = pool.decide(entries, update=True)
+        for w, g in zip(want, got):
+            _assert_same_decision(w, g)
+
+
+class TestPooledFrontEndCrashScenario:
+    def test_restart_mid_stream_digest_survives_a_replica_kill(
+        self, views
+    ):
+        """kill -9 one replica mid-scenario through the real pooled
+        front end: the respawn + session refault must leave the replayed
+        decision stream byte-identical to an uninterrupted local run."""
+        import asyncio
+
+        from repro.client import AsyncHttpClient, LocalClient
+        from repro.scenarios import (
+            compile_scenario,
+            get_scenario,
+            replay_trace,
+            replay_trace_async,
+        )
+
+        spec = get_scenario("restart-mid-stream").scaled(
+            events=60, principals=16
+        )
+        trace = compile_scenario(spec, seed=7, view_names=views.names)
+        local_report = replay_trace(
+            trace, LocalClient(DisclosureService(views))
+        )
+        assert local_report.errors == 0
+
+        handle = start_pooled_background(
+            REPLICAS, service_kwargs={"security_views": views}
+        )
+        try:
+            kill_at = len(trace) // 2
+            victim_pid = handle.pool.handles[0].process.pid
+
+            class KillingClient(AsyncHttpClient):
+                sent = 0
+
+                async def _decide(self, *args, **kwargs):
+                    KillingClient.sent += 1
+                    if KillingClient.sent == kill_at:
+                        os.kill(victim_pid, signal.SIGKILL)
+                    return await super()._decide(*args, **kwargs)
+
+            async def drive():
+                client = KillingClient(
+                    f"http://{handle.host}:{handle.port}"
+                )
+                await client.connect()
+                try:
+                    return await replay_trace_async(trace, client)
+                finally:
+                    await client.close()
+
+            report = asyncio.run(drive())
+            assert KillingClient.sent > kill_at, "the kill never fired"
+            assert report.errors == 0
+            assert report.digest() == local_report.digest()
+            assert handle.pool.handles[0].process.pid != victim_pid
+        finally:
+            handle.stop()
