@@ -822,6 +822,12 @@ def _scenario_replay(args: argparse.Namespace, trace, slo):
         )
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_analyze
+
+    return run_analyze(args)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     import json
 
@@ -1339,6 +1345,16 @@ def build_parser() -> argparse.ArgumentParser:
         "baseline's `scenarios` key (exit 1 on any violation)",
     )
     scenario.set_defaults(func=_cmd_scenario)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="project-aware static analysis (lock discipline, "
+        "blocking-in-async, wire parity, format registry)",
+    )
+    from repro.analysis.cli import add_arguments as _add_analyze_arguments
+
+    _add_analyze_arguments(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -1,0 +1,198 @@
+"""ASY01 — blocking calls reachable on the event loop.
+
+Roots are every ``async def`` in the corpus plus any plain function
+handed to the loop (``add_reader``/``add_writer``/``call_soon``/
+``call_soon_threadsafe`` arguments).  From those roots the call graph
+is traversed — *through* awaited coroutines too, since awaiting a
+coroutine that blocks still blocks the loop — and every blocking
+primitive in a reachable function is a finding, reported with one
+shortest call path back to its root.
+
+Blocking primitives (see :class:`~repro.analysis.config.AnalysisConfig`):
+``time.sleep``, ``open``/file reads and writes, pipe and socket
+transfers (``send_bytes``/``recv_bytes``/``sendall``…), ``os.fsync``,
+``Connection.poll`` with a nonzero timeout, ``process.join``, and a
+blind ``lock.acquire()``.  A primitive that is itself directly awaited
+(``await reader.readline()``) is loop-native, not blocking.
+
+A ``# repro: noqa[ASY01]`` waiver on a call line does two things: it
+suppresses primitives on that line *and cuts the call edges leaving
+it*, so one annotated dispatch into a documented-synchronous core
+(e.g. the aio tick drain) doesn't drag the whole sync world into the
+async reachability set — while keeping every such crossing explicit
+in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+__all__ = ["check"]
+
+RULE = "ASY01"
+
+_LOOP_REGISTRARS = frozenset(
+    {"add_reader", "add_writer", "call_soon", "call_soon_threadsafe"}
+)
+
+
+def _is_zero_or_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or node.value == 0
+    )
+
+
+def _blocking_reason(site: CallSite, config: AnalysisConfig) -> Optional[str]:
+    """Why this call blocks, or ``None`` if it doesn't."""
+    if site.awaited:
+        return None
+    name = site.callee
+    if site.kind == "bare":
+        if name in config.blocking_names:
+            return f"{name}()"
+        return None
+    if len(site.dotted) >= 2 and site.dotted[-2:] in {
+        tuple(pair) for pair in config.blocking_dotted
+    }:
+        return ".".join(site.dotted[-2:]) + "()"
+    if name in config.blocking_methods:
+        return f".{name}()"
+    if name in config.blocking_methods_ioish and any(
+        hint in site.receiver.lower() for hint in config.ioish_receiver_hints
+    ):
+        return f"{site.receiver}.{name}()"
+    if name == "acquire" and "lock" in site.receiver.lower():
+        blocking_false = any(
+            keyword.arg == "blocking"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+            for keyword in site.node.keywords
+        ) or (
+            site.node.args
+            and isinstance(site.node.args[0], ast.Constant)
+            and site.node.args[0].value is False
+        )
+        if not blocking_false:
+            return f"{site.receiver}.acquire() (blind acquire)"
+        return None
+    if name == "poll":
+        if site.node.args and not _is_zero_or_none(site.node.args[0]):
+            return f".poll({ast.unparse(site.node.args[0])})"
+        if any(
+            keyword.arg == "timeout" and not _is_zero_or_none(keyword.value)
+            for keyword in site.node.keywords
+        ):
+            return ".poll(timeout=...)"
+        return None
+    if name == "join" and any(
+        hint in site.receiver.lower() for hint in ("process", "thread")
+    ):
+        return f"{site.receiver}.join()"
+    return None
+
+
+def _callback_roots(graph: CallGraph) -> Dict[str, str]:
+    """Functions registered on the loop: ``{key: registration-site}``."""
+    roots: Dict[str, str] = {}
+    for key, sites in graph.calls.items():
+        for site in sites:
+            if site.callee not in _LOOP_REGISTRARS:
+                continue
+            for argument in site.node.args:
+                name = None
+                if isinstance(argument, ast.Attribute):
+                    name = argument.attr
+                elif isinstance(argument, ast.Name):
+                    name = argument.id
+                if not name:
+                    continue
+                probe = CallSite(
+                    site.caller, site.node, site.line, name,
+                    "self" if isinstance(argument, ast.Attribute) else "bare",
+                    "", (name,), False, frozenset(), 0, False,
+                )
+                for target in graph.resolve(probe):
+                    roots.setdefault(
+                        target.key,
+                        f"registered on the event loop via "
+                        f"{site.callee}() in {site.caller.qualname}",
+                    )
+    return roots
+
+
+def check(
+    project: Project, graph: CallGraph, config: AnalysisConfig
+) -> List[Finding]:
+    roots: Dict[str, str] = {
+        key: "async def"
+        for key, info in graph.functions.items()
+        if info.is_async
+    }
+    for key, why in _callback_roots(graph).items():
+        roots.setdefault(key, why)
+    if not roots:
+        return []
+
+    # BFS with parent pointers for shortest root-to-function paths.
+    parent: Dict[str, Optional[str]] = {key: None for key in roots}
+    queue = deque(roots)
+    while queue:
+        key = queue.popleft()
+        caller = graph.functions.get(key)
+        if caller is None:
+            continue
+        for site in graph.calls.get(key, []):
+            if caller.source.waived(site.line, RULE):
+                continue  # an annotated crossing into sync-by-design code
+            for callee in graph.resolve(site):
+                if callee.key not in parent:
+                    parent[callee.key] = key
+                    queue.append(callee.key)
+
+    def path_to(key: str) -> List[str]:
+        chain: List[str] = []
+        cursor: Optional[str] = key
+        while cursor is not None and len(chain) < 8:
+            chain.append(graph.functions[cursor].qualname)
+            cursor = parent.get(cursor)
+        return list(reversed(chain))
+
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for key in parent:
+        info = graph.functions.get(key)
+        if info is None:
+            continue
+        for site in graph.calls.get(key, []):
+            if info.source.waived(site.line, RULE):
+                continue
+            reason = _blocking_reason(site, config)
+            if reason is None:
+                continue
+            identity = (info.source.rel, site.line, reason)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            chain = path_to(key)
+            via = " -> ".join(chain)
+            detail = (
+                f"on the event-loop path {via}"
+                if len(chain) > 1
+                else f"in {info.qualname} ({roots.get(key, 'async def')})"
+            )
+            findings.append(
+                Finding(
+                    RULE,
+                    info.source.rel,
+                    site.line,
+                    f"blocking call {reason} {detail}",
+                )
+            )
+    return findings

@@ -1,0 +1,144 @@
+"""Typed findings, inline waivers, and the committed baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baseline matching is ``(rule, path, message)`` — messages
+deliberately name symbols, never line numbers, so a finding keeps
+matching its baseline entry across unrelated edits to the same file.
+
+The baseline (``analysis-baseline.json``) is the triaged-but-deferred
+list: every entry **must** carry a non-empty ``reason`` string, so a
+suppression can never be anonymous.  ``repro analyze --check`` also
+fails on *stale* entries (baselined findings that no longer occur),
+keeping the file honest in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["Baseline", "BaselineError", "Finding", "parse_waivers"]
+
+#: ``# repro: noqa[LCK01]`` / ``# repro: noqa[ASY01, WIRE01] - reason``
+NOQA = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9, ]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: stable id, location, symbol-based message."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity — line numbers excluded on purpose."""
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def parse_waivers(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """``{line_number: {rule, ...}}`` for every ``# repro: noqa[...]``."""
+    waivers: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, 1):
+        match = NOQA.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            waivers[number] = {rule for rule in rules if rule}
+    return waivers
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing reasons...)."""
+
+
+@dataclass
+class Baseline:
+    """The committed suppression list, reasons mandatory."""
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(document, dict) or not isinstance(
+            document.get("entries"), list
+        ):
+            raise BaselineError(
+                f"{path}: baseline must be an object with an 'entries' list"
+            )
+        entries: List[Dict[str, str]] = []
+        for index, entry in enumerate(document["entries"]):
+            if not isinstance(entry, dict):
+                raise BaselineError(f"{path}: entry {index} is not an object")
+            missing = [
+                key
+                for key in ("rule", "path", "message", "reason")
+                if not str(entry.get(key, "")).strip()
+            ]
+            if missing:
+                raise BaselineError(
+                    f"{path}: entry {index} is missing {', '.join(missing)} "
+                    "(every baselined finding needs a reason)"
+                )
+            entries.append({key: str(value) for key, value in entry.items()})
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], reason: str
+    ) -> "Baseline":
+        return cls(
+            [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "reason": reason,
+                }
+                for finding in sorted(findings)
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        document = {"version": 1, "entries": self.entries}
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    def _keys(self) -> Set[Tuple[str, str, str]]:
+        return {
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in self.entries
+        }
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+        """``(new, baselined, stale_entries)`` for this run's findings."""
+        keys = self._keys()
+        new = [finding for finding in findings if finding.key not in keys]
+        matched = [finding for finding in findings if finding.key in keys]
+        seen = {finding.key for finding in findings}
+        stale = [
+            entry
+            for entry in self.entries
+            if (entry["rule"], entry["path"], entry["message"]) not in seen
+        ]
+        return new, matched, stale

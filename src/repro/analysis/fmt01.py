@@ -1,0 +1,73 @@
+"""FMT01 — versioned format strings come from the registry, full stop.
+
+Any string literal shaped ``repro.<artifact>/<version>`` outside
+:mod:`repro.core.formats` is a finding: inlined copies are how a
+writer and its reader drift apart.  Docstrings are exempt (prose may
+name formats); code may not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+__all__ = ["check"]
+
+RULE = "FMT01"
+
+FORMAT_LITERAL = re.compile(r"^repro\.[a-z][a-z0-9_-]*/\d+$")
+
+
+def _docstring_lines(tree: ast.Module) -> Set[int]:
+    """Line spans of every docstring expression in the file."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                doc = body[0].value
+                lines.update(
+                    range(doc.lineno, (doc.end_lineno or doc.lineno) + 1)
+                )
+    return lines
+
+
+def check(
+    project: Project, graph: CallGraph, config: AnalysisConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.files:
+        if source.module == config.formats_module:
+            continue
+        docstrings = _docstring_lines(source.tree)
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and FORMAT_LITERAL.match(node.value)
+                and node.lineno not in docstrings
+                and not source.waived(node.lineno, RULE)
+            ):
+                findings.append(
+                    Finding(
+                        RULE,
+                        source.rel,
+                        node.lineno,
+                        f"versioned format literal '{node.value}' inlined; "
+                        f"import it from {config.formats_module}",
+                    )
+                )
+    return findings

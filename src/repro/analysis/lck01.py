@@ -1,0 +1,159 @@
+"""LCK01 — lock discipline for ``# guarded-by`` fields.
+
+A field declared ``# guarded-by: <lock>`` may only be mutated:
+
+* lexically inside ``with <x>.<lock>:`` (the lock is matched by
+  attribute name, whichever object carries it),
+* in a helper that declares the contract — name ending ``_locked`` or
+  decorated ``@requires_lock`` — or one *inferred* to hold it because
+  every project call site reaches it with the lock held (a fixpoint
+  over the call graph, so "caller holds the service lock" helpers need
+  no marker when the callers are clean),
+* during construction: ``__init__``/``__new__`` of the defining class
+  and helpers reachable only from constructors.
+
+Everything else is a finding.  Separately, the config's
+``required_guarded`` list is enforced as a drift contract: if a module
+it names is in the corpus but the declaration is gone, LCK01 fails —
+deleting an annotation can never silently disable its checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+__all__ = ["check"]
+
+RULE = "LCK01"
+
+
+def _marked(info: FunctionInfo) -> bool:
+    return info.name.endswith("_locked") or "requires_lock" in info.decorators
+
+
+def _held_locks(graph: CallGraph, all_locks: FrozenSet[str]) -> Dict[str, FrozenSet[str]]:
+    """Locks each function is guaranteed to hold whenever it runs.
+
+    Optimistic start, shrink to fixpoint:
+    ``held(F) = ⋂ over call sites s of (locks(s) ∪ held(caller(s)))``.
+    Marked helpers hold everything by contract; functions with no
+    in-project call sites (entry points) hold nothing.
+    """
+    held: Dict[str, FrozenSet[str]] = {}
+    for key, info in graph.functions.items():
+        if _marked(info):
+            held[key] = all_locks
+        elif graph.callers.get(key):
+            held[key] = all_locks  # optimistic; intersections only shrink
+        else:
+            held[key] = frozenset()
+    changed = True
+    while changed:
+        changed = False
+        for key, info in graph.functions.items():
+            if _marked(info) or not graph.callers.get(key):
+                continue
+            combined: FrozenSet[str] = all_locks
+            for caller, site in graph.callers[key]:
+                combined &= site.locks | held.get(caller.key, frozenset())
+            if combined != held[key]:
+                held[key] = combined
+                changed = True
+    return held
+
+
+def _constructing(graph: CallGraph) -> Set[str]:
+    """Functions that only ever run while their object is being built."""
+    constructing = {
+        key
+        for key, info in graph.functions.items()
+        if info.name in ("__init__", "__new__")
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key in graph.functions:
+            if key in constructing:
+                continue
+            sites = graph.callers.get(key)
+            if sites and all(
+                caller.key in constructing for caller, _ in sites
+            ):
+                constructing.add(key)
+                changed = True
+    return constructing
+
+
+def check(
+    project: Project, graph: CallGraph, config: AnalysisConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Drift contract: required declarations must exist wherever their
+    # module is part of the corpus.
+    declared = {
+        (decl.module, decl.cls, decl.fieldname, decl.lock)
+        for decls in project.guarded_by_name.values()
+        for decl in decls
+    }
+    for module, cls, fieldname, lock in sorted(config.required_guarded):
+        source = project.module(module)
+        if source is None:
+            continue
+        if (module, cls, fieldname, lock) not in declared:
+            findings.append(
+                Finding(
+                    RULE,
+                    source.rel,
+                    1,
+                    f"missing '# guarded-by: {lock}' declaration for "
+                    f"{cls}.{fieldname} (required by the analysis config)",
+                )
+            )
+
+    if not project.guarded_by_name:
+        return findings
+
+    all_locks = frozenset(
+        decl.lock
+        for decls in project.guarded_by_name.values()
+        for decl in decls
+    )
+    held = _held_locks(graph, all_locks)
+    constructing = _constructing(graph)
+
+    for key, mutations in graph.mutations.items():
+        info = graph.functions[key]
+        for mutation in mutations:
+            declarations = project.guarded_by_name.get(mutation.fieldname, [])
+            if mutation.receiver_is_self:
+                scoped = [d for d in declarations if d.cls and d.cls == info.cls]
+                if not scoped:
+                    continue  # self.<field> of an undeclared class
+                declarations = scoped
+            if not declarations:
+                continue
+            required = {decl.lock for decl in declarations}
+            effective = mutation.locks | held.get(key, frozenset())
+            if required & effective:
+                continue
+            if key in constructing and mutation.receiver_is_self:
+                continue  # object not published yet
+            owner = sorted({d.cls or d.module for d in declarations})
+            lock = sorted(required)[0]
+            findings.append(
+                Finding(
+                    RULE,
+                    info.source.rel,
+                    mutation.line,
+                    f"{mutation.receiver}.{mutation.fieldname} "
+                    f"(guarded-by {lock} on {', '.join(owner)}) mutated in "
+                    f"{info.qualname} without holding {lock}",
+                )
+            )
+    return findings

@@ -1,0 +1,27 @@
+"""Zero-cost source markers the checkers understand.
+
+Importable from runtime code without dragging the analysis machinery
+along — this module has no dependencies and the decorator returns its
+argument unchanged (no wrapper, no call overhead on hot paths).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["requires_lock"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def requires_lock(func: _F) -> _F:
+    """Declare that *func* must only run with the owning lock held.
+
+    LCK01 treats the body as lock-held (mutations of ``# guarded-by``
+    fields are allowed) and, through the call graph, extends that to
+    helpers it alone calls.  The contract is the caller's to honor —
+    exactly like the "caller holds the service lock" docstrings this
+    marker replaces, but machine-checked at every mutation site.
+    """
+    func.__requires_lock__ = True  # type: ignore[attr-defined]
+    return func

@@ -1,0 +1,185 @@
+"""The analysis corpus: parsed files, annotations, and lookup tables.
+
+One :func:`load_project` call parses every file once; checkers share
+the result.  Two source annotations are collected here:
+
+* ``# repro: noqa[RULE]`` — line waivers (see
+  :mod:`repro.analysis.findings`).
+* ``# guarded-by: <lock>`` on a line assigning ``self.<field>`` (or
+  naming a ``__slots__`` entry) — declares that the field may only be
+  mutated with ``<lock>`` held; LCK01 enforces it.  The lock is named
+  by its *attribute name* (``_lock``, ``_plane_lock``), whichever
+  object carries it — ``with self._lock`` and ``with service._lock``
+  both satisfy a ``guarded-by: _lock`` declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import parse_waivers
+
+__all__ = ["GuardedField", "Project", "SourceFile", "load_project"]
+
+GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_SELF_FIELD = re.compile(r"self\.([A-Za-z_][A-Za-z0-9_]*)")
+_SLOT_FIELD = re.compile(r"[\"']([A-Za-z_][A-Za-z0-9_]*)[\"']")
+
+
+@dataclass(frozen=True)
+class GuardedField:
+    """``# guarded-by:`` declaration: *field* of *cls* needs *lock*."""
+
+    module: str
+    cls: str
+    fieldname: str
+    lock: str
+    path: str
+    line: int
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str  # display / baseline path (posix, relative to cwd)
+    module: str  # dotted module name ("repro.server.pool", or bare stem)
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    waivers: Dict[int, Set[str]]
+    guarded: List[GuardedField] = field(default_factory=list)
+    #: ``[(first_line, last_line, class_qualname)]``, innermost last.
+    class_spans: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def waived(self, line: int, rule: str) -> bool:
+        return rule in self.waivers.get(line, ())
+
+    def enclosing_class(self, line: int) -> str:
+        """Qualname of the innermost class containing *line* ('' if none)."""
+        best = ""
+        best_span = None
+        for start, end, name in self.class_spans:
+            if start <= line <= end:
+                if best_span is None or (end - start) < best_span:
+                    best, best_span = name, end - start
+        return best
+
+
+@dataclass
+class Project:
+    files: List[SourceFile]
+    by_module: Dict[str, SourceFile] = field(default_factory=dict)
+    #: field name -> every guarded declaration of that name.
+    guarded_by_name: Dict[str, List[GuardedField]] = field(default_factory=dict)
+
+    def module(self, name: str) -> Optional[SourceFile]:
+        return self.by_module.get(name)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name by walking up through ``__init__.py`` parents."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _class_spans(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                spans.append(
+                    (child.lineno, child.end_lineno or child.lineno, qualname)
+                )
+                visit(child, qualname)
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _guarded_fields(source: SourceFile) -> List[GuardedField]:
+    declared: List[GuardedField] = []
+    for number, text in enumerate(source.lines, 1):
+        match = GUARDED_BY.search(text)
+        if not match:
+            continue
+        code = text[: match.start()]
+        name_match = _SELF_FIELD.search(code) or _SLOT_FIELD.search(code)
+        if not name_match:
+            continue  # annotation on a line that names no field: inert
+        declared.append(
+            GuardedField(
+                module=source.module,
+                cls=source.enclosing_class(number),
+                fieldname=name_match.group(1),
+                lock=match.group(1),
+                path=source.rel,
+                line=number,
+            )
+        )
+    return declared
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def load_project(paths: Sequence[Path], root: Optional[Path] = None) -> Project:
+    """Parse every ``.py`` under *paths* into one shared corpus."""
+    root = (root or Path.cwd()).resolve()
+    files: List[SourceFile] = []
+    for path in _iter_python_files([Path(p) for p in paths]):
+        resolved = path.resolve()
+        try:
+            rel = resolved.relative_to(root).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        text = resolved.read_text()
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            raise SyntaxError(f"{rel}: {exc}") from exc
+        lines = text.splitlines()
+        source = SourceFile(
+            path=resolved,
+            rel=rel,
+            module=module_name(resolved),
+            text=text,
+            lines=lines,
+            tree=tree,
+            waivers=parse_waivers(lines),
+        )
+        source.class_spans = _class_spans(tree)
+        source.guarded = _guarded_fields(source)
+        files.append(source)
+    project = Project(files=files)
+    for source in files:
+        project.by_module[source.module] = source
+        for declaration in source.guarded:
+            project.guarded_by_name.setdefault(
+                declaration.fieldname, []
+            ).append(declaration)
+    return project

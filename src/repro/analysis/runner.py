@@ -1,0 +1,64 @@
+"""One entry point: load the corpus, run every rule, apply waivers
+and the baseline, and say what's left."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import asy01, fmt01, lck01, wire01
+from repro.analysis.callgraph import build_graph
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.project import load_project
+
+__all__ = ["AnalysisResult", "CHECKERS", "run_analysis"]
+
+CHECKERS = (lck01.check, asy01.check, wire01.check, fmt01.check)
+
+
+@dataclass
+class AnalysisResult:
+    #: Unwaived, unbaselined findings — what should fail a build.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings matched (and silenced) by the baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing this run.
+    stale_entries: List[Dict[str, str]] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    config: Optional[AnalysisConfig] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> AnalysisResult:
+    config = config or DEFAULT_CONFIG
+    project = load_project(paths, root=root)
+    graph = build_graph(project)
+    raw: List[Finding] = []
+    for checker in CHECKERS:
+        raw.extend(checker(project, graph, config))
+    by_rel = {source.rel: source for source in project.files}
+    visible = sorted(
+        finding
+        for finding in raw
+        if not (
+            finding.path in by_rel
+            and by_rel[finding.path].waived(finding.line, finding.rule)
+        )
+    )
+    result = AnalysisResult(files=len(project.files))
+    if baseline is None:
+        result.findings = visible
+        return result
+    result.findings, result.baselined, result.stale_entries = baseline.split(
+        visible
+    )
+    return result

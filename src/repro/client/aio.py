@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import json
 from collections import deque
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.client import wire
 from repro.client.base import ClientError, ClientItem, StallError
@@ -203,7 +203,7 @@ class AsyncHttpClient:
     async def __aenter__(self) -> "AsyncHttpClient":
         return await self.connect()
 
-    async def __aexit__(self, *_exc) -> None:
+    async def __aexit__(self, *_exc: object) -> None:
         await self.close()
 
     # ------------------------------------------------------------------
@@ -430,7 +430,7 @@ class AsyncHttpClient:
     # ------------------------------------------------------------------
     # Administration
     # ------------------------------------------------------------------
-    async def register(self, principal: Hashable, policy) -> None:
+    async def register(self, principal: Hashable, policy: Any) -> None:
         partitions = getattr(policy, "partitions", policy)
         status, payload = await self._request(
             "POST",

@@ -45,7 +45,7 @@ Implementations:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.queries import ConjunctiveQuery
 from repro.errors import ReproError
@@ -156,7 +156,7 @@ class DecisionClient(ABC):
 
     # -- the administrative surface ------------------------------------
     @abstractmethod
-    def register(self, principal: Hashable, policy) -> None:
+    def register(self, principal: Hashable, policy: Any) -> None:
         """Register (or re-register, resetting state) a principal."""
 
     @abstractmethod
@@ -177,5 +177,5 @@ class DecisionClient(ABC):
     def __enter__(self) -> "DecisionClient":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()

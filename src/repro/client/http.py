@@ -18,7 +18,7 @@ on one connection use :class:`repro.client.AsyncHttpClient`.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 if TYPE_CHECKING:  # import only for annotations: the module stays lazy
@@ -93,7 +93,7 @@ class HttpClient(DecisionClient):
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connect(self, fresh: bool = False):
+    def _connect(self, fresh: bool = False) -> Any:
         from http.client import HTTPConnection
 
         if self._connection is None or fresh:
@@ -258,7 +258,7 @@ class HttpClient(DecisionClient):
     # ------------------------------------------------------------------
     # Administration (identical on both wire versions)
     # ------------------------------------------------------------------
-    def register(self, principal: Hashable, policy) -> None:
+    def register(self, principal: Hashable, policy: Any) -> None:
         partitions = getattr(policy, "partitions", policy)
         status, payload = self._request(
             "POST",

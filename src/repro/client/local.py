@@ -10,7 +10,7 @@ disagree by construction — the equivalence suite
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.client.base import ClientError, ClientItem, DecisionClient
 from repro.core.queries import ConjunctiveQuery
@@ -29,7 +29,7 @@ def _client_error(exc: PolicyError) -> ClientError:
 class LocalClient(DecisionClient):
     """A :class:`DecisionClient` over an in-process service."""
 
-    def __init__(self, service: DisclosureService = None):
+    def __init__(self, service: Optional[DisclosureService] = None):
         self.service = service if service is not None else DisclosureService()
 
     # -- decisions -----------------------------------------------------
@@ -59,7 +59,7 @@ class LocalClient(DecisionClient):
         ]
 
     # -- administration ------------------------------------------------
-    def register(self, principal: Hashable, policy) -> None:
+    def register(self, principal: Hashable, policy: Any) -> None:
         try:
             self.service.register(principal, policy)
         except PolicyError as exc:

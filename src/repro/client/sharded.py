@@ -14,7 +14,7 @@ same merge functions.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Sequence
 
 from repro.client.base import ClientItem, DecisionClient
 from repro.core.queries import ConjunctiveQuery
@@ -40,13 +40,13 @@ class ShardedClient(DecisionClient):
         self.clients = list(clients)
 
     @classmethod
-    def for_services(cls, services) -> "ShardedClient":
+    def for_services(cls, services: Iterable[Any]) -> "ShardedClient":
         from repro.client.local import LocalClient
 
         return cls([LocalClient(service) for service in services])
 
     @classmethod
-    def for_workers(cls, workers, **http_kwargs) -> "ShardedClient":
+    def for_workers(cls, workers: Iterable[Any], **http_kwargs: Any) -> "ShardedClient":
         from repro.client.http import HttpClient
 
         return cls(
@@ -91,7 +91,7 @@ class ShardedClient(DecisionClient):
         return results
 
     # ------------------------------------------------------------------
-    def register(self, principal: Hashable, policy) -> None:
+    def register(self, principal: Hashable, policy: Any) -> None:
         self.client_for(principal).register(principal, policy)
 
     def reset(self, principal: Hashable) -> None:

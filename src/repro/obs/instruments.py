@@ -56,7 +56,7 @@ class LatencyHistogram:
     BOUNDS: Tuple[float, ...] = _bucket_bounds()
     MIDPOINTS: Tuple[float, ...] = _bucket_midpoints(BOUNDS)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: List[int] = [0] * (len(self.BOUNDS) + 1)
         self._count = 0
         self._sum = 0.0
@@ -176,7 +176,7 @@ class Counter:
 
     __slots__ = ("_value", "_lock")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._value = 0
         self._lock = threading.Lock()
 
@@ -194,7 +194,7 @@ class Gauge:
 
     __slots__ = ("_value", "_lock")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._value = 0.0
         self._lock = threading.Lock()
 

@@ -18,7 +18,7 @@ is missing from a scrape.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from .instruments import LatencyHistogram
 
@@ -71,7 +71,7 @@ def _label_block(labels: Optional[Mapping[str, str]]) -> str:
 
 
 class _Writer:
-    def __init__(self):
+    def __init__(self) -> None:
         self.lines: List[str] = []
         self._typed: set = set()
 
@@ -105,7 +105,9 @@ def _emit_histogram(writer: _Writer, name: str, snap: Mapping,
     writer.sample(name + "_count", base or None, total)
 
 
-def _emit_flat(writer: _Writer, prefix: str, value) -> None:
+def _emit_flat(
+    writer: _Writer, prefix: str, value: Union[Mapping, int, float, object]
+) -> None:
     """Numeric snapshot leaves become gauges: ``sessions.active`` ->
     ``repro_sessions_active``; non-numeric leaves are skipped."""
     if isinstance(value, Mapping):

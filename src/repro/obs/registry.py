@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .instruments import Counter, Gauge, LatencyHistogram, aggregate_latency
 
@@ -38,7 +38,7 @@ _KINDS = {
 }
 
 
-def _fold(kind: str, into, source) -> None:
+def _fold(kind: str, into: Any, source: Any) -> None:
     """Merge *source*'s accumulated state into *into* (same kind)."""
     if kind == "counter":
         into.increment(source.value)
@@ -68,7 +68,7 @@ class InstrumentVec:
         self._evicted = 0
         self._lock = threading.Lock()
 
-    def labels(self, *values):
+    def labels(self, *values: object) -> Any:
         """The instrument for this label-value tuple (LRU, bounded).
 
         Callers on hot paths should cache the returned instrument when
@@ -124,7 +124,7 @@ class MetricsRegistry:
 
     # -- registration (get-or-create; kind mismatch is a bug) ----------
 
-    def _scalar(self, kind: str, name: str):
+    def _scalar(self, kind: str, name: str) -> Any:
         with self._lock:
             entry = self._scalars.get(name)
             if entry is not None:

@@ -20,12 +20,13 @@ from __future__ import annotations
 import json
 from typing import Dict, Union
 
+from repro.core.formats import POLICY_FORMAT_V1
 from repro.errors import PolicyError
 from repro.labeling.cq_labeler import ConjunctiveQueryLabeler, SecurityViews
 from repro.policy.monitor import ReferenceMonitor
 from repro.policy.policy import PartitionPolicy
 
-_FORMAT = "repro.policy/1"
+_FORMAT = POLICY_FORMAT_V1
 
 
 def policy_to_dict(policy: PartitionPolicy) -> Dict:

@@ -33,6 +33,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.formats import TRACE_FORMAT_V1
 from repro.errors import TraceError
 
 __all__ = [
@@ -45,7 +46,7 @@ __all__ = [
     "loads_trace",
 ]
 
-TRACE_FORMAT = "repro.trace/1"
+TRACE_FORMAT = TRACE_FORMAT_V1
 
 #: The operations the replay engine knows, and the extra key each needs.
 _EVENT_SHAPES = {

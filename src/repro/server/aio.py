@@ -62,7 +62,8 @@ from repro.server.wire2 import (
 
 _REASON = {200: "OK", 400: "Bad Request", 404: "Not Found",
            405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-           501: "Not Implemented", 502: "Bad Gateway", 503: "Service Unavailable"}
+           500: "Internal Server Error", 501: "Not Implemented",
+           502: "Bad Gateway", 503: "Service Unavailable"}
 
 
 def _error_status(result: Dict) -> int:
@@ -433,7 +434,7 @@ class AsyncDecisionServer:
                 await self._flush_run_pooled(run, run_update)
                 run = []
                 try:
-                    status_payload = pool.dispatch_inline(
+                    status_payload = await pool.dispatch_inline_async(
                         request.method, request.path, request.body
                     )
                     if status_payload is None:
@@ -551,7 +552,7 @@ class AsyncDecisionServer:
 
         entries, timings, started = self._segment_entries(segment)
         try:
-            results = decide_wire_items(
+            results = decide_wire_items(  # repro: noqa[ASY01] - the tick drain IS the data plane: the sync kernel core decides here by design, and spill faults are bounded page-sized reads (docs/sessions.md)
                 self.service, entries, update=update, plane=plane,
                 timings=timings,
             )

@@ -85,7 +85,7 @@ class LabelCache:
 
     def __init__(self, maxsize: int = 65536):
         self.maxsize = maxsize
-        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0

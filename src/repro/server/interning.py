@@ -57,8 +57,8 @@ class QueryInterner:
     __slots__ = ("_ids", "_keys", "_lock", "token")
 
     def __init__(self) -> None:
-        self._ids: Dict[CanonicalKey, int] = {}
-        self._keys: List[CanonicalKey] = []
+        self._ids: Dict[CanonicalKey, int] = {}  # guarded-by: _lock
+        self._keys: List[CanonicalKey] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         #: Identity sentinel for object pins (see class docstring).
         self.token = object()
@@ -136,7 +136,7 @@ class LabelInterner:
     __slots__ = ("_ids", "_labels", "_lock")
 
     def __init__(self) -> None:
-        self._ids: Dict[PackedLabel, int] = {}
+        self._ids: Dict[PackedLabel, int] = {}  # guarded-by: _lock
         self._labels: List[PackedLabel] = []
         self._lock = threading.Lock()
 

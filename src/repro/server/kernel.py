@@ -210,7 +210,7 @@ class DecisionKernel:
             if max_interned_shapes is None
             else max_interned_shapes
         )
-        self._plane = _Plane(0, LabelCache(label_cache_size))
+        self._plane = _Plane(0, LabelCache(label_cache_size))  # guarded-by: _plane_lock
         self._plane_lock = threading.Lock()
         #: Optional :class:`repro.obs.StageTimer`.  When set, a sampled
         #: fraction of decisions records canonicalize/label/mask/outcome

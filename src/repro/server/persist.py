@@ -49,19 +49,20 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.canonical import decode_key, encode_key
+from repro.core.formats import (
+    SESSIONS_FORMAT_V1,
+    SESSIONS_FORMAT_V2,
+    SNAPSHOT_FORMAT_V1,
+    SNAPSHOT_FORMAT_V2,
+    SNAPSHOT_FORMAT_V3,
+)
 from repro.errors import SnapshotError
 from repro.server.service import DisclosureService
 
 #: Format-version header written on every new full, self-contained
 #: snapshot document.  Bump on any change a previous release could not
 #: read.
-SNAPSHOT_FORMAT = "repro.snapshot/2"
-
-#: Generation documents (:class:`SnapshotChain`): the payload carries a
-#: ``delta`` header linking it into a chain — a *full* base
-#: (``of: null``) or an increment holding only the sessions dirtied and
-#: the interner rows added since the generation it extends.
-SNAPSHOT_FORMAT_V3 = "repro.snapshot/3"
+SNAPSHOT_FORMAT = SNAPSHOT_FORMAT_V2
 
 #: Every format this build can *read*.  Version 1 stored sessions as
 #: per-principal partition lists and the label cache as flat
@@ -70,12 +71,12 @@ SNAPSHOT_FORMAT_V3 = "repro.snapshot/3"
 #: references them by dense integer id, and deduplicates session
 #: policies into a table referenced by index; version 3 adds the
 #: incremental-generation header on the same section encodings.
-READABLE_FORMATS = ("repro.snapshot/1", SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V3)
+READABLE_FORMATS = (SNAPSHOT_FORMAT_V1, SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V3)
 
 #: Session-table formats: v1 is the live ``export_state`` wire form;
 #: v2 is the ID-plane file form (policy table + ``[index, live_int]``).
-_SESSIONS_V1 = "repro.server/1"
-_SESSIONS_V2 = "repro.server/2"
+_SESSIONS_V1 = SESSIONS_FORMAT_V1
+_SESSIONS_V2 = SESSIONS_FORMAT_V2
 
 #: How many sequence-numbered snapshots a :class:`SnapshotStore` keeps.
 DEFAULT_KEEP = 4

@@ -59,7 +59,12 @@ from repro.core.canonical import decode_key, encode_key
 from repro.errors import PolicyError
 from repro.server.kernel import ServiceDecision
 from repro.server.service import DisclosureService
-from repro.server.store import SessionState, iter_owned_states, state_of
+from repro.server.store import (
+    SessionState,
+    SpillStore,
+    iter_owned_states,
+    state_of,
+)
 
 #: The per-item error entry for a replica that died and could not be
 #: respawned in time; the asyncio front end maps it to HTTP 503.
@@ -302,6 +307,9 @@ class ReplicaPool:
 
             self._warm_frame = ["warm", encode_cache_entries(warm_entries)]
         self.handles: List[ReplicaHandle] = []
+        #: Whether mirror applies may touch disk (spill-backed store).
+        #: The async settle path sends those to the executor.
+        self._mirror_blocking = isinstance(service.store, SpillStore)
         metrics = service.metrics
         #: Dispatch round-trip time (send → all replies applied), per
         #: tick segment; merged at scrape exactly like every histogram.
@@ -398,43 +406,104 @@ class ReplicaPool:
         self.respawns.labels(str(handle.index)).increment()
 
     # -- the pipe primitives -------------------------------------------
+    def _check_reply(self, handle: ReplicaHandle, reply: Optional[List]) -> List:
+        """An ``ok`` reply, or the replica's own error surfaced.
+
+        Replicas answer ``["err", detail]`` for malformed or failed
+        admin frames; that detail is the diagnosis, so it is raised
+        verbatim rather than folded into a generic protocol failure.
+        """
+        if reply and reply[0] == "err":
+            raise RuntimeError(
+                f"replica {handle.index} error: "
+                f"{reply[1] if len(reply) > 1 else 'unknown'}"
+            )
+        if not reply or reply[0] != "ok":
+            raise RuntimeError(f"replica {handle.index} failed: {reply!r}")
+        return reply
+
     def _roundtrip(self, handle: ReplicaHandle, frame: List) -> List:
         handle.conn.send_bytes(_encode(frame))
         reply = _decode(handle.conn.recv_bytes())
-        if not reply or reply[0] != "ok":
-            raise RuntimeError(
-                f"replica {handle.index} failed: "
-                f"{reply[1] if len(reply) > 1 else reply!r}"
-            )
-        return reply
+        return self._check_reply(handle, reply)
 
-    def _sync_plane(self, handle: ReplicaHandle, plane) -> None:
-        """Ship the qid rows *handle* is missing, ahead of their batch."""
+    async def _roundtrip_async(self, handle: ReplicaHandle, frame: List, asyncio) -> List:
+        """:meth:`_roundtrip` awaited through the event loop.
+
+        Both pipe ends are awaited for readiness first; the transfers
+        themselves stay synchronous but bounded — the replica is
+        draining (or filling) the other end concurrently.
+        """
+        await self._send_frame_async(handle, _encode(frame), asyncio)
+        await self._wait_readable(handle, asyncio)
+        reply = _decode(handle.conn.recv_bytes())  # repro: noqa[ASY01] - readability awaited above; remainder of a large reply streams in while the replica writes it
+        return self._check_reply(handle, reply)
+
+    def _plane_frames(self, handle: ReplicaHandle, plane) -> List[bytes]:
+        """The encoded plane rows *handle* is missing, watermark advanced.
+
+        Advancing ``plane_epoch``/``shipped`` here means the caller
+        *must* deliver every returned frame (or let the failure path
+        respawn, which resets both watermarks).
+        """
         epoch = plane.epoch
         if handle.plane_epoch != epoch:
             keys = plane.queries.export_keys()
-            handle.conn.send_bytes(
-                _encode(
-                    ["plane", epoch, 0, [encode_key(key) for key in keys]]
-                )
-            )
             handle.plane_epoch = epoch
             handle.shipped = len(keys)
-            return
+            return [
+                _encode(["plane", epoch, 0, [encode_key(key) for key in keys]])
+            ]
         count = len(plane.queries)
         if handle.shipped < count:
             keys = plane.queries.export_keys_since(handle.shipped)
-            handle.conn.send_bytes(
-                _encode(
-                    [
-                        "plane",
-                        epoch,
-                        handle.shipped,
-                        [encode_key(key) for key in keys],
-                    ]
-                )
-            )
+            start = handle.shipped
             handle.shipped += len(keys)
+            return [
+                _encode(
+                    ["plane", epoch, start, [encode_key(key) for key in keys]]
+                )
+            ]
+        return []
+
+    def _sync_plane(self, handle: ReplicaHandle, plane) -> None:
+        """Ship the qid rows *handle* is missing, ahead of their batch."""
+        for data in self._plane_frames(handle, plane):
+            handle.conn.send_bytes(data)
+
+    async def _sync_plane_async(self, handle: ReplicaHandle, plane, asyncio) -> None:
+        for data in self._plane_frames(handle, plane):
+            await self._send_frame_async(handle, data, asyncio)
+
+    async def _send_frame_async(self, handle: ReplicaHandle, data: bytes, asyncio) -> None:
+        """Send one encoded frame without stalling the event loop.
+
+        Pipe buffers are 64 KiB; a plane ship or a wide batch can
+        exceed that while the replica is still busy, which is exactly
+        when a bare ``send_bytes`` would block the loop.  Awaiting
+        writability first keeps the wait on the loop; the send itself
+        then drains against a replica that is actively reading.
+        """
+        await self._wait_writable(handle, asyncio)
+        handle.conn.send_bytes(data)  # repro: noqa[ASY01] - writability awaited above; bounded drain against a reading replica
+
+    @staticmethod
+    async def _wait_writable(handle: ReplicaHandle, asyncio) -> None:
+        """Yield until *handle*'s pipe accepts writes (or is dead)."""
+        try:
+            fd = handle.conn.fileno()
+        except (OSError, ValueError):
+            return  # dead pipe: the send will fail into the retry path
+        loop = asyncio.get_running_loop()
+        ready = loop.create_future()
+        try:
+            loop.add_writer(fd, lambda: ready.done() or ready.set_result(None))
+        except (OSError, ValueError):
+            return
+        try:
+            await ready
+        finally:
+            loop.remove_writer(fd)
 
     # -- the dispatch core ---------------------------------------------
     def owner_of(self, principal: Hashable) -> int:
@@ -481,25 +550,33 @@ class ReplicaPool:
     ) -> List:
         """:meth:`decide` for the asyncio front end: pipes are awaited.
 
-        Sends never block (one frame in flight per replica keeps the
-        pipe shallow); each reply is awaited through the event loop's
-        readability callback, so the loop keeps parsing and queueing new
-        requests while replicas compute.  The rare crash-recovery path
-        (respawn + replay) stays synchronous — correctness over latency
-        when a process just died.
+        Sends and replies both go through the event loop's readiness
+        callbacks, so the loop keeps parsing and queueing new requests
+        while replicas compute.  The rare crash-recovery path (respawn +
+        replay) runs in the default executor — correctness over latency
+        when a process just died, but the loop still breathes.
         """
         import asyncio
 
-        launched = self._launch(entries, update=update, plane=plane,
-                                timings=timings)
-        results, plane, pending, started = launched
+        partitioned = self._partition(entries, update=update, plane=plane,
+                                      timings=timings)
+        results, plane, sub_frames, started = partitioned
+        pending = []
+        for handle, positions, frame in sub_frames:
+            sent = True
+            try:
+                await self._sync_plane_async(handle, plane, asyncio)
+                await self._send_frame_async(handle, _encode(frame), asyncio)
+            except (OSError, ValueError):
+                sent = False
+            pending.append((handle, positions, frame, sent))
         for handle, positions, frame, sent in pending:
             reply = None
             if sent:
                 await self._wait_readable(handle, asyncio)
-                reply = self._try_recv(handle)
-            self._settle(handle, positions, frame, plane, reply, results,
-                         update)
+                reply = self._try_recv(handle)  # repro: noqa[ASY01] - readability awaited above; bounded drain of an arriving reply
+            await self._settle_async(handle, positions, frame, plane, reply,
+                                     results, update, asyncio)
         if pending:
             self._account(pending, started, timings)
         return results
@@ -524,8 +601,13 @@ class ReplicaPool:
         finally:
             loop.remove_reader(fd)
 
-    def _launch(self, entries, *, update, plane, timings):
-        """Validate, intern, partition, and send — the non-blocking half."""
+    def _partition(self, entries, *, update, plane, timings):
+        """Validate, intern, and partition — no pipe I/O yet.
+
+        Returns ``(results, plane, sub_frames, started)`` where
+        *sub_frames* is ``[(handle, positions, frame), ...]`` in replica
+        order, ready for either the sync or the awaited send path.
+        """
         service = self.service
         if plane is None:
             plane = service.kernel.resolution_plane()
@@ -566,11 +648,20 @@ class ReplicaPool:
         if timings is not None:
             timings["label_us"] = (perf_counter() - label_started) * 1e6
         started = perf_counter()
-        pending = []
+        sub_frames = []
         for owner in sorted(sub_batches):
             handle = self.handles[owner]
             positions, items = sub_batches[owner]
-            frame = ["batch", update, items]
+            sub_frames.append((handle, positions, ["batch", update, items]))
+        return results, plane, sub_frames, started
+
+    def _launch(self, entries, *, update, plane, timings):
+        """Validate, intern, partition, and send — the non-blocking half."""
+        results, plane, sub_frames, started = self._partition(
+            entries, update=update, plane=plane, timings=timings
+        )
+        pending = []
+        for handle, positions, frame in sub_frames:
             sent = True
             try:
                 self._sync_plane(handle, plane)
@@ -587,12 +678,14 @@ class ReplicaPool:
             return None
         return reply if reply and reply[0] == "ok" else None
 
-    def _settle(
-        self, handle, positions, frame, plane, reply, results, update
-    ) -> None:
-        """Apply one replica's reply, retrying once through a respawn."""
-        if reply is None:
-            reply = self._retry(handle, plane, frame)
+    def _absorb(
+        self, handle, positions, reply, results, update
+    ) -> Optional[List]:
+        """Fold one ok-reply (or its absence) into *results*.
+
+        Returns the touched session rows still to be mirrored, or
+        ``None`` when there is nothing to apply.
+        """
         if reply is None:
             error = {
                 "error": f"kernel replica {handle.index} unavailable",
@@ -600,7 +693,7 @@ class ReplicaPool:
             }
             for position in positions:
                 results[position] = dict(error)
-            return
+            return None
         _, rendered, touched = reply
         for position, item in zip(positions, rendered):
             if item[0] == "d":
@@ -608,10 +701,51 @@ class ReplicaPool:
                     item[1], item[2], item[3], item[4], item[5], item[6],
                     None,
                 )
-            else:
+            elif item[0] == "e":
                 results[position] = item[1]
-        if update:
+            else:  # unknown row kind: refuse to guess what it meant
+                results[position] = {
+                    "error": (
+                        f"replica {handle.index} sent unknown result "
+                        f"kind {item[0]!r}"
+                    ),
+                    "code": REPLICA_UNAVAILABLE,
+                }
+        return touched if update and touched else None
+
+    def _settle(
+        self, handle, positions, frame, plane, reply, results, update
+    ) -> None:
+        """Apply one replica's reply, retrying once through a respawn."""
+        if reply is None:
+            reply = self._retry(handle, plane, frame)
+        touched = self._absorb(handle, positions, reply, results, update)
+        if touched:
             self._apply_touched(touched)
+
+    async def _settle_async(
+        self, handle, positions, frame, plane, reply, results, update, asyncio
+    ) -> None:
+        """:meth:`_settle` with the blocking edges moved off the loop.
+
+        The respawn-and-replay retry blocks for up to ``ready_timeout``
+        (process start + mirror refault), so it runs in the default
+        executor.  The mirror apply is a dict update under the parent
+        lock unless the store spills to disk, in which case it goes to
+        the executor too.
+        """
+        if reply is None:
+            loop = asyncio.get_running_loop()
+            reply = await loop.run_in_executor(
+                None, self._retry, handle, plane, frame
+            )
+        touched = self._absorb(handle, positions, reply, results, update)
+        if touched:
+            if self._mirror_blocking:
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, self._apply_touched, touched)
+            else:
+                self._apply_touched(touched)  # repro: noqa[ASY01] - RAM mirror: dict puts under an uncontended lock, microseconds
 
     def _retry(self, handle, plane, frame) -> Optional[List]:
         """One respawn + replay: refault from the mirror, re-ship the
@@ -673,12 +807,7 @@ class ReplicaPool:
                 fmt, error = metrics_format(query_string)
                 if error is not None:
                     return 400, {"error": error}
-                snapshot = self.metrics_snapshot()
-                if fmt == "prometheus":
-                    from repro.obs import render_prometheus
-
-                    return 200, render_prometheus(snapshot)
-                return 200, snapshot
+                return self._render_metrics(fmt, self.metrics_snapshot())
             if route == "/internal/snapshot":
                 return 200, self.merged_snapshot()
             return None
@@ -689,22 +818,76 @@ class ReplicaPool:
                 self.service, method, route, body, transport="async"
             )
             if status == 200:
-                principal = body.get("principal")
-                handle = self.handles[self.owner_of(principal)]
-                if route == "/v1/register":
-                    partitions = [
-                        list(p)
-                        for p in self.service._normalize_policy(body["policy"])
-                    ]
-                    self._admin(handle, ["register", principal, partitions])
-                else:
-                    self._admin(handle, ["reset", principal])
+                handle, frame = self._admin_frame(route, body)
+                self._admin(handle, frame)
             return status, payload
         if route == "/v1/batch":
             return self._batch_v1(body)
         if route == "/v2/batch":
             return self._batch_v2(body)
         return None
+
+    async def dispatch_inline_async(
+        self, method: str, path: str, body: Optional[Dict]
+    ) -> Optional[Tuple[int, object]]:
+        """:meth:`dispatch_inline` for the asyncio front end.
+
+        Same routes and payloads; replica pipes are awaited through the
+        loop and respawns run in the default executor, so an admin call
+        or merged scrape never stalls concurrently draining batches.
+        """
+        import asyncio
+
+        from repro.server.httpd import dispatch, metrics_format
+
+        route, _, query_string = path.partition("?")
+        if method == "GET":
+            if route == "/metrics":
+                fmt, error = metrics_format(query_string)
+                if error is not None:
+                    return 400, {"error": error}
+                snapshot = await self.metrics_snapshot_async(asyncio)
+                return self._render_metrics(fmt, snapshot)
+            if route == "/internal/snapshot":
+                return 200, await self.merged_snapshot_async(asyncio)
+            return None
+        if method != "POST" or body is None:
+            return None
+        if route in ("/v1/register", "/v1/reset"):
+            status, payload = dispatch(
+                self.service, method, route, body, transport="async"
+            )
+            if status == 200:
+                handle, frame = self._admin_frame(route, body)
+                await self._admin_async(handle, frame, asyncio)
+            return status, payload
+        if route == "/v1/batch":
+            return await self._batch_v1_async(body)
+        if route == "/v2/batch":
+            return await self._batch_v2_async(body)
+        return None
+
+    @staticmethod
+    def _render_metrics(fmt: str, snapshot: Dict) -> Tuple[int, object]:
+        if fmt == "prometheus":
+            from repro.obs import render_prometheus
+
+            return 200, render_prometheus(snapshot)
+        return 200, snapshot
+
+    def _admin_frame(
+        self, route: str, body: Dict
+    ) -> Tuple[ReplicaHandle, List]:
+        """The replica forward for a parent-validated admin mutation."""
+        principal = body.get("principal")
+        handle = self.handles[self.owner_of(principal)]
+        if route == "/v1/register":
+            partitions = [
+                list(p)
+                for p in self.service._normalize_policy(body["policy"])
+            ]
+            return handle, ["register", principal, partitions]
+        return handle, ["reset", principal]
 
     def _admin(self, handle: ReplicaHandle, frame: List) -> None:
         """Forward an admin mutation; a dead replica is respawned, and
@@ -718,15 +901,30 @@ class ReplicaPool:
             except (OSError, TimeoutError, RuntimeError):
                 pass  # the next dispatch will retry the respawn
 
-    def _batch_v1(self, body: Dict) -> Tuple[int, Dict]:
-        """``POST /v1/batch`` pooled: parse on the parent, decide on the
-        replicas, reassemble in input order (the v1 error shapes)."""
+    async def _admin_async(self, handle: ReplicaHandle, frame: List, asyncio) -> None:
+        """:meth:`_admin` awaited; the recovery respawn (process start +
+        mirror refault, potentially seconds) runs in the executor."""
+        try:
+            await self._roundtrip_async(handle, frame, asyncio)
+        except (OSError, EOFError, ValueError, RuntimeError):
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, self._respawn, handle)
+            except (OSError, TimeoutError, RuntimeError):
+                pass  # the next dispatch will retry the respawn
+
+    def _batch_v1_prepare(self, body: Dict):
+        """Parse and pre-validate a v1 batch on the parent — no pipes.
+
+        Returns ``(error, results, positions, entries, peek)``; *error*
+        is a ready HTTP response when validation already failed.
+        """
         from repro.server.batch import parse_wire_request
         from repro.server.httpd import validate_batch_body
 
         requests, peek, error = validate_batch_body(body)
         if error is not None:
-            return error
+            return error, [], [], [], False
         service = self.service
         results: List[Optional[Dict]] = [None] * len(requests)
         positions: List[int] = []
@@ -742,16 +940,38 @@ class ReplicaPool:
                 continue
             positions.append(index)
             entries.append((principal, item[1], None))
-        if entries:
-            decided = self.decide(entries, update=not peek)
-            for position, decision in zip(positions, decided):
-                if isinstance(decision, ServiceDecision):
-                    results[position] = decision.as_dict()
-                else:  # v1 keeps its historical error shape (no code)
-                    results[position] = {
-                        "error": decision.get("error", "replica failure")
-                    }
+        return None, results, positions, entries, peek
+
+    @staticmethod
+    def _batch_v1_finish(results, positions, decided) -> Tuple[int, Dict]:
+        for position, decision in zip(positions, decided):
+            if isinstance(decision, ServiceDecision):
+                results[position] = decision.as_dict()
+            else:  # v1 keeps its historical error shape (no code)
+                results[position] = {
+                    "error": decision.get("error", "replica failure")
+                }
         return 200, {"decisions": results, "count": len(results)}
+
+    def _batch_v1(self, body: Dict) -> Tuple[int, Dict]:
+        """``POST /v1/batch`` pooled: parse on the parent, decide on the
+        replicas, reassemble in input order (the v1 error shapes)."""
+        error, results, positions, entries, peek = self._batch_v1_prepare(body)
+        if error is not None:
+            return error
+        decided = self.decide(entries, update=not peek) if entries else []
+        return self._batch_v1_finish(results, positions, decided)
+
+    async def _batch_v1_async(self, body: Dict) -> Tuple[int, Dict]:
+        error, results, positions, entries, peek = self._batch_v1_prepare(body)
+        if error is not None:
+            return error
+        decided = (
+            await self.decide_async(entries, update=not peek)
+            if entries
+            else []
+        )
+        return self._batch_v1_finish(results, positions, decided)
 
     def _batch_v2(self, body: Dict) -> Tuple[int, object]:
         """``POST /v2/batch`` pooled: the stdlib handler with the decide
@@ -771,6 +991,22 @@ class ReplicaPool:
         results = self.decide(entries, update=not peek, plane=plane)
         return 200, render_batch(results, principal_indices, compact)
 
+    async def _batch_v2_async(self, body: Dict) -> Tuple[int, object]:
+        from repro.server.wire2 import (
+            WireError,
+            render_batch,
+            resolve_batch,
+        )
+
+        try:
+            peek, compact, principal_indices, plane, entries = resolve_batch(
+                self.service, body
+            )
+        except WireError as exc:
+            return exc.status, exc.payload()
+        results = await self.decide_async(entries, update=not peek, plane=plane)
+        return 200, render_batch(results, principal_indices, compact)
+
     # -- merged views ---------------------------------------------------
     def metrics_snapshot(self) -> Dict:
         """One deployment-wide ``/metrics`` payload, merged at scrape.
@@ -782,14 +1018,26 @@ class ReplicaPool:
         folded in on top.  The parent never decides, so nothing double
         counts.
         """
-        from repro.obs import merge_registry_snapshots
-        from repro.server.shard import aggregate_metrics
-
         snapshots = []
         for handle in self.handles:
             reply = self._admin_reply(handle, ["metrics"])
             if reply is not None:
                 snapshots.append(reply[1])
+        return self._merge_metrics(snapshots)
+
+    async def metrics_snapshot_async(self, asyncio) -> Dict:
+        """:meth:`metrics_snapshot` with the replica scrapes awaited."""
+        snapshots = []
+        for handle in self.handles:
+            reply = await self._admin_reply_async(handle, ["metrics"], asyncio)
+            if reply is not None:
+                snapshots.append(reply[1])
+        return self._merge_metrics(snapshots)
+
+    def _merge_metrics(self, snapshots: List[Dict]) -> Dict:
+        from repro.obs import merge_registry_snapshots
+        from repro.server.shard import aggregate_metrics
+
         merged = aggregate_metrics(snapshots)
         merged["replica_count"] = merged.pop("shard_count", len(snapshots))
         merged["replicas"] = merged.pop("shards", snapshots)
@@ -820,6 +1068,19 @@ class ReplicaPool:
 
         return merge_snapshot_payloads(self.snapshot_payloads())
 
+    async def merged_snapshot_async(self, asyncio) -> Dict:
+        """:meth:`merged_snapshot` with the replica reads awaited."""
+        from repro.server.shard import merge_snapshot_payloads
+
+        payloads = []
+        for handle in self.handles:
+            reply = await self._admin_reply_async(
+                handle, ["snapshot"], asyncio
+            )
+            if reply is not None:
+                payloads.append(reply[1])
+        return merge_snapshot_payloads(payloads)
+
     def _admin_reply(self, handle: ReplicaHandle, frame: List) -> Optional[List]:
         try:
             return self._roundtrip(handle, frame)
@@ -827,6 +1088,19 @@ class ReplicaPool:
             try:
                 self._respawn(handle)
                 return self._roundtrip(handle, frame)
+            except (OSError, EOFError, ValueError, TimeoutError, RuntimeError):
+                return None
+
+    async def _admin_reply_async(
+        self, handle: ReplicaHandle, frame: List, asyncio
+    ) -> Optional[List]:
+        try:
+            return await self._roundtrip_async(handle, frame, asyncio)
+        except (OSError, EOFError, ValueError, RuntimeError):
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, self._respawn, handle)
+                return await self._roundtrip_async(handle, frame, asyncio)
             except (OSError, EOFError, ValueError, TimeoutError, RuntimeError):
                 return None
 

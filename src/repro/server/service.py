@@ -44,6 +44,7 @@ from typing import (
 if TYPE_CHECKING:  # import only for annotations (no runtime cycle)
     from repro.client.base import DecisionClient
 
+from repro.core.formats import SESSIONS_FORMAT_V1
 from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
 from repro.errors import ParseError, PolicyError
@@ -64,7 +65,7 @@ from repro.server.store import (
 
 __all__ = ["DisclosureService", "ServiceDecision", "Session"]
 
-_STATE_FORMAT = "repro.server/1"
+_STATE_FORMAT = SESSIONS_FORMAT_V1
 
 
 class Session:
@@ -108,7 +109,7 @@ class Session:
         self.principal = principal
         self.partitions = partitions
         self.grants = grants
-        self.live = live
+        self.live = live  # guarded-by: _lock
         self.ephemeral = ephemeral
         #: The kernel plane generation the memos below were filled
         #: under; the kernel clears them on first contact with a newer
@@ -119,17 +120,17 @@ class Session:
         #: by the service on register/reset/restore).  Incremental
         #: snapshots export exactly the sessions with
         #: ``dirty_epoch >= since``.
-        self.dirty_epoch = 0
+        self.dirty_epoch = 0  # guarded-by: _lock
         #: lid -> satisfying-partitions mask.  Sound for the session's
         #: lifetime: the mask depends only on the label and the
         #: (immutable) grants; a re-registration builds a fresh Session.
         #: Bounded by MASK_MEMO_LIMIT (reset when full).
-        self.mask_memo: Dict[int, int] = {}
+        self.mask_memo: Dict[int, int] = {}  # guarded-by: _lock
         #: (lid, live) -> (accepted, reason, surviving), same soundness
         #: argument with the live bits added to the key.  In steady state
         #: a session's live mask is stable, so recurring shapes make
         #: whole decisions two dict probes.  Shares MASK_MEMO_LIMIT.
-        self.outcome_memo: Dict[Tuple[int, int], Tuple[bool, str, int]] = {}
+        self.outcome_memo: Dict[Tuple[int, int], Tuple[bool, str, int]] = {}  # guarded-by: _lock
         #: Per-tenant metric tallies, updated by the kernel inside the
         #: session lock it already holds (a plain int increment, so the
         #: single-query hot path never touches the labeled metric
@@ -247,11 +248,11 @@ class DisclosureService:
         #: Monotonic state generation: bumped by each incremental
         #: export cut (:meth:`export_generation`); sessions stamp it
         #: into ``dirty_epoch`` on mutation.
-        self.state_epoch = 1
+        self.state_epoch = 1  # guarded-by: _lock
         #: Principals unregistered since the last *full* export, with
         #: the epoch of their removal — the tombstones an incremental
         #: snapshot needs so a restart does not resurrect them.
-        self._removed: Dict[str, int] = {}
+        self._removed: Dict[str, int] = {}  # guarded-by: _lock
         #: The one decision pipeline every transport routes through.
         self.kernel = DecisionKernel(
             self.labeler, sessions=self, label_cache_size=label_cache_size
@@ -440,7 +441,7 @@ class DisclosureService:
         session = self.store.get(principal)
         if session is not None:
             return session
-        state = self.store.fault(principal)
+        state = self.store.fault(principal)  # repro: noqa[ASY01] - spill faults on the decide path are bounded page-sized reads by design (docs/sessions.md); the tick drain IS the data plane
         if state is None:
             if self._default_policy is None:
                 raise PolicyError(f"unknown principal {principal!r}")

@@ -53,6 +53,8 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.markers import requires_lock
+from ..core.formats import SESSIONS_FORMAT_V1
 from ..errors import PolicyError, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
@@ -61,7 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
 __all__ = ["SessionState", "SessionStore", "InMemoryStore", "SpillStore"]
 
 #: Serialized-state format produced by :meth:`SessionStore.export_state`.
-STATE_FORMAT = "repro.server/1"
+STATE_FORMAT = SESSIONS_FORMAT_V1
 
 Partitions = Tuple[Tuple[str, ...], ...]
 
@@ -310,10 +312,11 @@ class _StoreBase:
         self.fault_count = 0
         self.eviction_count = 0
         self.spill_count = 0
-        self._resident = OrderedDict()
+        self._resident = OrderedDict()  # guarded-by: _lock
 
     # -- resident tier ---------------------------------------------------
 
+    @requires_lock
     def get(self, principal: Hashable) -> Optional["Session"]:
         session = self._resident.get(principal)
         if session is not None:
@@ -323,6 +326,7 @@ class _StoreBase:
     def peek(self, principal: Hashable) -> Optional["Session"]:
         return self._resident.get(principal)
 
+    @requires_lock
     def put(self, principal: Hashable, session: "Session") -> None:
         existing = self._resident.pop(principal, None)
         if existing is not None and existing is not session and self.on_demote:
@@ -333,6 +337,7 @@ class _StoreBase:
             self.eviction_count += 1
             self._demote_session(evicted)
 
+    @requires_lock
     def demote(self, principal: Hashable) -> None:
         session = self._resident.pop(principal, None)
         if session is not None:
@@ -403,8 +408,9 @@ class InMemoryStore(_StoreBase):
 
     def __init__(self, max_resident: int = 10_000) -> None:
         super().__init__(max_resident)
-        self._cold: Dict[Hashable, SessionState] = {}
+        self._cold: Dict[Hashable, SessionState] = {}  # guarded-by: _lock
 
+    @requires_lock
     def _store_cold(self, principal: Hashable, state: SessionState) -> None:
         self.spill_count += 1
         self._cold[principal] = state
@@ -503,7 +509,7 @@ class SpillStore(_StoreBase):
         self.compact_min_dead = compact_min_dead
         self.compaction_count = 0
         # principal -> (byte offset of its live "S" record, dirty_epoch)
-        self._index: Dict[str, Tuple[int, int]] = {}
+        self._index: Dict[str, Tuple[int, int]] = {}  # guarded-by: _lock
         self._policies: List[Partitions] = []
         self._policy_ids: Dict[Partitions, int] = {}
         self._dead = 0

@@ -153,7 +153,7 @@ class WireGateway:
 
     def __init__(self, service):
         self.service = service
-        self._generations: "OrderedDict[str, _Generation]" = OrderedDict()
+        self._generations: "OrderedDict[str, _Generation]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def generation_count(self) -> int:

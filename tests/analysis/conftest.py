@@ -1,0 +1,54 @@
+"""Shared harness for the analysis fixture corpora.
+
+Each test writes a tiny fixture tree into ``tmp_path`` and runs the
+real pipeline (``load_project`` → ``build_graph`` → checker) against a
+config pointed at the fixture module names (a fixture file ``pool.py``
+with no package parent is module ``pool``).  The rules are exercised
+on seeded-good and seeded-bad snippets without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.runner import run_analysis
+
+
+class Corpus:
+    def __init__(self, root: Path):
+        self.root = root
+
+    def write(self, name: str, source: str) -> Path:
+        path = self.root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        if path.parent != self.root and not (
+            path.parent / "__init__.py"
+        ).exists():
+            (path.parent / "__init__.py").write_text("")
+        return path
+
+    def run(self, config: AnalysisConfig = None, **overrides) -> List[Finding]:
+        config = config or DEFAULT_CONFIG
+        if overrides:
+            config = replace(config, **overrides)
+        result = run_analysis([self.root], config=config, root=self.root)
+        return result.findings
+
+    def by_rule(self, config: AnalysisConfig = None, **overrides) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.run(config, **overrides):
+            grouped.setdefault(finding.rule, []).append(finding)
+        return grouped
+
+
+@pytest.fixture
+def corpus(tmp_path: Path) -> Corpus:
+    return Corpus(tmp_path)

@@ -1,0 +1,98 @@
+"""The ``repro analyze`` verb end to end: exit codes, JSON output,
+baseline write/read, and --check staleness."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+BAD = '''
+import time
+
+async def tick():
+    time.sleep(0.1)
+'''
+
+GOOD = '''
+import asyncio
+
+async def tick():
+    await asyncio.sleep(0.1)
+'''
+
+
+def analyze(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", *args],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
+
+
+def test_findings_exit_1_with_location(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(BAD))
+    proc = analyze("srv.py", "--no-baseline", cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "ASY01" in proc.stdout
+    assert "srv.py:" in proc.stdout
+
+
+def test_clean_tree_exits_0(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(GOOD))
+    proc = analyze("srv.py", "--no-baseline", cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_json_report_shape(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(BAD))
+    proc = analyze("srv.py", "--no-baseline", "--json", cwd=tmp_path)
+    report = json.loads(proc.stdout)
+    assert report["files"] == 1
+    assert report["findings"][0]["rule"] == "ASY01"
+    assert report["findings"][0]["path"] == "srv.py"
+
+
+def test_write_baseline_requires_reason(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(BAD))
+    proc = analyze(
+        "srv.py", "--write-baseline", "b.json", cwd=tmp_path
+    )
+    assert proc.returncode == 2
+    assert "--reason" in proc.stderr
+
+
+def test_baseline_silences_then_goes_stale_under_check(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(BAD))
+    wrote = analyze(
+        "srv.py", "--write-baseline", "b.json",
+        "--reason", "triaged: fixture debt", cwd=tmp_path,
+    )
+    assert wrote.returncode == 0
+    entries = json.loads((tmp_path / "b.json").read_text())["entries"]
+    assert entries[0]["reason"] == "triaged: fixture debt"
+
+    silenced = analyze("srv.py", "--baseline", "b.json", cwd=tmp_path)
+    assert silenced.returncode == 0
+    assert "1 baselined" in silenced.stdout
+
+    # fix the finding: the baseline entry is now stale; --check fails
+    (tmp_path / "srv.py").write_text(textwrap.dedent(GOOD))
+    stale = analyze(
+        "srv.py", "--baseline", "b.json", "--check", cwd=tmp_path
+    )
+    assert stale.returncode == 1
+    assert "stale baseline entry" in stale.stdout
+
+
+def test_malformed_baseline_exits_2(tmp_path):
+    (tmp_path / "srv.py").write_text(textwrap.dedent(GOOD))
+    (tmp_path / "b.json").write_text("{}")
+    proc = analyze("srv.py", "--baseline", "b.json", cwd=tmp_path)
+    assert proc.returncode == 2

@@ -1,0 +1,128 @@
+"""ASY01 on seeded corpora: direct and transitive blocking calls on
+async paths fire; awaited primitives and waived crossings don't."""
+
+from __future__ import annotations
+
+
+def test_direct_blocking_call_in_async_def(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        import time
+
+        async def tick():
+            time.sleep(0.1)
+        ''',
+    )
+    findings = corpus.by_rule()["ASY01"]
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+    assert "tick" in findings[0].message
+
+
+def test_awaited_sleep_is_loop_native(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        import asyncio
+
+        async def tick():
+            await asyncio.sleep(0.1)
+        ''',
+    )
+    assert corpus.by_rule().get("ASY01", []) == []
+
+
+def test_transitive_reachability_reports_the_path(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        async def handler(conn):
+            relay(conn)
+
+        def relay(conn):
+            deliver(conn)
+
+        def deliver(conn):
+            conn.send_bytes(b"x")
+        ''',
+    )
+    findings = corpus.by_rule()["ASY01"]
+    assert len(findings) == 1
+    assert ".send_bytes()" in findings[0].message
+    assert "handler -> relay -> deliver" in findings[0].message
+
+
+def test_loop_callback_is_a_root(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        def install(loop, fd):
+            loop.add_reader(fd, pump)
+
+        def pump():
+            with open("/tmp/x") as fh:
+                fh.read()
+        ''',
+    )
+    findings = corpus.by_rule()["ASY01"]
+    assert findings, "add_reader callback must be traversed"
+    assert any("open()" in finding.message for finding in findings)
+
+
+def test_blind_lock_acquire_fires_nonblocking_does_not(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        async def grab(self):
+            self._lock.acquire()
+
+        async def try_grab(self):
+            self._lock.acquire(blocking=False)
+        ''',
+    )
+    findings = corpus.by_rule()["ASY01"]
+    assert len(findings) == 1
+    assert "blind acquire" in findings[0].message
+
+
+def test_noqa_waives_the_primitive(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        import time
+
+        async def tick():
+            time.sleep(0.1)  # repro: noqa[ASY01] - test fixture
+        ''',
+    )
+    assert corpus.by_rule().get("ASY01", []) == []
+
+
+def test_noqa_on_a_call_cuts_the_edge_into_sync_code(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        async def drain():
+            sync_core()  # repro: noqa[ASY01] - documented sync crossing
+
+        def sync_core():
+            with open("/tmp/x") as fh:
+                fh.read()
+        ''',
+    )
+    assert corpus.by_rule().get("ASY01", []) == []
+
+
+def test_sync_only_corpus_is_clean(corpus):
+    corpus.write(
+        "srv.py",
+        '''
+        import time
+
+        def worker_loop(conn):
+            time.sleep(0.1)
+            conn.send_bytes(b"x")
+        ''',
+    )
+    assert corpus.by_rule().get("ASY01", []) == []

@@ -1,0 +1,73 @@
+"""The committed baseline: round-trip, mandatory reasons, stale
+detection, and line-number-free matching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.findings import Baseline, BaselineError, Finding
+
+
+def _finding(message="status 503 has no reason", line=10):
+    return Finding("WIRE01", "src/repro/server/aio.py", line, message)
+
+
+def test_round_trip(tmp_path):
+    baseline = Baseline.from_findings([_finding()], "deferred to PR 11")
+    path = tmp_path / "analysis-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    assert loaded.entries[0]["reason"] == "deferred to PR 11"
+
+
+def test_reasons_are_mandatory(tmp_path):
+    path = tmp_path / "analysis-baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "WIRE01",
+                        "path": "src/repro/server/aio.py",
+                        "message": "status 503 has no reason",
+                        "reason": "   ",
+                    }
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="reason"):
+        Baseline.load(path)
+
+
+def test_malformed_document_is_rejected(tmp_path):
+    path = tmp_path / "analysis-baseline.json"
+    path.write_text("[]")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_split_partitions_new_matched_and_stale():
+    baseline = Baseline.from_findings([_finding()], "known")
+    fresh = _finding(message="a brand new finding", line=3)
+    matched = _finding(line=99)  # same message, moved line: still matches
+    new, baselined, stale = baseline.split([fresh, matched])
+    assert new == [fresh]
+    assert baselined == [matched]
+    assert stale == []
+
+
+def test_stale_entries_surface_when_finding_disappears():
+    baseline = Baseline.from_findings([_finding()], "known")
+    new, baselined, stale = baseline.split([])
+    assert new == [] and baselined == []
+    assert len(stale) == 1
+    assert stale[0]["message"] == "status 503 has no reason"
+
+
+def test_identity_excludes_line_numbers():
+    assert _finding(line=10).key == _finding(line=200).key

@@ -1,0 +1,63 @@
+"""FMT01 on seeded corpora: inlined format literals fire everywhere
+but the registry module, docstrings, and waived lines."""
+
+from __future__ import annotations
+
+
+def test_inlined_format_literal_fires(corpus):
+    corpus.write(
+        "persist.py",
+        '''
+        def header():
+            return {"format": "repro.snapshot/2"}
+        ''',
+    )
+    findings = corpus.by_rule()["FMT01"]
+    assert len(findings) == 1
+    assert "'repro.snapshot/2'" in findings[0].message
+    assert "repro.core.formats" in findings[0].message
+
+
+def test_registry_module_is_exempt(corpus):
+    corpus.write(
+        "formats.py",
+        '''
+        SNAPSHOT_FORMAT_V2 = "repro.snapshot/2"
+        ''',
+    )
+    assert corpus.by_rule(formats_module="formats").get("FMT01", []) == []
+
+
+def test_docstrings_are_exempt(corpus):
+    corpus.write(
+        "persist.py",
+        '''
+        def header():
+            """Writes a repro.snapshot/2 document."""
+            return {}
+        ''',
+    )
+    assert corpus.by_rule().get("FMT01", []) == []
+
+
+def test_noqa_waives_the_line(corpus):
+    corpus.write(
+        "persist.py",
+        '''
+        def header():
+            return {"format": "repro.snapshot/2"}  # repro: noqa[FMT01] - fixture
+        ''',
+    )
+    assert corpus.by_rule().get("FMT01", []) == []
+
+
+def test_non_format_strings_are_ignored(corpus):
+    corpus.write(
+        "persist.py",
+        '''
+        ROUTE = "/v1/batch"
+        NAME = "repro.snapshot"
+        RATIO = "1/2"
+        ''',
+    )
+    assert corpus.by_rule().get("FMT01", []) == []

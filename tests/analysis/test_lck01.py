@@ -1,0 +1,135 @@
+"""LCK01 on seeded corpora: clean mutations pass, naked ones fail,
+the drift contract keeps annotations load-bearing."""
+
+from __future__ import annotations
+
+
+GOOD = '''
+import threading
+
+class Table:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+
+    def _insert_locked(self, key, value):
+        self._rows[key] = value
+
+    def bulk(self, pairs):
+        with self._lock:
+            for key, value in pairs:
+                self._helper(key, value)
+
+    def _helper(self, key, value):
+        # every call site holds the lock: inferred, no marker needed
+        self._rows[key] = value
+'''
+
+BAD = '''
+import threading
+
+class Table:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        self._rows[key] = value
+
+    def drop(self, key):
+        self._rows.pop(key, None)
+'''
+
+
+def test_clean_corpus_has_no_findings(corpus):
+    corpus.write("table.py", GOOD)
+    assert corpus.by_rule().get("LCK01", []) == []
+
+
+def test_unlocked_mutation_and_mutator_method_fire(corpus):
+    corpus.write("table.py", BAD)
+    findings = corpus.by_rule()["LCK01"]
+    messages = [finding.message for finding in findings]
+    assert len(findings) == 2
+    assert all("_rows" in message and "_lock" in message for message in messages)
+    assert any("Table.put" in message for message in messages)
+    assert any("Table.drop" in message for message in messages)
+
+
+def test_decorator_marks_caller_holds_contract(corpus):
+    corpus.write(
+        "table.py",
+        '''
+        import threading
+        from repro.analysis.markers import requires_lock
+
+        class Table:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = {}  # guarded-by: _lock
+
+            @requires_lock
+            def put(self, key, value):
+                self._rows[key] = value
+        ''',
+    )
+    assert corpus.by_rule().get("LCK01", []) == []
+
+
+def test_constructor_helpers_are_exempt(corpus):
+    corpus.write(
+        "table.py",
+        '''
+        import threading
+
+        class Table:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = {}  # guarded-by: _lock
+                self._seed()
+
+            def _seed(self):
+                # reachable only from __init__: object not published yet
+                self._rows["root"] = True
+        ''',
+    )
+    assert corpus.by_rule().get("LCK01", []) == []
+
+
+def test_deleting_a_required_declaration_is_a_finding(corpus):
+    corpus.write(
+        "table.py",
+        '''
+        import threading
+
+        class Table:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = {}
+        ''',
+    )
+    required = frozenset({("table", "Table", "_rows", "_lock")})
+    findings = corpus.by_rule(required_guarded=required)["LCK01"]
+    assert len(findings) == 1
+    assert "missing '# guarded-by: _lock'" in findings[0].message
+    assert "Table._rows" in findings[0].message
+
+
+def test_required_declaration_present_satisfies_the_contract(corpus):
+    corpus.write(
+        "table.py",
+        '''
+        import threading
+
+        class Table:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = {}  # guarded-by: _lock
+        ''',
+    )
+    required = frozenset({("table", "Table", "_rows", "_lock")})
+    assert corpus.by_rule(required_guarded=required).get("LCK01", []) == []

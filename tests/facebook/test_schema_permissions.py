@@ -1,8 +1,5 @@
 """Tests for the Facebook evaluation schema and security-view vocabulary."""
 
-import pytest
-
-from repro.core.tagged import TaggedAtom
 from repro.facebook.permissions import (
     PUBLIC_PROFILE_ATTRIBUTES,
     USER_PERMISSION_GROUPS,

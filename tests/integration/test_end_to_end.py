@@ -76,7 +76,6 @@ class TestMonitorVsCheckerStreams:
         _, views = platform
         registry = BitVectorRegistry(views)
         labeler = BitVectorLabeler(views)
-        reference = ConjunctiveQueryLabeler(views)
         rng = random.Random(5)
 
         policies = generate_policies(views.names, 10, 3, 12, seed=2)

@@ -8,7 +8,6 @@ from repro.errors import LabelingError
 from repro.labeling.cq_labeler import (
     AtomLabel,
     ConjunctiveQueryLabeler,
-    DisclosureLabel,
     SecurityViews,
 )
 

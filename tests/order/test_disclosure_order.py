@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.core.tagged import TaggedAtom
 from repro.order.disclosure_order import (
     LiftedOrder,

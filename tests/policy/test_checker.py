@@ -196,7 +196,6 @@ class TestMaskEntryPoints:
         principal = checker.add_principal(policy)
         shadow_principal = shadow.add_principal(policy)
         labels = [registry.pack_label([a]) for a in (V6, V7, V2, V1)]
-        stream = [(principal, label) for label in labels]
         masks = [
             (principal, checker.satisfying_mask(principal, label))
             for label in labels

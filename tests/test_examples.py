@@ -3,11 +3,8 @@ headline facts it promises."""
 
 import io
 import runpy
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

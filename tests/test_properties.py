@@ -18,7 +18,6 @@ inputs:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.atoms import Atom
